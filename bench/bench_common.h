@@ -1,0 +1,133 @@
+// Shared setup for the paper-reproduction benchmarks.
+//
+// Conventions: relation cardinalities and parameter sweeps follow Section 3
+// (30,000-element indices; 20,000/30,000-tuple join relations).  Absolute
+// times are ~3 orders of magnitude below the paper's VAX 11/750 numbers;
+// EXPERIMENTS.md compares *shapes* (who wins, where the crossovers sit).
+
+#ifndef MMDB_BENCH_BENCH_COMMON_H_
+#define MMDB_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/exec/join.h"
+#include "src/exec/project.h"
+#include "src/exec/select.h"
+#include "src/index/index.h"
+#include "src/index/key_ops.h"
+#include "src/index/ttree.h"
+#include "src/storage/relation.h"
+#include "src/workload/generator.h"
+
+namespace mmdb {
+namespace bench {
+
+inline constexpr size_t kIndexElements = 30000;  // Section 3.2.2
+
+/// The eight structures in paper order.
+inline const std::vector<IndexKind>& AllIndexKinds() {
+  static const std::vector<IndexKind> kinds = {
+      IndexKind::kArray,          IndexKind::kAvlTree,
+      IndexKind::kBTree,          IndexKind::kTTree,
+      IndexKind::kChainedBucketHash, IndexKind::kExtendibleHash,
+      IndexKind::kLinearHash,     IndexKind::kModifiedLinearHash,
+  };
+  return kinds;
+}
+
+/// A relation of `n` unique int keys (0..n-1 shuffled) with an array
+/// primary index on the key (the paper's relation-scan vehicle).
+inline std::unique_ptr<Relation> UniqueKeyRelation(size_t n,
+                                                   uint64_t seed = 42) {
+  Schema schema({{"key", Type::kInt32}, {"seq", Type::kInt32}});
+  auto rel = std::make_unique<Relation>("bench", schema);
+  std::vector<int32_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = static_cast<int32_t>(i);
+  Rng rng(seed);
+  rng.Shuffle(&keys);
+  int32_t seq = 0;
+  for (int32_t k : keys) rel->Insert({Value(k), Value(seq++)});
+
+  auto ops = std::make_shared<FieldKeyOps>(&rel->schema(), 0);
+  IndexConfig config;
+  config.expected = n;
+  auto primary = CreateIndex(IndexKind::kArray, std::move(ops), config);
+  primary->set_name("bench.key_array");
+  primary->set_key_fields({0});
+  rel->AttachIndex(std::move(primary));
+  return rel;
+}
+
+/// Builds an index of `kind` on field 0 and loads every tuple.
+inline std::unique_ptr<TupleIndex> BuildIndex(const Relation& rel,
+                                              IndexKind kind, int node_size) {
+  IndexConfig config;
+  config.node_size = node_size;
+  config.expected = rel.cardinality();
+  auto ops = std::make_shared<FieldKeyOps>(&rel.schema(), 0);
+  auto index = CreateIndex(kind, std::move(ops), config);
+  index->BeginBulk();
+  rel.ForEachTuple([&](TupleRef t) { index->Insert(t); });
+  index->EndBulk();
+  return index;
+}
+
+/// Join-test pair per Section 3.3.1.  Outer values are drawn from the
+/// inner's (semijoin selectivity), both sides share duplicate composition.
+struct JoinPair {
+  std::unique_ptr<Relation> outer;
+  std::unique_ptr<Relation> inner;
+  std::unique_ptr<TupleIndex> outer_tree;  // T Tree on the join column
+  std::unique_ptr<TupleIndex> inner_tree;
+};
+
+inline JoinPair MakeJoinPair(size_t outer_n, size_t inner_n, double dup_pct,
+                             double stddev, double semijoin_pct,
+                             uint64_t seed = 7, bool with_trees = true) {
+  WorkloadGen gen(seed);
+  ColumnData inner_col = gen.Generate({inner_n, dup_pct, stddev});
+  ColumnData outer_col =
+      gen.GenerateMatching({outer_n, dup_pct, stddev}, inner_col.uniques,
+                           semijoin_pct);
+  JoinPair pair;
+  pair.outer = WorkloadGen::BuildRelation("outer", outer_col);
+  pair.inner = WorkloadGen::BuildRelation("inner", inner_col);
+  if (with_trees) {
+    pair.outer_tree = BuildIndex(*pair.outer, IndexKind::kTTree, 16);
+    pair.inner_tree = BuildIndex(*pair.inner, IndexKind::kTTree, 16);
+  }
+  return pair;
+}
+
+inline JoinSpec SpecOf(const JoinPair& pair) {
+  return JoinSpec{pair.outer.get(), 0, pair.inner.get(), 0};
+}
+
+inline const OrderedIndex& OuterTree(const JoinPair& pair) {
+  return *static_cast<const OrderedIndex*>(pair.outer_tree.get());
+}
+
+inline const OrderedIndex& InnerTree(const JoinPair& pair) {
+  return *static_cast<const OrderedIndex*>(pair.inner_tree.get());
+}
+
+/// A width-1 temp list over every tuple of rel, with field 0 as the output
+/// column (projection-bench input).
+inline TempList ProjectInput(const Relation& rel) {
+  ResultDescriptor desc({&rel});
+  desc.AddColumn(0, uint16_t{0});
+  TempList list(desc);
+  list.Reserve(rel.cardinality());
+  rel.ForEachTuple([&](TupleRef t) {
+    list.Append1(t);
+    return true;
+  });
+  return list;
+}
+
+}  // namespace bench
+}  // namespace mmdb
+
+#endif  // MMDB_BENCH_BENCH_COMMON_H_

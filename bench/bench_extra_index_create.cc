@@ -1,0 +1,50 @@
+// Section 3.2.2 / 3.3.2 — index creation cost: inserting 30,000 elements
+// into each structure (the paper quotes ~5 seconds to build a 30,000-entry
+// hash table on the VAX, the cost the Hash Join always pays).
+// Expected shape: hash builds cheapest; T Tree cheaper than AVL (fewer
+// rebalances) and than B Tree at comparable node sizes; the sorted array
+// is built by append + one hybrid sort (the Sort Merge discipline).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace mmdb {
+namespace bench {
+namespace {
+
+void BM_Extra_Create(benchmark::State& state) {
+  const IndexKind kind = AllIndexKinds()[state.range(0)];
+  const int node_size = static_cast<int>(state.range(1));
+  auto rel = UniqueKeyRelation(kIndexElements);
+  std::vector<TupleRef> tuples;
+  rel->ForEachTuple([&](TupleRef t) { tuples.push_back(t); });
+
+  for (auto _ : state) {
+    IndexConfig config;
+    config.node_size = node_size;
+    config.expected = kIndexElements;
+    auto ops = std::make_shared<FieldKeyOps>(&rel->schema(), 0);
+    auto index = CreateIndex(kind, std::move(ops), config);
+    index->BeginBulk();
+    for (TupleRef t : tuples) index->Insert(t);
+    index->EndBulk();
+    benchmark::DoNotOptimize(index->size());
+  }
+  state.SetItemsProcessed(state.iterations() * kIndexElements);
+  state.SetLabel(IndexKindName(kind));
+}
+
+BENCHMARK(BM_Extra_Create)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      for (size_t kind = 0; kind < AllIndexKinds().size(); ++kind) {
+        b->Args({static_cast<long>(kind), 16});
+      }
+    })
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mmdb
+
+BENCHMARK_MAIN();

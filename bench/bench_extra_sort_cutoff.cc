@@ -1,0 +1,31 @@
+// Ablation — the quicksort insertion-sort cutoff (Section 3.3.2, footnote
+// 6): "we ran a test to determine the optimal subarray size for switching
+// from quicksort to insertion sort; the optimal subarray size was 10".
+// This bench re-runs that tuning experiment on the Sort Merge build phase.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace mmdb {
+namespace bench {
+namespace {
+
+void BM_SortCutoff(benchmark::State& state) {
+  const int cutoff = static_cast<int>(state.range(0));
+  auto rel = UniqueKeyRelation(kIndexElements);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildSortedArray(*rel, 0, cutoff)->size());
+  }
+  state.SetLabel("cutoff=" + std::to_string(cutoff));
+}
+
+BENCHMARK(BM_SortCutoff)
+    ->Arg(1)->Arg(2)->Arg(5)->Arg(10)->Arg(20)->Arg(40)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mmdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Ablation — T Tree min/max-count slack (Section 3.2.1): "the minimum and
+// maximum counts will usually differ by just a small amount, on the order
+// of one or two items, which turns out to be enough to significantly reduce
+// the need for tree rotations".  This bench sweeps the slack and reports
+// both the mixed-workload time and the rotation count, plus the storage
+// cost that the slack trades away.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace mmdb {
+namespace bench {
+namespace {
+
+void BM_TTreeSlackQueryMix(benchmark::State& state) {
+  const int slack = static_cast<int>(state.range(0));
+  auto rel = UniqueKeyRelation(kIndexElements);
+  std::vector<TupleRef> tuples;
+  rel->ForEachTuple([&](TupleRef t) { tuples.push_back(t); });
+
+  IndexConfig config;
+  config.node_size = 16;
+  config.min_slack = slack;
+  auto ops = std::make_shared<FieldKeyOps>(&rel->schema(), 0);
+  TTree tree(std::move(ops), config);
+  for (TupleRef t : tuples) tree.Insert(t);
+
+  counters::Reset();
+  Rng rng(5);
+  for (auto _ : state) {
+    for (int i = 0; i < 30000; ++i) {
+      TupleRef t = tuples[rng.NextBounded(tuples.size())];
+      if (!tree.Erase(t)) tree.Insert(t);
+    }
+  }
+  const OpCounters ops_done = counters::Snapshot();
+  state.counters["rotations"] = static_cast<double>(ops_done.rotations) /
+                                static_cast<double>(state.iterations());
+  state.counters["nodes"] = static_cast<double>(tree.node_count());
+  state.counters["bytes_per_elem"] =
+      static_cast<double>(tree.StorageBytes()) /
+      static_cast<double>(tree.size());
+  state.SetLabel("slack=" + std::to_string(slack));
+}
+
+BENCHMARK(BM_TTreeSlackQueryMix)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mmdb
+
+BENCHMARK_MAIN();

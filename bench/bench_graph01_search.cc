@@ -1,0 +1,57 @@
+// Graph 1 — Index Search: time to search an index of 30,000 unique
+// elements once for every element, as a function of node size, for all
+// eight structures.  Expected shape (paper): Chained Bucket Hash fastest;
+// Modified Linear / Extendible / Linear Hash cheap at small node sizes and
+// degrading as chains/buckets grow; AVL < T Tree < Array < B Tree among the
+// order-preserving structures, each flat or gently rising in node size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace mmdb {
+namespace bench {
+namespace {
+
+void BM_Graph01_Search(benchmark::State& state) {
+  const IndexKind kind = AllIndexKinds()[state.range(0)];
+  const int node_size = static_cast<int>(state.range(1));
+  auto rel = UniqueKeyRelation(kIndexElements);
+  auto index = BuildIndex(*rel, kind, node_size);
+
+  counters::Reset();
+  for (auto _ : state) {
+    for (int32_t k = 0; k < static_cast<int32_t>(kIndexElements); ++k) {
+      benchmark::DoNotOptimize(index->Find(Value(k)));
+    }
+  }
+  const OpCounters ops = counters::Snapshot();
+  state.SetItemsProcessed(state.iterations() * kIndexElements);
+  state.counters["cmp_per_search"] =
+      static_cast<double>(ops.comparisons) /
+      (static_cast<double>(state.iterations()) * kIndexElements);
+  state.SetLabel(IndexKindName(kind));
+}
+
+void GraphArgs(benchmark::internal::Benchmark* b) {
+  for (size_t kind = 0; kind < AllIndexKinds().size(); ++kind) {
+    // Structures without a meaningful node-size axis get one point.
+    const IndexKind k = AllIndexKinds()[kind];
+    if (k == IndexKind::kArray || k == IndexKind::kAvlTree ||
+        k == IndexKind::kChainedBucketHash) {
+      b->Args({static_cast<long>(kind), 2});
+      continue;
+    }
+    for (long node_size : {2, 4, 6, 10, 20, 30, 50, 70, 100}) {
+      b->Args({static_cast<long>(kind), node_size});
+    }
+  }
+}
+
+BENCHMARK(BM_Graph01_Search)->Apply(GraphArgs)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mmdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Graph 2 — Query Mix: interleaved searches/inserts/deletes against an
+// index holding ~30,000 elements, for the paper's three mixes
+// (80/10/10, 60/20/20, 40/30/30), as a function of node size.
+// Expected shape (paper): T Tree beats AVL and B Tree; the array is orders
+// of magnitude worse (every update moves half the array); Linear Hashing is
+// much slower than the other hash structures because its utilization band
+// forces constant reorganization; Modified Linear / Chained Bucket /
+// Extendible are the fast group at small node sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/storage/tuple.h"
+
+namespace mmdb {
+namespace bench {
+namespace {
+
+constexpr int kOpsPerIteration = 30000;
+
+void RunMix(benchmark::State& state, int search_pct, int update_pct_each) {
+  const IndexKind kind = AllIndexKinds()[state.range(0)];
+  const int node_size = static_cast<int>(state.range(1));
+  // Double population: half resident, half spare, so deletes and inserts
+  // always have work to do while cardinality stays ~constant.
+  auto rel = UniqueKeyRelation(kIndexElements * 2);
+  std::vector<TupleRef> resident, spare;
+  rel->ForEachTuple([&](TupleRef t) {
+    (resident.size() < kIndexElements ? resident : spare).push_back(t);
+  });
+  IndexConfig config;
+  config.node_size = node_size;
+  config.expected = kIndexElements;
+  auto ops = std::make_shared<FieldKeyOps>(&rel->schema(), 0);
+  auto index = CreateIndex(kind, std::move(ops), config);
+  index->BeginBulk();
+  for (TupleRef t : resident) index->Insert(t);
+  index->EndBulk();
+
+  Rng rng(99);
+  const Schema& schema = rel->schema();
+  for (auto _ : state) {
+    for (int op = 0; op < kOpsPerIteration; ++op) {
+      const int dice = static_cast<int>(rng.NextBounded(100));
+      if (dice < search_pct) {
+        TupleRef probe = resident[rng.NextBounded(resident.size())];
+        benchmark::DoNotOptimize(
+            index->Find(tuple::GetValue(probe, schema, 0)));
+      } else if (dice < search_pct + update_pct_each) {
+        // Insert a spare element.
+        if (spare.empty()) continue;
+        const size_t i = rng.NextBounded(spare.size());
+        index->Insert(spare[i]);
+        resident.push_back(spare[i]);
+        spare[i] = spare.back();
+        spare.pop_back();
+      } else {
+        // Delete a resident element.
+        if (resident.empty()) continue;
+        const size_t i = rng.NextBounded(resident.size());
+        index->Erase(resident[i]);
+        spare.push_back(resident[i]);
+        resident[i] = resident.back();
+        resident.pop_back();
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerIteration);
+  state.SetLabel(IndexKindName(kind));
+}
+
+void BM_Graph02_Mix_80_10_10(benchmark::State& state) { RunMix(state, 80, 10); }
+void BM_Graph02_Mix_60_20_20(benchmark::State& state) { RunMix(state, 60, 20); }
+void BM_Graph02_Mix_40_30_30(benchmark::State& state) { RunMix(state, 40, 30); }
+
+void GraphArgs(benchmark::internal::Benchmark* b) {
+  for (size_t kind = 0; kind < AllIndexKinds().size(); ++kind) {
+    const IndexKind k = AllIndexKinds()[kind];
+    if (k == IndexKind::kArray) {
+      b->Args({static_cast<long>(kind), 2});  // 2 orders of magnitude slower
+      continue;
+    }
+    if (k == IndexKind::kAvlTree || k == IndexKind::kChainedBucketHash) {
+      b->Args({static_cast<long>(kind), 2});
+      continue;
+    }
+    for (long node_size : {2, 6, 10, 20, 30, 50, 70, 100}) {
+      b->Args({static_cast<long>(kind), node_size});
+    }
+  }
+}
+
+BENCHMARK(BM_Graph02_Mix_60_20_20)->Apply(GraphArgs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Graph02_Mix_80_10_10)->Apply(GraphArgs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Graph02_Mix_40_30_30)->Apply(GraphArgs)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mmdb
+
+BENCHMARK_MAIN();

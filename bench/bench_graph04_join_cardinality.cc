@@ -1,0 +1,29 @@
+// Graph 4 — Join Test 1 (Vary Cardinality): |R1| = |R2| swept up to 30,000,
+// keys (0% duplicates), 100% semijoin selectivity.
+// Expected shape (paper): Tree Merge best (indices pre-exist), Hash Join
+// second, Tree Join close behind, Sort Merge worst (pays build + sort).
+
+#include "bench/join_bench_common.h"
+
+namespace mmdb {
+namespace bench {
+namespace {
+
+void BM_Graph04_VaryCardinality(benchmark::State& state) {
+  JoinBenchBody(state, [](long n) {
+    return MakeJoinPair(n, n, /*dup_pct=*/0, /*stddev=*/0.8,
+                        /*semijoin_pct=*/100);
+  });
+}
+
+BENCHMARK(BM_Graph04_VaryCardinality)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      JoinSweepArgs(b, {3750, 7500, 15000, 22500, 30000});
+    })
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mmdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Graph 5 — Join Test 2 (Vary Inner Cardinality): |R2| swept 1-100% of
+// |R1| = 30,000, keys, 100% semijoin selectivity.  The sweep parameter is
+// the percentage.
+// Expected shape (paper): as Graph 4 — Tree Merge best, then Hash Join.
+//
+// Note on workload construction: the semijoin constraint says every R2
+// value participates, so R2's values are drawn from R1's; we generate R1
+// first and sample R2 from it.
+
+#include "bench/join_bench_common.h"
+
+namespace mmdb {
+namespace bench {
+namespace {
+
+constexpr size_t kOuterN = 30000;
+
+void BM_Graph05_VaryInner(benchmark::State& state) {
+  JoinBenchBody(state, [](long pct) {
+    const size_t inner_n = kOuterN * static_cast<size_t>(pct) / 100;
+    // R2 (inner) drawn from R1's values: build inner as the matching side.
+    WorkloadGen gen(7);
+    ColumnData outer_col = gen.Generate({kOuterN, 0, 0.8});
+    ColumnData inner_col =
+        gen.GenerateMatching({inner_n, 0, 0.8}, outer_col.uniques, 100);
+    JoinPair pair;
+    pair.outer = WorkloadGen::BuildRelation("outer", outer_col);
+    pair.inner = WorkloadGen::BuildRelation("inner", inner_col);
+    pair.outer_tree = BuildIndex(*pair.outer, IndexKind::kTTree, 16);
+    pair.inner_tree = BuildIndex(*pair.inner, IndexKind::kTTree, 16);
+    return pair;
+  });
+}
+
+BENCHMARK(BM_Graph05_VaryInner)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      JoinSweepArgs(b, {1, 10, 25, 50, 75, 100});
+    })
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mmdb
+
+BENCHMARK_MAIN();

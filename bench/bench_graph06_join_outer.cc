@@ -1,0 +1,34 @@
+// Graph 6 — Join Test 3 (Vary Outer Cardinality): |R1| swept 1-100% of
+// |R2| = 30,000, keys, 100% semijoin selectivity.
+// Expected shape (paper): the *Tree Join* wins for small |R1| — probing an
+// existing index beats building a hash table until |R1| reaches ~60% of
+// |R2|, where Hash Join takes over.  Tree Merge close throughout; Sort
+// Merge worst.
+
+#include "bench/join_bench_common.h"
+
+namespace mmdb {
+namespace bench {
+namespace {
+
+constexpr size_t kInnerN = 30000;
+
+void BM_Graph06_VaryOuter(benchmark::State& state) {
+  JoinBenchBody(state, [](long pct) {
+    const size_t outer_n = kInnerN * static_cast<size_t>(pct) / 100;
+    return MakeJoinPair(outer_n, kInnerN, /*dup_pct=*/0, /*stddev=*/0.8,
+                        /*semijoin_pct=*/100);
+  });
+}
+
+BENCHMARK(BM_Graph06_VaryOuter)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      JoinSweepArgs(b, {1, 10, 25, 40, 60, 80, 100});
+    })
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mmdb
+
+BENCHMARK_MAIN();

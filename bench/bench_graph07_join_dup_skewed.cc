@@ -1,0 +1,33 @@
+// Graph 7 — Join Test 4 (Vary Duplicate Percentage, skewed): |R1| = |R2| =
+// 20,000, semijoin selectivity 100%, duplicate percentage swept 0-100% with
+// the skewed (sigma = 0.1) distribution.
+// Expected shape (paper): output size explodes with duplicates; Sort Merge
+// scans the contiguous arrays fastest, overtaking the index joins around
+// 40% duplicates and even Tree Merge by ~80%.  (Log-scale in the paper.)
+
+#include "bench/join_bench_common.h"
+
+namespace mmdb {
+namespace bench {
+namespace {
+
+constexpr size_t kN = 20000;
+
+void BM_Graph07_VaryDupSkewed(benchmark::State& state) {
+  JoinBenchBody(state, [](long dup_pct) {
+    return MakeJoinPair(kN, kN, static_cast<double>(dup_pct), /*stddev=*/0.1,
+                        /*semijoin_pct=*/100);
+  });
+}
+
+BENCHMARK(BM_Graph07_VaryDupSkewed)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      JoinSweepArgs(b, {0, 25, 50, 75, 90, 95});
+    })
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mmdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// Graph 8 — Join Test 5 (Vary Duplicate Percentage, uniform): |R1| = |R2| =
+// 20,000, semijoin selectivity 100%, duplicate percentage swept 0-100% with
+// the near-uniform (sigma = 0.8) distribution.
+// Expected shape (paper): with uniform duplicates the output stays modest
+// until very high percentages, so Tree Merge stays best until ~97%
+// duplicates, where Sort Merge overtakes.
+
+#include "bench/join_bench_common.h"
+
+namespace mmdb {
+namespace bench {
+namespace {
+
+constexpr size_t kN = 20000;
+
+void BM_Graph08_VaryDupUniform(benchmark::State& state) {
+  JoinBenchBody(state, [](long dup_pct) {
+    return MakeJoinPair(kN, kN, static_cast<double>(dup_pct), /*stddev=*/0.8,
+                        /*semijoin_pct=*/100);
+  });
+}
+
+BENCHMARK(BM_Graph08_VaryDupUniform)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      JoinSweepArgs(b, {0, 25, 50, 75, 90, 97, 99});
+    })
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mmdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Graph 9 — Join Test 6 (Vary Semijoin Selectivity): |R1| = |R2| = 30,000,
+// 50% duplicates with a uniform distribution (~2 occurrences per value),
+// matching-value percentage swept 1-100%.
+// Expected shape (paper): Tree Join is hurt most by rising selectivity
+// (unsuccessful probes bypass the scan phase; successful ones pay for it);
+// Hash Join rises more gently; Sort Merge barely moves (sorting dominates);
+// Tree Merge rises with the growing output.
+
+#include "bench/join_bench_common.h"
+
+namespace mmdb {
+namespace bench {
+namespace {
+
+constexpr size_t kN = 30000;
+
+void BM_Graph09_VarySemijoin(benchmark::State& state) {
+  JoinBenchBody(state, [](long pct) {
+    return MakeJoinPair(kN, kN, /*dup_pct=*/50, /*stddev=*/0.8,
+                        static_cast<double>(pct));
+  });
+}
+
+BENCHMARK(BM_Graph09_VarySemijoin)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      JoinSweepArgs(b, {1, 25, 50, 75, 100});
+    })
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mmdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Graph 10 — Nested Loops Join: |R1| = |R2| swept 1,000-20,000, keys, 100%
+// semijoin selectivity.  Kept off Graphs 4-9 because it is "usually several
+// orders of magnitude worse than the other join methods"; this bench prints
+// it side by side with Hash Join so the gap is visible.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace mmdb {
+namespace bench {
+namespace {
+
+JoinPair& PairFor(long n) {
+  static std::map<long, JoinPair>* cache = new std::map<long, JoinPair>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    it = cache->emplace(n, MakeJoinPair(n, n, 0, 0.8, 100, /*seed=*/7,
+                                        /*with_trees=*/false))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_Graph10_NestedLoops(benchmark::State& state) {
+  const JoinPair& pair = PairFor(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NestedLoopsJoin(SpecOf(pair)).size());
+  }
+  state.SetLabel("NestedLoops");
+}
+
+void BM_Graph10_HashJoinReference(benchmark::State& state) {
+  const JoinPair& pair = PairFor(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashJoin(SpecOf(pair)).size());
+  }
+  state.SetLabel("HashJoin (reference)");
+}
+
+BENCHMARK(BM_Graph10_NestedLoops)
+    ->Arg(1000)
+    ->Arg(2500)
+    ->Arg(5000)
+    ->Arg(10000)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Graph10_HashJoinReference)
+    ->Arg(1000)
+    ->Arg(2500)
+    ->Arg(5000)
+    ->Arg(10000)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mmdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Graph 11 — Project Test 1 (Vary |R|): duplicate elimination over a
+// relation of up to 30,000 single-column rows with no duplicates (output
+// size = input size), Sort Scan vs Hashing.
+// Expected shape (paper): Hash is linear (table sized |R|/2); Sort Scan is
+// O(|R| log |R|) and falls behind as |R| grows — "the Hashing method is the
+// clear winner".
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace mmdb {
+namespace bench {
+namespace {
+
+struct Workload {
+  std::unique_ptr<Relation> rel;
+  TempList input;
+};
+
+Workload& For(long n) {
+  static std::map<long, Workload>* cache = new std::map<long, Workload>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    Workload w{UniqueKeyRelation(static_cast<size_t>(n)),
+               TempList(ResultDescriptor())};
+    w.input = ProjectInput(*w.rel);
+    it = cache->emplace(n, std::move(w)).first;
+  }
+  return it->second;
+}
+
+void BM_Graph11_SortScan(benchmark::State& state) {
+  const Workload& w = For(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ProjectSortScan(w.input).size());
+  }
+  state.SetLabel("SortScan");
+}
+
+void BM_Graph11_Hash(benchmark::State& state) {
+  const Workload& w = For(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ProjectHash(w.input).size());
+  }
+  state.SetLabel("Hash");
+}
+
+BENCHMARK(BM_Graph11_SortScan)
+    ->Arg(3750)->Arg(7500)->Arg(15000)->Arg(22500)->Arg(30000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Graph11_Hash)
+    ->Arg(3750)->Arg(7500)->Arg(15000)->Arg(22500)->Arg(30000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mmdb
+
+BENCHMARK_MAIN();

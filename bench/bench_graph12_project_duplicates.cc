@@ -1,0 +1,65 @@
+// Graph 12 — Project Test 2 (Vary Duplicate Percentage): duplicate
+// elimination over 30,000 rows as the duplicate percentage rises.
+// Expected shape (paper): Hash gets *faster* with more duplicates (the
+// table holds fewer survivors, chains shorten); Sort Scan still sorts the
+// whole input, gaining only the insertion-sort benefit on equal runs.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace mmdb {
+namespace bench {
+namespace {
+
+constexpr size_t kN = 30000;
+
+struct Workload {
+  std::unique_ptr<Relation> rel;
+  TempList input;
+};
+
+Workload& For(long dup_pct) {
+  static std::map<long, Workload>* cache = new std::map<long, Workload>();
+  auto it = cache->find(dup_pct);
+  if (it == cache->end()) {
+    WorkloadGen gen(33);
+    ColumnData col = gen.Generate({kN, static_cast<double>(dup_pct), 0.8});
+    Workload w{WorkloadGen::BuildRelation("r", col),
+               TempList(ResultDescriptor())};
+    w.input = ProjectInput(*w.rel);
+    it = cache->emplace(dup_pct, std::move(w)).first;
+  }
+  return it->second;
+}
+
+void BM_Graph12_SortScan(benchmark::State& state) {
+  const Workload& w = For(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ProjectSortScan(w.input).size());
+  }
+  state.SetLabel("SortScan");
+}
+
+void BM_Graph12_Hash(benchmark::State& state) {
+  const Workload& w = For(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ProjectHash(w.input).size());
+  }
+  state.SetLabel("Hash");
+}
+
+BENCHMARK(BM_Graph12_SortScan)
+    ->Arg(0)->Arg(25)->Arg(50)->Arg(75)->Arg(99)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Graph12_Hash)
+    ->Arg(0)->Arg(25)->Arg(50)->Arg(75)->Arg(99)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mmdb
+
+BENCHMARK_MAIN();

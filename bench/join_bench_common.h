@@ -1,0 +1,85 @@
+// Shared machinery for the six join benchmarks (Graphs 4-10).
+//
+// Each benchmark sweeps one workload axis (Section 3.3.3) for the four main
+// methods.  Cost accounting follows the paper exactly: Hash Join re-builds
+// its hash table inside the timed region; Sort Merge re-builds and re-sorts
+// its arrays; Tree Join and Tree Merge use pre-existing T Tree indices
+// built outside the timed region.
+
+#ifndef MMDB_BENCH_JOIN_BENCH_COMMON_H_
+#define MMDB_BENCH_JOIN_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace mmdb {
+namespace bench {
+
+enum class JoinBenchMethod : long {
+  kHashJoin = 0,
+  kTreeJoin = 1,
+  kSortMerge = 2,
+  kTreeMerge = 3,
+};
+
+inline const char* JoinBenchMethodName(JoinBenchMethod m) {
+  switch (m) {
+    case JoinBenchMethod::kHashJoin: return "HashJoin";
+    case JoinBenchMethod::kTreeJoin: return "TreeJoin";
+    case JoinBenchMethod::kSortMerge: return "SortMerge";
+    case JoinBenchMethod::kTreeMerge: return "TreeMerge";
+  }
+  return "?";
+}
+
+/// Runs the selected method once; returns the result cardinality.
+inline size_t RunJoinOnce(const JoinPair& pair, JoinBenchMethod method) {
+  const JoinSpec spec = SpecOf(pair);
+  switch (method) {
+    case JoinBenchMethod::kHashJoin:
+      return HashJoin(spec).size();
+    case JoinBenchMethod::kTreeJoin:
+      return TreeJoin(spec, InnerTree(pair)).size();
+    case JoinBenchMethod::kSortMerge:
+      return SortMergeJoin(spec).size();
+    case JoinBenchMethod::kTreeMerge:
+      return TreeMergeJoin(spec, OuterTree(pair), InnerTree(pair)).size();
+  }
+  return 0;
+}
+
+/// Benchmark body: `make_pair(param)` builds (and caches) the workload for a
+/// sweep point; the timed region runs the join.
+template <typename MakePair>
+void JoinBenchBody(benchmark::State& state, const MakePair& make_pair) {
+  static std::map<long, JoinPair>* cache = new std::map<long, JoinPair>();
+  const auto method = static_cast<JoinBenchMethod>(state.range(0));
+  const long param = state.range(1);
+  auto it = cache->find(param);
+  if (it == cache->end()) it = cache->emplace(param, make_pair(param)).first;
+  const JoinPair& pair = it->second;
+
+  size_t result_rows = 0;
+  for (auto _ : state) {
+    result_rows = RunJoinOnce(pair, method);
+    benchmark::DoNotOptimize(result_rows);
+  }
+  state.counters["result_rows"] = static_cast<double>(result_rows);
+  state.SetLabel(JoinBenchMethodName(method));
+}
+
+/// All four methods crossed with the given sweep values.
+inline void JoinSweepArgs(benchmark::internal::Benchmark* b,
+                          const std::vector<long>& params) {
+  for (long m = 0; m < 4; ++m) {
+    for (long p : params) b->Args({m, p});
+  }
+}
+
+}  // namespace bench
+}  // namespace mmdb
+
+#endif  // MMDB_BENCH_JOIN_BENCH_COMMON_H_

@@ -1,0 +1,51 @@
+// An interactive shell over the MM-DBMS.  Reads statements from stdin (or a
+// script passed with -c), one per ';'.
+//
+//   $ ./mmdb_shell
+//   mmdb> CREATE TABLE dept (name STRING, id INT);
+//   mmdb> CREATE INDEX ON dept (id) USING TTREE;
+//   mmdb> INSERT INTO dept VALUES ('Toy', 459);
+//   mmdb> SELECT dept.name FROM dept WHERE id = 459;
+//
+//   $ ./mmdb_shell -c "CREATE TABLE t (x INT); INSERT INTO t VALUES (1);
+//                      SELECT * FROM t;"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/core/database.h"
+#include "src/core/shell.h"
+
+int main(int argc, char** argv) {
+  mmdb::Database db;
+  mmdb::CommandShell shell(&db);
+
+  if (argc == 3 && std::string(argv[1]) == "-c") {
+    std::fputs(shell.ExecuteScript(argv[2]).c_str(), stdout);
+    return 0;
+  }
+  if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [-c 'script']\n", argv[0]);
+    return 2;
+  }
+
+  std::printf("mmdb shell — statements end with ';' (Ctrl-D to exit)\n");
+  std::string buffer, line;
+  std::printf("mmdb> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    buffer += line;
+    buffer += '\n';
+    if (line.find(';') != std::string::npos) {
+      std::fputs(shell.ExecuteScript(buffer).c_str(), stdout);
+      buffer.clear();
+      std::printf("mmdb> ");
+    } else {
+      std::printf("  ... ");
+    }
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return 0;
+}

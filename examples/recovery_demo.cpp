@@ -1,0 +1,80 @@
+// Figure 2 walkthrough: the stable log buffer, the active log device with
+// its change-accumulation log, the disk copy of the database, and
+// working-set-first crash recovery (Section 2.4).
+//
+//   $ ./recovery_demo
+
+#include <cstdio>
+
+#include "src/core/database.h"
+#include "src/core/query.h"
+
+using namespace mmdb;
+
+int main() {
+  Database db;
+  db.CreateTable("accounts", {{"id", Type::kInt32}, {"balance", Type::kInt32}});
+  db.CreateTable("audit", {{"seq", Type::kInt32}, {"note", Type::kString}});
+
+  for (int i = 0; i < 8; ++i) {
+    db.Insert("accounts", {Value(i), Value(1000)});
+  }
+  std::printf("loaded %zu accounts; checkpointing the disk copy...\n",
+              db.GetTable("accounts")->cardinality());
+  db.Checkpoint();
+
+  // A committed transfer: log records written to the stable log buffer
+  // *before* the update touches memory; commit makes them drainable.
+  auto txn = db.Begin();
+  Relation* accounts = db.GetTable("accounts");
+  TupleRef from = accounts->primary_index()->Find(Value(3));
+  TupleRef to = accounts->primary_index()->Find(Value(5));
+  txn->Update("accounts", from, 1, Value(400));
+  txn->Update("accounts", to, 1, Value(1600));
+  txn->Insert("audit", {Value(1), Value("transfer 600: 3 -> 5")});
+  txn->Commit();
+  std::printf("committed transfer; stable log buffer holds %zu records\n",
+              db.log_buffer().committed_size());
+
+  // An aborted transaction leaves no trace — "the log entry is removed and
+  // no undo is needed".
+  auto oops = db.Begin();
+  oops->Insert("audit", {Value(2), Value("fat-finger, never happened")});
+  oops->Abort();
+
+  // The log device drains committed records into its change-accumulation
+  // log.  We *deliberately* stop before propagation, so the disk copy is
+  // stale and recovery has to merge.
+  const size_t pumped = db.log_device().Pump();
+  std::printf("log device accumulated %zu records (disk copy still stale)\n",
+              pumped);
+
+  // CRASH.  Memory is gone; the disk copy + accumulation log survive.
+  std::printf("\n*** crash ***\n\n");
+  RecoveryManager::Progress progress;
+  Status s = db.SimulateCrashAndRecover({"accounts"}, &progress);
+  if (!s.ok()) {
+    std::printf("recovery failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "recovered: %zu partitions, %zu tuples, %zu log records merged on the "
+      "fly\n",
+      progress.partitions_loaded, progress.tuples_loaded,
+      progress.log_records_merged);
+
+  QueryResult r = db.Query("accounts")
+                      .Select({"accounts.id", "accounts.balance"})
+                      .Run();
+  std::printf("\naccounts after recovery:\n");
+  for (size_t row = 0; row < r.rows.size(); ++row) {
+    std::printf("  %s\n", r.rows.RowToString(row).c_str());
+  }
+  QueryResult audit = db.Query("audit").Select({"audit.note"}).Run();
+  std::printf("audit rows: %zu (the aborted one is gone)\n",
+              audit.rows.size());
+  for (size_t row = 0; row < audit.rows.size(); ++row) {
+    std::printf("  %s\n", audit.rows.RowToString(row).c_str());
+  }
+  return 0;
+}

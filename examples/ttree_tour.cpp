@@ -1,0 +1,87 @@
+// A tour of the T Tree (Figures 3 and 4): node occupancy, GLB transfers,
+// rotations, and how the min/max-count slack trades storage for update
+// speed — with the operation counters the paper used for validation.
+//
+//   $ ./ttree_tour
+
+#include <cstdio>
+
+#include "src/index/key_ops.h"
+#include "src/index/ttree.h"
+#include "src/storage/relation.h"
+#include "src/util/counters.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+using namespace mmdb;
+
+namespace {
+
+std::unique_ptr<Relation> MakeRelation(size_t n) {
+  Schema schema({{"key", Type::kInt32}});
+  auto rel = std::make_unique<Relation>("tour", schema);
+  std::vector<int32_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = static_cast<int32_t>(i);
+  Rng rng(1);
+  rng.Shuffle(&keys);
+  for (int32_t k : keys) rel->Insert({Value(k)});
+  return rel;
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kN = 30000;
+  auto rel = MakeRelation(kN);
+  std::vector<TupleRef> tuples;
+  rel->ForEachTuple([&](TupleRef t) { tuples.push_back(t); });
+
+  std::printf("T Tree with %zu elements, per node size:\n", kN);
+  std::printf("%-10s %-8s %-8s %-10s %-12s %-12s\n", "node_size", "nodes",
+              "height", "bytes/elem", "cmp/search", "rotations");
+  for (int node_size : {2, 8, 16, 32, 64}) {
+    IndexConfig config;
+    config.node_size = node_size;
+    auto ops = std::make_shared<FieldKeyOps>(&rel->schema(), 0);
+    TTree tree(std::move(ops), config);
+    counters::Reset();
+    for (TupleRef t : tuples) tree.Insert(t);
+    const uint64_t build_rotations = counters::Snapshot().rotations;
+
+    counters::Reset();
+    for (int32_t k = 0; k < static_cast<int32_t>(kN); k += 7) {
+      tree.Find(Value(k));
+    }
+    const double cmp_per_search =
+        static_cast<double>(counters::Snapshot().comparisons) / (kN / 7.0);
+
+    std::printf("%-10d %-8zu %-8d %-10.2f %-12.1f %-12llu\n", node_size,
+                tree.node_count(), tree.Height(),
+                static_cast<double>(tree.StorageBytes()) / kN, cmp_per_search,
+                static_cast<unsigned long long>(build_rotations));
+  }
+
+  std::printf("\nmin/max-count slack vs rotations (mixed workload, node 16):\n");
+  std::printf("%-8s %-12s %-12s\n", "slack", "rotations", "bytes/elem");
+  for (int slack : {0, 1, 2, 4}) {
+    IndexConfig config;
+    config.node_size = 16;
+    config.min_slack = slack;
+    auto ops = std::make_shared<FieldKeyOps>(&rel->schema(), 0);
+    TTree tree(std::move(ops), config);
+    for (TupleRef t : tuples) tree.Insert(t);
+    counters::Reset();
+    Rng rng(5);
+    for (int i = 0; i < 60000; ++i) {
+      TupleRef t = tuples[rng.NextBounded(tuples.size())];
+      if (!tree.Erase(t)) tree.Insert(t);
+    }
+    std::printf("%-8d %-12llu %-12.2f\n", slack,
+                static_cast<unsigned long long>(counters::Snapshot().rotations),
+                static_cast<double>(tree.StorageBytes()) / tree.size());
+  }
+  std::printf(
+      "\n(the paper: one or two items of slack 'significantly reduce the "
+      "need for tree rotations')\n");
+  return 0;
+}

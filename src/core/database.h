@@ -1,0 +1,147 @@
+// Database: the top-level MM-DBMS facade — catalog + indices + transactions
+// + recovery components (Figure 2) behind one object.  This is the public
+// API a downstream application uses; the lower layers remain available for
+// surgical use (benchmarks drive them directly).
+
+#ifndef MMDB_CORE_DATABASE_H_
+#define MMDB_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/planner.h"
+#include "src/exec/project.h"
+#include "src/index/index.h"
+#include "src/storage/catalog.h"
+#include "src/txn/disk_image.h"
+#include "src/txn/lock_manager.h"
+#include "src/txn/log.h"
+#include "src/txn/log_device.h"
+#include "src/txn/recovery.h"
+#include "src/txn/transaction.h"
+
+namespace mmdb {
+
+class QueryBuilder;
+
+class Database {
+ public:
+  Database();
+  ~Database();
+
+  // ---- DDL ------------------------------------------------------------------
+
+  /// Creates a table.  Every relation must be reachable through an index
+  /// (Section 2.1), so a T Tree primary index on the first field is created
+  /// automatically; add further indices with CreateIndex.
+  Relation* CreateTable(const std::string& name, std::vector<Field> fields,
+                        Relation::Options options = {});
+
+  /// Creates an index on one field.  Returns nullptr if the table or field
+  /// does not exist or the name collides.
+  TupleIndex* CreateIndex(const std::string& table, const std::string& field,
+                          IndexKind kind, IndexConfig config = {});
+
+  /// Multi-attribute ordered index (Section 2.2: tuple pointers make these
+  /// need "less in the way of special mechanisms").
+  TupleIndex* CreateCompositeIndex(const std::string& table,
+                                   const std::vector<std::string>& fields,
+                                   IndexKind kind, IndexConfig config = {});
+
+  /// Declares `field` (a kPointer field) as a foreign key to
+  /// target(target_field): inserts then store a direct tuple pointer.
+  Status DeclareForeignKey(const std::string& table, const std::string& field,
+                           const std::string& target,
+                           const std::string& target_field);
+
+  Status DropTable(const std::string& name);
+
+  // ---- DML (auto-commit fast path) -------------------------------------------
+
+  /// Non-transactional insert (no logging/locking) for loads and examples.
+  TupleRef Insert(const std::string& table, std::vector<Value> values);
+  Status Delete(const std::string& table, TupleRef t);
+  Status Update(const std::string& table, TupleRef t,
+                const std::string& field, Value v);
+
+  // ---- Query ------------------------------------------------------------------
+
+  /// Fluent query entry point; see QueryBuilder.
+  QueryBuilder Query(const std::string& table);
+
+  Relation* GetTable(const std::string& name) const { return catalog_.Get(name); }
+
+  // ---- Transactions (Section 2.4) --------------------------------------------
+
+  std::unique_ptr<Transaction> Begin() { return txn_manager_->Begin(); }
+
+  // ---- Durability (Figure 2) --------------------------------------------------
+
+  /// Checkpoints every relation into the disk image.
+  void Checkpoint();
+
+  /// One log-device cycle: drain committed records, propagate to disk copy.
+  size_t RunLogDevice() { return log_device_->RunCycle(); }
+
+  /// Simulates a crash: discards all in-memory relations, then rebuilds
+  /// them (schemas and indices replayed from recorded DDL, data recovered
+  /// from the disk copy merged with unpropagated log records — working-set
+  /// partitions of `working_set_tables` first).  Returns the recovery
+  /// progress counters.
+  Status SimulateCrashAndRecover(
+      const std::vector<std::string>& working_set_tables = {},
+      RecoveryManager::Progress* progress = nullptr);
+
+  /// Cross-process durability: checkpoints every relation, then writes the
+  /// schema journal to `path` and the disk image to `path + ".img"`.
+  Status SaveSnapshot(const std::string& path);
+
+  /// Restores a snapshot into this (empty) database: replays the schema
+  /// journal, loads the disk image, and recovers every relation.
+  Status LoadSnapshot(const std::string& path);
+
+  Catalog& catalog() { return catalog_; }
+  StableLogBuffer& log_buffer() { return log_buffer_; }
+  LogDevice& log_device() { return *log_device_; }
+  DiskImage& disk_image() { return disk_image_; }
+  LockManager& lock_manager() { return lock_manager_; }
+
+ private:
+  struct DdlTable {
+    std::string name;
+    std::vector<Field> fields;
+    Relation::Options options;
+  };
+  struct DdlIndex {
+    std::string table;
+    std::vector<std::string> fields;
+    IndexKind kind;
+    IndexConfig config;
+    std::string name;
+  };
+  struct DdlForeignKey {
+    std::string table, field, target, target_field;
+  };
+
+  TupleIndex* AttachNewIndex(Relation* rel,
+                             const std::vector<std::string>& fields,
+                             IndexKind kind, IndexConfig config,
+                             bool record_ddl);
+
+  Catalog catalog_;
+  StableLogBuffer log_buffer_;
+  DiskImage disk_image_;
+  LockManager lock_manager_;
+  std::unique_ptr<LogDevice> log_device_;
+  std::unique_ptr<TransactionManager> txn_manager_;
+
+  // DDL journal for crash simulation (schema durability stand-in).
+  std::vector<DdlTable> ddl_tables_;
+  std::vector<DdlIndex> ddl_indexes_;
+  std::vector<DdlForeignKey> ddl_fks_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_DATABASE_H_

@@ -1,0 +1,178 @@
+#include "src/core/planner.h"
+
+namespace mmdb {
+namespace {
+
+/// First existing ordered index of a relation keyed on `field`.
+const OrderedIndex* OrderedIndexOn(const Relation& rel, size_t field) {
+  TupleIndex* index = rel.FindIndexOn(field, /*ordered_only=*/true);
+  return index == nullptr ? nullptr
+                          : static_cast<const OrderedIndex*>(index);
+}
+
+/// First existing hash index of a relation keyed on `field`.
+const HashIndex* HashIndexOn(const Relation& rel, size_t field) {
+  for (const auto& index : rel.indexes()) {
+    if (!IndexKindOrdered(index->kind()) &&
+        index->key_fields().size() == 1 &&
+        index->key_fields()[0] == field) {
+      return static_cast<const HashIndex*>(index.get());
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const char* JoinMethodName(JoinMethod method) {
+  switch (method) {
+    case JoinMethod::kPrecomputed: return "precomputed (pointer) join";
+    case JoinMethod::kTreeMerge: return "tree merge join";
+    case JoinMethod::kTreeJoin: return "tree (index) join";
+    case JoinMethod::kHashProbe: return "hash join (existing index)";
+    case JoinMethod::kHashJoin: return "hash join (build + probe)";
+    case JoinMethod::kSortMerge: return "sort merge join";
+    case JoinMethod::kNestedLoops: return "nested loops join";
+  }
+  return "?";
+}
+
+JoinPlan Planner::PlanJoin(const JoinSpec& spec, const JoinStats& stats) {
+  JoinPlan plan;
+
+  // Rule 0: a precomputed join "would beat each of the join methods in
+  // every case, because the joining tuples have already been paired"
+  // (Section 3.3.5).  Applies when the outer join field is a materialized
+  // foreign key into the inner relation.
+  if (spec.outer->schema().field(spec.outer_field).type == Type::kPointer) {
+    const ForeignKeyDecl* fk = spec.outer->ForeignKeyOn(spec.outer_field);
+    if (fk != nullptr && fk->target == spec.inner) {
+      plan.method = JoinMethod::kPrecomputed;
+      plan.fk_field = spec.outer_field;
+      plan.rationale = "foreign key pointers already pair the tuples";
+      return plan;
+    }
+  }
+
+  const OrderedIndex* outer_tree = OrderedIndexOn(*spec.outer, spec.outer_field);
+  const OrderedIndex* inner_tree = OrderedIndexOn(*spec.inner, spec.inner_field);
+  const HashIndex* inner_hash = HashIndexOn(*spec.inner, spec.inner_field);
+  const double outer_n = static_cast<double>(spec.outer->cardinality());
+  const double inner_n = static_cast<double>(spec.inner->cardinality());
+
+  // Exception 2 (Section 3.3.5): very high duplicate percentage with high
+  // semijoin selectivity favors Sort Merge — the array scan efficiency
+  // dominates once the join output explodes.  Crossovers from Graphs 7/8:
+  // ~80% duplicates skewed (~40% against built indices), ~97% uniform.
+  const double sort_merge_threshold = stats.skewed ? 80.0 : 97.0;
+  if (stats.semijoin_selectivity >= 50.0 &&
+      stats.duplicate_pct >= sort_merge_threshold) {
+    plan.method = JoinMethod::kSortMerge;
+    plan.rationale = "high duplicates + high semijoin selectivity "
+                     "(Graphs 7/8 crossover)";
+    return plan;
+  }
+
+  // Main rule: Tree Merge whenever both ordered indices already exist.
+  if (outer_tree != nullptr && inner_tree != nullptr) {
+    plan.method = JoinMethod::kTreeMerge;
+    plan.outer_index = outer_tree;
+    plan.inner_index = inner_tree;
+    plan.rationale = "both join columns have existing ordered indices";
+    return plan;
+  }
+
+  // Exception 1 (Section 3.3.5): an existing index on the larger (inner)
+  // relation beats building a hash table when the outer relation is less
+  // than ~60% of the inner's size (Graph 6 crossover).
+  if (outer_n < 0.6 * inner_n) {
+    if (inner_hash != nullptr) {
+      plan.method = JoinMethod::kHashProbe;
+      plan.inner_hash = inner_hash;
+      plan.rationale = "small outer + existing hash index on inner";
+      return plan;
+    }
+    if (inner_tree != nullptr) {
+      plan.method = JoinMethod::kTreeJoin;
+      plan.inner_index = inner_tree;
+      plan.rationale = "small outer + existing tree index on inner "
+                       "(Graph 6 crossover at ~60%)";
+      return plan;
+    }
+  }
+
+  // An existing hash index always beats building one.
+  if (inner_hash != nullptr) {
+    plan.method = JoinMethod::kHashProbe;
+    plan.inner_hash = inner_hash;
+    plan.rationale = "existing hash index on the inner join column";
+    return plan;
+  }
+
+  // Default: build a chained-bucket hash on the inner and probe.
+  plan.method = JoinMethod::kHashJoin;
+  plan.rationale = "no usable existing index; hash build + probe is the "
+                   "best general method (Graphs 4/5)";
+  return plan;
+}
+
+TempList Planner::ExecuteJoin(const JoinSpec& spec, const JoinPlan& plan) {
+  switch (plan.method) {
+    case JoinMethod::kPrecomputed:
+      return PrecomputedJoin(*spec.outer, plan.fk_field);
+    case JoinMethod::kTreeMerge:
+      return TreeMergeJoin(spec, *plan.outer_index, *plan.inner_index);
+    case JoinMethod::kTreeJoin:
+      return TreeJoin(spec, *plan.inner_index);
+    case JoinMethod::kHashProbe:
+      return HashProbeJoin(spec, *plan.inner_hash);
+    case JoinMethod::kHashJoin:
+      return HashJoin(spec);
+    case JoinMethod::kSortMerge:
+      return SortMergeJoin(spec);
+    case JoinMethod::kNestedLoops:
+      return NestedLoopsJoin(spec);
+  }
+  return TempList(ResultDescriptor({spec.outer, spec.inner}));
+}
+
+TempList Planner::Join(const JoinSpec& spec, const JoinStats& stats,
+                       JoinPlan* plan_out) {
+  JoinPlan plan = PlanJoin(spec, stats);
+  if (plan_out != nullptr) *plan_out = plan;
+  return ExecuteJoin(spec, plan);
+}
+
+TempList Planner::InequalityJoin(const JoinSpec& spec, CompareOp op,
+                                 bool* used_existing_index) {
+  const OrderedIndex* index = OrderedIndexOn(*spec.inner, spec.inner_field);
+  if (index != nullptr) {
+    if (used_existing_index != nullptr) *used_existing_index = true;
+    return TreeInequalityJoin(spec, op, *index);
+  }
+  if (used_existing_index != nullptr) *used_existing_index = false;
+  std::unique_ptr<ArrayIndex> array =
+      BuildSortedArray(*spec.inner, spec.inner_field);
+  return TreeInequalityJoin(spec, op, *array);
+}
+
+AccessPath Planner::PlanSelect(const Relation& rel, const Predicate& pred) {
+  for (const auto& index : rel.indexes()) {
+    if (!IndexKindOrdered(index->kind()) && index->key_fields().size() == 1 &&
+        pred.EqualityOn(index->key_fields()[0])) {
+      return AccessPath::kHashLookup;
+    }
+  }
+  for (const auto& index : rel.indexes()) {
+    if (IndexKindOrdered(index->kind()) && index->key_fields().size() == 1) {
+      if (auto sarg = pred.SargableOn(index->key_fields()[0])) {
+        return pred.conditions()[*sarg].op == CompareOp::kEq
+                   ? AccessPath::kTreeLookup
+                   : AccessPath::kTreeRange;
+      }
+    }
+  }
+  return AccessPath::kSequentialScan;
+}
+
+}  // namespace mmdb

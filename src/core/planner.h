@@ -1,0 +1,85 @@
+// The Section 4 query "optimizer".  The paper's punchline is that main
+// memory makes optimization *simple*: clustering and width-reduction
+// vanish, and the remaining choices have a near-total preference order —
+//
+//   selection: hash lookup (exact match only) > tree lookup > sequential
+//              scan through an unrelated index;
+//   join:      precomputed (pointer) join > Tree Merge when both T Tree
+//              indices already exist > Hash Join, with two exceptions from
+//              Section 3.3.5:
+//                (1) an existing index on the larger relation + the smaller
+//                    relation under ~60% of its size -> index (Tree) Join;
+//                (2) high duplicate percentage + high semijoin selectivity
+//                    -> Sort Merge (crossover ~40-80% skewed, ~97% uniform);
+//   projection: hashing, always.
+//
+// The planner encodes exactly those rules; JoinStats carries the workload
+// knowledge (duplicate percentage, skew, semijoin selectivity) the paper's
+// crossovers key off.
+
+#ifndef MMDB_CORE_PLANNER_H_
+#define MMDB_CORE_PLANNER_H_
+
+#include <string>
+
+#include "src/exec/join.h"
+#include "src/exec/predicate.h"
+#include "src/exec/select.h"
+
+namespace mmdb {
+
+enum class JoinMethod {
+  kPrecomputed,
+  kTreeMerge,
+  kTreeJoin,
+  kHashProbe,   // existing hash index on the inner join column
+  kHashJoin,    // build a chained-bucket hash, then probe
+  kSortMerge,
+  kNestedLoops,  // never chosen; present for completeness/benchmarks
+};
+
+const char* JoinMethodName(JoinMethod method);
+
+/// Optimizer statistics for a join.  Defaults mirror the paper's base case.
+struct JoinStats {
+  double duplicate_pct = 0.0;        ///< join-column duplicate percentage
+  bool skewed = false;               ///< skewed duplicate distribution?
+  double semijoin_selectivity = 100; ///< % of values that participate
+};
+
+struct JoinPlan {
+  JoinMethod method = JoinMethod::kHashJoin;
+  const OrderedIndex* outer_index = nullptr;  // Tree Merge
+  const OrderedIndex* inner_index = nullptr;  // Tree Merge / Tree Join
+  const HashIndex* inner_hash = nullptr;      // Hash probe
+  size_t fk_field = 0;                        // Precomputed
+  std::string rationale;                      // why this method won
+};
+
+class Planner {
+ public:
+  /// Chooses the join method per the Section 4 ordering.
+  static JoinPlan PlanJoin(const JoinSpec& spec, const JoinStats& stats = {});
+
+  /// Runs a previously planned join.
+  static TempList ExecuteJoin(const JoinSpec& spec, const JoinPlan& plan);
+
+  /// Plan + execute in one step.
+  static TempList Join(const JoinSpec& spec, const JoinStats& stats = {},
+                       JoinPlan* plan_out = nullptr);
+
+  /// Selection access-path choice (delegates to exec::Select's ordering but
+  /// reports the decision without running it).
+  static AccessPath PlanSelect(const Relation& rel, const Predicate& pred);
+
+  /// Non-equijoin (<, <=, >, >=) per Section 3.3.5: an ordered index on the
+  /// inner join column is used when it exists; otherwise a sorted array is
+  /// built on the fly (the Sort Merge build discipline) and scanned.
+  /// `used_existing_index` (optional) reports which happened.
+  static TempList InequalityJoin(const JoinSpec& spec, CompareOp op,
+                                 bool* used_existing_index = nullptr);
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_PLANNER_H_

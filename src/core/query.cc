@@ -1,0 +1,219 @@
+#include "src/core/query.h"
+
+#include <sstream>
+
+#include "src/core/database.h"
+#include "src/exec/sort.h"
+
+namespace mmdb {
+namespace {
+
+/// Splits "a.b.c" into segments.
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> out;
+  std::string seg;
+  for (char c : path) {
+    if (c == '.') {
+      out.push_back(seg);
+      seg.clear();
+    } else {
+      seg += c;
+    }
+  }
+  out.push_back(seg);
+  return out;
+}
+
+}  // namespace
+
+QueryBuilder::QueryBuilder(Database* db, std::string table)
+    : db_(db), table_(std::move(table)) {}
+
+QueryBuilder& QueryBuilder::Where(const std::string& field, CompareOp op,
+                                  Value value) {
+  Relation* rel = db_->GetTable(table_);
+  if (rel != nullptr) {
+    if (auto f = rel->schema().FieldIndex(field)) {
+      where_.Add(*f, op, std::move(value));
+    }
+  }
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::JoinWith(const std::string& table,
+                                     const std::string& left_field,
+                                     const std::string& right_field) {
+  join_table_ = table;
+  join_left_ = left_field;
+  join_right_ = right_field;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WhereJoined(const std::string& field, CompareOp op,
+                                        Value value) {
+  if (join_table_.has_value()) {
+    Relation* rel = db_->GetTable(*join_table_);
+    if (rel != nullptr) {
+      if (auto f = rel->schema().FieldIndex(field)) {
+        where_joined_.Add(*f, op, std::move(value));
+      }
+    }
+  }
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WithStats(const JoinStats& stats) {
+  stats_ = stats;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Select(std::vector<std::string> columns) {
+  columns_ = std::move(columns);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Distinct() {
+  distinct_ = true;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::OrderBySelected() {
+  ordered_ = true;
+  return *this;
+}
+
+Status QueryBuilder::ResolveColumn(const std::string& path,
+                                   ResultDescriptor* desc) const {
+  std::vector<std::string> segments = SplitPath(path);
+  if (segments.empty()) return Status::InvalidArgument("empty column path");
+
+  // First segment: a source table name, or a bare field of the driving
+  // table.
+  uint16_t source = 0;
+  size_t start = 0;
+  if (segments[0] == table_) {
+    start = 1;
+  } else if (join_table_.has_value() && segments[0] == *join_table_) {
+    source = 1;
+    start = 1;
+  }
+  if (start >= segments.size()) {
+    return Status::InvalidArgument("column path names no field: " + path);
+  }
+
+  const Relation* rel = desc->source(source);
+  std::vector<uint16_t> field_path;
+  for (size_t i = start; i < segments.size(); ++i) {
+    auto f = rel->schema().FieldIndex(segments[i]);
+    if (!f.has_value()) {
+      return Status::NotFound("no field " + segments[i] + " in " +
+                              rel->name());
+    }
+    field_path.push_back(static_cast<uint16_t>(*f));
+    if (i + 1 < segments.size()) {
+      const ForeignKeyDecl* fk = rel->ForeignKeyOn(*f);
+      if (fk == nullptr) {
+        return Status::InvalidArgument(segments[i] +
+                                       " is not a foreign key field");
+      }
+      rel = fk->target;
+    }
+  }
+  if (!desc->AddColumn(source, std::move(field_path), path)) {
+    return Status::InvalidArgument("cannot resolve column " + path);
+  }
+  return Status::Ok();
+}
+
+QueryResult QueryBuilder::Run() {
+  QueryResult result;
+  std::ostringstream plan;
+
+  Relation* rel = db_->GetTable(table_);
+  if (rel == nullptr) {
+    result.plan = "error: no table " + table_;
+    return result;
+  }
+
+  if (!join_table_.has_value()) {
+    AccessPath path;
+    TempList rows = ::mmdb::Select(*rel, where_, &path);
+    plan << "select(" << table_ << "): " << AccessPathName(path);
+    result.rows = std::move(rows);
+  } else {
+    Relation* joined = db_->GetTable(*join_table_);
+    if (joined == nullptr) {
+      result.plan = "error: no table " + *join_table_;
+      return result;
+    }
+    auto lf = rel->schema().FieldIndex(join_left_);
+    auto rf = joined->schema().FieldIndex(join_right_);
+    if (!lf.has_value() || !rf.has_value()) {
+      result.plan = "error: bad join fields";
+      return result;
+    }
+    JoinSpec spec{rel, *lf, joined, *rf};
+    TempList rows((ResultDescriptor({rel, joined})));
+    if (!where_.empty()) {
+      // The paper's Query 2 strategy: select on the driving relation first,
+      // then join only the selected tuples (Section 2.1).
+      AccessPath path;
+      TempList selected = ::mmdb::Select(*rel, where_, &path);
+      TupleIndex* inner_index = joined->FindIndexOn(*rf, false);
+      rows = TempListJoin(selected, *lf, *joined, *rf, inner_index);
+      plan << "select(" << table_ << "): " << AccessPathName(path) << " ("
+           << selected.size() << " rows); join(" << *join_table_ << "): "
+           << (inner_index != nullptr ? "probe existing index"
+                                      : "hash build + probe");
+    } else {
+      JoinPlan jp;
+      rows = Planner::Join(spec, stats_, &jp);
+      plan << "join(" << table_ << ", " << *join_table_
+           << "): " << JoinMethodName(jp.method) << " [" << jp.rationale
+           << "]";
+    }
+
+    // Residual predicate on the joined side.
+    if (!where_joined_.empty()) {
+      TempList filtered(rows.descriptor());
+      const Schema& rs = joined->schema();
+      for (size_t r = 0; r < rows.size(); ++r) {
+        if (where_joined_.Matches(rows.At(r, 1), rs)) {
+          filtered.Append2(rows.At(r, 0), rows.At(r, 1));
+        }
+      }
+      plan << "; filter(" << where_joined_.ToString(rs) << ")";
+      rows = std::move(filtered);
+    }
+    result.rows = std::move(rows);
+  }
+
+  // Output columns (result-descriptor projection, Section 2.3).
+  std::vector<std::string> columns = columns_;
+  if (columns.empty()) {
+    for (const Field& f : rel->schema().fields()) {
+      columns.push_back(table_ + "." + f.name);
+    }
+  }
+  for (const std::string& c : columns) {
+    Status s = ResolveColumn(c, result.rows.mutable_descriptor());
+    if (!s.ok()) {
+      result.plan = "error: " + s.ToString();
+      result.rows.Clear();
+      return result;
+    }
+  }
+
+  if (distinct_) {
+    result.rows = ProjectHash(result.rows);
+    plan << "; distinct: hashing (Section 3.4)";
+  }
+  if (ordered_) {
+    result.rows = SortTempList(result.rows);
+    plan << "; order by: hybrid quicksort";
+  }
+  result.plan = plan.str();
+  return result;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,90 @@
+// QueryBuilder: a small fluent layer over the executor, enough to express
+// the paper's motivating queries:
+//
+//   Query 1 — selection + precomputed join through a foreign key:
+//     db.Query("emp").Where("age", CompareOp::kGt, 65)
+//       .Select({"emp.name", "emp.age", "emp.dept_id.name"}).Run();
+//
+//   Query 2 — selection then join (pointer or value):
+//     db.Query("dept").Where("name", CompareOp::kEq, "Toy")
+//       .JoinWith("emp", "id", "dept_id").Select({"emp.name"}).Run();
+//
+// Column paths are dot-separated: "<table>.<field>" with extra hops through
+// declared foreign-key pointer fields ("emp.dept_id.name" reads the
+// Department name through the materialized pointer).
+
+#ifndef MMDB_CORE_QUERY_H_
+#define MMDB_CORE_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/planner.h"
+#include "src/storage/temp_list.h"
+
+namespace mmdb {
+
+class Database;
+
+/// Result of Run(): the rows plus the plan decisions taken.
+struct QueryResult {
+  TempList rows;
+  std::string plan;  ///< human-readable access-path / join-method trace
+
+  QueryResult() : rows(ResultDescriptor()) {}
+};
+
+class QueryBuilder {
+ public:
+  QueryBuilder(Database* db, std::string table);
+
+  /// Adds a conjunct on the *driving* table.
+  QueryBuilder& Where(const std::string& field, CompareOp op, Value value);
+
+  /// Equijoin with a second table: driving.left_field = other.right_field.
+  /// At most one join per query (the paper's workloads are binary joins).
+  QueryBuilder& JoinWith(const std::string& table,
+                         const std::string& left_field,
+                         const std::string& right_field);
+
+  /// Adds a conjunct on the joined table.
+  QueryBuilder& WhereJoined(const std::string& field, CompareOp op,
+                            Value value);
+
+  /// Optimizer statistics for the join-method choice.
+  QueryBuilder& WithStats(const JoinStats& stats);
+
+  /// Output columns as dot-paths; empty = all fields of the driving table.
+  QueryBuilder& Select(std::vector<std::string> columns);
+
+  /// Eliminate duplicate output rows (hashing — "the dominant algorithm for
+  /// processing projections in main memory").
+  QueryBuilder& Distinct();
+
+  /// Sort output rows by the Select() columns, ascending (hybrid quicksort,
+  /// Section 3.3.2's algorithm).  Applied after Distinct().
+  QueryBuilder& OrderBySelected();
+
+  /// Executes and returns rows + plan trace.  On an ill-formed query the
+  /// result is empty and `plan` carries the error.
+  QueryResult Run();
+
+ private:
+  Status ResolveColumn(const std::string& path, ResultDescriptor* desc) const;
+
+  Database* db_;
+  std::string table_;
+  Predicate where_;
+  std::optional<std::string> join_table_;
+  std::string join_left_, join_right_;
+  Predicate where_joined_;
+  JoinStats stats_;
+  std::vector<std::string> columns_;
+  bool distinct_ = false;
+  bool ordered_ = false;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_QUERY_H_

@@ -1,0 +1,540 @@
+#include "src/core/shell.h"
+
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+
+#include "src/core/query.h"
+#include "src/exec/select.h"
+
+namespace mmdb {
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == '-' || c == '*';
+}
+
+std::string Upper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+bool TokenIs(const CommandShell::Token& token, const std::string& kw) {
+  return !token.quoted && Upper(token.text) == kw;
+}
+
+bool ParseOp(const std::string& token, CompareOp* op) {
+  if (token == "=") {
+    *op = CompareOp::kEq;
+  } else if (token == "!=" || token == "<>") {
+    *op = CompareOp::kNe;
+  } else if (token == "<") {
+    *op = CompareOp::kLt;
+  } else if (token == "<=") {
+    *op = CompareOp::kLe;
+  } else if (token == ">") {
+    *op = CompareOp::kGt;
+  } else if (token == ">=") {
+    *op = CompareOp::kGe;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseTypeToken(const std::string& token, Type* type) {
+  const std::string t = Upper(token);
+  if (t == "INT" || t == "INT32") *type = Type::kInt32;
+  else if (t == "BIGINT" || t == "INT64") *type = Type::kInt64;
+  else if (t == "DOUBLE") *type = Type::kDouble;
+  else if (t == "STRING" || t == "TEXT") *type = Type::kString;
+  else if (t == "POINTER") *type = Type::kPointer;
+  else return false;
+  return true;
+}
+
+bool ParseKindToken(const std::string& token, IndexKind* kind) {
+  const std::string t = Upper(token);
+  if (t == "ARRAY") *kind = IndexKind::kArray;
+  else if (t == "AVL") *kind = IndexKind::kAvlTree;
+  else if (t == "BTREE") *kind = IndexKind::kBTree;
+  else if (t == "TTREE") *kind = IndexKind::kTTree;
+  else if (t == "CBHASH" || t == "HASH") *kind = IndexKind::kChainedBucketHash;
+  else if (t == "EXTHASH") *kind = IndexKind::kExtendibleHash;
+  else if (t == "LINHASH") *kind = IndexKind::kLinearHash;
+  else if (t == "MLHASH") *kind = IndexKind::kModifiedLinearHash;
+  else return false;
+  return true;
+}
+
+/// Parses a WHERE clause tail (the tokens after the WHERE keyword) into a
+/// Predicate over `rel`'s schema; advances *i past the conditions.
+bool ParsePredicate(const std::vector<CommandShell::Token>& t, size_t* i,
+                    const Relation& rel, Predicate* pred, std::string* error) {
+  for (;;) {
+    if (*i + 3 > t.size()) {
+      *error = "truncated condition (need: field op literal)";
+      return false;
+    }
+    auto f = rel.schema().FieldIndex(t[*i].text);
+    if (!f.has_value()) {
+      *error = "no field " + t[*i].text + " in " + rel.name();
+      return false;
+    }
+    CompareOp op;
+    if (!ParseOp(t[*i + 1].text, &op)) {
+      *error = "unknown operator " + t[*i + 1].text;
+      return false;
+    }
+    pred->Add(*f, op, CommandShell::ParseLiteral(t[*i + 2]));
+    *i += 3;
+    if (*i < t.size() && TokenIs(t[*i], "AND")) {
+      ++*i;
+      continue;
+    }
+    return true;
+  }
+}
+
+/// Parses `field op literal` for the query builder, routing by table
+/// prefix: `joined.field` goes to WhereJoined, anything else to Where.
+bool ParseBuilderCondition(const std::vector<CommandShell::Token>& t,
+                           size_t* i, const std::string& driving,
+                           const std::string& joined, QueryBuilder* builder,
+                           std::string* error) {
+  if (*i + 3 > t.size()) {
+    *error = "truncated condition (need: field op literal)";
+    return false;
+  }
+  std::string path = t[*i].text;
+  CompareOp op;
+  if (!ParseOp(t[*i + 1].text, &op)) {
+    *error = "unknown operator " + t[*i + 1].text;
+    return false;
+  }
+  const Value literal = CommandShell::ParseLiteral(t[*i + 2]);
+  *i += 3;
+
+  const size_t dot = path.find('.');
+  if (dot != std::string::npos) {
+    const std::string prefix = path.substr(0, dot);
+    const std::string field = path.substr(dot + 1);
+    if (!joined.empty() && prefix == joined) {
+      builder->WhereJoined(field, op, literal);
+      return true;
+    }
+    if (prefix == driving) {
+      builder->Where(field, op, literal);
+      return true;
+    }
+    *error = "unknown table prefix " + prefix;
+    return false;
+  }
+  builder->Where(path, op, literal);
+  return true;
+}
+
+}  // namespace
+
+std::vector<CommandShell::Token> CommandShell::Tokenize(
+    const std::string& statement, std::string* error) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = statement.size();
+  while (i < n) {
+    const char c = statement[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '\'') {
+      std::string s;
+      ++i;
+      for (;;) {
+        if (i >= n) {
+          *error = "unterminated string literal";
+          return {};
+        }
+        if (statement[i] == '\'') {
+          if (i + 1 < n && statement[i + 1] == '\'') {  // '' escapes a quote
+            s += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        s += statement[i++];
+      }
+      out.push_back(Token{std::move(s), /*quoted=*/true});
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ',' || c == ';') {
+      out.push_back(Token{std::string(1, c), false});
+      ++i;
+      continue;
+    }
+    if (c == '=' || c == '<' || c == '>' || c == '!') {
+      std::string op(1, c);
+      ++i;
+      if (i < n && (statement[i] == '=' ||
+                    (op == "<" && statement[i] == '>'))) {
+        op += statement[i++];
+      }
+      out.push_back(Token{std::move(op), false});
+      continue;
+    }
+    if (IsWordChar(c)) {
+      std::string word;
+      while (i < n && IsWordChar(statement[i])) word += statement[i++];
+      out.push_back(Token{std::move(word), false});
+      continue;
+    }
+    *error = std::string("unexpected character '") + c + "'";
+    return {};
+  }
+  return out;
+}
+
+Value CommandShell::ParseLiteral(const Token& token) {
+  if (token.quoted) return Value(token.text);
+  if (token.text.find('.') != std::string::npos) {
+    return Value(std::stod(token.text));
+  }
+  const long long v = std::stoll(token.text);
+  if (v >= INT32_MIN && v <= INT32_MAX) {
+    return Value(static_cast<int32_t>(v));
+  }
+  return Value(static_cast<int64_t>(v));
+}
+
+std::string CommandShell::ExecuteScript(const std::string& script) {
+  std::ostringstream out;
+  std::string current;
+  bool in_string = false;
+  for (char c : script) {
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      if (current.find_first_not_of(" \t\r\n") != std::string::npos) {
+        out << Execute(current) << "\n";
+      }
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (current.find_first_not_of(" \t\r\n") != std::string::npos) {
+    out << Execute(current) << "\n";
+  }
+  return out.str();
+}
+
+std::string CommandShell::Execute(const std::string& statement) {
+  std::string error;
+  std::vector<Token> t = Tokenize(statement, &error);
+  if (!error.empty()) return "error: " + error;
+  while (!t.empty() && !t.back().quoted && t.back().text == ";") t.pop_back();
+  if (t.empty()) return "";
+
+  try {
+    const std::string head = Upper(t[0].text);
+    if (head == "CREATE") return RunCreate(t);
+    if (head == "FOREIGN") return RunForeignKey(t);
+    if (head == "INSERT") return RunInsert(t);
+    if (head == "SELECT") return RunSelect(t, /*explain_only=*/false);
+    if (head == "EXPLAIN") {
+      return RunSelect(std::vector<Token>(t.begin() + 1, t.end()),
+                       /*explain_only=*/true);
+    }
+    if (head == "UPDATE") return RunUpdate(t);
+    if (head == "DELETE") return RunDelete(t);
+    if (head == "SHOW") return RunShowTables();
+    if (head == "DESCRIBE") return RunDescribe(t);
+    if (head == "CHECKPOINT") {
+      db_->Checkpoint();
+      db_->RunLogDevice();
+      return "ok: checkpointed";
+    }
+    if (head == "CRASH") {
+      RecoveryManager::Progress progress;
+      Status s = db_->SimulateCrashAndRecover({}, &progress);
+      if (!s.ok()) return "error: " + s.ToString();
+      std::ostringstream os;
+      os << "ok: crashed and recovered " << progress.tuples_loaded
+         << " tuples (" << progress.log_records_merged
+         << " log records merged)";
+      return os.str();
+    }
+    return "error: unknown statement '" + t[0].text + "'";
+  } catch (const std::exception& e) {
+    return std::string("error: ") + e.what();
+  }
+}
+
+std::string CommandShell::RunCreate(const std::vector<Token>& t) {
+  if (t.size() < 3) return "error: malformed CREATE";
+  const std::string what = Upper(t[1].text);
+
+  if (what == "TABLE") {
+    // CREATE TABLE name ( field TYPE [, field TYPE]* )
+    if (t.size() < 7 || t[3].text != "(" || t.back().text != ")") {
+      return "error: CREATE TABLE name (field TYPE, ...)";
+    }
+    const std::string& name = t[2].text;
+    std::vector<Field> fields;
+    size_t i = 4;
+    while (i + 1 < t.size() && t[i].text != ")") {
+      Type type;
+      if (!ParseTypeToken(t[i + 1].text, &type)) {
+        return "error: unknown type " + t[i + 1].text;
+      }
+      fields.push_back(Field{t[i].text, type});
+      i += 2;
+      if (i < t.size() && t[i].text == ",") ++i;
+    }
+    if (fields.empty()) return "error: a table needs at least one field";
+    if (db_->CreateTable(name, fields) == nullptr) {
+      return "error: cannot create table " + name;
+    }
+    std::ostringstream os;
+    os << "ok: table " << name << " (" << fields.size() << " fields)";
+    return os.str();
+  }
+
+  if (what == "INDEX") {
+    // CREATE INDEX ON table ( field ) USING kind [UNIQUE] [NODESIZE n]
+    if (t.size() < 9 || Upper(t[2].text) != "ON" || t[4].text != "(" ||
+        t[6].text != ")" || Upper(t[7].text) != "USING") {
+      return "error: CREATE INDEX ON table (field) USING kind";
+    }
+    IndexKind kind;
+    if (!ParseKindToken(t[8].text, &kind)) {
+      return "error: unknown index kind " + t[8].text;
+    }
+    IndexConfig config;
+    size_t i = 9;
+    while (i < t.size()) {
+      if (TokenIs(t[i], "UNIQUE")) {
+        config.unique = true;
+        ++i;
+      } else if (TokenIs(t[i], "NODESIZE") && i + 1 < t.size()) {
+        config.node_size = std::stoi(t[i + 1].text);
+        i += 2;
+      } else {
+        return "error: unknown index option " + t[i].text;
+      }
+    }
+    TupleIndex* index = db_->CreateIndex(t[3].text, t[5].text, kind, config);
+    if (index == nullptr) return "error: cannot create index";
+    return "ok: index " + index->name();
+  }
+  return "error: CREATE " + t[1].text + " not supported";
+}
+
+std::string CommandShell::RunForeignKey(const std::vector<Token>& t) {
+  // FOREIGN KEY table ( field ) REFERENCES target ( field )
+  if (t.size() != 11 || Upper(t[1].text) != "KEY" || t[3].text != "(" ||
+      t[5].text != ")" || Upper(t[6].text) != "REFERENCES" ||
+      t[8].text != "(" || t[10].text != ")") {
+    return "error: FOREIGN KEY table (field) REFERENCES target (field)";
+  }
+  Status s =
+      db_->DeclareForeignKey(t[2].text, t[4].text, t[7].text, t[9].text);
+  if (!s.ok()) return "error: " + s.ToString();
+  return "ok: foreign key " + t[2].text + "." + t[4].text + " -> " +
+         t[7].text + "." + t[9].text;
+}
+
+std::string CommandShell::RunInsert(const std::vector<Token>& t) {
+  // INSERT INTO table VALUES ( literal [, literal]* )
+  if (t.size() < 7 || Upper(t[1].text) != "INTO" ||
+      Upper(t[3].text) != "VALUES" || t[4].text != "(" ||
+      t.back().text != ")") {
+    return "error: INSERT INTO table VALUES (...)";
+  }
+  std::vector<Value> values;
+  size_t i = 5;
+  while (i < t.size() && t[i].text != ")") {
+    values.push_back(ParseLiteral(t[i]));
+    ++i;
+    if (i < t.size() && t[i].text == ",") ++i;
+  }
+  if (db_->Insert(t[2].text, std::move(values)) == nullptr) {
+    return "error: insert rejected (arity, unique index, or foreign key)";
+  }
+  return "ok: 1 row";
+}
+
+std::string CommandShell::RunSelect(const std::vector<Token>& t,
+                                    bool explain_only) {
+  // SELECT cols FROM table [JOIN t2 ON lf = rf] [WHERE cond (AND cond)*]
+  //        [DISTINCT] [ORDERED]
+  if (t.empty() || Upper(t[0].text) != "SELECT") {
+    return "error: expected SELECT";
+  }
+  size_t i = 1;
+  std::vector<std::string> columns;
+  while (i < t.size() && !TokenIs(t[i], "FROM")) {
+    if (t[i].text != "," && t[i].text != "*") columns.push_back(t[i].text);
+    ++i;
+  }
+  if (i >= t.size()) return "error: expected FROM";
+  ++i;
+  if (i >= t.size()) return "error: expected table after FROM";
+  const std::string table = t[i++].text;
+
+  std::string joined;
+  QueryBuilder builder = db_->Query(table);
+  if (i < t.size() && TokenIs(t[i], "JOIN")) {
+    ++i;
+    if (i + 5 > t.size()) return "error: JOIN t2 ON lf = rf";
+    joined = t[i++].text;
+    if (!TokenIs(t[i], "ON")) return "error: expected ON";
+    ++i;
+    const std::string lf = t[i++].text;
+    if (t[i].text != "=") return "error: join condition must be equality";
+    ++i;
+    const std::string rf = t[i++].text;
+    builder.JoinWith(joined, lf, rf);
+  }
+
+  if (i < t.size() && TokenIs(t[i], "WHERE")) {
+    ++i;
+    for (;;) {
+      std::string error;
+      if (!ParseBuilderCondition(t, &i, table, joined, &builder, &error)) {
+        return "error: " + error;
+      }
+      if (i < t.size() && TokenIs(t[i], "AND")) {
+        ++i;
+        continue;
+      }
+      break;
+    }
+  }
+  while (i < t.size()) {
+    if (TokenIs(t[i], "DISTINCT")) {
+      builder.Distinct();
+      ++i;
+    } else if (TokenIs(t[i], "ORDERED")) {
+      builder.OrderBySelected();
+      ++i;
+    } else {
+      return "error: unexpected trailing token " + t[i].text;
+    }
+  }
+
+  if (!columns.empty()) builder.Select(columns);
+  QueryResult result = builder.Run();
+  if (result.plan.rfind("error", 0) == 0) return result.plan;
+  if (explain_only) return "plan: " + result.plan;
+
+  std::ostringstream os;
+  const auto& cols = result.rows.descriptor().columns();
+  for (size_t c = 0; c < cols.size(); ++c) {
+    os << (c ? " | " : "") << cols[c].label;
+  }
+  os << "\n";
+  for (size_t r = 0; r < result.rows.size(); ++r) {
+    os << result.rows.RowToString(r) << "\n";
+  }
+  os << "(" << result.rows.size() << " rows)  [" << result.plan << "]";
+  return os.str();
+}
+
+std::string CommandShell::RunUpdate(const std::vector<Token>& t) {
+  // UPDATE table SET field = literal [WHERE cond (AND cond)*]
+  if (t.size() < 6 || Upper(t[2].text) != "SET" || t[4].text != "=") {
+    return "error: UPDATE table SET field = literal [WHERE ...]";
+  }
+  Relation* rel = db_->GetTable(t[1].text);
+  if (rel == nullptr) return "error: no table " + t[1].text;
+  const std::string& field = t[3].text;
+  if (!rel->schema().FieldIndex(field).has_value()) {
+    return "error: no field " + field;
+  }
+  const Value new_value = ParseLiteral(t[5]);
+
+  Predicate pred;
+  size_t i = 6;
+  if (i < t.size() && TokenIs(t[i], "WHERE")) {
+    ++i;
+    std::string error;
+    if (!ParsePredicate(t, &i, *rel, &pred, &error)) return "error: " + error;
+  }
+  if (i != t.size()) return "error: unexpected trailing token " + t[i].text;
+
+  TempList hits = Select(*rel, pred);
+  size_t updated = 0;
+  for (size_t r = 0; r < hits.size(); ++r) {
+    if (db_->Update(t[1].text, hits.At(r, 0), field, new_value).ok()) {
+      ++updated;
+    }
+  }
+  std::ostringstream os;
+  os << "ok: " << updated << " rows updated";
+  return os.str();
+}
+
+std::string CommandShell::RunDelete(const std::vector<Token>& t) {
+  // DELETE FROM table [WHERE cond (AND cond)*]
+  if (t.size() < 3 || Upper(t[1].text) != "FROM") {
+    return "error: DELETE FROM table [WHERE ...]";
+  }
+  Relation* rel = db_->GetTable(t[2].text);
+  if (rel == nullptr) return "error: no table " + t[2].text;
+
+  Predicate pred;
+  size_t i = 3;
+  if (i < t.size() && TokenIs(t[i], "WHERE")) {
+    ++i;
+    std::string error;
+    if (!ParsePredicate(t, &i, *rel, &pred, &error)) return "error: " + error;
+  }
+  if (i != t.size()) return "error: unexpected trailing token " + t[i].text;
+
+  TempList hits = Select(*rel, pred);
+  size_t deleted = 0;
+  for (size_t r = 0; r < hits.size(); ++r) {
+    if (db_->Delete(t[2].text, hits.At(r, 0)).ok()) ++deleted;
+  }
+  std::ostringstream os;
+  os << "ok: " << deleted << " rows deleted";
+  return os.str();
+}
+
+std::string CommandShell::RunShowTables() {
+  std::ostringstream os;
+  const std::vector<std::string> names = db_->catalog().List();
+  for (const std::string& name : names) {
+    Relation* rel = db_->GetTable(name);
+    os << name << " (" << rel->cardinality() << " rows, "
+       << rel->indexes().size() << " indexes)\n";
+  }
+  os << "(" << names.size() << " tables)";
+  return os.str();
+}
+
+std::string CommandShell::RunDescribe(const std::vector<Token>& t) {
+  if (t.size() < 2) return "error: DESCRIBE table";
+  Relation* rel = db_->GetTable(t[1].text);
+  if (rel == nullptr) return "error: no table " + t[1].text;
+  std::ostringstream os;
+  os << rel->name() << " (" << rel->schema().ToString() << ")\n";
+  for (const auto& index : rel->indexes()) {
+    os << "  index " << index->name() << " [" << IndexKindName(index->kind())
+       << (index->unique() ? ", unique" : "") << "]\n";
+  }
+  for (const ForeignKeyDecl& fk : rel->foreign_keys()) {
+    os << "  foreign key " << rel->schema().field(fk.field).name << " -> "
+       << fk.target->name() << "."
+       << fk.target->schema().field(fk.target_field).name << "\n";
+  }
+  os << "(" << rel->cardinality() << " rows in " << rel->partitions().size()
+     << " partitions)";
+  return os.str();
+}
+
+}  // namespace mmdb

@@ -1,0 +1,69 @@
+// CommandShell: a small textual command language over the Database facade,
+// for interactive exploration (examples/mmdb_shell) and scripted use.  Not
+// SQL — a deliberately tiny grammar that maps 1:1 onto the public API:
+//
+//   CREATE TABLE emp (name STRING, id INT, age INT, dept_id POINTER);
+//   CREATE INDEX ON emp (age) USING TTREE [UNIQUE] [NODESIZE 16];
+//   FOREIGN KEY emp (dept_id) REFERENCES dept (id);
+//   INSERT INTO emp VALUES ('Al', 51, 67, 409);
+//   SELECT emp.name, emp.dept_id.name FROM emp WHERE age > 65;
+//   SELECT emp.name FROM emp JOIN dept ON dept_id = id
+//       WHERE dept.name = 'Toy' [DISTINCT] [ORDERED];
+//   UPDATE emp SET age = 68 WHERE name = 'Al';
+//   DELETE FROM emp WHERE age < 25;
+//   SHOW TABLES;         DESCRIBE emp;
+//   CHECKPOINT;          CRASH;          -- checkpoint / simulated crash
+//   EXPLAIN SELECT ...;                  -- plan without rows
+//
+// Strings are single-quoted; numbers with a '.' parse as doubles; WHERE
+// conditions are AND-conjunctions of `field op literal` (a `table.` prefix
+// routes a condition to the joined table).
+
+#ifndef MMDB_CORE_SHELL_H_
+#define MMDB_CORE_SHELL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/database.h"
+
+namespace mmdb {
+
+class CommandShell {
+ public:
+  explicit CommandShell(Database* db) : db_(db) {}
+
+  /// Executes one statement (with or without trailing ';'); returns the
+  /// printable result, or a line starting with "error:" on failure.
+  std::string Execute(const std::string& statement);
+
+  /// Splits on ';' (respecting quotes) and executes each statement;
+  /// returns the concatenated outputs.
+  std::string ExecuteScript(const std::string& script);
+
+  /// One lexical token of a statement (exposed for the parser helpers).
+  struct Token {
+    std::string text;
+    bool quoted = false;  // was a 'string literal'
+  };
+
+  static std::vector<Token> Tokenize(const std::string& statement,
+                                     std::string* error);
+  static Value ParseLiteral(const Token& token);
+
+ private:
+  std::string RunCreate(const std::vector<Token>& t);
+  std::string RunForeignKey(const std::vector<Token>& t);
+  std::string RunInsert(const std::vector<Token>& t);
+  std::string RunSelect(const std::vector<Token>& t, bool explain_only);
+  std::string RunUpdate(const std::vector<Token>& t);
+  std::string RunDelete(const std::vector<Token>& t);
+  std::string RunShowTables();
+  std::string RunDescribe(const std::vector<Token>& t);
+
+  Database* db_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_SHELL_H_

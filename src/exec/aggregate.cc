@@ -1,0 +1,220 @@
+#include "src/exec/aggregate.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "src/storage/tuple.h"
+#include "src/util/hash.h"
+
+namespace mmdb {
+namespace {
+
+/// Running state for one aggregate in one group.
+struct Accumulator {
+  int64_t count = 0;
+  int64_t int_sum = 0;
+  double double_sum = 0;
+  bool is_double = false;
+  bool has_extreme = false;
+  Value extreme;  // min or max so far
+};
+
+int CompareRowsOn(const TempList& list, size_t r1, size_t r2,
+                  const std::vector<size_t>& columns) {
+  const ResultDescriptor& desc = list.descriptor();
+  for (size_t c : columns) {
+    TupleRef t1 = list.ResolveColumnTuple(r1, c);
+    TupleRef t2 = list.ResolveColumnTuple(r2, c);
+    if (t1 == nullptr || t2 == nullptr) {
+      if (t1 != t2) return t1 == nullptr ? -1 : 1;
+      continue;
+    }
+    int cmp = tuple::CompareField(t1, t2, *desc.ColumnSchema(c),
+                                  desc.ColumnField(c));
+    if (cmp != 0) return cmp;
+  }
+  return 0;
+}
+
+uint64_t HashRowOn(const TempList& list, size_t r,
+                   const std::vector<size_t>& columns) {
+  const ResultDescriptor& desc = list.descriptor();
+  uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (size_t c : columns) {
+    TupleRef t = list.ResolveColumnTuple(r, c);
+    const uint64_t hc =
+        t == nullptr
+            ? 0
+            : tuple::HashField(t, *desc.ColumnSchema(c), desc.ColumnField(c));
+    h = HashMix64(h ^ hc);
+  }
+  return h;
+}
+
+void Accumulate(Accumulator* acc, AggFn fn, const Value& v) {
+  ++acc->count;
+  switch (fn) {
+    case AggFn::kCount:
+      break;
+    case AggFn::kSum:
+    case AggFn::kAvg:
+      switch (v.type()) {
+        case Type::kInt32: acc->int_sum += v.AsInt32(); break;
+        case Type::kInt64: acc->int_sum += v.AsInt64(); break;
+        case Type::kDouble:
+          acc->double_sum += v.AsDouble();
+          acc->is_double = true;
+          break;
+        default:
+          assert(false && "kSum/kAvg need a numeric column");
+      }
+      break;
+    case AggFn::kMin:
+      if (!acc->has_extreme || v.Compare(acc->extreme) < 0) {
+        acc->extreme = v;
+        acc->has_extreme = true;
+      }
+      break;
+    case AggFn::kMax:
+      if (!acc->has_extreme || v.Compare(acc->extreme) > 0) {
+        acc->extreme = v;
+        acc->has_extreme = true;
+      }
+      break;
+  }
+}
+
+Value Finalize(const Accumulator& acc, AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount:
+      return Value(acc.count);
+    case AggFn::kSum:
+      return acc.is_double ? Value(acc.double_sum) : Value(acc.int_sum);
+    case AggFn::kAvg: {
+      const double total =
+          acc.is_double ? acc.double_sum : static_cast<double>(acc.int_sum);
+      return Value(acc.count == 0 ? 0.0 : total / acc.count);
+    }
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return acc.extreme;
+  }
+  return Value();
+}
+
+}  // namespace
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount: return "count";
+    case AggFn::kSum: return "sum";
+    case AggFn::kMin: return "min";
+    case AggFn::kMax: return "max";
+    case AggFn::kAvg: return "avg";
+  }
+  return "?";
+}
+
+std::string AggregateResult::RowToString(size_t r) const {
+  std::ostringstream os;
+  os << "(";
+  bool first = true;
+  for (const Value& v : rows[r].group) {
+    if (!first) os << ", ";
+    os << v.ToString();
+    first = false;
+  }
+  for (const Value& v : rows[r].aggregates) {
+    if (!first) os << ", ";
+    os << v.ToString();
+    first = false;
+  }
+  os << ")";
+  return os.str();
+}
+
+AggregateResult HashGroupBy(const TempList& in,
+                            const std::vector<size_t>& group_columns,
+                            const std::vector<AggSpec>& aggregates) {
+  const ResultDescriptor& desc = in.descriptor();
+  AggregateResult result;
+  for (size_t c : group_columns) {
+    result.group_labels.push_back(desc.columns()[c].label);
+  }
+  for (const AggSpec& spec : aggregates) {
+    if (!spec.label.empty()) {
+      result.agg_labels.push_back(spec.label);
+    } else if (spec.fn == AggFn::kCount) {
+      result.agg_labels.push_back("count(*)");
+    } else {
+      result.agg_labels.push_back(std::string(AggFnName(spec.fn)) + "(" +
+                                  desc.columns()[spec.column].label + ")");
+    }
+  }
+
+  struct Group {
+    size_t representative;  // first row of the group
+    std::vector<Accumulator> accs;
+    int64_t next = -1;
+  };
+  const size_t n = in.size();
+  const size_t buckets = n / 2 < 1 ? 1 : n / 2;  // the Section 3.4 sizing
+  std::vector<int64_t> heads(buckets, -1);
+  std::vector<Group> groups;
+
+  auto feed = [&](Group* g, size_t row) {
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      const AggSpec& spec = aggregates[a];
+      Value v;
+      if (spec.fn != AggFn::kCount) v = in.GetValue(row, spec.column);
+      Accumulate(&g->accs[a], spec.fn, v);
+    }
+  };
+
+  for (size_t r = 0; r < n; ++r) {
+    const size_t b = HashRowOn(in, r, group_columns) % buckets;
+    Group* found = nullptr;
+    for (int64_t e = heads[b]; e != -1; e = groups[e].next) {
+      if (CompareRowsOn(in, groups[e].representative, r, group_columns) == 0) {
+        found = &groups[e];
+        break;
+      }
+    }
+    if (found == nullptr) {
+      Group g;
+      g.representative = r;
+      g.accs.resize(aggregates.size());
+      g.next = heads[b];
+      heads[b] = static_cast<int64_t>(groups.size());
+      groups.push_back(std::move(g));
+      found = &groups.back();
+    }
+    feed(found, r);
+  }
+
+  // A global aggregate (no group columns) over empty input still yields one
+  // row — COUNT(*) of nothing is 0.
+  if (groups.empty() && group_columns.empty() && !aggregates.empty()) {
+    Group g;
+    g.representative = 0;
+    g.accs.resize(aggregates.size());
+    groups.push_back(std::move(g));
+  }
+
+  result.rows.reserve(groups.size());
+  for (const Group& g : groups) {
+    AggregateRow row;
+    if (!groups.empty() && n > 0) {
+      for (size_t c : group_columns) {
+        row.group.push_back(in.GetValue(g.representative, c));
+      }
+    }
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      row.aggregates.push_back(Finalize(g.accs[a], aggregates[a].fn));
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,59 @@
+// Hash-based grouping and aggregation over temporary lists.
+//
+// The paper stops at duplicate elimination, but its argument — "hashing is
+// the dominant algorithm for processing projections in main memory" —
+// extends directly to GROUP BY: grouping is duplicate elimination that
+// keeps accumulators instead of discarding the duplicates.  The group table
+// is chained and sized |R|/2 like the Section 3.4 projection table.
+//
+// Aggregate outputs are computed Values (not tuple pointers), so the result
+// is materialized rows rather than a TempList.
+
+#ifndef MMDB_EXEC_AGGREGATE_H_
+#define MMDB_EXEC_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/storage/temp_list.h"
+
+namespace mmdb {
+
+enum class AggFn { kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggFnName(AggFn fn);
+
+/// One requested aggregate: fn applied to an output column of the input
+/// list (ignored for kCount).
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  size_t column = 0;
+  std::string label;  ///< optional; defaults to "fn(column-label)"
+};
+
+/// One output row: the group's key values followed by its aggregates.
+struct AggregateRow {
+  std::vector<Value> group;
+  std::vector<Value> aggregates;
+};
+
+struct AggregateResult {
+  std::vector<std::string> group_labels;
+  std::vector<std::string> agg_labels;
+  std::vector<AggregateRow> rows;
+
+  std::string RowToString(size_t r) const;
+};
+
+/// Groups `in` by the given output columns (empty = one global group, which
+/// is returned even for empty input when aggregates like COUNT ask for it)
+/// and computes the aggregates per group.  Numeric aggregates (kSum, kAvg)
+/// require int32/int64/double columns; kMin/kMax accept any comparable
+/// column type; kCount accepts anything.
+AggregateResult HashGroupBy(const TempList& in,
+                            const std::vector<size_t>& group_columns,
+                            const std::vector<AggSpec>& aggregates);
+
+}  // namespace mmdb
+
+#endif  // MMDB_EXEC_AGGREGATE_H_

@@ -1,0 +1,295 @@
+#include "src/exec/join.h"
+
+#include <cassert>
+#include <set>
+
+#include "src/exec/select.h"
+#include "src/storage/tuple.h"
+
+namespace mmdb {
+namespace {
+
+ResultDescriptor JoinSources(const JoinSpec& spec) {
+  return ResultDescriptor({spec.outer, spec.inner});
+}
+
+/// Sequence adapter over a sorted TupleRef array.
+struct ArraySeq {
+  const TupleRef* data;
+  size_t n;
+  size_t pos = 0;
+
+  bool Valid() const { return pos < n; }
+  TupleRef Get() const { return data[pos]; }
+  void Next() { ++pos; }
+  using Mark = size_t;
+  Mark Snapshot() const { return pos; }
+  void Restore(Mark m) { pos = m; }
+};
+
+/// Sequence adapter over an ordered-index cursor.
+struct CursorSeq {
+  std::unique_ptr<OrderedIndex::Cursor> cursor;
+
+  bool Valid() const { return cursor->Valid(); }
+  TupleRef Get() const { return cursor->Get(); }
+  void Next() { cursor->Next(); }
+  using Mark = std::shared_ptr<OrderedIndex::Cursor>;
+  Mark Snapshot() const { return Mark(cursor->Clone()); }
+  void Restore(const Mark& m) { cursor = m->Clone(); }
+};
+
+/// Merge join core [BlE77]: both sequences ordered on the join key.  The
+/// inner sequence is rewound (Restore) across runs of equal outer keys so
+/// duplicate x duplicate cross products are emitted.
+template <typename SeqA, typename SeqB, typename CmpAB, typename CmpAA,
+          typename Emit>
+void MergeJoinGeneric(SeqA& a, SeqB& b, const CmpAB& cmp_ab,
+                      const CmpAA& cmp_aa, const Emit& emit) {
+  while (a.Valid() && b.Valid()) {
+    int c = cmp_ab(a.Get(), b.Get());
+    if (c < 0) {
+      a.Next();
+      continue;
+    }
+    if (c > 0) {
+      b.Next();
+      continue;
+    }
+    auto mark = b.Snapshot();
+    for (;;) {
+      const TupleRef av = a.Get();
+      while (b.Valid() && cmp_ab(av, b.Get()) == 0) {
+        emit(av, b.Get());
+        b.Next();
+      }
+      a.Next();
+      if (!a.Valid() || cmp_aa(a.Get(), av) != 0) break;
+      b.Restore(mark);
+    }
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<ArrayIndex> BuildSortedArray(const Relation& rel, size_t field,
+                                             int insertion_cutoff) {
+  auto ops = std::make_shared<FieldKeyOps>(&rel.schema(), field);
+  IndexConfig config;
+  config.expected = rel.cardinality();
+  auto index = std::make_unique<ArrayIndex>(std::move(ops), config);
+  ScanRelation(rel, [&](TupleRef t) {
+    index->AppendUnsorted(t);
+    return true;
+  });
+  index->Seal(insertion_cutoff);
+  return index;
+}
+
+std::unique_ptr<ChainedBucketHash> BuildJoinHash(const Relation& rel,
+                                                 size_t field) {
+  auto ops = std::make_shared<FieldKeyOps>(&rel.schema(), field);
+  IndexConfig config;
+  config.expected = rel.cardinality();
+  auto index = std::make_unique<ChainedBucketHash>(std::move(ops), config);
+  ScanRelation(rel, [&](TupleRef t) {
+    index->Insert(t);
+    return true;
+  });
+  return index;
+}
+
+TempList NestedLoopsJoin(const JoinSpec& spec) {
+  TempList out(JoinSources(spec));
+  const Schema& so = spec.outer->schema();
+  const Schema& si = spec.inner->schema();
+  ScanRelation(*spec.outer, [&](TupleRef ot) {
+    ScanRelation(*spec.inner, [&](TupleRef it) {
+      if (tuple::CompareFields(ot, so, spec.outer_field, it, si,
+                               spec.inner_field) == 0) {
+        out.Append2(ot, it);
+      }
+      return true;
+    });
+    return true;
+  });
+  return out;
+}
+
+TempList HashJoin(const JoinSpec& spec) {
+  TempList out(JoinSources(spec));
+  // Build phase: hash the inner relation's join column (cost included).
+  std::unique_ptr<ChainedBucketHash> table =
+      BuildJoinHash(*spec.inner, spec.inner_field);
+  // Probe phase.
+  const Schema& so = spec.outer->schema();
+  std::vector<TupleRef> hits;
+  ScanRelation(*spec.outer, [&](TupleRef ot) {
+    hits.clear();
+    table->FindAll(tuple::GetValue(ot, so, spec.outer_field), &hits);
+    for (TupleRef it : hits) out.Append2(ot, it);
+    return true;
+  });
+  return out;
+}
+
+TempList TreeJoin(const JoinSpec& spec, const OrderedIndex& inner_index) {
+  TempList out(JoinSources(spec));
+  const Schema& so = spec.outer->schema();
+  std::vector<TupleRef> hits;
+  ScanRelation(*spec.outer, [&](TupleRef ot) {
+    hits.clear();
+    // An unsuccessful search bypasses the scan phase entirely; a successful
+    // one scans the logically contiguous duplicates (Section 3.3.4).
+    inner_index.FindAll(tuple::GetValue(ot, so, spec.outer_field), &hits);
+    for (TupleRef it : hits) out.Append2(ot, it);
+    return true;
+  });
+  return out;
+}
+
+TempList HashProbeJoin(const JoinSpec& spec, const HashIndex& inner_index) {
+  TempList out(JoinSources(spec));
+  const Schema& so = spec.outer->schema();
+  std::vector<TupleRef> hits;
+  ScanRelation(*spec.outer, [&](TupleRef ot) {
+    hits.clear();
+    inner_index.FindAll(tuple::GetValue(ot, so, spec.outer_field), &hits);
+    for (TupleRef it : hits) out.Append2(ot, it);
+    return true;
+  });
+  return out;
+}
+
+TempList SortMergeJoin(const JoinSpec& spec, int insertion_cutoff) {
+  TempList out(JoinSources(spec));
+  auto outer = BuildSortedArray(*spec.outer, spec.outer_field, insertion_cutoff);
+  auto inner = BuildSortedArray(*spec.inner, spec.inner_field, insertion_cutoff);
+
+  const Schema& so = spec.outer->schema();
+  const Schema& si = spec.inner->schema();
+  ArraySeq a{outer->items().data(), outer->items().size()};
+  ArraySeq b{inner->items().data(), inner->items().size()};
+  MergeJoinGeneric(
+      a, b,
+      [&](TupleRef x, TupleRef y) {
+        return tuple::CompareFields(x, so, spec.outer_field, y, si,
+                                    spec.inner_field);
+      },
+      [&](TupleRef x, TupleRef y) {
+        return tuple::CompareField(x, y, so, spec.outer_field);
+      },
+      [&](TupleRef x, TupleRef y) { out.Append2(x, y); });
+  return out;
+}
+
+TempList TreeMergeJoin(const JoinSpec& spec, const OrderedIndex& outer_index,
+                       const OrderedIndex& inner_index) {
+  TempList out(JoinSources(spec));
+  const Schema& so = spec.outer->schema();
+  const Schema& si = spec.inner->schema();
+  CursorSeq a{outer_index.First()};
+  CursorSeq b{inner_index.First()};
+  MergeJoinGeneric(
+      a, b,
+      [&](TupleRef x, TupleRef y) {
+        return tuple::CompareFields(x, so, spec.outer_field, y, si,
+                                    spec.inner_field);
+      },
+      [&](TupleRef x, TupleRef y) {
+        return tuple::CompareField(x, y, so, spec.outer_field);
+      },
+      [&](TupleRef x, TupleRef y) { out.Append2(x, y); });
+  return out;
+}
+
+TempList TreeInequalityJoin(const JoinSpec& spec, CompareOp op,
+                            const OrderedIndex& inner_index) {
+  assert(op == CompareOp::kLt || op == CompareOp::kLe ||
+         op == CompareOp::kGt || op == CompareOp::kGe);
+  TempList out(JoinSources(spec));
+  const Schema& so = spec.outer->schema();
+  ScanRelation(*spec.outer, [&](TupleRef ot) {
+    const Value v = tuple::GetValue(ot, so, spec.outer_field);
+    Bound lo, hi;
+    switch (op) {
+      case CompareOp::kLt:  // outer < inner: inner in (v, +inf)
+        lo = {&v, false};
+        break;
+      case CompareOp::kLe:  // inner in [v, +inf)
+        lo = {&v, true};
+        break;
+      case CompareOp::kGt:  // outer > inner: inner in (-inf, v)
+        hi = {&v, false};
+        break;
+      case CompareOp::kGe:  // inner in (-inf, v]
+        hi = {&v, true};
+        break;
+      default:
+        return true;
+    }
+    inner_index.ScanRange(lo, hi, [&](TupleRef it) {
+      out.Append2(ot, it);
+      return true;
+    });
+    return true;
+  });
+  return out;
+}
+
+TempList TempListJoin(const TempList& outer_list, size_t outer_field,
+                      const Relation& inner, size_t inner_field,
+                      const TupleIndex* inner_index) {
+  assert(outer_list.width() == 1 && "TempListJoin takes width-1 lists");
+  const Relation* outer = outer_list.descriptor().source(0);
+  ResultDescriptor desc({outer, &inner});
+  TempList out(desc);
+
+  std::unique_ptr<ChainedBucketHash> built;
+  if (inner_index == nullptr) {
+    built = BuildJoinHash(inner, inner_field);
+    inner_index = built.get();
+  }
+  const Schema& so = outer->schema();
+  std::vector<TupleRef> hits;
+  for (size_t r = 0; r < outer_list.size(); ++r) {
+    TupleRef ot = outer_list.At(r, 0);
+    hits.clear();
+    inner_index->FindAll(tuple::GetValue(ot, so, outer_field), &hits);
+    for (TupleRef it : hits) out.Append2(ot, it);
+  }
+  return out;
+}
+
+std::unique_ptr<TupleIndex> BuildTempListIndex(const TempList& list,
+                                               size_t column, IndexKind kind,
+                                               IndexConfig config) {
+  const ResultDescriptor& desc = list.descriptor();
+  auto ops = std::make_shared<FieldKeyOps>(desc.ColumnSchema(column),
+                                           desc.ColumnField(column));
+  if (config.expected < list.size()) config.expected = list.size();
+  auto index = CreateIndex(kind, std::move(ops), config);
+  std::set<TupleRef> seen;  // a tuple referenced by many rows indexes once
+  index->BeginBulk();
+  for (size_t r = 0; r < list.size(); ++r) {
+    TupleRef t = list.ResolveColumnTuple(r, column);
+    if (t != nullptr && seen.insert(t).second) index->Insert(t);
+  }
+  index->EndBulk();
+  return index;
+}
+
+TempList PrecomputedJoin(const Relation& outer, size_t fk_field) {
+  ResultDescriptor desc({&outer, outer.ForeignKeyOn(fk_field)->target});
+  TempList out(desc);
+  const Schema& so = outer.schema();
+  const size_t off = so.offset(fk_field);
+  ScanRelation(outer, [&](TupleRef ot) {
+    TupleRef it = tuple::GetPointer(ot, off);
+    if (it != nullptr) out.Append2(ot, it);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace mmdb

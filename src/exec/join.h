@@ -1,0 +1,106 @@
+// The join algorithms of Section 3.3: Nested Loops, Hash Join, Tree Join,
+// Sort Merge, Tree Merge, and the precomputed (tuple-pointer) join of
+// Section 2.1.  Every algorithm produces a width-2 temporary list of
+// (outer tuple, inner tuple) pointers; no data is copied.
+//
+// Cost conventions follow the paper exactly:
+//   * Hash Join *includes* the cost of building a Chained Bucket Hash table
+//     on the inner join column ("we always include the cost of building a
+//     hash table, because ... a hash table index is less likely to exist
+//     than a T Tree index").
+//   * Tree Join and Tree Merge *assume* their T Tree indices already exist;
+//     callers pass them in.
+//   * Sort Merge includes building and sorting array indices on both
+//     relations.
+
+#ifndef MMDB_EXEC_JOIN_H_
+#define MMDB_EXEC_JOIN_H_
+
+#include "src/exec/predicate.h"
+#include "src/index/array_index.h"
+#include "src/index/chained_hash.h"
+#include "src/index/index.h"
+#include "src/storage/relation.h"
+#include "src/storage/temp_list.h"
+#include "src/util/sort.h"
+
+namespace mmdb {
+
+/// An equijoin between outer.outer_field and inner.inner_field.
+struct JoinSpec {
+  const Relation* outer = nullptr;
+  size_t outer_field = 0;
+  const Relation* inner = nullptr;
+  size_t inner_field = 0;
+};
+
+/// O(|R1| * |R2|) scan-everything join — Graph 10's cautionary tale.
+TempList NestedLoopsJoin(const JoinSpec& spec);
+
+/// Builds a Chained Bucket Hash on the inner join column, then probes it
+/// once per outer tuple.  The build cost is part of the algorithm.
+TempList HashJoin(const JoinSpec& spec);
+
+/// Probes an *existing* ordered index on the inner join column once per
+/// outer tuple; duplicates are contiguous in the index so each probe is a
+/// lower-bound search plus a short scan.
+TempList TreeJoin(const JoinSpec& spec, const OrderedIndex& inner_index);
+
+/// Probes an *existing* hash index on the inner join column (Section 3.3.5:
+/// the small-outer exception "would also be true for a hash index if it
+/// already existed" — no build cost is paid).
+TempList HashProbeJoin(const JoinSpec& spec, const HashIndex& inner_index);
+
+/// Builds array indices on both join columns, sorts them (hybrid quicksort,
+/// insertion cutoff per Section 3.3.2), and merge-joins the arrays.
+TempList SortMergeJoin(const JoinSpec& spec,
+                       int insertion_cutoff = kDefaultInsertionSortCutoff);
+
+/// Merge join over two *existing* ordered indices (typically T Trees).
+TempList TreeMergeJoin(const JoinSpec& spec, const OrderedIndex& outer_index,
+                       const OrderedIndex& inner_index);
+
+/// Precomputed join (Section 2.1): the outer relation's kPointer field
+/// `fk_field` already holds the matching inner tuple; emitting the result
+/// is a single scan.  Rows with a null pointer are skipped.
+TempList PrecomputedJoin(const Relation& outer, size_t fk_field);
+
+/// Non-equijoin (Section 3.3.5): "non-equijoins other than 'not equals' can
+/// make use of ordering of the data, so the Tree Join should be used for
+/// such (<, <=, >, >=) joins".  Emits every pair where
+/// `outer.outer_field op inner.inner_field` holds, by scanning the ordered
+/// inner index from the bound implied by each outer tuple.  `op` must be
+/// one of kLt/kLe/kGt/kGe.
+TempList TreeInequalityJoin(const JoinSpec& spec, CompareOp op,
+                            const OrderedIndex& inner_index);
+
+/// Joins a width-1 temporary list (e.g. a selection result) against a base
+/// relation — the Query 2 pipeline of Section 2.1.  `outer_field` is a
+/// field of the list's source relation.  Probes `inner_index` if given;
+/// otherwise builds a chained-bucket hash on the inner join column.
+TempList TempListJoin(const TempList& outer_list, size_t outer_field,
+                      const Relation& inner, size_t inner_field,
+                      const TupleIndex* inner_index = nullptr);
+
+/// Section 2.3: "it is also possible to have an index on a temporary
+/// list".  Builds an index over the *distinct* tuples that column `column`
+/// of the list resolves to (duplicate pointers are indexed once), keyed on
+/// the column's final field.
+std::unique_ptr<TupleIndex> BuildTempListIndex(const TempList& list,
+                                               size_t column, IndexKind kind,
+                                               IndexConfig config = {});
+
+/// Helper shared with benches: a sorted array index over one relation's
+/// join column, built by append + hybrid sort (the Sort Merge build phase).
+std::unique_ptr<ArrayIndex> BuildSortedArray(
+    const Relation& rel, size_t field,
+    int insertion_cutoff = kDefaultInsertionSortCutoff);
+
+/// Helper shared with benches: a Chained Bucket Hash on `field`, sized to
+/// the relation's cardinality (the Hash Join build phase).
+std::unique_ptr<ChainedBucketHash> BuildJoinHash(const Relation& rel,
+                                                 size_t field);
+
+}  // namespace mmdb
+
+#endif  // MMDB_EXEC_JOIN_H_

@@ -1,0 +1,65 @@
+#include "src/exec/predicate.h"
+
+#include <sstream>
+
+#include "src/storage/tuple.h"
+
+namespace mmdb {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool Condition::Matches(TupleRef t, const Schema& schema) const {
+  const int c = tuple::CompareValueField(value, t, schema, field);
+  // c compares value against the field: c < 0 means value < field.
+  switch (op) {
+    case CompareOp::kEq: return c == 0;
+    case CompareOp::kNe: return c != 0;
+    case CompareOp::kLt: return c > 0;   // field < value
+    case CompareOp::kLe: return c >= 0;
+    case CompareOp::kGt: return c < 0;   // field > value
+    case CompareOp::kGe: return c <= 0;
+  }
+  return false;
+}
+
+std::optional<size_t> Predicate::EqualityOn(size_t field) const {
+  for (size_t i = 0; i < conditions_.size(); ++i) {
+    if (conditions_[i].field == field && conditions_[i].op == CompareOp::kEq) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<size_t> Predicate::SargableOn(size_t field) const {
+  for (size_t i = 0; i < conditions_.size(); ++i) {
+    if (conditions_[i].field == field && conditions_[i].op != CompareOp::kNe) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string Predicate::ToString(const Schema& schema) const {
+  if (conditions_.empty()) return "true";
+  std::ostringstream os;
+  for (size_t i = 0; i < conditions_.size(); ++i) {
+    if (i) os << " and ";
+    const Condition& c = conditions_[i];
+    os << schema.field(c.field).name << " " << CompareOpName(c.op) << " "
+       << c.value.ToString();
+  }
+  return os.str();
+}
+
+}  // namespace mmdb

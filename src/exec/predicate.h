@@ -1,0 +1,67 @@
+// Predicates: conjunctions of (field op constant) conditions over a single
+// relation, the selection language of Section 3.2.  Equality and range
+// conditions are what access-path selection (Section 4) keys off: "a hash
+// lookup (exact match only) is always faster than a tree lookup which is
+// always faster than a sequential scan".
+
+#ifndef MMDB_EXEC_PREDICATE_H_
+#define MMDB_EXEC_PREDICATE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/storage/schema.h"
+#include "src/storage/value.h"
+
+namespace mmdb {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+/// One conjunct: tuple.field `op` value.
+struct Condition {
+  size_t field = 0;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+
+  /// Evaluates against a tuple of `schema`.
+  bool Matches(TupleRef t, const Schema& schema) const;
+};
+
+/// Conjunction of conditions (empty = always true).
+class Predicate {
+ public:
+  Predicate() = default;
+
+  Predicate& Add(size_t field, CompareOp op, Value value) {
+    conditions_.push_back(Condition{field, op, std::move(value)});
+    return *this;
+  }
+
+  bool Matches(TupleRef t, const Schema& schema) const {
+    for (const Condition& c : conditions_) {
+      if (!c.Matches(t, schema)) return false;
+    }
+    return true;
+  }
+
+  const std::vector<Condition>& conditions() const { return conditions_; }
+  bool empty() const { return conditions_.empty(); }
+
+  /// Index of the first equality condition on `field`, or nullopt.
+  std::optional<size_t> EqualityOn(size_t field) const;
+  /// Index of the first range-compatible condition (anything but kNe) on
+  /// `field`, or nullopt.
+  std::optional<size_t> SargableOn(size_t field) const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<Condition> conditions_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_EXEC_PREDICATE_H_

@@ -1,0 +1,93 @@
+#include "src/exec/project.h"
+
+#include <numeric>
+#include <vector>
+
+#include "src/storage/tuple.h"
+#include "src/util/hash.h"
+
+namespace mmdb {
+
+int CompareRows(const TempList& list, size_t r1, size_t r2) {
+  const ResultDescriptor& desc = list.descriptor();
+  for (size_t c = 0; c < desc.columns().size(); ++c) {
+    TupleRef t1 = list.ResolveColumnTuple(r1, c);
+    TupleRef t2 = list.ResolveColumnTuple(r2, c);
+    if (t1 == nullptr || t2 == nullptr) {
+      if (t1 != t2) return t1 == nullptr ? -1 : 1;
+      continue;
+    }
+    int cmp = tuple::CompareField(t1, t2, *desc.ColumnSchema(c),
+                                  desc.ColumnField(c));
+    if (cmp != 0) return cmp;
+  }
+  return 0;
+}
+
+uint64_t HashRow(const TempList& list, size_t r) {
+  const ResultDescriptor& desc = list.descriptor();
+  uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (size_t c = 0; c < desc.columns().size(); ++c) {
+    TupleRef t = list.ResolveColumnTuple(r, c);
+    const uint64_t hc =
+        t == nullptr ? 0
+                     : tuple::HashField(t, *desc.ColumnSchema(c),
+                                        desc.ColumnField(c));
+    h = HashMix64(h ^ hc);
+  }
+  return h;
+}
+
+TempList ProjectSortScan(const TempList& in, int insertion_cutoff) {
+  const size_t n = in.size();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  HybridSort(
+      order.data(), n,
+      [&](uint32_t a, uint32_t b) { return CompareRows(in, a, b) < 0; },
+      insertion_cutoff);
+
+  TempList out(in.descriptor());
+  const size_t w = in.width();
+  std::vector<TupleRef> row(w);
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0 && CompareRows(in, order[i - 1], order[i]) == 0) continue;
+    for (size_t s = 0; s < w; ++s) row[s] = in.At(order[i], s);
+    out.Append(row);
+  }
+  return out;
+}
+
+TempList ProjectHash(const TempList& in) {
+  const size_t n = in.size();
+  // "The hash table size was always chosen to be |R|/2."
+  const size_t buckets = n / 2 < 1 ? 1 : n / 2;
+  std::vector<int64_t> heads(buckets, -1);
+  std::vector<int64_t> next;
+  std::vector<uint32_t> kept;  // rows admitted, parallel to `next`
+  next.reserve(n / 2);
+  kept.reserve(n / 2);
+
+  TempList out(in.descriptor());
+  const size_t w = in.width();
+  std::vector<TupleRef> row(w);
+  for (size_t r = 0; r < n; ++r) {
+    const size_t b = HashRow(in, r) % buckets;
+    bool duplicate = false;
+    for (int64_t e = heads[b]; e != -1; e = next[e]) {
+      if (CompareRows(in, kept[e], r) == 0) {
+        duplicate = true;  // discarded as encountered (Section 3.4)
+        break;
+      }
+    }
+    if (duplicate) continue;
+    next.push_back(heads[b]);
+    kept.push_back(static_cast<uint32_t>(r));
+    heads[b] = static_cast<int64_t>(kept.size()) - 1;
+    for (size_t s = 0; s < w; ++s) row[s] = in.At(r, s);
+    out.Append(row);
+  }
+  return out;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,33 @@
+// Projection (Section 3.4).  Width reduction is free in the MM-DBMS — the
+// result descriptor already names the output columns and tuples are never
+// copied — so the only real work is *duplicate elimination*.  Two
+// algorithms were studied: Sort Scan [BBD83] (sort the rows on the output
+// columns, drop adjacent equals during the scan) and Hashing [DKO84] (a
+// chained hash table sized |R|/2; duplicates are discarded as they are
+// encountered).  Hashing wins everywhere (Graphs 11 and 12).
+
+#ifndef MMDB_EXEC_PROJECT_H_
+#define MMDB_EXEC_PROJECT_H_
+
+#include "src/storage/temp_list.h"
+#include "src/util/sort.h"
+
+namespace mmdb {
+
+/// Compares rows r1, r2 of `list` column-wise per its descriptor.
+int CompareRows(const TempList& list, size_t r1, size_t r2);
+
+/// Hash of row r over the descriptor columns, consistent with CompareRows.
+uint64_t HashRow(const TempList& list, size_t r);
+
+/// Sort Scan duplicate elimination: returns a TempList with one row per
+/// distinct column-value combination (first occurrence in sort order).
+TempList ProjectSortScan(const TempList& in,
+                         int insertion_cutoff = kDefaultInsertionSortCutoff);
+
+/// Hashing duplicate elimination, table sized |R|/2 as in the paper.
+TempList ProjectHash(const TempList& in);
+
+}  // namespace mmdb
+
+#endif  // MMDB_EXEC_PROJECT_H_

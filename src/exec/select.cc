@@ -1,0 +1,163 @@
+#include "src/exec/select.h"
+
+#include <cassert>
+
+namespace mmdb {
+namespace {
+
+ResultDescriptor SingleSource(const Relation& rel) {
+  return ResultDescriptor({&rel});
+}
+
+/// Applies all conditions except `skip` (use SIZE_MAX to apply all).
+bool Residual(const Predicate& pred, size_t skip, TupleRef t,
+              const Schema& schema) {
+  const auto& conds = pred.conditions();
+  for (size_t i = 0; i < conds.size(); ++i) {
+    if (i == skip) continue;
+    if (!conds[i].Matches(t, schema)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* AccessPathName(AccessPath path) {
+  switch (path) {
+    case AccessPath::kHashLookup: return "hash lookup";
+    case AccessPath::kTreeLookup: return "tree lookup";
+    case AccessPath::kTreeRange: return "tree range scan";
+    case AccessPath::kSequentialScan: return "sequential scan";
+  }
+  return "?";
+}
+
+void ScanRelation(const Relation& rel, const ScanFn& fn) {
+  TupleIndex* primary = rel.primary_index();
+  assert(primary != nullptr && "relations must have at least one index");
+  if (primary == nullptr) {
+    // Defensive release-mode fallback; Section 2.1 requires an index, but a
+    // raw partition walk beats undefined behavior.
+    rel.ForEachTuple([&](TupleRef t) { fn(t); });
+    return;
+  }
+  if (IndexKindOrdered(primary->kind())) {
+    static_cast<const OrderedIndex*>(primary)->ScanAll(fn);
+  } else {
+    static_cast<const HashIndex*>(primary)->ScanAll(fn);
+  }
+}
+
+TempList SelectScan(const Relation& rel, const Predicate& pred) {
+  TempList out(SingleSource(rel));
+  const Schema& schema = rel.schema();
+  ScanRelation(rel, [&](TupleRef t) {
+    if (pred.Matches(t, schema)) out.Append1(t);
+    return true;
+  });
+  return out;
+}
+
+TempList SelectHash(const Relation& rel, const Predicate& pred, size_t eq,
+                    const HashIndex& index) {
+  TempList out(SingleSource(rel));
+  const Condition& cond = pred.conditions()[eq];
+  assert(cond.op == CompareOp::kEq);
+  std::vector<TupleRef> hits;
+  index.FindAll(cond.value, &hits);
+  const Schema& schema = rel.schema();
+  for (TupleRef t : hits) {
+    if (Residual(pred, eq, t, schema)) out.Append1(t);
+  }
+  return out;
+}
+
+TempList SelectTree(const Relation& rel, const Predicate& pred, size_t sarg,
+                    const OrderedIndex& index) {
+  TempList out(SingleSource(rel));
+  const size_t key_field = pred.conditions()[sarg].field;
+  const Schema& schema = rel.schema();
+
+  // Combine *every* sargable condition on the key field into the tightest
+  // [lo, hi] window, so `k >= 1000 and k < 1010` scans ten items, not the
+  // tail of the index.  All conditions still run as residual filters (the
+  // redundant re-check of the bounds is a comparison, not a scan).
+  Bound lo, hi;
+  auto tighten_lo = [&](const Value* v, bool inclusive) {
+    // Stricter = larger value, or same value but exclusive.
+    if (lo.value == nullptr || lo.value->Compare(*v) < 0 ||
+        (lo.value->Compare(*v) == 0 && !inclusive)) {
+      lo = {v, inclusive};
+    }
+  };
+  auto tighten_hi = [&](const Value* v, bool inclusive) {
+    if (hi.value == nullptr || hi.value->Compare(*v) > 0 ||
+        (hi.value->Compare(*v) == 0 && !inclusive)) {
+      hi = {v, inclusive};
+    }
+  };
+  for (const Condition& cond : pred.conditions()) {
+    if (cond.field != key_field) continue;
+    switch (cond.op) {
+      case CompareOp::kEq:
+        tighten_lo(&cond.value, true);
+        tighten_hi(&cond.value, true);
+        break;
+      case CompareOp::kLt:
+        tighten_hi(&cond.value, false);
+        break;
+      case CompareOp::kLe:
+        tighten_hi(&cond.value, true);
+        break;
+      case CompareOp::kGt:
+        tighten_lo(&cond.value, false);
+        break;
+      case CompareOp::kGe:
+        tighten_lo(&cond.value, true);
+        break;
+      case CompareOp::kNe:
+        break;  // not sargable; handled residually
+    }
+  }
+  index.ScanRange(lo, hi, [&](TupleRef t) {
+    if (Residual(pred, /*skip=*/static_cast<size_t>(-1), t, schema)) {
+      out.Append1(t);
+    }
+    return true;
+  });
+  return out;
+}
+
+TempList Select(const Relation& rel, const Predicate& pred,
+                AccessPath* path_used) {
+  // Section 4 ordering: hash lookup (exact match only) beats tree lookup
+  // beats sequential scan.
+  for (const auto& index : rel.indexes()) {
+    if (IndexKindOrdered(index->kind()) || index->key_fields().size() != 1) {
+      continue;
+    }
+    if (auto eq = pred.EqualityOn(index->key_fields()[0])) {
+      if (path_used != nullptr) *path_used = AccessPath::kHashLookup;
+      return SelectHash(rel, pred, *eq,
+                        *static_cast<const HashIndex*>(index.get()));
+    }
+  }
+  for (const auto& index : rel.indexes()) {
+    if (!IndexKindOrdered(index->kind()) || index->key_fields().size() != 1) {
+      continue;
+    }
+    if (auto sarg = pred.SargableOn(index->key_fields()[0])) {
+      if (path_used != nullptr) {
+        *path_used = pred.conditions()[*sarg].op == CompareOp::kEq
+                         ? AccessPath::kTreeLookup
+                         : AccessPath::kTreeRange;
+      }
+      return SelectTree(rel, pred, *sarg,
+                        *static_cast<const OrderedIndex*>(index.get()));
+    }
+  }
+  if (path_used != nullptr) *path_used = AccessPath::kSequentialScan;
+  return SelectScan(rel, pred);
+}
+
+}  // namespace mmdb

@@ -1,0 +1,45 @@
+// Selection operators (Section 3.2 / Section 4).  Three access paths exist
+// in the MM-DBMS: hash lookup (exact match only), ordered-index lookup /
+// range scan, and a sequential scan "through an unrelated index".  The
+// result is always a width-1 temporary list of tuple pointers.
+
+#ifndef MMDB_EXEC_SELECT_H_
+#define MMDB_EXEC_SELECT_H_
+
+#include "src/exec/predicate.h"
+#include "src/index/index.h"
+#include "src/storage/relation.h"
+#include "src/storage/temp_list.h"
+
+namespace mmdb {
+
+enum class AccessPath { kHashLookup, kTreeLookup, kTreeRange, kSequentialScan };
+
+const char* AccessPathName(AccessPath path);
+
+/// Scans every tuple of `rel` through an index (Section 2.1 forbids direct
+/// relation traversal).  Works with either index family.
+void ScanRelation(const Relation& rel, const ScanFn& fn);
+
+/// Sequential-scan selection: filters every tuple against `pred`.
+TempList SelectScan(const Relation& rel, const Predicate& pred);
+
+/// Hash-lookup selection: the equality condition `eq` (index into
+/// pred.conditions()) probes `index`; remaining conditions filter residually.
+TempList SelectHash(const Relation& rel, const Predicate& pred, size_t eq,
+                    const HashIndex& index);
+
+/// Ordered-index selection: the sargable condition `sarg` bounds a range
+/// scan of `index`; remaining conditions filter residually.
+TempList SelectTree(const Relation& rel, const Predicate& pred, size_t sarg,
+                    const OrderedIndex& index);
+
+/// Chooses the best access path for `pred` per the Section 4 preference
+/// order (hash lookup > tree lookup > sequential scan) and runs it.
+/// If `path_used` is non-null it receives the chosen path.
+TempList Select(const Relation& rel, const Predicate& pred,
+                AccessPath* path_used = nullptr);
+
+}  // namespace mmdb
+
+#endif  // MMDB_EXEC_SELECT_H_

@@ -1,0 +1,40 @@
+#include "src/exec/sort.h"
+
+#include <numeric>
+
+#include "src/exec/project.h"
+#include "src/storage/tuple.h"
+
+namespace mmdb {
+
+TempList SortTempList(const TempList& in, int insertion_cutoff) {
+  const size_t n = in.size();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  HybridSort(
+      order.data(), n,
+      [&](uint32_t a, uint32_t b) { return CompareRows(in, a, b) < 0; },
+      insertion_cutoff);
+
+  TempList out(in.descriptor());
+  out.Reserve(n);
+  const size_t w = in.width();
+  std::vector<TupleRef> row(w);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t s = 0; s < w; ++s) row[s] = in.At(order[i], s);
+    out.Append(row);
+  }
+  return out;
+}
+
+void SortTupleRefs(std::vector<TupleRef>* refs, const Schema& schema,
+                   size_t field, int insertion_cutoff) {
+  HybridSort(
+      refs->data(), refs->size(),
+      [&](TupleRef a, TupleRef b) {
+        return tuple::CompareField(a, b, schema, field) < 0;
+      },
+      insertion_cutoff);
+}
+
+}  // namespace mmdb

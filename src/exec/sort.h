@@ -1,0 +1,27 @@
+// Sorting entry points for query processing: sorting temporary lists on
+// their output columns, used by ORDER BY-style consumers and by the sort
+// tuning ablation bench.  The underlying algorithm is the hybrid quicksort
+// of util/sort.h (the paper's quicksort + insertion-sort-cutoff-10).
+
+#ifndef MMDB_EXEC_SORT_H_
+#define MMDB_EXEC_SORT_H_
+
+#include "src/storage/temp_list.h"
+#include "src/util/sort.h"
+
+namespace mmdb {
+
+/// Returns a copy of `in` with rows ordered by the descriptor's columns
+/// (lexicographic, ascending).
+TempList SortTempList(const TempList& in,
+                      int insertion_cutoff = kDefaultInsertionSortCutoff);
+
+/// Sorts raw tuple pointers by a single field.  Exposed for benches that
+/// time the Sort Merge build phase in isolation.
+void SortTupleRefs(std::vector<TupleRef>* refs, const Schema& schema,
+                   size_t field,
+                   int insertion_cutoff = kDefaultInsertionSortCutoff);
+
+}  // namespace mmdb
+
+#endif  // MMDB_EXEC_SORT_H_

@@ -1,0 +1,128 @@
+#include "src/index/array_index.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/util/counters.h"
+#include "src/util/sort.h"
+
+namespace mmdb {
+
+class ArrayIndex::CursorImpl : public OrderedIndex::Cursor {
+ public:
+  CursorImpl(const ArrayIndex* index, size_t pos, bool valid)
+      : index_(index), pos_(pos), valid_(valid) {}
+
+  bool Valid() const override { return valid_; }
+  TupleRef Get() const override { return index_->items_[pos_]; }
+
+  void Next() override {
+    if (!valid_) return;
+    if (++pos_ >= index_->items_.size()) valid_ = false;
+  }
+
+  void Prev() override {
+    if (!valid_) return;
+    if (pos_ == 0) {
+      valid_ = false;
+    } else {
+      --pos_;
+    }
+  }
+
+  std::unique_ptr<Cursor> Clone() const override {
+    return std::make_unique<CursorImpl>(index_, pos_, valid_);
+  }
+
+ private:
+  const ArrayIndex* index_;
+  size_t pos_;
+  bool valid_;
+};
+
+ArrayIndex::ArrayIndex(std::shared_ptr<const KeyOps> ops,
+                       const IndexConfig& config)
+    : ops_(std::move(ops)) {
+  set_unique(config.unique);
+  if (config.expected > 0) items_.reserve(config.expected);
+}
+
+size_t ArrayIndex::LowerBoundTie(TupleRef t) const {
+  size_t lo = 0, hi = items_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (ops_->CompareTie(items_[mid], t) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t ArrayIndex::LowerBoundValue(const Value& v) const {
+  size_t lo = 0, hi = items_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    // CompareValue(v, t) > 0 means v > key(t), i.e. key(t) < v.
+    if (ops_->CompareValue(v, items_[mid]) > 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool ArrayIndex::Insert(TupleRef t) {
+  if (!sorted_) {  // bulk-load bracket: append now, sort in EndBulk()
+    items_.push_back(t);
+    return true;
+  }
+  size_t pos = LowerBoundTie(t);
+  if (pos < items_.size() && items_[pos] == t) return false;  // already here
+  if (unique()) {
+    // A duplicate key sits at pos (same key, larger ptr) or pos-1.
+    if (pos < items_.size() && ops_->Compare(items_[pos], t) == 0) return false;
+    if (pos > 0 && ops_->Compare(items_[pos - 1], t) == 0) return false;
+  }
+  counters::BumpDataMoves(items_.size() - pos);
+  items_.insert(items_.begin() + pos, t);
+  return true;
+}
+
+bool ArrayIndex::Erase(TupleRef t) {
+  assert(sorted_ && "cannot Erase from an unsealed array index");
+  size_t pos = LowerBoundTie(t);
+  if (pos >= items_.size() || items_[pos] != t) return false;
+  counters::BumpDataMoves(items_.size() - pos - 1);
+  items_.erase(items_.begin() + pos);
+  return true;
+}
+
+size_t ArrayIndex::StorageBytes() const {
+  return sizeof(*this) + items_.capacity() * sizeof(TupleRef);
+}
+
+std::unique_ptr<OrderedIndex::Cursor> ArrayIndex::First() const {
+  return std::make_unique<CursorImpl>(this, 0, !items_.empty());
+}
+
+std::unique_ptr<OrderedIndex::Cursor> ArrayIndex::Last() const {
+  return std::make_unique<CursorImpl>(
+      this, items_.empty() ? 0 : items_.size() - 1, !items_.empty());
+}
+
+std::unique_ptr<OrderedIndex::Cursor> ArrayIndex::Seek(const Value& v) const {
+  size_t pos = LowerBoundValue(v);
+  return std::make_unique<CursorImpl>(this, pos, pos < items_.size());
+}
+
+void ArrayIndex::Seal(int insertion_cutoff) {
+  HybridSort(items_.data(), items_.size(),
+             [this](TupleRef a, TupleRef b) { return ops_->CompareTie(a, b) < 0; },
+             insertion_cutoff);
+  sorted_ = true;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,67 @@
+// Array index [AHK85]: a sorted, contiguous array of tuple pointers with
+// pure binary search.  The paper's verdict (Table 1): good search, *poor*
+// update — "every update requires moving half of the array, on the average"
+// — good storage (it is the storage-factor baseline, 1.0).
+//
+// It is nevertheless the workhorse of the Sort Merge join: cheap to build
+// unsorted (AppendUnsorted) and then Seal(), and ~1.5x faster to scan than a
+// T Tree because the elements are contiguous.
+
+#ifndef MMDB_INDEX_ARRAY_INDEX_H_
+#define MMDB_INDEX_ARRAY_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/index/index.h"
+#include "src/util/sort.h"
+
+namespace mmdb {
+
+class ArrayIndex : public OrderedIndex {
+ public:
+  ArrayIndex(std::shared_ptr<const KeyOps> ops, const IndexConfig& config);
+
+  IndexKind kind() const override { return IndexKind::kArray; }
+  const KeyOps& key_ops() const override { return *ops_; }
+
+  bool Insert(TupleRef t) override;
+  bool Erase(TupleRef t) override;
+  size_t size() const override { return items_.size(); }
+  size_t StorageBytes() const override;
+  void BeginBulk() override { sorted_ = false; }
+  void EndBulk() override { Seal(); }
+
+  std::unique_ptr<Cursor> First() const override;
+  std::unique_ptr<Cursor> Last() const override;
+  std::unique_ptr<Cursor> Seek(const Value& v) const override;
+
+  // ---- Bulk-build path for Sort Merge (Section 3.3.2) ----------------------
+
+  /// Appends without maintaining order; the index is unusable for searches
+  /// until Seal() runs.
+  void AppendUnsorted(TupleRef t) { items_.push_back(t); }
+  /// Sorts the appended items (hybrid quicksort, insertion cutoff below).
+  void Seal(int insertion_cutoff = kDefaultInsertionSortCutoff);
+  bool sealed() const { return sorted_; }
+
+  /// Direct positional access (contiguous scan path of the merge join).
+  TupleRef at(size_t i) const { return items_[i]; }
+  const std::vector<TupleRef>& items() const { return items_; }
+
+ private:
+  /// First position whose element is >= (key(t), t) in tie-broken order.
+  size_t LowerBoundTie(TupleRef t) const;
+  /// First position whose element's key is >= v.
+  size_t LowerBoundValue(const Value& v) const;
+
+  class CursorImpl;
+
+  std::shared_ptr<const KeyOps> ops_;
+  std::vector<TupleRef> items_;
+  bool sorted_ = true;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_INDEX_ARRAY_INDEX_H_

@@ -1,0 +1,261 @@
+#include "src/index/avl_tree.h"
+
+#include <cassert>
+
+#include "src/util/counters.h"
+
+namespace mmdb {
+
+class AvlTree::CursorImpl : public OrderedIndex::Cursor {
+ public:
+  explicit CursorImpl(Node* node) : node_(node) {}
+
+  bool Valid() const override { return node_ != nullptr; }
+  TupleRef Get() const override { return node_->item; }
+  void Next() override {
+    if (node_ != nullptr) node_ = Successor(node_);
+  }
+  void Prev() override {
+    if (node_ != nullptr) node_ = Predecessor(node_);
+  }
+  std::unique_ptr<Cursor> Clone() const override {
+    return std::make_unique<CursorImpl>(node_);
+  }
+
+ private:
+  Node* node_;
+};
+
+AvlTree::AvlTree(std::shared_ptr<const KeyOps> ops, const IndexConfig& config)
+    : ops_(std::move(ops)), pool_(&arena_) {
+  set_unique(config.unique);
+}
+
+AvlTree::~AvlTree() = default;  // arena frees all nodes at once
+
+AvlTree::Node* AvlTree::NewNode(TupleRef t, Node* parent) {
+  Node* n = static_cast<Node*>(pool_.Allocate());
+  n->item = t;
+  n->left = n->right = nullptr;
+  n->parent = parent;
+  n->height = 1;
+  return n;
+}
+
+void AvlTree::FreeNode(Node* n) { pool_.Free(n); }
+
+int AvlTree::BalanceOf(const Node* n) {
+  return NodeHeight(n->right) - NodeHeight(n->left);
+}
+
+bool AvlTree::UpdateHeight(Node* n) {
+  int lh = NodeHeight(n->left), rh = NodeHeight(n->right);
+  int8_t h = static_cast<int8_t>((lh > rh ? lh : rh) + 1);
+  if (h == n->height) return false;
+  n->height = h;
+  return true;
+}
+
+void AvlTree::Replace(Node* parent, Node* child, Node* with) {
+  if (parent == nullptr) {
+    root_ = with;
+  } else if (parent->left == child) {
+    parent->left = with;
+  } else {
+    parent->right = with;
+  }
+  if (with != nullptr) with->parent = parent;
+}
+
+AvlTree::Node* AvlTree::RotateLeft(Node* n) {
+  counters::BumpRotations();
+  Node* r = n->right;
+  Replace(n->parent, n, r);
+  n->right = r->left;
+  if (n->right != nullptr) n->right->parent = n;
+  r->left = n;
+  n->parent = r;
+  UpdateHeight(n);
+  UpdateHeight(r);
+  return r;
+}
+
+AvlTree::Node* AvlTree::RotateRight(Node* n) {
+  counters::BumpRotations();
+  Node* l = n->left;
+  Replace(n->parent, n, l);
+  n->left = l->right;
+  if (n->left != nullptr) n->left->parent = n;
+  l->right = n;
+  n->parent = l;
+  UpdateHeight(n);
+  UpdateHeight(l);
+  return l;
+}
+
+void AvlTree::RebalanceUp(Node* n) {
+  while (n != nullptr) {
+    UpdateHeight(n);
+    int bf = BalanceOf(n);
+    if (bf > 1) {
+      if (BalanceOf(n->right) < 0) RotateRight(n->right);
+      n = RotateLeft(n);
+    } else if (bf < -1) {
+      if (BalanceOf(n->left) > 0) RotateLeft(n->left);
+      n = RotateRight(n);
+    }
+    n = n->parent;
+  }
+}
+
+AvlTree::Node* AvlTree::Minimum(Node* n) const {
+  while (n != nullptr && n->left != nullptr) n = n->left;
+  return n;
+}
+
+AvlTree::Node* AvlTree::Maximum(Node* n) const {
+  while (n != nullptr && n->right != nullptr) n = n->right;
+  return n;
+}
+
+AvlTree::Node* AvlTree::Successor(Node* n) {
+  if (n->right != nullptr) {
+    n = n->right;
+    while (n->left != nullptr) n = n->left;
+    return n;
+  }
+  Node* p = n->parent;
+  while (p != nullptr && p->right == n) {
+    n = p;
+    p = p->parent;
+  }
+  return p;
+}
+
+AvlTree::Node* AvlTree::Predecessor(Node* n) {
+  if (n->left != nullptr) {
+    n = n->left;
+    while (n->right != nullptr) n = n->right;
+    return n;
+  }
+  Node* p = n->parent;
+  while (p != nullptr && p->left == n) {
+    n = p;
+    p = p->parent;
+  }
+  return p;
+}
+
+AvlTree::Node* AvlTree::FindNode(TupleRef t) const {
+  Node* n = root_;
+  while (n != nullptr) {
+    counters::BumpNodeVisits();
+    int c = ops_->CompareTie(t, n->item);
+    if (c == 0) return n;
+    n = c < 0 ? n->left : n->right;
+  }
+  return nullptr;
+}
+
+bool AvlTree::Insert(TupleRef t) {
+  if (root_ == nullptr) {
+    root_ = NewNode(t, nullptr);
+    size_ = 1;
+    return true;
+  }
+  Node* n = root_;
+  for (;;) {
+    counters::BumpNodeVisits();
+    if (unique() && ops_->Compare(t, n->item) == 0) return false;
+    int c = ops_->CompareTie(t, n->item);
+    if (c == 0) return false;  // same pointer inserted twice
+    Node*& child = c < 0 ? n->left : n->right;
+    if (child == nullptr) {
+      child = NewNode(t, n);
+      ++size_;
+      RebalanceUp(n);
+      return true;
+    }
+    n = child;
+  }
+}
+
+bool AvlTree::Erase(TupleRef t) {
+  Node* n = FindNode(t);
+  if (n == nullptr) return false;
+
+  if (n->left != nullptr && n->right != nullptr) {
+    // Two children: move the successor's item here, then unlink the
+    // successor node (which has at most a right child).
+    Node* s = n->right;
+    while (s->left != nullptr) s = s->left;
+    n->item = s->item;
+    counters::BumpDataMoves();
+    n = s;
+  }
+  Node* child = n->left != nullptr ? n->left : n->right;
+  Node* parent = n->parent;
+  Replace(parent, n, child);
+  FreeNode(n);
+  --size_;
+  RebalanceUp(parent);
+  return true;
+}
+
+size_t AvlTree::StorageBytes() const {
+  return sizeof(*this) + pool_.live() * NodePool<Node>::SlotBytes();
+}
+
+std::unique_ptr<OrderedIndex::Cursor> AvlTree::First() const {
+  return std::make_unique<CursorImpl>(Minimum(root_));
+}
+
+std::unique_ptr<OrderedIndex::Cursor> AvlTree::Last() const {
+  return std::make_unique<CursorImpl>(Maximum(root_));
+}
+
+std::unique_ptr<OrderedIndex::Cursor> AvlTree::Seek(const Value& v) const {
+  Node* n = root_;
+  Node* candidate = nullptr;
+  while (n != nullptr) {
+    counters::BumpNodeVisits();
+    if (ops_->CompareValue(v, n->item) <= 0) {  // key(n) >= v
+      candidate = n;
+      n = n->left;
+    } else {
+      n = n->right;
+    }
+  }
+  return std::make_unique<CursorImpl>(candidate);
+}
+
+int AvlTree::Height() const { return NodeHeight(root_); }
+
+bool AvlTree::CheckSubtree(const Node* n, const Node* parent,
+                           int* height) const {
+  if (n == nullptr) {
+    *height = 0;
+    return true;
+  }
+  if (n->parent != parent) return false;
+  int lh = 0, rh = 0;
+  if (!CheckSubtree(n->left, n, &lh)) return false;
+  if (!CheckSubtree(n->right, n, &rh)) return false;
+  if (n->height != (lh > rh ? lh : rh) + 1) return false;
+  if (rh - lh > 1 || lh - rh > 1) return false;
+  if (n->left != nullptr && ops_->CompareTie(n->left->item, n->item) >= 0) {
+    return false;
+  }
+  if (n->right != nullptr && ops_->CompareTie(n->right->item, n->item) <= 0) {
+    return false;
+  }
+  *height = n->height;
+  return true;
+}
+
+bool AvlTree::CheckInvariants() const {
+  int h = 0;
+  return CheckSubtree(root_, nullptr, &h);
+}
+
+}  // namespace mmdb

@@ -1,0 +1,84 @@
+// AVL Tree [AHU74]: the classic balanced binary search tree, one element per
+// node.  Paper's verdict (Table 1): good search ("no arithmetic
+// calculations, ... just does one compare and then follows a pointer"),
+// fair update, *poor* storage — two pointers and control information per
+// single data item (storage factor ~3).
+//
+// Included as a comparison structure for the index study; the T Tree
+// inherits its binary-search character and rotation discipline.
+
+#ifndef MMDB_INDEX_AVL_TREE_H_
+#define MMDB_INDEX_AVL_TREE_H_
+
+#include <memory>
+
+#include "src/index/index.h"
+#include "src/util/arena.h"
+
+namespace mmdb {
+
+class AvlTree : public OrderedIndex {
+ public:
+  AvlTree(std::shared_ptr<const KeyOps> ops, const IndexConfig& config);
+  ~AvlTree() override;
+
+  IndexKind kind() const override { return IndexKind::kAvlTree; }
+  const KeyOps& key_ops() const override { return *ops_; }
+
+  bool Insert(TupleRef t) override;
+  bool Erase(TupleRef t) override;
+  size_t size() const override { return size_; }
+  size_t StorageBytes() const override;
+
+  std::unique_ptr<Cursor> First() const override;
+  std::unique_ptr<Cursor> Last() const override;
+  std::unique_ptr<Cursor> Seek(const Value& v) const override;
+
+  /// Height of the root (0 = empty); exposed for balance tests.
+  int Height() const;
+
+  /// Verifies ordering, parent links, and AVL balance everywhere.
+  /// Returns false (and stops) on the first violation.  Test hook.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node {
+    TupleRef item;
+    Node* left;
+    Node* right;
+    Node* parent;
+    int8_t height;  // height of subtree rooted here, >= 1
+  };
+
+  class CursorImpl;
+
+  Node* NewNode(TupleRef t, Node* parent);
+  void FreeNode(Node* n);
+  static int NodeHeight(const Node* n) { return n == nullptr ? 0 : n->height; }
+  static int BalanceOf(const Node* n);
+  static bool UpdateHeight(Node* n);
+  /// Replaces `child` in `parent` (or root) with `with`.
+  void Replace(Node* parent, Node* child, Node* with);
+  Node* RotateLeft(Node* n);
+  Node* RotateRight(Node* n);
+  /// Rebalances from `n` to the root, updating heights.
+  void RebalanceUp(Node* n);
+  Node* Minimum(Node* n) const;
+  Node* Maximum(Node* n) const;
+  static Node* Successor(Node* n);
+  static Node* Predecessor(Node* n);
+  /// Node containing exactly pointer t (tie-broken search), or nullptr.
+  Node* FindNode(TupleRef t) const;
+
+  bool CheckSubtree(const Node* n, const Node* parent, int* height) const;
+
+  std::shared_ptr<const KeyOps> ops_;
+  Arena arena_;
+  NodePool<Node> pool_;
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_INDEX_AVL_TREE_H_

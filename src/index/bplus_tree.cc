@@ -1,0 +1,626 @@
+#include "src/index/bplus_tree.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "src/util/counters.h"
+
+namespace mmdb {
+
+// Cursor: a (leaf, position) pair; the leaf chain makes stepping O(1).
+class BPlusTree::CursorImpl : public OrderedIndex::Cursor {
+ public:
+  CursorImpl(const BPlusTree* tree, const Node* leaf, int pos)
+      : tree_(tree), leaf_(leaf), pos_(pos) {}
+
+  bool Valid() const override { return leaf_ != nullptr; }
+  TupleRef Get() const override { return tree_->Items(leaf_)[pos_]; }
+
+  void Next() override {
+    if (leaf_ == nullptr) return;
+    if (pos_ + 1 < leaf_->count) {
+      ++pos_;
+      return;
+    }
+    leaf_ = tree_->Links(leaf_)->next;
+    pos_ = 0;
+  }
+
+  void Prev() override {
+    if (leaf_ == nullptr) return;
+    if (pos_ > 0) {
+      --pos_;
+      return;
+    }
+    leaf_ = tree_->Links(leaf_)->prev;
+    pos_ = leaf_ == nullptr ? 0 : leaf_->count - 1;
+  }
+
+  std::unique_ptr<Cursor> Clone() const override {
+    return std::make_unique<CursorImpl>(tree_, leaf_, pos_);
+  }
+
+ private:
+  const BPlusTree* tree_;
+  const Node* leaf_;
+  int pos_;
+};
+
+BPlusTree::BPlusTree(std::shared_ptr<const KeyOps> ops,
+                     const IndexConfig& config)
+    : ops_(std::move(ops)),
+      max_entries_(config.node_size < 2 ? 2 : config.node_size),
+      min_entries_(max_entries_ / 2) {
+  set_unique(config.unique);
+}
+
+BPlusTree::~BPlusTree() = default;
+
+size_t BPlusTree::NodeBytes(bool leaf) const {
+  size_t bytes = sizeof(Node) + max_entries_ * sizeof(TupleRef);
+  bytes += leaf ? sizeof(LeafLinks) : (max_entries_ + 1) * sizeof(Node*);
+  return bytes;
+}
+
+BPlusTree::Node* BPlusTree::NewNode(bool leaf, Node* parent) {
+  void** free_list = leaf ? &free_leaves_ : &free_internal_;
+  Node* n;
+  if (*free_list != nullptr) {
+    n = static_cast<Node*>(*free_list);
+    *free_list = *static_cast<void**>(*free_list);
+  } else {
+    n = static_cast<Node*>(arena_.Allocate(NodeBytes(leaf)));
+  }
+  n->parent = parent;
+  n->count = 0;
+  n->leaf = leaf;
+  if (leaf) {
+    Links(n)->prev = Links(n)->next = nullptr;
+    ++leaf_count_;
+  } else {
+    ++internal_count_;
+  }
+  return n;
+}
+
+void BPlusTree::FreeNode(Node* n) {
+  void** free_list = n->leaf ? &free_leaves_ : &free_internal_;
+  if (n->leaf) {
+    --leaf_count_;
+  } else {
+    --internal_count_;
+  }
+  *reinterpret_cast<void**>(n) = *free_list;
+  *free_list = n;
+}
+
+int BPlusTree::LowerBoundTie(const Node* n, TupleRef t) const {
+  const TupleRef* items = Items(n);
+  int lo = 0, hi = n->count;
+  while (lo < hi) {
+    int mid = lo + (hi - lo) / 2;
+    if (ops_->CompareTie(items[mid], t) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int BPlusTree::ChildIndexFor(const Node* n, TupleRef t) const {
+  // Separator keys[i] is the smallest tie-key of subtree children[i+1]:
+  // descend into children[upper_bound] = first separator tie-> t... i.e.
+  // number of separators <= t.
+  const TupleRef* keys = Items(n);
+  int lo = 0, hi = n->count;
+  while (lo < hi) {
+    int mid = lo + (hi - lo) / 2;
+    if (ops_->CompareTie(keys[mid], t) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int BPlusTree::ChildSlotOf(const Node* parent, const Node* child) const {
+  Node* const* ch = Children(parent);
+  for (int i = 0; i <= parent->count; ++i) {
+    if (ch[i] == child) return i;
+  }
+  assert(false && "child not under parent");
+  return -1;
+}
+
+BPlusTree::Node* BPlusTree::LeafFor(TupleRef t) const {
+  Node* n = root_;
+  while (n != nullptr && !n->leaf) {
+    counters::BumpNodeVisits();
+    n = Children(n)[ChildIndexFor(n, t)];
+  }
+  return n;
+}
+
+BPlusTree::Node* BPlusTree::LeftmostLeaf() const {
+  Node* n = root_;
+  while (n != nullptr && !n->leaf) n = Children(n)[0];
+  return n;
+}
+
+BPlusTree::Node* BPlusTree::RightmostLeaf() const {
+  Node* n = root_;
+  while (n != nullptr && !n->leaf) n = Children(n)[n->count];
+  return n;
+}
+
+void BPlusTree::InsertSeparator(Node* n, int slot, TupleRef key, Node* right) {
+  TupleRef* keys = Items(n);
+  Node** ch = Children(n);
+  if (n->count < max_entries_) {
+    std::memmove(keys + slot + 1, keys + slot,
+                 (n->count - slot) * sizeof(TupleRef));
+    std::memmove(ch + slot + 2, ch + slot + 1,
+                 (n->count - slot) * sizeof(Node*));
+    counters::BumpDataMoves(n->count - slot + 1);
+    keys[slot] = key;
+    ch[slot + 1] = right;
+    right->parent = n;
+    ++n->count;
+    return;
+  }
+
+  // Split: assemble the max+1 keys / max+2 children, push the middle key up.
+  counters::BumpSplits();
+  const int total = max_entries_ + 1;
+  std::vector<TupleRef> all(total);
+  std::vector<Node*> kids(total + 1);
+  std::memcpy(all.data(), keys, slot * sizeof(TupleRef));
+  all[slot] = key;
+  std::memcpy(all.data() + slot + 1, keys + slot,
+              (max_entries_ - slot) * sizeof(TupleRef));
+  std::memcpy(kids.data(), ch, (slot + 1) * sizeof(Node*));
+  kids[slot + 1] = right;
+  std::memcpy(kids.data() + slot + 2, ch + slot + 1,
+              (max_entries_ - slot) * sizeof(Node*));
+  counters::BumpDataMoves(total);
+
+  const int mid = total / 2;
+  const TupleRef up_key = all[mid];
+  Node* sibling = NewNode(/*leaf=*/false, n->parent);
+
+  n->count = static_cast<int16_t>(mid);
+  std::memcpy(keys, all.data(), mid * sizeof(TupleRef));
+  std::memcpy(ch, kids.data(), (mid + 1) * sizeof(Node*));
+  sibling->count = static_cast<int16_t>(total - mid - 1);
+  std::memcpy(Items(sibling), all.data() + mid + 1,
+              sibling->count * sizeof(TupleRef));
+  std::memcpy(Children(sibling), kids.data() + mid + 1,
+              (sibling->count + 1) * sizeof(Node*));
+  for (int i = 0; i <= n->count; ++i) Children(n)[i]->parent = n;
+  for (int i = 0; i <= sibling->count; ++i) {
+    Children(sibling)[i]->parent = sibling;
+  }
+
+  if (n == root_) {
+    Node* new_root = NewNode(/*leaf=*/false, nullptr);
+    new_root->count = 1;
+    Items(new_root)[0] = up_key;
+    Children(new_root)[0] = n;
+    Children(new_root)[1] = sibling;
+    n->parent = new_root;
+    sibling->parent = new_root;
+    root_ = new_root;
+    return;
+  }
+  InsertSeparator(n->parent, ChildSlotOf(n->parent, n), up_key, sibling);
+}
+
+bool BPlusTree::Insert(TupleRef t) {
+  if (root_ == nullptr) {
+    root_ = NewNode(/*leaf=*/true, nullptr);
+    Items(root_)[0] = t;
+    root_->count = 1;
+    size_ = 1;
+    return true;
+  }
+  Node* leaf = LeafFor(t);
+  TupleRef* items = Items(leaf);
+  const int pos = LowerBoundTie(leaf, t);
+  if (pos < leaf->count && items[pos] == t) return false;
+  if (unique()) {
+    if (pos < leaf->count && ops_->Compare(t, items[pos]) == 0) return false;
+    if (pos > 0 && ops_->Compare(t, items[pos - 1]) == 0) return false;
+    // Duplicates are contiguous under tie order, but the equal-key run can
+    // end at a leaf boundary: check the previous leaf's last item too.
+    if (pos == 0 && Links(leaf)->prev != nullptr) {
+      Node* prev = Links(leaf)->prev;
+      if (ops_->Compare(t, Items(prev)[prev->count - 1]) == 0) return false;
+    }
+  }
+
+  if (leaf->count < max_entries_) {
+    std::memmove(items + pos + 1, items + pos,
+                 (leaf->count - pos) * sizeof(TupleRef));
+    counters::BumpDataMoves(leaf->count - pos + 1);
+    items[pos] = t;
+    ++leaf->count;
+    ++size_;
+    return true;
+  }
+
+  // Leaf split: left keeps ceil(total/2), right's first item is copied up
+  // as the separator.
+  counters::BumpSplits();
+  const int total = max_entries_ + 1;
+  std::vector<TupleRef> all(total);
+  std::memcpy(all.data(), items, pos * sizeof(TupleRef));
+  all[pos] = t;
+  std::memcpy(all.data() + pos + 1, items + pos,
+              (max_entries_ - pos) * sizeof(TupleRef));
+  counters::BumpDataMoves(total);
+
+  const int left_n = (total + 1) / 2;
+  Node* right = NewNode(/*leaf=*/true, leaf->parent);
+  leaf->count = static_cast<int16_t>(left_n);
+  std::memcpy(items, all.data(), left_n * sizeof(TupleRef));
+  right->count = static_cast<int16_t>(total - left_n);
+  std::memcpy(Items(right), all.data() + left_n,
+              right->count * sizeof(TupleRef));
+
+  // Chain the new leaf in.
+  Links(right)->next = Links(leaf)->next;
+  Links(right)->prev = leaf;
+  if (Links(leaf)->next != nullptr) Links(Links(leaf)->next)->prev = right;
+  Links(leaf)->next = right;
+
+  const TupleRef separator = Items(right)[0];
+  ++size_;
+  if (leaf == root_) {
+    Node* new_root = NewNode(/*leaf=*/false, nullptr);
+    new_root->count = 1;
+    Items(new_root)[0] = separator;
+    Children(new_root)[0] = leaf;
+    Children(new_root)[1] = right;
+    leaf->parent = new_root;
+    right->parent = new_root;
+    root_ = new_root;
+    return true;
+  }
+  InsertSeparator(leaf->parent, ChildSlotOf(leaf->parent, leaf), separator,
+                  right);
+  return true;
+}
+
+void BPlusTree::RefreshSeparator(Node* leaf) {
+  if (leaf->count == 0 || leaf->parent == nullptr) return;
+  Node* child = leaf;
+  Node* up = leaf->parent;
+  while (up != nullptr && ChildSlotOf(up, child) == 0) {
+    child = up;
+    up = up->parent;
+  }
+  if (up != nullptr) {
+    Items(up)[ChildSlotOf(up, child) - 1] = Items(leaf)[0];
+  }
+}
+
+bool BPlusTree::Erase(TupleRef t) {
+  Node* leaf = LeafFor(t);
+  if (leaf == nullptr) return false;
+  TupleRef* items = Items(leaf);
+  const int pos = LowerBoundTie(leaf, t);
+  if (pos >= leaf->count || items[pos] != t) return false;
+
+  std::memmove(items + pos, items + pos + 1,
+               (leaf->count - pos - 1) * sizeof(TupleRef));
+  counters::BumpDataMoves(leaf->count - pos - 1);
+  --leaf->count;
+  --size_;
+
+  // Separators must stay live pointers: if the leaf's smallest item
+  // changed, refresh the ancestor separator that names this subtree.
+  if (pos == 0) RefreshSeparator(leaf);
+
+  if (leaf == root_) {
+    if (leaf->count == 0) {
+      FreeNode(leaf);
+      root_ = nullptr;
+    }
+    return true;
+  }
+  if (leaf->count < min_entries_) FixLeafUnderflow(leaf);
+  return true;
+}
+
+void BPlusTree::FixLeafUnderflow(Node* leaf) {
+  Node* p = leaf->parent;
+  const int slot = ChildSlotOf(p, leaf);
+  Node** pch = Children(p);
+  TupleRef* pkeys = Items(p);
+  Node* left = slot > 0 ? pch[slot - 1] : nullptr;
+  Node* right = slot < p->count ? pch[slot + 1] : nullptr;
+  TupleRef* items = Items(leaf);
+
+  if (left != nullptr && left->count > min_entries_) {
+    // Borrow left's largest; it becomes this leaf's new smallest, so the
+    // separator between them is exactly that item.
+    std::memmove(items + 1, items, leaf->count * sizeof(TupleRef));
+    items[0] = Items(left)[left->count - 1];
+    counters::BumpDataMoves(leaf->count + 1);
+    --left->count;
+    const bool was_empty = leaf->count == 0;
+    ++leaf->count;
+    pkeys[slot - 1] = items[0];
+    if (was_empty) RefreshSeparator(leaf);  // higher ancestor may name it
+    return;
+  }
+  if (right != nullptr && right->count > min_entries_) {
+    const bool was_empty = leaf->count == 0;
+    items[leaf->count] = Items(right)[0];
+    std::memmove(Items(right), Items(right) + 1,
+                 (right->count - 1) * sizeof(TupleRef));
+    counters::BumpDataMoves(right->count);
+    --right->count;
+    ++leaf->count;
+    pkeys[slot] = Items(right)[0];
+    if (was_empty) RefreshSeparator(leaf);
+    return;
+  }
+
+  // Merge with a sibling and drop the separator between them.
+  counters::BumpMerges();
+  Node* dst;
+  Node* src;
+  int sep;
+  if (left != nullptr) {
+    dst = left;
+    src = leaf;
+    sep = slot - 1;
+  } else {
+    dst = leaf;
+    src = right;
+    sep = slot;
+  }
+  const bool dst_was_empty = dst->count == 0;
+  std::memcpy(Items(dst) + dst->count, Items(src),
+              src->count * sizeof(TupleRef));
+  counters::BumpDataMoves(src->count);
+  dst->count = static_cast<int16_t>(dst->count + src->count);
+  // Unchain src.
+  Links(dst)->next = Links(src)->next;
+  if (Links(src)->next != nullptr) Links(Links(src)->next)->prev = dst;
+  FreeNode(src);
+  if (dst_was_empty) RefreshSeparator(dst);
+  // Remove separator `sep` and child `sep+1` from the parent.
+  std::memmove(pkeys + sep, pkeys + sep + 1,
+               (p->count - sep - 1) * sizeof(TupleRef));
+  std::memmove(pch + sep + 1, pch + sep + 2,
+               (p->count - sep - 1) * sizeof(Node*));
+  --p->count;
+  if (p == root_) {
+    if (p->count == 0) {
+      root_ = pch[0];
+      root_->parent = nullptr;
+      FreeNode(p);
+    }
+    return;
+  }
+  if (p->count < min_entries_) FixInternalUnderflow(p);
+}
+
+void BPlusTree::FixInternalUnderflow(Node* n) {
+  Node* p = n->parent;
+  const int slot = ChildSlotOf(p, n);
+  Node** pch = Children(p);
+  TupleRef* pkeys = Items(p);
+  Node* left = slot > 0 ? pch[slot - 1] : nullptr;
+  Node* right = slot < p->count ? pch[slot + 1] : nullptr;
+  TupleRef* keys = Items(n);
+  Node** ch = Children(n);
+
+  if (left != nullptr && left->count > min_entries_) {
+    // Rotate right through the separator.
+    std::memmove(keys + 1, keys, n->count * sizeof(TupleRef));
+    std::memmove(ch + 1, ch, (n->count + 1) * sizeof(Node*));
+    counters::BumpDataMoves(n->count + 1);
+    keys[0] = pkeys[slot - 1];
+    ch[0] = Children(left)[left->count];
+    ch[0]->parent = n;
+    pkeys[slot - 1] = Items(left)[left->count - 1];
+    --left->count;
+    ++n->count;
+    return;
+  }
+  if (right != nullptr && right->count > min_entries_) {
+    keys[n->count] = pkeys[slot];
+    ch[n->count + 1] = Children(right)[0];
+    ch[n->count + 1]->parent = n;
+    pkeys[slot] = Items(right)[0];
+    std::memmove(Items(right), Items(right) + 1,
+                 (right->count - 1) * sizeof(TupleRef));
+    std::memmove(Children(right), Children(right) + 1,
+                 right->count * sizeof(Node*));
+    counters::BumpDataMoves(right->count + 1);
+    --right->count;
+    ++n->count;
+    return;
+  }
+
+  counters::BumpMerges();
+  Node* dst;
+  Node* src;
+  int sep;
+  if (left != nullptr) {
+    dst = left;
+    src = n;
+    sep = slot - 1;
+  } else {
+    dst = n;
+    src = right;
+    sep = slot;
+  }
+  TupleRef* dkeys = Items(dst);
+  dkeys[dst->count] = pkeys[sep];
+  std::memcpy(dkeys + dst->count + 1, Items(src),
+              src->count * sizeof(TupleRef));
+  std::memcpy(Children(dst) + dst->count + 1, Children(src),
+              (src->count + 1) * sizeof(Node*));
+  counters::BumpDataMoves(src->count + 1);
+  for (int i = 0; i <= src->count; ++i) {
+    Children(dst)[dst->count + 1 + i]->parent = dst;
+  }
+  dst->count = static_cast<int16_t>(dst->count + 1 + src->count);
+  FreeNode(src);
+  std::memmove(pkeys + sep, pkeys + sep + 1,
+               (p->count - sep - 1) * sizeof(TupleRef));
+  std::memmove(pch + sep + 1, pch + sep + 2,
+               (p->count - sep - 1) * sizeof(Node*));
+  --p->count;
+  if (p == root_) {
+    if (p->count == 0) {
+      root_ = pch[0];
+      root_->parent = nullptr;
+      FreeNode(p);
+    }
+    return;
+  }
+  if (p->count < min_entries_) FixInternalUnderflow(p);
+}
+
+size_t BPlusTree::StorageBytes() const {
+  return sizeof(*this) + leaf_count_ * NodeBytes(true) +
+         internal_count_ * NodeBytes(false);
+}
+
+std::unique_ptr<OrderedIndex::Cursor> BPlusTree::First() const {
+  Node* leaf = LeftmostLeaf();
+  return std::make_unique<CursorImpl>(this, leaf, 0);
+}
+
+std::unique_ptr<OrderedIndex::Cursor> BPlusTree::Last() const {
+  Node* leaf = RightmostLeaf();
+  return std::make_unique<CursorImpl>(this, leaf,
+                                      leaf == nullptr ? 0 : leaf->count - 1);
+}
+
+std::unique_ptr<OrderedIndex::Cursor> BPlusTree::Seek(const Value& v) const {
+  Node* n = root_;
+  while (n != nullptr && !n->leaf) {
+    counters::BumpNodeVisits();
+    // Descend into the first child whose separator key is >= v... the
+    // number of separators with key < v.
+    const TupleRef* keys = Items(n);
+    int lo = 0, hi = n->count;
+    while (lo < hi) {
+      int mid = lo + (hi - lo) / 2;
+      // CompareValue(v, key) > 0 means v > key.
+      if (ops_->CompareValue(v, keys[mid]) > 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    n = Children(n)[lo];
+  }
+  if (n == nullptr) return std::make_unique<CursorImpl>(this, nullptr, 0);
+  // Lower bound within the leaf; spill to the next leaf if past the end.
+  const TupleRef* items = Items(n);
+  int lo = 0, hi = n->count;
+  while (lo < hi) {
+    int mid = lo + (hi - lo) / 2;
+    if (ops_->CompareValue(v, items[mid]) > 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == n->count) {
+    Node* next = Links(n)->next;
+    return std::make_unique<CursorImpl>(this, next, 0);
+  }
+  return std::make_unique<CursorImpl>(this, n, lo);
+}
+
+int BPlusTree::Height() const {
+  int h = 0;
+  for (const Node* n = root_; n != nullptr;
+       n = n->leaf ? nullptr : Children(n)[0]) {
+    ++h;
+  }
+  return h;
+}
+
+bool BPlusTree::CheckSubtree(const Node* n, const Node* parent, int depth,
+                             int* leaf_depth, size_t* items, TupleRef* lo,
+                             TupleRef* hi) const {
+  if (n->parent != parent) return false;
+  if (n != root_ && n->count < min_entries_) return false;
+  if (n->count < 1 || n->count > max_entries_) return false;
+  const TupleRef* its = Items(n);
+  if (n->leaf) {
+    for (int i = 1; i < n->count; ++i) {
+      if (ops_->CompareTie(its[i - 1], its[i]) >= 0) return false;
+    }
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return false;
+    }
+    *items += n->count;
+    *lo = its[0];
+    *hi = its[n->count - 1];
+    return true;
+  }
+  Node* const* ch = Children(n);
+  TupleRef first_lo = nullptr, last_hi = nullptr;
+  for (int i = 0; i <= n->count; ++i) {
+    TupleRef clo = nullptr, chi = nullptr;
+    if (!CheckSubtree(ch[i], n, depth + 1, leaf_depth, items, &clo, &chi)) {
+      return false;
+    }
+    if (i == 0) first_lo = clo;
+    if (i == n->count) last_hi = chi;
+    // Separator i must equal the smallest key of subtree i+1 and exceed
+    // everything in subtree i.
+    if (i < n->count && ops_->CompareTie(chi, its[i]) >= 0) return false;
+    if (i > 0 && its[i - 1] != clo) return false;
+  }
+  *items += n->count == 0 ? 0 : 0;
+  *lo = first_lo;
+  *hi = last_hi;
+  return true;
+}
+
+bool BPlusTree::CheckInvariants() const {
+  if (root_ == nullptr) return size_ == 0;
+  int leaf_depth = -1;
+  size_t items = 0;
+  TupleRef lo = nullptr, hi = nullptr;
+  if (!CheckSubtree(root_, nullptr, 0, &leaf_depth, &items, &lo, &hi)) {
+    return false;
+  }
+  if (items != size_) return false;
+  // Leaf chain must cover everything in order.
+  size_t chained = 0;
+  TupleRef prev = nullptr;
+  for (const Node* leaf = LeftmostLeaf(); leaf != nullptr;
+       leaf = Links(leaf)->next) {
+    if (!leaf->leaf) return false;
+    for (int i = 0; i < leaf->count; ++i) {
+      TupleRef cur = Items(leaf)[i];
+      if (prev != nullptr && ops_->CompareTie(prev, cur) >= 0) return false;
+      prev = cur;
+      ++chained;
+    }
+    if (Links(leaf)->next != nullptr &&
+        Links(Links(leaf)->next)->prev != leaf) {
+      return false;
+    }
+  }
+  return chained == size_;
+}
+
+}  // namespace mmdb

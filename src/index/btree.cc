@@ -1,0 +1,494 @@
+#include "src/index/btree.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "src/util/counters.h"
+
+namespace mmdb {
+
+class BTree::CursorImpl : public OrderedIndex::Cursor {
+ public:
+  CursorImpl(const BTree* tree, const Node* node, int pos)
+      : tree_(tree), node_(node), pos_(pos) {}
+
+  bool Valid() const override { return node_ != nullptr; }
+  TupleRef Get() const override { return node_->Items()[pos_]; }
+
+  void Next() override {
+    if (node_ == nullptr) return;
+    if (!node_->leaf) {
+      // Successor = leftmost item of the subtree right of this item.
+      const Node* n = node_->Children(tree_->max_items_)[pos_ + 1];
+      while (!n->leaf) n = n->Children(tree_->max_items_)[0];
+      node_ = n;
+      pos_ = 0;
+      return;
+    }
+    if (pos_ + 1 < node_->count) {
+      ++pos_;
+      return;
+    }
+    // Walk up until we come out of a left-side subtree.
+    const Node* n = node_;
+    const Node* p = n->parent;
+    while (p != nullptr) {
+      int idx = tree_->ChildIndex(p, n);
+      if (idx < p->count) {
+        node_ = p;
+        pos_ = idx;
+        return;
+      }
+      n = p;
+      p = p->parent;
+    }
+    node_ = nullptr;
+    pos_ = 0;
+  }
+
+  void Prev() override {
+    if (node_ == nullptr) return;
+    if (!node_->leaf) {
+      const Node* n = node_->Children(tree_->max_items_)[pos_];
+      while (!n->leaf) n = n->Children(tree_->max_items_)[n->count];
+      node_ = n;
+      pos_ = n->count - 1;
+      return;
+    }
+    if (pos_ > 0) {
+      --pos_;
+      return;
+    }
+    const Node* n = node_;
+    const Node* p = n->parent;
+    while (p != nullptr) {
+      int idx = tree_->ChildIndex(p, n);
+      if (idx > 0) {
+        node_ = p;
+        pos_ = idx - 1;
+        return;
+      }
+      n = p;
+      p = p->parent;
+    }
+    node_ = nullptr;
+    pos_ = 0;
+  }
+
+  std::unique_ptr<Cursor> Clone() const override {
+    return std::make_unique<CursorImpl>(tree_, node_, pos_);
+  }
+
+ private:
+  const BTree* tree_;
+  const Node* node_;
+  int pos_;
+};
+
+BTree::BTree(std::shared_ptr<const KeyOps> ops, const IndexConfig& config)
+    : ops_(std::move(ops)),
+      max_items_(config.node_size < 2 ? 2 : config.node_size),
+      min_items_(max_items_ / 2) {
+  set_unique(config.unique);
+}
+
+BTree::~BTree() = default;
+
+size_t BTree::NodeBytes(bool leaf) const {
+  size_t bytes = sizeof(Node) + max_items_ * sizeof(TupleRef);
+  if (!leaf) bytes += (max_items_ + 1) * sizeof(Node*);
+  return bytes;
+}
+
+BTree::Node* BTree::NewNode(bool leaf, Node* parent) {
+  void** free_list = leaf ? &free_leaves_ : &free_internal_;
+  Node* n;
+  if (*free_list != nullptr) {
+    n = static_cast<Node*>(*free_list);
+    *free_list = *static_cast<void**>(*free_list);
+  } else {
+    n = static_cast<Node*>(arena_.Allocate(NodeBytes(leaf)));
+  }
+  n->parent = parent;
+  n->count = 0;
+  n->leaf = leaf;
+  ++node_count_;
+  if (leaf) ++leaf_count_;
+  return n;
+}
+
+void BTree::FreeNode(Node* n) {
+  void** free_list = n->leaf ? &free_leaves_ : &free_internal_;
+  --node_count_;
+  if (n->leaf) --leaf_count_;
+  *reinterpret_cast<void**>(n) = *free_list;
+  *free_list = n;
+}
+
+int BTree::LowerBoundTie(const Node* n, TupleRef t) const {
+  const TupleRef* items = n->Items();
+  int lo = 0, hi = n->count;
+  while (lo < hi) {
+    int mid = lo + (hi - lo) / 2;
+    if (ops_->CompareTie(items[mid], t) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int BTree::LowerBoundValue(const Node* n, const Value& v) const {
+  const TupleRef* items = n->Items();
+  int lo = 0, hi = n->count;
+  while (lo < hi) {
+    int mid = lo + (hi - lo) / 2;
+    if (ops_->CompareValue(v, items[mid]) > 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int BTree::ChildIndex(const Node* parent, const Node* child) const {
+  Node* const* ch = parent->Children(max_items_);
+  for (int i = 0; i <= parent->count; ++i) {
+    if (ch[i] == child) return i;
+  }
+  assert(false && "child not found in parent");
+  return -1;
+}
+
+void BTree::InsertAt(Node* n, int pos, TupleRef t, Node* right_child) {
+  TupleRef* items = n->Items();
+  if (n->count < max_items_) {
+    std::memmove(items + pos + 1, items + pos,
+                 (n->count - pos) * sizeof(TupleRef));
+    counters::BumpDataMoves(n->count - pos + 1);
+    items[pos] = t;
+    if (!n->leaf) {
+      Node** ch = n->Children(max_items_);
+      std::memmove(ch + pos + 2, ch + pos + 1,
+                   (n->count - pos) * sizeof(Node*));
+      ch[pos + 1] = right_child;
+      right_child->parent = n;
+    }
+    ++n->count;
+    return;
+  }
+
+  // Split around the median of the max_items_+1 virtual item sequence.
+  counters::BumpSplits();
+  const int total = max_items_ + 1;
+  std::vector<TupleRef> all(total);
+  std::vector<Node*> kids(total + 1, nullptr);
+  std::memcpy(all.data(), items, pos * sizeof(TupleRef));
+  all[pos] = t;
+  std::memcpy(all.data() + pos + 1, items + pos,
+              (max_items_ - pos) * sizeof(TupleRef));
+  if (!n->leaf) {
+    Node** ch = n->Children(max_items_);
+    std::memcpy(kids.data(), ch, (pos + 1) * sizeof(Node*));
+    kids[pos + 1] = right_child;
+    std::memcpy(kids.data() + pos + 2, ch + pos + 1,
+                (max_items_ - pos) * sizeof(Node*));
+  }
+  counters::BumpDataMoves(total);
+
+  const int m = total / 2;
+  const TupleRef median = all[m];
+  Node* right = NewNode(n->leaf, n->parent);
+
+  n->count = static_cast<int16_t>(m);
+  std::memcpy(items, all.data(), m * sizeof(TupleRef));
+  right->count = static_cast<int16_t>(total - m - 1);
+  std::memcpy(right->Items(), all.data() + m + 1,
+              right->count * sizeof(TupleRef));
+  if (!n->leaf) {
+    Node** lch = n->Children(max_items_);
+    Node** rch = right->Children(max_items_);
+    std::memcpy(lch, kids.data(), (m + 1) * sizeof(Node*));
+    std::memcpy(rch, kids.data() + m + 1, (right->count + 1) * sizeof(Node*));
+    for (int i = 0; i <= n->count; ++i) lch[i]->parent = n;
+    for (int i = 0; i <= right->count; ++i) rch[i]->parent = right;
+  }
+
+  if (n == root_) {
+    Node* new_root = NewNode(/*leaf=*/false, nullptr);
+    new_root->count = 1;
+    new_root->Items()[0] = median;
+    new_root->Children(max_items_)[0] = n;
+    new_root->Children(max_items_)[1] = right;
+    n->parent = new_root;
+    right->parent = new_root;
+    root_ = new_root;
+    return;
+  }
+  InsertAt(n->parent, ChildIndex(n->parent, n), median, right);
+}
+
+bool BTree::Insert(TupleRef t) {
+  if (root_ == nullptr) {
+    root_ = NewNode(/*leaf=*/true, nullptr);
+    root_->Items()[0] = t;
+    root_->count = 1;
+    size_ = 1;
+    return true;
+  }
+  Node* n = root_;
+  for (;;) {
+    counters::BumpNodeVisits();
+    int pos = LowerBoundTie(n, t);
+    const TupleRef* items = n->Items();
+    if (pos < n->count && items[pos] == t) return false;
+    if (unique()) {
+      if (pos < n->count && ops_->Compare(t, items[pos]) == 0) return false;
+      if (pos > 0 && ops_->Compare(t, items[pos - 1]) == 0) return false;
+    }
+    if (n->leaf) {
+      InsertAt(n, pos, t, nullptr);
+      ++size_;
+      return true;
+    }
+    n = n->Children(max_items_)[pos];
+  }
+}
+
+bool BTree::Erase(TupleRef t) {
+  Node* n = root_;
+  while (n != nullptr) {
+    counters::BumpNodeVisits();
+    int pos = LowerBoundTie(n, t);
+    TupleRef* items = n->Items();
+    if (pos < n->count && items[pos] == t) {
+      if (n->leaf) {
+        std::memmove(items + pos, items + pos + 1,
+                     (n->count - pos - 1) * sizeof(TupleRef));
+        counters::BumpDataMoves(n->count - pos - 1);
+        --n->count;
+        --size_;
+        FixUnderflow(n);
+        return true;
+      }
+      // Interior item: replace with its in-order predecessor, then fix the
+      // donating leaf.
+      Node* pred = n->Children(max_items_)[pos];
+      while (!pred->leaf) pred = pred->Children(max_items_)[pred->count];
+      items[pos] = pred->Items()[pred->count - 1];
+      counters::BumpDataMoves();
+      --pred->count;
+      --size_;
+      FixUnderflow(pred);
+      return true;
+    }
+    if (n->leaf) return false;
+    n = n->Children(max_items_)[pos];
+  }
+  return false;
+}
+
+void BTree::FixUnderflow(Node* n) {
+  if (n == root_) {
+    if (n->count == 0) {
+      if (n->leaf) {
+        FreeNode(n);
+        root_ = nullptr;
+      } else {
+        root_ = n->Children(max_items_)[0];
+        root_->parent = nullptr;
+        FreeNode(n);
+      }
+    }
+    return;
+  }
+  if (n->count >= min_items_) return;
+
+  Node* p = n->parent;
+  const int idx = ChildIndex(p, n);
+  Node** pch = p->Children(max_items_);
+  TupleRef* pitems = p->Items();
+  Node* left = idx > 0 ? pch[idx - 1] : nullptr;
+  Node* right = idx < p->count ? pch[idx + 1] : nullptr;
+
+  if (left != nullptr && left->count > min_items_) {
+    // Rotate one item right through the separator.
+    TupleRef* items = n->Items();
+    std::memmove(items + 1, items, n->count * sizeof(TupleRef));
+    items[0] = pitems[idx - 1];
+    pitems[idx - 1] = left->Items()[left->count - 1];
+    counters::BumpDataMoves(n->count + 2);
+    if (!n->leaf) {
+      Node** ch = n->Children(max_items_);
+      std::memmove(ch + 1, ch, (n->count + 1) * sizeof(Node*));
+      ch[0] = left->Children(max_items_)[left->count];
+      ch[0]->parent = n;
+    }
+    --left->count;
+    ++n->count;
+    return;
+  }
+  if (right != nullptr && right->count > min_items_) {
+    TupleRef* items = n->Items();
+    items[n->count] = pitems[idx];
+    pitems[idx] = right->Items()[0];
+    std::memmove(right->Items(), right->Items() + 1,
+                 (right->count - 1) * sizeof(TupleRef));
+    counters::BumpDataMoves(right->count + 1);
+    if (!n->leaf) {
+      Node** ch = n->Children(max_items_);
+      Node** rch = right->Children(max_items_);
+      ch[n->count + 1] = rch[0];
+      ch[n->count + 1]->parent = n;
+      std::memmove(rch, rch + 1, right->count * sizeof(Node*));
+    }
+    --right->count;
+    ++n->count;
+    return;
+  }
+
+  // Merge with a sibling: (left, separator, n) or (n, separator, right).
+  counters::BumpMerges();
+  Node* dst;
+  Node* src;
+  int sep;
+  if (left != nullptr) {
+    dst = left;
+    src = n;
+    sep = idx - 1;
+  } else {
+    dst = n;
+    src = right;
+    sep = idx;
+  }
+  TupleRef* ditems = dst->Items();
+  ditems[dst->count] = pitems[sep];
+  std::memcpy(ditems + dst->count + 1, src->Items(),
+              src->count * sizeof(TupleRef));
+  counters::BumpDataMoves(src->count + 1);
+  if (!dst->leaf) {
+    Node** dch = dst->Children(max_items_);
+    Node** sch = src->Children(max_items_);
+    std::memcpy(dch + dst->count + 1, sch, (src->count + 1) * sizeof(Node*));
+    for (int i = 0; i <= src->count; ++i) {
+      dch[dst->count + 1 + i]->parent = dst;
+    }
+  }
+  dst->count = static_cast<int16_t>(dst->count + 1 + src->count);
+
+  // Drop the separator and the src child from the parent.
+  std::memmove(pitems + sep, pitems + sep + 1,
+               (p->count - sep - 1) * sizeof(TupleRef));
+  std::memmove(pch + sep + 1, pch + sep + 2,
+               (p->count - sep - 1) * sizeof(Node*));
+  --p->count;
+  FreeNode(src);
+  FixUnderflow(p);
+}
+
+size_t BTree::StorageBytes() const {
+  const size_t internal = node_count_ - leaf_count_;
+  return sizeof(*this) + leaf_count_ * NodeBytes(true) +
+         internal * NodeBytes(false);
+}
+
+BTree::Node* BTree::LeftmostLeaf(Node* n) const {
+  while (n != nullptr && !n->leaf) n = n->Children(max_items_)[0];
+  return n;
+}
+
+BTree::Node* BTree::RightmostLeaf(Node* n) const {
+  while (n != nullptr && !n->leaf) n = n->Children(max_items_)[n->count];
+  return n;
+}
+
+std::unique_ptr<OrderedIndex::Cursor> BTree::First() const {
+  Node* n = LeftmostLeaf(root_);
+  return std::make_unique<CursorImpl>(this, n, 0);
+}
+
+std::unique_ptr<OrderedIndex::Cursor> BTree::Last() const {
+  Node* n = RightmostLeaf(root_);
+  return std::make_unique<CursorImpl>(this, n, n == nullptr ? 0 : n->count - 1);
+}
+
+std::unique_ptr<OrderedIndex::Cursor> BTree::Seek(const Value& v) const {
+  const Node* n = root_;
+  const Node* cand_node = nullptr;
+  int cand_pos = 0;
+  while (n != nullptr) {
+    counters::BumpNodeVisits();
+    int pos = LowerBoundValue(n, v);
+    if (pos < n->count) {
+      cand_node = n;
+      cand_pos = pos;
+    }
+    if (n->leaf) break;
+    n = n->Children(max_items_)[pos];
+  }
+  return std::make_unique<CursorImpl>(this, cand_node, cand_pos);
+}
+
+int BTree::Height() const {
+  int h = 0;
+  for (const Node* n = root_; n != nullptr;
+       n = n->leaf ? nullptr : n->Children(max_items_)[0]) {
+    ++h;
+  }
+  return h;
+}
+
+bool BTree::CheckSubtree(const Node* n, const Node* parent, int depth,
+                         int* leaf_depth, size_t* items, TupleRef* lo,
+                         TupleRef* hi) const {
+  if (n->parent != parent) return false;
+  if (n->count < 1 || n->count > max_items_) return false;
+  if (n != root_ && n->count < min_items_) return false;
+  const TupleRef* its = n->Items();
+  for (int i = 1; i < n->count; ++i) {
+    if (ops_->CompareTie(its[i - 1], its[i]) >= 0) return false;
+  }
+  if (n->leaf) {
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return false;
+    }
+    *items += n->count;
+    *lo = its[0];
+    *hi = its[n->count - 1];
+    return true;
+  }
+  Node* const* ch = n->Children(max_items_);
+  TupleRef first_lo = nullptr, last_hi = nullptr;
+  for (int i = 0; i <= n->count; ++i) {
+    TupleRef clo = nullptr, chi = nullptr;
+    if (!CheckSubtree(ch[i], n, depth + 1, leaf_depth, items, &clo, &chi)) {
+      return false;
+    }
+    if (i == 0) first_lo = clo;
+    if (i == n->count) last_hi = chi;
+    if (i > 0 && ops_->CompareTie(its[i - 1], clo) >= 0) return false;
+    if (i < n->count && ops_->CompareTie(chi, its[i]) >= 0) return false;
+  }
+  *items += n->count;
+  *lo = first_lo;
+  *hi = last_hi;
+  return true;
+}
+
+bool BTree::CheckInvariants() const {
+  if (root_ == nullptr) return size_ == 0;
+  int leaf_depth = -1;
+  size_t items = 0;
+  TupleRef lo = nullptr, hi = nullptr;
+  if (!CheckSubtree(root_, nullptr, 0, &leaf_depth, &items, &lo, &hi)) {
+    return false;
+  }
+  return items == size_;
+}
+
+}  // namespace mmdb

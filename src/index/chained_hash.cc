@@ -1,0 +1,93 @@
+#include "src/index/chained_hash.h"
+
+#include "src/util/counters.h"
+
+namespace mmdb {
+namespace {
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ChainedBucketHash::ChainedBucketHash(std::shared_ptr<const KeyOps> ops,
+                                     const IndexConfig& config)
+    : ops_(std::move(ops)),
+      pool_(&arena_),
+      table_(NextPow2(config.expected < 1 ? 1 : config.expected), nullptr),
+      mask_(table_.size() - 1) {
+  set_unique(config.unique);
+}
+
+ChainedBucketHash::~ChainedBucketHash() = default;
+
+bool ChainedBucketHash::Insert(TupleRef t) {
+  const size_t b = BucketOf(ops_->Hash(t));
+  for (Entry* e = table_[b]; e != nullptr; e = e->next) {
+    if (e->item == t) return false;
+    if (unique() && ops_->Compare(t, e->item) == 0) return false;
+  }
+  Entry* e = static_cast<Entry*>(pool_.Allocate());
+  e->item = t;
+  e->next = table_[b];
+  table_[b] = e;
+  ++size_;
+  return true;
+}
+
+bool ChainedBucketHash::Erase(TupleRef t) {
+  const size_t b = BucketOf(ops_->Hash(t));
+  for (Entry** link = &table_[b]; *link != nullptr; link = &(*link)->next) {
+    if ((*link)->item == t) {
+      Entry* victim = *link;
+      *link = victim->next;
+      pool_.Free(victim);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+TupleRef ChainedBucketHash::Find(const Value& key) const {
+  const size_t b = BucketOf(ops_->HashValue(key));
+  for (Entry* e = table_[b]; e != nullptr; e = e->next) {
+    if (ops_->CompareValue(key, e->item) == 0) return e->item;
+  }
+  return nullptr;
+}
+
+void ChainedBucketHash::FindAll(const Value& key,
+                                std::vector<TupleRef>* out) const {
+  const size_t b = BucketOf(ops_->HashValue(key));
+  for (Entry* e = table_[b]; e != nullptr; e = e->next) {
+    if (ops_->CompareValue(key, e->item) == 0) out->push_back(e->item);
+  }
+}
+
+size_t ChainedBucketHash::StorageBytes() const {
+  return sizeof(*this) + table_.capacity() * sizeof(Entry*) +
+         pool_.live() * NodePool<Entry>::SlotBytes();
+}
+
+void ChainedBucketHash::ScanAll(const ScanFn& fn) const {
+  for (Entry* head : table_) {
+    for (Entry* e = head; e != nullptr; e = e->next) {
+      if (!fn(e->item)) return;
+    }
+  }
+}
+
+HashIndex::HashStats ChainedBucketHash::Stats() const {
+  HashStats s;
+  s.buckets = table_.size();
+  s.overflow_nodes = size_;  // every element lives in a chained node
+  s.avg_chain_length =
+      table_.empty() ? 0.0 : static_cast<double>(size_) / table_.size();
+  return s;
+}
+
+}  // namespace mmdb

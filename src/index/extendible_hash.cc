@@ -1,0 +1,269 @@
+#include "src/index/extendible_hash.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/util/counters.h"
+
+namespace mmdb {
+
+ExtendibleHash::ExtendibleHash(std::shared_ptr<const KeyOps> ops,
+                               const IndexConfig& config)
+    : ops_(std::move(ops)),
+      capacity_(config.node_size < 1 ? 1 : config.node_size) {
+  set_unique(config.unique);
+  dir_.push_back(NewBucket(0));
+}
+
+ExtendibleHash::~ExtendibleHash() = default;
+
+size_t ExtendibleHash::BucketBytes() const {
+  return sizeof(Bucket) + (capacity_ - 1) * sizeof(TupleRef);
+}
+
+ExtendibleHash::Bucket* ExtendibleHash::NewBucket(int local_depth) {
+  Bucket* b;
+  if (free_list_ != nullptr) {
+    b = static_cast<Bucket*>(free_list_);
+    free_list_ = *static_cast<void**>(free_list_);
+  } else {
+    b = static_cast<Bucket*>(arena_.Allocate(BucketBytes()));
+  }
+  b->overflow = nullptr;
+  b->local_depth = static_cast<int16_t>(local_depth);
+  b->count = 0;
+  ++bucket_count_;
+  return b;
+}
+
+void ExtendibleHash::FreeBucket(Bucket* b) {
+  *reinterpret_cast<void**>(b) = free_list_;
+  free_list_ = b;
+  --bucket_count_;
+}
+
+void ExtendibleHash::AppendToChain(Bucket* b, TupleRef t) {
+  while (b->count == capacity_) {
+    if (b->overflow == nullptr) {
+      b->overflow = NewBucket(b->local_depth);
+      --bucket_count_;
+      ++overflow_count_;
+    }
+    b = b->overflow;
+  }
+  b->items[b->count++] = t;
+  counters::BumpDataMoves();
+}
+
+size_t ExtendibleHash::ChainCount(const Bucket* b) const {
+  size_t n = 0;
+  for (; b != nullptr; b = b->overflow) n += b->count;
+  return n;
+}
+
+bool ExtendibleHash::SplitWouldSeparate(const Bucket* b,
+                                        uint64_t new_hash) const {
+  const int depth = b->local_depth;
+  const uint64_t want = (new_hash >> depth) & 1;
+  for (const Bucket* c = b; c != nullptr; c = c->overflow) {
+    for (int i = 0; i < c->count; ++i) {
+      if (((ops_->Hash(c->items[i]) >> depth) & 1) != want) return true;
+    }
+  }
+  return false;
+}
+
+void ExtendibleHash::Split(uint64_t hash) {
+  Bucket* b = BucketFor(hash);
+  if (b->local_depth == global_depth_) {
+    counters::BumpSplits();
+    const size_t old_size = dir_.size();
+    dir_.resize(old_size * 2);
+    for (size_t i = 0; i < old_size; ++i) dir_[old_size + i] = dir_[i];
+    ++global_depth_;
+  }
+  counters::BumpSplits();
+  const int depth = b->local_depth;
+  Bucket* buddy = NewBucket(depth + 1);
+
+  // Redirect the buddy's directory run before re-threading items.
+  const size_t stride = size_t{1} << (depth + 1);
+  const size_t start =
+      (hash & ((size_t{1} << depth) - 1)) | (size_t{1} << depth);
+  for (size_t i = start; i < dir_.size(); i += stride) dir_[i] = buddy;
+
+  // Detach the whole chain and re-append every item to its new home.
+  Bucket* chain = b->overflow;
+  b->overflow = nullptr;
+  b->local_depth = static_cast<int16_t>(depth + 1);
+  std::vector<TupleRef> keep(b->items, b->items + b->count);
+  b->count = 0;
+  for (TupleRef t : keep) {
+    AppendToChain(((ops_->Hash(t) >> depth) & 1) ? buddy : b, t);
+  }
+  while (chain != nullptr) {
+    for (int i = 0; i < chain->count; ++i) {
+      TupleRef t = chain->items[i];
+      AppendToChain(((ops_->Hash(t) >> depth) & 1) ? buddy : b, t);
+    }
+    Bucket* next = chain->overflow;
+    --overflow_count_;
+    ++bucket_count_;  // balance FreeBucket's decrement
+    FreeBucket(chain);
+    chain = next;
+  }
+}
+
+bool ExtendibleHash::Insert(TupleRef t) {
+  const uint64_t h = ops_->Hash(t);
+  for (;;) {
+    Bucket* b = BucketFor(h);
+    for (Bucket* c = b; c != nullptr; c = c->overflow) {
+      for (int i = 0; i < c->count; ++i) {
+        if (c->items[i] == t) return false;
+        if (unique() && ops_->Compare(t, c->items[i]) == 0) return false;
+      }
+    }
+    if (b->count < capacity_) {
+      b->items[b->count++] = t;
+      ++size_;
+      return true;
+    }
+    if (global_depth_ < kMaxGlobalDepth && SplitWouldSeparate(b, h)) {
+      Split(h);
+      continue;
+    }
+    // Unsplittable pile-up (duplicate keys / identical hash prefixes):
+    // overflow chain.
+    AppendToChain(b, t);
+    ++size_;
+    return true;
+  }
+}
+
+void ExtendibleHash::MaybeMerge(uint64_t hash) {
+  for (;;) {
+    Bucket* b = BucketFor(hash);
+    const int depth = b->local_depth;
+    if (depth == 0) break;
+    const size_t idx = hash & ((size_t{1} << global_depth_) - 1);
+    const size_t buddy_idx = idx ^ (size_t{1} << (depth - 1));
+    Bucket* buddy = dir_[buddy_idx];
+    if (buddy == b || buddy->local_depth != depth) break;
+    if (b->overflow != nullptr || buddy->overflow != nullptr) break;
+    if (b->count + buddy->count > capacity_) break;
+
+    counters::BumpMerges();
+    std::memcpy(&b->items[b->count], &buddy->items[0],
+                buddy->count * sizeof(TupleRef));
+    counters::BumpDataMoves(buddy->count);
+    b->count = static_cast<int16_t>(b->count + buddy->count);
+    b->local_depth = static_cast<int16_t>(depth - 1);
+    const size_t stride = size_t{1} << (depth - 1);
+    const size_t start = buddy_idx & (stride - 1);
+    for (size_t i = start; i < dir_.size(); i += stride) {
+      if (dir_[i] == buddy) dir_[i] = b;
+    }
+    FreeBucket(buddy);
+
+    // Halving is only possible once no bucket sits at the full global
+    // depth, which can only change when a top-depth pair merges — checking
+    // the (O(directory)) mirror condition on other merges is wasted work.
+    while (depth == global_depth_ && global_depth_ > 0) {
+      const size_t half = dir_.size() / 2;
+      bool mirrored = true;
+      for (size_t i = 0; i < half; ++i) {
+        if (dir_[i] != dir_[half + i]) {
+          mirrored = false;
+          break;
+        }
+      }
+      if (!mirrored) break;
+      dir_.resize(half);
+      --global_depth_;
+    }
+  }
+}
+
+bool ExtendibleHash::Erase(TupleRef t) {
+  const uint64_t h = ops_->Hash(t);
+  Bucket* head = BucketFor(h);
+  for (Bucket* c = head; c != nullptr; c = c->overflow) {
+    for (int i = 0; i < c->count; ++i) {
+      if (c->items[i] != t) continue;
+      // Fill the hole with the last item of the chain tail.
+      Bucket* tail = c;
+      while (tail->overflow != nullptr && tail->overflow->count > 0) {
+        tail = tail->overflow;
+      }
+      c->items[i] = tail->items[tail->count - 1];
+      counters::BumpDataMoves();
+      --tail->count;
+      if (tail->count == 0 && tail != head) {
+        Bucket* parent = head;
+        while (parent->overflow != tail) parent = parent->overflow;
+        parent->overflow = tail->overflow;
+        --overflow_count_;
+        ++bucket_count_;  // balance FreeBucket's decrement
+        FreeBucket(tail);
+      }
+      --size_;
+      MaybeMerge(h);
+      return true;
+    }
+  }
+  return false;
+}
+
+TupleRef ExtendibleHash::Find(const Value& key) const {
+  for (Bucket* b = BucketFor(ops_->HashValue(key)); b != nullptr;
+       b = b->overflow) {
+    for (int i = 0; i < b->count; ++i) {
+      if (ops_->CompareValue(key, b->items[i]) == 0) return b->items[i];
+    }
+  }
+  return nullptr;
+}
+
+void ExtendibleHash::FindAll(const Value& key,
+                             std::vector<TupleRef>* out) const {
+  for (Bucket* b = BucketFor(ops_->HashValue(key)); b != nullptr;
+       b = b->overflow) {
+    for (int i = 0; i < b->count; ++i) {
+      if (ops_->CompareValue(key, b->items[i]) == 0) {
+        out->push_back(b->items[i]);
+      }
+    }
+  }
+}
+
+size_t ExtendibleHash::StorageBytes() const {
+  return sizeof(*this) + dir_.capacity() * sizeof(Bucket*) +
+         (bucket_count_ + overflow_count_) * BucketBytes();
+}
+
+void ExtendibleHash::ScanAll(const ScanFn& fn) const {
+  bool stop = false;
+  ForEachBucket([&](Bucket* head) {
+    if (stop) return;
+    for (Bucket* b = head; b != nullptr; b = b->overflow) {
+      for (int i = 0; i < b->count; ++i) {
+        if (!fn(b->items[i])) {
+          stop = true;
+          return;
+        }
+      }
+    }
+  });
+}
+
+HashIndex::HashStats ExtendibleHash::Stats() const {
+  HashStats s;
+  s.buckets = bucket_count_;
+  s.overflow_nodes = overflow_count_;
+  s.avg_chain_length =
+      bucket_count_ == 0 ? 0.0 : static_cast<double>(size_) / bucket_count_;
+  return s;
+}
+
+}  // namespace mmdb

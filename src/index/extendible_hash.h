@@ -1,0 +1,100 @@
+// Extendible Hashing [FNP79]: a directory of 2^global_depth pointers into
+// shared buckets; a full bucket splits by local depth, doubling the
+// directory when local depth catches up with global depth.  Paper's verdict
+// (Table 1): great search and update but *poor* storage — "a small node size
+// increased the probability that some nodes would get more values than
+// others, causing the directory to double repeatedly".
+//
+// Bucket capacity is the "Node Size" axis of Graphs 1 and 2.  Duplicate
+// keys hash identically and can never be separated by splitting, so a
+// bucket whose chain cannot benefit from a split (all hashes equal, or the
+// directory is at its depth cap) grows an overflow chain instead — the
+// standard engineering fix.
+
+#ifndef MMDB_INDEX_EXTENDIBLE_HASH_H_
+#define MMDB_INDEX_EXTENDIBLE_HASH_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/index/index.h"
+#include "src/util/arena.h"
+
+namespace mmdb {
+
+class ExtendibleHash : public HashIndex {
+ public:
+  ExtendibleHash(std::shared_ptr<const KeyOps> ops, const IndexConfig& config);
+  ~ExtendibleHash() override;
+
+  IndexKind kind() const override { return IndexKind::kExtendibleHash; }
+  const KeyOps& key_ops() const override { return *ops_; }
+
+  bool Insert(TupleRef t) override;
+  bool Erase(TupleRef t) override;
+  TupleRef Find(const Value& key) const override;
+  void FindAll(const Value& key, std::vector<TupleRef>* out) const override;
+  size_t size() const override { return size_; }
+  size_t StorageBytes() const override;
+
+  void ScanAll(const ScanFn& fn) const override;
+  HashStats Stats() const override;
+
+  int global_depth() const { return global_depth_; }
+  size_t bucket_count() const { return bucket_count_; }
+
+ private:
+  /// Directory growth stops here; further overflow goes to chains.
+  static constexpr int kMaxGlobalDepth = 24;
+
+  struct Bucket {
+    Bucket* overflow;
+    int16_t local_depth;
+    int16_t count;
+    TupleRef items[1];  // capacity_ entries
+  };
+
+  size_t BucketBytes() const;
+  Bucket* NewBucket(int local_depth);
+  void FreeBucket(Bucket* b);
+  Bucket* BucketFor(uint64_t hash) const {
+    return dir_[hash & ((size_t{1} << global_depth_) - 1)];
+  }
+  /// Appends to the chain headed by b (growing an overflow bucket at the
+  /// tail if needed).
+  void AppendToChain(Bucket* b, TupleRef t);
+  /// Total items across the chain headed by b.
+  size_t ChainCount(const Bucket* b) const;
+  /// True if some pair of (chain items + t) differ in hash bit
+  /// local_depth — i.e. a split would actually separate them.
+  bool SplitWouldSeparate(const Bucket* b, uint64_t new_hash) const;
+  /// Splits the bucket holding `hash`, doubling the directory if necessary.
+  void Split(uint64_t hash);
+  /// After a removal, merges the bucket with its buddy when both are
+  /// chain-free and fit in one, halving the directory when possible.
+  void MaybeMerge(uint64_t hash);
+
+  /// Walks every distinct primary bucket once (a bucket's lowest directory
+  /// index is below 2^local_depth).
+  template <typename Fn>
+  void ForEachBucket(Fn&& fn) const {
+    for (size_t i = 0; i < dir_.size(); ++i) {
+      Bucket* b = dir_[i];
+      if ((i >> b->local_depth) == 0) fn(b);
+    }
+  }
+
+  std::shared_ptr<const KeyOps> ops_;
+  int capacity_;
+  Arena arena_;
+  void* free_list_ = nullptr;
+  std::vector<Bucket*> dir_;
+  int global_depth_ = 0;
+  size_t bucket_count_ = 0;    // primary buckets
+  size_t overflow_count_ = 0;  // overflow buckets
+  size_t size_ = 0;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_INDEX_EXTENDIBLE_HASH_H_

@@ -1,0 +1,86 @@
+#include "src/index/index.h"
+
+#include "src/index/array_index.h"
+#include "src/index/avl_tree.h"
+#include "src/index/bplus_tree.h"
+#include "src/index/btree.h"
+#include "src/index/chained_hash.h"
+#include "src/index/extendible_hash.h"
+#include "src/index/linear_hash.h"
+#include "src/index/modified_linear_hash.h"
+#include "src/index/ttree.h"
+
+namespace mmdb {
+
+TupleRef OrderedIndex::Find(const Value& key) const {
+  auto cursor = Seek(key);
+  if (!cursor->Valid()) return nullptr;
+  TupleRef t = cursor->Get();
+  // Seek() is a lower bound; an unsuccessful search bypasses any scanning,
+  // the fast path Section 3.3.4 relies on.
+  return key_ops().CompareValue(key, t) == 0 ? t : nullptr;
+}
+
+void OrderedIndex::FindAll(const Value& key, std::vector<TupleRef>* out) const {
+  // Duplicates are logically contiguous in the tree (Section 3.3.4): find
+  // one, then scan forward while the key matches.
+  for (auto cursor = Seek(key); cursor->Valid(); cursor->Next()) {
+    TupleRef t = cursor->Get();
+    if (key_ops().CompareValue(key, t) != 0) break;
+    out->push_back(t);
+  }
+}
+
+void OrderedIndex::ScanAll(const ScanFn& fn) const {
+  for (auto cursor = First(); cursor->Valid(); cursor->Next()) {
+    if (!fn(cursor->Get())) return;
+  }
+}
+
+void OrderedIndex::ScanRange(const Bound& lo, const Bound& hi,
+                             const ScanFn& fn) const {
+  std::unique_ptr<Cursor> cursor = lo.value == nullptr ? First() : Seek(*lo.value);
+  if (lo.value != nullptr && !lo.inclusive) {
+    // Skip the items equal to the lower bound.
+    while (cursor->Valid() &&
+           key_ops().CompareValue(*lo.value, cursor->Get()) == 0) {
+      cursor->Next();
+    }
+  }
+  for (; cursor->Valid(); cursor->Next()) {
+    TupleRef t = cursor->Get();
+    if (hi.value != nullptr) {
+      const int c = key_ops().CompareValue(*hi.value, t);  // hi vs key(t)
+      if (c < 0 || (c == 0 && !hi.inclusive)) return;
+    }
+    if (!fn(t)) return;
+  }
+}
+
+std::unique_ptr<TupleIndex> CreateIndex(IndexKind kind,
+                                        std::shared_ptr<const KeyOps> ops,
+                                        const IndexConfig& config) {
+  switch (kind) {
+    case IndexKind::kArray:
+      return std::make_unique<ArrayIndex>(std::move(ops), config);
+    case IndexKind::kAvlTree:
+      return std::make_unique<AvlTree>(std::move(ops), config);
+    case IndexKind::kBTree:
+      return std::make_unique<BTree>(std::move(ops), config);
+    case IndexKind::kTTree:
+      return std::make_unique<TTree>(std::move(ops), config);
+    case IndexKind::kChainedBucketHash:
+      return std::make_unique<ChainedBucketHash>(std::move(ops), config);
+    case IndexKind::kExtendibleHash:
+      return std::make_unique<ExtendibleHash>(std::move(ops), config);
+    case IndexKind::kLinearHash:
+      return std::make_unique<LinearHash>(std::move(ops), config);
+    case IndexKind::kModifiedLinearHash:
+      return std::make_unique<ModifiedLinearHash>(std::move(ops), config);
+    case IndexKind::kBPlusTree:
+      return std::make_unique<BPlusTree>(std::move(ops), config);
+  }
+  return nullptr;
+}
+
+}  // namespace mmdb

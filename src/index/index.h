@@ -1,0 +1,97 @@
+// OrderedIndex / HashIndex: the two index families of Section 2.2 (ordered
+// data vs unordered data), refining the storage-layer TupleIndex interface
+// with scans.  Ordered indices expose bidirectional cursors — the T Tree was
+// designed to "be scanned in either direction" — which the merge joins and
+// range selections build on.
+
+#ifndef MMDB_INDEX_INDEX_H_
+#define MMDB_INDEX_INDEX_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/index/key_ops.h"
+#include "src/storage/index_iface.h"
+
+namespace mmdb {
+
+/// Tuning knobs shared by the index structures.  `node_size` is the
+/// "Node Size" axis of Graphs 1 and 2: elements per tree node, bucket
+/// capacity for Extendible/Linear Hashing, and the target average chain
+/// length for Modified Linear Hashing.
+struct IndexConfig {
+  int node_size = 16;
+  /// T Tree: internal-node occupancy floor is node_size - min_slack; the
+  /// paper recommends slack of "one or two items".
+  int min_slack = 2;
+  /// Hash structures: expected cardinality (sizes the initial table for
+  /// Chained Bucket Hashing, which is static).
+  size_t expected = 1024;
+  bool unique = false;
+};
+
+/// Callback scan protocol: return true to continue, false to stop early.
+using ScanFn = std::function<bool(TupleRef)>;
+
+/// Bound for range scans.
+struct Bound {
+  const Value* value = nullptr;  ///< nullptr = unbounded
+  bool inclusive = true;
+};
+
+class OrderedIndex : public TupleIndex {
+ public:
+  /// Bidirectional cursor over the index in key order (pointer tie-break).
+  /// Cursors are invalidated by any mutation of the index.
+  class Cursor {
+   public:
+    virtual ~Cursor() = default;
+    virtual bool Valid() const = 0;
+    virtual TupleRef Get() const = 0;
+    virtual void Next() = 0;
+    /// Steps backwards; an invalid cursor stays invalid (use Last()).
+    virtual void Prev() = 0;
+    virtual std::unique_ptr<Cursor> Clone() const = 0;
+  };
+
+  /// Cursor at the smallest element (invalid if empty).
+  virtual std::unique_ptr<Cursor> First() const = 0;
+  /// Cursor at the largest element (invalid if empty).
+  virtual std::unique_ptr<Cursor> Last() const = 0;
+  /// Cursor at the first element with key >= v (lower bound); invalid if
+  /// every key is smaller.
+  virtual std::unique_ptr<Cursor> Seek(const Value& v) const = 0;
+
+  // Defaults built on the cursor protocol.
+  TupleRef Find(const Value& key) const override;
+  void FindAll(const Value& key, std::vector<TupleRef>* out) const override;
+  /// In-order scan of the whole index.
+  virtual void ScanAll(const ScanFn& fn) const;
+  /// In-order scan of [lo, hi] with per-bound inclusivity.
+  virtual void ScanRange(const Bound& lo, const Bound& hi,
+                         const ScanFn& fn) const;
+};
+
+class HashIndex : public TupleIndex {
+ public:
+  /// Unordered scan of every element (used by index-build paths and tests).
+  virtual void ScanAll(const ScanFn& fn) const = 0;
+
+  /// Structural statistics for the storage study.
+  struct HashStats {
+    size_t buckets = 0;          ///< addressable buckets / directory entries
+    size_t overflow_nodes = 0;   ///< chained overflow nodes
+    double avg_chain_length = 0; ///< mean elements probed per bucket
+  };
+  virtual HashStats Stats() const = 0;
+};
+
+/// Factory covering all eight structures of the index study.
+/// `ops` must outlive the index and is shared among structures in tests.
+std::unique_ptr<TupleIndex> CreateIndex(IndexKind kind,
+                                        std::shared_ptr<const KeyOps> ops,
+                                        const IndexConfig& config = {});
+
+}  // namespace mmdb
+
+#endif  // MMDB_INDEX_INDEX_H_

@@ -1,0 +1,128 @@
+#include "src/index/key_ops.h"
+
+#include "src/storage/tuple.h"
+#include "src/util/counters.h"
+#include "src/util/hash.h"
+
+namespace mmdb {
+
+// ---- FieldKeyOps ------------------------------------------------------------
+
+int FieldKeyOps::Compare(TupleRef a, TupleRef b) const {
+  return tuple::CompareField(a, b, *schema_, field_);
+}
+
+int FieldKeyOps::CompareValue(const Value& v, TupleRef t) const {
+  return tuple::CompareValueField(v, t, *schema_, field_);
+}
+
+uint64_t FieldKeyOps::Hash(TupleRef t) const {
+  return tuple::HashField(t, *schema_, field_);
+}
+
+uint64_t FieldKeyOps::HashValue(const Value& v) const {
+  counters::BumpHashCalls();
+  return v.Hash();
+}
+
+Value FieldKeyOps::ExtractValue(TupleRef t) const {
+  return tuple::GetValue(t, *schema_, field_);
+}
+
+// ---- CompositeKeyOps --------------------------------------------------------
+
+int CompositeKeyOps::Compare(TupleRef a, TupleRef b) const {
+  for (size_t f : fields_) {
+    int c = tuple::CompareField(a, b, *schema_, f);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+int CompositeKeyOps::CompareValue(const Value& v, TupleRef t) const {
+  return tuple::CompareValueField(v, t, *schema_, fields_.front());
+}
+
+uint64_t CompositeKeyOps::Hash(TupleRef t) const {
+  uint64_t h = 0;
+  for (size_t f : fields_) {
+    h = HashMix64(h ^ tuple::HashField(t, *schema_, f));
+  }
+  return h;
+}
+
+uint64_t CompositeKeyOps::HashValue(const Value& v) const {
+  counters::BumpHashCalls();
+  return HashMix64(0 ^ v.Hash());
+}
+
+Value CompositeKeyOps::ExtractValue(TupleRef t) const {
+  return tuple::GetValue(t, *schema_, fields_.front());
+}
+
+// ---- SelfPointerKeyOps ------------------------------------------------------
+
+int SelfPointerKeyOps::Compare(TupleRef a, TupleRef b) const {
+  counters::BumpComparisons();
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+int SelfPointerKeyOps::CompareValue(const Value& v, TupleRef t) const {
+  counters::BumpComparisons();
+  TupleRef p = v.AsPointer();
+  if (p < t) return -1;
+  if (t < p) return 1;
+  return 0;
+}
+
+uint64_t SelfPointerKeyOps::Hash(TupleRef t) const {
+  counters::BumpHashCalls();
+  return HashMix64(reinterpret_cast<uintptr_t>(t));
+}
+
+uint64_t SelfPointerKeyOps::HashValue(const Value& v) const {
+  counters::BumpHashCalls();
+  return HashMix64(reinterpret_cast<uintptr_t>(v.AsPointer()));
+}
+
+Value SelfPointerKeyOps::ExtractValue(TupleRef t) const { return Value(t); }
+
+// ---- RawInt32KeyOps ---------------------------------------------------------
+
+namespace {
+inline int32_t RawInt(TupleRef t) {
+  int32_t v;
+  std::memcpy(&v, t, sizeof(v));
+  return v;
+}
+}  // namespace
+
+int RawInt32KeyOps::Compare(TupleRef a, TupleRef b) const {
+  counters::BumpComparisons();
+  int32_t x = RawInt(a), y = RawInt(b);
+  return x < y ? -1 : (y < x ? 1 : 0);
+}
+
+int RawInt32KeyOps::CompareValue(const Value& v, TupleRef t) const {
+  counters::BumpComparisons();
+  int32_t x = v.AsInt32(), y = RawInt(t);
+  return x < y ? -1 : (y < x ? 1 : 0);
+}
+
+uint64_t RawInt32KeyOps::Hash(TupleRef t) const {
+  counters::BumpHashCalls();
+  return HashMix64(static_cast<uint64_t>(RawInt(t)));
+}
+
+uint64_t RawInt32KeyOps::HashValue(const Value& v) const {
+  counters::BumpHashCalls();
+  return HashMix64(static_cast<uint64_t>(v.AsInt32()));
+}
+
+Value RawInt32KeyOps::ExtractValue(TupleRef t) const {
+  return Value(RawInt(t));
+}
+
+}  // namespace mmdb

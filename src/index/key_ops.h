@@ -1,0 +1,123 @@
+// KeyOps: how an index extracts, compares, and hashes keys.
+//
+// Section 2.2: main-memory indices store *tuple pointers*, not key values —
+// "a single tuple pointer provides the index with access to both the
+// attribute value of a tuple and the tuple itself".  Every index therefore
+// stores raw TupleRefs, and all key semantics are funneled through a KeyOps
+// implementation that dereferences the pointers on demand.
+//
+// Ordered indices need total order; to make duplicate keys well-behaved
+// (contiguous, erasable by exact pointer), ordered structures break key ties
+// by the tuple pointer itself via CompareTie().
+
+#ifndef MMDB_INDEX_KEY_OPS_H_
+#define MMDB_INDEX_KEY_OPS_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/storage/schema.h"
+#include "src/storage/value.h"
+
+namespace mmdb {
+
+class KeyOps {
+ public:
+  virtual ~KeyOps() = default;
+
+  /// Three-way key comparison between two tuples.
+  virtual int Compare(TupleRef a, TupleRef b) const = 0;
+
+  /// Three-way comparison of a constant against a tuple's key:
+  /// <0 if v < key(t), 0 if equal, >0 if v > key(t).
+  virtual int CompareValue(const Value& v, TupleRef t) const = 0;
+
+  /// Hash of a tuple's key; HashValue(v) must agree whenever
+  /// CompareValue(v, t) == 0.
+  virtual uint64_t Hash(TupleRef t) const = 0;
+  virtual uint64_t HashValue(const Value& v) const = 0;
+
+  /// Materializes the key for diagnostics (single-field keys only; composite
+  /// implementations may return the first field).
+  virtual Value ExtractValue(TupleRef t) const = 0;
+
+  /// Key comparison with pointer tie-break: a strict total order even among
+  /// duplicate keys.  Ordered indices sort by this.
+  int CompareTie(TupleRef a, TupleRef b) const {
+    int c = Compare(a, b);
+    if (c != 0) return c;
+    if (a < b) return -1;
+    if (b < a) return 1;
+    return 0;
+  }
+};
+
+/// Key = one field of a schema.  The common case.
+class FieldKeyOps : public KeyOps {
+ public:
+  FieldKeyOps(const Schema* schema, size_t field)
+      : schema_(schema), field_(field) {}
+
+  int Compare(TupleRef a, TupleRef b) const override;
+  int CompareValue(const Value& v, TupleRef t) const override;
+  uint64_t Hash(TupleRef t) const override;
+  uint64_t HashValue(const Value& v) const override;
+  Value ExtractValue(TupleRef t) const override;
+
+  size_t field() const { return field_; }
+  const Schema* schema() const { return schema_; }
+
+ private:
+  const Schema* schema_;
+  size_t field_;
+};
+
+/// Key = lexicographic tuple of several fields.  Section 2.2 notes that
+/// pointer-based indices make multi-attribute keys need "less in the way of
+/// special mechanisms" — this is that mechanism.  CompareValue/HashValue
+/// operate on the *first* field only and are meant for prefix probes.
+class CompositeKeyOps : public KeyOps {
+ public:
+  CompositeKeyOps(const Schema* schema, std::vector<size_t> fields)
+      : schema_(schema), fields_(std::move(fields)) {}
+
+  int Compare(TupleRef a, TupleRef b) const override;
+  int CompareValue(const Value& v, TupleRef t) const override;
+  uint64_t Hash(TupleRef t) const override;
+  uint64_t HashValue(const Value& v) const override;
+  Value ExtractValue(TupleRef t) const override;
+
+  const std::vector<size_t>& fields() const { return fields_; }
+
+ private:
+  const Schema* schema_;
+  std::vector<size_t> fields_;
+};
+
+/// Key = the tuple pointer itself.  Used for joining on materialized
+/// foreign-key pointer fields (Query 2 in the paper joins on Department
+/// tuple pointers rather than data values) — pair with a FieldKeyOps on a
+/// kPointer field for the referencing side; this is for the referenced side,
+/// where the tuple's own address is the key.
+class SelfPointerKeyOps : public KeyOps {
+ public:
+  int Compare(TupleRef a, TupleRef b) const override;
+  int CompareValue(const Value& v, TupleRef t) const override;
+  uint64_t Hash(TupleRef t) const override;
+  uint64_t HashValue(const Value& v) const override;
+  Value ExtractValue(TupleRef t) const override;
+};
+
+/// Test/bench helper: TupleRef points directly at an int32 (no schema).
+class RawInt32KeyOps : public KeyOps {
+ public:
+  int Compare(TupleRef a, TupleRef b) const override;
+  int CompareValue(const Value& v, TupleRef t) const override;
+  uint64_t Hash(TupleRef t) const override;
+  uint64_t HashValue(const Value& v) const override;
+  Value ExtractValue(TupleRef t) const override;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_INDEX_KEY_OPS_H_

@@ -1,0 +1,223 @@
+#include "src/index/linear_hash.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/util/counters.h"
+
+namespace mmdb {
+
+LinearHash::LinearHash(std::shared_ptr<const KeyOps> ops,
+                       const IndexConfig& config, const Tuning& tuning)
+    : ops_(std::move(ops)),
+      capacity_(config.node_size < 1 ? 1 : config.node_size),
+      tuning_(tuning),
+      base_size_(4) {
+  set_unique(config.unique);
+  primary_.resize(base_size_, nullptr);
+  for (auto& b : primary_) b = NewBucket();
+}
+
+LinearHash::~LinearHash() = default;
+
+size_t LinearHash::BucketBytes() const {
+  return sizeof(Bucket) + (capacity_ - 1) * sizeof(TupleRef);
+}
+
+LinearHash::Bucket* LinearHash::NewBucket() {
+  Bucket* b;
+  if (free_list_ != nullptr) {
+    b = static_cast<Bucket*>(free_list_);
+    free_list_ = *static_cast<void**>(free_list_);
+  } else {
+    b = static_cast<Bucket*>(arena_.Allocate(BucketBytes()));
+  }
+  b->overflow = nullptr;
+  b->count = 0;
+  ++total_buckets_;
+  return b;
+}
+
+void LinearHash::FreeBucket(Bucket* b) {
+  *reinterpret_cast<void**>(b) = free_list_;
+  free_list_ = b;
+  --total_buckets_;
+}
+
+size_t LinearHash::AddressOf(uint64_t hash) const {
+  const size_t round = base_size_ << level_;
+  size_t slot = hash % round;
+  if (slot < split_next_) slot = hash % (round * 2);
+  return slot;
+}
+
+double LinearHash::Utilization() const {
+  const size_t slots = TotalSlots();
+  return slots == 0 ? 0.0 : static_cast<double>(size_) / slots;
+}
+
+void LinearHash::AppendToChain(size_t slot, TupleRef t) {
+  Bucket* b = primary_[slot];
+  for (;;) {
+    if (b->count < capacity_) {
+      b->items[b->count++] = t;
+      counters::BumpDataMoves();
+      return;
+    }
+    if (b->overflow == nullptr) b->overflow = NewBucket();
+    b = b->overflow;
+  }
+}
+
+void LinearHash::SplitOne() {
+  counters::BumpSplits();
+  const size_t round = base_size_ << level_;
+  const size_t old_slot = split_next_;
+  const size_t new_slot = split_next_ + round;
+  primary_.push_back(NewBucket());
+  assert(primary_.size() == new_slot + 1);
+
+  // Detach the old chain and redistribute with the next-level function.
+  Bucket* chain = primary_[old_slot];
+  primary_[old_slot] = NewBucket();
+  ++split_next_;
+  if (split_next_ == round) {
+    ++level_;
+    split_next_ = 0;
+  }
+  while (chain != nullptr) {
+    for (int i = 0; i < chain->count; ++i) {
+      TupleRef t = chain->items[i];
+      const size_t dst = ops_->Hash(t) % (round * 2);
+      AppendToChain(dst == old_slot ? old_slot : new_slot, t);
+    }
+    Bucket* next = chain->overflow;
+    FreeBucket(chain);
+    chain = next;
+  }
+}
+
+void LinearHash::ContractOne() {
+  if (split_next_ == 0) {
+    if (level_ == 0) return;
+    --level_;
+    split_next_ = base_size_ << level_;
+  }
+  --split_next_;
+  counters::BumpMerges();
+  const size_t low = split_next_;
+  const size_t high = low + (base_size_ << level_);
+
+  Bucket* chain = primary_[high];
+  primary_.pop_back();
+  while (chain != nullptr) {
+    for (int i = 0; i < chain->count; ++i) {
+      AppendToChain(low, chain->items[i]);
+    }
+    Bucket* next = chain->overflow;
+    FreeBucket(chain);
+    chain = next;
+  }
+}
+
+bool LinearHash::Insert(TupleRef t) {
+  const uint64_t h = ops_->Hash(t);
+  const size_t slot = AddressOf(h);
+  for (Bucket* b = primary_[slot]; b != nullptr; b = b->overflow) {
+    for (int i = 0; i < b->count; ++i) {
+      if (b->items[i] == t) return false;
+      if (unique() && ops_->Compare(t, b->items[i]) == 0) return false;
+    }
+  }
+  AppendToChain(slot, t);
+  ++size_;
+  // Maintain the storage-utilization band: one reorganization step per
+  // operation (this steady churn is the paper's main criticism).
+  if (Utilization() > tuning_.upper) SplitOne();
+  return true;
+}
+
+bool LinearHash::Erase(TupleRef t) {
+  const uint64_t h = ops_->Hash(t);
+  const size_t slot = AddressOf(h);
+  for (Bucket* b = primary_[slot]; b != nullptr; b = b->overflow) {
+    for (int i = 0; i < b->count; ++i) {
+      if (b->items[i] != t) continue;
+      // Fill the hole with the last element of the chain's tail bucket.
+      Bucket* tail = b;
+      Bucket* tail_parent = nullptr;
+      while (tail->overflow != nullptr && tail->overflow->count > 0) {
+        tail_parent = tail;
+        tail = tail->overflow;
+      }
+      b->items[i] = tail->items[tail->count - 1];
+      counters::BumpDataMoves();
+      --tail->count;
+      if (tail->count == 0 && tail != primary_[slot]) {
+        // Drop the emptied overflow bucket.
+        if (tail_parent != nullptr) {
+          tail_parent->overflow = tail->overflow;
+        } else {
+          // b itself is the parent of tail.
+          Bucket* parent = primary_[slot];
+          while (parent->overflow != tail) parent = parent->overflow;
+          parent->overflow = tail->overflow;
+        }
+        FreeBucket(tail);
+      }
+      --size_;
+      if (primary_.size() > base_size_ && Utilization() < tuning_.lower) {
+        ContractOne();
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+TupleRef LinearHash::Find(const Value& key) const {
+  const size_t slot = AddressOf(ops_->HashValue(key));
+  for (Bucket* b = primary_[slot]; b != nullptr; b = b->overflow) {
+    for (int i = 0; i < b->count; ++i) {
+      if (ops_->CompareValue(key, b->items[i]) == 0) return b->items[i];
+    }
+  }
+  return nullptr;
+}
+
+void LinearHash::FindAll(const Value& key, std::vector<TupleRef>* out) const {
+  const size_t slot = AddressOf(ops_->HashValue(key));
+  for (Bucket* b = primary_[slot]; b != nullptr; b = b->overflow) {
+    for (int i = 0; i < b->count; ++i) {
+      if (ops_->CompareValue(key, b->items[i]) == 0) {
+        out->push_back(b->items[i]);
+      }
+    }
+  }
+}
+
+size_t LinearHash::StorageBytes() const {
+  return sizeof(*this) + primary_.capacity() * sizeof(Bucket*) +
+         total_buckets_ * BucketBytes();
+}
+
+void LinearHash::ScanAll(const ScanFn& fn) const {
+  for (Bucket* head : primary_) {
+    for (Bucket* b = head; b != nullptr; b = b->overflow) {
+      for (int i = 0; i < b->count; ++i) {
+        if (!fn(b->items[i])) return;
+      }
+    }
+  }
+}
+
+HashIndex::HashStats LinearHash::Stats() const {
+  HashStats s;
+  s.buckets = primary_.size();
+  s.overflow_nodes = total_buckets_ - primary_.size();
+  s.avg_chain_length =
+      primary_.empty() ? 0.0 : static_cast<double>(size_) / primary_.size();
+  return s;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,88 @@
+// Linear Hashing [Lit80]: buckets split in fixed order driven by a split
+// pointer; addressing uses h mod 2^L*M, re-hashed with the next level for
+// already-split buckets.  Growth/shrinkage is driven by a storage-
+// utilization band, which is exactly why the paper found it "just too slow
+// to use in main memory": keeping utilization inside the band causes
+// constant data reorganization even when the element count is static
+// (Graph 2's worst curve among the hash methods).
+//
+// Bucket capacity (primary and overflow) is the "Node Size" axis.
+
+#ifndef MMDB_INDEX_LINEAR_HASH_H_
+#define MMDB_INDEX_LINEAR_HASH_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/index/index.h"
+#include "src/util/arena.h"
+
+namespace mmdb {
+
+/// Utilization band: split while used/total > upper, contract while
+/// < lower.  Defaults follow the tight band the paper's behavior implies.
+struct LinearHashTuning {
+  double upper = 0.80;
+  double lower = 0.70;
+};
+
+class LinearHash : public HashIndex {
+ public:
+  using Tuning = LinearHashTuning;
+
+  LinearHash(std::shared_ptr<const KeyOps> ops, const IndexConfig& config,
+             const Tuning& tuning = Tuning());
+  ~LinearHash() override;
+
+  IndexKind kind() const override { return IndexKind::kLinearHash; }
+  const KeyOps& key_ops() const override { return *ops_; }
+
+  bool Insert(TupleRef t) override;
+  bool Erase(TupleRef t) override;
+  TupleRef Find(const Value& key) const override;
+  void FindAll(const Value& key, std::vector<TupleRef>* out) const override;
+  size_t size() const override { return size_; }
+  size_t StorageBytes() const override;
+
+  void ScanAll(const ScanFn& fn) const override;
+  HashStats Stats() const override;
+
+  size_t bucket_count() const { return primary_.size(); }
+  double Utilization() const;
+
+ private:
+  struct Bucket {
+    Bucket* overflow;
+    int16_t count;
+    TupleRef items[1];  // capacity_ entries
+  };
+
+  size_t BucketBytes() const;
+  Bucket* NewBucket();
+  void FreeBucket(Bucket* b);
+  /// Primary bucket number for a hash under the current level/split state.
+  size_t AddressOf(uint64_t hash) const;
+  /// Appends to a chain, adding an overflow bucket if needed.
+  void AppendToChain(size_t slot, TupleRef t);
+  /// Splits the bucket at split_next_, extending the table by one.
+  void SplitOne();
+  /// Undoes the most recent split, folding the last bucket back.
+  void ContractOne();
+  size_t TotalSlots() const { return total_buckets_ * capacity_; }
+
+  std::shared_ptr<const KeyOps> ops_;
+  int capacity_;
+  Tuning tuning_;
+  Arena arena_;
+  void* free_list_ = nullptr;
+  std::vector<Bucket*> primary_;
+  size_t base_size_;     // M: buckets at level 0
+  size_t level_ = 0;     // L
+  size_t split_next_ = 0;
+  size_t total_buckets_ = 0;  // primary + overflow, for utilization
+  size_t size_ = 0;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_INDEX_LINEAR_HASH_H_

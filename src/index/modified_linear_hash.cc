@@ -1,0 +1,145 @@
+#include "src/index/modified_linear_hash.h"
+
+#include "src/util/counters.h"
+
+namespace mmdb {
+
+ModifiedLinearHash::ModifiedLinearHash(std::shared_ptr<const KeyOps> ops,
+                                       const IndexConfig& config)
+    : ops_(std::move(ops)),
+      max_avg_(config.node_size < 1 ? 1.0 : config.node_size),
+      pool_(&arena_),
+      base_size_(4) {
+  set_unique(config.unique);
+  dir_.resize(base_size_, nullptr);
+}
+
+ModifiedLinearHash::~ModifiedLinearHash() = default;
+
+size_t ModifiedLinearHash::AddressOf(uint64_t hash) const {
+  const size_t round = base_size_ << level_;
+  size_t slot = hash % round;
+  if (slot < split_next_) slot = hash % (round * 2);
+  return slot;
+}
+
+void ModifiedLinearHash::SplitOne() {
+  counters::BumpSplits();
+  const size_t round = base_size_ << level_;
+  const size_t old_slot = split_next_;
+  const size_t new_slot = split_next_ + round;
+  dir_.push_back(nullptr);
+  ++split_next_;
+  if (split_next_ == round) {
+    ++level_;
+    split_next_ = 0;
+  }
+  // Re-thread the chain across the two slots; nodes are reused in place.
+  Node* chain = dir_[old_slot];
+  dir_[old_slot] = nullptr;
+  while (chain != nullptr) {
+    Node* next = chain->next;
+    const size_t dst = ops_->Hash(chain->item) % (round * 2);
+    Node** head = dst == old_slot ? &dir_[old_slot] : &dir_[new_slot];
+    chain->next = *head;
+    *head = chain;
+    counters::BumpDataMoves();
+    chain = next;
+  }
+}
+
+void ModifiedLinearHash::ContractOne() {
+  if (split_next_ == 0) {
+    if (level_ == 0) return;
+    --level_;
+    split_next_ = base_size_ << level_;
+  }
+  --split_next_;
+  counters::BumpMerges();
+  const size_t low = split_next_;
+  Node* chain = dir_.back();
+  dir_.pop_back();
+  while (chain != nullptr) {
+    Node* next = chain->next;
+    chain->next = dir_[low];
+    dir_[low] = chain;
+    counters::BumpDataMoves();
+    chain = next;
+  }
+}
+
+bool ModifiedLinearHash::Insert(TupleRef t) {
+  const uint64_t h = ops_->Hash(t);
+  const size_t slot = AddressOf(h);
+  for (Node* n = dir_[slot]; n != nullptr; n = n->next) {
+    if (n->item == t) return false;
+    if (unique() && ops_->Compare(t, n->item) == 0) return false;
+  }
+  Node* n = static_cast<Node*>(pool_.Allocate());
+  n->item = t;
+  n->next = dir_[slot];
+  dir_[slot] = n;
+  ++size_;
+  // Growth criterion: average chain length (Section 3.2) — a static
+  // population never reorganizes.
+  if (AvgChainLength() > max_avg_) SplitOne();
+  return true;
+}
+
+bool ModifiedLinearHash::Erase(TupleRef t) {
+  const uint64_t h = ops_->Hash(t);
+  const size_t slot = AddressOf(h);
+  for (Node** link = &dir_[slot]; *link != nullptr; link = &(*link)->next) {
+    if ((*link)->item == t) {
+      Node* victim = *link;
+      *link = victim->next;
+      pool_.Free(victim);
+      --size_;
+      if (dir_.size() > base_size_ &&
+          AvgChainLength() < max_avg_ / 2.0) {
+        ContractOne();
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+TupleRef ModifiedLinearHash::Find(const Value& key) const {
+  const size_t slot = AddressOf(ops_->HashValue(key));
+  for (Node* n = dir_[slot]; n != nullptr; n = n->next) {
+    if (ops_->CompareValue(key, n->item) == 0) return n->item;
+  }
+  return nullptr;
+}
+
+void ModifiedLinearHash::FindAll(const Value& key,
+                                 std::vector<TupleRef>* out) const {
+  const size_t slot = AddressOf(ops_->HashValue(key));
+  for (Node* n = dir_[slot]; n != nullptr; n = n->next) {
+    if (ops_->CompareValue(key, n->item) == 0) out->push_back(n->item);
+  }
+}
+
+size_t ModifiedLinearHash::StorageBytes() const {
+  return sizeof(*this) + dir_.capacity() * sizeof(Node*) +
+         pool_.live() * NodePool<Node>::SlotBytes();
+}
+
+void ModifiedLinearHash::ScanAll(const ScanFn& fn) const {
+  for (Node* head : dir_) {
+    for (Node* n = head; n != nullptr; n = n->next) {
+      if (!fn(n->item)) return;
+    }
+  }
+}
+
+HashIndex::HashStats ModifiedLinearHash::Stats() const {
+  HashStats s;
+  s.buckets = dir_.size();
+  s.overflow_nodes = size_;
+  s.avg_chain_length = AvgChainLength();
+  return s;
+}
+
+}  // namespace mmdb

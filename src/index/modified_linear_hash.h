@@ -1,0 +1,70 @@
+// Modified Linear Hashing [LeC85]: the paper's main-memory adaptation of
+// Linear Hashing and its recommended index for unordered data.  Differences
+// from Litwin's scheme (Section 3.2): a contiguous in-memory directory of
+// chain heads, *single-item* nodes instead of multi-slot buckets, and
+// directory growth controlled by the *average chain length* rather than
+// storage utilization — so a static element population causes no
+// reorganization at all.
+//
+// The "Node Size" axis of Graphs 1 and 2 is the target average chain length.
+
+#ifndef MMDB_INDEX_MODIFIED_LINEAR_HASH_H_
+#define MMDB_INDEX_MODIFIED_LINEAR_HASH_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/index/index.h"
+#include "src/util/arena.h"
+
+namespace mmdb {
+
+class ModifiedLinearHash : public HashIndex {
+ public:
+  /// config.node_size = maximum tolerated average chain length.
+  ModifiedLinearHash(std::shared_ptr<const KeyOps> ops,
+                     const IndexConfig& config);
+  ~ModifiedLinearHash() override;
+
+  IndexKind kind() const override { return IndexKind::kModifiedLinearHash; }
+  const KeyOps& key_ops() const override { return *ops_; }
+
+  bool Insert(TupleRef t) override;
+  bool Erase(TupleRef t) override;
+  TupleRef Find(const Value& key) const override;
+  void FindAll(const Value& key, std::vector<TupleRef>* out) const override;
+  size_t size() const override { return size_; }
+  size_t StorageBytes() const override;
+
+  void ScanAll(const ScanFn& fn) const override;
+  HashStats Stats() const override;
+
+  size_t bucket_count() const { return dir_.size(); }
+  double AvgChainLength() const {
+    return dir_.empty() ? 0.0 : static_cast<double>(size_) / dir_.size();
+  }
+
+ private:
+  struct Node {
+    TupleRef item;
+    Node* next;
+  };
+
+  size_t AddressOf(uint64_t hash) const;
+  void SplitOne();
+  void ContractOne();
+
+  std::shared_ptr<const KeyOps> ops_;
+  double max_avg_;
+  Arena arena_;
+  NodePool<Node> pool_;
+  std::vector<Node*> dir_;
+  size_t base_size_;
+  size_t level_ = 0;
+  size_t split_next_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_INDEX_MODIFIED_LINEAR_HASH_H_

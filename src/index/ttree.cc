@@ -1,0 +1,508 @@
+#include "src/index/ttree.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/util/counters.h"
+
+namespace mmdb {
+
+class TTree::CursorImpl : public OrderedIndex::Cursor {
+ public:
+  CursorImpl(const Node* node, int pos) : node_(node), pos_(pos) {}
+
+  bool Valid() const override { return node_ != nullptr; }
+  TupleRef Get() const override { return node_->items[pos_]; }
+
+  void Next() override {
+    if (node_ == nullptr) return;
+    if (pos_ + 1 < node_->count) {
+      ++pos_;
+      return;
+    }
+    node_ = NextNode(node_);
+    pos_ = 0;
+  }
+
+  void Prev() override {
+    if (node_ == nullptr) return;
+    if (pos_ > 0) {
+      --pos_;
+      return;
+    }
+    node_ = PrevNode(node_);
+    pos_ = node_ == nullptr ? 0 : node_->count - 1;
+  }
+
+  std::unique_ptr<Cursor> Clone() const override {
+    return std::make_unique<CursorImpl>(node_, pos_);
+  }
+
+ private:
+  const Node* node_;
+  int pos_;
+};
+
+TTree::TTree(std::shared_ptr<const KeyOps> ops, const IndexConfig& config)
+    : ops_(std::move(ops)),
+      max_count_(config.node_size < 1 ? 1 : config.node_size),
+      min_count_(max_count_ - config.min_slack < 1 ? 1
+                                                   : max_count_ - config.min_slack) {
+  set_unique(config.unique);
+}
+
+TTree::~TTree() = default;  // nodes live in the arena
+
+size_t TTree::NodeBytes() const {
+  return sizeof(Node) + (max_count_ - 1) * sizeof(TupleRef);
+}
+
+TTree::Node* TTree::NewNode(Node* parent) {
+  Node* n;
+  if (free_list_ != nullptr) {
+    n = static_cast<Node*>(free_list_);
+    free_list_ = *static_cast<void**>(free_list_);
+  } else {
+    n = static_cast<Node*>(arena_.Allocate(NodeBytes()));
+  }
+  n->left = n->right = nullptr;
+  n->parent = parent;
+  n->count = 0;
+  n->height = 1;
+  ++node_count_;
+  return n;
+}
+
+void TTree::FreeNode(Node* n) {
+  *reinterpret_cast<void**>(n) = free_list_;
+  free_list_ = n;
+  --node_count_;
+}
+
+int TTree::BalanceOf(const Node* n) {
+  return NodeHeight(n->right) - NodeHeight(n->left);
+}
+
+void TTree::UpdateHeight(Node* n) {
+  int lh = NodeHeight(n->left), rh = NodeHeight(n->right);
+  n->height = static_cast<int8_t>((lh > rh ? lh : rh) + 1);
+}
+
+void TTree::Replace(Node* parent, Node* child, Node* with) {
+  if (parent == nullptr) {
+    root_ = with;
+  } else if (parent->left == child) {
+    parent->left = with;
+  } else {
+    parent->right = with;
+  }
+  if (with != nullptr) with->parent = parent;
+}
+
+TTree::Node* TTree::RotateLeft(Node* n) {
+  counters::BumpRotations();
+  Node* r = n->right;
+  Replace(n->parent, n, r);
+  n->right = r->left;
+  if (n->right != nullptr) n->right->parent = n;
+  r->left = n;
+  n->parent = r;
+  UpdateHeight(n);
+  UpdateHeight(r);
+  return r;
+}
+
+TTree::Node* TTree::RotateRight(Node* n) {
+  counters::BumpRotations();
+  Node* l = n->left;
+  Replace(n->parent, n, l);
+  n->left = l->right;
+  if (n->left != nullptr) n->left->parent = n;
+  l->right = n;
+  n->parent = l;
+  UpdateHeight(n);
+  UpdateHeight(l);
+  return l;
+}
+
+void TTree::SlideFromLeft(Node* c) {
+  Node* b = c->left;
+  if (b == nullptr || b->right != nullptr) return;
+  while (c->count < min_count_ && b->count > 1) {
+    std::memmove(&c->items[1], &c->items[0], c->count * sizeof(TupleRef));
+    c->items[0] = b->items[b->count - 1];
+    counters::BumpDataMoves(c->count + 1);
+    ++c->count;
+    --b->count;
+  }
+}
+
+void TTree::SlideFromRight(Node* c) {
+  Node* d = c->right;
+  if (d == nullptr || d->left != nullptr) return;
+  while (c->count < min_count_ && d->count > 1) {
+    c->items[c->count] = d->items[0];
+    std::memmove(&d->items[0], &d->items[1], (d->count - 1) * sizeof(TupleRef));
+    counters::BumpDataMoves(d->count);
+    ++c->count;
+    --d->count;
+  }
+}
+
+void TTree::RebalanceUp(Node* n) {
+  while (n != nullptr) {
+    UpdateHeight(n);
+    int bf = BalanceOf(n);
+    if (bf > 1) {
+      if (BalanceOf(n->right) < 0) {
+        RotateRight(n->right);
+        n = RotateLeft(n);
+        SlideFromRight(n);
+      } else {
+        n = RotateLeft(n);
+      }
+    } else if (bf < -1) {
+      if (BalanceOf(n->left) > 0) {
+        RotateLeft(n->left);
+        n = RotateRight(n);
+        SlideFromLeft(n);
+      } else {
+        n = RotateRight(n);
+      }
+    }
+    n = n->parent;
+  }
+}
+
+int TTree::LowerBoundValue(const Node* n, const Value& v) const {
+  int lo = 0, hi = n->count;
+  while (lo < hi) {
+    int mid = lo + (hi - lo) / 2;
+    if (ops_->CompareValue(v, n->items[mid]) > 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int TTree::LowerBoundTie(const Node* n, TupleRef t) const {
+  int lo = 0, hi = n->count;
+  while (lo < hi) {
+    int mid = lo + (hi - lo) / 2;
+    if (ops_->CompareTie(n->items[mid], t) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void TTree::InsertIntoNode(Node* n, TupleRef t) {
+  int pos = LowerBoundTie(n, t);
+  std::memmove(&n->items[pos + 1], &n->items[pos],
+               (n->count - pos) * sizeof(TupleRef));
+  counters::BumpDataMoves(n->count - pos + 1);
+  n->items[pos] = t;
+  ++n->count;
+}
+
+void TTree::RemoveFromNode(Node* n, int pos) {
+  std::memmove(&n->items[pos], &n->items[pos + 1],
+               (n->count - pos - 1) * sizeof(TupleRef));
+  counters::BumpDataMoves(n->count - pos - 1);
+  --n->count;
+}
+
+TTree::Node* TTree::GlbNode(Node* n) const {
+  Node* l = n->left;
+  while (l->right != nullptr) l = l->right;
+  return l;
+}
+
+void TTree::UnlinkNode(Node* n) {
+  Node* child = n->left != nullptr ? n->left : n->right;
+  Node* parent = n->parent;
+  Replace(parent, n, child);
+  FreeNode(n);
+  RebalanceUp(parent);
+}
+
+TTree::Node* TTree::LeftmostNode(Node* n) {
+  while (n != nullptr && n->left != nullptr) n = n->left;
+  return n;
+}
+
+TTree::Node* TTree::RightmostNode(Node* n) {
+  while (n != nullptr && n->right != nullptr) n = n->right;
+  return n;
+}
+
+TTree::Node* TTree::NextNode(const Node* n) {
+  if (n->right != nullptr) return LeftmostNode(n->right);
+  const Node* p = n->parent;
+  while (p != nullptr && p->right == n) {
+    n = p;
+    p = p->parent;
+  }
+  return const_cast<Node*>(p);
+}
+
+TTree::Node* TTree::PrevNode(const Node* n) {
+  if (n->left != nullptr) return RightmostNode(n->left);
+  const Node* p = n->parent;
+  while (p != nullptr && p->left == n) {
+    n = p;
+    p = p->parent;
+  }
+  return const_cast<Node*>(p);
+}
+
+bool TTree::Insert(TupleRef t) {
+  if (root_ == nullptr) {
+    root_ = NewNode(nullptr);
+    root_->items[0] = t;
+    root_->count = 1;
+    size_ = 1;
+    return true;
+  }
+  Node* n = root_;
+  for (;;) {
+    counters::BumpNodeVisits();
+    const int cmin = ops_->CompareTie(t, n->items[0]);
+    if (cmin == 0) return false;  // identical pointer already present
+    if (cmin < 0) {
+      if (unique() && ops_->Compare(t, n->items[0]) == 0) return false;
+      if (n->left != nullptr) {
+        n = n->left;
+        continue;
+      }
+      // Search ended here: no bounding node, t precedes this node.
+      if (n->count < max_count_) {
+        InsertIntoNode(n, t);
+        ++size_;
+        return true;
+      }
+      Node* leaf = NewNode(n);
+      leaf->items[0] = t;
+      leaf->count = 1;
+      n->left = leaf;
+      ++size_;
+      RebalanceUp(n);
+      return true;
+    }
+    const int cmax = ops_->CompareTie(t, n->items[n->count - 1]);
+    if (cmax == 0) return false;
+    if (cmax > 0) {
+      if (unique() && ops_->Compare(t, n->items[n->count - 1]) == 0) {
+        return false;
+      }
+      if (n->right != nullptr) {
+        n = n->right;
+        continue;
+      }
+      if (n->count < max_count_) {
+        InsertIntoNode(n, t);
+        ++size_;
+        return true;
+      }
+      Node* leaf = NewNode(n);
+      leaf->items[0] = t;
+      leaf->count = 1;
+      n->right = leaf;
+      ++size_;
+      RebalanceUp(n);
+      return true;
+    }
+
+    // n bounds t.
+    int pos = LowerBoundTie(n, t);
+    if (pos < n->count && n->items[pos] == t) return false;
+    if (unique()) {
+      if (pos < n->count && ops_->Compare(t, n->items[pos]) == 0) return false;
+      if (pos > 0 && ops_->Compare(t, n->items[pos - 1]) == 0) return false;
+    }
+    if (n->count < max_count_) {
+      std::memmove(&n->items[pos + 1], &n->items[pos],
+                   (n->count - pos) * sizeof(TupleRef));
+      counters::BumpDataMoves(n->count - pos + 1);
+      n->items[pos] = t;
+      ++n->count;
+      ++size_;
+      return true;
+    }
+
+    // Overflow: the minimum element leaves the node and becomes the new
+    // greatest lower bound (Section 3.2.1); t takes its sorted position.
+    TupleRef old_min = n->items[0];
+    std::memmove(&n->items[0], &n->items[1], (pos - 1) * sizeof(TupleRef));
+    counters::BumpDataMoves(pos);
+    n->items[pos - 1] = t;
+    ++size_;
+
+    if (n->left == nullptr) {
+      Node* leaf = NewNode(n);
+      leaf->items[0] = old_min;
+      leaf->count = 1;
+      n->left = leaf;
+      RebalanceUp(n);
+      return true;
+    }
+    Node* glb = GlbNode(n);
+    if (glb->count < max_count_) {
+      glb->items[glb->count++] = old_min;  // becomes glb's new maximum
+      counters::BumpDataMoves();
+      return true;
+    }
+    Node* leaf = NewNode(glb);
+    leaf->items[0] = old_min;
+    leaf->count = 1;
+    glb->right = leaf;
+    RebalanceUp(glb);
+    return true;
+  }
+}
+
+bool TTree::Erase(TupleRef t) {
+  Node* n = root_;
+  while (n != nullptr) {
+    counters::BumpNodeVisits();
+    if (ops_->CompareTie(t, n->items[0]) < 0) {
+      n = n->left;
+      continue;
+    }
+    if (ops_->CompareTie(t, n->items[n->count - 1]) > 0) {
+      n = n->right;
+      continue;
+    }
+    int pos = LowerBoundTie(n, t);
+    if (pos >= n->count || n->items[pos] != t) return false;
+    RemoveFromNode(n, pos);
+    --size_;
+
+    const bool is_internal = n->left != nullptr && n->right != nullptr;
+    if (is_internal) {
+      if (n->count < min_count_) {
+        // Borrow the greatest lower bound back from its leaf.
+        Node* glb = GlbNode(n);
+        TupleRef x = glb->items[glb->count - 1];
+        --glb->count;
+        std::memmove(&n->items[1], &n->items[0], n->count * sizeof(TupleRef));
+        counters::BumpDataMoves(n->count + 1);
+        n->items[0] = x;
+        ++n->count;
+        if (glb->count == 0) UnlinkNode(glb);
+      }
+      return true;
+    }
+    Node* child = n->left != nullptr ? n->left : n->right;
+    if (child != nullptr) {
+      // Half-leaf.  The child must be a leaf (AVL balance); fold it in when
+      // the node underflows and the merge fits.
+      if (n->count < min_count_ && n->count + child->count <= max_count_) {
+        if (child == n->left) {
+          std::memmove(&n->items[child->count], &n->items[0],
+                       n->count * sizeof(TupleRef));
+          std::memcpy(&n->items[0], &child->items[0],
+                      child->count * sizeof(TupleRef));
+        } else {
+          std::memcpy(&n->items[n->count], &child->items[0],
+                      child->count * sizeof(TupleRef));
+        }
+        counters::BumpDataMoves(n->count + child->count);
+        n->count = static_cast<int16_t>(n->count + child->count);
+        counters::BumpMerges();
+        Replace(n, child, nullptr);
+        FreeNode(child);
+        RebalanceUp(n);
+      }
+      return true;
+    }
+    // Leaf.
+    if (n->count == 0) UnlinkNode(n);
+    return true;
+  }
+  return false;
+}
+
+size_t TTree::StorageBytes() const {
+  return sizeof(*this) + node_count_ * NodeBytes();
+}
+
+std::unique_ptr<OrderedIndex::Cursor> TTree::First() const {
+  Node* n = LeftmostNode(root_);
+  return std::make_unique<CursorImpl>(n, 0);
+}
+
+std::unique_ptr<OrderedIndex::Cursor> TTree::Last() const {
+  Node* n = RightmostNode(root_);
+  return std::make_unique<CursorImpl>(n, n == nullptr ? 0 : n->count - 1);
+}
+
+std::unique_ptr<OrderedIndex::Cursor> TTree::Seek(const Value& v) const {
+  const Node* n = root_;
+  const Node* cand_node = nullptr;
+  int cand_pos = 0;
+  while (n != nullptr) {
+    counters::BumpNodeVisits();
+    if (ops_->CompareValue(v, n->items[0]) <= 0) {
+      cand_node = n;
+      cand_pos = 0;
+      n = n->left;
+    } else if (ops_->CompareValue(v, n->items[n->count - 1]) > 0) {
+      n = n->right;
+    } else {
+      cand_node = n;
+      cand_pos = LowerBoundValue(n, v);
+      break;
+    }
+  }
+  return std::make_unique<CursorImpl>(cand_node, cand_pos);
+}
+
+int TTree::Height() const { return NodeHeight(root_); }
+
+bool TTree::CheckSubtree(const Node* n, const Node* parent, int* height,
+                         size_t* items, TupleRef* lo, TupleRef* hi) const {
+  if (n == nullptr) {
+    *height = 0;
+    return true;
+  }
+  if (n->parent != parent) return false;
+  if (n->count < 1 || n->count > max_count_) return false;
+  for (int i = 1; i < n->count; ++i) {
+    if (ops_->CompareTie(n->items[i - 1], n->items[i]) >= 0) return false;
+  }
+  int lh = 0, rh = 0;
+  size_t li = 0, ri = 0;
+  TupleRef llo = nullptr, lhi = nullptr, rlo = nullptr, rhi = nullptr;
+  if (!CheckSubtree(n->left, n, &lh, &li, &llo, &lhi)) return false;
+  if (!CheckSubtree(n->right, n, &rh, &ri, &rlo, &rhi)) return false;
+  if (n->height != (lh > rh ? lh : rh) + 1) return false;
+  if (rh - lh > 1 || lh - rh > 1) return false;
+  if (n->left != nullptr && ops_->CompareTie(lhi, n->items[0]) >= 0) {
+    return false;
+  }
+  if (n->right != nullptr &&
+      ops_->CompareTie(n->items[n->count - 1], rlo) >= 0) {
+    return false;
+  }
+  *height = n->height;
+  *items = li + ri + n->count;
+  *lo = n->left != nullptr ? llo : n->items[0];
+  *hi = n->right != nullptr ? rhi : n->items[n->count - 1];
+  return true;
+}
+
+bool TTree::CheckInvariants() const {
+  if (root_ == nullptr) return size_ == 0;
+  int h = 0;
+  size_t items = 0;
+  TupleRef lo = nullptr, hi = nullptr;
+  if (!CheckSubtree(root_, nullptr, &h, &items, &lo, &hi)) return false;
+  return items == size_;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,128 @@
+// T Tree [LeC85]: the paper's new index structure — a balanced binary tree
+// whose nodes hold many elements (Figures 3 and 4).  It keeps the AVL Tree's
+// intrinsic binary-search navigation (compare, follow a pointer) while
+// getting the B Tree's storage density and cheap intra-node updates.
+//
+// Terminology from Section 3.2.1:
+//   * internal node  — two children;
+//   * half-leaf      — exactly one child;
+//   * leaf           — no children;
+//   * node N "bounds" value X when min(N) <= X <= max(N);
+//   * the greatest lower bound (GLB) of an internal node A is the
+//     predecessor of min(A), held by a leaf/half-leaf in A's left subtree.
+//
+// Internal nodes keep their occupancy in [min_count, max_count]; the paper
+// recommends a slack of one or two items, which "significantly reduce[s] the
+// need for tree rotations".  Leaves and half-leaves range 0..max_count.
+//
+// Insert: find the bounding node; insert there, and on overflow transfer the
+// node's minimum element toward the GLB leaf.  If no node bounds the value,
+// it goes into the node where the search ended (new leaf on overflow).
+// Delete: remove from the bounding node; an underflowing internal node
+// borrows its GLB back from a leaf; empty leaves are unlinked and the tree
+// rebalanced with AVL-style rotations.  LR/RL rotations that promote a
+// nearly-empty leaf to an internal position slide elements from the old
+// child to keep occupancy up (the T Tree "special rotation").
+
+#ifndef MMDB_INDEX_TTREE_H_
+#define MMDB_INDEX_TTREE_H_
+
+#include <memory>
+
+#include "src/index/index.h"
+#include "src/util/arena.h"
+
+namespace mmdb {
+
+class TTree : public OrderedIndex {
+ public:
+  /// node_size = max_count (elements per node); min_count = max(1,
+  /// node_size - config.min_slack).
+  TTree(std::shared_ptr<const KeyOps> ops, const IndexConfig& config);
+  ~TTree() override;
+
+  IndexKind kind() const override { return IndexKind::kTTree; }
+  const KeyOps& key_ops() const override { return *ops_; }
+
+  bool Insert(TupleRef t) override;
+  bool Erase(TupleRef t) override;
+  size_t size() const override { return size_; }
+  size_t StorageBytes() const override;
+
+  std::unique_ptr<Cursor> First() const override;
+  std::unique_ptr<Cursor> Last() const override;
+  std::unique_ptr<Cursor> Seek(const Value& v) const override;
+
+  int max_count() const { return max_count_; }
+  int min_count() const { return min_count_; }
+  size_t node_count() const { return node_count_; }
+  int Height() const;
+
+  /// Verifies ordering (tie-broken, across node boundaries), parent links,
+  /// AVL balance, occupancy bounds, and the element count.  Test hook.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node {
+    Node* left;
+    Node* right;
+    Node* parent;
+    int16_t count;
+    int8_t height;
+    // Flexible item area, capacity max_count_, kept sorted by CompareTie.
+    TupleRef items[1];
+  };
+
+  class CursorImpl;
+
+  size_t NodeBytes() const;
+  Node* NewNode(Node* parent);
+  void FreeNode(Node* n);
+
+  static int NodeHeight(const Node* n) { return n == nullptr ? 0 : n->height; }
+  static int BalanceOf(const Node* n);
+  static void UpdateHeight(Node* n);
+  void Replace(Node* parent, Node* child, Node* with);
+  Node* RotateLeft(Node* n);
+  Node* RotateRight(Node* n);
+  /// Post-LR fix: new subtree root `c` underfull, left child has no right
+  /// subtree -> move the left child's largest items into c's front.
+  void SlideFromLeft(Node* c);
+  /// Post-RL mirror image.
+  void SlideFromRight(Node* c);
+  void RebalanceUp(Node* n);
+
+  /// First position in n with item key >= v.
+  int LowerBoundValue(const Node* n, const Value& v) const;
+  /// First position in n with item tie->= t.
+  int LowerBoundTie(const Node* n, TupleRef t) const;
+  /// Inserts t into n at sorted position (n has room).
+  void InsertIntoNode(Node* n, TupleRef t);
+  /// Removes item at position pos from n.
+  void RemoveFromNode(Node* n, int pos);
+  /// Rightmost node of n's left subtree (the GLB holder).  n->left != null.
+  Node* GlbNode(Node* n) const;
+  /// Unlinks an empty node, splicing its single child (if any) upward.
+  void UnlinkNode(Node* n);
+
+  static Node* LeftmostNode(Node* n);
+  static Node* RightmostNode(Node* n);
+  static Node* NextNode(const Node* n);
+  static Node* PrevNode(const Node* n);
+
+  bool CheckSubtree(const Node* n, const Node* parent, int* height,
+                    size_t* items, TupleRef* lo, TupleRef* hi) const;
+
+  std::shared_ptr<const KeyOps> ops_;
+  int max_count_;
+  int min_count_;
+  Arena arena_;
+  void* free_list_ = nullptr;
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+  size_t node_count_ = 0;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_INDEX_TTREE_H_

@@ -1,0 +1,42 @@
+#include "src/storage/catalog.h"
+
+namespace mmdb {
+
+Relation* Catalog::CreateRelation(const std::string& name, Schema schema,
+                                  Relation::Options options) {
+  if (relations_.contains(name)) return nullptr;
+  auto rel = std::make_unique<Relation>(name, std::move(schema), options);
+  Relation* raw = rel.get();
+  relations_[name] = std::move(rel);
+  return raw;
+}
+
+Relation* Catalog::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+Status Catalog::Drop(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return Status::NotFound("no relation " + name);
+  for (const auto& [other_name, other] : relations_) {
+    if (other_name == name) continue;
+    for (const ForeignKeyDecl& fk : other->foreign_keys()) {
+      if (fk.target == it->second.get()) {
+        return Status::FailedPrecondition(
+            "relation " + other_name + " holds tuple pointers into " + name);
+      }
+    }
+  }
+  relations_.erase(it);
+  return Status::Ok();
+}
+
+std::vector<std::string> Catalog::List() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) out.push_back(name);
+  return out;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,41 @@
+// Catalog: name -> relation registry owning all base relations.
+
+#ifndef MMDB_STORAGE_CATALOG_H_
+#define MMDB_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/relation.h"
+#include "src/util/status.h"
+
+namespace mmdb {
+
+class Catalog {
+ public:
+  /// Creates a relation; fails with kAlreadyExists on a name collision.
+  /// Returns the relation (owned by the catalog) or nullptr on failure.
+  Relation* CreateRelation(const std::string& name, Schema schema,
+                           Relation::Options options = {});
+
+  /// Looks up by name; nullptr if absent.
+  Relation* Get(const std::string& name) const;
+
+  /// Drops a relation.  Fails if another relation declares a foreign key
+  /// into it (dangling tuple pointers would result).
+  Status Drop(const std::string& name);
+
+  /// All relation names, sorted.
+  std::vector<std::string> List() const;
+
+  size_t size() const { return relations_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_STORAGE_CATALOG_H_

@@ -1,0 +1,37 @@
+#include "src/storage/index_iface.h"
+
+namespace mmdb {
+
+const char* IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kArray: return "Array";
+    case IndexKind::kAvlTree: return "AVL Tree";
+    case IndexKind::kBTree: return "B Tree";
+    case IndexKind::kTTree: return "T Tree";
+    case IndexKind::kChainedBucketHash: return "Chained Bucket Hash";
+    case IndexKind::kExtendibleHash: return "Extendible Hash";
+    case IndexKind::kLinearHash: return "Linear Hash";
+    case IndexKind::kModifiedLinearHash: return "Modified Linear Hash";
+    case IndexKind::kBPlusTree: return "B+ Tree";
+  }
+  return "?";
+}
+
+bool IndexKindOrdered(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kArray:
+    case IndexKind::kAvlTree:
+    case IndexKind::kBTree:
+    case IndexKind::kTTree:
+    case IndexKind::kBPlusTree:
+      return true;
+    case IndexKind::kChainedBucketHash:
+    case IndexKind::kExtendibleHash:
+    case IndexKind::kLinearHash:
+    case IndexKind::kModifiedLinearHash:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,106 @@
+// Abstract index interface seen by the storage layer.
+//
+// Section 2.1: "all access to a relation is through an index", so a Relation
+// maintains a set of indices and keeps them consistent on insert / delete /
+// update.  The concrete structures (T Tree, hashes, ...) live in src/index;
+// the storage layer only needs the maintenance surface below.
+
+#ifndef MMDB_STORAGE_INDEX_IFACE_H_
+#define MMDB_STORAGE_INDEX_IFACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/storage/value.h"
+
+namespace mmdb {
+
+class KeyOps;  // defined in src/index/key_ops.h
+
+/// The eight index structures studied in Section 3.2, in paper order, plus
+/// the B+ Tree that footnote 3 dismisses ("uses more storage than the
+/// B Tree and does not perform any better in main memory") — included so
+/// the footnote's comparison is reproducible.
+enum class IndexKind : uint8_t {
+  kArray,
+  kAvlTree,
+  kBTree,
+  kTTree,
+  kChainedBucketHash,
+  kExtendibleHash,
+  kLinearHash,
+  kModifiedLinearHash,
+  kBPlusTree,
+};
+
+/// Human-readable structure name ("T Tree", "Linear Hash", ...).
+const char* IndexKindName(IndexKind kind);
+
+/// True for the order-preserving structures (array + trees).
+bool IndexKindOrdered(IndexKind kind);
+
+/// Maintenance interface every index implements.  Indices store tuple
+/// pointers only (Section 2.2); keys are extracted through KeyOps.
+class TupleIndex {
+ public:
+  virtual ~TupleIndex() = default;
+
+  virtual IndexKind kind() const = 0;
+  virtual const KeyOps& key_ops() const = 0;
+
+  /// Adds a tuple.  Returns false if the index is unique and an equal key is
+  /// already present (the tuple is not added).
+  virtual bool Insert(TupleRef t) = 0;
+
+  /// Removes this exact tuple pointer (not merely any equal key).
+  /// Returns false if the pointer is not in the index.
+  virtual bool Erase(TupleRef t) = 0;
+
+  /// Returns some tuple whose key equals `key`, or nullptr.
+  virtual TupleRef Find(const Value& key) const = 0;
+
+  /// Appends every tuple whose key equals `key` to *out.
+  virtual void FindAll(const Value& key, std::vector<TupleRef>* out) const = 0;
+
+  /// Number of tuples currently indexed.
+  virtual size_t size() const = 0;
+
+  /// Total bytes of memory the structure occupies (nodes + directories +
+  /// control), for the Section 3.2.2 storage-cost measurements.
+  virtual size_t StorageBytes() const = 0;
+
+  /// Bulk-load bracket: Insert() calls between BeginBulk() and EndBulk()
+  /// may defer structural maintenance (the array index appends then sorts
+  /// once — the Sort Merge build discipline).  Default: no-op.
+  virtual void BeginBulk() {}
+  virtual void EndBulk() {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  bool unique() const { return unique_; }
+  void set_unique(bool unique) { unique_ = unique; }
+
+  /// Schema field numbers this index is keyed on (metadata used by the
+  /// relation's update path and the planner's access-path selection).
+  const std::vector<size_t>& key_fields() const { return key_fields_; }
+  void set_key_fields(std::vector<size_t> fields) {
+    key_fields_ = std::move(fields);
+  }
+  bool KeyedOnField(size_t field) const {
+    for (size_t f : key_fields_) {
+      if (f == field) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::string name_;
+  bool unique_ = false;
+  std::vector<size_t> key_fields_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_STORAGE_INDEX_IFACE_H_

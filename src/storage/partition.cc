@@ -1,0 +1,171 @@
+#include "src/storage/partition.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace mmdb {
+
+Partition::Partition(uint32_t id, const Schema* schema, const Options& options)
+    : id_(id),
+      schema_(schema),
+      slot_capacity_(options.slot_capacity),
+      stride_(schema->tuple_bytes() < 8 ? 8 : schema->tuple_bytes()),
+      heap_bytes_(options.heap_bytes),
+      slots_(new std::byte[size_t{slot_capacity_} * stride_]),
+      heap_(heap_bytes_ > 0 ? new std::byte[heap_bytes_] : nullptr),
+      states_(slot_capacity_, SlotState::kFree) {}
+
+size_t Partition::HeapNeeded(const std::vector<Value>& values) const {
+  size_t need = 0;
+  const size_t n = std::min(values.size(), schema_->field_count());
+  for (size_t i = 0; i < n; ++i) {
+    if (schema_->field(i).type == Type::kString &&
+        values[i].type() == Type::kString && !values[i].AsString().empty()) {
+      need += sizeof(uint32_t) + values[i].AsString().size();
+    }
+  }
+  return need;
+}
+
+bool Partition::HasRoomFor(const std::vector<Value>& values) const {
+  if (free_list_.empty() && next_fresh_slot_ >= slot_capacity_) return false;
+  return heap_used_ + HeapNeeded(values) <= heap_bytes_;
+}
+
+std::byte* Partition::HeapAlloc(size_t n) {
+  if (heap_used_ + n > heap_bytes_) return nullptr;
+  std::byte* out = heap_.get() + heap_used_;
+  heap_used_ += n;
+  return out;
+}
+
+bool Partition::WriteField(std::byte* rec, size_t i, const Value& v) {
+  const size_t off = schema_->offset(i);
+  switch (schema_->field(i).type) {
+    case Type::kInt32: {
+      int32_t x = v.type() == Type::kInt64 ? static_cast<int32_t>(v.AsInt64())
+                                           : v.AsInt32();
+      std::memcpy(rec + off, &x, sizeof(x));
+      return true;
+    }
+    case Type::kInt64: {
+      int64_t x = v.type() == Type::kInt32 ? v.AsInt32() : v.AsInt64();
+      std::memcpy(rec + off, &x, sizeof(x));
+      return true;
+    }
+    case Type::kDouble: {
+      double x = v.AsDouble();
+      std::memcpy(rec + off, &x, sizeof(x));
+      return true;
+    }
+    case Type::kString: {
+      const std::string& s = v.AsString();
+      const std::byte* blob = nullptr;
+      if (!s.empty()) {
+        std::byte* b = HeapAlloc(sizeof(uint32_t) + s.size());
+        if (b == nullptr) return false;
+        uint32_t len = static_cast<uint32_t>(s.size());
+        std::memcpy(b, &len, sizeof(len));
+        std::memcpy(b + sizeof(len), s.data(), s.size());
+        blob = b;
+      }
+      std::memcpy(rec + off, &blob, sizeof(blob));
+      return true;
+    }
+    case Type::kPointer: {
+      TupleRef p = v.type() == Type::kPointer ? v.AsPointer() : nullptr;
+      std::memcpy(rec + off, &p, sizeof(p));
+      return true;
+    }
+  }
+  return false;
+}
+
+TupleRef Partition::Insert(const std::vector<Value>& values) {
+  assert(values.size() == schema_->field_count());
+  if (!HasRoomFor(values)) return nullptr;
+  uint32_t slot;
+  for (;;) {
+    if (!free_list_.empty()) {
+      slot = free_list_.back();
+      free_list_.pop_back();
+      // InsertIntoSlot may have claimed this slot out of band; skip it.
+      if (states_[slot] != SlotState::kFree) continue;
+    } else {
+      if (next_fresh_slot_ >= slot_capacity_) return nullptr;
+      slot = next_fresh_slot_++;
+    }
+    break;
+  }
+  std::byte* rec = const_cast<std::byte*>(RefOf(slot));
+  std::memset(rec, 0, stride_);
+  for (size_t i = 0; i < values.size(); ++i) {
+    // HasRoomFor pre-checked the aggregate heap need, so this cannot fail.
+    bool ok = WriteField(rec, i, values[i]);
+    assert(ok);
+    (void)ok;
+  }
+  states_[slot] = SlotState::kLive;
+  ++live_count_;
+  return rec;
+}
+
+TupleRef Partition::InsertIntoSlot(uint32_t slot,
+                                   const std::vector<Value>& values) {
+  assert(values.size() == schema_->field_count());
+  if (slot >= slot_capacity_ || states_[slot] != SlotState::kFree) {
+    return nullptr;
+  }
+  if (heap_used_ + HeapNeeded(values) > heap_bytes_) return nullptr;
+  if (slot >= next_fresh_slot_) {
+    // Slots skipped over become reusable free slots.
+    for (uint32_t s = next_fresh_slot_; s < slot; ++s) free_list_.push_back(s);
+    next_fresh_slot_ = slot + 1;
+  }
+  std::byte* rec = const_cast<std::byte*>(RefOf(slot));
+  std::memset(rec, 0, stride_);
+  for (size_t i = 0; i < values.size(); ++i) {
+    bool ok = WriteField(rec, i, values[i]);
+    assert(ok);
+    (void)ok;
+  }
+  states_[slot] = SlotState::kLive;
+  ++live_count_;
+  return rec;
+}
+
+bool Partition::Erase(TupleRef t) {
+  if (!Contains(t)) return false;
+  const uint32_t slot = SlotOf(t);
+  if (states_[slot] != SlotState::kLive) return false;
+  states_[slot] = SlotState::kFree;
+  free_list_.push_back(slot);
+  --live_count_;
+  return true;
+}
+
+bool Partition::UpdateField(TupleRef t, size_t i, const Value& v) {
+  assert(Contains(t) && states_[SlotOf(t)] == SlotState::kLive);
+  // Old string blobs are abandoned in the heap; the heap is bump-allocated
+  // and reclaimed only when the tuple moves out (paper footnote 1 behavior).
+  return WriteField(MutableRef(t), i, v);
+}
+
+void Partition::SetForward(TupleRef t, TupleRef to) {
+  assert(Contains(t));
+  const uint32_t slot = SlotOf(t);
+  assert(states_[slot] == SlotState::kLive);
+  std::byte* rec = MutableRef(t);
+  std::memcpy(rec, &to, sizeof(to));
+  states_[slot] = SlotState::kForward;
+  --live_count_;
+}
+
+TupleRef Partition::GetForward(TupleRef t) const {
+  if (!Contains(t) || states_[SlotOf(t)] != SlotState::kForward) return nullptr;
+  TupleRef to;
+  std::memcpy(&to, t, sizeof(to));
+  return to;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,134 @@
+// Partition: the unit of recovery (Section 2.1).  A partition owns
+//   * a fixed-width slot area holding tuple records, and
+//   * a heap area holding variable-length (string) field blobs.
+//
+// Tuples never move once inserted; a tuple's address (TupleRef) is its
+// identity for indices and for the tuple-pointer foreign keys of Section 2.1.
+// If an update outgrows the heap, the *relation* moves the tuple to another
+// partition and this partition keeps a forwarding address in the old slot,
+// exactly as the paper's footnote 1 describes.
+//
+// The paper sizes partitions at one or two disk tracks; the default here
+// (1024 slots / 64 KiB heap) is of that order.
+
+#ifndef MMDB_STORAGE_PARTITION_H_
+#define MMDB_STORAGE_PARTITION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/storage/schema.h"
+#include "src/storage/value.h"
+
+namespace mmdb {
+
+/// Stable logical address of a tuple: (partition id, slot).  Used by the log
+/// and the disk image, which cannot rely on raw memory addresses surviving a
+/// crash.
+struct TupleId {
+  uint32_t partition = 0;
+  uint32_t slot = 0;
+  bool operator==(const TupleId&) const = default;
+};
+
+class Partition {
+ public:
+  enum class SlotState : uint8_t { kFree = 0, kLive = 1, kForward = 2 };
+
+  struct Options {
+    uint32_t slot_capacity = 1024;
+    size_t heap_bytes = 64 * 1024;
+  };
+
+  Partition(uint32_t id, const Schema* schema, const Options& options);
+
+  Partition(const Partition&) = delete;
+  Partition& operator=(const Partition&) = delete;
+
+  uint32_t id() const { return id_; }
+  const Schema& schema() const { return *schema_; }
+  uint32_t slot_capacity() const { return slot_capacity_; }
+  size_t live_count() const { return live_count_; }
+  size_t heap_used() const { return heap_used_; }
+  size_t heap_bytes() const { return heap_bytes_; }
+
+  /// True if a record built from `values` fits (free slot + heap room).
+  bool HasRoomFor(const std::vector<Value>& values) const;
+
+  /// Writes a new tuple; returns its address, or nullptr if out of slot or
+  /// heap space.  `values` must match the schema's field types (kPointer
+  /// fields accept either a Value pointer or int32 0 for "null").
+  TupleRef Insert(const std::vector<Value>& values);
+
+  /// Recovery path: writes a tuple into a specific slot (which must not be
+  /// live).  Returns nullptr on heap exhaustion or a bad slot.
+  TupleRef InsertIntoSlot(uint32_t slot, const std::vector<Value>& values);
+
+  /// Frees the slot holding `t`.  Returns false if `t` is not a live tuple
+  /// of this partition.
+  bool Erase(TupleRef t);
+
+  /// Overwrites field `i` of `t` in place.  For string fields a new heap
+  /// blob is allocated; returns false if the heap is exhausted (the caller
+  /// should relocate the tuple and call SetForward).
+  bool UpdateField(TupleRef t, size_t i, const Value& v);
+
+  /// Replaces the slot of `t` with a forwarding address to `to`.
+  void SetForward(TupleRef t, TupleRef to);
+
+  /// Follows a forwarding slot; returns nullptr if `t` is not forwarded.
+  TupleRef GetForward(TupleRef t) const;
+
+  /// True if `t` points into this partition's slot area (any state).
+  bool Contains(TupleRef t) const {
+    return t >= slots_.get() &&
+           t < slots_.get() + size_t{slot_capacity_} * stride_ &&
+           (t - slots_.get()) % stride_ == 0;
+  }
+
+  SlotState slot_state(uint32_t slot) const { return states_[slot]; }
+  uint32_t SlotOf(TupleRef t) const {
+    return static_cast<uint32_t>((t - slots_.get()) / stride_);
+  }
+  TupleRef RefOf(uint32_t slot) const {
+    return slots_.get() + size_t{slot} * stride_;
+  }
+  const std::byte* base() const { return slots_.get(); }
+
+  /// Calls fn(TupleRef) for every live tuple, in slot order.
+  template <typename Fn>
+  void ForEachLive(Fn&& fn) const {
+    for (uint32_t s = 0; s < slot_capacity_; ++s) {
+      if (states_[s] == SlotState::kLive) fn(RefOf(s));
+    }
+  }
+
+  /// Bytes of heap needed to store the string payloads of `values`.
+  size_t HeapNeeded(const std::vector<Value>& values) const;
+
+ private:
+  std::byte* MutableRef(TupleRef t) { return const_cast<std::byte*>(t); }
+  /// Allocates `n` bytes from the heap, or nullptr.
+  std::byte* HeapAlloc(size_t n);
+  /// Writes `v` into field `i` at record `rec`; uses heap for strings.
+  /// Returns false on heap exhaustion.
+  bool WriteField(std::byte* rec, size_t i, const Value& v);
+
+  uint32_t id_;
+  const Schema* schema_;
+  uint32_t slot_capacity_;
+  size_t stride_;  // bytes per slot (>= 8 so a forwarding pointer fits)
+  size_t heap_bytes_;
+  std::unique_ptr<std::byte[]> slots_;
+  std::unique_ptr<std::byte[]> heap_;
+  std::vector<SlotState> states_;
+  std::vector<uint32_t> free_list_;  // slot numbers available for reuse
+  uint32_t next_fresh_slot_ = 0;     // never-used slot watermark
+  size_t heap_used_ = 0;
+  size_t live_count_ = 0;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_STORAGE_PARTITION_H_

@@ -1,0 +1,280 @@
+#include "src/storage/relation.h"
+
+#include <cassert>
+
+#include "src/storage/tuple.h"
+
+namespace mmdb {
+
+Relation::Relation(std::string name, Schema schema, Options options)
+    : name_(std::move(name)), schema_(std::move(schema)), options_(options) {}
+
+Partition* Relation::PartitionWithRoom(const std::vector<Value>& values) {
+  // Last-partition-first: inserts are overwhelmingly appended to the newest
+  // partition; older partitions regain room only via deletions.
+  for (auto it = partitions_.rbegin(); it != partitions_.rend(); ++it) {
+    if ((*it)->HasRoomFor(values)) return it->get();
+  }
+  partitions_.push_back(std::make_unique<Partition>(
+      next_partition_id_++, &schema_, options_.partition));
+  Partition* p = partitions_.back().get();
+  by_base_[p->base()] = p;
+  return p;
+}
+
+TupleRef Relation::Insert(const std::vector<Value>& values) {
+  assert(values.size() == schema_.field_count());
+  std::vector<Value> resolved = values;
+  // Materialize foreign keys as tuple pointers (Section 2.1).
+  for (const ForeignKeyDecl& fk : fks_) {
+    Value& v = resolved[fk.field];
+    if (v.type() == Type::kPointer) continue;  // caller supplied the pointer
+    TupleIndex* target_index = fk.target->FindIndexOn(fk.target_field, false);
+    TupleRef hit = nullptr;
+    if (target_index != nullptr) {
+      hit = target_index->Find(v);
+    } else {
+      // No index on the referenced field: fall back to a scan.
+      const Schema& ts = fk.target->schema();
+      fk.target->ForEachTuple([&](TupleRef cand) {
+        if (hit == nullptr &&
+            tuple::CompareValueField(v, cand, ts, fk.target_field) == 0) {
+          hit = cand;
+        }
+      });
+    }
+    if (hit == nullptr) return nullptr;  // dangling foreign key
+    v = Value(hit);
+  }
+
+  Partition* p = PartitionWithRoom(resolved);
+  TupleRef t = p->Insert(resolved);
+  if (t == nullptr) return nullptr;  // record larger than a whole partition
+
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    if (!indexes_[i]->Insert(t)) {
+      // Unique violation: roll back the partial insert.
+      for (size_t j = 0; j < i; ++j) indexes_[j]->Erase(t);
+      p->Erase(t);
+      return nullptr;
+    }
+  }
+  ++cardinality_;
+  return t;
+}
+
+Status Relation::Delete(TupleRef t) {
+  t = Resolve(t);
+  Partition* p = PartitionOf(t);
+  if (p == nullptr || p->slot_state(p->SlotOf(t)) != Partition::SlotState::kLive) {
+    return Status::NotFound("tuple not in relation " + name_);
+  }
+  for (auto& index : indexes_) index->Erase(t);
+  p->Erase(t);
+  --cardinality_;
+  return Status::Ok();
+}
+
+Status Relation::UpdateField(TupleRef t, size_t field, const Value& v) {
+  if (field >= schema_.field_count()) {
+    return Status::InvalidArgument("no such field");
+  }
+  t = Resolve(t);
+  Partition* p = PartitionOf(t);
+  if (p == nullptr || p->slot_state(p->SlotOf(t)) != Partition::SlotState::kLive) {
+    return Status::NotFound("tuple not in relation " + name_);
+  }
+
+  // Unique-key pre-check so we never have to undo a half-applied update.
+  for (auto& index : indexes_) {
+    if (index->unique() && index->KeyedOnField(field)) {
+      TupleRef existing = index->Find(v);
+      if (existing != nullptr && existing != t) {
+        return Status::AlreadyExists("unique index " + index->name());
+      }
+    }
+  }
+
+  // Pull the tuple out of the indices keyed on the changing field.
+  for (auto& index : indexes_) {
+    if (index->KeyedOnField(field)) index->Erase(t);
+  }
+
+  if (p->UpdateField(t, field, v)) {
+    for (auto& index : indexes_) {
+      if (index->KeyedOnField(field)) index->Insert(t);
+    }
+    return Status::Ok();
+  }
+
+  // Heap overflow: relocate the tuple to another partition, leaving a
+  // forwarding address behind (paper footnote 1).
+  std::vector<Value> values = Snapshot(t);
+  values[field] = v;
+  Partition* q = PartitionWithRoom(values);
+  if (q == p) {
+    // p reported room generically but could not hold the grown payload;
+    // force a fresh partition.
+    partitions_.push_back(std::make_unique<Partition>(
+        next_partition_id_++, &schema_, options_.partition));
+    q = partitions_.back().get();
+    by_base_[q->base()] = q;
+  }
+  TupleRef moved = q->Insert(values);
+  if (moved == nullptr) {
+    return Status::ResourceExhausted("record exceeds partition capacity");
+  }
+  // Rewrite every index entry to the new address.
+  for (auto& index : indexes_) {
+    if (!index->KeyedOnField(field)) index->Erase(t);
+    index->Insert(moved);
+  }
+  p->SetForward(t, moved);
+  return Status::Ok();
+}
+
+TupleIndex* Relation::AttachIndex(std::unique_ptr<TupleIndex> index) {
+  TupleIndex* raw = index.get();
+  indexes_.push_back(std::move(index));
+  raw->BeginBulk();
+  ForEachTuple([raw](TupleRef t) { raw->Insert(t); });
+  raw->EndBulk();
+  return raw;
+}
+
+Status Relation::DetachIndex(const std::string& name) {
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    if (indexes_[i]->name() == name) {
+      if (i == 0 && cardinality_ > 0 && indexes_.size() > 1) {
+        return Status::FailedPrecondition(
+            "primary index cannot be detached while secondary indices exist");
+      }
+      if (i == 0 && indexes_.size() == 1 && cardinality_ > 0) {
+        return Status::FailedPrecondition(
+            "a relation must keep at least one index (Section 2.1)");
+      }
+      indexes_.erase(indexes_.begin() + i);
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("no index named " + name);
+}
+
+TupleIndex* Relation::FindIndex(std::string_view name) const {
+  for (const auto& index : indexes_) {
+    if (index->name() == name) return index.get();
+  }
+  return nullptr;
+}
+
+TupleIndex* Relation::FindIndexOn(size_t field, bool ordered_only) const {
+  for (const auto& index : indexes_) {
+    if (index->key_fields().size() == 1 && index->key_fields()[0] == field &&
+        (!ordered_only || IndexKindOrdered(index->kind()))) {
+      return index.get();
+    }
+  }
+  return nullptr;
+}
+
+Status Relation::DeclareForeignKey(size_t field, Relation* target,
+                                   size_t target_field) {
+  if (field >= schema_.field_count() ||
+      schema_.field(field).type != Type::kPointer) {
+    return Status::InvalidArgument(
+        "foreign key field must be a kPointer field");
+  }
+  if (target == nullptr || target_field >= target->schema().field_count()) {
+    return Status::InvalidArgument("bad foreign key target");
+  }
+  for (const ForeignKeyDecl& fk : fks_) {
+    if (fk.field == field) {
+      return Status::AlreadyExists("foreign key already declared on field");
+    }
+  }
+  fks_.push_back(ForeignKeyDecl{field, target, target_field});
+  return Status::Ok();
+}
+
+const ForeignKeyDecl* Relation::ForeignKeyOn(size_t field) const {
+  for (const ForeignKeyDecl& fk : fks_) {
+    if (fk.field == field) return &fk;
+  }
+  return nullptr;
+}
+
+TupleRef Relation::Resolve(TupleRef t) const {
+  for (;;) {
+    Partition* p = PartitionOf(t);
+    if (p == nullptr) return t;
+    TupleRef fwd = p->GetForward(t);
+    if (fwd == nullptr) return t;
+    t = fwd;
+  }
+}
+
+Partition* Relation::PartitionById(uint32_t id) const {
+  for (const auto& p : partitions_) {
+    if (p->id() == id) return p.get();
+  }
+  return nullptr;
+}
+
+Partition* Relation::GetOrCreatePartition(uint32_t id) {
+  while (next_partition_id_ <= id) {
+    partitions_.push_back(std::make_unique<Partition>(
+        next_partition_id_++, &schema_, options_.partition));
+    by_base_[partitions_.back()->base()] = partitions_.back().get();
+  }
+  return PartitionById(id);
+}
+
+TupleRef Relation::InsertAt(TupleId tid, const std::vector<Value>& values) {
+  Partition* p = GetOrCreatePartition(tid.partition);
+  TupleRef t = p->InsertIntoSlot(tid.slot, values);
+  if (t == nullptr) return nullptr;
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    if (!indexes_[i]->Insert(t)) {
+      for (size_t j = 0; j < i; ++j) indexes_[j]->Erase(t);
+      p->Erase(t);
+      return nullptr;
+    }
+  }
+  ++cardinality_;
+  return t;
+}
+
+TupleId Relation::IdOf(TupleRef t) const {
+  Partition* p = PartitionOf(t);
+  assert(p != nullptr);
+  return TupleId{p->id(), p->SlotOf(t)};
+}
+
+TupleRef Relation::RefOf(TupleId tid) const {
+  Partition* p = PartitionById(tid.partition);
+  if (p == nullptr || tid.slot >= p->slot_capacity() ||
+      p->slot_state(tid.slot) != Partition::SlotState::kLive) {
+    return nullptr;
+  }
+  return p->RefOf(tid.slot);
+}
+
+Partition* Relation::PartitionOf(TupleRef t) const {
+  if (by_base_.empty()) return nullptr;
+  auto it = by_base_.upper_bound(t);
+  if (it == by_base_.begin()) return nullptr;
+  --it;
+  Partition* p = it->second;
+  return p->Contains(t) ? p : nullptr;
+}
+
+std::vector<Value> Relation::Snapshot(TupleRef t) const {
+  std::vector<Value> out;
+  out.reserve(schema_.field_count());
+  for (size_t i = 0; i < schema_.field_count(); ++i) {
+    out.push_back(tuple::GetValue(t, schema_, i));
+  }
+  return out;
+}
+
+}  // namespace mmdb

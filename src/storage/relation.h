@@ -1,0 +1,149 @@
+// Relation: a schema, a set of partitions, and the indices that provide all
+// access to it (Section 2.1 requires at least one index; traversal is only
+// through indices).  The relation keeps its indices consistent across
+// insert / delete / update, performs tuple relocation with forwarding
+// addresses when a partition heap overflows, and materializes foreign keys
+// as tuple pointers for precomputed joins.
+
+#ifndef MMDB_STORAGE_RELATION_H_
+#define MMDB_STORAGE_RELATION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/index_iface.h"
+#include "src/storage/partition.h"
+#include "src/storage/schema.h"
+#include "src/util/status.h"
+
+namespace mmdb {
+
+/// Declares that a kPointer field of this relation references tuples of
+/// `target` (matched on `target_field` at insert time).  This is the
+/// Section 2.1 foreign-key-as-tuple-pointer mechanism.
+struct ForeignKeyDecl {
+  size_t field = 0;                 ///< kPointer field in this relation
+  class Relation* target = nullptr; ///< referenced relation
+  size_t target_field = 0;          ///< field of target used to resolve inserts
+};
+
+class Relation {
+ public:
+  struct Options {
+    Partition::Options partition;
+  };
+
+  Relation(std::string name, Schema schema, Options options = {});
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t cardinality() const { return cardinality_; }
+
+  // ---- Tuple lifecycle ----------------------------------------------------
+
+  /// Inserts a tuple.  kPointer fields may be given directly as pointers; if
+  /// a foreign key is declared for the field and the supplied value is not a
+  /// pointer, it is resolved by looking up `value` in the target relation
+  /// (via its primary index) and storing the resulting tuple pointer.
+  /// Returns nullptr if a unique index rejected the tuple or a foreign key
+  /// failed to resolve.
+  TupleRef Insert(const std::vector<Value>& values);
+
+  /// Removes a tuple from all indices and frees its slot.
+  Status Delete(TupleRef t);
+
+  /// Updates one field.  If the containing partition's heap cannot hold a
+  /// grown string payload, the tuple is relocated to another partition and a
+  /// forwarding address is left behind; indices are rewritten to the new
+  /// address.  Fields indexed by a unique index reject duplicate new keys.
+  Status UpdateField(TupleRef t, size_t field, const Value& v);
+
+  // ---- Indices --------------------------------------------------------------
+
+  /// Attaches an index and bulk-loads every existing tuple into it.  The
+  /// first index attached becomes the primary index.  Returns the raw
+  /// pointer for convenience.
+  TupleIndex* AttachIndex(std::unique_ptr<TupleIndex> index);
+
+  /// Detaches (and destroys) the named index.  The primary index cannot be
+  /// detached while other tuples exist.
+  Status DetachIndex(const std::string& name);
+
+  TupleIndex* primary_index() const {
+    return indexes_.empty() ? nullptr : indexes_.front().get();
+  }
+  TupleIndex* FindIndex(std::string_view name) const;
+  /// First index of the given kind on `field`, or nullptr.
+  TupleIndex* FindIndexOn(size_t field, bool ordered_only) const;
+  const std::vector<std::unique_ptr<TupleIndex>>& indexes() const {
+    return indexes_;
+  }
+
+  // ---- Foreign keys ---------------------------------------------------------
+
+  /// Declares `field` (must be kPointer) as a foreign key to
+  /// target(target_field).  Existing tuples are not re-resolved.
+  Status DeclareForeignKey(size_t field, Relation* target, size_t target_field);
+  const std::vector<ForeignKeyDecl>& foreign_keys() const { return fks_; }
+  const ForeignKeyDecl* ForeignKeyOn(size_t field) const;
+
+  // ---- Addressing -----------------------------------------------------------
+
+  /// Follows forwarding addresses until reaching a live tuple.  Returns the
+  /// input unchanged if it is not a forwarded slot of this relation.
+  TupleRef Resolve(TupleRef t) const;
+
+  /// Partition containing `t`, or nullptr.
+  Partition* PartitionOf(TupleRef t) const;
+
+  /// Partition with the given id, or nullptr.
+  Partition* PartitionById(uint32_t id) const;
+
+  /// Recovery path: ensures a partition with this id exists (creating empty
+  /// lower-id partitions as needed) and returns it.
+  Partition* GetOrCreatePartition(uint32_t id);
+
+  /// Recovery path: inserts a tuple at an exact (partition, slot) address,
+  /// maintaining indices.  Returns nullptr if the slot is occupied.
+  TupleRef InsertAt(TupleId tid, const std::vector<Value>& values);
+
+  /// Logical address of a live tuple (for logging / disk imaging).
+  TupleId IdOf(TupleRef t) const;
+  /// Reverse mapping; nullptr if the slot is not live.
+  TupleRef RefOf(TupleId tid) const;
+
+  const std::vector<std::unique_ptr<Partition>>& partitions() const {
+    return partitions_;
+  }
+
+  /// Internal full scan, in partition/slot order.  Used for index bulk
+  /// loads, recovery and tests; query execution goes through indices, per
+  /// Section 2.1.
+  template <typename Fn>
+  void ForEachTuple(Fn&& fn) const {
+    for (const auto& p : partitions_) p->ForEachLive(fn);
+  }
+
+ private:
+  /// A partition with room for `values`, allocating a new one if needed.
+  Partition* PartitionWithRoom(const std::vector<Value>& values);
+  /// Reads current values of `t` (pointer fields as raw pointers).
+  std::vector<Value> Snapshot(TupleRef t) const;
+
+  std::string name_;
+  Schema schema_;
+  Options options_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  // Partition lookup by slot-area base address (upper_bound - 1 probing).
+  std::map<const std::byte*, Partition*> by_base_;
+  std::vector<std::unique_ptr<TupleIndex>> indexes_;
+  std::vector<ForeignKeyDecl> fks_;
+  size_t cardinality_ = 0;
+  uint32_t next_partition_id_ = 0;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_STORAGE_RELATION_H_

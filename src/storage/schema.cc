@@ -1,0 +1,52 @@
+#include "src/storage/schema.h"
+
+#include <sstream>
+
+namespace mmdb {
+namespace {
+
+size_t AlignUp(size_t n, size_t a) { return (n + a - 1) & ~(a - 1); }
+
+}  // namespace
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  offsets_.reserve(fields_.size());
+  size_t off = 0;
+  for (const Field& f : fields_) {
+    const size_t w = TypeWidth(f.type);
+    off = AlignUp(off, w);  // widths are 4 or 8, so width == alignment
+    offsets_.push_back(off);
+    off += w;
+  }
+  tuple_bytes_ = AlignUp(off, 8);
+  if (tuple_bytes_ == 0) tuple_bytes_ = 8;  // degenerate empty schema
+}
+
+std::optional<size_t> Schema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) os << ", ";
+    os << fields_[i].name << ":" << TypeName(fields_[i].type);
+  }
+  return os.str();
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name != other.fields_[i].name ||
+        fields_[i].type != other.fields_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,57 @@
+// Schema: ordered list of typed, named fields plus the computed fixed-width
+// record layout.  Variable-length (string) fields occupy a fixed 8-byte
+// pointer slot in the record pointing into the partition heap, exactly as in
+// Section 2.1 of the paper ("the tuple itself will contain a pointer to the
+// field in the partition's heap space").
+
+#ifndef MMDB_STORAGE_SCHEMA_H_
+#define MMDB_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/storage/value.h"
+
+namespace mmdb {
+
+/// One column definition.
+struct Field {
+  std::string name;
+  Type type = Type::kInt32;
+};
+
+/// Field list + record layout.  Immutable once constructed.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  size_t field_count() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Byte offset of field i within the fixed-width record.
+  size_t offset(size_t i) const { return offsets_[i]; }
+
+  /// Total fixed-width record size in bytes (8-byte aligned).
+  size_t tuple_bytes() const { return tuple_bytes_; }
+
+  /// Index of the field with the given name, or nullopt.
+  std::optional<size_t> FieldIndex(std::string_view name) const;
+
+  /// "name:type, name:type, ..." rendering.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Field> fields_;
+  std::vector<size_t> offsets_;
+  size_t tuple_bytes_ = 8;  // even an empty schema has a nonzero stride
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_STORAGE_SCHEMA_H_

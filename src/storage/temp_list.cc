@@ -1,0 +1,84 @@
+#include "src/storage/temp_list.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "src/storage/tuple.h"
+
+namespace mmdb {
+
+bool ResultDescriptor::AddColumn(uint16_t source, std::vector<uint16_t> path,
+                                 std::string label) {
+  if (source >= sources_.size() || path.empty()) return false;
+  const Relation* rel = sources_[source];
+  // Walk every hop but the last through declared foreign keys.
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    const Schema& s = rel->schema();
+    if (path[i] >= s.field_count() || s.field(path[i]).type != Type::kPointer) {
+      return false;
+    }
+    const ForeignKeyDecl* fk = rel->ForeignKeyOn(path[i]);
+    if (fk == nullptr) return false;
+    rel = fk->target;
+  }
+  const Schema& final_schema = rel->schema();
+  const uint16_t final_field = path.back();
+  if (final_field >= final_schema.field_count()) return false;
+
+  if (label.empty()) {
+    label = rel->name() + "." + final_schema.field(final_field).name;
+  }
+  columns_.push_back(ColumnRef{source, std::move(path), std::move(label)});
+  column_schemas_.push_back(&final_schema);
+  column_fields_.push_back(final_field);
+  return true;
+}
+
+void TempList::Append(std::span<const TupleRef> row) {
+  assert(row.size() == descriptor_.width());
+  rows_.insert(rows_.end(), row.begin(), row.end());
+}
+
+void TempList::Append1(TupleRef t) {
+  assert(descriptor_.width() == 1);
+  rows_.push_back(t);
+}
+
+void TempList::Append2(TupleRef outer, TupleRef inner) {
+  assert(descriptor_.width() == 2);
+  rows_.push_back(outer);
+  rows_.push_back(inner);
+}
+
+TupleRef TempList::ResolveColumnTuple(size_t r, size_t c) const {
+  const ColumnRef& col = descriptor_.columns()[c];
+  TupleRef t = At(r, col.source);
+  const Relation* rel = descriptor_.source(col.source);
+  for (size_t i = 0; i + 1 < col.path.size(); ++i) {
+    const Schema& s = rel->schema();
+    t = tuple::GetPointer(t, s.offset(col.path[i]));
+    rel = rel->ForeignKeyOn(col.path[i])->target;
+    if (t == nullptr) return nullptr;  // unresolved foreign key
+  }
+  return t;
+}
+
+Value TempList::GetValue(size_t r, size_t c) const {
+  TupleRef t = ResolveColumnTuple(r, c);
+  if (t == nullptr) return Value();
+  return tuple::GetValue(t, *descriptor_.ColumnSchema(c),
+                         descriptor_.ColumnField(c));
+}
+
+std::string TempList::RowToString(size_t r) const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t c = 0; c < descriptor_.columns().size(); ++c) {
+    if (c) os << ", ";
+    os << GetValue(r, c).ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace mmdb

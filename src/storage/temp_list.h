@@ -1,0 +1,120 @@
+// Temporary lists (Section 2.3): the MM-DBMS representation of intermediate
+// and final query results.  A temporary list is a list of tuple-pointer rows
+// plus a *result descriptor* identifying which fields of which source
+// relations the list logically contains.  No data is ever copied — "no width
+// reduction is ever done" — so projection is just descriptor bookkeeping
+// until duplicate elimination is requested.
+//
+// Unlike base relations, a temporary list may be traversed directly.
+
+#ifndef MMDB_STORAGE_TEMP_LIST_H_
+#define MMDB_STORAGE_TEMP_LIST_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/storage/relation.h"
+#include "src/storage/value.h"
+
+namespace mmdb {
+
+/// One logical output column: a source slot (position within the row of
+/// tuple pointers) plus a field path.  A path longer than one element walks
+/// kPointer (foreign key) fields: each intermediate hop reads a tuple
+/// pointer and continues in the referenced relation's schema — this is how
+/// Query 1 of the paper emits Department.Name from an Employee row.
+struct ColumnRef {
+  uint16_t source = 0;
+  std::vector<uint16_t> path;
+  std::string label;  ///< display name, e.g. "emp.name"
+};
+
+/// Describes what a TempList's rows mean: the source relations (one per
+/// tuple pointer in a row) and the output columns.
+class ResultDescriptor {
+ public:
+  ResultDescriptor() = default;
+  explicit ResultDescriptor(std::vector<const Relation*> sources)
+      : sources_(std::move(sources)) {}
+
+  size_t width() const { return sources_.size(); }
+  const std::vector<const Relation*>& sources() const { return sources_; }
+  const Relation* source(size_t i) const { return sources_[i]; }
+
+  /// Appends an output column; returns false if the path does not resolve
+  /// (bad field number, or an intermediate hop is not a kPointer field with
+  /// a declared foreign key).
+  bool AddColumn(uint16_t source, std::vector<uint16_t> path,
+                 std::string label = {});
+
+  /// Convenience: single-hop column.
+  bool AddColumn(uint16_t source, uint16_t field, std::string label = {}) {
+    return AddColumn(source, std::vector<uint16_t>{field}, std::move(label));
+  }
+
+  const std::vector<ColumnRef>& columns() const { return columns_; }
+
+  /// Schema of column `c` (resolved through foreign-key hops).
+  const Schema* ColumnSchema(size_t c) const { return column_schemas_[c]; }
+  /// Final field number of column `c` within ColumnSchema(c).
+  size_t ColumnField(size_t c) const { return column_fields_[c]; }
+
+ private:
+  std::vector<const Relation*> sources_;
+  std::vector<ColumnRef> columns_;
+  std::vector<const Schema*> column_schemas_;
+  std::vector<size_t> column_fields_;
+};
+
+/// A materialized list of tuple-pointer rows with a shared descriptor.
+class TempList {
+ public:
+  explicit TempList(ResultDescriptor descriptor)
+      : descriptor_(std::move(descriptor)) {}
+
+  const ResultDescriptor& descriptor() const { return descriptor_; }
+  /// Output columns may be added after the rows are produced (projection is
+  /// descriptor bookkeeping, Section 2.3).  Sources must not be changed.
+  ResultDescriptor* mutable_descriptor() { return &descriptor_; }
+  size_t width() const { return descriptor_.width(); }
+  size_t size() const {
+    return descriptor_.width() == 0 ? 0 : rows_.size() / descriptor_.width();
+  }
+
+  /// Appends one row; `row` must have exactly width() pointers.
+  void Append(std::span<const TupleRef> row);
+  /// Appends a single-pointer row (selection results).
+  void Append1(TupleRef t);
+  /// Appends a two-pointer row (binary join results).
+  void Append2(TupleRef outer, TupleRef inner);
+
+  /// Row accessor: pointer `s` of row `r`.
+  TupleRef At(size_t r, size_t s) const {
+    return rows_[r * descriptor_.width() + s];
+  }
+
+  /// Evaluates output column `c` of row `r` (follows foreign-key hops).
+  Value GetValue(size_t r, size_t c) const;
+
+  /// Raw tuple of output column `c` of row `r` after following all but the
+  /// final hop (i.e. the tuple that physically holds the column's field).
+  TupleRef ResolveColumnTuple(size_t r, size_t c) const;
+
+  /// Renders row `r` per the descriptor's columns, for examples/tests.
+  std::string RowToString(size_t r) const;
+
+  void Reserve(size_t rows) { rows_.reserve(rows * descriptor_.width()); }
+  void Clear() { rows_.clear(); }
+
+  const std::vector<TupleRef>& raw_rows() const { return rows_; }
+
+ private:
+  ResultDescriptor descriptor_;
+  std::vector<TupleRef> rows_;  // width() pointers per row, flattened
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_STORAGE_TEMP_LIST_H_

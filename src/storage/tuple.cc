@@ -1,0 +1,143 @@
+#include "src/storage/tuple.h"
+
+#include <sstream>
+
+#include "src/util/counters.h"
+#include "src/util/hash.h"
+
+namespace mmdb {
+namespace tuple {
+namespace {
+
+template <typename T>
+int Cmp3(T a, T b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+// Cross-type comparisons order by type rank, so mismatched operands compare
+// deterministically unequal instead of being undefined (a join of an int
+// column against a pointer column simply matches nothing).
+int TypeRank(Type t) {
+  switch (t) {
+    case Type::kInt32:
+    case Type::kInt64:
+      return 0;  // the integer widths are mutually comparable
+    case Type::kDouble: return 1;
+    case Type::kString: return 2;
+    case Type::kPointer: return 3;
+  }
+  return 4;
+}
+
+}  // namespace
+
+Value GetValue(TupleRef t, const Schema& schema, size_t i) {
+  const size_t off = schema.offset(i);
+  switch (schema.field(i).type) {
+    case Type::kInt32: return Value(GetInt32(t, off));
+    case Type::kInt64: return Value(GetInt64(t, off));
+    case Type::kDouble: return Value(GetDouble(t, off));
+    case Type::kString: return Value(GetString(t, off));
+    case Type::kPointer: return Value(GetPointer(t, off));
+  }
+  return Value();
+}
+
+int CompareField(TupleRef a, TupleRef b, const Schema& schema, size_t i) {
+  counters::BumpComparisons();
+  const size_t off = schema.offset(i);
+  switch (schema.field(i).type) {
+    case Type::kInt32: return Cmp3(GetInt32(a, off), GetInt32(b, off));
+    case Type::kInt64: return Cmp3(GetInt64(a, off), GetInt64(b, off));
+    case Type::kDouble: return Cmp3(GetDouble(a, off), GetDouble(b, off));
+    case Type::kString: return Cmp3(GetString(a, off), GetString(b, off));
+    case Type::kPointer: return Cmp3(GetPointer(a, off), GetPointer(b, off));
+  }
+  return 0;
+}
+
+int CompareFields(TupleRef a, const Schema& sa, size_t fa, TupleRef b,
+                  const Schema& sb, size_t fb) {
+  counters::BumpComparisons();
+  const size_t off_a = sa.offset(fa), off_b = sb.offset(fb);
+  const Type ta = sa.field(fa).type, tb = sb.field(fb).type;
+  if (ta == tb) {
+    switch (ta) {
+      case Type::kInt32: return Cmp3(GetInt32(a, off_a), GetInt32(b, off_b));
+      case Type::kInt64: return Cmp3(GetInt64(a, off_a), GetInt64(b, off_b));
+      case Type::kDouble: return Cmp3(GetDouble(a, off_a), GetDouble(b, off_b));
+      case Type::kString: return Cmp3(GetString(a, off_a), GetString(b, off_b));
+      case Type::kPointer:
+        return Cmp3(GetPointer(a, off_a), GetPointer(b, off_b));
+    }
+    return 0;
+  }
+  // Mixed integer widths.
+  auto widen = [](TupleRef t, size_t off, Type ty) -> int64_t {
+    return ty == Type::kInt32 ? GetInt32(t, off) : GetInt64(t, off);
+  };
+  if ((ta == Type::kInt32 || ta == Type::kInt64) &&
+      (tb == Type::kInt32 || tb == Type::kInt64)) {
+    return Cmp3(widen(a, off_a, ta), widen(b, off_b, tb));
+  }
+  return Cmp3(TypeRank(ta), TypeRank(tb));  // incomparable: never equal
+}
+
+int CompareValueField(const Value& v, TupleRef t, const Schema& schema,
+                      size_t i) {
+  counters::BumpComparisons();
+  const size_t off = schema.offset(i);
+  if (TypeRank(v.type()) != TypeRank(schema.field(i).type)) {
+    return Cmp3(TypeRank(v.type()), TypeRank(schema.field(i).type));
+  }
+  switch (schema.field(i).type) {
+    case Type::kInt32:
+      // Accept either integer width as the constant.
+      if (v.type() == Type::kInt64) {
+        return Cmp3<int64_t>(v.AsInt64(), GetInt32(t, off));
+      }
+      return Cmp3(v.AsInt32(), GetInt32(t, off));
+    case Type::kInt64:
+      if (v.type() == Type::kInt32) {
+        return Cmp3<int64_t>(v.AsInt32(), GetInt64(t, off));
+      }
+      return Cmp3(v.AsInt64(), GetInt64(t, off));
+    case Type::kDouble: return Cmp3(v.AsDouble(), GetDouble(t, off));
+    case Type::kString:
+      return Cmp3<std::string_view>(v.AsString(), GetString(t, off));
+    case Type::kPointer: return Cmp3(v.AsPointer(), GetPointer(t, off));
+  }
+  return 0;
+}
+
+uint64_t HashField(TupleRef t, const Schema& schema, size_t i) {
+  counters::BumpHashCalls();
+  const size_t off = schema.offset(i);
+  switch (schema.field(i).type) {
+    case Type::kInt32:
+      return HashMix64(static_cast<uint64_t>(GetInt32(t, off)));
+    case Type::kInt64:
+      return HashMix64(static_cast<uint64_t>(GetInt64(t, off)));
+    case Type::kDouble: return HashDouble(GetDouble(t, off));
+    case Type::kString: return HashString(GetString(t, off));
+    case Type::kPointer:
+      return HashMix64(reinterpret_cast<uintptr_t>(GetPointer(t, off)));
+  }
+  return 0;
+}
+
+std::string ToString(TupleRef t, const Schema& schema) {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < schema.field_count(); ++i) {
+    if (i) os << ", ";
+    os << GetValue(t, schema, i).ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace tuple
+}  // namespace mmdb

@@ -1,0 +1,82 @@
+// Raw tuple accessors.  A tuple is a fixed-width record (layout given by a
+// Schema) living inside a Partition's slot area.  String fields hold a
+// pointer to a {uint32 length, bytes} blob in the partition heap; pointer
+// fields hold a TupleRef into another relation (precomputed joins).
+//
+// These are free functions over TupleRef because indices and join operators
+// touch millions of fields and must not pay for any wrapper object.
+
+#ifndef MMDB_STORAGE_TUPLE_H_
+#define MMDB_STORAGE_TUPLE_H_
+
+#include <cstring>
+#include <string_view>
+
+#include "src/storage/schema.h"
+#include "src/storage/value.h"
+
+namespace mmdb {
+namespace tuple {
+
+inline int32_t GetInt32(TupleRef t, size_t offset) {
+  int32_t v;
+  std::memcpy(&v, t + offset, sizeof(v));
+  return v;
+}
+
+inline int64_t GetInt64(TupleRef t, size_t offset) {
+  int64_t v;
+  std::memcpy(&v, t + offset, sizeof(v));
+  return v;
+}
+
+inline double GetDouble(TupleRef t, size_t offset) {
+  double v;
+  std::memcpy(&v, t + offset, sizeof(v));
+  return v;
+}
+
+/// Reads the heap pointer stored in a string field and returns a view of the
+/// blob it addresses.  Empty strings are stored as a null heap pointer.
+inline std::string_view GetString(TupleRef t, size_t offset) {
+  const std::byte* blob;
+  std::memcpy(&blob, t + offset, sizeof(blob));
+  if (blob == nullptr) return {};
+  uint32_t len;
+  std::memcpy(&len, blob, sizeof(len));
+  return {reinterpret_cast<const char*>(blob + sizeof(len)), len};
+}
+
+inline TupleRef GetPointer(TupleRef t, size_t offset) {
+  TupleRef v;
+  std::memcpy(&v, t + offset, sizeof(v));
+  return v;
+}
+
+/// Materializes field `i` of `t` as a Value (boundary representation).
+Value GetValue(TupleRef t, const Schema& schema, size_t i);
+
+/// Three-way comparison of the same field in two tuples, without
+/// materializing Values.  Bumps the comparison counter.
+int CompareField(TupleRef a, TupleRef b, const Schema& schema, size_t i);
+
+/// Three-way comparison of field `fa` of tuple `a` against field `fb` of
+/// tuple `b`, possibly from different relations (join comparisons).  The
+/// fields must have comparable types (integer widths may mix).
+int CompareFields(TupleRef a, const Schema& sa, size_t fa, TupleRef b,
+                  const Schema& sb, size_t fb);
+
+/// Three-way comparison of a constant against a tuple field:
+/// <0 if v < field, 0 if equal, >0 if v > field.  Bumps the counter.
+int CompareValueField(const Value& v, TupleRef t, const Schema& schema, size_t i);
+
+/// Hash of a tuple field, consistent with CompareField equality.
+uint64_t HashField(TupleRef t, const Schema& schema, size_t i);
+
+/// "(<v0>, <v1>, ...)" rendering for diagnostics.
+std::string ToString(TupleRef t, const Schema& schema);
+
+}  // namespace tuple
+}  // namespace mmdb
+
+#endif  // MMDB_STORAGE_TUPLE_H_

@@ -1,0 +1,98 @@
+#include "src/storage/value.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "src/util/hash.h"
+
+namespace mmdb {
+
+size_t TypeWidth(Type t) {
+  switch (t) {
+    case Type::kInt32: return 4;
+    case Type::kInt64: return 8;
+    case Type::kDouble: return 8;
+    case Type::kString: return 8;   // pointer to {uint32 len, bytes} heap blob
+    case Type::kPointer: return 8;  // raw tuple pointer
+  }
+  return 0;
+}
+
+const char* TypeName(Type t) {
+  switch (t) {
+    case Type::kInt32: return "int32";
+    case Type::kInt64: return "int64";
+    case Type::kDouble: return "double";
+    case Type::kString: return "string";
+    case Type::kPointer: return "pointer";
+  }
+  return "?";
+}
+
+Type Value::type() const {
+  switch (v_.index()) {
+    case 0: return Type::kInt32;
+    case 1: return Type::kInt64;
+    case 2: return Type::kDouble;
+    case 3: return Type::kString;
+    case 4: return Type::kPointer;
+  }
+  return Type::kInt32;
+}
+
+namespace {
+
+template <typename T>
+int Cmp3(T a, T b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  const Type a = type(), b = other.type();
+  // Numeric cross-width comparisons (int32 vs int64) widen to int64.
+  if ((a == Type::kInt32 || a == Type::kInt64) &&
+      (b == Type::kInt32 || b == Type::kInt64)) {
+    int64_t x = a == Type::kInt32 ? AsInt32() : AsInt64();
+    int64_t y = b == Type::kInt32 ? other.AsInt32() : other.AsInt64();
+    return Cmp3(x, y);
+  }
+  assert(a == b && "Value::Compare across incompatible types");
+  switch (a) {
+    case Type::kInt32: return Cmp3(AsInt32(), other.AsInt32());
+    case Type::kInt64: return Cmp3(AsInt64(), other.AsInt64());
+    case Type::kDouble: return Cmp3(AsDouble(), other.AsDouble());
+    case Type::kString: return Cmp3<std::string_view>(AsString(), other.AsString());
+    case Type::kPointer: return Cmp3(AsPointer(), other.AsPointer());
+  }
+  return 0;
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case Type::kInt32: return HashMix64(static_cast<uint64_t>(AsInt32()));
+    case Type::kInt64: return HashMix64(static_cast<uint64_t>(AsInt64()));
+    case Type::kDouble: return HashDouble(AsDouble());
+    case Type::kString: return HashString(AsString());
+    case Type::kPointer:
+      return HashMix64(reinterpret_cast<uintptr_t>(AsPointer()));
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  switch (type()) {
+    case Type::kInt32: os << AsInt32(); break;
+    case Type::kInt64: os << AsInt64(); break;
+    case Type::kDouble: os << AsDouble(); break;
+    case Type::kString: os << '"' << AsString() << '"'; break;
+    case Type::kPointer: os << "@" << static_cast<const void*>(AsPointer()); break;
+  }
+  return os.str();
+}
+
+}  // namespace mmdb

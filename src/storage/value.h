@@ -1,0 +1,75 @@
+// Value: the typed scalar used on the public API surface (inserts, predicate
+// constants, query results).  Inside the engine, data lives in fixed-width
+// tuple records (see tuple.h) and is compared through KeyOps without ever
+// materializing a Value; Value is the boundary representation.
+
+#ifndef MMDB_STORAGE_VALUE_H_
+#define MMDB_STORAGE_VALUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace mmdb {
+
+/// A pointer to a tuple's fixed-width record inside some partition.
+/// Tuples never move once inserted (Section 2.1), so these are stable.
+using TupleRef = const std::byte*;
+
+/// Column types supported by the storage engine.
+enum class Type : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,   ///< variable length; tuple stores a pointer into partition heap
+  kPointer = 4,  ///< tuple pointer: foreign keys materialized per Section 2.1
+};
+
+/// Number of bytes a field of this type occupies in the fixed-width record.
+size_t TypeWidth(Type t);
+
+/// Human-readable type name ("int32", "string", ...).
+const char* TypeName(Type t);
+
+/// Tagged scalar.  String payloads are owned copies.
+class Value {
+ public:
+  Value() : v_(int32_t{0}) {}
+  Value(int32_t v) : v_(v) {}                      // NOLINT(runtime/explicit)
+  Value(int64_t v) : v_(v) {}                      // NOLINT(runtime/explicit)
+  Value(double v) : v_(v) {}                       // NOLINT(runtime/explicit)
+  Value(std::string v) : v_(std::move(v)) {}       // NOLINT(runtime/explicit)
+  Value(const char* v) : v_(std::string(v)) {}     // NOLINT(runtime/explicit)
+  Value(std::string_view v) : v_(std::string(v)) {}  // NOLINT(runtime/explicit)
+  Value(TupleRef v) : v_(v) {}                     // NOLINT(runtime/explicit)
+
+  Type type() const;
+
+  int32_t AsInt32() const { return std::get<int32_t>(v_); }
+  int64_t AsInt64() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  TupleRef AsPointer() const { return std::get<TupleRef>(v_); }
+
+  /// Three-way comparison.  Both values must have the same type, except that
+  /// integer widths (int32/int64) compare numerically against each other.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Hash consistent with Compare()==0 (numeric cross-width included).
+  uint64_t Hash() const;
+
+  /// Rendering for examples and test diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::variant<int32_t, int64_t, double, std::string, TupleRef> v_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_STORAGE_VALUE_H_

@@ -1,0 +1,276 @@
+#include "src/txn/disk_image.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "src/storage/tuple.h"
+
+namespace mmdb {
+namespace serialize {
+namespace {
+
+template <typename T>
+void Put(TupleImage* out, T v) {
+  const size_t n = out->size();
+  out->resize(n + sizeof(T));
+  std::memcpy(out->data() + n, &v, sizeof(T));
+}
+
+template <typename T>
+bool Get(const TupleImage& in, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+void PutString(TupleImage* out, std::string_view s) {
+  Put<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  const size_t n = out->size();
+  out->resize(n + s.size());
+  std::memcpy(out->data() + n, s.data(), s.size());
+}
+
+bool GetString(const TupleImage& in, size_t* pos, std::string* s) {
+  uint32_t len;
+  if (!Get(in, pos, &len)) return false;
+  if (*pos + len > in.size()) return false;
+  s->assign(reinterpret_cast<const char*>(in.data() + *pos), len);
+  *pos += len;
+  return true;
+}
+
+}  // namespace
+
+TupleImage EncodeTuple(const Relation& rel, TupleRef t) {
+  const Schema& schema = rel.schema();
+  TupleImage out;
+  for (size_t i = 0; i < schema.field_count(); ++i) {
+    const size_t off = schema.offset(i);
+    switch (schema.field(i).type) {
+      case Type::kInt32:
+        Put(&out, tuple::GetInt32(t, off));
+        break;
+      case Type::kInt64:
+        Put(&out, tuple::GetInt64(t, off));
+        break;
+      case Type::kDouble:
+        Put(&out, tuple::GetDouble(t, off));
+        break;
+      case Type::kString:
+        PutString(&out, tuple::GetString(t, off));
+        break;
+      case Type::kPointer: {
+        // Stable representation: the target's TupleId, resolvable because a
+        // declared foreign key names the target relation.
+        TupleRef p = tuple::GetPointer(t, off);
+        const ForeignKeyDecl* fk = rel.ForeignKeyOn(i);
+        if (p == nullptr || fk == nullptr) {
+          Put<uint8_t>(&out, 0);
+        } else {
+          Put<uint8_t>(&out, 1);
+          TupleId tid = fk->target->IdOf(p);
+          Put<uint32_t>(&out, tid.partition);
+          Put<uint32_t>(&out, tid.slot);
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Status DecodeTuple(const Relation& rel, const TupleImage& image,
+                   std::vector<Value>* values,
+                   std::vector<PointerFixup>* fixups) {
+  const Schema& schema = rel.schema();
+  values->clear();
+  values->reserve(schema.field_count());
+  size_t pos = 0;
+  for (size_t i = 0; i < schema.field_count(); ++i) {
+    switch (schema.field(i).type) {
+      case Type::kInt32: {
+        int32_t v;
+        if (!Get(image, &pos, &v)) return Status::Internal("truncated image");
+        values->push_back(Value(v));
+        break;
+      }
+      case Type::kInt64: {
+        int64_t v;
+        if (!Get(image, &pos, &v)) return Status::Internal("truncated image");
+        values->push_back(Value(v));
+        break;
+      }
+      case Type::kDouble: {
+        double v;
+        if (!Get(image, &pos, &v)) return Status::Internal("truncated image");
+        values->push_back(Value(v));
+        break;
+      }
+      case Type::kString: {
+        std::string s;
+        if (!GetString(image, &pos, &s)) {
+          return Status::Internal("truncated image");
+        }
+        values->push_back(Value(std::move(s)));
+        break;
+      }
+      case Type::kPointer: {
+        uint8_t has;
+        if (!Get(image, &pos, &has)) return Status::Internal("truncated image");
+        values->push_back(Value(TupleRef{nullptr}));
+        if (has != 0) {
+          uint32_t partition, slot;
+          if (!Get(image, &pos, &partition) || !Get(image, &pos, &slot)) {
+            return Status::Internal("truncated image");
+          }
+          const ForeignKeyDecl* fk = rel.ForeignKeyOn(i);
+          if (fk == nullptr) {
+            return Status::Internal("pointer field without foreign key");
+          }
+          if (fixups != nullptr) {
+            fixups->push_back(serialize::PointerFixup{
+                i, fk->target->name(), TupleId{partition, slot}});
+          }
+        }
+        break;
+      }
+    }
+  }
+  if (pos != image.size()) return Status::Internal("trailing bytes in image");
+  return Status::Ok();
+}
+
+}  // namespace serialize
+
+void DiskImage::CheckpointRelation(const Relation& rel) {
+  auto& partitions = data_[rel.name()];
+  partitions.clear();
+  for (const auto& p : rel.partitions()) {
+    PartitionImage image;
+    p->ForEachLive([&](TupleRef t) {
+      image[p->SlotOf(t)] = serialize::EncodeTuple(rel, t);
+    });
+    partitions[p->id()] = std::move(image);
+  }
+}
+
+void DiskImage::StorePartition(const std::string& relation, uint32_t partition,
+                               PartitionImage image) {
+  data_[relation][partition] = std::move(image);
+}
+
+const PartitionImage* DiskImage::ReadPartition(const std::string& relation,
+                                               uint32_t partition) const {
+  auto rit = data_.find(relation);
+  if (rit == data_.end()) return nullptr;
+  auto pit = rit->second.find(partition);
+  return pit == rit->second.end() ? nullptr : &pit->second;
+}
+
+PartitionImage* DiskImage::MutablePartition(const std::string& relation,
+                                            uint32_t partition) {
+  return &data_[relation][partition];
+}
+
+std::vector<uint32_t> DiskImage::PartitionsOf(
+    const std::string& relation) const {
+  std::vector<uint32_t> out;
+  auto rit = data_.find(relation);
+  if (rit == data_.end()) return out;
+  out.reserve(rit->second.size());
+  for (const auto& [id, image] : rit->second) out.push_back(id);
+  return out;
+}
+
+std::vector<std::string> DiskImage::Relations() const {
+  std::vector<std::string> out;
+  out.reserve(data_.size());
+  for (const auto& [name, partitions] : data_) out.push_back(name);
+  return out;
+}
+
+size_t DiskImage::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& [name, partitions] : data_) {
+    for (const auto& [id, image] : partitions) {
+      for (const auto& [slot, bytes] : image) total += bytes.size();
+    }
+  }
+  return total;
+}
+
+namespace {
+
+void PutU32(std::ofstream* os, uint32_t v) {
+  os->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool GetU32(std::ifstream* is, uint32_t* v) {
+  return static_cast<bool>(is->read(reinterpret_cast<char*>(v), sizeof(*v)));
+}
+
+}  // namespace
+
+Status DiskImage::SaveToFile(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return Status::Internal("cannot open " + path);
+  PutU32(&os, static_cast<uint32_t>(data_.size()));
+  for (const auto& [name, partitions] : data_) {
+    PutU32(&os, static_cast<uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    PutU32(&os, static_cast<uint32_t>(partitions.size()));
+    for (const auto& [id, image] : partitions) {
+      PutU32(&os, id);
+      PutU32(&os, static_cast<uint32_t>(image.size()));
+      for (const auto& [slot, bytes] : image) {
+        PutU32(&os, slot);
+        PutU32(&os, static_cast<uint32_t>(bytes.size()));
+        os.write(reinterpret_cast<const char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()));
+      }
+    }
+  }
+  return os ? Status::Ok() : Status::Internal("write failed: " + path);
+}
+
+Status DiskImage::LoadFromFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::NotFound("cannot open " + path);
+  data_.clear();
+  uint32_t relations;
+  if (!GetU32(&is, &relations)) return Status::Internal("truncated file");
+  for (uint32_t r = 0; r < relations; ++r) {
+    uint32_t name_len;
+    if (!GetU32(&is, &name_len)) return Status::Internal("truncated file");
+    std::string name(name_len, '\0');
+    if (!is.read(name.data(), name_len)) {
+      return Status::Internal("truncated file");
+    }
+    uint32_t partitions;
+    if (!GetU32(&is, &partitions)) return Status::Internal("truncated file");
+    for (uint32_t p = 0; p < partitions; ++p) {
+      uint32_t id, tuples;
+      if (!GetU32(&is, &id) || !GetU32(&is, &tuples)) {
+        return Status::Internal("truncated file");
+      }
+      PartitionImage image;
+      for (uint32_t t = 0; t < tuples; ++t) {
+        uint32_t slot, len;
+        if (!GetU32(&is, &slot) || !GetU32(&is, &len)) {
+          return Status::Internal("truncated file");
+        }
+        TupleImage bytes(len);
+        if (!is.read(reinterpret_cast<char*>(bytes.data()), len)) {
+          return Status::Internal("truncated file");
+        }
+        image[slot] = std::move(bytes);
+      }
+      data_[name][id] = std::move(image);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace mmdb

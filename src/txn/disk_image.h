@@ -1,0 +1,94 @@
+// DiskImage: the "disk copy of the database" of Figure 2.  Partitions are
+// the unit of recovery (Section 2.1); the image stores one serialized
+// snapshot per (relation, partition), which the log device keeps close to
+// current by propagating committed updates, and which recovery reads back
+// partition-by-partition.
+//
+// Serialization is *logical*: each live slot's field values, with
+// variable-length strings inlined and tuple-pointer (foreign key) fields
+// rewritten as stable TupleIds.  Raw memory addresses cannot survive a
+// crash; TupleIds can, because recovery reloads every tuple into its
+// original (partition, slot).
+//
+// The image lives in memory (it stands in for the paper's disk hardware)
+// and can be saved to / loaded from a file for cross-process durability.
+
+#ifndef MMDB_TXN_DISK_IMAGE_H_
+#define MMDB_TXN_DISK_IMAGE_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/storage/relation.h"
+#include "src/util/status.h"
+
+namespace mmdb {
+
+/// Serialized field values of one tuple.
+using TupleImage = std::vector<std::byte>;
+
+/// Serialized live slots of one partition: slot -> tuple image.
+using PartitionImage = std::map<uint32_t, TupleImage>;
+
+namespace serialize {
+
+/// Encodes a live tuple of `rel` (pointer fields become TupleIds resolved
+/// through the relation's foreign-key declarations).
+TupleImage EncodeTuple(const Relation& rel, TupleRef t);
+
+/// A pointer field awaiting resolution after all relations are reloaded.
+struct PointerFixup {
+  size_t field = 0;
+  std::string target_relation;
+  TupleId target;
+};
+
+/// Decodes a tuple image into insertable values; pointer fields come back
+/// as null pointers plus a PointerFixup entry each.
+Status DecodeTuple(const Relation& rel, const TupleImage& image,
+                   std::vector<Value>* values,
+                   std::vector<PointerFixup>* fixups);
+
+}  // namespace serialize
+
+class DiskImage {
+ public:
+  /// Checkpoints every partition of `rel` into the image (replacing any
+  /// previous snapshot of the relation).
+  void CheckpointRelation(const Relation& rel);
+
+  /// Writes one partition snapshot (used by the log device's propagation).
+  void StorePartition(const std::string& relation, uint32_t partition,
+                      PartitionImage image);
+
+  /// Reads one partition snapshot; nullptr if absent.
+  const PartitionImage* ReadPartition(const std::string& relation,
+                                      uint32_t partition) const;
+
+  /// Mutable access for in-place log propagation; creates if absent.
+  PartitionImage* MutablePartition(const std::string& relation,
+                                   uint32_t partition);
+
+  /// Partition ids present for a relation, ascending.
+  std::vector<uint32_t> PartitionsOf(const std::string& relation) const;
+
+  /// Relations present in the image.
+  std::vector<std::string> Relations() const;
+
+  /// Byte-exact save/load for cross-process durability.
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+  void Clear() { data_.clear(); }
+  size_t TotalBytes() const;
+
+ private:
+  // relation -> partition id -> image
+  std::map<std::string, std::map<uint32_t, PartitionImage>> data_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_TXN_DISK_IMAGE_H_

@@ -1,0 +1,103 @@
+#include "src/txn/lock_manager.h"
+
+#include <algorithm>
+
+namespace mmdb {
+
+bool LockManager::HoldsShared(const LockState& s, uint64_t txn_id) const {
+  return std::find(s.shared_holders.begin(), s.shared_holders.end(), txn_id) !=
+         s.shared_holders.end();
+}
+
+bool LockManager::Acquire(uint64_t txn_id, const LockId& id, LockMode mode,
+                          std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(mu_);
+  LockState& s = table_[id];
+
+  if (mode == LockMode::kShared) {
+    if (s.exclusive_holder == txn_id) return true;  // X covers S
+    if (HoldsShared(s, txn_id)) return true;
+    for (;;) {
+      if (s.exclusive_holder == 0 && s.waiting_exclusive == 0) {
+        s.shared_holders.push_back(txn_id);
+        return true;
+      }
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        return false;
+      }
+    }
+  }
+
+  // Exclusive.
+  if (s.exclusive_holder == txn_id) return true;
+  const bool upgrading = HoldsShared(s, txn_id);
+  ++s.waiting_exclusive;
+  for (;;) {
+    const bool others_shared =
+        s.shared_holders.size() > (upgrading ? 1u : 0u) ||
+        (!upgrading && s.shared_holders.size() > 0);
+    if (s.exclusive_holder == 0 && !others_shared) {
+      if (upgrading) {
+        s.shared_holders.erase(std::find(s.shared_holders.begin(),
+                                         s.shared_holders.end(), txn_id));
+      }
+      s.exclusive_holder = txn_id;
+      --s.waiting_exclusive;
+      return true;
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      --s.waiting_exclusive;
+      cv_.notify_all();
+      return false;
+    }
+  }
+}
+
+void LockManager::Release(uint64_t txn_id, const LockId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(id);
+  if (it == table_.end()) return;
+  LockState& s = it->second;
+  if (s.exclusive_holder == txn_id) s.exclusive_holder = 0;
+  std::erase(s.shared_holders, txn_id);
+  if (s.Free() && s.waiting_exclusive == 0) table_.erase(it);
+  cv_.notify_all();
+}
+
+void LockManager::ReleaseAll(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = table_.begin(); it != table_.end();) {
+    LockState& s = it->second;
+    if (s.exclusive_holder == txn_id) s.exclusive_holder = 0;
+    std::erase(s.shared_holders, txn_id);
+    if (s.Free() && s.waiting_exclusive == 0) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  cv_.notify_all();
+}
+
+std::vector<LockId> LockManager::HeldBy(uint64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LockId> out;
+  for (const auto& [id, s] : table_) {
+    if (s.exclusive_holder == txn_id || HoldsShared(s, txn_id)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+size_t LockManager::GrantedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [id, s] : table_) {
+    n += s.shared_holders.size() + (s.exclusive_holder != 0 ? 1 : 0);
+  }
+  return n;
+}
+
+}  // namespace mmdb

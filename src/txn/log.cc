@@ -1,0 +1,85 @@
+#include "src/txn/log.h"
+
+#include <algorithm>
+
+namespace mmdb {
+
+const char* LogOpName(LogOp op) {
+  switch (op) {
+    case LogOp::kInsert: return "insert";
+    case LogOp::kDelete: return "delete";
+    case LogOp::kUpdate: return "update";
+  }
+  return "?";
+}
+
+uint64_t StableLogBuffer::Append(LogRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.lsn = next_lsn_++;
+  const uint64_t lsn = record.lsn;
+  records_.push_back(std::move(record));
+  return lsn;
+}
+
+bool StableLogBuffer::IsCommitted(uint64_t txn_id) const {
+  return std::find(committed_txns_.begin(), committed_txns_.end(), txn_id) !=
+         committed_txns_.end();
+}
+
+void StableLogBuffer::Commit(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!IsCommitted(txn_id)) committed_txns_.push_back(txn_id);
+}
+
+void StableLogBuffer::Abort(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(records_,
+                [txn_id](const LogRecord& r) { return r.txn_id == txn_id; });
+}
+
+void StableLogBuffer::Patch(uint64_t lsn, TupleId tid,
+                            const TupleImage* payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->lsn == lsn) {
+      it->tid = tid;
+      if (payload != nullptr) it->payload = *payload;
+      return;
+    }
+  }
+}
+
+std::vector<LogRecord> StableLogBuffer::DrainCommitted(size_t max) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogRecord> out;
+  // Pop from the front while the head record belongs to a committed
+  // transaction; an in-flight head blocks draining (records must reach the
+  // log device in LSN order for the change accumulation to be correct).
+  while (out.size() < max && !records_.empty() &&
+         IsCommitted(records_.front().txn_id)) {
+    out.push_back(std::move(records_.front()));
+    records_.pop_front();
+  }
+  return out;
+}
+
+size_t StableLogBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+size_t StableLogBuffer::committed_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const LogRecord& r : records_) {
+    if (IsCommitted(r.txn_id)) ++n;
+  }
+  return n;
+}
+
+uint64_t StableLogBuffer::last_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_ - 1;
+}
+
+}  // namespace mmdb

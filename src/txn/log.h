@@ -1,0 +1,79 @@
+// Write-ahead logging, IMS FASTPATH style (Section 2.4): "The MM-DBMS
+// writes all log information directly into a stable log buffer before the
+// actual update is done to the database.  If the transaction aborts, then
+// the log entry is removed and no undo is needed.  If the transaction
+// commits, then the updates are propagated to the database."
+//
+// Records are redo-only after-images addressed by stable TupleIds; the
+// StableLogBuffer is the battery-backed staging area between transactions
+// and the LogDevice.
+
+#ifndef MMDB_TXN_LOG_H_
+#define MMDB_TXN_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/txn/disk_image.h"
+
+namespace mmdb {
+
+enum class LogOp : uint8_t { kInsert, kDelete, kUpdate };
+
+const char* LogOpName(LogOp op);
+
+struct LogRecord {
+  uint64_t lsn = 0;
+  uint64_t txn_id = 0;
+  LogOp op = LogOp::kInsert;
+  std::string relation;
+  TupleId tid;
+  /// Full-tuple after-image (EncodeTuple format); empty for deletes.
+  TupleImage payload;
+};
+
+/// The stable log buffer of Figure 2.  Transactions append records before
+/// applying updates; commit makes a transaction's records visible to the
+/// log device; abort removes them outright.  Thread-safe.
+class StableLogBuffer {
+ public:
+  /// Appends a record (assigning its LSN) and returns that LSN.
+  uint64_t Append(LogRecord record);
+
+  /// Makes all of txn's records eligible for the log device.
+  void Commit(uint64_t txn_id);
+
+  /// Removes txn's records ("the log entry is removed and no undo is
+  /// needed").
+  void Abort(uint64_t txn_id);
+
+  /// Fills in the TupleId (and, if non-null, the payload) of an existing
+  /// record.  Inserts log their intent before the update (WAL order) but
+  /// only learn their slot when the update is applied; this closes the gap.
+  void Patch(uint64_t lsn, TupleId tid, const TupleImage* payload);
+
+  /// Pops up to `max` committed records in LSN order (log device intake).
+  std::vector<LogRecord> DrainCommitted(size_t max);
+
+  /// Records still sitting in the buffer (committed + in-flight).
+  size_t size() const;
+  size_t committed_size() const;
+
+  /// Latest LSN assigned so far.
+  uint64_t last_lsn() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<LogRecord> records_;          // in-flight + committed, LSN order
+  std::vector<uint64_t> committed_txns_;   // txns whose records may drain
+  uint64_t next_lsn_ = 1;
+
+  bool IsCommitted(uint64_t txn_id) const;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_TXN_LOG_H_

@@ -1,0 +1,99 @@
+#include "src/txn/log_device.h"
+
+namespace mmdb {
+
+size_t LogDevice::Pump(size_t max) {
+  std::vector<LogRecord> drained = buffer_->DrainCommitted(max);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (LogRecord& r : drained) {
+    Key key{r.relation, r.tid.partition};
+    accumulation_[key].push_back(std::move(r));
+  }
+  return drained.size();
+}
+
+void LogDevice::ApplyToImage(const LogRecord& record, PartitionImage* image) {
+  switch (record.op) {
+    case LogOp::kInsert:
+    case LogOp::kUpdate:
+      (*image)[record.tid.slot] = record.payload;
+      break;
+    case LogOp::kDelete:
+      image->erase(record.tid.slot);
+      break;
+  }
+}
+
+size_t LogDevice::PropagatePartition(const std::string& relation,
+                                     uint32_t partition) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = accumulation_.find(Key{relation, partition});
+  if (it == accumulation_.end()) return 0;
+  PartitionImage* image = disk_->MutablePartition(relation, partition);
+  for (const LogRecord& r : it->second) ApplyToImage(r, image);
+  const size_t applied = it->second.size();
+  accumulation_.erase(it);
+  return applied;
+}
+
+size_t LogDevice::PropagateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t applied = 0;
+  for (auto& [key, records] : accumulation_) {
+    PartitionImage* image = disk_->MutablePartition(key.first, key.second);
+    for (const LogRecord& r : records) ApplyToImage(r, image);
+    applied += records.size();
+  }
+  accumulation_.clear();
+  return applied;
+}
+
+std::vector<LogRecord> LogDevice::PendingFor(const std::string& relation,
+                                             uint32_t partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = accumulation_.find(Key{relation, partition});
+  if (it == accumulation_.end()) return {};
+  return it->second;
+}
+
+std::vector<uint32_t> LogDevice::PendingPartitions(
+    const std::string& relation) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint32_t> out;
+  for (const auto& [key, records] : accumulation_) {
+    if (key.first == relation) out.push_back(key.second);
+  }
+  return out;
+}
+
+size_t LogDevice::accumulated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [key, records] : accumulation_) n += records.size();
+  return n;
+}
+
+void LogDevice::StartBackground(std::chrono::milliseconds interval) {
+  if (running_.exchange(true)) return;  // already running
+  worker_ = std::thread([this, interval] {
+    std::unique_lock<std::mutex> lock(stop_mu_);
+    while (running_.load()) {
+      lock.unlock();
+      RunCycle();
+      lock.lock();
+      stop_cv_.wait_for(lock, interval, [this] { return !running_.load(); });
+    }
+  });
+}
+
+void LogDevice::StopBackground() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_cv_.notify_all();
+  }
+  if (worker_.joinable()) worker_.join();
+  RunCycle();  // final drain so nothing committed is left behind
+}
+
+}  // namespace mmdb

@@ -1,0 +1,111 @@
+#include "src/txn/recovery.h"
+
+#include <algorithm>
+
+namespace mmdb {
+
+Status RecoveryManager::LoadPartition(Relation* rel, uint32_t partition_id) {
+  if (!loaded_.insert({rel->name(), partition_id}).second) {
+    return Status::Ok();  // already loaded (e.g. as working set)
+  }
+  // Start from the disk copy...
+  PartitionImage merged;
+  if (const PartitionImage* image = disk_->ReadPartition(rel->name(), partition_id)) {
+    merged = *image;
+  }
+  // ...and merge unpropagated committed updates on the fly.
+  const std::vector<LogRecord> pending =
+      device_->PendingFor(rel->name(), partition_id);
+  for (const LogRecord& r : pending) {
+    switch (r.op) {
+      case LogOp::kInsert:
+      case LogOp::kUpdate:
+        merged[r.tid.slot] = r.payload;
+        break;
+      case LogOp::kDelete:
+        merged.erase(r.tid.slot);
+        break;
+    }
+  }
+  progress_.log_records_merged += pending.size();
+
+  rel->GetOrCreatePartition(partition_id);
+  std::vector<Value> values;
+  std::vector<serialize::PointerFixup> fixups;
+  for (const auto& [slot, image] : merged) {
+    fixups.clear();
+    Status s = serialize::DecodeTuple(*rel, image, &values, &fixups);
+    if (!s.ok()) return s;
+    TupleRef t = rel->InsertAt(TupleId{partition_id, slot}, values);
+    if (t == nullptr) {
+      return Status::Internal("slot collision during recovery of " +
+                              rel->name());
+    }
+    for (const serialize::PointerFixup& f : fixups) {
+      fixups_.push_back(DeferredFixup{rel, TupleId{partition_id, slot}, f});
+    }
+    ++progress_.tuples_loaded;
+  }
+  ++progress_.partitions_loaded;
+  return Status::Ok();
+}
+
+std::vector<uint32_t> RecoveryManager::KnownPartitions(
+    const std::string& relation) const {
+  std::vector<uint32_t> ids = disk_->PartitionsOf(relation);
+  for (uint32_t id : device_->PendingPartitions(relation)) {
+    if (std::find(ids.begin(), ids.end(), id) == ids.end()) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Status RecoveryManager::RecoverRelation(
+    Relation* rel, const std::vector<uint32_t>& working_set) {
+  std::vector<uint32_t> ids = KnownPartitions(rel->name());
+  // Working-set partitions first (transactions resume against these), the
+  // remainder standing in for the background reload.
+  std::vector<uint32_t> ordered;
+  for (uint32_t id : working_set) {
+    if (std::find(ids.begin(), ids.end(), id) != ids.end()) {
+      ordered.push_back(id);
+    }
+  }
+  for (uint32_t id : ids) {
+    if (std::find(ordered.begin(), ordered.end(), id) == ordered.end()) {
+      ordered.push_back(id);
+    }
+  }
+  for (uint32_t id : ordered) {
+    Status s = LoadPartition(rel, id);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status RecoveryManager::ResolvePointers(const Catalog& catalog) {
+  for (const DeferredFixup& f : fixups_) {
+    Relation* target = catalog.Get(f.fixup.target_relation);
+    if (target == nullptr) {
+      return Status::Internal("missing foreign relation " +
+                              f.fixup.target_relation);
+    }
+    TupleRef target_ref = target->RefOf(f.fixup.target);
+    if (target_ref == nullptr) {
+      return Status::Internal("dangling foreign key into " +
+                              f.fixup.target_relation);
+    }
+    TupleRef t = f.relation->RefOf(f.tuple);
+    if (t == nullptr) {
+      return Status::Internal("fixup source vanished in " +
+                              f.relation->name());
+    }
+    Status s = f.relation->UpdateField(t, f.fixup.field, Value(target_ref));
+    if (!s.ok()) return s;
+    ++progress_.pointers_resolved;
+  }
+  fixups_.clear();
+  return Status::Ok();
+}
+
+}  // namespace mmdb

@@ -1,0 +1,78 @@
+// Crash recovery (Section 2.4).  "Each partition that participates in the
+// working set is read from the disk copy of the database.  The log device
+// is checked for any updates to that partition that have not yet been
+// propagated to the disk copy.  Any updates that exist are merged with the
+// partition on the fly and the updated partition is placed in memory.  Once
+// the working set has been read in, the MM-DBMS should be able to run at
+// close to its normal rate while the remainder of the database is read in
+// by a background process."
+//
+// The caller recreates each relation's *shape* (schema, indexes, foreign
+// key declarations) — DDL durability is out of scope — then RecoveryManager
+// restores the data: working-set partitions first, then the rest, and
+// finally one pointer-resolution pass once every relation's tuples are back
+// at their original (partition, slot) addresses.
+
+#ifndef MMDB_TXN_RECOVERY_H_
+#define MMDB_TXN_RECOVERY_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/storage/catalog.h"
+#include "src/txn/disk_image.h"
+#include "src/txn/log_device.h"
+
+namespace mmdb {
+
+class RecoveryManager {
+ public:
+  RecoveryManager(const DiskImage* disk, const LogDevice* device)
+      : disk_(disk), device_(device) {}
+
+  struct Progress {
+    size_t partitions_loaded = 0;
+    size_t tuples_loaded = 0;
+    size_t log_records_merged = 0;
+    size_t pointers_resolved = 0;
+  };
+
+  /// Loads one partition: disk snapshot merged with the log device's
+  /// unpropagated records, tuples re-inserted at their original slots.
+  /// Idempotent: a partition already loaded by this manager is skipped.
+  Status LoadPartition(Relation* rel, uint32_t partition_id);
+
+  /// All partitions of a relation, `working_set` ids first (the rest stand
+  /// in for the background reload).
+  Status RecoverRelation(Relation* rel,
+                         const std::vector<uint32_t>& working_set = {});
+
+  /// All partition ids known for a relation (disk copy plus partitions that
+  /// exist only as accumulated log records).
+  std::vector<uint32_t> KnownPartitions(const std::string& relation) const;
+
+  /// Resolves every deferred tuple-pointer (foreign key) field recorded
+  /// during loading.  Call once, after every relation has been recovered.
+  Status ResolvePointers(const Catalog& catalog);
+
+  const Progress& progress() const { return progress_; }
+
+ private:
+  struct DeferredFixup {
+    Relation* relation;
+    TupleId tuple;
+    serialize::PointerFixup fixup;
+  };
+
+  const DiskImage* disk_;
+  const LogDevice* device_;
+  std::vector<DeferredFixup> fixups_;
+  std::set<std::pair<std::string, uint32_t>> loaded_;
+  Progress progress_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_TXN_RECOVERY_H_

@@ -1,0 +1,213 @@
+#include "src/txn/transaction.h"
+
+#include "src/storage/tuple.h"
+
+namespace mmdb {
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  const uint64_t id = next_txn_id_.fetch_add(1);
+  return std::unique_ptr<Transaction>(new Transaction(this, id));
+}
+
+Status Transaction::AcquireOrDie(const LockId& lock_id, LockMode mode) {
+  if (!mgr_->locks()->Acquire(id_, lock_id, mode)) {
+    // Timeout = presumed deadlock; this transaction is the victim.
+    Abort();
+    return Status::Aborted("lock timeout (deadlock victim) on " +
+                           lock_id.relation);
+  }
+  return Status::Ok();
+}
+
+Status Transaction::Insert(const std::string& relation,
+                           std::vector<Value> values) {
+  if (state_ != State::kActive) return Status::FailedPrecondition("not active");
+  Relation* rel = mgr_->catalog()->Get(relation);
+  if (rel == nullptr) return Status::NotFound("no relation " + relation);
+  if (values.size() != rel->schema().field_count()) {
+    return Status::InvalidArgument("arity mismatch");
+  }
+  Status s = AcquireOrDie(LockId{relation, LockId::kRelationLock},
+                          LockMode::kExclusive);
+  if (!s.ok()) return s;
+  ops_.push_back(
+      PendingOp{LogOp::kInsert, rel, nullptr, std::move(values), 0, Value()});
+  return Status::Ok();
+}
+
+Status Transaction::Delete(const std::string& relation, TupleRef t) {
+  if (state_ != State::kActive) return Status::FailedPrecondition("not active");
+  Relation* rel = mgr_->catalog()->Get(relation);
+  if (rel == nullptr) return Status::NotFound("no relation " + relation);
+  Partition* p = rel->PartitionOf(rel->Resolve(t));
+  if (p == nullptr) return Status::NotFound("tuple not in " + relation);
+  Status s = AcquireOrDie(LockId{relation, p->id()}, LockMode::kExclusive);
+  if (!s.ok()) return s;
+  ops_.push_back(PendingOp{LogOp::kDelete, rel, rel->Resolve(t), {}, 0, Value()});
+  return Status::Ok();
+}
+
+Status Transaction::Update(const std::string& relation, TupleRef t,
+                           size_t field, Value v) {
+  if (state_ != State::kActive) return Status::FailedPrecondition("not active");
+  Relation* rel = mgr_->catalog()->Get(relation);
+  if (rel == nullptr) return Status::NotFound("no relation " + relation);
+  if (field >= rel->schema().field_count()) {
+    return Status::InvalidArgument("no such field");
+  }
+  Partition* p = rel->PartitionOf(rel->Resolve(t));
+  if (p == nullptr) return Status::NotFound("tuple not in " + relation);
+  Status s = AcquireOrDie(LockId{relation, p->id()}, LockMode::kExclusive);
+  if (!s.ok()) return s;
+  ops_.push_back(PendingOp{LogOp::kUpdate, rel, rel->Resolve(t), {}, field,
+                           std::move(v)});
+  return Status::Ok();
+}
+
+Status Transaction::LockForRead(const std::string& relation) {
+  if (state_ != State::kActive) return Status::FailedPrecondition("not active");
+  Relation* rel = mgr_->catalog()->Get(relation);
+  if (rel == nullptr) return Status::NotFound("no relation " + relation);
+  Status s = AcquireOrDie(LockId{relation, LockId::kRelationLock},
+                          LockMode::kShared);
+  if (!s.ok()) return s;
+  for (const auto& p : rel->partitions()) {
+    s = AcquireOrDie(LockId{relation, p->id()}, LockMode::kShared);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status Transaction::Commit() {
+  if (state_ != State::kActive) return Status::FailedPrecondition("not active");
+  StableLogBuffer* log = mgr_->log();
+
+  // Undo information for mid-commit failures only; a clean run never reads
+  // these again (redo-only recovery).
+  struct Applied {
+    LogOp op;
+    Relation* relation;
+    TupleRef ref = nullptr;         // inserted tuple (to delete on rollback)
+    TupleId tid;                    // deleted tuple's address (to restore)
+    std::vector<Value> old_values;  // delete: full row; update: one value
+    size_t field = 0;
+  };
+  std::vector<Applied> applied;
+
+  auto rollback = [&]() {
+    for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+      switch (it->op) {
+        case LogOp::kInsert:
+          it->relation->Delete(it->ref);
+          break;
+        case LogOp::kDelete:
+          it->relation->InsertAt(it->tid, it->old_values);
+          break;
+        case LogOp::kUpdate:
+          it->relation->UpdateField(it->ref, it->field, it->old_values[0]);
+          break;
+      }
+    }
+    log->Abort(id_);
+    state_ = State::kAborted;
+    mgr_->locks()->ReleaseAll(id_);
+  };
+
+  for (PendingOp& op : ops_) {
+    switch (op.op) {
+      case LogOp::kInsert: {
+        // WAL order: record the intent, apply, then patch in the location
+        // and resolved after-image.
+        LogRecord record;
+        record.txn_id = id_;
+        record.op = LogOp::kInsert;
+        record.relation = op.relation->name();
+        const uint64_t lsn = log->Append(std::move(record));
+        TupleRef t = op.relation->Insert(op.values);
+        if (t == nullptr) {
+          rollback();
+          return Status::Aborted("insert failed (unique violation or bad FK)");
+        }
+        TupleImage payload = serialize::EncodeTuple(*op.relation, t);
+        log->Patch(lsn, op.relation->IdOf(t), &payload);
+        applied.push_back({LogOp::kInsert, op.relation, t, {}, {}, 0});
+        break;
+      }
+      case LogOp::kDelete: {
+        TupleRef t = op.relation->Resolve(op.target);
+        Partition* p = op.relation->PartitionOf(t);
+        if (p == nullptr ||
+            p->slot_state(p->SlotOf(t)) != Partition::SlotState::kLive) {
+          rollback();
+          return Status::Aborted("delete target vanished");
+        }
+        const TupleId tid = op.relation->IdOf(t);
+        std::vector<Value> old_values;
+        old_values.reserve(op.relation->schema().field_count());
+        for (size_t i = 0; i < op.relation->schema().field_count(); ++i) {
+          old_values.push_back(tuple::GetValue(t, op.relation->schema(), i));
+        }
+        LogRecord record;
+        record.txn_id = id_;
+        record.op = LogOp::kDelete;
+        record.relation = op.relation->name();
+        record.tid = tid;
+        log->Append(std::move(record));
+        Status s = op.relation->Delete(t);
+        if (!s.ok()) {
+          rollback();
+          return Status::Aborted("delete failed: " + s.message());
+        }
+        applied.push_back(
+            {LogOp::kDelete, op.relation, nullptr, tid, std::move(old_values), 0});
+        break;
+      }
+      case LogOp::kUpdate: {
+        TupleRef t = op.relation->Resolve(op.target);
+        Partition* p = op.relation->PartitionOf(t);
+        if (p == nullptr ||
+            p->slot_state(p->SlotOf(t)) != Partition::SlotState::kLive) {
+          rollback();
+          return Status::Aborted("update target vanished");
+        }
+        Value old_value =
+            tuple::GetValue(t, op.relation->schema(), op.field);
+        LogRecord record;
+        record.txn_id = id_;
+        record.op = LogOp::kUpdate;
+        record.relation = op.relation->name();
+        record.tid = op.relation->IdOf(t);
+        const uint64_t lsn = log->Append(std::move(record));
+        Status s = op.relation->UpdateField(t, op.field, op.field_value);
+        if (!s.ok()) {
+          rollback();
+          return Status::Aborted("update failed: " + s.message());
+        }
+        // The tuple may have moved (heap overflow forwarding); re-resolve
+        // and log the final location + full after-image.
+        TupleRef now = op.relation->Resolve(t);
+        TupleImage payload = serialize::EncodeTuple(*op.relation, now);
+        log->Patch(lsn, op.relation->IdOf(now), &payload);
+        applied.push_back(
+            {LogOp::kUpdate, op.relation, now, {}, {std::move(old_value)},
+             op.field});
+        break;
+      }
+    }
+  }
+
+  log->Commit(id_);
+  state_ = State::kCommitted;
+  mgr_->locks()->ReleaseAll(id_);
+  return Status::Ok();
+}
+
+void Transaction::Abort() {
+  if (state_ != State::kActive) return;
+  mgr_->log()->Abort(id_);  // no records exist pre-commit, but be thorough
+  ops_.clear();
+  state_ = State::kAborted;
+  mgr_->locks()->ReleaseAll(id_);
+}
+
+}  // namespace mmdb

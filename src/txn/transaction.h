@@ -1,0 +1,102 @@
+// Transactions over the MM-DBMS (Section 2.4): deferred-update with
+// redo-only logging.  Writes are buffered in the transaction; at commit,
+// each operation's log record is appended to the stable log buffer *before*
+// the update touches the database (IMS FASTPATH discipline), so an abort
+// merely discards the buffer — no undo pass exists.
+//
+// Locking is at partition granularity through the LockManager.  Inserts
+// take the relation-structure lock (the target partition is chosen at apply
+// time); deletes and updates lock the tuple's partition; readers share-lock
+// the partitions they scan.
+
+#ifndef MMDB_TXN_TRANSACTION_H_
+#define MMDB_TXN_TRANSACTION_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/catalog.h"
+#include "src/txn/lock_manager.h"
+#include "src/txn/log.h"
+
+namespace mmdb {
+
+class Transaction;
+
+class TransactionManager {
+ public:
+  TransactionManager(Catalog* catalog, StableLogBuffer* log,
+                     LockManager* locks)
+      : catalog_(catalog), log_(log), locks_(locks) {}
+
+  std::unique_ptr<Transaction> Begin();
+
+  Catalog* catalog() const { return catalog_; }
+  StableLogBuffer* log() const { return log_; }
+  LockManager* locks() const { return locks_; }
+
+ private:
+  Catalog* catalog_;
+  StableLogBuffer* log_;
+  LockManager* locks_;
+  std::atomic<uint64_t> next_txn_id_{1};
+};
+
+class Transaction {
+ public:
+  enum class State { kActive, kCommitted, kAborted };
+
+  uint64_t id() const { return id_; }
+  State state() const { return state_; }
+
+  /// Buffers an insert.  The write is invisible (even to this transaction)
+  /// until Commit().
+  Status Insert(const std::string& relation, std::vector<Value> values);
+
+  /// Buffers a delete of a live tuple.
+  Status Delete(const std::string& relation, TupleRef t);
+
+  /// Buffers a single-field update.
+  Status Update(const std::string& relation, TupleRef t, size_t field,
+                Value v);
+
+  /// Share-locks every current partition of the relation (plus the
+  /// structure lock) so the caller may run selections against it.
+  Status LockForRead(const std::string& relation);
+
+  /// Logs then applies every buffered write; releases locks.  If an apply
+  /// step fails (e.g. unique violation), already-applied steps are rolled
+  /// back, the log entries are removed, and the transaction aborts.
+  Status Commit();
+
+  /// Discards buffered writes and releases locks.
+  void Abort();
+
+  size_t pending_ops() const { return ops_.size(); }
+
+ private:
+  friend class TransactionManager;
+  Transaction(TransactionManager* mgr, uint64_t id) : mgr_(mgr), id_(id) {}
+
+  struct PendingOp {
+    LogOp op;
+    Relation* relation;
+    TupleRef target = nullptr;      // delete/update
+    std::vector<Value> values;      // insert values
+    size_t field = 0;               // update
+    Value field_value;              // update
+  };
+
+  Status AcquireOrDie(const LockId& lock_id, LockMode mode);
+
+  TransactionManager* mgr_;
+  uint64_t id_;
+  State state_ = State::kActive;
+  std::vector<PendingOp> ops_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_TXN_TRANSACTION_H_

@@ -1,0 +1,53 @@
+#include "src/util/counters.h"
+
+#include <sstream>
+
+namespace mmdb {
+
+OpCounters OpCounters::operator-(const OpCounters& rhs) const {
+  OpCounters out;
+  out.comparisons = comparisons - rhs.comparisons;
+  out.data_moves = data_moves - rhs.data_moves;
+  out.hash_calls = hash_calls - rhs.hash_calls;
+  out.node_visits = node_visits - rhs.node_visits;
+  out.rotations = rotations - rhs.rotations;
+  out.splits = splits - rhs.splits;
+  out.merges = merges - rhs.merges;
+  return out;
+}
+
+OpCounters& OpCounters::operator+=(const OpCounters& rhs) {
+  comparisons += rhs.comparisons;
+  data_moves += rhs.data_moves;
+  hash_calls += rhs.hash_calls;
+  node_visits += rhs.node_visits;
+  rotations += rhs.rotations;
+  splits += rhs.splits;
+  merges += rhs.merges;
+  return *this;
+}
+
+std::string OpCounters::ToString() const {
+  std::ostringstream os;
+  os << "cmp=" << comparisons << " moves=" << data_moves
+     << " hash=" << hash_calls << " nodes=" << node_visits
+     << " rot=" << rotations << " splits=" << splits << " merges=" << merges;
+  return os.str();
+}
+
+namespace counters {
+
+#if defined(MMDB_COUNTERS)
+namespace detail {
+thread_local OpCounters tls_counters;
+}  // namespace detail
+
+OpCounters Snapshot() { return detail::tls_counters; }
+void Reset() { detail::tls_counters = OpCounters(); }
+#else
+OpCounters Snapshot() { return OpCounters(); }
+void Reset() {}
+#endif
+
+}  // namespace counters
+}  // namespace mmdb

@@ -1,0 +1,69 @@
+// Operation counters, mirroring the instrumentation described in Section 3.1
+// of the paper: "recording and examining the number of comparisons, the
+// amount of data movement, the number of hash function calls, and other
+// miscellaneous operations to ensure that the algorithms were doing what they
+// were supposed to".
+//
+// The paper compiled the counters out for the final timing runs; we do the
+// same via the MMDB_COUNTERS preprocessor flag (ON by default for tests,
+// turned into no-ops otherwise).
+
+#ifndef MMDB_UTIL_COUNTERS_H_
+#define MMDB_UTIL_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mmdb {
+
+/// Snapshot of the global operation counters.
+struct OpCounters {
+  uint64_t comparisons = 0;     ///< key comparisons (index + sort + merge)
+  uint64_t data_moves = 0;      ///< items moved/copied inside index nodes
+  uint64_t hash_calls = 0;      ///< hash function evaluations
+  uint64_t node_visits = 0;     ///< index nodes touched during a traversal
+  uint64_t rotations = 0;       ///< tree rebalancing rotations
+  uint64_t splits = 0;          ///< node/bucket splits (hash or tree)
+  uint64_t merges = 0;          ///< node/bucket merges or directory shrinks
+
+  OpCounters operator-(const OpCounters& rhs) const;
+  OpCounters& operator+=(const OpCounters& rhs);
+  bool operator==(const OpCounters& rhs) const = default;
+
+  /// Human-readable one-line rendering, for test diagnostics.
+  std::string ToString() const;
+};
+
+namespace counters {
+
+/// Returns a snapshot of the current thread's counters.
+OpCounters Snapshot();
+
+/// Resets the current thread's counters to zero.
+void Reset();
+
+#if defined(MMDB_COUNTERS)
+namespace detail {
+extern thread_local OpCounters tls_counters;
+}  // namespace detail
+inline void BumpComparisons(uint64_t n = 1) { detail::tls_counters.comparisons += n; }
+inline void BumpDataMoves(uint64_t n = 1) { detail::tls_counters.data_moves += n; }
+inline void BumpHashCalls(uint64_t n = 1) { detail::tls_counters.hash_calls += n; }
+inline void BumpNodeVisits(uint64_t n = 1) { detail::tls_counters.node_visits += n; }
+inline void BumpRotations(uint64_t n = 1) { detail::tls_counters.rotations += n; }
+inline void BumpSplits(uint64_t n = 1) { detail::tls_counters.splits += n; }
+inline void BumpMerges(uint64_t n = 1) { detail::tls_counters.merges += n; }
+#else
+inline void BumpComparisons(uint64_t = 1) {}
+inline void BumpDataMoves(uint64_t = 1) {}
+inline void BumpHashCalls(uint64_t = 1) {}
+inline void BumpNodeVisits(uint64_t = 1) {}
+inline void BumpRotations(uint64_t = 1) {}
+inline void BumpSplits(uint64_t = 1) {}
+inline void BumpMerges(uint64_t = 1) {}
+#endif
+
+}  // namespace counters
+}  // namespace mmdb
+
+#endif  // MMDB_UTIL_COUNTERS_H_

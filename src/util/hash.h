@@ -1,0 +1,48 @@
+// Hash primitives shared by the hash-based index structures and the
+// projection/duplicate-elimination code.
+
+#ifndef MMDB_UTIL_HASH_H_
+#define MMDB_UTIL_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace mmdb {
+
+/// 64-bit finalizer (Murmur3 fmix64).  Good avalanche for integer keys.
+inline uint64_t HashMix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDULL;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// FNV-1a over arbitrary bytes, mixed through the 64-bit finalizer.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return HashMix64(h);
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+inline uint64_t HashDouble(double d) {
+  // Normalize -0.0 to +0.0 so equal values hash equally.
+  if (d == 0.0) d = 0.0;
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return HashMix64(bits);
+}
+
+}  // namespace mmdb
+
+#endif  // MMDB_UTIL_HASH_H_

@@ -1,0 +1,88 @@
+// Hybrid quicksort, as used by the paper's Sort Merge join and Sort Scan
+// duplicate elimination: "quicksort with an insertion sort for subarrays of
+// ten elements or less" (the cutoff of 10 was itself tuned experimentally —
+// footnote 6).  The cutoff is a parameter so the ablation bench can re-run
+// the paper's tuning experiment.
+
+#ifndef MMDB_UTIL_SORT_H_
+#define MMDB_UTIL_SORT_H_
+
+#include <cstddef>
+#include <utility>
+
+#include "src/util/counters.h"
+
+namespace mmdb {
+
+inline constexpr int kDefaultInsertionSortCutoff = 10;
+
+namespace detail {
+
+template <typename T, typename Less>
+void InsertionSort(T* a, size_t n, const Less& less) {
+  for (size_t i = 1; i < n; ++i) {
+    T v = a[i];
+    size_t j = i;
+    while (j > 0 && less(v, a[j - 1])) {
+      a[j] = a[j - 1];
+      counters::BumpDataMoves();
+      --j;
+    }
+    a[j] = v;
+  }
+}
+
+template <typename T, typename Less>
+void QuickSort(T* a, size_t n, const Less& less, int cutoff) {
+  while (n > static_cast<size_t>(cutoff) && n > 3) {
+    // Median-of-three pivot selection (Sedgewick): sorts the three
+    // candidates, leaving sentinels at both ends, then parks the pivot at
+    // a[n-2] so the partition always makes progress.
+    const size_t mid = n / 2;
+    if (less(a[mid], a[0])) std::swap(a[0], a[mid]);
+    if (less(a[n - 1], a[0])) std::swap(a[0], a[n - 1]);
+    if (less(a[n - 1], a[mid])) std::swap(a[mid], a[n - 1]);
+    std::swap(a[mid], a[n - 2]);
+    const T pivot = a[n - 2];
+
+    size_t i = 0, j = n - 2;
+    for (;;) {
+      while (less(a[++i], pivot)) {
+      }
+      while (less(pivot, a[--j])) {
+      }
+      if (i >= j) break;
+      std::swap(a[i], a[j]);
+      counters::BumpDataMoves(2);
+    }
+    std::swap(a[i], a[n - 2]);  // pivot into its final position i
+    counters::BumpDataMoves(2);
+
+    // Recurse on the smaller side, loop on the larger (O(log n) stack).
+    const size_t left_n = i;
+    const size_t right_n = n - i - 1;
+    if (left_n < right_n) {
+      QuickSort(a, left_n, less, cutoff);
+      a += i + 1;
+      n = right_n;
+    } else {
+      QuickSort(a + i + 1, right_n, less, cutoff);
+      n = left_n;
+    }
+  }
+  InsertionSort(a, n, less);
+}
+
+}  // namespace detail
+
+/// Sorts a[0..n) by `less`, quicksort switching to insertion sort below
+/// `cutoff` elements.
+template <typename T, typename Less>
+void HybridSort(T* a, size_t n, const Less& less,
+                int cutoff = kDefaultInsertionSortCutoff) {
+  if (n > 1) detail::QuickSort(a, n, less, cutoff < 1 ? 1 : cutoff);
+}
+
+}  // namespace mmdb
+
+#endif  // MMDB_UTIL_SORT_H_

@@ -1,0 +1,55 @@
+// Lightweight Status type for fallible operations on the public API surface.
+// Internal hot paths (index probes, comparisons) use plain returns instead;
+// Status is reserved for catalog / storage / transaction operations where the
+// error needs to carry a message.
+
+#ifndef MMDB_UTIL_STATUS_H_
+#define MMDB_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace mmdb {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kAborted,
+  kInternal,
+};
+
+/// Result of a fallible operation: a code plus an optional message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+  static Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
+  static Status Aborted(std::string m) { return {StatusCode::kAborted, std::move(m)}; }
+  static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_UTIL_STATUS_H_

@@ -1,0 +1,4 @@
+#include "src/util/timer.h"
+
+// Timer is header-only; this translation unit exists so the util library has
+// a stable archive member for it and so future non-inline helpers have a home.

@@ -1,0 +1,142 @@
+#include "src/workload/generator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/index/array_index.h"
+#include "src/index/key_ops.h"
+
+namespace mmdb {
+
+WorkloadGen::WorkloadGen(uint64_t seed) : rng_(seed) {}
+
+int32_t WorkloadGen::NextUniqueValue() {
+  // Multiplication by an odd constant is a bijection on 2^32, so the stream
+  // never repeats; the constant scrambles the order.
+  return static_cast<int32_t>(unique_counter_++ * 2654435761u);
+}
+
+std::vector<int32_t> WorkloadGen::Apportion(size_t total, size_t uniques,
+                                            double stddev) {
+  assert(uniques >= 1 && uniques <= total);
+  std::vector<int32_t> counts(uniques, 1);
+  size_t extra = total - uniques;
+  if (extra == 0) return counts;
+
+  // The paper's sampling procedure: each extra occurrence draws a value
+  // *position* from a truncated normal.  A small sigma concentrates the
+  // draws on the first few values (the skewed curve of Graph 3); sigma 0.8
+  // spreads them almost uniformly over [0, 1).
+  for (size_t r = 0; r < extra; ++r) {
+    double x = rng_.NextTruncatedNormal(stddev);
+    auto idx = static_cast<size_t>(x * static_cast<double>(uniques));
+    if (idx >= uniques) idx = uniques - 1;
+    counts[idx] += 1;
+  }
+  return counts;
+}
+
+ColumnData WorkloadGen::Generate(const ColumnSpec& spec) {
+  ColumnData out;
+  const size_t n = spec.cardinality;
+  if (n == 0) return out;
+  size_t uniques = static_cast<size_t>(
+      static_cast<double>(n) * (1.0 - spec.duplicate_pct / 100.0) + 0.5);
+  uniques = std::clamp<size_t>(uniques, 1, n);
+
+  out.uniques.reserve(uniques);
+  for (size_t i = 0; i < uniques; ++i) out.uniques.push_back(NextUniqueValue());
+  out.counts = Apportion(n, uniques, spec.stddev);
+
+  out.values.reserve(n);
+  for (size_t i = 0; i < uniques; ++i) {
+    for (int32_t c = 0; c < out.counts[i]; ++c) {
+      out.values.push_back(out.uniques[i]);
+    }
+  }
+  rng_.Shuffle(&out.values);
+  return out;
+}
+
+ColumnData WorkloadGen::GenerateMatching(const ColumnSpec& spec,
+                                         const std::vector<int32_t>& source,
+                                         double match_pct) {
+  ColumnData out;
+  const size_t n = spec.cardinality;
+  if (n == 0) return out;
+  size_t uniques = static_cast<size_t>(
+      static_cast<double>(n) * (1.0 - spec.duplicate_pct / 100.0) + 0.5);
+  uniques = std::clamp<size_t>(uniques, 1, n);
+
+  size_t matching = static_cast<size_t>(uniques * match_pct / 100.0 + 0.5);
+  matching = std::min(matching, std::min(uniques, source.size()));
+
+  // Sample `matching` distinct values from the source without replacement.
+  std::vector<int32_t> pool = source;
+  for (size_t i = 0; i < matching; ++i) {
+    const size_t j = i + rng_.NextBounded(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+    out.uniques.push_back(pool[i]);
+  }
+  // Fresh values for the non-matching remainder.
+  for (size_t i = matching; i < uniques; ++i) {
+    out.uniques.push_back(NextUniqueValue());
+  }
+
+  out.counts = Apportion(n, uniques, spec.stddev);
+  out.values.reserve(n);
+  for (size_t i = 0; i < uniques; ++i) {
+    for (int32_t c = 0; c < out.counts[i]; ++c) {
+      out.values.push_back(out.uniques[i]);
+    }
+  }
+  rng_.Shuffle(&out.values);
+  return out;
+}
+
+std::unique_ptr<Relation> WorkloadGen::BuildRelation(const std::string& name,
+                                                     const ColumnData& column) {
+  Schema schema({{"key", Type::kInt32}, {"seq", Type::kInt32}});
+  auto rel = std::make_unique<Relation>(name, schema);
+  // Attach the array primary index first so inserts stream into it; it is
+  // re-sealed afterwards (bulk bracket) to avoid quadratic insertion.
+  auto ops = std::make_shared<FieldKeyOps>(&rel->schema(), 0);
+  IndexConfig config;
+  config.expected = column.values.size();
+  auto index = std::make_unique<ArrayIndex>(std::move(ops), config);
+  index->set_name(name + ".key_array");
+  index->set_key_fields({0});
+  ArrayIndex* raw = index.get();
+  rel->AttachIndex(std::move(index));
+
+  raw->BeginBulk();
+  int32_t seq = 0;
+  for (int32_t v : column.values) {
+    rel->Insert({Value(v), Value(seq++)});
+  }
+  raw->EndBulk();
+  return rel;
+}
+
+std::vector<double> WorkloadGen::DistributionCurve(const ColumnData& column,
+                                                   int points) {
+  std::vector<int32_t> counts = column.counts;
+  std::sort(counts.begin(), counts.end(), std::greater<int32_t>());
+  double total = 0;
+  for (int32_t c : counts) total += c;
+
+  std::vector<double> curve(points + 1, 0.0);
+  if (counts.empty() || total == 0) return curve;
+  double cum = 0;
+  size_t next = 0;
+  for (int p = 0; p <= points; ++p) {
+    const size_t upto =
+        static_cast<size_t>(counts.size() * (static_cast<double>(p) / points) +
+                            0.5);
+    for (; next < upto; ++next) cum += counts[next];
+    curve[p] = 100.0 * cum / total;
+  }
+  return curve;
+}
+
+}  // namespace mmdb

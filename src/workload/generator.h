@@ -1,0 +1,85 @@
+// Relation generation for the evaluation (Section 3.3.1).  The variable
+// parameters are exactly the paper's:
+//   (1) relation cardinality |R|;
+//   (2) the join-column duplicate percentage and its distribution — a
+//       specified number of unique values, each value's occurrence count
+//       drawn by "a random sampling procedure based on a truncated normal
+//       distribution with a variable standard deviation" (0.1 = skewed,
+//       0.4 = moderately skewed, 0.8 = near-uniform; Graph 3);
+//   (3) the semijoin selectivity — the smaller relation is "built with a
+//       specified number of values from the larger relation", the rest
+//       being fresh values that match nothing.
+//
+// Generated relations have schema (key:int32, seq:int32); `key` is the join
+// column, `seq` a unique sequence number.  Every relation gets an array
+// primary index, matching "an array index was used to scan the relations in
+// our tests".
+
+#ifndef MMDB_WORKLOAD_GENERATOR_H_
+#define MMDB_WORKLOAD_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/storage/relation.h"
+#include "src/util/rng.h"
+
+namespace mmdb {
+
+/// Join-column composition of one relation.
+struct ColumnSpec {
+  size_t cardinality = 0;
+  double duplicate_pct = 0.0;  ///< 0 = all unique, 100 = one value
+  double stddev = 0.8;         ///< truncated-normal sigma for the counts
+};
+
+/// The expanded join column: distinct values plus the per-tuple multiset.
+struct ColumnData {
+  std::vector<int32_t> uniques;  ///< distinct values
+  std::vector<int32_t> counts;   ///< occurrences per unique (parallel)
+  std::vector<int32_t> values;   ///< cardinality values, shuffled
+};
+
+class WorkloadGen {
+ public:
+  explicit WorkloadGen(uint64_t seed = 42);
+
+  /// Fresh relation column: unique values drawn from the generator's
+  /// never-repeating stream, duplicated per the spec.
+  ColumnData Generate(const ColumnSpec& spec);
+
+  /// Column whose values partially come from `source` (another relation's
+  /// distinct values): match_pct percent of this column's unique values are
+  /// sampled from `source`, the rest are fresh and match nothing.
+  /// match_pct = 100 reproduces the 100% semijoin selectivity of Tests 1-5.
+  ColumnData GenerateMatching(const ColumnSpec& spec,
+                              const std::vector<int32_t>& source,
+                              double match_pct);
+
+  /// Materializes a column as a relation (key:int32, seq:int32) with an
+  /// array primary index.
+  static std::unique_ptr<Relation> BuildRelation(const std::string& name,
+                                                 const ColumnData& column);
+
+  /// Graph 3: cumulative tuple percentage as a function of value
+  /// percentage, values ordered by descending occupancy.  Returns
+  /// `points`+1 samples for x = 0%, ..., 100%.
+  static std::vector<double> DistributionCurve(const ColumnData& column,
+                                               int points = 20);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  /// Next never-before-issued pseudo-random distinct value.
+  int32_t NextUniqueValue();
+  /// Occurrence counts for `uniques` values totaling `total` (each >= 1),
+  /// truncated-normal weighted.
+  std::vector<int32_t> Apportion(size_t total, size_t uniques, double stddev);
+
+  Rng rng_;
+  uint32_t unique_counter_ = 1;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_WORKLOAD_GENERATOR_H_

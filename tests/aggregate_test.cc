@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/exec/aggregate.h"
+#include "src/exec/select.h"
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+TempList ListOf(const Relation& rel) {
+  ResultDescriptor desc({&rel});
+  desc.AddColumn(0, uint16_t{0}, "key");
+  desc.AddColumn(0, uint16_t{1}, "seq");
+  TempList list(desc);
+  rel.ForEachTuple([&](TupleRef t) { list.Append1(t); });
+  return list;
+}
+
+TEST(AggregateTest, GlobalCountSumMinMaxAvg) {
+  auto rel = testutil::IntRelation("r", {4, 2, 6});  // seq 0,1,2
+  TempList in = ListOf(*rel);
+  AggregateResult result = HashGroupBy(
+      in, {},
+      {{AggFn::kCount, 0, ""},
+       {AggFn::kSum, 0, ""},
+       {AggFn::kMin, 0, ""},
+       {AggFn::kMax, 0, ""},
+       {AggFn::kAvg, 0, ""}});
+  ASSERT_EQ(result.rows.size(), 1u);
+  const auto& aggs = result.rows[0].aggregates;
+  EXPECT_EQ(aggs[0], Value(int64_t{3}));
+  EXPECT_EQ(aggs[1], Value(int64_t{12}));
+  EXPECT_EQ(aggs[2], Value(2));
+  EXPECT_EQ(aggs[3], Value(6));
+  EXPECT_EQ(aggs[4], Value(4.0));
+  EXPECT_EQ(result.agg_labels[0], "count(*)");
+  EXPECT_EQ(result.agg_labels[1], "sum(key)");
+}
+
+TEST(AggregateTest, GroupByCollapsesKeys) {
+  auto rel = testutil::IntRelation("r", {1, 1, 2, 2, 2, 3});
+  TempList in = ListOf(*rel);
+  AggregateResult result =
+      HashGroupBy(in, {0}, {{AggFn::kCount, 0, ""}, {AggFn::kSum, 1, ""}});
+  ASSERT_EQ(result.rows.size(), 3u);
+  std::map<int32_t, int64_t> counts, seq_sums;
+  for (const AggregateRow& row : result.rows) {
+    counts[row.group[0].AsInt32()] = row.aggregates[0].AsInt64();
+    seq_sums[row.group[0].AsInt32()] = row.aggregates[1].AsInt64();
+  }
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 3);
+  EXPECT_EQ(counts[3], 1);
+  // seq values: key1 -> 0+1, key2 -> 2+3+4, key3 -> 5.
+  EXPECT_EQ(seq_sums[1], 1);
+  EXPECT_EQ(seq_sums[2], 9);
+  EXPECT_EQ(seq_sums[3], 5);
+}
+
+TEST(AggregateTest, GroupCountMatchesDistinctOracle) {
+  Rng rng(5);
+  std::vector<int32_t> keys(2000);
+  for (auto& k : keys) k = static_cast<int32_t>(rng.NextBounded(37));
+  auto rel = testutil::IntRelation("r", keys);
+  TempList in = ListOf(*rel);
+  AggregateResult result = HashGroupBy(in, {0}, {{AggFn::kCount, 0, ""}});
+  std::set<int32_t> distinct(keys.begin(), keys.end());
+  EXPECT_EQ(result.rows.size(), distinct.size());
+  int64_t total = 0;
+  for (const AggregateRow& row : result.rows) {
+    total += row.aggregates[0].AsInt64();
+  }
+  EXPECT_EQ(total, 2000);
+}
+
+TEST(AggregateTest, EmptyInput) {
+  auto rel = testutil::IntRelation("r", {});
+  TempList in = ListOf(*rel);
+  // Global count of nothing is a single zero row.
+  AggregateResult global = HashGroupBy(in, {}, {{AggFn::kCount, 0, ""}});
+  ASSERT_EQ(global.rows.size(), 1u);
+  EXPECT_EQ(global.rows[0].aggregates[0], Value(int64_t{0}));
+  // Grouped aggregation of nothing has no rows.
+  AggregateResult grouped = HashGroupBy(in, {0}, {{AggFn::kCount, 0, ""}});
+  EXPECT_TRUE(grouped.rows.empty());
+}
+
+TEST(AggregateTest, MinMaxOnStrings) {
+  Schema schema({{"word", Type::kString}});
+  Relation rel("w", schema);
+  rel.Insert({Value("pear")});
+  rel.Insert({Value("apple")});
+  rel.Insert({Value("zucchini")});
+  ResultDescriptor desc({&rel});
+  desc.AddColumn(0, uint16_t{0}, "word");
+  TempList in(desc);
+  rel.ForEachTuple([&](TupleRef t) { in.Append1(t); });
+
+  AggregateResult result =
+      HashGroupBy(in, {}, {{AggFn::kMin, 0, ""}, {AggFn::kMax, 0, ""}});
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].aggregates[0], Value("apple"));
+  EXPECT_EQ(result.rows[0].aggregates[1], Value("zucchini"));
+}
+
+TEST(AggregateTest, DoubleSumAndAvg) {
+  Schema schema({{"x", Type::kDouble}});
+  Relation rel("d", schema);
+  rel.Insert({Value(1.5)});
+  rel.Insert({Value(2.5)});
+  ResultDescriptor desc({&rel});
+  desc.AddColumn(0, uint16_t{0}, "x");
+  TempList in(desc);
+  rel.ForEachTuple([&](TupleRef t) { in.Append1(t); });
+  AggregateResult result =
+      HashGroupBy(in, {}, {{AggFn::kSum, 0, ""}, {AggFn::kAvg, 0, ""}});
+  EXPECT_EQ(result.rows[0].aggregates[0], Value(4.0));
+  EXPECT_EQ(result.rows[0].aggregates[1], Value(2.0));
+}
+
+TEST(AggregateTest, RowToStringAndLabels) {
+  auto rel = testutil::IntRelation("r", {1, 1});
+  TempList in = ListOf(*rel);
+  AggregateResult result =
+      HashGroupBy(in, {0}, {{AggFn::kCount, 0, "n"}});
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.agg_labels[0], "n");
+  EXPECT_EQ(result.group_labels[0], "key");
+  EXPECT_EQ(result.RowToString(0), "(1, 2)");
+}
+
+TEST(AggregateTest, GroupByOverJoinResultColumns) {
+  // Aggregate over a two-source temp list: employees per department name.
+  Schema dept_schema({{"name", Type::kString}, {"id", Type::kInt32}});
+  Relation dept("dept", dept_schema);
+  TupleRef toy = dept.Insert({Value("Toy"), Value(1)});
+  TupleRef shoe = dept.Insert({Value("Shoe"), Value(2)});
+  Schema emp_schema({{"age", Type::kInt32}});
+  Relation emp("emp", emp_schema);
+  TupleRef e1 = emp.Insert({Value(30)});
+  TupleRef e2 = emp.Insert({Value(40)});
+  TupleRef e3 = emp.Insert({Value(50)});
+
+  ResultDescriptor desc({&emp, &dept});
+  desc.AddColumn(1, uint16_t{0}, "dept");
+  desc.AddColumn(0, uint16_t{0}, "age");
+  TempList joined(desc);
+  joined.Append2(e1, toy);
+  joined.Append2(e2, toy);
+  joined.Append2(e3, shoe);
+
+  AggregateResult result = HashGroupBy(
+      joined, {0}, {{AggFn::kCount, 0, ""}, {AggFn::kAvg, 1, ""}});
+  ASSERT_EQ(result.rows.size(), 2u);
+  std::map<std::string, double> avg_age;
+  for (const AggregateRow& row : result.rows) {
+    avg_age[row.group[0].AsString()] = row.aggregates[1].AsDouble();
+  }
+  EXPECT_DOUBLE_EQ(avg_age["Toy"], 35.0);
+  EXPECT_DOUBLE_EQ(avg_age["Shoe"], 50.0);
+}
+
+}  // namespace
+}  // namespace mmdb

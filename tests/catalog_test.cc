@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "src/storage/catalog.h"
+
+namespace mmdb {
+namespace {
+
+Schema OneInt() { return Schema({{"k", Type::kInt32}}); }
+
+TEST(CatalogTest, CreateAndGet) {
+  Catalog catalog;
+  Relation* r = catalog.CreateRelation("emp", OneInt());
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(catalog.Get("emp"), r);
+  EXPECT_EQ(catalog.Get("missing"), nullptr);
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST(CatalogTest, NameCollisionRejected) {
+  Catalog catalog;
+  EXPECT_NE(catalog.CreateRelation("r", OneInt()), nullptr);
+  EXPECT_EQ(catalog.CreateRelation("r", OneInt()), nullptr);
+}
+
+TEST(CatalogTest, DropRemoves) {
+  Catalog catalog;
+  catalog.CreateRelation("r", OneInt());
+  EXPECT_TRUE(catalog.Drop("r").ok());
+  EXPECT_EQ(catalog.Get("r"), nullptr);
+  EXPECT_EQ(catalog.Drop("r").code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, DropBlockedByInboundForeignKey) {
+  Catalog catalog;
+  Relation* dept = catalog.CreateRelation("dept", OneInt());
+  Relation* emp = catalog.CreateRelation(
+      "emp", Schema({{"dept", Type::kPointer}}));
+  ASSERT_TRUE(emp->DeclareForeignKey(0, dept, 0).ok());
+  EXPECT_EQ(catalog.Drop("dept").code(), StatusCode::kFailedPrecondition);
+  // Dropping the referencing relation first unblocks the target.
+  EXPECT_TRUE(catalog.Drop("emp").ok());
+  EXPECT_TRUE(catalog.Drop("dept").ok());
+}
+
+TEST(CatalogTest, ListIsSorted) {
+  Catalog catalog;
+  catalog.CreateRelation("zeta", OneInt());
+  catalog.CreateRelation("alpha", OneInt());
+  catalog.CreateRelation("mid", OneInt());
+  EXPECT_EQ(catalog.List(),
+            (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+}  // namespace
+}  // namespace mmdb

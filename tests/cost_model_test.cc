@@ -1,0 +1,166 @@
+// The paper validated its timings by counting comparisons, data movement,
+// and hash-function calls (Section 3.1), and Section 3.3.4 states the cost
+// formulas directly.  These tests pin our implementations to those
+// formulas:
+//
+//   Nested Loops:  |R1| * |R2| comparisons;
+//   Tree Merge:    ~(|R1| + 2*|R2|) comparisons for key joins;
+//   Hash Join:     |R2| build hashes + |R1| probe hashes, fixed-cost probes;
+//   Tree Join:     ~|R1| * log2(|R2|) comparisons;
+//   Sort Merge:    O(n log n) comparisons, dominated by the two sorts.
+//
+// They only run when MMDB_COUNTERS is compiled in (the default).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/exec/join.h"
+#include "src/exec/project.h"
+#include "src/util/counters.h"
+#include "tests/test_util.h"
+
+#if defined(MMDB_COUNTERS)
+
+namespace mmdb {
+namespace {
+
+using testutil::AttachKeyIndex;
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kN = 2000;
+
+  CostModelTest() {
+    outer_ = testutil::IntRelation("outer", testutil::ShuffledKeys(kN, 1));
+    inner_ = testutil::IntRelation("inner", testutil::ShuffledKeys(kN, 2));
+    AttachKeyIndex(outer_.get(), IndexKind::kArray);
+    AttachKeyIndex(inner_.get(), IndexKind::kArray);
+    outer_tree_ = static_cast<const OrderedIndex*>(
+        AttachKeyIndex(outer_.get(), IndexKind::kTTree));
+    inner_tree_ = static_cast<const OrderedIndex*>(
+        AttachKeyIndex(inner_.get(), IndexKind::kTTree));
+    spec_ = JoinSpec{outer_.get(), 0, inner_.get(), 0};
+  }
+
+  std::unique_ptr<Relation> outer_, inner_;
+  const OrderedIndex* outer_tree_;
+  const OrderedIndex* inner_tree_;
+  JoinSpec spec_;
+};
+
+TEST_F(CostModelTest, NestedLoopsIsQuadratic) {
+  counters::Reset();
+  TempList out = NestedLoopsJoin(spec_);
+  EXPECT_EQ(out.size(), kN);  // identical key sets
+  // Exactly one comparison per (outer, inner) pair.
+  EXPECT_EQ(counters::Snapshot().comparisons, kN * kN);
+}
+
+TEST_F(CostModelTest, TreeMergeIsLinear) {
+  counters::Reset();
+  TempList out = TreeMergeJoin(spec_, *outer_tree_, *inner_tree_);
+  EXPECT_EQ(out.size(), kN);
+  // Paper: approximately |R1| + 2*|R2| comparisons for a key join.
+  const uint64_t cmp = counters::Snapshot().comparisons;
+  EXPECT_LE(cmp, 4 * kN);
+  EXPECT_GE(cmp, 2 * kN);
+}
+
+TEST_F(CostModelTest, HashJoinHashesEachTupleOnce) {
+  counters::Reset();
+  TempList out = HashJoin(spec_);
+  EXPECT_EQ(out.size(), kN);
+  // |R2| build hashes + |R1| probe hashes (one per tuple each).
+  EXPECT_EQ(counters::Snapshot().hash_calls, 2 * kN);
+  // Probe comparisons are fixed-cost: ~chain length per probe, far below
+  // any log factor.
+  EXPECT_LE(counters::Snapshot().comparisons, 4 * kN);
+}
+
+TEST_F(CostModelTest, TreeJoinIsLogarithmicPerProbe) {
+  counters::Reset();
+  TempList out = TreeJoin(spec_, *inner_tree_);
+  EXPECT_EQ(out.size(), kN);
+  const double cmp_per_probe =
+      static_cast<double>(counters::Snapshot().comparisons) / kN;
+  const double log_n = std::log2(static_cast<double>(kN));
+  // Binary tree descent + in-node binary search: Theta(log |R2|).
+  EXPECT_GE(cmp_per_probe, 0.5 * log_n);
+  EXPECT_LE(cmp_per_probe, 3.0 * log_n);
+}
+
+TEST_F(CostModelTest, SortMergeIsNLogN) {
+  counters::Reset();
+  TempList out = SortMergeJoin(spec_);
+  EXPECT_EQ(out.size(), kN);
+  const double cmp = static_cast<double>(counters::Snapshot().comparisons);
+  const double n_log_n = 2.0 * kN * std::log2(static_cast<double>(kN));
+  // Two sorts plus a linear merge; quicksort constants are near 1.4.
+  EXPECT_GE(cmp, 0.8 * n_log_n);
+  EXPECT_LE(cmp, 3.0 * n_log_n);
+}
+
+TEST_F(CostModelTest, TreeJoinUnsuccessfulProbesAreCheaper) {
+  // Section 3.3.4: "when the percentage of matching values is low, most of
+  // the searches are unsuccessful and the total cost is much lower".
+  auto strangers = testutil::IntRelation("s", testutil::ShuffledKeys(kN, 3));
+  // Shift keys out of the inner's range so no probe matches.
+  auto miss = testutil::IntRelation("m", [] {
+    std::vector<int32_t> keys;
+    for (size_t i = 0; i < kN; ++i) {
+      keys.push_back(static_cast<int32_t>(i + 10 * kN));
+    }
+    return keys;
+  }());
+  AttachKeyIndex(miss.get(), IndexKind::kArray);
+
+  counters::Reset();
+  TreeJoin(spec_, *inner_tree_);  // 100% matching
+  const uint64_t hit_cmp = counters::Snapshot().comparisons;
+
+  counters::Reset();
+  JoinSpec miss_spec{miss.get(), 0, inner_.get(), 0};
+  TempList empty = TreeJoin(miss_spec, *inner_tree_);
+  const uint64_t miss_cmp = counters::Snapshot().comparisons;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_LT(miss_cmp, hit_cmp);
+}
+
+TEST_F(CostModelTest, ProjectionHashIsLinearSortIsNot) {
+  TempList in(ResultDescriptor({outer_.get()}));
+  in.mutable_descriptor()->AddColumn(0, uint16_t{0});
+  outer_->ForEachTuple([&](TupleRef t) { in.Append1(t); });
+
+  counters::Reset();
+  ProjectHash(in);
+  const uint64_t hash_cmp = counters::Snapshot().comparisons;
+  counters::Reset();
+  ProjectSortScan(in);
+  const uint64_t sort_cmp = counters::Snapshot().comparisons;
+  // Sorting costs a log factor the hash method never pays.
+  EXPECT_GT(sort_cmp, 3 * hash_cmp);
+}
+
+TEST_F(CostModelTest, PrecomputedJoinDoesNoComparisons) {
+  // "Intuitively, it would beat each of the join methods in every case,
+  // because the joining tuples have already been paired."
+  Schema emp_schema({{"dept", Type::kPointer}});
+  Relation emp("emp", emp_schema);
+  ASSERT_TRUE(emp.DeclareForeignKey(0, inner_.get(), 0).ok());
+  auto ops = std::make_shared<SelfPointerKeyOps>();
+  auto index = CreateIndex(IndexKind::kTTree, std::move(ops), IndexConfig());
+  emp.AttachIndex(std::move(index));
+  for (int32_t k = 0; k < 100; ++k) emp.Insert({Value(k)});
+
+  counters::Reset();
+  TempList out = PrecomputedJoin(emp, 0);
+  EXPECT_EQ(out.size(), 100u);
+  EXPECT_EQ(counters::Snapshot().comparisons, 0u);
+  EXPECT_EQ(counters::Snapshot().hash_calls, 0u);
+}
+
+}  // namespace
+}  // namespace mmdb
+
+#endif  // MMDB_COUNTERS

@@ -1,0 +1,197 @@
+// Database facade: DDL, DML, durability cycle, crash simulation.
+
+#include <gtest/gtest.h>
+
+#include "src/core/database.h"
+#include "src/core/query.h"
+#include "src/storage/tuple.h"
+
+namespace mmdb {
+namespace {
+
+TEST(DatabaseTest, CreateTableAddsDefaultPrimaryIndex) {
+  Database db;
+  Relation* rel = db.CreateTable("t", {{"id", Type::kInt32}});
+  ASSERT_NE(rel, nullptr);
+  ASSERT_NE(rel->primary_index(), nullptr);
+  EXPECT_EQ(rel->primary_index()->kind(), IndexKind::kTTree);
+  EXPECT_EQ(db.CreateTable("t", {{"id", Type::kInt32}}), nullptr);  // dup
+}
+
+TEST(DatabaseTest, CreateIndexVariants) {
+  Database db;
+  db.CreateTable("t", {{"a", Type::kInt32}, {"b", Type::kInt32}});
+  EXPECT_NE(db.CreateIndex("t", "b", IndexKind::kModifiedLinearHash), nullptr);
+  EXPECT_EQ(db.CreateIndex("t", "zz", IndexKind::kTTree), nullptr);
+  EXPECT_EQ(db.CreateIndex("nope", "a", IndexKind::kTTree), nullptr);
+  // Composite ordered index OK; composite hash rejected.
+  EXPECT_NE(db.CreateCompositeIndex("t", {"a", "b"}, IndexKind::kTTree),
+            nullptr);
+  EXPECT_EQ(db.CreateCompositeIndex("t", {"a", "b"},
+                                    IndexKind::kModifiedLinearHash),
+            nullptr);
+}
+
+TEST(DatabaseTest, InsertDeleteUpdate) {
+  Database db;
+  db.CreateTable("t", {{"id", Type::kInt32}, {"v", Type::kInt32}});
+  TupleRef t = db.Insert("t", {Value(1), Value(10)});
+  ASSERT_NE(t, nullptr);
+  ASSERT_TRUE(db.Update("t", t, "v", Value(20)).ok());
+  EXPECT_EQ(tuple::GetInt32(t, db.GetTable("t")->schema().offset(1)), 20);
+  ASSERT_TRUE(db.Delete("t", t).ok());
+  EXPECT_EQ(db.GetTable("t")->cardinality(), 0u);
+  EXPECT_EQ(db.Insert("missing", {Value(1)}), nullptr);
+  EXPECT_FALSE(db.Update("t", t, "zz", Value(1)).ok());
+}
+
+TEST(DatabaseTest, CompositeIndexOrdersLexicographically) {
+  Database db;
+  db.CreateTable("t", {{"a", Type::kInt32}, {"b", Type::kInt32}});
+  auto* index = static_cast<OrderedIndex*>(
+      db.CreateCompositeIndex("t", {"a", "b"}, IndexKind::kTTree));
+  ASSERT_NE(index, nullptr);
+  db.Insert("t", {Value(1), Value(9)});
+  db.Insert("t", {Value(1), Value(2)});
+  db.Insert("t", {Value(0), Value(5)});
+  std::vector<std::pair<int32_t, int32_t>> seen;
+  const Schema& s = db.GetTable("t")->schema();
+  index->ScanAll([&](TupleRef t) {
+    seen.emplace_back(tuple::GetInt32(t, s.offset(0)),
+                      tuple::GetInt32(t, s.offset(1)));
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<std::pair<int32_t, int32_t>>{
+                      {0, 5}, {1, 2}, {1, 9}}));
+}
+
+TEST(DatabaseTest, TransactionsThroughFacade) {
+  Database db;
+  db.CreateTable("t", {{"id", Type::kInt32}});
+  auto txn = db.Begin();
+  ASSERT_TRUE(txn->Insert("t", {Value(1)}).ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(db.GetTable("t")->cardinality(), 1u);
+  EXPECT_EQ(db.RunLogDevice(), 1u);  // record reaches the disk copy
+  EXPECT_NE(db.disk_image().ReadPartition("t", 0), nullptr);
+}
+
+TEST(DatabaseTest, CrashRecoveryRoundTrip) {
+  Database db;
+  db.CreateTable("dept", {{"name", Type::kString}, {"id", Type::kInt32}});
+  db.CreateTable("emp", {{"name", Type::kString},
+                         {"age", Type::kInt32},
+                         {"dept_id", Type::kPointer}});
+  db.CreateIndex("emp", "age", IndexKind::kTTree);
+  ASSERT_TRUE(db.DeclareForeignKey("emp", "dept_id", "dept", "id").ok());
+
+  db.Insert("dept", {Value("Toy"), Value(459)});
+  db.Insert("dept", {Value("Shoe"), Value(409)});
+  db.Insert("emp", {Value("Al"), Value(67), Value(409)});
+  db.Checkpoint();
+
+  // Post-checkpoint transactional work, pumped but not propagated.
+  auto txn = db.Begin();
+  ASSERT_TRUE(txn->Insert("emp", {Value("Bo"), Value(30), Value(459)}).ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  db.log_device().Pump();
+
+  RecoveryManager::Progress progress;
+  ASSERT_TRUE(db.SimulateCrashAndRecover({"emp"}, &progress).ok());
+  EXPECT_EQ(progress.tuples_loaded, 4u);
+  EXPECT_EQ(progress.log_records_merged, 1u);
+  EXPECT_EQ(progress.pointers_resolved, 2u);
+
+  // Everything is back, including the FK pointers and secondary index.
+  QueryResult r = db.Query("emp")
+                      .Where("age", CompareOp::kGt, 50)
+                      .Select({"emp.name", "emp.dept_id.name"})
+                      .Run();
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows.GetValue(0, 0), Value("Al"));
+  EXPECT_EQ(r.rows.GetValue(0, 1), Value("Shoe"));
+  QueryResult r2 = db.Query("emp")
+                       .Where("age", CompareOp::kEq, 30)
+                       .Select({"emp.dept_id.name"})
+                       .Run();
+  ASSERT_EQ(r2.rows.size(), 1u);
+  EXPECT_EQ(r2.rows.GetValue(0, 0), Value("Toy"));
+}
+
+TEST(DatabaseTest, AbortedWorkDoesNotSurviveCrash) {
+  Database db;
+  db.CreateTable("t", {{"id", Type::kInt32}});
+  db.Insert("t", {Value(1)});
+  db.Checkpoint();
+  auto txn = db.Begin();
+  ASSERT_TRUE(txn->Insert("t", {Value(2)}).ok());
+  txn->Abort();
+  db.log_device().Pump();
+  ASSERT_TRUE(db.SimulateCrashAndRecover().ok());
+  EXPECT_EQ(db.GetTable("t")->cardinality(), 1u);
+  EXPECT_EQ(db.GetTable("t")->primary_index()->Find(Value(2)), nullptr);
+}
+
+TEST(DatabaseTest, DropTableForgetsDdl) {
+  Database db;
+  db.CreateTable("t", {{"id", Type::kInt32}});
+  db.Insert("t", {Value(1)});
+  db.Checkpoint();
+  ASSERT_TRUE(db.DropTable("t").ok());
+  EXPECT_FALSE(db.DropTable("t").ok());
+  ASSERT_TRUE(db.SimulateCrashAndRecover().ok());
+  EXPECT_EQ(db.GetTable("t"), nullptr);  // dropped tables stay dropped
+}
+
+TEST(DatabaseTest, SnapshotRoundTripAcrossDatabases) {
+  const std::string path = ::testing::TempDir() + "/mmdb_snapshot";
+  {
+    Database db;
+    db.CreateTable("dept", {{"name", Type::kString}, {"id", Type::kInt32}});
+    db.CreateTable("emp", {{"name", Type::kString},
+                           {"age", Type::kInt32},
+                           {"dept_id", Type::kPointer}});
+    db.CreateIndex("emp", "age", IndexKind::kTTree);
+    ASSERT_TRUE(db.DeclareForeignKey("emp", "dept_id", "dept", "id").ok());
+    db.Insert("dept", {Value("Toy"), Value(459)});
+    db.Insert("emp", {Value("Dave"), Value(24), Value(459)});
+    ASSERT_TRUE(db.SaveSnapshot(path).ok());
+  }
+  // A brand-new Database restores schema, data, and foreign-key pointers.
+  Database restored;
+  ASSERT_TRUE(restored.LoadSnapshot(path).ok());
+  ASSERT_NE(restored.GetTable("emp"), nullptr);
+  EXPECT_EQ(restored.GetTable("emp")->cardinality(), 1u);
+  QueryResult r = restored.Query("emp")
+                      .Where("age", CompareOp::kEq, 24)
+                      .Select({"emp.name", "emp.dept_id.name"})
+                      .Run();
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows.GetValue(0, 0), Value("Dave"));
+  EXPECT_EQ(r.rows.GetValue(0, 1), Value("Toy"));
+  // And the restored database is itself crash-recoverable.
+  ASSERT_TRUE(restored.SimulateCrashAndRecover().ok());
+  EXPECT_EQ(restored.GetTable("emp")->cardinality(), 1u);
+}
+
+TEST(DatabaseTest, SnapshotErrors) {
+  Database nonempty;
+  nonempty.CreateTable("t", {{"id", Type::kInt32}});
+  EXPECT_EQ(nonempty.LoadSnapshot("/nonexistent").code(),
+            StatusCode::kFailedPrecondition);
+  Database empty;
+  EXPECT_EQ(empty.LoadSnapshot("/nonexistent/mmdb").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, ForeignKeyValidationThroughFacade) {
+  Database db;
+  db.CreateTable("a", {{"id", Type::kInt32}});
+  db.CreateTable("b", {{"fk", Type::kPointer}});
+  EXPECT_FALSE(db.DeclareForeignKey("b", "fk", "missing", "id").ok());
+  EXPECT_FALSE(db.DeclareForeignKey("b", "zz", "a", "id").ok());
+  EXPECT_TRUE(db.DeclareForeignKey("b", "fk", "a", "id").ok());
+}
+
+}  // namespace
+}  // namespace mmdb

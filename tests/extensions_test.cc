@@ -1,0 +1,277 @@
+// Tests for the paper's secondary machinery: non-equijoins via ordered
+// indices (Section 3.3.5), indices on temporary lists and temp-list joins
+// (Sections 2.1/2.3), and the active (background) log device (Figure 2).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "src/core/database.h"
+#include "src/core/planner.h"
+#include "src/core/query.h"
+#include "src/exec/join.h"
+#include "src/exec/select.h"
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+using testutil::AttachKeyIndex;
+
+std::vector<std::pair<int32_t, int32_t>> Pairs(const TempList& list,
+                                               const Relation& outer,
+                                               const Relation& inner) {
+  std::vector<std::pair<int32_t, int32_t>> out;
+  for (size_t r = 0; r < list.size(); ++r) {
+    out.emplace_back(testutil::KeyOf(list.At(r, 0), outer),
+                     testutil::KeyOf(list.At(r, 1), inner));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---- Inequality joins -------------------------------------------------------
+
+class InequalityJoinTest : public ::testing::Test {
+ protected:
+  InequalityJoinTest() {
+    outer_ = testutil::IntRelation("outer", {1, 5, 9});
+    inner_ = testutil::IntRelation("inner", {2, 5, 7});
+    AttachKeyIndex(outer_.get(), IndexKind::kArray);
+    tree_ = static_cast<const OrderedIndex*>(
+        AttachKeyIndex(inner_.get(), IndexKind::kTTree));
+    spec_ = JoinSpec{outer_.get(), 0, inner_.get(), 0};
+  }
+
+  std::vector<std::pair<int32_t, int32_t>> Oracle(CompareOp op) {
+    std::vector<std::pair<int32_t, int32_t>> out;
+    for (int32_t a : {1, 5, 9}) {
+      for (int32_t b : {2, 5, 7}) {
+        const bool keep = (op == CompareOp::kLt && a < b) ||
+                          (op == CompareOp::kLe && a <= b) ||
+                          (op == CompareOp::kGt && a > b) ||
+                          (op == CompareOp::kGe && a >= b);
+        if (keep) out.emplace_back(a, b);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::unique_ptr<Relation> outer_, inner_;
+  const OrderedIndex* tree_;
+  JoinSpec spec_;
+};
+
+TEST_F(InequalityJoinTest, AllFourOperators) {
+  for (CompareOp op :
+       {CompareOp::kLt, CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    TempList out = TreeInequalityJoin(spec_, op, *tree_);
+    EXPECT_EQ(Pairs(out, *outer_, *inner_), Oracle(op))
+        << CompareOpName(op);
+  }
+}
+
+TEST_F(InequalityJoinTest, LargeRandomAgainstOracle) {
+  Rng rng(55);
+  std::vector<int32_t> ok(120), ik(150);
+  for (auto& k : ok) k = static_cast<int32_t>(rng.NextBounded(60));
+  for (auto& k : ik) k = static_cast<int32_t>(rng.NextBounded(60));
+  auto outer = testutil::IntRelation("o", ok);
+  auto inner = testutil::IntRelation("i", ik);
+  AttachKeyIndex(outer.get(), IndexKind::kArray);
+  auto* tree = static_cast<const OrderedIndex*>(
+      AttachKeyIndex(inner.get(), IndexKind::kTTree));
+  JoinSpec spec{outer.get(), 0, inner.get(), 0};
+
+  size_t expected_lt = 0;
+  for (int32_t a : ok) {
+    for (int32_t b : ik) {
+      if (a < b) ++expected_lt;
+    }
+  }
+  EXPECT_EQ(TreeInequalityJoin(spec, CompareOp::kLt, *tree).size(),
+            expected_lt);
+}
+
+TEST_F(InequalityJoinTest, PlannerUsesExistingIndexOrBuildsArray) {
+  bool used_existing = false;
+  TempList via_index = Planner::InequalityJoin(spec_, CompareOp::kGe,
+                                               &used_existing);
+  EXPECT_TRUE(used_existing);
+  EXPECT_EQ(Pairs(via_index, *outer_, *inner_), Oracle(CompareOp::kGe));
+
+  // Join against the *seq* field (no ordered index): array is built.
+  auto no_index = testutil::IntRelation("n", {2, 5, 7});
+  AttachKeyIndex(no_index.get(), IndexKind::kChainedBucketHash);
+  JoinSpec spec2{outer_.get(), 0, no_index.get(), 0};
+  TempList via_build =
+      Planner::InequalityJoin(spec2, CompareOp::kGe, &used_existing);
+  EXPECT_FALSE(used_existing);
+  EXPECT_EQ(Pairs(via_build, *outer_, *no_index), Oracle(CompareOp::kGe));
+}
+
+TEST_F(InequalityJoinTest, EmptySides) {
+  auto empty = testutil::IntRelation("e", {});
+  AttachKeyIndex(empty.get(), IndexKind::kArray);
+  JoinSpec spec{empty.get(), 0, inner_.get(), 0};
+  EXPECT_EQ(TreeInequalityJoin(spec, CompareOp::kLt, *tree_).size(), 0u);
+}
+
+// ---- Temp-list joins and indices --------------------------------------------
+
+TEST(TempListJoinTest, SelectionThenJoinMatchesFullJoinFiltered) {
+  auto outer = testutil::IntRelation("outer", {1, 2, 3, 4, 5, 6});
+  auto inner = testutil::IntRelation("inner", {2, 4, 6, 8});
+  AttachKeyIndex(outer.get(), IndexKind::kTTree);
+  AttachKeyIndex(inner.get(), IndexKind::kTTree);
+
+  Predicate p;
+  p.Add(0, CompareOp::kLe, Value(4));
+  TempList selected = Select(*outer, p);
+  ASSERT_EQ(selected.size(), 4u);
+
+  TempList joined = TempListJoin(selected, 0, *inner, 0);
+  EXPECT_EQ(Pairs(joined, *outer, *inner),
+            (std::vector<std::pair<int32_t, int32_t>>{{2, 2}, {4, 4}}));
+}
+
+TEST(TempListJoinTest, ProbesProvidedIndex) {
+  auto outer = testutil::IntRelation("outer", {7, 8});
+  auto inner = testutil::IntRelation("inner", {8, 9});
+  AttachKeyIndex(outer.get(), IndexKind::kArray);
+  TupleIndex* hash = AttachKeyIndex(inner.get(), IndexKind::kChainedBucketHash);
+
+  TempList all = Select(*outer, Predicate());
+  TempList joined = TempListJoin(all, 0, *inner, 0, hash);
+  EXPECT_EQ(joined.size(), 1u);
+}
+
+TEST(TempListIndexTest, OrderedIndexOverSelectionResult) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(100));
+  AttachKeyIndex(rel.get(), IndexKind::kArray);
+  Predicate p;
+  p.Add(0, CompareOp::kLt, Value(50));
+  TempList selected = Select(*rel, p);
+  selected.mutable_descriptor()->AddColumn(0, uint16_t{0});
+
+  auto index = BuildTempListIndex(selected, 0, IndexKind::kTTree);
+  EXPECT_EQ(index->size(), 50u);
+  EXPECT_NE(index->Find(Value(10)), nullptr);
+  EXPECT_EQ(index->Find(Value(60)), nullptr);  // filtered out
+  // In-order scan over the temp list's tuples.
+  std::vector<int32_t> keys =
+      testutil::CollectKeys(*index, *rel);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(TempListIndexTest, DuplicateRowsIndexOnce) {
+  auto rel = testutil::IntRelation("r", {5});
+  ResultDescriptor desc({rel.get()});
+  desc.AddColumn(0, uint16_t{0});
+  TempList list(desc);
+  TupleRef t = nullptr;
+  rel->ForEachTuple([&](TupleRef u) { t = u; });
+  list.Append1(t);
+  list.Append1(t);  // same tuple twice
+  auto index = BuildTempListIndex(list, 0, IndexKind::kChainedBucketHash);
+  EXPECT_EQ(index->size(), 1u);
+}
+
+TEST(TempListIndexTest, IndexThroughForeignKeyColumn) {
+  // Index a temp list on a column reached through an FK hop.
+  Schema dept_schema({{"id", Type::kInt32}});
+  Relation dept("dept", dept_schema);
+  TupleRef d1 = dept.Insert({Value(100)});
+  TupleRef d2 = dept.Insert({Value(200)});
+  ASSERT_NE(d1, nullptr);
+  ASSERT_NE(d2, nullptr);
+  Schema emp_schema({{"dept", Type::kPointer}});
+  Relation emp("emp", emp_schema);
+  ASSERT_TRUE(emp.DeclareForeignKey(0, &dept, 0).ok());
+  TupleRef e1 = emp.Insert({Value(d1)});
+  TupleRef e2 = emp.Insert({Value(d2)});
+
+  ResultDescriptor desc({&emp});
+  ASSERT_TRUE(desc.AddColumn(0, std::vector<uint16_t>{0, 0}));  // dept.id
+  TempList list(desc);
+  list.Append1(e1);
+  list.Append1(e2);
+  auto index = BuildTempListIndex(list, 0, IndexKind::kTTree);
+  EXPECT_EQ(index->size(), 2u);
+  EXPECT_EQ(index->Find(Value(100)), d1);  // entries point at dept tuples
+}
+
+// ---- Query builder with selection push-down ----------------------------------
+
+TEST(QueryPushdownTest, SelectionRunsBeforeJoin) {
+  Database db;
+  db.CreateTable("a", {{"k", Type::kInt32}, {"v", Type::kInt32}});
+  db.CreateTable("b", {{"k", Type::kInt32}});
+  for (int i = 0; i < 20; ++i) {
+    db.Insert("a", {Value(i), Value(i * 10)});
+    db.Insert("b", {Value(i * 2)});
+  }
+  QueryResult r = db.Query("a")
+                      .Where("k", CompareOp::kLt, 10)
+                      .JoinWith("b", "k", "k")
+                      .Select({"a.k", "b.k"})
+                      .Run();
+  // a.k in 0..9 joined to even b.k: 0,2,4,6,8.
+  EXPECT_EQ(r.rows.size(), 5u);
+  EXPECT_NE(r.plan.find("select(a)"), std::string::npos) << r.plan;
+  EXPECT_NE(r.plan.find("join(b)"), std::string::npos) << r.plan;
+}
+
+// ---- Background log device ----------------------------------------------------
+
+TEST(BackgroundLogDeviceTest, DrainsCommittedWorkWhileRunning) {
+  Database db;
+  db.CreateTable("t", {{"id", Type::kInt32}});
+  db.log_device().StartBackground(std::chrono::milliseconds(1));
+  EXPECT_TRUE(db.log_device().background_running());
+
+  for (int i = 0; i < 50; ++i) {
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn->Insert("t", {Value(i)}).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  db.log_device().StopBackground();
+  EXPECT_FALSE(db.log_device().background_running());
+  // Everything committed reached the disk copy.
+  EXPECT_EQ(db.log_buffer().committed_size(), 0u);
+  EXPECT_EQ(db.log_device().accumulated(), 0u);
+  size_t disk_tuples = 0;
+  for (uint32_t pid : db.disk_image().PartitionsOf("t")) {
+    disk_tuples += db.disk_image().ReadPartition("t", pid)->size();
+  }
+  EXPECT_EQ(disk_tuples, 50u);
+}
+
+TEST(BackgroundLogDeviceTest, StartStopIdempotent) {
+  StableLogBuffer buffer;
+  DiskImage disk;
+  LogDevice device(&buffer, &disk);
+  device.StartBackground(std::chrono::milliseconds(1));
+  device.StartBackground(std::chrono::milliseconds(1));  // no-op
+  device.StopBackground();
+  device.StopBackground();  // no-op
+  EXPECT_FALSE(device.background_running());
+}
+
+TEST(BackgroundLogDeviceTest, RecoveryAfterBackgroundPropagation) {
+  Database db;
+  db.CreateTable("t", {{"id", Type::kInt32}});
+  db.Checkpoint();
+  db.log_device().StartBackground(std::chrono::milliseconds(1));
+  auto txn = db.Begin();
+  ASSERT_TRUE(txn->Insert("t", {Value(42)}).ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  db.log_device().StopBackground();
+  ASSERT_TRUE(db.SimulateCrashAndRecover().ok());
+  EXPECT_NE(db.GetTable("t")->primary_index()->Find(Value(42)), nullptr);
+}
+
+}  // namespace
+}  // namespace mmdb

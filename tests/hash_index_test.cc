@@ -1,0 +1,217 @@
+// Structure-specific behavior of the four hash-based indices.
+
+#include <gtest/gtest.h>
+
+#include "src/index/chained_hash.h"
+#include "src/index/extendible_hash.h"
+#include "src/index/linear_hash.h"
+#include "src/index/modified_linear_hash.h"
+#include "src/util/counters.h"
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+std::shared_ptr<const KeyOps> OpsFor(Relation* rel) {
+  return std::make_shared<FieldKeyOps>(&rel->schema(), 0);
+}
+
+// ---- Chained Bucket Hashing ------------------------------------------------
+
+TEST(ChainedBucketHashTest, StaticTableSizedAtConstruction) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(100));
+  IndexConfig config;
+  config.expected = 100;
+  ChainedBucketHash index(OpsFor(rel.get()), config);
+  EXPECT_EQ(index.table_size(), 128u);  // next pow2
+  rel->ForEachTuple([&](TupleRef t) { index.Insert(t); });
+  EXPECT_EQ(index.table_size(), 128u);  // never resizes: static structure
+}
+
+TEST(ChainedBucketHashTest, ChainsLengthenWhenOverfilled) {
+  // The "static" downside: 10x the expected elements => ~10-long chains.
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(1280));
+  IndexConfig config;
+  config.expected = 128;
+  ChainedBucketHash index(OpsFor(rel.get()), config);
+  rel->ForEachTuple([&](TupleRef t) { index.Insert(t); });
+  EXPECT_NEAR(index.Stats().avg_chain_length, 10.0, 0.01);
+}
+
+TEST(ChainedBucketHashTest, StatsReport) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(256));
+  IndexConfig config;
+  config.expected = 256;
+  ChainedBucketHash index(OpsFor(rel.get()), config);
+  rel->ForEachTuple([&](TupleRef t) { index.Insert(t); });
+  auto stats = index.Stats();
+  EXPECT_EQ(stats.buckets, 256u);
+  EXPECT_EQ(stats.overflow_nodes, 256u);
+  EXPECT_DOUBLE_EQ(stats.avg_chain_length, 1.0);
+}
+
+// ---- Extendible Hashing -----------------------------------------------------
+
+TEST(ExtendibleHashTest, DirectoryDoublesUnderLoad) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(2000));
+  IndexConfig config;
+  config.node_size = 4;
+  ExtendibleHash index(OpsFor(rel.get()), config);
+  EXPECT_EQ(index.global_depth(), 0);
+  rel->ForEachTuple([&](TupleRef t) { ASSERT_TRUE(index.Insert(t)); });
+  // 2000 / 4-per-bucket needs >= 500 buckets -> directory of >= 512.
+  EXPECT_GE(index.global_depth(), 9);
+  EXPECT_GE(index.bucket_count(), 400u);
+}
+
+TEST(ExtendibleHashTest, DirectoryShrinksAfterMassDelete) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(2000));
+  IndexConfig config;
+  config.node_size = 4;
+  ExtendibleHash index(OpsFor(rel.get()), config);
+  std::vector<TupleRef> tuples;
+  rel->ForEachTuple([&](TupleRef t) {
+    tuples.push_back(t);
+    index.Insert(t);
+  });
+  const int peak_depth = index.global_depth();
+  for (TupleRef t : tuples) ASSERT_TRUE(index.Erase(t));
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_LT(index.global_depth(), peak_depth);
+  EXPECT_EQ(index.bucket_count(), 1u);
+}
+
+TEST(ExtendibleHashTest, SmallNodesInflateStorage) {
+  // The paper's storage complaint: node size 2 makes the directory double
+  // repeatedly, so bytes-per-element is far worse than at node size 16.
+  auto factor = [&](int node_size) {
+    auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(4000));
+    IndexConfig config;
+    config.node_size = node_size;
+    ExtendibleHash index(OpsFor(rel.get()), config);
+    rel->ForEachTuple([&](TupleRef t) { index.Insert(t); });
+    return static_cast<double>(index.StorageBytes()) /
+           (4000.0 * sizeof(TupleRef));
+  };
+  EXPECT_GT(factor(2), factor(16));
+}
+
+// ---- Linear Hashing ---------------------------------------------------------
+
+TEST(LinearHashTest, UtilizationHeldInsideBand) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(5000));
+  IndexConfig config;
+  config.node_size = 8;
+  LinearHash index(OpsFor(rel.get()), config);
+  rel->ForEachTuple([&](TupleRef t) { ASSERT_TRUE(index.Insert(t)); });
+  EXPECT_LE(index.Utilization(), 0.85);
+  EXPECT_GE(index.Utilization(), 0.5);
+  EXPECT_GT(index.bucket_count(), 4u);
+}
+
+TEST(LinearHashTest, ContractsOnDeletes) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(5000));
+  IndexConfig config;
+  config.node_size = 8;
+  LinearHash index(OpsFor(rel.get()), config);
+  std::vector<TupleRef> tuples;
+  rel->ForEachTuple([&](TupleRef t) {
+    tuples.push_back(t);
+    index.Insert(t);
+  });
+  const size_t peak = index.bucket_count();
+  for (size_t i = 0; i < 4500; ++i) ASSERT_TRUE(index.Erase(tuples[i]));
+  EXPECT_LT(index.bucket_count(), peak);
+  // Remaining elements still findable after all that churn.
+  for (size_t i = 4500; i < tuples.size(); ++i) {
+    EXPECT_EQ(index.Find(Value(testutil::KeyOf(tuples[i], *rel))), tuples[i]);
+  }
+}
+
+TEST(LinearHashTest, SteadyStateChurnTriggersReorganization) {
+  // The paper's criticism: Linear Hashing reorganizes even when the element
+  // count is static.  A long insert/delete stream at constant size must
+  // keep splitting/merging.
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(2000));
+  IndexConfig config;
+  config.node_size = 4;
+  LinearHash index(OpsFor(rel.get()), config);
+  std::vector<TupleRef> tuples;
+  rel->ForEachTuple([&](TupleRef t) { tuples.push_back(t); });
+  for (size_t i = 0; i < 1000; ++i) index.Insert(tuples[i]);
+  counters::Reset();
+  Rng rng(77);
+  for (int i = 0; i < 4000; ++i) {
+    TupleRef t = tuples[rng.NextBounded(1000)];
+    if (!index.Erase(t)) index.Insert(t);
+  }
+#if defined(MMDB_COUNTERS)
+  auto snap = counters::Snapshot();
+  EXPECT_GT(snap.splits + snap.merges, 0u);
+#endif
+}
+
+// ---- Modified Linear Hashing ------------------------------------------------
+
+TEST(ModifiedLinearHashTest, AverageChainLengthControlled) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(5000));
+  IndexConfig config;
+  config.node_size = 3;  // target average chain length
+  ModifiedLinearHash index(OpsFor(rel.get()), config);
+  rel->ForEachTuple([&](TupleRef t) { ASSERT_TRUE(index.Insert(t)); });
+  EXPECT_LE(index.AvgChainLength(), 3.01);
+  EXPECT_GT(index.AvgChainLength(), 0.5);
+}
+
+TEST(ModifiedLinearHashTest, StaticPopulationNeverReorganizes) {
+  // The design point vs Linear Hashing: with constant cardinality, a pure
+  // search workload and balanced insert/delete churn cause no splits.
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(1000));
+  IndexConfig config;
+  config.node_size = 4;
+  ModifiedLinearHash index(OpsFor(rel.get()), config);
+  rel->ForEachTuple([&](TupleRef t) { index.Insert(t); });
+  counters::Reset();
+  for (int32_t k = 0; k < 1000; ++k) {
+    EXPECT_NE(index.Find(Value(k)), nullptr);
+  }
+#if defined(MMDB_COUNTERS)
+  auto snap = counters::Snapshot();
+  EXPECT_EQ(snap.splits, 0u);
+  EXPECT_EQ(snap.merges, 0u);
+#endif
+}
+
+TEST(ModifiedLinearHashTest, DirectoryShrinksOnMassDelete) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(4000));
+  IndexConfig config;
+  config.node_size = 2;
+  ModifiedLinearHash index(OpsFor(rel.get()), config);
+  std::vector<TupleRef> tuples;
+  rel->ForEachTuple([&](TupleRef t) {
+    tuples.push_back(t);
+    index.Insert(t);
+  });
+  const size_t peak = index.bucket_count();
+  for (size_t i = 0; i < 3800; ++i) ASSERT_TRUE(index.Erase(tuples[i]));
+  EXPECT_LT(index.bucket_count(), peak);
+  for (size_t i = 3800; i < tuples.size(); ++i) {
+    EXPECT_EQ(index.Find(Value(testutil::KeyOf(tuples[i], *rel))), tuples[i]);
+  }
+}
+
+TEST(ModifiedLinearHashTest, SingleItemNodesStorageProfile) {
+  // Single-item nodes: ~2 pointer-widths per element plus the directory.
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(2000));
+  IndexConfig config;
+  config.node_size = 2;
+  ModifiedLinearHash index(OpsFor(rel.get()), config);
+  rel->ForEachTuple([&](TupleRef t) { index.Insert(t); });
+  const double factor = static_cast<double>(index.StorageBytes()) /
+                        (2000.0 * sizeof(TupleRef));
+  EXPECT_GE(factor, 2.0);
+  EXPECT_LE(factor, 3.5);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,194 @@
+// Behavior common to all eight index structures of the Section 3.2 study,
+// run as a parameterized suite over (kind, node size).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+struct Param {
+  IndexKind kind;
+  int node_size;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  std::string name = IndexKindName(info.param.kind);
+  for (char& c : name) {
+    if (c == ' ') c = '_';
+    if (c == '+') c = 'p';  // gtest param names must be alphanumeric/_
+  }
+  return name + "_n" + std::to_string(info.param.node_size);
+}
+
+class IndexBasicTest : public ::testing::TestWithParam<Param> {
+ protected:
+  std::unique_ptr<TupleIndex> Make(Relation* rel, bool unique = false) {
+    IndexConfig config;
+    config.node_size = GetParam().node_size;
+    config.expected = 4096;
+    config.unique = unique;
+    auto ops = std::make_shared<FieldKeyOps>(&rel->schema(), 0);
+    return CreateIndex(GetParam().kind, std::move(ops), config);
+  }
+};
+
+TEST_P(IndexBasicTest, InsertFindErase) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(500));
+  auto index = Make(rel.get());
+  std::vector<TupleRef> tuples;
+  rel->ForEachTuple([&](TupleRef t) { tuples.push_back(t); });
+  for (TupleRef t : tuples) EXPECT_TRUE(index->Insert(t));
+  EXPECT_EQ(index->size(), 500u);
+
+  for (TupleRef t : tuples) {
+    const int32_t key = testutil::KeyOf(t, *rel);
+    EXPECT_EQ(index->Find(Value(key)), t);
+  }
+  EXPECT_EQ(index->Find(Value(100000)), nullptr);
+  EXPECT_EQ(index->Find(Value(-5)), nullptr);
+
+  // Erase half, re-check.
+  for (size_t i = 0; i < tuples.size(); i += 2) {
+    EXPECT_TRUE(index->Erase(tuples[i]));
+  }
+  EXPECT_EQ(index->size(), 250u);
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    const int32_t key = testutil::KeyOf(tuples[i], *rel);
+    if (i % 2 == 0) {
+      EXPECT_EQ(index->Find(Value(key)), nullptr);
+    } else {
+      EXPECT_EQ(index->Find(Value(key)), tuples[i]);
+    }
+  }
+}
+
+TEST_P(IndexBasicTest, DoubleInsertOfSamePointerRejected) {
+  auto rel = testutil::IntRelation("r", {42});
+  auto index = Make(rel.get());
+  TupleRef t = nullptr;
+  rel->ForEachTuple([&](TupleRef u) { t = u; });
+  EXPECT_TRUE(index->Insert(t));
+  EXPECT_FALSE(index->Insert(t));
+  EXPECT_EQ(index->size(), 1u);
+}
+
+TEST_P(IndexBasicTest, EraseMissingReturnsFalse) {
+  auto rel = testutil::IntRelation("r", {1, 2});
+  auto index = Make(rel.get());
+  std::vector<TupleRef> tuples;
+  rel->ForEachTuple([&](TupleRef t) { tuples.push_back(t); });
+  index->Insert(tuples[0]);
+  EXPECT_FALSE(index->Erase(tuples[1]));
+  EXPECT_TRUE(index->Erase(tuples[0]));
+  EXPECT_FALSE(index->Erase(tuples[0]));
+  EXPECT_EQ(index->size(), 0u);
+}
+
+TEST_P(IndexBasicTest, DuplicateKeysFindAll) {
+  // 50 distinct keys x 6 copies.
+  std::vector<int32_t> keys;
+  for (int32_t k = 0; k < 50; ++k) {
+    for (int c = 0; c < 6; ++c) keys.push_back(k);
+  }
+  auto rel = testutil::IntRelation("r", keys);
+  auto index = Make(rel.get());
+  rel->ForEachTuple([&](TupleRef t) { EXPECT_TRUE(index->Insert(t)); });
+  EXPECT_EQ(index->size(), 300u);
+
+  for (int32_t k = 0; k < 50; ++k) {
+    std::vector<TupleRef> hits;
+    index->FindAll(Value(k), &hits);
+    EXPECT_EQ(hits.size(), 6u) << "key " << k;
+    for (TupleRef t : hits) EXPECT_EQ(testutil::KeyOf(t, *rel), k);
+  }
+  std::vector<TupleRef> none;
+  index->FindAll(Value(999), &none);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_P(IndexBasicTest, EraseExactDuplicateInstance) {
+  auto rel = testutil::IntRelation("r", {7, 7, 7});
+  auto index = Make(rel.get());
+  std::vector<TupleRef> tuples;
+  rel->ForEachTuple([&](TupleRef t) {
+    tuples.push_back(t);
+    index->Insert(t);
+  });
+  EXPECT_TRUE(index->Erase(tuples[1]));
+  std::vector<TupleRef> hits;
+  index->FindAll(Value(7), &hits);
+  EXPECT_EQ(hits.size(), 2u);
+  for (TupleRef t : hits) EXPECT_NE(t, tuples[1]);
+}
+
+TEST_P(IndexBasicTest, UniqueModeRejectsEqualKeys) {
+  auto rel = testutil::IntRelation("r", {9, 9});
+  auto index = Make(rel.get(), /*unique=*/true);
+  std::vector<TupleRef> tuples;
+  rel->ForEachTuple([&](TupleRef t) { tuples.push_back(t); });
+  EXPECT_TRUE(index->Insert(tuples[0]));
+  EXPECT_FALSE(index->Insert(tuples[1]));
+  EXPECT_EQ(index->size(), 1u);
+}
+
+TEST_P(IndexBasicTest, ScanVisitsEverythingOnce) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(300));
+  auto index = Make(rel.get());
+  rel->ForEachTuple([&](TupleRef t) { index->Insert(t); });
+  std::vector<int32_t> seen = testutil::CollectKeys(*index, *rel);
+  ASSERT_EQ(seen.size(), 300u);
+  for (int32_t i = 0; i < 300; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST_P(IndexBasicTest, StorageBytesGrowsWithContent) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(1000));
+  auto index = Make(rel.get());
+  const size_t empty_bytes = index->StorageBytes();
+  rel->ForEachTuple([&](TupleRef t) { index->Insert(t); });
+  // >= rather than >: the array index pre-reserves config.expected slots.
+  EXPECT_GE(index->StorageBytes(), empty_bytes);
+  // Any pointer-based index needs at least one 8-byte slot per element.
+  EXPECT_GE(index->StorageBytes(), 1000 * sizeof(TupleRef));
+}
+
+TEST_P(IndexBasicTest, EmptyIndexBehaves) {
+  auto rel = testutil::IntRelation("r", {});
+  auto index = Make(rel.get());
+  EXPECT_EQ(index->size(), 0u);
+  EXPECT_EQ(index->Find(Value(1)), nullptr);
+  std::vector<TupleRef> hits;
+  index->FindAll(Value(1), &hits);
+  EXPECT_TRUE(hits.empty());
+  EXPECT_EQ(testutil::CollectKeys(*index, *rel).size(), 0u);
+}
+
+TEST_P(IndexBasicTest, KindMetadata) {
+  auto rel = testutil::IntRelation("r", {});
+  auto index = Make(rel.get());
+  EXPECT_EQ(index->kind(), GetParam().kind);
+  EXPECT_EQ(IndexKindOrdered(index->kind()),
+            dynamic_cast<OrderedIndex*>(index.get()) != nullptr);
+  EXPECT_STRNE(IndexKindName(index->kind()), "?");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStructures, IndexBasicTest,
+    ::testing::Values(
+        Param{IndexKind::kArray, 2}, Param{IndexKind::kAvlTree, 2},
+        Param{IndexKind::kBTree, 4}, Param{IndexKind::kBTree, 20},
+        Param{IndexKind::kBPlusTree, 4}, Param{IndexKind::kBPlusTree, 20},
+        Param{IndexKind::kTTree, 4}, Param{IndexKind::kTTree, 20},
+        Param{IndexKind::kChainedBucketHash, 2},
+        Param{IndexKind::kExtendibleHash, 2},
+        Param{IndexKind::kExtendibleHash, 8},
+        Param{IndexKind::kLinearHash, 2}, Param{IndexKind::kLinearHash, 8},
+        Param{IndexKind::kModifiedLinearHash, 2},
+        Param{IndexKind::kModifiedLinearHash, 8}),
+    ParamName);
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,182 @@
+// Property suite: every index structure, across node sizes, must agree with
+// a reference model (std::multimap) under long random streams of
+// interleaved inserts, deletes, and lookups — the "query mix" of Section
+// 3.2.2 turned into an oracle test.  Tree structures additionally have
+// their structural invariants checked along the way.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/index/avl_tree.h"
+#include "src/index/bplus_tree.h"
+#include "src/index/btree.h"
+#include "src/index/ttree.h"
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+struct Param {
+  IndexKind kind;
+  int node_size;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  std::string name = IndexKindName(info.param.kind);
+  for (char& c : name) {
+    if (c == ' ') c = '_';
+    if (c == '+') c = 'p';  // gtest param names must be alphanumeric/_
+  }
+  return name + "_n" + std::to_string(info.param.node_size);
+}
+
+class IndexPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  void CheckStructure(TupleIndex* index) {
+    switch (index->kind()) {
+      case IndexKind::kTTree:
+        EXPECT_TRUE(static_cast<TTree*>(index)->CheckInvariants());
+        break;
+      case IndexKind::kAvlTree:
+        EXPECT_TRUE(static_cast<AvlTree*>(index)->CheckInvariants());
+        break;
+      case IndexKind::kBTree:
+        EXPECT_TRUE(static_cast<BTree*>(index)->CheckInvariants());
+        break;
+      case IndexKind::kBPlusTree:
+        EXPECT_TRUE(static_cast<BPlusTree*>(index)->CheckInvariants());
+        break;
+      default:
+        break;
+    }
+  }
+};
+
+TEST_P(IndexPropertyTest, RandomQueryMixMatchesReferenceModel) {
+  // Key space deliberately small (many duplicates, many misses).
+  constexpr int32_t kKeySpace = 120;
+  constexpr size_t kTuples = 600;
+  constexpr int kOps = 4000;
+
+  Rng rng(0xC0FFEE + GetParam().node_size);
+  std::vector<int32_t> keys;
+  keys.reserve(kTuples);
+  for (size_t i = 0; i < kTuples; ++i) {
+    keys.push_back(static_cast<int32_t>(rng.NextBounded(kKeySpace)));
+  }
+  auto rel = testutil::IntRelation("r", keys);
+  std::vector<TupleRef> tuples;
+  rel->ForEachTuple([&](TupleRef t) { tuples.push_back(t); });
+
+  IndexConfig config;
+  config.node_size = GetParam().node_size;
+  config.expected = kTuples;
+  auto ops = std::make_shared<FieldKeyOps>(&rel->schema(), 0);
+  auto index = CreateIndex(GetParam().kind, std::move(ops), config);
+
+  std::multimap<int32_t, TupleRef> model;
+  std::set<TupleRef> in_index;
+
+  auto key_of = [&](TupleRef t) { return testutil::KeyOf(t, *rel); };
+
+  for (int op = 0; op < kOps; ++op) {
+    const uint64_t dice = rng.NextBounded(100);
+    if (dice < 40) {  // insert a random tuple (may already be present)
+      TupleRef t = tuples[rng.NextBounded(tuples.size())];
+      const bool expect_ok = !in_index.contains(t);
+      EXPECT_EQ(index->Insert(t), expect_ok);
+      if (expect_ok) {
+        model.emplace(key_of(t), t);
+        in_index.insert(t);
+      }
+    } else if (dice < 70) {  // delete a random tuple (may be absent)
+      TupleRef t = tuples[rng.NextBounded(tuples.size())];
+      const bool expect_ok = in_index.contains(t);
+      EXPECT_EQ(index->Erase(t), expect_ok);
+      if (expect_ok) {
+        auto [lo, hi] = model.equal_range(key_of(t));
+        for (auto it = lo; it != hi; ++it) {
+          if (it->second == t) {
+            model.erase(it);
+            break;
+          }
+        }
+        in_index.erase(t);
+      }
+    } else {  // search
+      const int32_t k = static_cast<int32_t>(rng.NextBounded(kKeySpace));
+      std::vector<TupleRef> hits;
+      index->FindAll(Value(k), &hits);
+      auto [lo, hi] = model.equal_range(k);
+      std::set<TupleRef> expected;
+      for (auto it = lo; it != hi; ++it) expected.insert(it->second);
+      EXPECT_EQ(std::set<TupleRef>(hits.begin(), hits.end()), expected)
+          << "key " << k << " at op " << op;
+      TupleRef one = index->Find(Value(k));
+      EXPECT_EQ(one != nullptr, !expected.empty());
+      if (one != nullptr) EXPECT_TRUE(expected.contains(one));
+    }
+    EXPECT_EQ(index->size(), model.size());
+    if (op % 500 == 499) CheckStructure(index.get());
+  }
+  CheckStructure(index.get());
+
+  // Final full-content check.
+  std::vector<int32_t> got = testutil::CollectKeys(*index, *rel);
+  std::vector<int32_t> expected;
+  for (const auto& [k, t] : model) expected.push_back(k);
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(IndexPropertyTest, GrowShrinkGrowCycle) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(2000));
+  std::vector<TupleRef> tuples;
+  rel->ForEachTuple([&](TupleRef t) { tuples.push_back(t); });
+
+  IndexConfig config;
+  config.node_size = GetParam().node_size;
+  config.expected = tuples.size();
+  auto ops = std::make_shared<FieldKeyOps>(&rel->schema(), 0);
+  auto index = CreateIndex(GetParam().kind, std::move(ops), config);
+
+  for (TupleRef t : tuples) ASSERT_TRUE(index->Insert(t));
+  CheckStructure(index.get());
+  // Shrink to nothing.
+  for (TupleRef t : tuples) ASSERT_TRUE(index->Erase(t));
+  EXPECT_EQ(index->size(), 0u);
+  CheckStructure(index.get());
+  // Grow again: structure must be fully reusable after emptying.
+  for (TupleRef t : tuples) ASSERT_TRUE(index->Insert(t));
+  EXPECT_EQ(index->size(), tuples.size());
+  CheckStructure(index.get());
+  EXPECT_EQ(testutil::CollectKeys(*index, *rel).size(), tuples.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStructures, IndexPropertyTest,
+    ::testing::Values(
+        Param{IndexKind::kArray, 2},
+        Param{IndexKind::kAvlTree, 2},
+        Param{IndexKind::kBTree, 2}, Param{IndexKind::kBTree, 5},
+        Param{IndexKind::kBTree, 16},
+        Param{IndexKind::kBPlusTree, 2}, Param{IndexKind::kBPlusTree, 5},
+        Param{IndexKind::kBPlusTree, 16},
+        Param{IndexKind::kTTree, 1}, Param{IndexKind::kTTree, 2},
+        Param{IndexKind::kTTree, 5}, Param{IndexKind::kTTree, 16},
+        Param{IndexKind::kTTree, 64},
+        Param{IndexKind::kChainedBucketHash, 2},
+        Param{IndexKind::kExtendibleHash, 1},
+        Param{IndexKind::kExtendibleHash, 4},
+        Param{IndexKind::kExtendibleHash, 16},
+        Param{IndexKind::kLinearHash, 1}, Param{IndexKind::kLinearHash, 4},
+        Param{IndexKind::kLinearHash, 16},
+        Param{IndexKind::kModifiedLinearHash, 1},
+        Param{IndexKind::kModifiedLinearHash, 4},
+        Param{IndexKind::kModifiedLinearHash, 16}),
+    ParamName);
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,181 @@
+// Cross-layer integration: the paper's Figure 1 database exercised through
+// storage, indices, executor, planner, transactions, and recovery together;
+// plus a larger generated-workload pipeline (select -> join -> project).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/database.h"
+#include "src/core/query.h"
+#include "src/exec/join.h"
+#include "src/exec/project.h"
+#include "src/exec/select.h"
+#include "src/workload/generator.h"
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+class Figure1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.CreateTable("dept", {{"name", Type::kString}, {"id", Type::kInt32}});
+    db_.CreateIndex("dept", "id", IndexKind::kTTree);
+    db_.CreateTable("emp", {{"name", Type::kString},
+                            {"id", Type::kInt32},
+                            {"age", Type::kInt32},
+                            {"dept_id", Type::kPointer}});
+    db_.CreateIndex("emp", "id", IndexKind::kTTree);
+    db_.CreateIndex("emp", "age", IndexKind::kTTree);
+    ASSERT_TRUE(db_.DeclareForeignKey("emp", "dept_id", "dept", "id").ok());
+
+    // Figure 1's data.
+    db_.Insert("dept", {Value("Toy"), Value(459)});
+    db_.Insert("dept", {Value("Shoe"), Value(409)});
+    db_.Insert("dept", {Value("Linen"), Value(411)});
+    db_.Insert("dept", {Value("Paint"), Value(455)});
+    db_.Insert("emp", {Value("Dave"), Value(23), Value(24), Value(459)});
+    db_.Insert("emp", {Value("Suzan"), Value(12), Value(27), Value(459)});
+    db_.Insert("emp", {Value("Yuman"), Value(44), Value(54), Value(411)});
+    db_.Insert("emp", {Value("Jane"), Value(43), Value(47), Value(411)});
+    db_.Insert("emp", {Value("Cindy"), Value(22), Value(22), Value(409)});
+  }
+
+  Database db_;
+};
+
+TEST_F(Figure1Test, PrecomputedJoinMatchesFigure1ResultRelation) {
+  // The paper's Figure 1 result: equijoin on Department Id yields the
+  // (employee, department) pairs via the materialized pointers.
+  Relation* emp = db_.GetTable("emp");
+  TempList result = PrecomputedJoin(*emp, 3);
+  EXPECT_EQ(result.size(), 5u);
+  ResultDescriptor* desc = result.mutable_descriptor();
+  ASSERT_TRUE(desc->AddColumn(0, uint16_t{0}));  // Emp Name
+  ASSERT_TRUE(desc->AddColumn(0, uint16_t{2}));  // Emp Age
+  ASSERT_TRUE(desc->AddColumn(1, uint16_t{0}));  // Dept Name
+
+  std::set<std::string> rows;
+  for (size_t r = 0; r < result.size(); ++r) rows.insert(result.RowToString(r));
+  EXPECT_TRUE(rows.contains("(\"Dave\", 24, \"Toy\")"));
+  EXPECT_TRUE(rows.contains("(\"Cindy\", 22, \"Shoe\")"));
+  EXPECT_TRUE(rows.contains("(\"Jane\", 47, \"Linen\")"));
+}
+
+TEST_F(Figure1Test, Query2PointerComparisonJoin) {
+  // Query 2: select Toy/Shoe departments, then find their employees by
+  // comparing *tuple pointers* rather than data values (Section 2.1).
+  Relation* dept = db_.GetTable("dept");
+  Relation* emp = db_.GetTable("emp");
+  Predicate p;
+  p.Add(0, CompareOp::kEq, Value("Toy"));
+  TempList toy = Select(*dept, p);
+  Predicate p2;
+  p2.Add(0, CompareOp::kEq, Value("Shoe"));
+  TempList shoe = Select(*dept, p2);
+  ASSERT_EQ(toy.size() + shoe.size(), 2u);
+
+  std::set<TupleRef> wanted{toy.At(0, 0), shoe.At(0, 0)};
+  std::set<std::string> names;
+  const Schema& es = emp->schema();
+  ScanRelation(*emp, [&](TupleRef e) {
+    if (wanted.contains(tuple::GetPointer(e, es.offset(3)))) {
+      names.insert(std::string(tuple::GetString(e, es.offset(0))));
+    }
+    return true;
+  });
+  EXPECT_EQ(names, (std::set<std::string>{"Dave", "Suzan", "Cindy"}));
+}
+
+TEST_F(Figure1Test, TransactionalUpdateThenCrashRecovery) {
+  db_.Checkpoint();
+  auto txn = db_.Begin();
+  Relation* emp = db_.GetTable("emp");
+  TupleRef cindy = emp->FindIndexOn(1, true)->Find(Value(22));
+  ASSERT_NE(cindy, nullptr);
+  ASSERT_TRUE(txn->Update("emp", cindy, 2, Value(23)).ok());  // birthday
+  ASSERT_TRUE(txn->Insert("emp", {Value("Pat"), Value(99), Value(41),
+                                  Value(455)}).ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  db_.log_device().Pump();  // accumulated, not yet on disk
+
+  ASSERT_TRUE(db_.SimulateCrashAndRecover({"emp", "dept"}).ok());
+
+  QueryResult r = db_.Query("emp")
+                      .Where("name", CompareOp::kEq, "Cindy")
+                      .Select({"emp.age", "emp.dept_id.name"})
+                      .Run();
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows.GetValue(0, 0), Value(23));
+  EXPECT_EQ(r.rows.GetValue(0, 1), Value("Shoe"));
+  QueryResult pat = db_.Query("emp")
+                        .Where("name", CompareOp::kEq, "Pat")
+                        .Select({"emp.dept_id.name"})
+                        .Run();
+  ASSERT_EQ(pat.rows.size(), 1u);
+  EXPECT_EQ(pat.rows.GetValue(0, 0), Value("Paint"));
+}
+
+TEST(PipelineTest, SelectJoinProjectOnGeneratedWorkload) {
+  // Generated relations (Section 3.3.1), full pipeline with oracle checks.
+  WorkloadGen gen(99);
+  ColumnData inner_col = gen.Generate({1000, 50, 0.4});
+  ColumnData outer_col =
+      gen.GenerateMatching({500, 50, 0.4}, inner_col.uniques, 80);
+  auto outer = WorkloadGen::BuildRelation("outer", outer_col);
+  auto inner = WorkloadGen::BuildRelation("inner", inner_col);
+
+  // Selection: outer.seq < 250 via sequential scan.
+  Predicate p;
+  p.Add(1, CompareOp::kLt, Value(250));
+  TempList selected = Select(*outer, p);
+  EXPECT_EQ(selected.size(), 250u);
+
+  // Join (hash) and its oracle.
+  JoinSpec spec{outer.get(), 0, inner.get(), 0};
+  TempList joined = HashJoin(spec);
+  size_t expected_pairs = 0;
+  std::multiset<int32_t> inner_keys(inner_col.values.begin(),
+                                    inner_col.values.end());
+  for (int32_t k : outer_col.values) {
+    expected_pairs += inner_keys.count(k);
+  }
+  EXPECT_EQ(joined.size(), expected_pairs);
+
+  // Project the outer join key, eliminating duplicates both ways.
+  ResultDescriptor* desc = joined.mutable_descriptor();
+  ASSERT_TRUE(desc->AddColumn(0, uint16_t{0}));
+  TempList hashed = ProjectHash(joined);
+  TempList sorted = ProjectSortScan(joined);
+  std::set<int32_t> distinct_matching;
+  std::set<int32_t> inner_set(inner_col.values.begin(),
+                              inner_col.values.end());
+  for (int32_t k : outer_col.values) {
+    if (inner_set.contains(k)) distinct_matching.insert(k);
+  }
+  EXPECT_EQ(hashed.size(), distinct_matching.size());
+  EXPECT_EQ(sorted.size(), distinct_matching.size());
+}
+
+TEST(PipelineTest, PlannerChoosesAndRunsEndToEnd) {
+  WorkloadGen gen(7);
+  ColumnData ic = gen.Generate({2000, 0, 0.8});
+  auto inner = WorkloadGen::BuildRelation("inner", ic);
+  testutil::AttachKeyIndex(inner.get(), IndexKind::kTTree);
+  // Small outer (10% of inner), keys sampled from the inner, and *no*
+  // ordered index on its join column => the Tree Join exception fires.
+  std::vector<int32_t> outer_keys(ic.uniques.begin(),
+                                  ic.uniques.begin() + 200);
+  auto outer = testutil::IntRelation("outer", outer_keys);
+  testutil::AttachKeyIndex(outer.get(), IndexKind::kChainedBucketHash);
+
+  JoinPlan plan;
+  TempList out = Planner::Join({outer.get(), 0, inner.get(), 0}, JoinStats(),
+                               &plan);
+  EXPECT_EQ(plan.method, JoinMethod::kTreeJoin);
+  EXPECT_EQ(out.size(), 200u);  // unique keys, 100% selectivity
+}
+
+}  // namespace
+}  // namespace mmdb

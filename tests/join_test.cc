@@ -1,0 +1,205 @@
+// The six join algorithms of Section 3.3 checked against each other and
+// against a brute-force oracle, across the paper's workload axes
+// (cardinality ratios, duplicate percentage and distribution, semijoin
+// selectivity).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/exec/join.h"
+#include "src/index/ttree.h"
+#include "src/workload/generator.h"
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+using testutil::AttachKeyIndex;
+
+/// (outer key, inner key) pairs, sorted, for result comparison.
+std::vector<std::pair<int32_t, int32_t>> Pairs(const TempList& list,
+                                               const Relation& outer,
+                                               const Relation& inner) {
+  std::vector<std::pair<int32_t, int32_t>> out;
+  for (size_t r = 0; r < list.size(); ++r) {
+    out.emplace_back(testutil::KeyOf(list.At(r, 0), outer),
+                     testutil::KeyOf(list.At(r, 1), inner));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Brute-force oracle over the raw tuples (seq fields included so the
+/// expected multiset counts duplicate cross products correctly).
+std::vector<std::pair<int32_t, int32_t>> Oracle(const Relation& outer,
+                                                const Relation& inner) {
+  std::vector<int32_t> ok, ik;
+  outer.ForEachTuple([&](TupleRef t) { ok.push_back(testutil::KeyOf(t, outer)); });
+  inner.ForEachTuple([&](TupleRef t) { ik.push_back(testutil::KeyOf(t, inner)); });
+  std::vector<std::pair<int32_t, int32_t>> out;
+  for (int32_t a : ok) {
+    for (int32_t b : ik) {
+      if (a == b) out.emplace_back(a, b);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const OrderedIndex* TreeOn(Relation* rel) {
+  return static_cast<const OrderedIndex*>(
+      AttachKeyIndex(rel, IndexKind::kTTree));
+}
+
+struct JoinCase {
+  std::string name;
+  size_t outer_n, inner_n;
+  double dup_pct;
+  double stddev;
+  double semijoin_pct;
+};
+
+class JoinAlgorithmsTest : public ::testing::TestWithParam<JoinCase> {};
+
+TEST_P(JoinAlgorithmsTest, AllMethodsAgreeWithOracle) {
+  const JoinCase& jc = GetParam();
+  WorkloadGen gen(1234);
+  ColumnData inner_col =
+      gen.Generate({jc.inner_n, jc.dup_pct, jc.stddev});
+  ColumnData outer_col = gen.GenerateMatching(
+      {jc.outer_n, jc.dup_pct, jc.stddev}, inner_col.uniques, jc.semijoin_pct);
+  auto outer = WorkloadGen::BuildRelation("outer", outer_col);
+  auto inner = WorkloadGen::BuildRelation("inner", inner_col);
+  const OrderedIndex* outer_tree = TreeOn(outer.get());
+  const OrderedIndex* inner_tree = TreeOn(inner.get());
+
+  JoinSpec spec{outer.get(), 0, inner.get(), 0};
+  auto expected = Oracle(*outer, *inner);
+
+  EXPECT_EQ(Pairs(NestedLoopsJoin(spec), *outer, *inner), expected);
+  EXPECT_EQ(Pairs(HashJoin(spec), *outer, *inner), expected);
+  EXPECT_EQ(Pairs(TreeJoin(spec, *inner_tree), *outer, *inner), expected);
+  EXPECT_EQ(Pairs(SortMergeJoin(spec), *outer, *inner), expected);
+  EXPECT_EQ(Pairs(TreeMergeJoin(spec, *outer_tree, *inner_tree), *outer,
+                  *inner),
+            expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Compositions, JoinAlgorithmsTest,
+    ::testing::Values(
+        JoinCase{"keys_equal", 200, 200, 0, 0.8, 100},
+        JoinCase{"small_outer", 40, 400, 0, 0.8, 100},
+        JoinCase{"small_inner", 400, 40, 0, 0.8, 100},
+        JoinCase{"dups_uniform", 150, 150, 50, 0.8, 100},
+        JoinCase{"dups_skewed", 150, 150, 50, 0.1, 100},
+        JoinCase{"heavy_dups", 100, 100, 90, 0.1, 100},
+        JoinCase{"low_selectivity", 200, 200, 50, 0.8, 10},
+        JoinCase{"no_matches", 100, 100, 0, 0.8, 0}),
+    [](const ::testing::TestParamInfo<JoinCase>& info) {
+      return info.param.name;
+    });
+
+TEST(JoinTest, EmptyRelations) {
+  auto outer = testutil::IntRelation("outer", {});
+  auto inner = testutil::IntRelation("inner", {1, 2, 3});
+  AttachKeyIndex(outer.get(), IndexKind::kArray);
+  const OrderedIndex* it = TreeOn(inner.get());
+  JoinSpec spec{outer.get(), 0, inner.get(), 0};
+  EXPECT_EQ(HashJoin(spec).size(), 0u);
+  EXPECT_EQ(TreeJoin(spec, *it).size(), 0u);
+  EXPECT_EQ(SortMergeJoin(spec).size(), 0u);
+  EXPECT_EQ(NestedLoopsJoin(spec).size(), 0u);
+
+  JoinSpec flipped{inner.get(), 0, outer.get(), 0};
+  EXPECT_EQ(HashJoin(flipped).size(), 0u);
+  EXPECT_EQ(SortMergeJoin(flipped).size(), 0u);
+}
+
+TEST(JoinTest, DuplicateCrossProductCounts) {
+  // 3 copies of key 7 on each side -> 9 result rows.
+  auto outer = testutil::IntRelation("outer", {7, 7, 7, 1});
+  auto inner = testutil::IntRelation("inner", {7, 7, 7, 2});
+  AttachKeyIndex(outer.get(), IndexKind::kArray);
+  AttachKeyIndex(inner.get(), IndexKind::kArray);
+  const OrderedIndex* ot = TreeOn(outer.get());
+  const OrderedIndex* it = TreeOn(inner.get());
+  JoinSpec spec{outer.get(), 0, inner.get(), 0};
+  EXPECT_EQ(HashJoin(spec).size(), 9u);
+  EXPECT_EQ(TreeJoin(spec, *it).size(), 9u);
+  EXPECT_EQ(SortMergeJoin(spec).size(), 9u);
+  EXPECT_EQ(TreeMergeJoin(spec, *ot, *it).size(), 9u);
+}
+
+TEST(JoinTest, HashProbeJoinUsesExistingIndex) {
+  auto outer = testutil::IntRelation("outer", {1, 2, 3});
+  auto inner = testutil::IntRelation("inner", {2, 3, 4});
+  AttachKeyIndex(outer.get(), IndexKind::kArray);
+  auto* hash = static_cast<const HashIndex*>(
+      AttachKeyIndex(inner.get(), IndexKind::kChainedBucketHash));
+  JoinSpec spec{outer.get(), 0, inner.get(), 0};
+  TempList out = HashProbeJoin(spec, *hash);
+  EXPECT_EQ(Pairs(out, *outer, *inner),
+            (std::vector<std::pair<int32_t, int32_t>>{{2, 2}, {3, 3}}));
+}
+
+TEST(JoinTest, PrecomputedJoinFollowsPointers) {
+  auto dept = testutil::IntRelation("dept", {100, 200, 300});
+  AttachKeyIndex(dept.get(), IndexKind::kTTree);
+  Schema emp_schema({{"dept", Type::kPointer}, {"age", Type::kInt32}});
+  Relation emp("emp", emp_schema);
+  ASSERT_TRUE(emp.DeclareForeignKey(0, dept.get(), 0).ok());
+  auto ops = std::make_shared<FieldKeyOps>(&emp.schema(), 1);
+  auto index = CreateIndex(IndexKind::kTTree, ops, IndexConfig());
+  index->set_key_fields({1});
+  emp.AttachIndex(std::move(index));
+
+  emp.Insert({Value(100), Value(30)});
+  emp.Insert({Value(300), Value(40)});
+  emp.Insert({Value(100), Value(50)});
+
+  TempList out = PrecomputedJoin(emp, 0);
+  ASSERT_EQ(out.size(), 3u);
+  std::multiset<int32_t> dept_keys;
+  for (size_t r = 0; r < out.size(); ++r) {
+    dept_keys.insert(testutil::KeyOf(out.At(r, 1), *dept));
+  }
+  EXPECT_EQ(dept_keys, (std::multiset<int32_t>{100, 100, 300}));
+}
+
+TEST(JoinTest, BuildSortedArrayIsSorted) {
+  auto rel = testutil::IntRelation("r", {5, 1, 4, 1, 3});
+  AttachKeyIndex(rel.get(), IndexKind::kArray);
+  auto array = BuildSortedArray(*rel, 0);
+  ASSERT_EQ(array->size(), 5u);
+  for (size_t i = 1; i < array->size(); ++i) {
+    EXPECT_LE(testutil::KeyOf(array->at(i - 1), *rel),
+              testutil::KeyOf(array->at(i), *rel));
+  }
+}
+
+TEST(JoinTest, BuildJoinHashFindsEverything) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(200));
+  AttachKeyIndex(rel.get(), IndexKind::kArray);
+  auto hash = BuildJoinHash(*rel, 0);
+  EXPECT_EQ(hash->size(), 200u);
+  for (int32_t k = 0; k < 200; ++k) {
+    EXPECT_NE(hash->Find(Value(k)), nullptr);
+  }
+}
+
+TEST(JoinTest, CrossSchemaJoinFields) {
+  // Join outer.seq (field 1) against inner.key (field 0).
+  auto outer = testutil::IntRelation("outer", {100, 101, 102});  // seq 0,1,2
+  auto inner = testutil::IntRelation("inner", {1, 2, 3});
+  AttachKeyIndex(outer.get(), IndexKind::kArray);
+  AttachKeyIndex(inner.get(), IndexKind::kArray);
+  JoinSpec spec{outer.get(), 1, inner.get(), 0};
+  TempList out = HashJoin(spec);
+  EXPECT_EQ(out.size(), 2u);  // seq 1 and 2 match keys 1 and 2
+}
+
+}  // namespace
+}  // namespace mmdb

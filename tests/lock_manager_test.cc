@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/txn/lock_manager.h"
+
+namespace mmdb {
+namespace {
+
+using namespace std::chrono_literals;
+
+const LockId kP0{"r", 0};
+const LockId kP1{"r", 1};
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, kP0, LockMode::kShared, 10ms));
+  EXPECT_TRUE(lm.Acquire(2, kP0, LockMode::kShared, 10ms));
+  EXPECT_EQ(lm.GrantedCount(), 2u);
+}
+
+TEST(LockManagerTest, ExclusiveExcludes) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, kP0, LockMode::kExclusive, 10ms));
+  EXPECT_FALSE(lm.Acquire(2, kP0, LockMode::kExclusive, 20ms));
+  EXPECT_FALSE(lm.Acquire(2, kP0, LockMode::kShared, 20ms));
+  // A different partition is independent.
+  EXPECT_TRUE(lm.Acquire(2, kP1, LockMode::kExclusive, 10ms));
+}
+
+TEST(LockManagerTest, ReacquireIsIdempotent) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, kP0, LockMode::kShared, 10ms));
+  EXPECT_TRUE(lm.Acquire(1, kP0, LockMode::kShared, 10ms));
+  EXPECT_TRUE(lm.Acquire(1, kP0, LockMode::kExclusive, 10ms));  // upgrade
+  EXPECT_TRUE(lm.Acquire(1, kP0, LockMode::kShared, 10ms));     // X covers S
+  EXPECT_TRUE(lm.Acquire(1, kP0, LockMode::kExclusive, 10ms));
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherSharer) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, kP0, LockMode::kShared, 10ms));
+  EXPECT_TRUE(lm.Acquire(2, kP0, LockMode::kShared, 10ms));
+  EXPECT_FALSE(lm.Acquire(1, kP0, LockMode::kExclusive, 30ms));
+  lm.Release(2, kP0);
+  EXPECT_TRUE(lm.Acquire(1, kP0, LockMode::kExclusive, 10ms));
+}
+
+TEST(LockManagerTest, ReleaseWakesWaiter) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, kP0, LockMode::kExclusive, 10ms));
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    got = lm.Acquire(2, kP0, LockMode::kExclusive, 2000ms);
+  });
+  std::this_thread::sleep_for(30ms);
+  lm.Release(1, kP0);
+  waiter.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(LockManagerTest, ReleaseAllDropsEverything) {
+  LockManager lm;
+  lm.Acquire(1, kP0, LockMode::kShared, 10ms);
+  lm.Acquire(1, kP1, LockMode::kExclusive, 10ms);
+  EXPECT_EQ(lm.HeldBy(1).size(), 2u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.HeldBy(1).size(), 0u);
+  EXPECT_EQ(lm.GrantedCount(), 0u);
+  EXPECT_TRUE(lm.Acquire(2, kP0, LockMode::kExclusive, 10ms));
+  EXPECT_TRUE(lm.Acquire(2, kP1, LockMode::kExclusive, 10ms));
+}
+
+TEST(LockManagerTest, WritersNotStarvedByReaders) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, kP0, LockMode::kShared, 10ms));
+  std::atomic<bool> writer_got{false};
+  std::thread writer([&] {
+    writer_got = lm.Acquire(2, kP0, LockMode::kExclusive, 2000ms);
+  });
+  std::this_thread::sleep_for(30ms);
+  // A new reader must queue behind the waiting writer.
+  EXPECT_FALSE(lm.Acquire(3, kP0, LockMode::kShared, 50ms));
+  lm.Release(1, kP0);
+  writer.join();
+  EXPECT_TRUE(writer_got.load());
+}
+
+TEST(LockManagerTest, ConcurrentCountersStayConsistent) {
+  LockManager lm;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::atomic<int> in_critical{0};
+  std::atomic<int> max_seen{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const uint64_t txn = static_cast<uint64_t>(t) * kIters + i + 1;
+        if (!lm.Acquire(txn, kP0, LockMode::kExclusive, 5000ms)) continue;
+        const int now = ++in_critical;
+        int prev = max_seen.load();
+        while (now > prev && !max_seen.compare_exchange_weak(prev, now)) {
+        }
+        --in_critical;
+        lm.Release(txn, kP0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(max_seen.load(), 1);  // mutual exclusion held throughout
+  EXPECT_EQ(lm.GrantedCount(), 0u);
+}
+
+TEST(LockManagerTest, RelationLockSentinelDistinct) {
+  LockManager lm;
+  LockId growth{"r", LockId::kRelationLock};
+  EXPECT_TRUE(lm.Acquire(1, growth, LockMode::kExclusive, 10ms));
+  // Partition locks are unaffected by the structure lock.
+  EXPECT_TRUE(lm.Acquire(2, kP0, LockMode::kExclusive, 10ms));
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,211 @@
+// StableLogBuffer + LogDevice + DiskImage serialization.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/txn/disk_image.h"
+#include "src/txn/log.h"
+#include "src/txn/log_device.h"
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+LogRecord MakeRecord(uint64_t txn, LogOp op, uint32_t slot,
+                     TupleImage payload = {}) {
+  LogRecord r;
+  r.txn_id = txn;
+  r.op = op;
+  r.relation = "r";
+  r.tid = TupleId{0, slot};
+  r.payload = std::move(payload);
+  return r;
+}
+
+TEST(StableLogBufferTest, AppendAssignsMonotoneLsns) {
+  StableLogBuffer buffer;
+  uint64_t a = buffer.Append(MakeRecord(1, LogOp::kInsert, 0));
+  uint64_t b = buffer.Append(MakeRecord(1, LogOp::kInsert, 1));
+  EXPECT_LT(a, b);
+  EXPECT_EQ(buffer.last_lsn(), b);
+  EXPECT_EQ(buffer.size(), 2u);
+}
+
+TEST(StableLogBufferTest, UncommittedRecordsDoNotDrain) {
+  StableLogBuffer buffer;
+  buffer.Append(MakeRecord(1, LogOp::kInsert, 0));
+  EXPECT_EQ(buffer.committed_size(), 0u);
+  EXPECT_TRUE(buffer.DrainCommitted(10).empty());
+  buffer.Commit(1);
+  EXPECT_EQ(buffer.committed_size(), 1u);
+  EXPECT_EQ(buffer.DrainCommitted(10).size(), 1u);
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(StableLogBufferTest, AbortRemovesRecords) {
+  StableLogBuffer buffer;
+  buffer.Append(MakeRecord(1, LogOp::kInsert, 0));
+  buffer.Append(MakeRecord(2, LogOp::kInsert, 1));
+  buffer.Abort(1);
+  EXPECT_EQ(buffer.size(), 1u);
+  buffer.Commit(2);
+  auto drained = buffer.DrainCommitted(10);
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].txn_id, 2u);
+}
+
+TEST(StableLogBufferTest, InFlightHeadBlocksDraining) {
+  // LSN order must be preserved: a committed record behind an in-flight
+  // one waits.
+  StableLogBuffer buffer;
+  buffer.Append(MakeRecord(1, LogOp::kInsert, 0));  // in-flight
+  buffer.Append(MakeRecord(2, LogOp::kInsert, 1));
+  buffer.Commit(2);
+  EXPECT_TRUE(buffer.DrainCommitted(10).empty());
+  buffer.Commit(1);
+  EXPECT_EQ(buffer.DrainCommitted(10).size(), 2u);
+}
+
+TEST(StableLogBufferTest, PatchFillsTidAndPayload) {
+  StableLogBuffer buffer;
+  uint64_t lsn = buffer.Append(MakeRecord(1, LogOp::kInsert, 0));
+  TupleImage payload{std::byte{1}, std::byte{2}};
+  buffer.Patch(lsn, TupleId{3, 9}, &payload);
+  buffer.Commit(1);
+  auto drained = buffer.DrainCommitted(1);
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].tid.partition, 3u);
+  EXPECT_EQ(drained[0].tid.slot, 9u);
+  EXPECT_EQ(drained[0].payload, payload);
+}
+
+TEST(LogDeviceTest, PumpAccumulatesAndPropagates) {
+  StableLogBuffer buffer;
+  DiskImage disk;
+  LogDevice device(&buffer, &disk);
+
+  TupleImage img{std::byte{42}};
+  buffer.Append(MakeRecord(1, LogOp::kInsert, 5, img));
+  buffer.Commit(1);
+  EXPECT_EQ(device.Pump(), 1u);
+  EXPECT_EQ(device.accumulated(), 1u);
+  // Pending view exposes the unpropagated record.
+  EXPECT_EQ(device.PendingFor("r", 0).size(), 1u);
+  EXPECT_EQ(device.PendingPartitions("r"), (std::vector<uint32_t>{0}));
+
+  EXPECT_EQ(device.PropagatePartition("r", 0), 1u);
+  EXPECT_EQ(device.accumulated(), 0u);
+  const PartitionImage* image = disk.ReadPartition("r", 0);
+  ASSERT_NE(image, nullptr);
+  EXPECT_EQ(image->at(5), img);
+}
+
+TEST(LogDeviceTest, DeleteRecordsEraseSlots) {
+  StableLogBuffer buffer;
+  DiskImage disk;
+  disk.MutablePartition("r", 0)->emplace(5, TupleImage{std::byte{1}});
+  LogDevice device(&buffer, &disk);
+  buffer.Append(MakeRecord(1, LogOp::kDelete, 5));
+  buffer.Commit(1);
+  device.RunCycle();
+  EXPECT_TRUE(disk.ReadPartition("r", 0)->empty());
+}
+
+TEST(LogDeviceTest, ChangeAccumulationCoalesces) {
+  // Several updates to the same slot: only the last survives propagation.
+  StableLogBuffer buffer;
+  DiskImage disk;
+  LogDevice device(&buffer, &disk);
+  for (int i = 1; i <= 3; ++i) {
+    buffer.Append(MakeRecord(i, LogOp::kUpdate, 7,
+                             TupleImage{std::byte(static_cast<uint8_t>(i))}));
+    buffer.Commit(i);
+  }
+  device.RunCycle();
+  EXPECT_EQ(disk.ReadPartition("r", 0)->at(7), TupleImage{std::byte{3}});
+}
+
+TEST(DiskImageTest, CheckpointRoundTripsRelation) {
+  auto rel = testutil::IntRelation("r", {10, 20, 30});
+  DiskImage disk;
+  disk.CheckpointRelation(*rel);
+  EXPECT_EQ(disk.Relations(), (std::vector<std::string>{"r"}));
+  auto partitions = disk.PartitionsOf("r");
+  ASSERT_EQ(partitions.size(), 1u);
+  const PartitionImage* image = disk.ReadPartition("r", partitions[0]);
+  ASSERT_NE(image, nullptr);
+  EXPECT_EQ(image->size(), 3u);
+  EXPECT_GT(disk.TotalBytes(), 0u);
+}
+
+TEST(DiskImageTest, EncodeDecodeTuple) {
+  Schema schema({{"name", Type::kString},
+                 {"id", Type::kInt32},
+                 {"score", Type::kDouble},
+                 {"big", Type::kInt64}});
+  Relation rel("r", schema);
+  TupleRef t = rel.Insert(
+      {Value("bob"), Value(7), Value(1.5), Value(int64_t{1} << 50)});
+  TupleImage image = serialize::EncodeTuple(rel, t);
+  std::vector<Value> values;
+  std::vector<serialize::PointerFixup> fixups;
+  ASSERT_TRUE(serialize::DecodeTuple(rel, image, &values, &fixups).ok());
+  EXPECT_EQ(values[0], Value("bob"));
+  EXPECT_EQ(values[1], Value(7));
+  EXPECT_EQ(values[2], Value(1.5));
+  EXPECT_EQ(values[3], Value(int64_t{1} << 50));
+  EXPECT_TRUE(fixups.empty());
+}
+
+TEST(DiskImageTest, PointerFieldsEncodeAsTupleIds) {
+  auto dept = testutil::IntRelation("dept", {100});
+  Schema emp_schema({{"dept", Type::kPointer}});
+  Relation emp("emp", emp_schema);
+  ASSERT_TRUE(emp.DeclareForeignKey(0, dept.get(), 0).ok());
+  TupleRef e = emp.Insert({Value(100)});
+  ASSERT_NE(e, nullptr);
+  TupleImage image = serialize::EncodeTuple(emp, e);
+  std::vector<Value> values;
+  std::vector<serialize::PointerFixup> fixups;
+  ASSERT_TRUE(serialize::DecodeTuple(emp, image, &values, &fixups).ok());
+  ASSERT_EQ(fixups.size(), 1u);
+  EXPECT_EQ(fixups[0].target_relation, "dept");
+  EXPECT_EQ(values[0].type(), Type::kPointer);
+  EXPECT_EQ(values[0].AsPointer(), nullptr);  // resolved later
+}
+
+TEST(DiskImageTest, TruncatedImageRejected) {
+  Schema schema({{"id", Type::kInt32}});
+  Relation rel("r", schema);
+  TupleRef t = rel.Insert({Value(1)});
+  TupleImage image = serialize::EncodeTuple(rel, t);
+  image.pop_back();
+  std::vector<Value> values;
+  EXPECT_FALSE(serialize::DecodeTuple(rel, image, &values, nullptr).ok());
+  image.push_back(std::byte{0});
+  image.push_back(std::byte{0});
+  EXPECT_FALSE(serialize::DecodeTuple(rel, image, &values, nullptr).ok());
+}
+
+TEST(DiskImageTest, SaveAndLoadFile) {
+  auto rel = testutil::IntRelation("r", {1, 2, 3});
+  DiskImage disk;
+  disk.CheckpointRelation(*rel);
+  const std::string path = ::testing::TempDir() + "/mmdb_disk_image.bin";
+  ASSERT_TRUE(disk.SaveToFile(path).ok());
+
+  DiskImage loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+  EXPECT_EQ(loaded.Relations(), disk.Relations());
+  EXPECT_EQ(loaded.TotalBytes(), disk.TotalBytes());
+  auto parts = loaded.PartitionsOf("r");
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(*loaded.ReadPartition("r", parts[0]),
+            *disk.ReadPartition("r", parts[0]));
+  std::remove(path.c_str());
+  EXPECT_FALSE(loaded.LoadFromFile(path + ".missing").ok());
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,189 @@
+// Cursor and range-scan behavior shared by the four order-preserving
+// structures (array, AVL Tree, B Tree, T Tree).
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+struct Param {
+  IndexKind kind;
+  int node_size;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  std::string name = IndexKindName(info.param.kind);
+  for (char& c : name) {
+    if (c == ' ') c = '_';
+    if (c == '+') c = 'p';  // gtest param names must be alphanumeric/_
+  }
+  return name + "_n" + std::to_string(info.param.node_size);
+}
+
+class OrderedIndexTest : public ::testing::TestWithParam<Param> {
+ protected:
+  void Build(const std::vector<int32_t>& keys) {
+    rel_ = testutil::IntRelation("r", keys);
+    IndexConfig config;
+    config.node_size = GetParam().node_size;
+    config.expected = keys.size();
+    auto ops = std::make_shared<FieldKeyOps>(&rel_->schema(), 0);
+    auto index = CreateIndex(GetParam().kind, std::move(ops), config);
+    rel_->ForEachTuple([&](TupleRef t) { index->Insert(t); });
+    index_.reset(static_cast<OrderedIndex*>(index.release()));
+  }
+
+  int32_t KeyAt(const OrderedIndex::Cursor& c) const {
+    return testutil::KeyOf(c.Get(), *rel_);
+  }
+
+  std::unique_ptr<Relation> rel_;
+  std::unique_ptr<OrderedIndex> index_;
+};
+
+TEST_P(OrderedIndexTest, ForwardScanIsSorted) {
+  Build(testutil::ShuffledKeys(400));
+  int32_t expected = 0;
+  for (auto c = index_->First(); c->Valid(); c->Next()) {
+    EXPECT_EQ(KeyAt(*c), expected++);
+  }
+  EXPECT_EQ(expected, 400);
+}
+
+TEST_P(OrderedIndexTest, BackwardScanIsReverseSorted) {
+  Build(testutil::ShuffledKeys(400));
+  int32_t expected = 399;
+  for (auto c = index_->Last(); c->Valid(); c->Prev()) {
+    EXPECT_EQ(KeyAt(*c), expected--);
+  }
+  EXPECT_EQ(expected, -1);
+}
+
+TEST_P(OrderedIndexTest, BidirectionalWalk) {
+  Build({10, 20, 30, 40, 50});
+  auto c = index_->First();
+  c->Next();
+  c->Next();
+  EXPECT_EQ(KeyAt(*c), 30);
+  c->Prev();
+  EXPECT_EQ(KeyAt(*c), 20);
+  c->Next();
+  c->Next();
+  c->Next();
+  EXPECT_EQ(KeyAt(*c), 50);
+  c->Next();
+  EXPECT_FALSE(c->Valid());
+}
+
+TEST_P(OrderedIndexTest, SeekIsLowerBound) {
+  Build({10, 20, 20, 20, 30, 40});
+  EXPECT_EQ(KeyAt(*index_->Seek(Value(20))), 20);
+  EXPECT_EQ(KeyAt(*index_->Seek(Value(15))), 20);
+  EXPECT_EQ(KeyAt(*index_->Seek(Value(5))), 10);
+  EXPECT_EQ(KeyAt(*index_->Seek(Value(31))), 40);
+  EXPECT_FALSE(index_->Seek(Value(41))->Valid());
+}
+
+TEST_P(OrderedIndexTest, SeekFindsFirstDuplicate) {
+  // All 20s must be reachable by scanning forward from Seek(20).
+  Build({10, 20, 20, 20, 30});
+  int count = 0;
+  for (auto c = index_->Seek(Value(20)); c->Valid() && KeyAt(*c) == 20;
+       c->Next()) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+TEST_P(OrderedIndexTest, CloneIsIndependent) {
+  Build({1, 2, 3});
+  auto a = index_->First();
+  auto b = a->Clone();
+  a->Next();
+  EXPECT_EQ(KeyAt(*a), 2);
+  EXPECT_EQ(KeyAt(*b), 1);  // clone unaffected
+}
+
+TEST_P(OrderedIndexTest, EmptyIndexCursors) {
+  Build({});
+  EXPECT_FALSE(index_->First()->Valid());
+  EXPECT_FALSE(index_->Last()->Valid());
+  EXPECT_FALSE(index_->Seek(Value(1))->Valid());
+}
+
+TEST_P(OrderedIndexTest, ScanRangeInclusiveExclusive) {
+  Build({10, 20, 30, 40, 50});
+  auto collect = [&](Bound lo, Bound hi) {
+    std::vector<int32_t> out;
+    index_->ScanRange(lo, hi, [&](TupleRef t) {
+      out.push_back(testutil::KeyOf(t, *rel_));
+      return true;
+    });
+    return out;
+  };
+  Value v20(20), v40(40);
+  EXPECT_EQ(collect({&v20, true}, {&v40, true}),
+            (std::vector<int32_t>{20, 30, 40}));
+  EXPECT_EQ(collect({&v20, false}, {&v40, false}),
+            (std::vector<int32_t>{30}));
+  EXPECT_EQ(collect({nullptr, true}, {&v20, true}),
+            (std::vector<int32_t>{10, 20}));
+  EXPECT_EQ(collect({&v40, true}, {nullptr, true}),
+            (std::vector<int32_t>{40, 50}));
+  EXPECT_EQ(collect({nullptr, true}, {nullptr, true}).size(), 5u);
+}
+
+TEST_P(OrderedIndexTest, ScanRangeWithDuplicateBounds) {
+  Build({10, 20, 20, 20, 30});
+  Value v20(20);
+  std::vector<int32_t> out;
+  index_->ScanRange({&v20, false}, {nullptr, true}, [&](TupleRef t) {
+    out.push_back(testutil::KeyOf(t, *rel_));
+    return true;
+  });
+  // Exclusive lower bound skips every duplicate of 20.
+  EXPECT_EQ(out, (std::vector<int32_t>{30}));
+}
+
+TEST_P(OrderedIndexTest, ScanEarlyTermination) {
+  Build(testutil::ShuffledKeys(100));
+  int seen = 0;
+  index_->ScanAll([&](TupleRef) { return ++seen < 10; });
+  EXPECT_EQ(seen, 10);
+}
+
+TEST_P(OrderedIndexTest, DuplicatesAreContiguousInScan) {
+  std::vector<int32_t> keys;
+  for (int32_t k = 0; k < 30; ++k) {
+    for (int c = 0; c < 4; ++c) keys.push_back(k);
+  }
+  Rng rng(3);
+  rng.Shuffle(&keys);
+  Build(keys);
+  // In-order scan must produce each key as one contiguous run.
+  std::vector<int32_t> seen;
+  index_->ScanAll([&](TupleRef t) {
+    seen.push_back(testutil::KeyOf(t, *rel_));
+    return true;
+  });
+  ASSERT_EQ(seen.size(), 120u);
+  for (size_t i = 1; i < seen.size(); ++i) EXPECT_LE(seen[i - 1], seen[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrderedStructures, OrderedIndexTest,
+    ::testing::Values(Param{IndexKind::kArray, 2},
+                      Param{IndexKind::kAvlTree, 2},
+                      Param{IndexKind::kBTree, 2},
+                      Param{IndexKind::kBTree, 10},
+                      Param{IndexKind::kBPlusTree, 2},
+                      Param{IndexKind::kBPlusTree, 10},
+                      Param{IndexKind::kTTree, 2},
+                      Param{IndexKind::kTTree, 10},
+                      Param{IndexKind::kTTree, 50}),
+    ParamName);
+
+}  // namespace
+}  // namespace mmdb

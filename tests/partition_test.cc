@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "src/storage/partition.h"
+#include "src/storage/tuple.h"
+
+namespace mmdb {
+namespace {
+
+Schema TwoIntSchema() {
+  return Schema({{"k", Type::kInt32}, {"v", Type::kInt32}});
+}
+
+TEST(PartitionTest, InsertAssignsStableAddresses) {
+  Schema s = TwoIntSchema();
+  Partition p(0, &s, {});
+  TupleRef a = p.Insert({Value(1), Value(10)});
+  TupleRef b = p.Insert({Value(2), Value(20)});
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(p.live_count(), 2u);
+  EXPECT_EQ(tuple::GetInt32(a, 0), 1);
+  EXPECT_EQ(tuple::GetInt32(b, 0), 2);
+}
+
+TEST(PartitionTest, SlotCapacityEnforced) {
+  Schema s = TwoIntSchema();
+  Partition::Options opt;
+  opt.slot_capacity = 4;
+  Partition p(0, &s, opt);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NE(p.Insert({Value(i), Value(i)}), nullptr);
+  }
+  EXPECT_EQ(p.Insert({Value(9), Value(9)}), nullptr);
+  EXPECT_FALSE(p.HasRoomFor({Value(9), Value(9)}));
+}
+
+TEST(PartitionTest, EraseFreesSlotForReuse) {
+  Schema s = TwoIntSchema();
+  Partition::Options opt;
+  opt.slot_capacity = 2;
+  Partition p(0, &s, opt);
+  TupleRef a = p.Insert({Value(1), Value(1)});
+  p.Insert({Value(2), Value(2)});
+  EXPECT_TRUE(p.Erase(a));
+  EXPECT_EQ(p.live_count(), 1u);
+  TupleRef c = p.Insert({Value(3), Value(3)});
+  EXPECT_EQ(c, a);  // slot reused
+}
+
+TEST(PartitionTest, EraseRejectsForeignAndDeadPointers) {
+  Schema s = TwoIntSchema();
+  Partition p(0, &s, {});
+  Partition q(1, &s, {});
+  TupleRef a = p.Insert({Value(1), Value(1)});
+  EXPECT_FALSE(q.Erase(a));
+  EXPECT_TRUE(p.Erase(a));
+  EXPECT_FALSE(p.Erase(a));  // already dead
+}
+
+TEST(PartitionTest, SlotOfRefOfRoundTrip) {
+  Schema s = TwoIntSchema();
+  Partition p(3, &s, {});
+  TupleRef a = p.Insert({Value(1), Value(1)});
+  TupleRef b = p.Insert({Value(2), Value(2)});
+  EXPECT_EQ(p.RefOf(p.SlotOf(a)), a);
+  EXPECT_EQ(p.RefOf(p.SlotOf(b)), b);
+  EXPECT_TRUE(p.Contains(a));
+  EXPECT_FALSE(p.Contains(a + 1));  // unaligned interior pointer
+}
+
+TEST(PartitionTest, StringHeapAllocation) {
+  Schema s({{"name", Type::kString}, {"id", Type::kInt32}});
+  Partition p(0, &s, {});
+  TupleRef t = p.Insert({Value("alice"), Value(7)});
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(tuple::GetString(t, s.offset(0)), "alice");
+  EXPECT_GT(p.heap_used(), 0u);
+}
+
+TEST(PartitionTest, HeapExhaustionRejectsInsert) {
+  Schema s({{"name", Type::kString}});
+  Partition::Options opt;
+  opt.heap_bytes = 64;
+  Partition p(0, &s, opt);
+  std::string big(100, 'x');
+  EXPECT_FALSE(p.HasRoomFor({Value(big)}));
+  EXPECT_EQ(p.Insert({Value(big)}), nullptr);
+  // A small string still fits.
+  EXPECT_NE(p.Insert({Value("ok")}), nullptr);
+}
+
+TEST(PartitionTest, UpdateFieldInPlace) {
+  Schema s = TwoIntSchema();
+  Partition p(0, &s, {});
+  TupleRef t = p.Insert({Value(1), Value(2)});
+  EXPECT_TRUE(p.UpdateField(t, 1, Value(99)));
+  EXPECT_EQ(tuple::GetInt32(t, s.offset(1)), 99);
+}
+
+TEST(PartitionTest, UpdateStringFailsWhenHeapFull) {
+  Schema s({{"name", Type::kString}});
+  Partition::Options opt;
+  opt.heap_bytes = 32;
+  Partition p(0, &s, opt);
+  TupleRef t = p.Insert({Value("1234567890")});
+  ASSERT_NE(t, nullptr);
+  // Growing beyond the remaining heap fails (caller then relocates).
+  EXPECT_FALSE(p.UpdateField(t, 0, Value(std::string(64, 'y'))));
+}
+
+TEST(PartitionTest, ForwardingAddressLifecycle) {
+  Schema s = TwoIntSchema();
+  Partition p(0, &s, {});
+  Partition q(1, &s, {});
+  TupleRef old_ref = p.Insert({Value(1), Value(1)});
+  TupleRef new_ref = q.Insert({Value(1), Value(1)});
+  p.SetForward(old_ref, new_ref);
+  EXPECT_EQ(p.GetForward(old_ref), new_ref);
+  EXPECT_EQ(p.live_count(), 0u);
+  EXPECT_EQ(p.slot_state(p.SlotOf(old_ref)), Partition::SlotState::kForward);
+  // Live tuples are not forwarded.
+  EXPECT_EQ(q.GetForward(new_ref), nullptr);
+}
+
+TEST(PartitionTest, ForEachLiveVisitsOnlyLive) {
+  Schema s = TwoIntSchema();
+  Partition p(0, &s, {});
+  TupleRef a = p.Insert({Value(1), Value(1)});
+  p.Insert({Value(2), Value(2)});
+  p.Erase(a);
+  int count = 0;
+  p.ForEachLive([&](TupleRef t) {
+    EXPECT_EQ(tuple::GetInt32(t, 0), 2);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(PartitionTest, InsertIntoSlotExactPlacement) {
+  Schema s = TwoIntSchema();
+  Partition p(0, &s, {});
+  TupleRef t = p.InsertIntoSlot(5, {Value(9), Value(9)});
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(p.SlotOf(t), 5u);
+  // Occupied slot rejected.
+  EXPECT_EQ(p.InsertIntoSlot(5, {Value(1), Value(1)}), nullptr);
+  // Skipped slots 0..4 are still usable by regular inserts.
+  for (int i = 0; i < 5; ++i) {
+    TupleRef u = p.Insert({Value(i), Value(i)});
+    ASSERT_NE(u, nullptr);
+    EXPECT_LT(p.SlotOf(u), 5u);
+  }
+}
+
+TEST(PartitionTest, InsertIntoSlotOutOfRange) {
+  Schema s = TwoIntSchema();
+  Partition::Options opt;
+  opt.slot_capacity = 8;
+  Partition p(0, &s, opt);
+  EXPECT_EQ(p.InsertIntoSlot(8, {Value(1), Value(1)}), nullptr);
+}
+
+}  // namespace
+}  // namespace mmdb

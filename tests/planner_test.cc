@@ -1,0 +1,170 @@
+// The Section 4 preference ordering, rule by rule.
+
+#include <gtest/gtest.h>
+
+#include "src/core/planner.h"
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+using testutil::AttachKeyIndex;
+
+TEST(PlannerTest, PrecomputedJoinBeatsEverything) {
+  auto dept = testutil::IntRelation("dept", {1, 2});
+  AttachKeyIndex(dept.get(), IndexKind::kTTree);
+  Schema emp_schema({{"dept", Type::kPointer}, {"age", Type::kInt32}});
+  Relation emp("emp", emp_schema);
+  ASSERT_TRUE(emp.DeclareForeignKey(0, dept.get(), 0).ok());
+
+  JoinSpec spec{&emp, 0, dept.get(), 0};
+  JoinPlan plan = Planner::PlanJoin(spec);
+  EXPECT_EQ(plan.method, JoinMethod::kPrecomputed);
+}
+
+TEST(PlannerTest, TreeMergeWhenBothIndicesExist) {
+  auto a = testutil::IntRelation("a", {1, 2, 3});
+  auto b = testutil::IntRelation("b", {2, 3, 4});
+  AttachKeyIndex(a.get(), IndexKind::kTTree);
+  AttachKeyIndex(b.get(), IndexKind::kTTree);
+  JoinPlan plan = Planner::PlanJoin({a.get(), 0, b.get(), 0});
+  EXPECT_EQ(plan.method, JoinMethod::kTreeMerge);
+  EXPECT_NE(plan.outer_index, nullptr);
+  EXPECT_NE(plan.inner_index, nullptr);
+}
+
+TEST(PlannerTest, HashJoinWhenNoIndices) {
+  auto a = testutil::IntRelation("a", testutil::ShuffledKeys(100));
+  auto b = testutil::IntRelation("b", testutil::ShuffledKeys(100));
+  AttachKeyIndex(a.get(), IndexKind::kArray);  // primary scan vehicle only...
+  AttachKeyIndex(b.get(), IndexKind::kArray);
+  // Array indexes are ordered, so both-trees rule fires; use the seq field
+  // (unindexed) to test the no-index default instead.
+  JoinPlan plan = Planner::PlanJoin({a.get(), 1, b.get(), 1});
+  EXPECT_EQ(plan.method, JoinMethod::kHashJoin);
+}
+
+TEST(PlannerTest, TreeJoinForSmallOuterWithInnerIndex) {
+  auto small = testutil::IntRelation("small", testutil::ShuffledKeys(50));
+  auto large = testutil::IntRelation("large", testutil::ShuffledKeys(1000));
+  AttachKeyIndex(small.get(), IndexKind::kArray);
+  AttachKeyIndex(large.get(), IndexKind::kTTree);
+  // Join on seq of small (no index there) against key of large (T Tree).
+  JoinPlan plan = Planner::PlanJoin({small.get(), 1, large.get(), 0});
+  EXPECT_EQ(plan.method, JoinMethod::kTreeJoin);
+  EXPECT_NE(plan.inner_index, nullptr);
+}
+
+TEST(PlannerTest, HashJoinAgainWhenOuterTooLarge) {
+  // Same shape but |outer| = 80% of |inner|: past the ~60% crossover.
+  auto outer = testutil::IntRelation("outer", testutil::ShuffledKeys(800));
+  auto inner = testutil::IntRelation("inner", testutil::ShuffledKeys(1000));
+  AttachKeyIndex(outer.get(), IndexKind::kArray);
+  AttachKeyIndex(inner.get(), IndexKind::kTTree);
+  JoinPlan plan = Planner::PlanJoin({outer.get(), 1, inner.get(), 0});
+  EXPECT_EQ(plan.method, JoinMethod::kHashJoin);
+}
+
+TEST(PlannerTest, ExistingHashIndexPreferredOverBuild) {
+  auto outer = testutil::IntRelation("outer", testutil::ShuffledKeys(800));
+  auto inner = testutil::IntRelation("inner", testutil::ShuffledKeys(1000));
+  AttachKeyIndex(outer.get(), IndexKind::kArray);
+  AttachKeyIndex(inner.get(), IndexKind::kModifiedLinearHash);
+  JoinPlan plan = Planner::PlanJoin({outer.get(), 1, inner.get(), 0});
+  EXPECT_EQ(plan.method, JoinMethod::kHashProbe);
+  EXPECT_NE(plan.inner_hash, nullptr);
+}
+
+TEST(PlannerTest, SortMergeForHighDuplicatesSkewed) {
+  auto a = testutil::IntRelation("a", {1, 1, 1, 1});
+  auto b = testutil::IntRelation("b", {1, 1, 1, 1});
+  AttachKeyIndex(a.get(), IndexKind::kTTree);
+  AttachKeyIndex(b.get(), IndexKind::kTTree);
+  JoinStats stats;
+  stats.duplicate_pct = 85;
+  stats.skewed = true;
+  stats.semijoin_selectivity = 100;
+  JoinPlan plan = Planner::PlanJoin({a.get(), 0, b.get(), 0}, stats);
+  EXPECT_EQ(plan.method, JoinMethod::kSortMerge);
+}
+
+TEST(PlannerTest, UniformDuplicatesNeedHigherThreshold) {
+  auto a = testutil::IntRelation("a", {1, 1});
+  auto b = testutil::IntRelation("b", {1, 1});
+  AttachKeyIndex(a.get(), IndexKind::kTTree);
+  AttachKeyIndex(b.get(), IndexKind::kTTree);
+  JoinStats stats;
+  stats.duplicate_pct = 85;  // below the ~97% uniform crossover
+  stats.skewed = false;
+  JoinPlan plan = Planner::PlanJoin({a.get(), 0, b.get(), 0}, stats);
+  EXPECT_EQ(plan.method, JoinMethod::kTreeMerge);
+  stats.duplicate_pct = 98;
+  plan = Planner::PlanJoin({a.get(), 0, b.get(), 0}, stats);
+  EXPECT_EQ(plan.method, JoinMethod::kSortMerge);
+}
+
+TEST(PlannerTest, LowSelectivitySuppressesSortMerge) {
+  auto a = testutil::IntRelation("a", {1, 1});
+  auto b = testutil::IntRelation("b", {1, 1});
+  AttachKeyIndex(a.get(), IndexKind::kTTree);
+  AttachKeyIndex(b.get(), IndexKind::kTTree);
+  JoinStats stats;
+  stats.duplicate_pct = 90;
+  stats.skewed = true;
+  stats.semijoin_selectivity = 5;  // few matches: output small, merge wins
+  JoinPlan plan = Planner::PlanJoin({a.get(), 0, b.get(), 0}, stats);
+  EXPECT_EQ(plan.method, JoinMethod::kTreeMerge);
+}
+
+TEST(PlannerTest, ExecuteJoinDispatchesAllMethods) {
+  auto a = testutil::IntRelation("a", {1, 2, 3});
+  auto b = testutil::IntRelation("b", {2, 3, 4});
+  auto* at = AttachKeyIndex(a.get(), IndexKind::kTTree);
+  auto* bt = AttachKeyIndex(b.get(), IndexKind::kTTree);
+  auto* bh = AttachKeyIndex(b.get(), IndexKind::kChainedBucketHash);
+  JoinSpec spec{a.get(), 0, b.get(), 0};
+
+  for (JoinMethod m :
+       {JoinMethod::kTreeMerge, JoinMethod::kTreeJoin, JoinMethod::kHashProbe,
+        JoinMethod::kHashJoin, JoinMethod::kSortMerge,
+        JoinMethod::kNestedLoops}) {
+    JoinPlan plan;
+    plan.method = m;
+    plan.outer_index = static_cast<const OrderedIndex*>(at);
+    plan.inner_index = static_cast<const OrderedIndex*>(bt);
+    plan.inner_hash = static_cast<const HashIndex*>(bh);
+    TempList out = Planner::ExecuteJoin(spec, plan);
+    EXPECT_EQ(out.size(), 2u) << JoinMethodName(m);
+  }
+}
+
+TEST(PlannerTest, PlanSelectOrdering) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(10));
+  AttachKeyIndex(rel.get(), IndexKind::kTTree);
+  AttachKeyIndex(rel.get(), IndexKind::kExtendibleHash);
+  Predicate eq;
+  eq.Add(0, CompareOp::kEq, Value(1));
+  EXPECT_EQ(Planner::PlanSelect(*rel, eq), AccessPath::kHashLookup);
+  Predicate range;
+  range.Add(0, CompareOp::kGt, Value(1));
+  EXPECT_EQ(Planner::PlanSelect(*rel, range), AccessPath::kTreeRange);
+  Predicate unindexed;
+  unindexed.Add(1, CompareOp::kEq, Value(1));
+  EXPECT_EQ(Planner::PlanSelect(*rel, unindexed),
+            AccessPath::kSequentialScan);
+}
+
+TEST(PlannerTest, JoinConvenienceRunsPlan) {
+  auto a = testutil::IntRelation("a", {1, 2, 3});
+  auto b = testutil::IntRelation("b", {2, 3, 4});
+  AttachKeyIndex(a.get(), IndexKind::kTTree);
+  AttachKeyIndex(b.get(), IndexKind::kTTree);
+  JoinPlan plan;
+  TempList out = Planner::Join({a.get(), 0, b.get(), 0}, JoinStats(), &plan);
+  EXPECT_EQ(plan.method, JoinMethod::kTreeMerge);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_FALSE(plan.rationale.empty());
+}
+
+}  // namespace
+}  // namespace mmdb

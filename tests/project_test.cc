@@ -1,0 +1,130 @@
+// Duplicate elimination (Section 3.4): Sort Scan and Hashing must both
+// produce exactly one row per distinct output-column combination.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/exec/project.h"
+#include "src/exec/select.h"
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+/// Materialized output rows as value tuples, sorted (order-insensitive).
+std::multiset<std::vector<int32_t>> Rows(const TempList& list) {
+  std::multiset<std::vector<int32_t>> out;
+  for (size_t r = 0; r < list.size(); ++r) {
+    std::vector<int32_t> row;
+    for (size_t c = 0; c < list.descriptor().columns().size(); ++c) {
+      row.push_back(list.GetValue(r, c).AsInt32());
+    }
+    out.insert(row);
+  }
+  return out;
+}
+
+TempList ListOf(const Relation& rel, std::vector<uint16_t> columns) {
+  ResultDescriptor desc({&rel});
+  for (uint16_t c : columns) desc.AddColumn(0, c);
+  TempList list(desc);
+  rel.ForEachTuple([&](TupleRef t) { list.Append1(t); });
+  return list;
+}
+
+TEST(ProjectTest, NoDuplicatesIsIdentity) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(100));
+  TempList in = ListOf(*rel, {0});
+  EXPECT_EQ(ProjectSortScan(in).size(), 100u);
+  EXPECT_EQ(ProjectHash(in).size(), 100u);
+}
+
+TEST(ProjectTest, DuplicatesCollapseToDistinct) {
+  std::vector<int32_t> keys;
+  for (int32_t k = 0; k < 20; ++k) {
+    for (int c = 0; c <= k % 5; ++c) keys.push_back(k);
+  }
+  auto rel = testutil::IntRelation("r", keys);
+  TempList in = ListOf(*rel, {0});
+  TempList sorted = ProjectSortScan(in);
+  TempList hashed = ProjectHash(in);
+  EXPECT_EQ(sorted.size(), 20u);
+  EXPECT_EQ(hashed.size(), 20u);
+  EXPECT_EQ(Rows(sorted), Rows(hashed));
+}
+
+TEST(ProjectTest, BothMethodsAgreeOnRandomData) {
+  Rng rng(4242);
+  std::vector<int32_t> keys(1000);
+  for (auto& k : keys) k = static_cast<int32_t>(rng.NextBounded(80));
+  auto rel = testutil::IntRelation("r", keys);
+  TempList in = ListOf(*rel, {0});
+
+  std::set<int32_t> distinct(keys.begin(), keys.end());
+  TempList sorted = ProjectSortScan(in);
+  TempList hashed = ProjectHash(in);
+  EXPECT_EQ(sorted.size(), distinct.size());
+  EXPECT_EQ(hashed.size(), distinct.size());
+  EXPECT_EQ(Rows(sorted), Rows(hashed));
+}
+
+TEST(ProjectTest, MultiColumnDistinctness) {
+  // Same key but different seq => rows are NOT duplicates when seq is in
+  // the output; ARE duplicates when only key is projected.
+  auto rel = testutil::IntRelation("r", {7, 7, 7});
+  TempList both = ListOf(*rel, {0, 1});
+  EXPECT_EQ(ProjectHash(both).size(), 3u);
+  EXPECT_EQ(ProjectSortScan(both).size(), 3u);
+  TempList key_only = ListOf(*rel, {0});
+  EXPECT_EQ(ProjectHash(key_only).size(), 1u);
+  EXPECT_EQ(ProjectSortScan(key_only).size(), 1u);
+}
+
+TEST(ProjectTest, ProjectionIsDescriptorOnly) {
+  // "No width reduction is ever done": the output TempList still holds
+  // tuple pointers into the base relation, just fewer logical columns.
+  auto rel = testutil::IntRelation("r", {1, 1, 2});
+  TempList in = ListOf(*rel, {0});
+  TempList out = ProjectHash(in);
+  ASSERT_EQ(out.size(), 2u);
+  Partition* p = rel->PartitionOf(out.At(0, 0));
+  EXPECT_NE(p, nullptr);  // pointers still target base tuples
+}
+
+TEST(ProjectTest, EmptyInput) {
+  auto rel = testutil::IntRelation("r", {});
+  TempList in = ListOf(*rel, {0});
+  EXPECT_EQ(ProjectSortScan(in).size(), 0u);
+  EXPECT_EQ(ProjectHash(in).size(), 0u);
+}
+
+TEST(ProjectTest, AllIdenticalRows) {
+  auto rel = testutil::IntRelation("r", std::vector<int32_t>(500, 9));
+  TempList in = ListOf(*rel, {0});
+  EXPECT_EQ(ProjectSortScan(in).size(), 1u);
+  EXPECT_EQ(ProjectHash(in).size(), 1u);
+}
+
+TEST(ProjectTest, CompareAndHashRowsConsistency) {
+  auto rel = testutil::IntRelation("r", {3, 3, 5});
+  TempList in = ListOf(*rel, {0});
+  EXPECT_EQ(CompareRows(in, 0, 1), 0);
+  EXPECT_NE(CompareRows(in, 0, 2), 0);
+  EXPECT_EQ(HashRow(in, 0), HashRow(in, 1));
+}
+
+TEST(ProjectTest, SortScanOutputIsSorted) {
+  Rng rng(7);
+  std::vector<int32_t> keys(200);
+  for (auto& k : keys) k = static_cast<int32_t>(rng.NextBounded(50));
+  auto rel = testutil::IntRelation("r", keys);
+  TempList in = ListOf(*rel, {0});
+  TempList out = ProjectSortScan(in);
+  for (size_t r = 1; r < out.size(); ++r) {
+    EXPECT_LT(out.GetValue(r - 1, 0).AsInt32(), out.GetValue(r, 0).AsInt32());
+  }
+}
+
+}  // namespace
+}  // namespace mmdb

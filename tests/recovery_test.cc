@@ -1,0 +1,222 @@
+// Crash recovery (Section 2.4): disk copy + change-accumulation log merge,
+// working-set-first ordering, foreign-key pointer resolution.
+
+#include <gtest/gtest.h>
+
+#include "src/txn/recovery.h"
+#include "src/txn/transaction.h"
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  RecoveryTest() : device_(&log_, &disk_), mgr_(&catalog_, &log_, &locks_) {}
+
+  Relation* MakeRel(Catalog* catalog, const std::string& name) {
+    Relation* rel = catalog->CreateRelation(
+        name, Schema({{"key", Type::kInt32}, {"seq", Type::kInt32}}));
+    testutil::AttachKeyIndex(rel, IndexKind::kTTree);
+    return rel;
+  }
+
+  Catalog catalog_;
+  StableLogBuffer log_;
+  DiskImage disk_;
+  LogDevice device_;
+  LockManager locks_;
+  TransactionManager mgr_;
+};
+
+TEST_F(RecoveryTest, CheckpointOnlyRoundTrip) {
+  Relation* rel = MakeRel(&catalog_, "r");
+  for (int i = 0; i < 100; ++i) rel->Insert({Value(i), Value(i)});
+  disk_.CheckpointRelation(*rel);
+
+  Catalog fresh;
+  Relation* restored = MakeRel(&fresh, "r");
+  RecoveryManager recovery(&disk_, &device_);
+  ASSERT_TRUE(recovery.RecoverRelation(restored).ok());
+  ASSERT_TRUE(recovery.ResolvePointers(fresh).ok());
+
+  EXPECT_EQ(restored->cardinality(), 100u);
+  EXPECT_EQ(recovery.progress().tuples_loaded, 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(restored->primary_index()->Find(Value(i)), nullptr);
+  }
+}
+
+TEST_F(RecoveryTest, UnpropagatedLogRecordsMergedOnTheFly) {
+  Relation* rel = MakeRel(&catalog_, "r");
+  TupleRef doomed = rel->Insert({Value(1), Value(0)});
+  rel->Insert({Value(2), Value(1)});
+  disk_.CheckpointRelation(*rel);  // disk copy has {1, 2}
+
+  // Post-checkpoint committed work: insert 3, update 2 -> 20, delete 1.
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(txn->Insert("r", {Value(3), Value(2)}).ok());
+  TupleRef two = rel->primary_index()->Find(Value(2));
+  ASSERT_TRUE(txn->Update("r", two, 0, Value(20)).ok());
+  ASSERT_TRUE(txn->Delete("r", doomed).ok());
+  ASSERT_TRUE(txn->Commit().ok());
+
+  // The log device pumped but did NOT propagate: recovery must merge.
+  EXPECT_EQ(device_.Pump(), 3u);
+
+  Catalog fresh;
+  Relation* restored = MakeRel(&fresh, "r");
+  RecoveryManager recovery(&disk_, &device_);
+  ASSERT_TRUE(recovery.RecoverRelation(restored).ok());
+  EXPECT_EQ(recovery.progress().log_records_merged, 3u);
+  EXPECT_EQ(restored->cardinality(), 2u);
+  EXPECT_EQ(restored->primary_index()->Find(Value(1)), nullptr);   // deleted
+  EXPECT_EQ(restored->primary_index()->Find(Value(2)), nullptr);   // updated
+  EXPECT_NE(restored->primary_index()->Find(Value(20)), nullptr);
+  EXPECT_NE(restored->primary_index()->Find(Value(3)), nullptr);   // inserted
+}
+
+TEST_F(RecoveryTest, PropagatedRecordsNotDoubleApplied) {
+  Relation* rel = MakeRel(&catalog_, "r");
+  rel->Insert({Value(1), Value(0)});
+  disk_.CheckpointRelation(*rel);
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(txn->Insert("r", {Value(2), Value(1)}).ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  device_.RunCycle();  // fully propagated to the disk copy
+  EXPECT_EQ(device_.accumulated(), 0u);
+
+  Catalog fresh;
+  Relation* restored = MakeRel(&fresh, "r");
+  RecoveryManager recovery(&disk_, &device_);
+  ASSERT_TRUE(recovery.RecoverRelation(restored).ok());
+  EXPECT_EQ(restored->cardinality(), 2u);
+  EXPECT_EQ(recovery.progress().log_records_merged, 0u);
+}
+
+TEST_F(RecoveryTest, PartitionCreatedAfterCheckpointExistsOnlyInLog) {
+  // An insert that lands in a brand-new partition is recoverable even
+  // though the disk copy has never seen that partition.
+  Relation* rel = catalog_.CreateRelation(
+      "r", Schema({{"key", Type::kInt32}, {"seq", Type::kInt32}}),
+      [] {
+        Relation::Options o;
+        o.partition.slot_capacity = 2;
+        return o;
+      }());
+  testutil::AttachKeyIndex(rel, IndexKind::kTTree);
+  rel->Insert({Value(1), Value(0)});
+  rel->Insert({Value(2), Value(1)});
+  disk_.CheckpointRelation(*rel);  // partition 0 only
+
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(txn->Insert("r", {Value(3), Value(2)}).ok());  // partition 1
+  ASSERT_TRUE(txn->Commit().ok());
+  device_.Pump();
+
+  Catalog fresh;
+  Relation* restored = catalog_.Get("ignored") == nullptr
+                           ? fresh.CreateRelation(
+                                 "r", Schema({{"key", Type::kInt32},
+                                              {"seq", Type::kInt32}}))
+                           : nullptr;
+  testutil::AttachKeyIndex(restored, IndexKind::kTTree);
+  RecoveryManager recovery(&disk_, &device_);
+  EXPECT_EQ(recovery.KnownPartitions("r").size(), 2u);
+  ASSERT_TRUE(recovery.RecoverRelation(restored).ok());
+  EXPECT_EQ(restored->cardinality(), 3u);
+  EXPECT_NE(restored->primary_index()->Find(Value(3)), nullptr);
+}
+
+TEST_F(RecoveryTest, WorkingSetPartitionsLoadFirst) {
+  Relation::Options opt;
+  opt.partition.slot_capacity = 8;
+  Relation* rel = catalog_.CreateRelation(
+      "r", Schema({{"key", Type::kInt32}, {"seq", Type::kInt32}}), opt);
+  testutil::AttachKeyIndex(rel, IndexKind::kTTree);
+  for (int i = 0; i < 64; ++i) rel->Insert({Value(i), Value(i)});
+  disk_.CheckpointRelation(*rel);
+  ASSERT_GE(rel->partitions().size(), 8u);
+
+  Catalog fresh;
+  Relation* restored = fresh.CreateRelation(
+      "r", Schema({{"key", Type::kInt32}, {"seq", Type::kInt32}}), opt);
+  testutil::AttachKeyIndex(restored, IndexKind::kTTree);
+  RecoveryManager recovery(&disk_, &device_);
+  // Prioritize partition 5 (the "working set"), then load the rest.
+  ASSERT_TRUE(recovery.LoadPartition(restored, 5).ok());
+  // Tuples of partition 5 are usable immediately...
+  EXPECT_EQ(restored->partitions().size(), 6u);  // 0..5 exist (0-4 empty)
+  EXPECT_GT(restored->cardinality(), 0u);
+  // ...and the background pass fills in the remainder.
+  ASSERT_TRUE(recovery.RecoverRelation(restored, {5}).ok());
+  EXPECT_EQ(restored->cardinality(), 64u);
+}
+
+TEST_F(RecoveryTest, ForeignKeyPointersResolveAcrossRelations) {
+  Relation* dept = MakeRel(&catalog_, "dept");
+  Relation* emp = catalog_.CreateRelation(
+      "emp", Schema({{"dept", Type::kPointer}, {"age", Type::kInt32}}));
+  auto ops = std::make_shared<FieldKeyOps>(&emp->schema(), 1);
+  auto index = CreateIndex(IndexKind::kTTree, ops, IndexConfig());
+  index->set_key_fields({1});
+  emp->AttachIndex(std::move(index));
+  ASSERT_TRUE(emp->DeclareForeignKey(0, dept, 0).ok());
+
+  dept->Insert({Value(100), Value(0)});
+  dept->Insert({Value(200), Value(1)});
+  ASSERT_NE(emp->Insert({Value(200), Value(30)}), nullptr);
+  disk_.CheckpointRelation(*dept);
+  disk_.CheckpointRelation(*emp);
+
+  Catalog fresh;
+  Relation* dept2 = MakeRel(&fresh, "dept");
+  Relation* emp2 = fresh.CreateRelation(
+      "emp", Schema({{"dept", Type::kPointer}, {"age", Type::kInt32}}));
+  auto ops2 = std::make_shared<FieldKeyOps>(&emp2->schema(), 1);
+  auto index2 = CreateIndex(IndexKind::kTTree, ops2, IndexConfig());
+  index2->set_key_fields({1});
+  emp2->AttachIndex(std::move(index2));
+  ASSERT_TRUE(emp2->DeclareForeignKey(0, dept2, 0).ok());
+
+  RecoveryManager recovery(&disk_, &device_);
+  ASSERT_TRUE(recovery.RecoverRelation(emp2).ok());   // FK source first:
+  ASSERT_TRUE(recovery.RecoverRelation(dept2).ok());  // order must not matter
+  ASSERT_TRUE(recovery.ResolvePointers(fresh).ok());
+  EXPECT_EQ(recovery.progress().pointers_resolved, 1u);
+
+  TupleRef e = emp2->primary_index()->Find(Value(30));
+  ASSERT_NE(e, nullptr);
+  TupleRef d = tuple::GetPointer(e, emp2->schema().offset(0));
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(testutil::KeyOf(d, *dept2), 200);
+}
+
+TEST_F(RecoveryTest, MissingForeignRelationFailsPointerResolution) {
+  Relation* dept = MakeRel(&catalog_, "dept");
+  Relation* emp = catalog_.CreateRelation(
+      "emp", Schema({{"dept", Type::kPointer}}));
+  auto ops = std::make_shared<SelfPointerKeyOps>();
+  auto index = CreateIndex(IndexKind::kTTree, std::move(ops), IndexConfig());
+  emp->AttachIndex(std::move(index));
+  ASSERT_TRUE(emp->DeclareForeignKey(0, dept, 0).ok());
+  dept->Insert({Value(1), Value(0)});
+  ASSERT_NE(emp->Insert({Value(1)}), nullptr);
+  disk_.CheckpointRelation(*emp);
+
+  Catalog fresh;  // note: no "dept" relation recreated
+  Relation* emp2 = fresh.CreateRelation(
+      "emp", Schema({{"dept", Type::kPointer}}));
+  Relation* dept2 = MakeRel(&fresh, "dept_renamed");
+  auto index2 = CreateIndex(IndexKind::kTTree,
+                            std::make_shared<SelfPointerKeyOps>(),
+                            IndexConfig());
+  emp2->AttachIndex(std::move(index2));
+  ASSERT_TRUE(emp2->DeclareForeignKey(0, dept2, 0).ok());
+  RecoveryManager recovery(&disk_, &device_);
+  ASSERT_TRUE(recovery.RecoverRelation(emp2).ok());
+  EXPECT_FALSE(recovery.ResolvePointers(fresh).ok());
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "src/index/ttree.h"
+#include "src/storage/relation.h"
+#include "src/storage/tuple.h"
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+using testutil::AttachKeyIndex;
+using testutil::KeyOf;
+
+TEST(RelationTest, InsertAndCardinality) {
+  auto rel = testutil::IntRelation("r", {5, 3, 8});
+  EXPECT_EQ(rel->cardinality(), 3u);
+  EXPECT_EQ(rel->name(), "r");
+}
+
+TEST(RelationTest, GrowsPartitionsAsNeeded) {
+  Schema s({{"k", Type::kInt32}});
+  Relation::Options opt;
+  opt.partition.slot_capacity = 16;
+  Relation rel("r", s, opt);
+  for (int i = 0; i < 100; ++i) rel.Insert({Value(i)});
+  EXPECT_EQ(rel.cardinality(), 100u);
+  EXPECT_GE(rel.partitions().size(), 100u / 16);
+  // Every tuple reachable through a full scan.
+  int count = 0;
+  rel.ForEachTuple([&](TupleRef) { ++count; });
+  EXPECT_EQ(count, 100);
+}
+
+TEST(RelationTest, IndexMaintainedOnInsertAndDelete) {
+  auto rel = testutil::IntRelation("r", {});
+  TupleIndex* index = AttachKeyIndex(rel.get(), IndexKind::kTTree);
+  TupleRef t5 = rel->Insert({Value(5), Value(0)});
+  rel->Insert({Value(7), Value(1)});
+  EXPECT_EQ(index->size(), 2u);
+  EXPECT_EQ(index->Find(Value(5)), t5);
+  ASSERT_TRUE(rel->Delete(t5).ok());
+  EXPECT_EQ(index->size(), 1u);
+  EXPECT_EQ(index->Find(Value(5)), nullptr);
+  EXPECT_EQ(rel->cardinality(), 1u);
+}
+
+TEST(RelationTest, AttachIndexBulkLoadsExistingTuples) {
+  auto rel = testutil::IntRelation("r", {4, 1, 3, 2});
+  TupleIndex* index = AttachKeyIndex(rel.get(), IndexKind::kTTree);
+  EXPECT_EQ(index->size(), 4u);
+  EXPECT_EQ(testutil::CollectKeys(*index, *rel),
+            (std::vector<int32_t>{1, 2, 3, 4}));
+}
+
+TEST(RelationTest, UniqueIndexRejectsDuplicateInsert) {
+  auto rel = testutil::IntRelation("r", {});
+  IndexConfig config;
+  config.unique = true;
+  AttachKeyIndex(rel.get(), IndexKind::kTTree, config);
+  EXPECT_NE(rel->Insert({Value(5), Value(0)}), nullptr);
+  EXPECT_EQ(rel->Insert({Value(5), Value(1)}), nullptr);  // rejected
+  EXPECT_EQ(rel->cardinality(), 1u);
+}
+
+TEST(RelationTest, UniqueRejectionRollsBackOtherIndexes) {
+  auto rel = testutil::IntRelation("r", {});
+  AttachKeyIndex(rel.get(), IndexKind::kChainedBucketHash);  // non-unique
+  IndexConfig config;
+  config.unique = true;
+  AttachKeyIndex(rel.get(), IndexKind::kTTree, config);
+  rel->Insert({Value(5), Value(0)});
+  EXPECT_EQ(rel->Insert({Value(5), Value(1)}), nullptr);
+  // The hash index must not have kept the phantom tuple.
+  EXPECT_EQ(rel->indexes()[0]->size(), 1u);
+  EXPECT_EQ(rel->indexes()[1]->size(), 1u);
+}
+
+TEST(RelationTest, UpdateFieldRewritesKeyedIndexes) {
+  auto rel = testutil::IntRelation("r", {10, 20});
+  TupleIndex* index = AttachKeyIndex(rel.get(), IndexKind::kTTree);
+  TupleRef t = index->Find(Value(10));
+  ASSERT_NE(t, nullptr);
+  ASSERT_TRUE(rel->UpdateField(t, 0, Value(15)).ok());
+  EXPECT_EQ(index->Find(Value(10)), nullptr);
+  EXPECT_EQ(index->Find(Value(15)), t);
+  EXPECT_EQ(KeyOf(t, *rel), 15);
+}
+
+TEST(RelationTest, UpdateFieldUniqueConflictRefused) {
+  auto rel = testutil::IntRelation("r", {});
+  IndexConfig config;
+  config.unique = true;
+  TupleIndex* index = AttachKeyIndex(rel.get(), IndexKind::kTTree, config);
+  TupleRef a = rel->Insert({Value(1), Value(0)});
+  rel->Insert({Value(2), Value(1)});
+  Status s = rel->UpdateField(a, 0, Value(2));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(index->Find(Value(1)), a);  // unchanged
+}
+
+TEST(RelationTest, StringGrowthRelocatesWithForwarding) {
+  Schema schema({{"name", Type::kString}, {"id", Type::kInt32}});
+  Relation::Options opt;
+  opt.partition.slot_capacity = 8;
+  opt.partition.heap_bytes = 64;
+  Relation rel("r", schema, opt);
+  auto ops = std::make_shared<FieldKeyOps>(&rel.schema(), 1);
+  auto index = CreateIndex(IndexKind::kTTree, ops, IndexConfig());
+  index->set_key_fields({1});
+  TupleIndex* raw = rel.AttachIndex(std::move(index));
+
+  TupleRef t = rel.Insert({Value("short"), Value(7)});
+  ASSERT_NE(t, nullptr);
+  // Grow past the partition's tiny heap: the tuple must move.
+  std::string big(60, 'z');
+  ASSERT_TRUE(rel.UpdateField(t, 0, Value(big)).ok());
+  TupleRef now = rel.Resolve(t);
+  EXPECT_NE(now, t);  // relocated, old slot forwards
+  EXPECT_EQ(tuple::GetString(now, schema.offset(0)), big);
+  EXPECT_EQ(raw->Find(Value(7)), now);  // index rewritten to new address
+  // Old address still routes through the forwarding pointer.
+  EXPECT_EQ(rel.Resolve(t), now);
+}
+
+TEST(RelationTest, ForeignKeyMaterializedAsPointer) {
+  auto dept = testutil::IntRelation("dept", {100, 200});
+  AttachKeyIndex(dept.get(), IndexKind::kTTree);
+  Schema emp_schema({{"dept", Type::kPointer}, {"age", Type::kInt32}});
+  Relation emp("emp", emp_schema);
+  ASSERT_TRUE(emp.DeclareForeignKey(0, dept.get(), 0).ok());
+
+  TupleRef e = emp.Insert({Value(200), Value(30)});  // resolves 200 -> pointer
+  ASSERT_NE(e, nullptr);
+  TupleRef d = tuple::GetPointer(e, emp_schema.offset(0));
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(KeyOf(d, *dept), 200);
+}
+
+TEST(RelationTest, DanglingForeignKeyRejected) {
+  auto dept = testutil::IntRelation("dept", {100});
+  AttachKeyIndex(dept.get(), IndexKind::kTTree);
+  Schema emp_schema({{"dept", Type::kPointer}});
+  Relation emp("emp", emp_schema);
+  ASSERT_TRUE(emp.DeclareForeignKey(0, dept.get(), 0).ok());
+  EXPECT_EQ(emp.Insert({Value(999)}), nullptr);
+}
+
+TEST(RelationTest, ForeignKeyDeclValidation) {
+  auto dept = testutil::IntRelation("dept", {1});
+  Schema emp_schema({{"dept", Type::kPointer}, {"age", Type::kInt32}});
+  Relation emp("emp", emp_schema);
+  EXPECT_FALSE(emp.DeclareForeignKey(1, dept.get(), 0).ok());  // not kPointer
+  EXPECT_FALSE(emp.DeclareForeignKey(0, dept.get(), 9).ok());  // bad target
+  EXPECT_TRUE(emp.DeclareForeignKey(0, dept.get(), 0).ok());
+  EXPECT_FALSE(emp.DeclareForeignKey(0, dept.get(), 0).ok());  // duplicate
+}
+
+TEST(RelationTest, PartitionOfAndIdOfRoundTrip) {
+  auto rel = testutil::IntRelation("r", {1, 2, 3});
+  TupleRef t = nullptr;
+  rel->ForEachTuple([&](TupleRef u) {
+    if (t == nullptr) t = u;
+  });
+  ASSERT_NE(t, nullptr);
+  Partition* p = rel->PartitionOf(t);
+  ASSERT_NE(p, nullptr);
+  TupleId tid = rel->IdOf(t);
+  EXPECT_EQ(rel->RefOf(tid), t);
+  EXPECT_EQ(rel->PartitionOf(reinterpret_cast<TupleRef>(&p)), nullptr);
+}
+
+TEST(RelationTest, InsertAtPlacesExactly) {
+  auto rel = testutil::IntRelation("r", {});
+  TupleIndex* index = AttachKeyIndex(rel.get(), IndexKind::kTTree);
+  TupleRef t = rel->InsertAt(TupleId{2, 17}, {Value(5), Value(0)});
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(rel->IdOf(t).partition, 2u);
+  EXPECT_EQ(rel->IdOf(t).slot, 17u);
+  EXPECT_EQ(index->Find(Value(5)), t);
+  EXPECT_EQ(rel->partitions().size(), 3u);  // 0,1,2 created
+}
+
+TEST(RelationTest, DetachIndexRules) {
+  auto rel = testutil::IntRelation("r", {1});
+  TupleIndex* a = AttachKeyIndex(rel.get(), IndexKind::kTTree);
+  TupleIndex* b = AttachKeyIndex(rel.get(), IndexKind::kChainedBucketHash);
+  // Primary cannot go while secondaries exist.
+  EXPECT_FALSE(rel->DetachIndex(a->name()).ok());
+  EXPECT_TRUE(rel->DetachIndex(b->name()).ok());
+  // Last index cannot go while tuples exist (Section 2.1).
+  EXPECT_FALSE(rel->DetachIndex(a->name()).ok());
+  EXPECT_FALSE(rel->DetachIndex("nonexistent").ok());
+}
+
+TEST(RelationTest, DeleteRejectsForeignTuple) {
+  auto r1 = testutil::IntRelation("a", {1});
+  auto r2 = testutil::IntRelation("b", {1});
+  TupleRef foreign = nullptr;
+  r2->ForEachTuple([&](TupleRef t) { foreign = t; });
+  EXPECT_FALSE(r1->Delete(foreign).ok());
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "src/storage/schema.h"
+
+namespace mmdb {
+namespace {
+
+TEST(SchemaTest, OffsetsAndSize) {
+  Schema s({{"a", Type::kInt32},
+            {"b", Type::kInt64},
+            {"c", Type::kInt32},
+            {"d", Type::kString}});
+  EXPECT_EQ(s.field_count(), 4u);
+  EXPECT_EQ(s.offset(0), 0u);
+  EXPECT_EQ(s.offset(1), 8u);  // int64 aligned up from 4
+  EXPECT_EQ(s.offset(2), 16u);
+  EXPECT_EQ(s.offset(3), 24u);  // string pointer aligned to 8
+  EXPECT_EQ(s.tuple_bytes(), 32u);
+}
+
+TEST(SchemaTest, PackedInt32Pair) {
+  Schema s({{"a", Type::kInt32}, {"b", Type::kInt32}});
+  EXPECT_EQ(s.offset(1), 4u);
+  EXPECT_EQ(s.tuple_bytes(), 8u);
+}
+
+TEST(SchemaTest, EmptySchemaHasNonzeroStride) {
+  Schema s;
+  EXPECT_EQ(s.field_count(), 0u);
+  EXPECT_GE(s.tuple_bytes(), 8u);
+}
+
+TEST(SchemaTest, FieldIndexLookup) {
+  Schema s({{"name", Type::kString}, {"id", Type::kInt32}});
+  EXPECT_EQ(s.FieldIndex("name"), 0u);
+  EXPECT_EQ(s.FieldIndex("id"), 1u);
+  EXPECT_FALSE(s.FieldIndex("missing").has_value());
+}
+
+TEST(SchemaTest, Equality) {
+  Schema a({{"x", Type::kInt32}});
+  Schema b({{"x", Type::kInt32}});
+  Schema c({{"x", Type::kInt64}});
+  Schema d({{"y", Type::kInt32}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(SchemaTest, ToStringListsFields) {
+  Schema s({{"name", Type::kString}, {"id", Type::kInt32}});
+  EXPECT_EQ(s.ToString(), "name:string, id:int32");
+}
+
+TEST(SchemaTest, PointerFieldLayout) {
+  Schema s({{"fk", Type::kPointer}, {"v", Type::kInt32}});
+  EXPECT_EQ(s.offset(0), 0u);
+  EXPECT_EQ(s.offset(1), 8u);
+  EXPECT_EQ(s.tuple_bytes(), 16u);
+}
+
+}  // namespace
+}  // namespace mmdb

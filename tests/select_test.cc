@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "src/exec/select.h"
+#include "src/util/counters.h"
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+using testutil::AttachKeyIndex;
+
+std::vector<int32_t> Keys(const TempList& list, const Relation& rel) {
+  std::vector<int32_t> out;
+  for (size_t r = 0; r < list.size(); ++r) {
+    out.push_back(testutil::KeyOf(list.At(r, 0), rel));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(PredicateTest, ConditionOps) {
+  auto rel = testutil::IntRelation("r", {10});
+  TupleRef t = nullptr;
+  rel->ForEachTuple([&](TupleRef u) { t = u; });
+  const Schema& s = rel->schema();
+  auto matches = [&](CompareOp op, int32_t v) {
+    Condition c{0, op, Value(v)};
+    return c.Matches(t, s);
+  };
+  EXPECT_TRUE(matches(CompareOp::kEq, 10));
+  EXPECT_FALSE(matches(CompareOp::kEq, 11));
+  EXPECT_TRUE(matches(CompareOp::kNe, 11));
+  EXPECT_TRUE(matches(CompareOp::kLt, 11));
+  EXPECT_FALSE(matches(CompareOp::kLt, 10));
+  EXPECT_TRUE(matches(CompareOp::kLe, 10));
+  EXPECT_TRUE(matches(CompareOp::kGt, 9));
+  EXPECT_TRUE(matches(CompareOp::kGe, 10));
+  EXPECT_FALSE(matches(CompareOp::kGe, 11));
+}
+
+TEST(PredicateTest, ConjunctionAndLookups) {
+  Predicate p;
+  p.Add(0, CompareOp::kGe, Value(10)).Add(1, CompareOp::kEq, Value(3));
+  EXPECT_EQ(p.conditions().size(), 2u);
+  EXPECT_TRUE(p.EqualityOn(1).has_value());
+  EXPECT_FALSE(p.EqualityOn(0).has_value());
+  EXPECT_TRUE(p.SargableOn(0).has_value());
+  Predicate ne;
+  ne.Add(0, CompareOp::kNe, Value(1));
+  EXPECT_FALSE(ne.SargableOn(0).has_value());
+}
+
+TEST(PredicateTest, ToStringRendering) {
+  auto rel = testutil::IntRelation("r", {});
+  Predicate p;
+  p.Add(0, CompareOp::kGt, Value(65));
+  EXPECT_EQ(p.ToString(rel->schema()), "key > 65");
+  EXPECT_EQ(Predicate().ToString(rel->schema()), "true");
+}
+
+TEST(SelectTest, SequentialScanFiltersAll) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(100));
+  AttachKeyIndex(rel.get(), IndexKind::kArray);  // scan vehicle
+  Predicate p;
+  p.Add(0, CompareOp::kLt, Value(10));
+  TempList out = SelectScan(*rel, p);
+  EXPECT_EQ(Keys(out, *rel),
+            (std::vector<int32_t>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(SelectTest, EmptyPredicateSelectsEverything) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(50));
+  AttachKeyIndex(rel.get(), IndexKind::kTTree);
+  TempList out = Select(*rel, Predicate());
+  EXPECT_EQ(out.size(), 50u);
+}
+
+TEST(SelectTest, HashPathChosenForEquality) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(100));
+  AttachKeyIndex(rel.get(), IndexKind::kTTree);
+  AttachKeyIndex(rel.get(), IndexKind::kModifiedLinearHash);
+  Predicate p;
+  p.Add(0, CompareOp::kEq, Value(42));
+  AccessPath path;
+  TempList out = Select(*rel, p, &path);
+  EXPECT_EQ(path, AccessPath::kHashLookup);
+  EXPECT_EQ(Keys(out, *rel), (std::vector<int32_t>{42}));
+}
+
+TEST(SelectTest, TreePathChosenForRange) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(100));
+  AttachKeyIndex(rel.get(), IndexKind::kTTree);
+  AttachKeyIndex(rel.get(), IndexKind::kModifiedLinearHash);
+  Predicate p;
+  p.Add(0, CompareOp::kGe, Value(95));
+  AccessPath path;
+  TempList out = Select(*rel, p, &path);
+  EXPECT_EQ(path, AccessPath::kTreeRange);
+  EXPECT_EQ(Keys(out, *rel), (std::vector<int32_t>{95, 96, 97, 98, 99}));
+}
+
+TEST(SelectTest, TreeLookupWhenOnlyOrderedIndex) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(100));
+  AttachKeyIndex(rel.get(), IndexKind::kTTree);
+  Predicate p;
+  p.Add(0, CompareOp::kEq, Value(7));
+  AccessPath path;
+  TempList out = Select(*rel, p, &path);
+  EXPECT_EQ(path, AccessPath::kTreeLookup);
+  EXPECT_EQ(Keys(out, *rel), (std::vector<int32_t>{7}));
+}
+
+TEST(SelectTest, FallsBackToScanOnUnindexedField) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(100));
+  AttachKeyIndex(rel.get(), IndexKind::kTTree);
+  Predicate p;
+  p.Add(1, CompareOp::kLt, Value(3));  // "seq" has no index
+  AccessPath path;
+  TempList out = Select(*rel, p, &path);
+  EXPECT_EQ(path, AccessPath::kSequentialScan);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(SelectTest, ResidualConditionsApplied) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(100));
+  AttachKeyIndex(rel.get(), IndexKind::kTTree);
+  Predicate p;
+  // Range on indexed key + residual on seq.
+  p.Add(0, CompareOp::kLt, Value(50)).Add(1, CompareOp::kLt, Value(1000));
+  AccessPath path;
+  TempList out = Select(*rel, p, &path);
+  EXPECT_EQ(path, AccessPath::kTreeRange);
+  EXPECT_EQ(out.size(), 50u);
+
+  Predicate strict;
+  strict.Add(0, CompareOp::kLt, Value(50)).Add(0, CompareOp::kGe, Value(40));
+  EXPECT_EQ(Select(*rel, strict).size(), 10u);
+}
+
+TEST(SelectTest, HashIndexEqualityWithDuplicates) {
+  auto rel = testutil::IntRelation("r", {5, 5, 5, 6, 7});
+  AttachKeyIndex(rel.get(), IndexKind::kChainedBucketHash);
+  Predicate p;
+  p.Add(0, CompareOp::kEq, Value(5));
+  AccessPath path;
+  TempList out = Select(*rel, p, &path);
+  EXPECT_EQ(path, AccessPath::kHashLookup);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(SelectTest, TwoSidedRangeScansOnlyTheWindow) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(10000));
+  auto* tree = static_cast<OrderedIndex*>(
+      AttachKeyIndex(rel.get(), IndexKind::kTTree));
+  Predicate window;
+  window.Add(0, CompareOp::kGe, Value(5000)).Add(0, CompareOp::kLt,
+                                                 Value(5010));
+  counters::Reset();
+  TempList out = SelectTree(*rel, window, 0, *tree);
+  EXPECT_EQ(out.size(), 10u);
+#if defined(MMDB_COUNTERS)
+  // A combined [5000, 5010) window touches ~10 items plus the descent —
+  // nowhere near the 5000 a one-sided scan-to-end would visit.
+  EXPECT_LT(counters::Snapshot().comparisons, 200u);
+#endif
+  // Contradictory bounds yield an empty result, not a full scan.
+  Predicate empty_window;
+  empty_window.Add(0, CompareOp::kGt, Value(9)).Add(0, CompareOp::kLt,
+                                                    Value(5));
+  EXPECT_EQ(SelectTree(*rel, empty_window, 0, *tree).size(), 0u);
+}
+
+TEST(SelectTest, AllSelectionPathsAgree) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(500));
+  auto* tree = AttachKeyIndex(rel.get(), IndexKind::kTTree);
+  auto* hash = AttachKeyIndex(rel.get(), IndexKind::kExtendibleHash);
+  Predicate p;
+  p.Add(0, CompareOp::kEq, Value(123));
+  TempList via_scan = SelectScan(*rel, p);
+  TempList via_tree =
+      SelectTree(*rel, p, 0, *static_cast<OrderedIndex*>(tree));
+  TempList via_hash = SelectHash(*rel, p, 0, *static_cast<HashIndex*>(hash));
+  EXPECT_EQ(Keys(via_scan, *rel), Keys(via_tree, *rel));
+  EXPECT_EQ(Keys(via_scan, *rel), Keys(via_hash, *rel));
+}
+
+}  // namespace
+}  // namespace mmdb

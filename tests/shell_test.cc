@@ -1,0 +1,182 @@
+// CommandShell: the textual front end over the Database facade.
+
+#include <gtest/gtest.h>
+
+#include "src/core/database.h"
+#include "src/core/shell.h"
+
+namespace mmdb {
+namespace {
+
+class ShellTest : public ::testing::Test {
+ protected:
+  ShellTest() : shell_(&db_) {}
+
+  std::string Run(const std::string& statement) {
+    return shell_.Execute(statement);
+  }
+
+  Database db_;
+  CommandShell shell_;
+};
+
+TEST_F(ShellTest, CreateTableAndDescribe) {
+  EXPECT_EQ(Run("CREATE TABLE emp (name STRING, id INT, age INT)"),
+            "ok: table emp (3 fields)");
+  std::string desc = Run("DESCRIBE emp");
+  EXPECT_NE(desc.find("name:string, id:int32, age:int32"), std::string::npos);
+  EXPECT_NE(desc.find("T Tree"), std::string::npos);  // default primary
+  EXPECT_NE(Run("CREATE TABLE emp (x INT)").find("error"), std::string::npos);
+}
+
+TEST_F(ShellTest, CreateIndexVariants) {
+  Run("CREATE TABLE t (a INT, b STRING)");
+  EXPECT_EQ(Run("CREATE INDEX ON t (b) USING MLHASH").rfind("ok:", 0), 0u);
+  EXPECT_EQ(Run("CREATE INDEX ON t (a) USING BTREE NODESIZE 8 UNIQUE")
+                .rfind("ok:", 0),
+            0u);
+  EXPECT_NE(Run("CREATE INDEX ON t (zz) USING TTREE").find("error"),
+            std::string::npos);
+  EXPECT_NE(Run("CREATE INDEX ON t (a) USING WIBBLE").find("error"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, InsertSelectRoundTrip) {
+  Run("CREATE TABLE t (name STRING, n INT)");
+  EXPECT_EQ(Run("INSERT INTO t VALUES ('alpha', 1)"), "ok: 1 row");
+  EXPECT_EQ(Run("INSERT INTO t VALUES ('beta', 2)"), "ok: 1 row");
+  std::string out = Run("SELECT t.name, t.n FROM t WHERE n >= 2");
+  EXPECT_NE(out.find("(\"beta\", 2)"), std::string::npos);
+  EXPECT_NE(out.find("(1 rows)"), std::string::npos);
+  // SELECT * = all driving-table columns.
+  std::string all = Run("SELECT * FROM t");
+  EXPECT_NE(all.find("(2 rows)"), std::string::npos);
+}
+
+TEST_F(ShellTest, QuotedStringsWithEscapes) {
+  Run("CREATE TABLE t (s STRING)");
+  EXPECT_EQ(Run("INSERT INTO t VALUES ('it''s fine')"), "ok: 1 row");
+  std::string out = Run("SELECT t.s FROM t WHERE s = 'it''s fine'");
+  EXPECT_NE(out.find("(1 rows)"), std::string::npos);
+}
+
+TEST_F(ShellTest, JoinWithForeignKeyAndPaths) {
+  Run("CREATE TABLE dept (name STRING, id INT)");
+  Run("CREATE TABLE emp (name STRING, age INT, dept_id POINTER)");
+  EXPECT_EQ(Run("FOREIGN KEY emp (dept_id) REFERENCES dept (id)"),
+            "ok: foreign key emp.dept_id -> dept.id");
+  Run("INSERT INTO dept VALUES ('Toy', 459)");
+  Run("INSERT INTO dept VALUES ('Shoe', 409)");
+  Run("INSERT INTO emp VALUES ('Dave', 24, 459)");
+  Run("INSERT INTO emp VALUES ('Al', 67, 409)");
+
+  // Query 1: FK path column.
+  std::string q1 =
+      Run("SELECT emp.name, emp.dept_id.name FROM emp WHERE age > 65");
+  EXPECT_NE(q1.find("(\"Al\", \"Shoe\")"), std::string::npos);
+
+  // Query 2 shape: join with a joined-side condition.
+  std::string q2 = Run(
+      "SELECT emp.name FROM emp JOIN dept ON dept_id = id "
+      "WHERE dept.name = 'Toy'");
+  EXPECT_NE(q2.find("(\"Dave\")"), std::string::npos);
+  EXPECT_NE(q2.find("(1 rows)"), std::string::npos);
+}
+
+TEST_F(ShellTest, DistinctAndOrdered) {
+  Run("CREATE TABLE t (x INT)");
+  Run("INSERT INTO t VALUES (3)");
+  Run("INSERT INTO t VALUES (1)");
+  Run("INSERT INTO t VALUES (3)");
+  std::string out = Run("SELECT t.x FROM t DISTINCT ORDERED");
+  const size_t one = out.find("(1)");
+  const size_t three = out.find("(3)");
+  ASSERT_NE(one, std::string::npos);
+  ASSERT_NE(three, std::string::npos);
+  EXPECT_LT(one, three);
+  EXPECT_NE(out.find("(2 rows)"), std::string::npos);
+}
+
+TEST_F(ShellTest, UpdateAndDelete) {
+  Run("CREATE TABLE t (name STRING, n INT)");
+  Run("INSERT INTO t VALUES ('a', 1)");
+  Run("INSERT INTO t VALUES ('b', 2)");
+  Run("INSERT INTO t VALUES ('c', 3)");
+  EXPECT_EQ(Run("UPDATE t SET n = 10 WHERE name = 'b'"),
+            "ok: 1 rows updated");
+  EXPECT_NE(Run("SELECT t.n FROM t WHERE name = 'b'").find("(10)"),
+            std::string::npos);
+  EXPECT_EQ(Run("DELETE FROM t WHERE n >= 3"), "ok: 2 rows deleted");
+  EXPECT_NE(Run("SELECT * FROM t").find("(1 rows)"), std::string::npos);
+  EXPECT_EQ(Run("DELETE FROM t"), "ok: 1 rows deleted");
+}
+
+TEST_F(ShellTest, ExplainShowsPlanOnly) {
+  Run("CREATE TABLE t (x INT)");
+  Run("CREATE INDEX ON t (x) USING MLHASH");
+  Run("INSERT INTO t VALUES (5)");
+  std::string plan = Run("EXPLAIN SELECT t.x FROM t WHERE x = 5");
+  EXPECT_EQ(plan.rfind("plan:", 0), 0u);
+  EXPECT_NE(plan.find("hash lookup"), std::string::npos);
+  EXPECT_EQ(plan.find("(1 rows)"), std::string::npos);
+}
+
+TEST_F(ShellTest, CheckpointAndCrash) {
+  Run("CREATE TABLE t (x INT)");
+  Run("INSERT INTO t VALUES (1)");
+  EXPECT_EQ(Run("CHECKPOINT"), "ok: checkpointed");
+  Run("INSERT INTO t VALUES (2)");  // unlogged (auto-commit path): lost
+  std::string crash = Run("CRASH");
+  EXPECT_EQ(crash.rfind("ok: crashed", 0), 0u);
+  EXPECT_NE(Run("SELECT * FROM t").find("(1 rows)"), std::string::npos);
+}
+
+TEST_F(ShellTest, ScriptExecution) {
+  std::string out = shell_.ExecuteScript(
+      "CREATE TABLE t (x INT);"
+      "INSERT INTO t VALUES (7);"
+      "SELECT t.x FROM t;");
+  EXPECT_NE(out.find("ok: table t"), std::string::npos);
+  EXPECT_NE(out.find("ok: 1 row"), std::string::npos);
+  EXPECT_NE(out.find("(7)"), std::string::npos);
+  // Semicolons inside strings do not split statements.
+  Run("CREATE TABLE s (v STRING)");
+  std::string tricky = shell_.ExecuteScript(
+      "INSERT INTO s VALUES ('a;b');SELECT s.v FROM s;");
+  EXPECT_NE(tricky.find("a;b"), std::string::npos);
+}
+
+TEST_F(ShellTest, ErrorsAreReported) {
+  EXPECT_NE(Run("SELEKT 1").find("error"), std::string::npos);
+  EXPECT_NE(Run("SELECT x FROM nope").find("error"), std::string::npos);
+  EXPECT_NE(Run("INSERT INTO nope VALUES (1)").find("error"),
+            std::string::npos);
+  EXPECT_NE(Run("CREATE TABLE broken").find("error"), std::string::npos);
+  EXPECT_NE(Run("INSERT INTO x VALUES ('unterminated)").find("error"),
+            std::string::npos);
+  Run("CREATE TABLE t (x INT)");
+  EXPECT_NE(Run("SELECT t.x FROM t WHERE x ~ 5").find("error"),
+            std::string::npos);
+  EXPECT_EQ(Run(""), "");
+  EXPECT_EQ(Run("   ;  "), "");
+}
+
+TEST_F(ShellTest, ShowTables) {
+  Run("CREATE TABLE aa (x INT)");
+  Run("CREATE TABLE bb (y STRING)");
+  Run("INSERT INTO aa VALUES (1)");
+  std::string out = Run("SHOW TABLES");
+  EXPECT_NE(out.find("aa (1 rows"), std::string::npos);
+  EXPECT_NE(out.find("bb (0 rows"), std::string::npos);
+  EXPECT_NE(out.find("(2 tables)"), std::string::npos);
+}
+
+TEST_F(ShellTest, NumericLiteralWidths) {
+  Run("CREATE TABLE t (a INT, b BIGINT, c DOUBLE)");
+  EXPECT_EQ(Run("INSERT INTO t VALUES (1, 5000000000, 2.5)"), "ok: 1 row");
+  std::string out = Run("SELECT t.b, t.c FROM t WHERE a = 1");
+  EXPECT_NE(out.find("(5000000000, 2.5)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmdb

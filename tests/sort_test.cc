@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "src/exec/sort.h"
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+TEST(SortTest, SortTempListOrdersRows) {
+  auto rel = testutil::IntRelation("r", {5, 1, 4, 2, 3});
+  ResultDescriptor desc({rel.get()});
+  desc.AddColumn(0, uint16_t{0});
+  TempList list(desc);
+  rel->ForEachTuple([&](TupleRef t) { list.Append1(t); });
+
+  TempList sorted = SortTempList(list);
+  ASSERT_EQ(sorted.size(), 5u);
+  for (size_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(sorted.GetValue(r, 0).AsInt32(), static_cast<int32_t>(r + 1));
+  }
+}
+
+TEST(SortTest, SortTempListSecondaryColumn) {
+  // Same key, ordering falls through to seq.
+  auto rel = testutil::IntRelation("r", {7, 7, 7});
+  ResultDescriptor desc({rel.get()});
+  desc.AddColumn(0, uint16_t{0});
+  desc.AddColumn(0, uint16_t{1});
+  TempList list(desc);
+  std::vector<TupleRef> tuples;
+  rel->ForEachTuple([&](TupleRef t) { tuples.push_back(t); });
+  // Append in reverse of seq order.
+  for (auto it = tuples.rbegin(); it != tuples.rend(); ++it) {
+    list.Append1(*it);
+  }
+  TempList sorted = SortTempList(list);
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(sorted.GetValue(r, 1).AsInt32(), static_cast<int32_t>(r));
+  }
+}
+
+TEST(SortTest, SortTupleRefsByField) {
+  auto rel = testutil::IntRelation("r", {9, 2, 7, 2, 1});
+  std::vector<TupleRef> refs;
+  rel->ForEachTuple([&](TupleRef t) { refs.push_back(t); });
+  SortTupleRefs(&refs, rel->schema(), 0);
+  for (size_t i = 1; i < refs.size(); ++i) {
+    EXPECT_LE(testutil::KeyOf(refs[i - 1], *rel),
+              testutil::KeyOf(refs[i], *rel));
+  }
+}
+
+TEST(SortTest, CutoffVariantsProduceSameOrder) {
+  Rng rng(12);
+  std::vector<int32_t> keys(500);
+  for (auto& k : keys) k = static_cast<int32_t>(rng.NextBounded(100));
+  auto rel = testutil::IntRelation("r", keys);
+  std::vector<TupleRef> a, b;
+  rel->ForEachTuple([&](TupleRef t) {
+    a.push_back(t);
+    b.push_back(t);
+  });
+  SortTupleRefs(&a, rel->schema(), 0, /*insertion_cutoff=*/1);
+  SortTupleRefs(&b, rel->schema(), 0, /*insertion_cutoff=*/64);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(testutil::KeyOf(a[i], *rel), testutil::KeyOf(b[i], *rel));
+  }
+}
+
+}  // namespace
+}  // namespace mmdb

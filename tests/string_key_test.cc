@@ -1,0 +1,187 @@
+// Key-type coverage: everything in the index study runs on int32 keys; the
+// engine must behave identically for string keys (variable length, stored
+// in the partition heap) and doubles.  Section 2.2's argument for
+// pointer-based indices is precisely that long/variable fields cost the
+// index nothing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/database.h"
+#include "src/core/query.h"
+#include "src/exec/join.h"
+#include "src/exec/select.h"
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+struct Param {
+  IndexKind kind;
+  int node_size;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  std::string name = IndexKindName(info.param.kind);
+  for (char& c : name) {
+    if (c == ' ') c = '_';
+    if (c == '+') c = 'p';  // gtest param names must be alphanumeric/_
+  }
+  return name + "_n" + std::to_string(info.param.node_size);
+}
+
+std::string NthWord(int i) {
+  // Distinct deterministic strings of varying length.
+  std::string s = "w";
+  for (int v = i; v > 0; v /= 7) s += static_cast<char>('a' + v % 7);
+  s += std::to_string(i);
+  return s;
+}
+
+class StringKeyIndexTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(StringKeyIndexTest, InsertFindEraseOnStrings) {
+  Schema schema({{"word", Type::kString}, {"n", Type::kInt32}});
+  Relation rel("words", schema);
+  constexpr int kN = 300;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_NE(rel.Insert({Value(NthWord(i)), Value(i)}), nullptr);
+  }
+  IndexConfig config;
+  config.node_size = GetParam().node_size;
+  config.expected = kN;
+  auto ops = std::make_shared<FieldKeyOps>(&rel.schema(), 0);
+  auto index = CreateIndex(GetParam().kind, std::move(ops), config);
+  rel.ForEachTuple([&](TupleRef t) { ASSERT_TRUE(index->Insert(t)); });
+  EXPECT_EQ(index->size(), static_cast<size_t>(kN));
+
+  for (int i = 0; i < kN; ++i) {
+    TupleRef hit = index->Find(Value(NthWord(i)));
+    ASSERT_NE(hit, nullptr) << NthWord(i);
+    EXPECT_EQ(tuple::GetInt32(hit, rel.schema().offset(1)), i);
+  }
+  EXPECT_EQ(index->Find(Value("not-a-word")), nullptr);
+
+  // Erase a third and re-verify.
+  std::vector<TupleRef> victims;
+  rel.ForEachTuple([&](TupleRef t) {
+    if (tuple::GetInt32(t, rel.schema().offset(1)) % 3 == 0) {
+      victims.push_back(t);
+    }
+  });
+  for (TupleRef t : victims) EXPECT_TRUE(index->Erase(t));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(index->Find(Value(NthWord(i))) != nullptr, i % 3 != 0);
+  }
+}
+
+TEST_P(StringKeyIndexTest, OrderedScansAreLexicographic) {
+  if (!IndexKindOrdered(GetParam().kind)) GTEST_SKIP();
+  Schema schema({{"word", Type::kString}});
+  Relation rel("words", schema);
+  for (int i = 0; i < 200; ++i) rel.Insert({Value(NthWord(i))});
+  IndexConfig config;
+  config.node_size = GetParam().node_size;
+  auto ops = std::make_shared<FieldKeyOps>(&rel.schema(), 0);
+  auto created = CreateIndex(GetParam().kind, std::move(ops), config);
+  auto* index = static_cast<OrderedIndex*>(created.get());
+  rel.ForEachTuple([&](TupleRef t) { index->Insert(t); });
+
+  std::vector<std::string> seen;
+  index->ScanAll([&](TupleRef t) {
+    seen.emplace_back(tuple::GetString(t, 0));
+    return true;
+  });
+  ASSERT_EQ(seen.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Structures, StringKeyIndexTest,
+    ::testing::Values(Param{IndexKind::kArray, 2},
+                      Param{IndexKind::kAvlTree, 2},
+                      Param{IndexKind::kBTree, 6},
+                      Param{IndexKind::kTTree, 6},
+                      Param{IndexKind::kChainedBucketHash, 2},
+                      Param{IndexKind::kExtendibleHash, 4},
+                      Param{IndexKind::kLinearHash, 4},
+                      Param{IndexKind::kModifiedLinearHash, 3}),
+    ParamName);
+
+TEST(StringJoinTest, HashAndMergeJoinsOnStrings) {
+  Schema schema({{"word", Type::kString}, {"n", Type::kInt32}});
+  auto make = [&](const char* name, int lo, int hi) {
+    auto rel = std::make_unique<Relation>(name, schema);
+    for (int i = lo; i < hi; ++i) rel->Insert({Value(NthWord(i)), Value(i)});
+    auto ops = std::make_shared<FieldKeyOps>(&rel->schema(), 0);
+    auto index = CreateIndex(IndexKind::kTTree, std::move(ops), IndexConfig());
+    index->set_key_fields({0});
+    rel->AttachIndex(std::move(index));
+    return rel;
+  };
+  auto a = make("a", 0, 60);    // words 0..59
+  auto b = make("b", 40, 100);  // words 40..99; overlap = 20
+
+  JoinSpec spec{a.get(), 0, b.get(), 0};
+  EXPECT_EQ(HashJoin(spec).size(), 20u);
+  EXPECT_EQ(SortMergeJoin(spec).size(), 20u);
+  auto* at = static_cast<const OrderedIndex*>(a->indexes()[0].get());
+  auto* bt = static_cast<const OrderedIndex*>(b->indexes()[0].get());
+  EXPECT_EQ(TreeMergeJoin(spec, *at, *bt).size(), 20u);
+  EXPECT_EQ(TreeJoin(spec, *bt).size(), 20u);
+}
+
+TEST(DoubleKeyTest, TTreeOnDoubles) {
+  Schema schema({{"x", Type::kDouble}});
+  Relation rel("d", schema);
+  Rng rng(8);
+  for (int i = 0; i < 500; ++i) {
+    rel.Insert({Value(rng.NextDouble() * 100.0)});
+  }
+  auto ops = std::make_shared<FieldKeyOps>(&rel.schema(), 0);
+  auto created = CreateIndex(IndexKind::kTTree, std::move(ops), IndexConfig());
+  auto* index = static_cast<OrderedIndex*>(created.get());
+  rel.ForEachTuple([&](TupleRef t) { ASSERT_TRUE(index->Insert(t)); });
+
+  double prev = -1;
+  size_t n = 0;
+  index->ScanAll([&](TupleRef t) {
+    const double x = tuple::GetDouble(t, 0);
+    EXPECT_GE(x, prev);
+    prev = x;
+    ++n;
+    return true;
+  });
+  EXPECT_EQ(n, 500u);
+  // Range scan over [25, 75).
+  Value lo(25.0), hi(75.0);
+  size_t in_range = 0;
+  index->ScanRange({&lo, true}, {&hi, false}, [&](TupleRef t) {
+    const double x = tuple::GetDouble(t, 0);
+    EXPECT_GE(x, 25.0);
+    EXPECT_LT(x, 75.0);
+    ++in_range;
+    return true;
+  });
+  EXPECT_GT(in_range, 100u);
+}
+
+TEST(StringSelectionTest, PredicatesOnStrings) {
+  Database db;
+  db.CreateTable("t", {{"name", Type::kString}, {"n", Type::kInt32}});
+  db.Insert("t", {Value("apple"), Value(1)});
+  db.Insert("t", {Value("banana"), Value(2)});
+  db.Insert("t", {Value("cherry"), Value(3)});
+
+  QueryResult eq = db.Query("t").Where("name", CompareOp::kEq, "banana").Run();
+  EXPECT_EQ(eq.rows.size(), 1u);
+  QueryResult range =
+      db.Query("t").Where("name", CompareOp::kGt, "apple").Run();
+  EXPECT_EQ(range.rows.size(), 2u);
+  QueryResult ne = db.Query("t").Where("name", CompareOp::kNe, "apple").Run();
+  EXPECT_EQ(ne.rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "src/storage/temp_list.h"
+#include "src/storage/tuple.h"
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+TEST(ResultDescriptorTest, AddColumnValidation) {
+  auto rel = testutil::IntRelation("r", {1});
+  ResultDescriptor desc({rel.get()});
+  EXPECT_TRUE(desc.AddColumn(0, uint16_t{0}));
+  EXPECT_TRUE(desc.AddColumn(0, uint16_t{1}, "sequence"));
+  EXPECT_FALSE(desc.AddColumn(0, uint16_t{9}));      // bad field
+  EXPECT_FALSE(desc.AddColumn(3, uint16_t{0}));      // bad source
+  EXPECT_FALSE(desc.AddColumn(0, std::vector<uint16_t>{}));  // empty path
+  EXPECT_EQ(desc.columns().size(), 2u);
+  EXPECT_EQ(desc.columns()[0].label, "r.key");
+  EXPECT_EQ(desc.columns()[1].label, "sequence");
+}
+
+TEST(TempListTest, AppendAndAccess) {
+  auto r1 = testutil::IntRelation("a", {10, 20});
+  auto r2 = testutil::IntRelation("b", {30});
+  std::vector<TupleRef> a_tuples, b_tuples;
+  r1->ForEachTuple([&](TupleRef t) { a_tuples.push_back(t); });
+  r2->ForEachTuple([&](TupleRef t) { b_tuples.push_back(t); });
+
+  ResultDescriptor desc({r1.get(), r2.get()});
+  desc.AddColumn(0, uint16_t{0});
+  desc.AddColumn(1, uint16_t{0});
+  TempList list(desc);
+  list.Append2(a_tuples[0], b_tuples[0]);
+  list.Append2(a_tuples[1], b_tuples[0]);
+
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.width(), 2u);
+  EXPECT_EQ(list.At(1, 0), a_tuples[1]);
+  EXPECT_EQ(list.GetValue(0, 0), Value(10));
+  EXPECT_EQ(list.GetValue(1, 0), Value(20));
+  EXPECT_EQ(list.GetValue(0, 1), Value(30));
+  EXPECT_EQ(list.RowToString(0), "(10, 30)");
+}
+
+TEST(TempListTest, SinglePointerRows) {
+  auto rel = testutil::IntRelation("r", {5});
+  TupleRef t = nullptr;
+  rel->ForEachTuple([&](TupleRef u) { t = u; });
+  ResultDescriptor desc({rel.get()});
+  desc.AddColumn(0, uint16_t{0});
+  TempList list(desc);
+  list.Append1(t);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.GetValue(0, 0), Value(5));
+}
+
+TEST(TempListTest, ForeignKeyPathColumn) {
+  // Employee(dept:pointer, age) -> Department(name, id): the Query 1 shape.
+  Schema dept_schema({{"name", Type::kString}, {"id", Type::kInt32}});
+  Relation dept("dept", dept_schema);
+  TupleRef toy = dept.Insert({Value("Toy"), Value(459)});
+  ASSERT_NE(toy, nullptr);
+
+  Schema emp_schema({{"dept", Type::kPointer}, {"age", Type::kInt32}});
+  Relation emp("emp", emp_schema);
+  ASSERT_TRUE(emp.DeclareForeignKey(0, &dept, 1).ok());
+  TupleRef e = emp.Insert({Value(toy), Value(66)});
+  ASSERT_NE(e, nullptr);
+
+  ResultDescriptor desc({&emp});
+  // "emp.dept.name": hop the pointer field, read the department name.
+  ASSERT_TRUE(desc.AddColumn(0, std::vector<uint16_t>{0, 0}));
+  ASSERT_TRUE(desc.AddColumn(0, uint16_t{1}));
+  TempList list(desc);
+  list.Append1(e);
+
+  EXPECT_EQ(list.GetValue(0, 0), Value("Toy"));
+  EXPECT_EQ(list.GetValue(0, 1), Value(66));
+  EXPECT_EQ(desc.columns()[0].label, "dept.name");
+  EXPECT_EQ(list.ResolveColumnTuple(0, 0), toy);
+}
+
+TEST(TempListTest, FkPathRejectedWithoutDeclaration) {
+  Schema dept_schema({{"id", Type::kInt32}});
+  Relation dept("dept", dept_schema);
+  Schema emp_schema({{"dept", Type::kPointer}});
+  Relation emp("emp", emp_schema);  // no DeclareForeignKey
+  ResultDescriptor desc({&emp});
+  EXPECT_FALSE(desc.AddColumn(0, std::vector<uint16_t>{0, 0}));
+}
+
+TEST(TempListTest, NullPointerHopYieldsNullValue) {
+  Schema dept_schema({{"id", Type::kInt32}});
+  Relation dept("dept", dept_schema);
+  Schema emp_schema({{"dept", Type::kPointer}});
+  Relation emp("emp", emp_schema);
+  ASSERT_TRUE(emp.DeclareForeignKey(0, &dept, 0).ok());
+  TupleRef e = emp.Insert({Value(TupleRef{nullptr})});
+  ASSERT_NE(e, nullptr);
+  ResultDescriptor desc({&emp});
+  ASSERT_TRUE(desc.AddColumn(0, std::vector<uint16_t>{0, 0}));
+  TempList list(desc);
+  list.Append1(e);
+  EXPECT_EQ(list.ResolveColumnTuple(0, 0), nullptr);
+}
+
+TEST(TempListTest, ReserveAndClear) {
+  auto rel = testutil::IntRelation("r", {1, 2, 3});
+  ResultDescriptor desc({rel.get()});
+  TempList list(desc);
+  list.Reserve(3);
+  rel->ForEachTuple([&](TupleRef t) { list.Append1(t); });
+  EXPECT_EQ(list.size(), 3u);
+  list.Clear();
+  EXPECT_EQ(list.size(), 0u);
+}
+
+}  // namespace
+}  // namespace mmdb

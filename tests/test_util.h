@@ -1,0 +1,81 @@
+// Shared helpers for the mmdb test suite.
+
+#ifndef MMDB_TESTS_TEST_UTIL_H_
+#define MMDB_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/index/index.h"
+#include "src/index/key_ops.h"
+#include "src/storage/relation.h"
+#include "src/storage/tuple.h"
+#include "src/util/rng.h"
+
+namespace mmdb {
+namespace testutil {
+
+/// A relation with schema (key:int32, seq:int32) filled with the given join
+/// column values (seq = position).  No index attached unless requested.
+inline std::unique_ptr<Relation> IntRelation(
+    const std::string& name, const std::vector<int32_t>& keys) {
+  Schema schema({{"key", Type::kInt32}, {"seq", Type::kInt32}});
+  auto rel = std::make_unique<Relation>(name, schema);
+  int32_t seq = 0;
+  for (int32_t k : keys) {
+    rel->Insert({Value(k), Value(seq++)});
+  }
+  return rel;
+}
+
+/// Attaches an index of `kind` on field 0 ("key") to an IntRelation.
+inline TupleIndex* AttachKeyIndex(Relation* rel, IndexKind kind,
+                                  IndexConfig config = {}) {
+  auto ops = std::make_shared<FieldKeyOps>(&rel->schema(), 0);
+  if (config.expected == 1024 && rel->cardinality() > 0) {
+    config.expected = rel->cardinality();
+  }
+  auto index = CreateIndex(kind, std::move(ops), config);
+  index->set_name(rel->name() + ".key." + IndexKindName(kind));
+  index->set_key_fields({0});
+  return rel->AttachIndex(std::move(index));
+}
+
+/// Key of a tuple in an IntRelation.
+inline int32_t KeyOf(TupleRef t, const Relation& rel) {
+  return tuple::GetInt32(t, rel.schema().offset(0));
+}
+
+/// Sorted keys collected from an index scan (ordered or hash).
+inline std::vector<int32_t> CollectKeys(const TupleIndex& index,
+                                        const Relation& rel) {
+  std::vector<int32_t> out;
+  auto take = [&](TupleRef t) {
+    out.push_back(KeyOf(t, rel));
+    return true;
+  };
+  if (IndexKindOrdered(index.kind())) {
+    static_cast<const OrderedIndex&>(index).ScanAll(take);
+  } else {
+    static_cast<const HashIndex&>(index).ScanAll(take);
+    std::sort(out.begin(), out.end());
+  }
+  return out;
+}
+
+/// Distinct shuffled int keys in [0, n).
+inline std::vector<int32_t> ShuffledKeys(size_t n, uint64_t seed = 7) {
+  std::vector<int32_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = static_cast<int32_t>(i);
+  Rng rng(seed);
+  rng.Shuffle(&keys);
+  return keys;
+}
+
+}  // namespace testutil
+}  // namespace mmdb
+
+#endif  // MMDB_TESTS_TEST_UTIL_H_

@@ -1,0 +1,169 @@
+// T Tree specifics (Section 3.2.1): node occupancy discipline, GLB
+// transfers, balance, and the min/max-count slack that trades storage
+// utilization against rotation frequency.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/index/ttree.h"
+#include "src/util/counters.h"
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+std::unique_ptr<TTree> MakeTree(Relation* rel, int node_size, int slack = 2) {
+  IndexConfig config;
+  config.node_size = node_size;
+  config.min_slack = slack;
+  auto ops = std::make_shared<FieldKeyOps>(&rel->schema(), 0);
+  return std::make_unique<TTree>(std::move(ops), config);
+}
+
+TEST(TTreeTest, ConfigClamping) {
+  auto rel = testutil::IntRelation("r", {});
+  auto t = MakeTree(rel.get(), 10, 2);
+  EXPECT_EQ(t->max_count(), 10);
+  EXPECT_EQ(t->min_count(), 8);
+  auto tiny = MakeTree(rel.get(), 1, 2);
+  EXPECT_EQ(tiny->max_count(), 1);
+  EXPECT_EQ(tiny->min_count(), 1);
+}
+
+TEST(TTreeTest, NodeCountReflectsOccupancy) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(1000));
+  auto tree = MakeTree(rel.get(), 20);
+  rel->ForEachTuple([&](TupleRef t) { tree->Insert(t); });
+  EXPECT_EQ(tree->size(), 1000u);
+  // 1000 elements in 20-wide nodes: at least 50 nodes, and with the min
+  // slack the tree cannot waste more than ~2x.
+  EXPECT_GE(tree->node_count(), 50u);
+  EXPECT_LE(tree->node_count(), 110u);
+  EXPECT_TRUE(tree->CheckInvariants());
+}
+
+TEST(TTreeTest, HeightIsLogarithmicInNodes) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(4000));
+  auto tree = MakeTree(rel.get(), 8);
+  rel->ForEachTuple([&](TupleRef t) { tree->Insert(t); });
+  // ~500+ nodes; AVL height bound is ~1.44*log2(n).
+  const double nodes = static_cast<double>(tree->node_count());
+  EXPECT_LE(tree->Height(), static_cast<int>(1.45 * std::log2(nodes)) + 2);
+  EXPECT_TRUE(tree->CheckInvariants());
+}
+
+TEST(TTreeTest, SequentialInsertAscendingAndDescending) {
+  for (bool ascending : {true, false}) {
+    auto rel = testutil::IntRelation("r", {});
+    std::vector<int32_t> keys(500);
+    for (int i = 0; i < 500; ++i) keys[i] = ascending ? i : 500 - i;
+    auto rel2 = testutil::IntRelation("r", keys);
+    auto tree = MakeTree(rel2.get(), 6);
+    rel2->ForEachTuple([&](TupleRef t) { ASSERT_TRUE(tree->Insert(t)); });
+    EXPECT_TRUE(tree->CheckInvariants());
+    EXPECT_EQ(testutil::CollectKeys(*tree, *rel2).size(), 500u);
+  }
+}
+
+TEST(TTreeTest, GlbTransferKeepsOrderOnBoundedInsertOverflow) {
+  // Force the paper's overflow case: fill a bounding node, then insert a
+  // value it bounds; the old minimum must migrate to the GLB leaf.
+  auto rel = testutil::IntRelation(
+      "r", {10, 20, 30, 40, 50, 60, 70, 80, 5, 15, 25, 35, 45, 55, 65, 75});
+  auto tree = MakeTree(rel.get(), 4);
+  rel->ForEachTuple([&](TupleRef t) { ASSERT_TRUE(tree->Insert(t)); });
+  EXPECT_TRUE(tree->CheckInvariants());
+  std::vector<int32_t> keys = testutil::CollectKeys(*tree, *rel);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(keys.size(), 16u);
+}
+
+TEST(TTreeTest, DeleteUnderflowBorrowsGlb) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(300));
+  auto tree = MakeTree(rel.get(), 6);
+  std::vector<TupleRef> tuples;
+  rel->ForEachTuple([&](TupleRef t) {
+    tuples.push_back(t);
+    tree->Insert(t);
+  });
+  // Delete every other element; invariants must hold throughout.
+  for (size_t i = 0; i < tuples.size(); i += 2) {
+    ASSERT_TRUE(tree->Erase(tuples[i]));
+    if (i % 30 == 0) ASSERT_TRUE(tree->CheckInvariants());
+  }
+  EXPECT_TRUE(tree->CheckInvariants());
+  EXPECT_EQ(tree->size(), 150u);
+}
+
+TEST(TTreeTest, DrainToEmptyAndReuse) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(200));
+  auto tree = MakeTree(rel.get(), 5);
+  std::vector<TupleRef> tuples;
+  rel->ForEachTuple([&](TupleRef t) {
+    tuples.push_back(t);
+    tree->Insert(t);
+  });
+  Rng rng(99);
+  rng.Shuffle(&tuples);
+  for (TupleRef t : tuples) ASSERT_TRUE(tree->Erase(t));
+  EXPECT_EQ(tree->size(), 0u);
+  EXPECT_EQ(tree->node_count(), 0u);
+  EXPECT_TRUE(tree->CheckInvariants());
+  for (TupleRef t : tuples) ASSERT_TRUE(tree->Insert(t));
+  EXPECT_TRUE(tree->CheckInvariants());
+}
+
+TEST(TTreeTest, SlackReducesRotations) {
+  // The paper: "having flexibility in the occupancy of internal nodes
+  // allows storage utilization and insert/delete time to be traded off".
+  // With slack, a mixed insert/delete stream needs fewer rotations.
+  auto run = [&](int slack) -> uint64_t {
+    auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(2000));
+    std::vector<TupleRef> tuples;
+    rel->ForEachTuple([&](TupleRef t) { tuples.push_back(t); });
+    auto tree = MakeTree(rel.get(), 10, slack);
+    for (TupleRef t : tuples) tree->Insert(t);
+    counters::Reset();
+    Rng rng(5);
+    for (int i = 0; i < 4000; ++i) {
+      TupleRef t = tuples[rng.NextBounded(tuples.size())];
+      if (!tree->Erase(t)) tree->Insert(t);
+    }
+    EXPECT_TRUE(tree->CheckInvariants());
+    return counters::Snapshot().rotations;
+  };
+#if defined(MMDB_COUNTERS)
+  const uint64_t rot_no_slack = run(0);
+  const uint64_t rot_slack = run(2);
+  EXPECT_LE(rot_slack, rot_no_slack);
+#else
+  run(0);
+  run(2);
+#endif
+}
+
+TEST(TTreeTest, StorageBytesTracksNodeCount) {
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(1000));
+  auto tree = MakeTree(rel.get(), 16);
+  rel->ForEachTuple([&](TupleRef t) { tree->Insert(t); });
+  const size_t per_node =
+      (tree->StorageBytes() - sizeof(TTree)) / tree->node_count();
+  // Node: header + 16 slots of 8 bytes.
+  EXPECT_GE(per_node, 16 * sizeof(TupleRef));
+  EXPECT_LE(per_node, 16 * sizeof(TupleRef) + 64);
+}
+
+TEST(TTreeTest, SingleElementNodeDegeneratesToAvl) {
+  // node_size=1 turns the T Tree into an AVL tree; everything still works.
+  auto rel = testutil::IntRelation("r", testutil::ShuffledKeys(500));
+  auto tree = MakeTree(rel.get(), 1);
+  rel->ForEachTuple([&](TupleRef t) { ASSERT_TRUE(tree->Insert(t)); });
+  EXPECT_TRUE(tree->CheckInvariants());
+  EXPECT_EQ(tree->node_count(), 500u);
+  std::vector<int32_t> keys = testutil::CollectKeys(*tree, *rel);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "src/storage/partition.h"
+#include "src/storage/tuple.h"
+#include "src/util/counters.h"
+
+namespace mmdb {
+namespace {
+
+class TupleTest : public ::testing::Test {
+ protected:
+  TupleTest()
+      : schema_({{"i", Type::kInt32},
+                 {"l", Type::kInt64},
+                 {"d", Type::kDouble},
+                 {"s", Type::kString}}),
+        partition_(0, &schema_, {}) {}
+
+  Schema schema_;
+  Partition partition_;
+};
+
+TEST_F(TupleTest, AccessorsRoundTrip) {
+  TupleRef t = partition_.Insert(
+      {Value(7), Value(int64_t{1} << 40), Value(2.25), Value("hello")});
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(tuple::GetInt32(t, schema_.offset(0)), 7);
+  EXPECT_EQ(tuple::GetInt64(t, schema_.offset(1)), int64_t{1} << 40);
+  EXPECT_EQ(tuple::GetDouble(t, schema_.offset(2)), 2.25);
+  EXPECT_EQ(tuple::GetString(t, schema_.offset(3)), "hello");
+}
+
+TEST_F(TupleTest, EmptyStringIsNullBlob) {
+  TupleRef t = partition_.Insert({Value(1), Value(int64_t{2}), Value(0.0),
+                                  Value(std::string())});
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(tuple::GetString(t, schema_.offset(3)), "");
+}
+
+TEST_F(TupleTest, GetValueMaterializes) {
+  TupleRef t = partition_.Insert(
+      {Value(3), Value(int64_t{4}), Value(5.5), Value("abc")});
+  EXPECT_EQ(tuple::GetValue(t, schema_, 0), Value(3));
+  EXPECT_EQ(tuple::GetValue(t, schema_, 1), Value(int64_t{4}));
+  EXPECT_EQ(tuple::GetValue(t, schema_, 2), Value(5.5));
+  EXPECT_EQ(tuple::GetValue(t, schema_, 3), Value("abc"));
+}
+
+TEST_F(TupleTest, CompareFieldOrdersAndCounts) {
+  TupleRef a = partition_.Insert(
+      {Value(1), Value(int64_t{10}), Value(1.0), Value("aa")});
+  TupleRef b = partition_.Insert(
+      {Value(2), Value(int64_t{10}), Value(2.0), Value("ab")});
+  counters::Reset();
+  EXPECT_LT(tuple::CompareField(a, b, schema_, 0), 0);
+  EXPECT_EQ(tuple::CompareField(a, b, schema_, 1), 0);
+  EXPECT_LT(tuple::CompareField(a, b, schema_, 2), 0);
+  EXPECT_LT(tuple::CompareField(a, b, schema_, 3), 0);
+#if defined(MMDB_COUNTERS)
+  EXPECT_EQ(counters::Snapshot().comparisons, 4u);
+#endif
+}
+
+TEST_F(TupleTest, CompareValueFieldConvention) {
+  TupleRef t = partition_.Insert(
+      {Value(10), Value(int64_t{5}), Value(1.0), Value("mm")});
+  // Returns <0 when the constant is below the stored field.
+  EXPECT_LT(tuple::CompareValueField(Value(9), t, schema_, 0), 0);
+  EXPECT_EQ(tuple::CompareValueField(Value(10), t, schema_, 0), 0);
+  EXPECT_GT(tuple::CompareValueField(Value(11), t, schema_, 0), 0);
+  // Cross-width constant against int32 field.
+  EXPECT_EQ(tuple::CompareValueField(Value(int64_t{10}), t, schema_, 0), 0);
+  EXPECT_EQ(tuple::CompareValueField(Value("mm"), t, schema_, 3), 0);
+}
+
+TEST_F(TupleTest, CrossSchemaCompareFields) {
+  Schema other({{"x", Type::kInt64}});
+  Partition po(1, &other, {});
+  TupleRef a = partition_.Insert(
+      {Value(42), Value(int64_t{0}), Value(0.0), Value("")});
+  TupleRef b = po.Insert({Value(int64_t{42})});
+  // int32 field vs int64 field widens.
+  EXPECT_EQ(tuple::CompareFields(a, schema_, 0, b, other, 0), 0);
+  TupleRef c = po.Insert({Value(int64_t{43})});
+  EXPECT_LT(tuple::CompareFields(a, schema_, 0, c, other, 0), 0);
+  EXPECT_GT(tuple::CompareFields(c, other, 0, a, schema_, 0), 0);
+}
+
+TEST_F(TupleTest, HashFieldConsistentWithEquality) {
+  TupleRef a = partition_.Insert(
+      {Value(5), Value(int64_t{6}), Value(7.0), Value("dup")});
+  TupleRef b = partition_.Insert(
+      {Value(5), Value(int64_t{9}), Value(8.0), Value("dup")});
+  EXPECT_EQ(tuple::HashField(a, schema_, 0), tuple::HashField(b, schema_, 0));
+  EXPECT_EQ(tuple::HashField(a, schema_, 3), tuple::HashField(b, schema_, 3));
+  EXPECT_NE(tuple::HashField(a, schema_, 1), tuple::HashField(b, schema_, 1));
+}
+
+TEST_F(TupleTest, ToStringRendersRow) {
+  TupleRef t = partition_.Insert(
+      {Value(1), Value(int64_t{2}), Value(3.5), Value("x")});
+  EXPECT_EQ(tuple::ToString(t, schema_), "(1, 2, 3.5, \"x\")");
+}
+
+TEST_F(TupleTest, PointerFieldRoundTrip) {
+  Schema ps({{"fk", Type::kPointer}});
+  Partition pp(2, &ps, {});
+  TupleRef target = partition_.Insert(
+      {Value(1), Value(int64_t{1}), Value(1.0), Value("t")});
+  TupleRef holder = pp.Insert({Value(target)});
+  EXPECT_EQ(tuple::GetPointer(holder, 0), target);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,168 @@
+// Deferred-update transactions (Section 2.4): commit applies + logs, abort
+// discards, mid-commit failures roll back, lock timeouts break deadlocks.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/txn/transaction.h"
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+class TxnTest : public ::testing::Test {
+ protected:
+  TxnTest() : mgr_(&catalog_, &log_, &locks_) {
+    rel_ = catalog_.CreateRelation(
+        "r", Schema({{"key", Type::kInt32}, {"seq", Type::kInt32}}));
+    testutil::AttachKeyIndex(rel_, IndexKind::kTTree);
+  }
+
+  Catalog catalog_;
+  StableLogBuffer log_;
+  LockManager locks_;
+  TransactionManager mgr_;
+  Relation* rel_;
+};
+
+TEST_F(TxnTest, CommitAppliesBufferedWrites) {
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(txn->Insert("r", {Value(1), Value(0)}).ok());
+  ASSERT_TRUE(txn->Insert("r", {Value(2), Value(1)}).ok());
+  EXPECT_EQ(rel_->cardinality(), 0u);  // deferred: nothing visible yet
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(rel_->cardinality(), 2u);
+  EXPECT_EQ(txn->state(), Transaction::State::kCommitted);
+  EXPECT_EQ(log_.committed_size(), 2u);  // records await the log device
+  EXPECT_EQ(locks_.GrantedCount(), 0u);  // released
+}
+
+TEST_F(TxnTest, AbortDiscardsWrites) {
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(txn->Insert("r", {Value(1), Value(0)}).ok());
+  txn->Abort();
+  EXPECT_EQ(rel_->cardinality(), 0u);
+  EXPECT_EQ(log_.size(), 0u);
+  EXPECT_EQ(txn->state(), Transaction::State::kAborted);
+  EXPECT_FALSE(txn->Insert("r", {Value(2), Value(0)}).ok());
+  EXPECT_FALSE(txn->Commit().ok());
+}
+
+TEST_F(TxnTest, DeleteAndUpdateThroughTransaction) {
+  TupleRef t = rel_->Insert({Value(10), Value(0)});
+  rel_->Insert({Value(20), Value(1)});
+
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(txn->Update("r", t, 0, Value(15)).ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(testutil::KeyOf(t, *rel_), 15);
+
+  auto txn2 = mgr_.Begin();
+  ASSERT_TRUE(txn2->Delete("r", t).ok());
+  ASSERT_TRUE(txn2->Commit().ok());
+  EXPECT_EQ(rel_->cardinality(), 1u);
+}
+
+TEST_F(TxnTest, MidCommitFailureRollsBackEverything) {
+  // A unique index makes the second buffered insert fail at apply time;
+  // the first one must be undone and the log emptied.
+  Relation* u = catalog_.CreateRelation("u", Schema({{"key", Type::kInt32}}));
+  IndexConfig config;
+  config.unique = true;
+  testutil::AttachKeyIndex(u, IndexKind::kTTree, config);
+  u->Insert({Value(7)});
+
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(txn->Insert("u", {Value(1)}).ok());
+  ASSERT_TRUE(txn->Insert("u", {Value(7)}).ok());  // will collide at commit
+  Status s = txn->Commit();
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_EQ(txn->state(), Transaction::State::kAborted);
+  EXPECT_EQ(u->cardinality(), 1u);  // only the pre-existing tuple
+  EXPECT_EQ(u->primary_index()->Find(Value(1)), nullptr);
+  EXPECT_EQ(log_.size(), 0u);  // "the log entry is removed"
+  EXPECT_EQ(locks_.GrantedCount(), 0u);
+}
+
+TEST_F(TxnTest, LogRecordsCarryAfterImages) {
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(txn->Insert("r", {Value(5), Value(9)}).ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  auto drained = log_.DrainCommitted(10);
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].op, LogOp::kInsert);
+  EXPECT_EQ(drained[0].relation, "r");
+  EXPECT_FALSE(drained[0].payload.empty());
+  // The tid points at the live tuple.
+  TupleRef t = rel_->RefOf(drained[0].tid);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(testutil::KeyOf(t, *rel_), 5);
+}
+
+TEST_F(TxnTest, ConflictingWritersSerialize) {
+  TupleRef t = rel_->Insert({Value(1), Value(0)});
+  auto t1 = mgr_.Begin();
+  ASSERT_TRUE(t1->Update("r", t, 0, Value(2)).ok());  // holds partition X
+  auto t2 = mgr_.Begin();
+  // Same partition: t2's update times out and aborts (deadlock victim
+  // policy).
+  Status s = t2->Update("r", t, 0, Value(3));
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_EQ(t2->state(), Transaction::State::kAborted);
+  ASSERT_TRUE(t1->Commit().ok());
+  EXPECT_EQ(testutil::KeyOf(t, *rel_), 2);
+}
+
+TEST_F(TxnTest, ReadersShareAndBlockWriters) {
+  rel_->Insert({Value(1), Value(0)});
+  auto r1 = mgr_.Begin();
+  auto r2 = mgr_.Begin();
+  ASSERT_TRUE(r1->LockForRead("r").ok());
+  ASSERT_TRUE(r2->LockForRead("r").ok());  // shared locks coexist
+  auto w = mgr_.Begin();
+  EXPECT_EQ(w->Insert("r", {Value(2), Value(1)}).code(),
+            StatusCode::kAborted);  // structure lock held shared
+  r1->Abort();
+  r2->Abort();
+  auto w2 = mgr_.Begin();
+  ASSERT_TRUE(w2->Insert("r", {Value(2), Value(1)}).ok());
+  ASSERT_TRUE(w2->Commit().ok());
+}
+
+TEST_F(TxnTest, UnknownRelationAndFieldRejected) {
+  auto txn = mgr_.Begin();
+  EXPECT_EQ(txn->Insert("nope", {Value(1)}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(txn->Insert("r", {Value(1)}).code(),
+            StatusCode::kInvalidArgument);  // arity
+  TupleRef t = rel_->Insert({Value(9), Value(0)});
+  EXPECT_EQ(txn->Update("r", t, 5, Value(1)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(TxnTest, ConcurrentNonConflictingTransactions) {
+  // Different relations commit concurrently without interference.
+  Relation* other =
+      catalog_.CreateRelation("s", Schema({{"key", Type::kInt32}}));
+  testutil::AttachKeyIndex(other, IndexKind::kTTree);
+
+  std::thread a([&] {
+    for (int i = 0; i < 50; ++i) {
+      auto txn = mgr_.Begin();
+      if (txn->Insert("r", {Value(i), Value(i)}).ok()) txn->Commit();
+    }
+  });
+  std::thread b([&] {
+    for (int i = 0; i < 50; ++i) {
+      auto txn = mgr_.Begin();
+      if (txn->Insert("s", {Value(i)}).ok()) txn->Commit();
+    }
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(rel_->cardinality(), 50u);
+  EXPECT_EQ(other->cardinality(), 50u);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/util/arena.h"
+#include "src/util/counters.h"
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+#include "src/util/sort.h"
+#include "src/util/status.h"
+#include "src/util/timer.h"
+
+namespace mmdb {
+namespace {
+
+// ---- Rng --------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(9);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BoundedCoversSmallRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> histogram(8, 0);
+  const int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) histogram[rng.NextBounded(8)]++;
+  for (int count : histogram) {
+    EXPECT_NEAR(count, kDraws / 8, kDraws / 8 * 0.1);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMeanAndVariance) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, TruncatedNormalStaysInUnitInterval) {
+  Rng rng(23);
+  for (double stddev : {0.1, 0.4, 0.8}) {
+    for (int i = 0; i < 2000; ++i) {
+      double x = rng.NextTruncatedNormal(stddev);
+      EXPECT_GT(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+  }
+}
+
+TEST(RngTest, TruncatedNormalSkewIncreasesWithSmallSigma) {
+  // Small sigma concentrates mass near 0 => smaller mean.
+  Rng rng(29);
+  auto mean = [&](double stddev) {
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) sum += rng.NextTruncatedNormal(stddev);
+    return sum / 20000;
+  };
+  const double m01 = mean(0.1), m08 = mean(0.8);
+  EXPECT_LT(m01, m08);
+  EXPECT_LT(m01, 0.15);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(31);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// ---- HybridSort -------------------------------------------------------------
+
+void CheckSortAgainstStd(std::vector<int> v, int cutoff) {
+  std::vector<int> expected = v;
+  std::sort(expected.begin(), expected.end());
+  HybridSort(v.data(), v.size(), std::less<int>(), cutoff);
+  EXPECT_EQ(v, expected);
+}
+
+TEST(HybridSortTest, RandomInputsAllCutoffs) {
+  Rng rng(37);
+  for (int cutoff : {1, 2, 10, 50}) {
+    for (size_t n : {0u, 1u, 2u, 9u, 10u, 11u, 100u, 1000u}) {
+      std::vector<int> v(n);
+      for (auto& x : v) x = static_cast<int>(rng.NextBounded(1000));
+      CheckSortAgainstStd(v, cutoff);
+    }
+  }
+}
+
+TEST(HybridSortTest, SortedAndReverseInputs) {
+  std::vector<int> asc(500), desc(500);
+  std::iota(asc.begin(), asc.end(), 0);
+  for (int i = 0; i < 500; ++i) desc[i] = 500 - i;
+  CheckSortAgainstStd(asc, 10);
+  CheckSortAgainstStd(desc, 10);
+}
+
+TEST(HybridSortTest, ManyDuplicates) {
+  Rng rng(41);
+  std::vector<int> v(2000);
+  for (auto& x : v) x = static_cast<int>(rng.NextBounded(3));
+  CheckSortAgainstStd(v, 10);
+}
+
+TEST(HybridSortTest, AllEqual) {
+  std::vector<int> v(777, 42);
+  CheckSortAgainstStd(v, 10);
+}
+
+// ---- Arena / NodePool -------------------------------------------------------
+
+TEST(ArenaTest, AllocationsAreDistinctAndAligned) {
+  Arena arena(1024);
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(40);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % alignof(std::max_align_t), 0u);
+    for (void* q : ptrs) EXPECT_NE(p, q);
+    ptrs.push_back(p);
+  }
+  EXPECT_GE(arena.allocated_bytes(), 100 * 40u);
+}
+
+TEST(ArenaTest, OversizedAllocationGetsOwnBlock) {
+  Arena arena(256);
+  void* big = arena.Allocate(10000);
+  EXPECT_NE(big, nullptr);
+  void* small = arena.Allocate(16);
+  EXPECT_NE(small, nullptr);
+}
+
+TEST(NodePoolTest, RecyclesFreedNodes) {
+  struct Node {
+    int64_t a, b;
+  };
+  Arena arena;
+  NodePool<Node> pool(&arena);
+  void* p1 = pool.Allocate();
+  EXPECT_EQ(pool.live(), 1u);
+  pool.Free(p1);
+  EXPECT_EQ(pool.live(), 0u);
+  void* p2 = pool.Allocate();
+  EXPECT_EQ(p1, p2);  // LIFO reuse
+}
+
+// ---- Counters ---------------------------------------------------------------
+
+TEST(CountersTest, SnapshotAndReset) {
+  counters::Reset();
+  counters::BumpComparisons(5);
+  counters::BumpHashCalls(2);
+  OpCounters snap = counters::Snapshot();
+  EXPECT_EQ(snap.comparisons, 5u);
+  EXPECT_EQ(snap.hash_calls, 2u);
+  counters::Reset();
+  EXPECT_EQ(counters::Snapshot().comparisons, 0u);
+}
+
+TEST(CountersTest, Arithmetic) {
+  OpCounters a, b;
+  a.comparisons = 10;
+  a.data_moves = 4;
+  b.comparisons = 3;
+  OpCounters d = a - b;
+  EXPECT_EQ(d.comparisons, 7u);
+  EXPECT_EQ(d.data_moves, 4u);
+  d += b;
+  EXPECT_EQ(d.comparisons, 10u);
+  EXPECT_FALSE(a.ToString().empty());
+}
+
+// ---- Status -----------------------------------------------------------------
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  Status s = Status::NotFound("thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: thing");
+}
+
+// ---- Hash -------------------------------------------------------------------
+
+TEST(HashTest, Mix64Avalanche) {
+  EXPECT_NE(HashMix64(1), HashMix64(2));
+  EXPECT_NE(HashMix64(0x100000000ull), HashMix64(0));
+}
+
+TEST(HashTest, BytesAndStrings) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_EQ(HashDouble(0.0), HashDouble(-0.0));
+}
+
+// ---- Timer ------------------------------------------------------------------
+
+TEST(TimerTest, MeasuresNonNegativeElapsed) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 10000; ++i) sink += i;
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMicros(), t.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace mmdb

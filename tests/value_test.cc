@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "src/storage/value.h"
+
+namespace mmdb {
+namespace {
+
+TEST(TypeTest, Widths) {
+  EXPECT_EQ(TypeWidth(Type::kInt32), 4u);
+  EXPECT_EQ(TypeWidth(Type::kInt64), 8u);
+  EXPECT_EQ(TypeWidth(Type::kDouble), 8u);
+  EXPECT_EQ(TypeWidth(Type::kString), 8u);
+  EXPECT_EQ(TypeWidth(Type::kPointer), 8u);
+}
+
+TEST(TypeTest, Names) {
+  EXPECT_STREQ(TypeName(Type::kInt32), "int32");
+  EXPECT_STREQ(TypeName(Type::kString), "string");
+  EXPECT_STREQ(TypeName(Type::kPointer), "pointer");
+}
+
+TEST(ValueTest, TypeTagging) {
+  EXPECT_EQ(Value(int32_t{1}).type(), Type::kInt32);
+  EXPECT_EQ(Value(int64_t{1}).type(), Type::kInt64);
+  EXPECT_EQ(Value(1.5).type(), Type::kDouble);
+  EXPECT_EQ(Value("hi").type(), Type::kString);
+  EXPECT_EQ(Value(TupleRef{nullptr}).type(), Type::kPointer);
+}
+
+TEST(ValueTest, IntComparison) {
+  EXPECT_LT(Value(1).Compare(Value(2)), 0);
+  EXPECT_GT(Value(5).Compare(Value(2)), 0);
+  EXPECT_EQ(Value(3).Compare(Value(3)), 0);
+}
+
+TEST(ValueTest, CrossWidthIntComparison) {
+  EXPECT_EQ(Value(int32_t{7}).Compare(Value(int64_t{7})), 0);
+  EXPECT_LT(Value(int32_t{7}).Compare(Value(int64_t{8})), 0);
+  EXPECT_GT(Value(int64_t{1LL << 40}).Compare(Value(int32_t{100})), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value("apple").Compare(Value("banana")), 0);
+  EXPECT_EQ(Value("x").Compare(Value("x")), 0);
+  EXPECT_GT(Value("zebra").Compare(Value("apple")), 0);
+  EXPECT_LT(Value("ab").Compare(Value("abc")), 0);
+}
+
+TEST(ValueTest, DoubleComparison) {
+  EXPECT_LT(Value(1.0).Compare(Value(2.0)), 0);
+  EXPECT_EQ(Value(-0.0).Compare(Value(0.0)), 0);
+}
+
+TEST(ValueTest, PointerComparison) {
+  int x[2] = {0, 0};
+  TupleRef a = reinterpret_cast<TupleRef>(&x[0]);
+  TupleRef b = reinterpret_cast<TupleRef>(&x[1]);
+  EXPECT_LT(Value(a).Compare(Value(b)), 0);
+  EXPECT_EQ(Value(a).Compare(Value(a)), 0);
+}
+
+TEST(ValueTest, OperatorsDelegateToCompare) {
+  EXPECT_TRUE(Value(1) < Value(2));
+  EXPECT_TRUE(Value("a") == Value("a"));
+  EXPECT_FALSE(Value(2) < Value(1));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(42).Hash(), Value(42).Hash());
+  EXPECT_EQ(Value("mm").Hash(), Value("mm").Hash());
+  // Cross-width equal integers must hash equally.
+  EXPECT_EQ(Value(int32_t{9}).Hash(), Value(int64_t{9}).Hash());
+  EXPECT_NE(Value(1).Hash(), Value(2).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(7).ToString(), "7");
+  EXPECT_EQ(Value("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(ValueTest, DefaultIsInt32Zero) {
+  Value v;
+  EXPECT_EQ(v.type(), Type::kInt32);
+  EXPECT_EQ(v.AsInt32(), 0);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,139 @@
+// The Section 3.3.1 relation generator: cardinality, duplicate percentage,
+// truncated-normal duplicate distributions (Graph 3), semijoin selectivity.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/workload/generator.h"
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+TEST(WorkloadTest, CardinalityHonored) {
+  WorkloadGen gen(1);
+  for (size_t n : {1u, 10u, 1000u}) {
+    ColumnData col = gen.Generate({n, 0, 0.8});
+    EXPECT_EQ(col.values.size(), n);
+    EXPECT_EQ(col.uniques.size(), n);  // 0% duplicates
+  }
+}
+
+TEST(WorkloadTest, ZeroCardinality) {
+  WorkloadGen gen(1);
+  ColumnData col = gen.Generate({0, 0, 0.8});
+  EXPECT_TRUE(col.values.empty());
+}
+
+TEST(WorkloadTest, DuplicatePercentageControlsUniqueCount) {
+  WorkloadGen gen(2);
+  ColumnData col = gen.Generate({1000, 40, 0.8});
+  EXPECT_EQ(col.values.size(), 1000u);
+  EXPECT_EQ(col.uniques.size(), 600u);  // 1000 * (1 - 0.4)
+  // Counts sum to the cardinality, each >= 1.
+  int64_t total = 0;
+  for (int32_t c : col.counts) {
+    EXPECT_GE(c, 1);
+    total += c;
+  }
+  EXPECT_EQ(total, 1000);
+}
+
+TEST(WorkloadTest, HundredPercentDuplicatesIsOneValue) {
+  WorkloadGen gen(3);
+  ColumnData col = gen.Generate({500, 100, 0.1});
+  EXPECT_EQ(col.uniques.size(), 1u);
+  EXPECT_EQ(col.values.size(), 500u);
+  for (int32_t v : col.values) EXPECT_EQ(v, col.uniques[0]);
+}
+
+TEST(WorkloadTest, UniquesAreDistinctAcrossCalls) {
+  WorkloadGen gen(4);
+  ColumnData a = gen.Generate({500, 0, 0.8});
+  ColumnData b = gen.Generate({500, 0, 0.8});
+  std::set<int32_t> all(a.uniques.begin(), a.uniques.end());
+  for (int32_t v : b.uniques) {
+    EXPECT_TRUE(all.insert(v).second) << "value reused across relations";
+  }
+}
+
+TEST(WorkloadTest, SkewedDistributionConcentratesMass) {
+  // Graph 3: with sigma 0.1, the top 10% of values hold far more tuples
+  // than with sigma 0.8.
+  WorkloadGen gen(5);
+  ColumnData skewed = gen.Generate({20000, 90, 0.1});
+  ColumnData uniform = gen.Generate({20000, 90, 0.8});
+  auto top10_share = [](const ColumnData& col) {
+    std::vector<int32_t> counts = col.counts;
+    std::sort(counts.begin(), counts.end(), std::greater<int32_t>());
+    int64_t top = 0, total = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      total += counts[i];
+      if (i < counts.size() / 10) top += counts[i];
+    }
+    return static_cast<double>(top) / total;
+  };
+  EXPECT_GT(top10_share(skewed), top10_share(uniform) + 0.1);
+}
+
+TEST(WorkloadTest, DistributionCurveShape) {
+  WorkloadGen gen(6);
+  ColumnData skewed = gen.Generate({20000, 90, 0.1});
+  std::vector<double> curve = WorkloadGen::DistributionCurve(skewed, 10);
+  ASSERT_EQ(curve.size(), 11u);
+  EXPECT_DOUBLE_EQ(curve.front(), 0.0);
+  EXPECT_NEAR(curve.back(), 100.0, 1e-9);
+  // Monotone nondecreasing and concave-ish (descending counts).
+  for (size_t i = 1; i < curve.size(); ++i) EXPECT_GE(curve[i], curve[i - 1]);
+  // Skew: half the values already cover most of the tuples.
+  EXPECT_GT(curve[5], 75.0);
+}
+
+TEST(WorkloadTest, SemijoinSelectivityControlsMatches) {
+  WorkloadGen gen(7);
+  ColumnData big = gen.Generate({2000, 0, 0.8});
+  for (double pct : {0.0, 25.0, 100.0}) {
+    ColumnData small = gen.GenerateMatching({1000, 0, 0.8}, big.uniques, pct);
+    std::set<int32_t> big_set(big.uniques.begin(), big.uniques.end());
+    size_t matching = 0;
+    for (int32_t v : small.uniques) {
+      if (big_set.contains(v)) ++matching;
+    }
+    EXPECT_NEAR(static_cast<double>(matching) / small.uniques.size(),
+                pct / 100.0, 0.01);
+  }
+}
+
+TEST(WorkloadTest, MatchingValuesAreSampledWithoutReplacement) {
+  WorkloadGen gen(8);
+  ColumnData big = gen.Generate({100, 0, 0.8});
+  ColumnData small = gen.GenerateMatching({100, 0, 0.8}, big.uniques, 100.0);
+  std::set<int32_t> s(small.uniques.begin(), small.uniques.end());
+  EXPECT_EQ(s.size(), small.uniques.size());  // all distinct
+}
+
+TEST(WorkloadTest, BuildRelationMatchesColumn) {
+  WorkloadGen gen(9);
+  ColumnData col = gen.Generate({300, 50, 0.4});
+  auto rel = WorkloadGen::BuildRelation("r", col);
+  EXPECT_EQ(rel->cardinality(), 300u);
+  ASSERT_NE(rel->primary_index(), nullptr);
+  EXPECT_EQ(rel->primary_index()->size(), 300u);
+  // Primary index is the array index used to scan relations in the paper.
+  EXPECT_EQ(rel->primary_index()->kind(), IndexKind::kArray);
+  std::multiset<int32_t> expected(col.values.begin(), col.values.end());
+  std::multiset<int32_t> got;
+  rel->ForEachTuple([&](TupleRef t) { got.insert(testutil::KeyOf(t, *rel)); });
+  EXPECT_EQ(got, expected);
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  WorkloadGen a(77), b(77);
+  ColumnData ca = a.Generate({500, 30, 0.4});
+  ColumnData cb = b.Generate({500, 30, 0.4});
+  EXPECT_EQ(ca.values, cb.values);
+}
+
+}  // namespace
+}  // namespace mmdb
