@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extra_bplus_vs_b.dir/bench_extra_bplus_vs_b.cc.o"
+  "CMakeFiles/bench_extra_bplus_vs_b.dir/bench_extra_bplus_vs_b.cc.o.d"
+  "bench_extra_bplus_vs_b"
+  "bench_extra_bplus_vs_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_bplus_vs_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extra_build_scan.dir/bench_extra_build_scan.cc.o"
+  "CMakeFiles/bench_extra_build_scan.dir/bench_extra_build_scan.cc.o.d"
+  "bench_extra_build_scan"
+  "bench_extra_build_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_build_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extra_index_create.dir/bench_extra_index_create.cc.o"
+  "CMakeFiles/bench_extra_index_create.dir/bench_extra_index_create.cc.o.d"
+  "bench_extra_index_create"
+  "bench_extra_index_create.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_index_create.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extra_selection.dir/bench_extra_selection.cc.o"
+  "CMakeFiles/bench_extra_selection.dir/bench_extra_selection.cc.o.d"
+  "bench_extra_selection"
+  "bench_extra_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

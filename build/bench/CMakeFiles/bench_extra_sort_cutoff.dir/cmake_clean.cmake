@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extra_sort_cutoff.dir/bench_extra_sort_cutoff.cc.o"
+  "CMakeFiles/bench_extra_sort_cutoff.dir/bench_extra_sort_cutoff.cc.o.d"
+  "bench_extra_sort_cutoff"
+  "bench_extra_sort_cutoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_sort_cutoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

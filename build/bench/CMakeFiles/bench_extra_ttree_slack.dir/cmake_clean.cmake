@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extra_ttree_slack.dir/bench_extra_ttree_slack.cc.o"
+  "CMakeFiles/bench_extra_ttree_slack.dir/bench_extra_ttree_slack.cc.o.d"
+  "bench_extra_ttree_slack"
+  "bench_extra_ttree_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_ttree_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph01_search.dir/bench_graph01_search.cc.o"
+  "CMakeFiles/bench_graph01_search.dir/bench_graph01_search.cc.o.d"
+  "bench_graph01_search"
+  "bench_graph01_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph01_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph02_querymix.dir/bench_graph02_querymix.cc.o"
+  "CMakeFiles/bench_graph02_querymix.dir/bench_graph02_querymix.cc.o.d"
+  "bench_graph02_querymix"
+  "bench_graph02_querymix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph02_querymix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph03_distribution.dir/bench_graph03_distribution.cc.o"
+  "CMakeFiles/bench_graph03_distribution.dir/bench_graph03_distribution.cc.o.d"
+  "bench_graph03_distribution"
+  "bench_graph03_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph03_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

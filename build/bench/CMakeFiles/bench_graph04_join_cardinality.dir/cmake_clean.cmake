@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph04_join_cardinality.dir/bench_graph04_join_cardinality.cc.o"
+  "CMakeFiles/bench_graph04_join_cardinality.dir/bench_graph04_join_cardinality.cc.o.d"
+  "bench_graph04_join_cardinality"
+  "bench_graph04_join_cardinality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph04_join_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

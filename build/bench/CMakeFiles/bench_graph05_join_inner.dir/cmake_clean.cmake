@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph05_join_inner.dir/bench_graph05_join_inner.cc.o"
+  "CMakeFiles/bench_graph05_join_inner.dir/bench_graph05_join_inner.cc.o.d"
+  "bench_graph05_join_inner"
+  "bench_graph05_join_inner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph05_join_inner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

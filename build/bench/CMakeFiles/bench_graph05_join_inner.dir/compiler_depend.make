@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_graph05_join_inner.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph06_join_outer.dir/bench_graph06_join_outer.cc.o"
+  "CMakeFiles/bench_graph06_join_outer.dir/bench_graph06_join_outer.cc.o.d"
+  "bench_graph06_join_outer"
+  "bench_graph06_join_outer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph06_join_outer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

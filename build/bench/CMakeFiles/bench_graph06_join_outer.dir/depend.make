@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_graph06_join_outer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph07_join_dup_skewed.dir/bench_graph07_join_dup_skewed.cc.o"
+  "CMakeFiles/bench_graph07_join_dup_skewed.dir/bench_graph07_join_dup_skewed.cc.o.d"
+  "bench_graph07_join_dup_skewed"
+  "bench_graph07_join_dup_skewed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph07_join_dup_skewed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

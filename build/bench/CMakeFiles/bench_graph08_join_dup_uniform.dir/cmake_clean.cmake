@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph08_join_dup_uniform.dir/bench_graph08_join_dup_uniform.cc.o"
+  "CMakeFiles/bench_graph08_join_dup_uniform.dir/bench_graph08_join_dup_uniform.cc.o.d"
+  "bench_graph08_join_dup_uniform"
+  "bench_graph08_join_dup_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph08_join_dup_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

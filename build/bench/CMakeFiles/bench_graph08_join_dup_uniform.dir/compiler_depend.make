@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_graph08_join_dup_uniform.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_graph08_join_dup_uniform.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph09_join_semijoin.dir/bench_graph09_join_semijoin.cc.o"
+  "CMakeFiles/bench_graph09_join_semijoin.dir/bench_graph09_join_semijoin.cc.o.d"
+  "bench_graph09_join_semijoin"
+  "bench_graph09_join_semijoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph09_join_semijoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph10_nested_loops.dir/bench_graph10_nested_loops.cc.o"
+  "CMakeFiles/bench_graph10_nested_loops.dir/bench_graph10_nested_loops.cc.o.d"
+  "bench_graph10_nested_loops"
+  "bench_graph10_nested_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph10_nested_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_graph10_nested_loops.
+# This may be replaced when dependencies are built.

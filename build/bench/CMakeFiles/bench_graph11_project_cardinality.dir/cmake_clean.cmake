@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph11_project_cardinality.dir/bench_graph11_project_cardinality.cc.o"
+  "CMakeFiles/bench_graph11_project_cardinality.dir/bench_graph11_project_cardinality.cc.o.d"
+  "bench_graph11_project_cardinality"
+  "bench_graph11_project_cardinality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph11_project_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

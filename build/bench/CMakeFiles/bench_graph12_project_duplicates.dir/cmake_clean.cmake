@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph12_project_duplicates.dir/bench_graph12_project_duplicates.cc.o"
+  "CMakeFiles/bench_graph12_project_duplicates.dir/bench_graph12_project_duplicates.cc.o.d"
+  "bench_graph12_project_duplicates"
+  "bench_graph12_project_duplicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph12_project_duplicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_graph12_project_duplicates.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/employee_department.dir/employee_department.cpp.o"
+  "CMakeFiles/employee_department.dir/employee_department.cpp.o.d"
+  "employee_department"
+  "employee_department.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/employee_department.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_shell.dir/mmdb_shell.cpp.o"
+  "CMakeFiles/mmdb_shell.dir/mmdb_shell.cpp.o.d"
+  "mmdb_shell"
+  "mmdb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

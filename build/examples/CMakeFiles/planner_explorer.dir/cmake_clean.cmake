@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_explorer.dir/planner_explorer.cpp.o"
+  "CMakeFiles/planner_explorer.dir/planner_explorer.cpp.o.d"
+  "planner_explorer"
+  "planner_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

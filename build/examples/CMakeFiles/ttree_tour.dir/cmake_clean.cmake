@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttree_tour.dir/ttree_tour.cpp.o"
+  "CMakeFiles/ttree_tour.dir/ttree_tour.cpp.o.d"
+  "ttree_tour"
+  "ttree_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttree_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

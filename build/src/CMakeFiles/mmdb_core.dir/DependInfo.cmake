@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/database.cc" "src/CMakeFiles/mmdb_core.dir/core/database.cc.o" "gcc" "src/CMakeFiles/mmdb_core.dir/core/database.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/CMakeFiles/mmdb_core.dir/core/planner.cc.o" "gcc" "src/CMakeFiles/mmdb_core.dir/core/planner.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/CMakeFiles/mmdb_core.dir/core/query.cc.o" "gcc" "src/CMakeFiles/mmdb_core.dir/core/query.cc.o.d"
+  "/root/repo/src/core/shell.cc" "src/CMakeFiles/mmdb_core.dir/core/shell.cc.o" "gcc" "src/CMakeFiles/mmdb_core.dir/core/shell.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmdb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_core.dir/core/database.cc.o"
+  "CMakeFiles/mmdb_core.dir/core/database.cc.o.d"
+  "CMakeFiles/mmdb_core.dir/core/planner.cc.o"
+  "CMakeFiles/mmdb_core.dir/core/planner.cc.o.d"
+  "CMakeFiles/mmdb_core.dir/core/query.cc.o"
+  "CMakeFiles/mmdb_core.dir/core/query.cc.o.d"
+  "CMakeFiles/mmdb_core.dir/core/shell.cc.o"
+  "CMakeFiles/mmdb_core.dir/core/shell.cc.o.d"
+  "libmmdb_core.a"
+  "libmmdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

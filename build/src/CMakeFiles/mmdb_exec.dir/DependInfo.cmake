@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/aggregate.cc" "src/CMakeFiles/mmdb_exec.dir/exec/aggregate.cc.o" "gcc" "src/CMakeFiles/mmdb_exec.dir/exec/aggregate.cc.o.d"
+  "/root/repo/src/exec/join.cc" "src/CMakeFiles/mmdb_exec.dir/exec/join.cc.o" "gcc" "src/CMakeFiles/mmdb_exec.dir/exec/join.cc.o.d"
+  "/root/repo/src/exec/predicate.cc" "src/CMakeFiles/mmdb_exec.dir/exec/predicate.cc.o" "gcc" "src/CMakeFiles/mmdb_exec.dir/exec/predicate.cc.o.d"
+  "/root/repo/src/exec/project.cc" "src/CMakeFiles/mmdb_exec.dir/exec/project.cc.o" "gcc" "src/CMakeFiles/mmdb_exec.dir/exec/project.cc.o.d"
+  "/root/repo/src/exec/select.cc" "src/CMakeFiles/mmdb_exec.dir/exec/select.cc.o" "gcc" "src/CMakeFiles/mmdb_exec.dir/exec/select.cc.o.d"
+  "/root/repo/src/exec/sort.cc" "src/CMakeFiles/mmdb_exec.dir/exec/sort.cc.o" "gcc" "src/CMakeFiles/mmdb_exec.dir/exec/sort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_exec.dir/exec/aggregate.cc.o"
+  "CMakeFiles/mmdb_exec.dir/exec/aggregate.cc.o.d"
+  "CMakeFiles/mmdb_exec.dir/exec/join.cc.o"
+  "CMakeFiles/mmdb_exec.dir/exec/join.cc.o.d"
+  "CMakeFiles/mmdb_exec.dir/exec/predicate.cc.o"
+  "CMakeFiles/mmdb_exec.dir/exec/predicate.cc.o.d"
+  "CMakeFiles/mmdb_exec.dir/exec/project.cc.o"
+  "CMakeFiles/mmdb_exec.dir/exec/project.cc.o.d"
+  "CMakeFiles/mmdb_exec.dir/exec/select.cc.o"
+  "CMakeFiles/mmdb_exec.dir/exec/select.cc.o.d"
+  "CMakeFiles/mmdb_exec.dir/exec/sort.cc.o"
+  "CMakeFiles/mmdb_exec.dir/exec/sort.cc.o.d"
+  "libmmdb_exec.a"
+  "libmmdb_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

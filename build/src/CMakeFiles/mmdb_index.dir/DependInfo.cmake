@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/array_index.cc" "src/CMakeFiles/mmdb_index.dir/index/array_index.cc.o" "gcc" "src/CMakeFiles/mmdb_index.dir/index/array_index.cc.o.d"
+  "/root/repo/src/index/avl_tree.cc" "src/CMakeFiles/mmdb_index.dir/index/avl_tree.cc.o" "gcc" "src/CMakeFiles/mmdb_index.dir/index/avl_tree.cc.o.d"
+  "/root/repo/src/index/bplus_tree.cc" "src/CMakeFiles/mmdb_index.dir/index/bplus_tree.cc.o" "gcc" "src/CMakeFiles/mmdb_index.dir/index/bplus_tree.cc.o.d"
+  "/root/repo/src/index/btree.cc" "src/CMakeFiles/mmdb_index.dir/index/btree.cc.o" "gcc" "src/CMakeFiles/mmdb_index.dir/index/btree.cc.o.d"
+  "/root/repo/src/index/chained_hash.cc" "src/CMakeFiles/mmdb_index.dir/index/chained_hash.cc.o" "gcc" "src/CMakeFiles/mmdb_index.dir/index/chained_hash.cc.o.d"
+  "/root/repo/src/index/extendible_hash.cc" "src/CMakeFiles/mmdb_index.dir/index/extendible_hash.cc.o" "gcc" "src/CMakeFiles/mmdb_index.dir/index/extendible_hash.cc.o.d"
+  "/root/repo/src/index/index.cc" "src/CMakeFiles/mmdb_index.dir/index/index.cc.o" "gcc" "src/CMakeFiles/mmdb_index.dir/index/index.cc.o.d"
+  "/root/repo/src/index/key_ops.cc" "src/CMakeFiles/mmdb_index.dir/index/key_ops.cc.o" "gcc" "src/CMakeFiles/mmdb_index.dir/index/key_ops.cc.o.d"
+  "/root/repo/src/index/linear_hash.cc" "src/CMakeFiles/mmdb_index.dir/index/linear_hash.cc.o" "gcc" "src/CMakeFiles/mmdb_index.dir/index/linear_hash.cc.o.d"
+  "/root/repo/src/index/modified_linear_hash.cc" "src/CMakeFiles/mmdb_index.dir/index/modified_linear_hash.cc.o" "gcc" "src/CMakeFiles/mmdb_index.dir/index/modified_linear_hash.cc.o.d"
+  "/root/repo/src/index/ttree.cc" "src/CMakeFiles/mmdb_index.dir/index/ttree.cc.o" "gcc" "src/CMakeFiles/mmdb_index.dir/index/ttree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_index.dir/index/array_index.cc.o"
+  "CMakeFiles/mmdb_index.dir/index/array_index.cc.o.d"
+  "CMakeFiles/mmdb_index.dir/index/avl_tree.cc.o"
+  "CMakeFiles/mmdb_index.dir/index/avl_tree.cc.o.d"
+  "CMakeFiles/mmdb_index.dir/index/bplus_tree.cc.o"
+  "CMakeFiles/mmdb_index.dir/index/bplus_tree.cc.o.d"
+  "CMakeFiles/mmdb_index.dir/index/btree.cc.o"
+  "CMakeFiles/mmdb_index.dir/index/btree.cc.o.d"
+  "CMakeFiles/mmdb_index.dir/index/chained_hash.cc.o"
+  "CMakeFiles/mmdb_index.dir/index/chained_hash.cc.o.d"
+  "CMakeFiles/mmdb_index.dir/index/extendible_hash.cc.o"
+  "CMakeFiles/mmdb_index.dir/index/extendible_hash.cc.o.d"
+  "CMakeFiles/mmdb_index.dir/index/index.cc.o"
+  "CMakeFiles/mmdb_index.dir/index/index.cc.o.d"
+  "CMakeFiles/mmdb_index.dir/index/key_ops.cc.o"
+  "CMakeFiles/mmdb_index.dir/index/key_ops.cc.o.d"
+  "CMakeFiles/mmdb_index.dir/index/linear_hash.cc.o"
+  "CMakeFiles/mmdb_index.dir/index/linear_hash.cc.o.d"
+  "CMakeFiles/mmdb_index.dir/index/modified_linear_hash.cc.o"
+  "CMakeFiles/mmdb_index.dir/index/modified_linear_hash.cc.o.d"
+  "CMakeFiles/mmdb_index.dir/index/ttree.cc.o"
+  "CMakeFiles/mmdb_index.dir/index/ttree.cc.o.d"
+  "libmmdb_index.a"
+  "libmmdb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

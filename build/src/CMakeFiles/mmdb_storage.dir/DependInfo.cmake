@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/mmdb_storage.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/mmdb_storage.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/index_iface.cc" "src/CMakeFiles/mmdb_storage.dir/storage/index_iface.cc.o" "gcc" "src/CMakeFiles/mmdb_storage.dir/storage/index_iface.cc.o.d"
+  "/root/repo/src/storage/partition.cc" "src/CMakeFiles/mmdb_storage.dir/storage/partition.cc.o" "gcc" "src/CMakeFiles/mmdb_storage.dir/storage/partition.cc.o.d"
+  "/root/repo/src/storage/relation.cc" "src/CMakeFiles/mmdb_storage.dir/storage/relation.cc.o" "gcc" "src/CMakeFiles/mmdb_storage.dir/storage/relation.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/mmdb_storage.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/mmdb_storage.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/temp_list.cc" "src/CMakeFiles/mmdb_storage.dir/storage/temp_list.cc.o" "gcc" "src/CMakeFiles/mmdb_storage.dir/storage/temp_list.cc.o.d"
+  "/root/repo/src/storage/tuple.cc" "src/CMakeFiles/mmdb_storage.dir/storage/tuple.cc.o" "gcc" "src/CMakeFiles/mmdb_storage.dir/storage/tuple.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/mmdb_storage.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/mmdb_storage.dir/storage/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

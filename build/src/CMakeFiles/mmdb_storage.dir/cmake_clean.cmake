@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_storage.dir/storage/catalog.cc.o"
+  "CMakeFiles/mmdb_storage.dir/storage/catalog.cc.o.d"
+  "CMakeFiles/mmdb_storage.dir/storage/index_iface.cc.o"
+  "CMakeFiles/mmdb_storage.dir/storage/index_iface.cc.o.d"
+  "CMakeFiles/mmdb_storage.dir/storage/partition.cc.o"
+  "CMakeFiles/mmdb_storage.dir/storage/partition.cc.o.d"
+  "CMakeFiles/mmdb_storage.dir/storage/relation.cc.o"
+  "CMakeFiles/mmdb_storage.dir/storage/relation.cc.o.d"
+  "CMakeFiles/mmdb_storage.dir/storage/schema.cc.o"
+  "CMakeFiles/mmdb_storage.dir/storage/schema.cc.o.d"
+  "CMakeFiles/mmdb_storage.dir/storage/temp_list.cc.o"
+  "CMakeFiles/mmdb_storage.dir/storage/temp_list.cc.o.d"
+  "CMakeFiles/mmdb_storage.dir/storage/tuple.cc.o"
+  "CMakeFiles/mmdb_storage.dir/storage/tuple.cc.o.d"
+  "CMakeFiles/mmdb_storage.dir/storage/value.cc.o"
+  "CMakeFiles/mmdb_storage.dir/storage/value.cc.o.d"
+  "libmmdb_storage.a"
+  "libmmdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

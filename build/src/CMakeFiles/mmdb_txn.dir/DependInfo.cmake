@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/disk_image.cc" "src/CMakeFiles/mmdb_txn.dir/txn/disk_image.cc.o" "gcc" "src/CMakeFiles/mmdb_txn.dir/txn/disk_image.cc.o.d"
+  "/root/repo/src/txn/lock_manager.cc" "src/CMakeFiles/mmdb_txn.dir/txn/lock_manager.cc.o" "gcc" "src/CMakeFiles/mmdb_txn.dir/txn/lock_manager.cc.o.d"
+  "/root/repo/src/txn/log.cc" "src/CMakeFiles/mmdb_txn.dir/txn/log.cc.o" "gcc" "src/CMakeFiles/mmdb_txn.dir/txn/log.cc.o.d"
+  "/root/repo/src/txn/log_device.cc" "src/CMakeFiles/mmdb_txn.dir/txn/log_device.cc.o" "gcc" "src/CMakeFiles/mmdb_txn.dir/txn/log_device.cc.o.d"
+  "/root/repo/src/txn/recovery.cc" "src/CMakeFiles/mmdb_txn.dir/txn/recovery.cc.o" "gcc" "src/CMakeFiles/mmdb_txn.dir/txn/recovery.cc.o.d"
+  "/root/repo/src/txn/transaction.cc" "src/CMakeFiles/mmdb_txn.dir/txn/transaction.cc.o" "gcc" "src/CMakeFiles/mmdb_txn.dir/txn/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

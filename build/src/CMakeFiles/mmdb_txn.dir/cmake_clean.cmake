@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_txn.dir/txn/disk_image.cc.o"
+  "CMakeFiles/mmdb_txn.dir/txn/disk_image.cc.o.d"
+  "CMakeFiles/mmdb_txn.dir/txn/lock_manager.cc.o"
+  "CMakeFiles/mmdb_txn.dir/txn/lock_manager.cc.o.d"
+  "CMakeFiles/mmdb_txn.dir/txn/log.cc.o"
+  "CMakeFiles/mmdb_txn.dir/txn/log.cc.o.d"
+  "CMakeFiles/mmdb_txn.dir/txn/log_device.cc.o"
+  "CMakeFiles/mmdb_txn.dir/txn/log_device.cc.o.d"
+  "CMakeFiles/mmdb_txn.dir/txn/recovery.cc.o"
+  "CMakeFiles/mmdb_txn.dir/txn/recovery.cc.o.d"
+  "CMakeFiles/mmdb_txn.dir/txn/transaction.cc.o"
+  "CMakeFiles/mmdb_txn.dir/txn/transaction.cc.o.d"
+  "libmmdb_txn.a"
+  "libmmdb_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_util.dir/util/counters.cc.o"
+  "CMakeFiles/mmdb_util.dir/util/counters.cc.o.d"
+  "CMakeFiles/mmdb_util.dir/util/rng.cc.o"
+  "CMakeFiles/mmdb_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/mmdb_util.dir/util/status.cc.o"
+  "CMakeFiles/mmdb_util.dir/util/status.cc.o.d"
+  "CMakeFiles/mmdb_util.dir/util/timer.cc.o"
+  "CMakeFiles/mmdb_util.dir/util/timer.cc.o.d"
+  "libmmdb_util.a"
+  "libmmdb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_workload.dir/workload/generator.cc.o"
+  "CMakeFiles/mmdb_workload.dir/workload/generator.cc.o.d"
+  "libmmdb_workload.a"
+  "libmmdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

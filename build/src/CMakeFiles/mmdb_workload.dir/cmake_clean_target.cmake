@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmmdb_workload.a"
+)

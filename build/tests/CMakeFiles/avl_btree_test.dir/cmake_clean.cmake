@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avl_btree_test.dir/avl_btree_test.cc.o"
+  "CMakeFiles/avl_btree_test.dir/avl_btree_test.cc.o.d"
+  "avl_btree_test"
+  "avl_btree_test.pdb"
+  "avl_btree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avl_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

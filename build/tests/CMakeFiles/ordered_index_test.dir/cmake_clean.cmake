@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordered_index_test.dir/ordered_index_test.cc.o"
+  "CMakeFiles/ordered_index_test.dir/ordered_index_test.cc.o.d"
+  "ordered_index_test"
+  "ordered_index_test.pdb"
+  "ordered_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordered_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temp_list_test.dir/temp_list_test.cc.o"
+  "CMakeFiles/temp_list_test.dir/temp_list_test.cc.o.d"
+  "temp_list_test"
+  "temp_list_test.pdb"
+  "temp_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temp_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
