@@ -1,0 +1,180 @@
+// Service throughput vs. worker-thread count (1, 2, 4, 8) on the paper's
+// workload generator.  Two workloads:
+//
+//   * ServiceSelect — read-only selection queries (sequential-scan
+//     predicate on the unindexed `seq` column, so each query carries real
+//     CPU work).  Readers share partition S locks, so throughput should
+//     scale with the worker count on multicore hardware — the acceptance
+//     shape for this subsystem is >=2x at 4 workers vs. 1.
+//   * ServiceMixed — 90% selections + 10% counter increments, showing the
+//     cost of exclusive-writer serialization on a shared relation.
+//
+// Reported counter: qps (queries per wall-clock second).  Run on a
+// single-core host these collapse to ~1x by construction; the scaling
+// claim needs >= as many cores as workers.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "src/core/database.h"
+#include "src/server/query_service.h"
+#include "src/workload/generator.h"
+
+namespace mmdb {
+namespace {
+
+constexpr size_t kRelationCardinality = 30000;  // the paper's |R|
+constexpr int kBatch = 64;  // queries submitted per benchmark iteration
+
+/// One shared read-only database: a generated relation "r" (key:int32,
+/// seq:int32) with the paper's array primary index on `key`.
+Database* SelectDb() {
+  static Database* db = [] {
+    auto* d = new Database();
+    WorkloadGen gen(/*seed=*/7);
+    ColumnSpec spec;
+    spec.cardinality = kRelationCardinality;
+    spec.duplicate_pct = 0.0;
+    ColumnData column = gen.Generate(spec);
+    Relation* rel = d->CreateTable(
+        "r", {{"key", Type::kInt32}, {"seq", Type::kInt32}});
+    for (size_t i = 0; i < column.values.size(); ++i) {
+      rel->Insert({Value(column.values[i]), Value(static_cast<int32_t>(i))});
+    }
+    return d;
+  }();
+  return db;
+}
+
+/// Waits until `done` reaches `target` (callbacks fire on worker threads).
+void AwaitBatch(std::atomic<int>& done, int target) {
+  while (done.load(std::memory_order_acquire) < target) {
+    std::this_thread::yield();
+  }
+}
+
+void BM_ServiceSelect(benchmark::State& state) {
+  Database* db = SelectDb();
+  ServiceOptions opts;
+  opts.workers = static_cast<size_t>(state.range(0));
+  opts.queue_depth = 4 * kBatch;
+  QueryService service(db, opts);
+  Session* session = service.OpenSession();
+
+  SelectSpec sel;
+  sel.table = "r";
+  int32_t probe = 0;
+  for (auto _ : state) {
+    std::atomic<int> done{0};
+    std::atomic<int> errors{0};
+    for (int i = 0; i < kBatch; ++i) {
+      // Unindexed column => sequential scan of all 30k tuples per query.
+      sel.where = {WhereClause{"seq", CompareOp::kEq,
+                               Value(probe++ % static_cast<int32_t>(
+                                                   kRelationCardinality))}};
+      Status s = service.Submit(session, Operation(sel), [&](OpResult r) {
+        if (!r.ok() || r.rows.size() != 1) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        done.fetch_add(1, std::memory_order_release);
+      });
+      if (!s.ok()) {
+        state.SkipWithError("submit rejected");
+        return;
+      }
+    }
+    AwaitBatch(done, kBatch);
+    if (errors.load() != 0) {
+      state.SkipWithError("query failed");
+      return;
+    }
+  }
+  const double queries =
+      static_cast<double>(state.iterations()) * kBatch;
+  state.counters["qps"] =
+      benchmark::Counter(queries, benchmark::Counter::kIsRate);
+  state.counters["workers"] = static_cast<double>(opts.workers);
+  service.Shutdown();
+}
+BENCHMARK(BM_ServiceSelect)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServiceMixed(benchmark::State& state) {
+  // Private database per run: the increment load mutates it.
+  Database db;
+  WorkloadGen gen(/*seed=*/11);
+  ColumnSpec spec;
+  spec.cardinality = kRelationCardinality;
+  spec.duplicate_pct = 0.0;
+  ColumnData column = gen.Generate(spec);
+  Relation* rel =
+      db.CreateTable("r", {{"key", Type::kInt32}, {"seq", Type::kInt32}});
+  for (size_t i = 0; i < column.values.size(); ++i) {
+    rel->Insert({Value(column.values[i]), Value(static_cast<int32_t>(i))});
+  }
+  db.CreateTable("hits", {{"id", Type::kInt32}, {"count", Type::kInt64}});
+  db.Insert("hits", {Value(0), Value(int64_t{0})});
+
+  ServiceOptions opts;
+  opts.workers = static_cast<size_t>(state.range(0));
+  opts.queue_depth = 4 * kBatch;
+  opts.lock_timeout = std::chrono::milliseconds(2000);
+  QueryService service(&db, opts);
+  Session* session = service.OpenSession();
+
+  int32_t probe = 0;
+  for (auto _ : state) {
+    std::atomic<int> done{0};
+    for (int i = 0; i < kBatch; ++i) {
+      Operation op;
+      if (i % 10 == 9) {
+        IncrementSpec inc;
+        inc.table = "hits";
+        inc.match = WhereClause{"id", CompareOp::kEq, Value(0)};
+        inc.field = "count";
+        op = Operation(std::move(inc));
+      } else {
+        SelectSpec sel;
+        sel.table = "r";
+        sel.where = {WhereClause{"seq", CompareOp::kEq,
+                                 Value(probe++ % static_cast<int32_t>(
+                                                     kRelationCardinality))}};
+        op = Operation(std::move(sel));
+      }
+      Status s = service.Submit(session, std::move(op), [&](OpResult) {
+        done.fetch_add(1, std::memory_order_release);
+      });
+      if (!s.ok()) {
+        state.SkipWithError("submit rejected");
+        return;
+      }
+    }
+    AwaitBatch(done, kBatch);
+  }
+  const double queries =
+      static_cast<double>(state.iterations()) * kBatch;
+  state.counters["qps"] =
+      benchmark::Counter(queries, benchmark::Counter::kIsRate);
+  state.counters["workers"] = static_cast<double>(opts.workers);
+  service.Shutdown();
+}
+BENCHMARK(BM_ServiceMixed)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mmdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// The unit of work a session submits to the query service: a declarative
+// operation spec (no pointers into the database) plus the materialized
+// result handed back.  Specs are plain values so they can cross the work
+// queue between client and worker threads; tuple addresses never leave the
+// lock scope that makes them safe to dereference.
+//
+// Reads mirror QueryBuilder (table / where / join / columns / distinct /
+// order); writes address their targets by a match predicate, not by
+// TupleRef, because a client-held TupleRef could dangle by the time a
+// worker executes the op.
+
+#ifndef MMDB_SERVER_OPERATION_H_
+#define MMDB_SERVER_OPERATION_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/exec/predicate.h"
+#include "src/server/service_stats.h"
+#include "src/storage/value.h"
+#include "src/util/status.h"
+
+namespace mmdb {
+
+/// One conjunct by field *name* (resolved against the schema at execution
+/// time, on the worker).
+struct WhereClause {
+  std::string field;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+};
+
+/// Equijoin clause of a SelectSpec, with optional conjuncts on the joined
+/// table.
+struct JoinClause {
+  std::string table;
+  std::string left_field;
+  std::string right_field;
+  std::vector<WhereClause> where;
+};
+
+/// Read query: executes through QueryBuilder/planner under shared
+/// partition locks on every involved relation.
+struct SelectSpec {
+  std::string table;
+  std::vector<WhereClause> where;
+  std::optional<JoinClause> join;
+  std::vector<std::string> columns;  ///< dot-paths; empty = all driving fields
+  bool distinct = false;
+  bool ordered = false;
+};
+
+/// Transactional insert of one row.
+struct InsertSpec {
+  std::string table;
+  std::vector<Value> values;
+};
+
+/// Sets `set_field` to `set_value` on every row matching `match`.
+struct UpdateSpec {
+  std::string table;
+  WhereClause match;
+  std::string set_field;
+  Value set_value;
+};
+
+/// Read-modify-write: adds `delta` to integer field `field` of every row
+/// matching `match`.  The read happens under the exclusive lock, so
+/// concurrent increments never lose updates.
+struct IncrementSpec {
+  std::string table;
+  WhereClause match;
+  std::string field;
+  int64_t delta = 1;
+};
+
+/// Deletes every row matching `match`.
+struct DeleteSpec {
+  std::string table;
+  WhereClause match;
+};
+
+/// The variant a session submits.  Alternative order matches OpKind.
+using Operation =
+    std::variant<SelectSpec, InsertSpec, UpdateSpec, IncrementSpec, DeleteSpec>;
+
+inline OpKind KindOf(const Operation& op) {
+  return static_cast<OpKind>(op.index());
+}
+
+/// What the worker hands back.  Select rows are materialized Values copied
+/// out while the read locks were still held — they stay valid after the
+/// locks are gone, unlike tuple pointers.
+struct OpResult {
+  Status status;
+  std::vector<std::string> columns;            ///< select: output labels
+  std::vector<std::vector<Value>> rows;        ///< select: materialized rows
+  std::string plan;                            ///< select: plan trace
+  size_t rows_affected = 0;                    ///< DML: rows written/removed
+  int attempts = 1;                            ///< 1 = no deadlock retries
+
+  bool ok() const { return status.ok(); }
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_SERVER_OPERATION_H_

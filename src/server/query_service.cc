@@ -1,0 +1,445 @@
+#include "src/server/query_service.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "src/core/database.h"
+#include "src/core/query.h"
+#include "src/exec/select.h"
+#include "src/storage/tuple.h"
+#include "src/util/counters.h"
+
+namespace mmdb {
+namespace {
+
+/// Distinguishes the retryable abort (lock-wait timeout = presumed
+/// deadlock) from terminal aborts like unique violations, which retrying
+/// cannot fix.  AcquireOrDie stamps its status with this prefix.
+bool IsDeadlockTimeout(const Status& s) {
+  return s.code() == StatusCode::kAborted &&
+         s.message().rfind("lock timeout", 0) == 0;
+}
+
+/// QueryBuilder reports ill-formed queries through the plan string.
+bool IsErrorPlan(const std::string& plan) {
+  return plan.rfind("error:", 0) == 0;
+}
+
+}  // namespace
+
+// ---- Session convenience wrappers -------------------------------------------
+
+OpResult Session::Select(SelectSpec spec) {
+  return service_->Execute(this, Operation(std::move(spec)));
+}
+OpResult Session::Insert(InsertSpec spec) {
+  return service_->Execute(this, Operation(std::move(spec)));
+}
+OpResult Session::Update(UpdateSpec spec) {
+  return service_->Execute(this, Operation(std::move(spec)));
+}
+OpResult Session::Increment(IncrementSpec spec) {
+  return service_->Execute(this, Operation(std::move(spec)));
+}
+OpResult Session::Delete(DeleteSpec spec) {
+  return service_->Execute(this, Operation(std::move(spec)));
+}
+
+// ---- Service lifecycle ------------------------------------------------------
+
+QueryService::QueryService(Database* db, ServiceOptions options)
+    : db_(db), options_(options), queue_(options.queue_depth) {
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    accepting_.store(false, std::memory_order_relaxed);
+    queue_.Close();  // intake stops; workers drain what was admitted
+    for (std::thread& w : workers_) w.join();
+    workers_.clear();
+    // Zero-worker mode (admission tests): admitted tasks never ran — fail
+    // them so every accepted Submit still gets its callback exactly once.
+    Task task;
+    while (queue_.TryPop(&task)) {
+      metrics_.started.fetch_add(1, std::memory_order_relaxed);
+      OpResult result;
+      result.status = Status::Aborted("service shut down before execution");
+      Finish(task, std::move(result));
+    }
+  });
+}
+
+Session* QueryService::OpenSession() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.emplace_back(new Session(this, next_session_id_++));
+  metrics_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+  return sessions_.back().get();
+}
+
+void QueryService::CloseSession(Session* session) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = std::find_if(
+      sessions_.begin(), sessions_.end(),
+      [session](const std::unique_ptr<Session>& s) { return s.get() == session; });
+  if (it != sessions_.end()) {
+    sessions_.erase(it);
+    metrics_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// ---- Submission -------------------------------------------------------------
+
+Status QueryService::Submit(Session* session, Operation op, Callback done) {
+  metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (!accepting_.load(std::memory_order_relaxed)) {
+    metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+    return Status::FailedPrecondition("query service is shut down");
+  }
+  Task task;
+  task.session = session;
+  task.op = std::move(op);
+  task.done = std::move(done);
+  task.latency.Restart();
+  if (!queue_.TryPush(std::move(task))) {
+    metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted("query service queue is full");
+  }
+  if (session != nullptr) {
+    session->submitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::Ok();
+}
+
+OpResult QueryService::Execute(Session* session, Operation op) {
+  auto promise = std::make_shared<std::promise<OpResult>>();
+  std::future<OpResult> future = promise->get_future();
+  Status s = Submit(session, std::move(op),
+                    [promise](OpResult r) { promise->set_value(std::move(r)); });
+  if (!s.ok()) {
+    OpResult result;
+    result.status = s;
+    return result;
+  }
+  return future.get();
+}
+
+ServiceStats QueryService::Stats() const {
+  return metrics_.Snapshot(queue_.size(), queue_.high_water());
+}
+
+// ---- Workers ----------------------------------------------------------------
+
+void QueryService::WorkerLoop(size_t index) {
+  WorkerContext ctx;
+  ctx.index = index;
+  ctx.rng = Rng(0x5eedULL + index * 0x9E3779B97F4A7C15ULL);
+  Task task;
+  while (queue_.Pop(&task)) {
+    metrics_.started.fetch_add(1, std::memory_order_relaxed);
+    ctx.arena.Reset();  // per-task scratch
+    OpResult result = RunWithRetry(ctx, task.op);
+    Finish(task, std::move(result));
+  }
+  // Fold this worker's operation counters into the process-wide
+  // accumulator so post-shutdown instrumentation sees the work done here.
+  counters::FoldIntoGlobal();
+}
+
+void QueryService::Finish(Task& task, OpResult result) {
+  metrics_.latency(KindOf(task.op)).Record(task.latency.ElapsedMicros());
+  if (result.ok()) {
+    metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+  } else if (result.status.code() == StatusCode::kAborted) {
+    metrics_.aborted.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    metrics_.failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (task.session != nullptr) {
+    if (result.ok()) {
+      task.session->completed_.fetch_add(1, std::memory_order_relaxed);
+    } else if (result.status.code() == StatusCode::kAborted) {
+      task.session->aborted_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      task.session->failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (task.done) task.done(std::move(result));
+}
+
+OpResult QueryService::RunWithRetry(WorkerContext& ctx, const Operation& op) {
+  OpResult result;
+  for (int attempt = 1;; ++attempt) {
+    result = RunOnce(ctx, op);
+    result.attempts = attempt;
+    if (!IsDeadlockTimeout(result.status)) break;
+    if (attempt >= options_.max_attempts) break;
+    metrics_.retries.fetch_add(1, std::memory_order_relaxed);
+    // Capped exponential backoff with jitter: the victim waits out the
+    // presumed deadlock before retrying from scratch.
+    const int shift = std::min(attempt - 1, 20);
+    auto backoff = std::min(options_.backoff_base * (int64_t{1} << shift),
+                            options_.backoff_cap);
+    const int64_t cap = std::max<int64_t>(backoff.count(), 1);
+    const int64_t jittered =
+        cap / 2 + static_cast<int64_t>(ctx.rng.NextBounded(
+                      static_cast<uint64_t>(cap - cap / 2 + 1)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(jittered));
+  }
+  return result;
+}
+
+OpResult QueryService::RunOnce(WorkerContext& ctx, const Operation& op) {
+  switch (KindOf(op)) {
+    case OpKind::kSelect:
+      return RunSelect(std::get<SelectSpec>(op));
+    case OpKind::kInsert:
+      return RunInsert(std::get<InsertSpec>(op));
+    case OpKind::kUpdate:
+    case OpKind::kIncrement:
+    case OpKind::kDelete:
+      return RunMutation(ctx, op);
+  }
+  OpResult result;
+  result.status = Status::Internal("unknown operation kind");
+  return result;
+}
+
+// ---- Reads ------------------------------------------------------------------
+
+OpResult QueryService::RunSelect(const SelectSpec& spec) {
+  OpResult out;
+
+  // Validate names up front: QueryBuilder::Where silently drops unknown
+  // fields, which a service must not do (the predicate would vanish and
+  // the query return everything).
+  Relation* rel = db_->GetTable(spec.table);
+  if (rel == nullptr) {
+    out.status = Status::NotFound("no table " + spec.table);
+    return out;
+  }
+  for (const WhereClause& w : spec.where) {
+    if (!rel->schema().FieldIndex(w.field).has_value()) {
+      out.status =
+          Status::NotFound("no field " + w.field + " in " + spec.table);
+      return out;
+    }
+  }
+  if (spec.join.has_value()) {
+    Relation* joined = db_->GetTable(spec.join->table);
+    if (joined == nullptr) {
+      out.status = Status::NotFound("no table " + spec.join->table);
+      return out;
+    }
+    for (const WhereClause& w : spec.join->where) {
+      if (!joined->schema().FieldIndex(w.field).has_value()) {
+        out.status = Status::NotFound("no field " + w.field + " in " +
+                                      spec.join->table);
+        return out;
+      }
+    }
+  }
+
+  std::unique_ptr<Transaction> txn = db_->Begin();
+  txn->set_lock_timeout(options_.lock_timeout);
+
+  // Share-lock every involved relation, in name order so concurrent
+  // readers and writers cannot form cross-relation lock cycles.
+  std::vector<std::string> tables{spec.table};
+  if (spec.join.has_value() && spec.join->table != spec.table) {
+    tables.push_back(spec.join->table);
+  }
+  std::sort(tables.begin(), tables.end());
+  for (const std::string& t : tables) {
+    Status s = txn->LockForRead(t);
+    if (!s.ok()) {
+      out.status = s;  // txn already aborted on lock timeout
+      return out;
+    }
+  }
+
+  QueryBuilder qb = db_->Query(spec.table);
+  for (const WhereClause& w : spec.where) qb.Where(w.field, w.op, w.value);
+  if (spec.join.has_value()) {
+    qb.JoinWith(spec.join->table, spec.join->left_field,
+                spec.join->right_field);
+    for (const WhereClause& w : spec.join->where) {
+      qb.WhereJoined(w.field, w.op, w.value);
+    }
+  }
+  if (!spec.columns.empty()) qb.Select(spec.columns);
+  if (spec.distinct) qb.Distinct();
+  if (spec.ordered) qb.OrderBySelected();
+
+  QueryResult qr = qb.Run();
+  if (IsErrorPlan(qr.plan)) {
+    txn->Abort();
+    out.status = Status::InvalidArgument(qr.plan);
+    return out;
+  }
+
+  // Materialize while the read locks are still held: the TempList holds
+  // raw tuple pointers, which a concurrent writer could invalidate the
+  // moment the shared locks are released.
+  const auto& columns = qr.rows.descriptor().columns();
+  out.columns.reserve(columns.size());
+  for (const ColumnRef& c : columns) out.columns.push_back(c.label);
+  out.rows.reserve(qr.rows.size());
+  for (size_t r = 0; r < qr.rows.size(); ++r) {
+    std::vector<Value> row;
+    row.reserve(columns.size());
+    for (size_t c = 0; c < columns.size(); ++c) {
+      row.push_back(qr.rows.GetValue(r, c));
+    }
+    out.rows.push_back(std::move(row));
+  }
+  out.plan = std::move(qr.plan);
+  out.rows_affected = out.rows.size();
+
+  // Read-only: nothing was logged, so releasing the locks via Abort() is
+  // the cheap correct exit (Commit would register the txn id with the log
+  // buffer for nothing).
+  txn->Abort();
+  out.status = Status::Ok();
+  return out;
+}
+
+// ---- Writes -----------------------------------------------------------------
+
+OpResult QueryService::RunInsert(const InsertSpec& spec) {
+  OpResult out;
+  std::unique_ptr<Transaction> txn = db_->Begin();
+  txn->set_lock_timeout(options_.lock_timeout);
+  Status s = txn->Insert(spec.table, spec.values);  // structure lock X
+  if (!s.ok()) {
+    if (txn->state() == Transaction::State::kActive) txn->Abort();
+    out.status = s;
+    return out;
+  }
+  s = txn->Commit();
+  out.status = s;
+  out.rows_affected = s.ok() ? 1 : 0;
+  return out;
+}
+
+OpResult QueryService::RunMutation(WorkerContext& ctx, const Operation& op) {
+  OpResult out;
+  const OpKind kind = KindOf(op);
+
+  // Common pieces of the three mutation specs.
+  const std::string* table = nullptr;
+  const WhereClause* match = nullptr;
+  if (kind == OpKind::kUpdate) {
+    const auto& s = std::get<UpdateSpec>(op);
+    table = &s.table;
+    match = &s.match;
+  } else if (kind == OpKind::kIncrement) {
+    const auto& s = std::get<IncrementSpec>(op);
+    table = &s.table;
+    match = &s.match;
+  } else {
+    const auto& s = std::get<DeleteSpec>(op);
+    table = &s.table;
+    match = &s.match;
+  }
+
+  Relation* rel = db_->GetTable(*table);
+  if (rel == nullptr) {
+    out.status = Status::NotFound("no table " + *table);
+    return out;
+  }
+  auto match_field = rel->schema().FieldIndex(match->field);
+  if (!match_field.has_value()) {
+    out.status =
+        Status::NotFound("no field " + match->field + " in " + *table);
+    return out;
+  }
+  size_t write_field = 0;
+  if (kind == OpKind::kUpdate || kind == OpKind::kIncrement) {
+    const std::string& name = kind == OpKind::kUpdate
+                                  ? std::get<UpdateSpec>(op).set_field
+                                  : std::get<IncrementSpec>(op).field;
+    auto f = rel->schema().FieldIndex(name);
+    if (!f.has_value()) {
+      out.status = Status::NotFound("no field " + name + " in " + *table);
+      return out;
+    }
+    write_field = *f;
+    if (kind == OpKind::kIncrement) {
+      const Type t = rel->schema().fields()[write_field].type;
+      if (t != Type::kInt32 && t != Type::kInt64) {
+        out.status = Status::InvalidArgument("increment needs an int field");
+        return out;
+      }
+    }
+  }
+
+  std::unique_ptr<Transaction> txn = db_->Begin();
+  txn->set_lock_timeout(options_.lock_timeout);
+
+  // Exclusive structure lock: updates and deletes rewrite indices shared
+  // across partitions, so the whole relation must be quiesced (readers
+  // take this lock shared first; inserts take it exclusive).
+  Status s = txn->LockRelationExclusive(*table);
+  if (!s.ok()) {
+    out.status = s;  // txn already aborted on lock timeout
+    return out;
+  }
+
+  // Find targets under the exclusive lock, then stage their addresses in
+  // the worker's scratch arena: TupleRef is trivially copyable, and the
+  // arena recycles between tasks without touching the heap.
+  Predicate pred;
+  pred.Add(*match_field, match->op, match->value);
+  TempList matches = ::mmdb::Select(*rel, pred);
+  const size_t n = matches.size();
+  auto* targets =
+      static_cast<TupleRef*>(ctx.arena.Allocate(n * sizeof(TupleRef)));
+  for (size_t i = 0; i < n; ++i) targets[i] = matches.At(i, 0);
+
+  for (size_t i = 0; i < n && s.ok(); ++i) {
+    switch (kind) {
+      case OpKind::kUpdate:
+        s = txn->Update(*table, targets[i], write_field,
+                        std::get<UpdateSpec>(op).set_value);
+        break;
+      case OpKind::kIncrement: {
+        // Read-modify-write under the exclusive lock — this is where a
+        // lockless service would lose updates.
+        const auto& inc = std::get<IncrementSpec>(op);
+        const Value current =
+            tuple::GetValue(targets[i], rel->schema(), write_field);
+        Value next = current.type() == Type::kInt32
+                         ? Value(static_cast<int32_t>(current.AsInt32() +
+                                                      inc.delta))
+                         : Value(current.AsInt64() + inc.delta);
+        s = txn->Update(*table, targets[i], write_field, std::move(next));
+        break;
+      }
+      case OpKind::kDelete:
+        s = txn->Delete(*table, targets[i]);
+        break;
+      default:
+        s = Status::Internal("not a mutation");
+        break;
+    }
+  }
+  if (!s.ok()) {
+    if (txn->state() == Transaction::State::kActive) txn->Abort();
+    out.status = s;
+    return out;
+  }
+
+  s = txn->Commit();
+  out.status = s;
+  out.rows_affected = s.ok() ? n : 0;
+  return out;
+}
+
+}  // namespace mmdb

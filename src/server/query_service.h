@@ -1,0 +1,147 @@
+// QueryService: the concurrent front door of the MM-DBMS.  Many sessions
+// submit declarative operations; a fixed pool of worker threads executes
+// them against one shared Database, wiring the paper's partition-level
+// S/X locks (Section 2.4) around every index read and DML so concurrent
+// read/write sessions stay correct.
+//
+//   sessions --Submit/Execute--> bounded MPMC queue --> worker pool
+//                                                         |  per-worker
+//                                                         |  arena + rng
+//                                                         v
+//                                    LockManager --- Database (shared)
+//
+// Locking protocol (deadlock-ordered: structure lock first, partitions in
+// ascending id, relations in name order):
+//   * reads   take the structure lock + every partition SHARED;
+//   * inserts take the structure lock EXCLUSIVE (Transaction::Insert);
+//   * updates/deletes/increments take the structure lock EXCLUSIVE before
+//     touching anything — index rewrites are shared across partitions, so
+//     partition locks alone cannot protect them from concurrent readers.
+// A lock-wait timeout is treated as a deadlock: the transaction aborts and
+// the worker retries the whole operation with capped exponential backoff
+// (plus jitter) up to ServiceOptions::max_attempts.
+//
+// Admission control: the queue is bounded; Submit fails fast with
+// kResourceExhausted instead of building unbounded backlog.  Shutdown
+// stops intake, drains every admitted operation, and joins the workers.
+
+#ifndef MMDB_SERVER_QUERY_SERVICE_H_
+#define MMDB_SERVER_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/server/operation.h"
+#include "src/server/service_stats.h"
+#include "src/server/session.h"
+#include "src/server/work_queue.h"
+#include "src/util/arena.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace mmdb {
+
+class Database;
+
+struct ServiceOptions {
+  /// Worker threads.  0 is permitted (nothing executes until Shutdown
+  /// fails the queued ops) — useful for deterministic admission tests.
+  size_t workers = 4;
+  /// Work-queue capacity; Submit beyond this is rejected.
+  size_t queue_depth = 256;
+  /// Lock-wait budget per acquisition; expiry = presumed deadlock.
+  std::chrono::milliseconds lock_timeout{100};
+  /// Total tries per operation (1 initial + max_attempts-1 retries).
+  int max_attempts = 8;
+  /// Backoff before retry k is min(backoff_base * 2^(k-1), backoff_cap),
+  /// jittered to [1/2, 1] of that by the worker's private rng.
+  std::chrono::milliseconds backoff_base{1};
+  std::chrono::milliseconds backoff_cap{64};
+};
+
+class QueryService {
+ public:
+  using Callback = std::function<void(OpResult)>;
+
+  /// The database must outlive the service.  DDL (CreateTable/CreateIndex)
+  /// is not serviced and must happen before concurrent traffic starts.
+  explicit QueryService(Database* db, ServiceOptions options = {});
+  ~QueryService();  // implies Shutdown()
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Opens a session.  The returned pointer is owned by the service and
+  /// valid until CloseSession or service destruction.
+  Session* OpenSession();
+
+  /// Closes a session.  The caller must not have operations in flight on
+  /// it.
+  void CloseSession(Session* session);
+
+  /// Asynchronous submission.  `done` runs on a worker thread exactly once
+  /// if (and only if) this returns OK.  Fails with kResourceExhausted when
+  /// the queue is full and kFailedPrecondition after Shutdown.
+  Status Submit(Session* session, Operation op, Callback done);
+
+  /// Synchronous submission: blocks the calling thread until the operation
+  /// completes (or admission fails).  Must not be called from a worker
+  /// callback — the waiting would deadlock the pool.
+  OpResult Execute(Session* session, Operation op);
+
+  /// Stops intake, drains every admitted operation, joins the workers.
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+  ServiceStats Stats() const;
+
+  const ServiceOptions& options() const { return options_; }
+  Database* database() const { return db_; }
+
+ private:
+  struct Task {
+    Session* session = nullptr;
+    Operation op;
+    Callback done;
+    Timer latency;  ///< started at Submit; spans queue wait + execution
+  };
+
+  /// Per-worker execution state: a scratch arena recycled between tasks
+  /// and a private rng for backoff jitter.
+  struct WorkerContext {
+    size_t index = 0;
+    Arena arena;
+    Rng rng;
+  };
+
+  void WorkerLoop(size_t index);
+  void Finish(Task& task, OpResult result);
+  OpResult RunWithRetry(WorkerContext& ctx, const Operation& op);
+  OpResult RunOnce(WorkerContext& ctx, const Operation& op);
+  OpResult RunSelect(const SelectSpec& spec);
+  OpResult RunInsert(const InsertSpec& spec);
+  /// Shared executor for update / increment / delete.
+  OpResult RunMutation(WorkerContext& ctx, const Operation& op);
+
+  Database* db_;
+  ServiceOptions options_;
+  BoundedWorkQueue<Task> queue_;
+  ServiceMetrics metrics_;
+  std::vector<std::thread> workers_;
+
+  std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+
+  std::atomic<bool> accepting_{true};
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_SERVER_QUERY_SERVICE_H_

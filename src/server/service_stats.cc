@@ -1,0 +1,123 @@
+#include "src/server/service_stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace mmdb {
+namespace {
+
+/// Bucket index for a microsecond value: 0 for <1µs, else 1 + floor(log2),
+/// clamped to the open-ended last bucket.
+size_t BucketOf(uint64_t micros) {
+  if (micros == 0) return 0;
+  const size_t idx = static_cast<size_t>(std::bit_width(micros));
+  return std::min(idx, LatencyHistogram::kBuckets - 1);
+}
+
+/// Upper bound (µs) of bucket i.
+uint64_t BucketUpper(size_t i) { return uint64_t{1} << i; }
+
+}  // namespace
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSelect: return "select";
+    case OpKind::kInsert: return "insert";
+    case OpKind::kUpdate: return "update";
+    case OpKind::kIncrement: return "increment";
+    case OpKind::kDelete: return "delete";
+  }
+  return "?";
+}
+
+void LatencyHistogram::Record(double micros) {
+  const uint64_t us =
+      micros <= 0 ? 0 : static_cast<uint64_t>(std::llround(micros));
+  buckets_[BucketOf(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_micros_.fetch_add(us, std::memory_order_relaxed);
+  uint64_t prev = max_micros_.load(std::memory_order_relaxed);
+  while (us > prev &&
+         !max_micros_.compare_exchange_weak(prev, us,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.total_micros = total_micros_.load(std::memory_order_relaxed);
+  s.max_micros = max_micros_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+double LatencyHistogram::Snapshot::MeanMicros() const {
+  return count == 0 ? 0.0
+                    : static_cast<double>(total_micros) /
+                          static_cast<double>(count);
+}
+
+uint64_t LatencyHistogram::Snapshot::PercentileMicros(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const uint64_t rank = static_cast<uint64_t>(std::ceil(p * count));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // The open last bucket has no upper bound; report the observed max.
+      return i + 1 == kBuckets ? max_micros : BucketUpper(i);
+    }
+  }
+  return max_micros;
+}
+
+std::string LatencyHistogram::Snapshot::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count << " mean=" << MeanMicros() << "us"
+     << " p50<=" << PercentileMicros(0.50) << "us"
+     << " p99<=" << PercentileMicros(0.99) << "us"
+     << " max=" << max_micros << "us";
+  return os.str();
+}
+
+ServiceStats ServiceMetrics::Snapshot(size_t queue_depth,
+                                      size_t queue_depth_hwm) const {
+  ServiceStats s;
+  s.submitted = submitted.load(std::memory_order_relaxed);
+  s.rejected = rejected.load(std::memory_order_relaxed);
+  s.started = started.load(std::memory_order_relaxed);
+  s.completed = completed.load(std::memory_order_relaxed);
+  s.failed = failed.load(std::memory_order_relaxed);
+  s.aborted = aborted.load(std::memory_order_relaxed);
+  s.retries = retries.load(std::memory_order_relaxed);
+  s.sessions_opened = sessions_opened.load(std::memory_order_relaxed);
+  s.sessions_closed = sessions_closed.load(std::memory_order_relaxed);
+  s.queue_depth = queue_depth;
+  s.queue_depth_hwm = queue_depth_hwm;
+  for (size_t i = 0; i < kOpKindCount; ++i) s.latency[i] = latency_[i].Snap();
+  return s;
+}
+
+std::string ServiceStats::ToString() const {
+  std::ostringstream os;
+  os << "submitted=" << submitted << " rejected=" << rejected
+     << " started=" << started << " completed=" << completed
+     << " failed=" << failed << " aborted=" << aborted
+     << " retries=" << retries << "\n"
+     << "sessions=" << sessions_opened << " (closed " << sessions_closed
+     << ") queue_depth=" << queue_depth << " hwm=" << queue_depth_hwm << "\n";
+  for (size_t i = 0; i < kOpKindCount; ++i) {
+    if (latency[i].count == 0) continue;
+    os << "  " << OpKindName(static_cast<OpKind>(i)) << ": "
+       << latency[i].ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mmdb

@@ -1,0 +1,65 @@
+// Session: one client's handle on the query service.  A session carries
+// per-session transaction statistics (every submitted op runs as its own
+// transaction on a worker; the session is how a client's work is grouped
+// and accounted) and offers blocking convenience wrappers over
+// QueryService::Execute.
+//
+// Sessions are created and owned by the service (OpenSession /
+// CloseSession) and may be driven from exactly one client thread at a
+// time; different sessions are fully independent and concurrent.
+
+#ifndef MMDB_SERVER_SESSION_H_
+#define MMDB_SERVER_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/server/operation.h"
+
+namespace mmdb {
+
+class QueryService;
+
+class Session {
+ public:
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  uint64_t id() const { return id_; }
+
+  /// Per-session accounting, maintained by the service's workers.
+  struct Counts {
+    uint64_t submitted = 0;
+    uint64_t completed = 0;  ///< finished OK
+    uint64_t aborted = 0;    ///< gave up after deadlock-timeout retries
+    uint64_t failed = 0;     ///< other non-OK outcomes
+  };
+  Counts counts() const {
+    return Counts{submitted_.load(std::memory_order_relaxed),
+                  completed_.load(std::memory_order_relaxed),
+                  aborted_.load(std::memory_order_relaxed),
+                  failed_.load(std::memory_order_relaxed)};
+  }
+
+  // Blocking convenience wrappers: submit and wait for the result.
+  OpResult Select(SelectSpec spec);
+  OpResult Insert(InsertSpec spec);
+  OpResult Update(UpdateSpec spec);
+  OpResult Increment(IncrementSpec spec);
+  OpResult Delete(DeleteSpec spec);
+
+ private:
+  friend class QueryService;
+  Session(QueryService* service, uint64_t id) : service_(service), id_(id) {}
+
+  QueryService* service_;
+  uint64_t id_;
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> aborted_{0};
+  std::atomic<uint64_t> failed_{0};
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_SERVER_SESSION_H_

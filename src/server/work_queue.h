@@ -1,0 +1,104 @@
+// Bounded MPMC work queue for the query service (mutex + condition
+// variable; the queue hands whole operations between session threads and
+// workers, so a lock-free design would buy nothing over the Database's own
+// locking costs).
+//
+// Admission control is the point: TryPush never blocks and fails when the
+// queue is at capacity, so the service can reject work with a Status
+// instead of building an unbounded backlog.  Close() stops intake while
+// letting consumers drain what was already admitted — the graceful-shutdown
+// half of the contract.
+
+#ifndef MMDB_SERVER_WORK_QUEUE_H_
+#define MMDB_SERVER_WORK_QUEUE_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace mmdb {
+
+template <typename T>
+class BoundedWorkQueue {
+ public:
+  explicit BoundedWorkQueue(size_t capacity)
+      : capacity_(std::max<size_t>(1, capacity)) {}
+
+  BoundedWorkQueue(const BoundedWorkQueue&) = delete;
+  BoundedWorkQueue& operator=(const BoundedWorkQueue&) = delete;
+
+  /// Non-blocking enqueue.  Returns false if the queue is full (admission
+  /// control) or closed (shutdown).
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      high_water_ = std::max(high_water_, items_.size());
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking dequeue.  Returns false only when the queue is closed *and*
+  /// drained — consumers finish every admitted item before exiting.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Non-blocking dequeue (shutdown cleanup when no consumers exist).
+  bool TryPop(T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Stops intake; queued items remain poppable.  Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// Deepest the queue has ever been (service metric).
+  size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_SERVER_WORK_QUEUE_H_

@@ -23,7 +23,11 @@ bool LockManager::Acquire(uint64_t txn_id, const LockId& id, LockMode mode,
         s.shared_holders.push_back(txn_id);
         return true;
       }
-      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      ++s.waiting_shared;
+      const auto wait = cv_.wait_until(lock, deadline);
+      --s.waiting_shared;
+      if (wait == std::cv_status::timeout) {
+        if (s.Erasable()) table_.erase(id);
         return false;
       }
     }
@@ -48,6 +52,7 @@ bool LockManager::Acquire(uint64_t txn_id, const LockId& id, LockMode mode,
     }
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
       --s.waiting_exclusive;
+      if (s.Erasable()) table_.erase(id);
       cv_.notify_all();
       return false;
     }
@@ -61,7 +66,7 @@ void LockManager::Release(uint64_t txn_id, const LockId& id) {
   LockState& s = it->second;
   if (s.exclusive_holder == txn_id) s.exclusive_holder = 0;
   std::erase(s.shared_holders, txn_id);
-  if (s.Free() && s.waiting_exclusive == 0) table_.erase(it);
+  if (s.Erasable()) table_.erase(it);
   cv_.notify_all();
 }
 
@@ -71,7 +76,7 @@ void LockManager::ReleaseAll(uint64_t txn_id) {
     LockState& s = it->second;
     if (s.exclusive_holder == txn_id) s.exclusive_holder = 0;
     std::erase(s.shared_holders, txn_id);
-    if (s.Free() && s.waiting_exclusive == 0) {
+    if (s.Erasable()) {
       it = table_.erase(it);
     } else {
       ++it;

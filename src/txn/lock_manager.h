@@ -69,9 +69,16 @@ class LockManager {
     uint64_t exclusive_holder = 0;
     // Writers waiting; new readers queue behind them (no writer starvation).
     size_t waiting_exclusive = 0;
+    // Readers blocked in Acquire.  Any waiter (S or X) pins the table entry:
+    // blocked acquirers hold a reference into table_ across cv_ waits, so
+    // Release/ReleaseAll must not erase the entry while waiters exist.
+    size_t waiting_shared = 0;
 
     bool Free() const {
       return shared_holders.empty() && exclusive_holder == 0;
+    }
+    bool Erasable() const {
+      return Free() && waiting_exclusive == 0 && waiting_shared == 0;
     }
   };
 

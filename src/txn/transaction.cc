@@ -10,7 +10,7 @@ std::unique_ptr<Transaction> TransactionManager::Begin() {
 }
 
 Status Transaction::AcquireOrDie(const LockId& lock_id, LockMode mode) {
-  if (!mgr_->locks()->Acquire(id_, lock_id, mode)) {
+  if (!mgr_->locks()->Acquire(id_, lock_id, mode, lock_timeout_)) {
     // Timeout = presumed deadlock; this transaction is the victim.
     Abort();
     return Status::Aborted("lock timeout (deadlock victim) on " +
@@ -76,6 +76,15 @@ Status Transaction::LockForRead(const std::string& relation) {
     if (!s.ok()) return s;
   }
   return Status::Ok();
+}
+
+Status Transaction::LockRelationExclusive(const std::string& relation) {
+  if (state_ != State::kActive) return Status::FailedPrecondition("not active");
+  if (mgr_->catalog()->Get(relation) == nullptr) {
+    return Status::NotFound("no relation " + relation);
+  }
+  return AcquireOrDie(LockId{relation, LockId::kRelationLock},
+                      LockMode::kExclusive);
 }
 
 Status Transaction::Commit() {

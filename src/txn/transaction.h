@@ -66,6 +66,23 @@ class Transaction {
   /// structure lock) so the caller may run selections against it.
   Status LockForRead(const std::string& relation);
 
+  /// Exclusively locks the relation-structure lock, serializing this
+  /// transaction against every reader (LockForRead takes the structure
+  /// lock shared first) and every other writer of the relation.  The query
+  /// service's DML path takes this before updates/deletes: index rewrites
+  /// are shared across partitions, so partition locks alone do not make
+  /// them safe against concurrent index readers.
+  Status LockRelationExclusive(const std::string& relation);
+
+  /// Lock-wait budget for this transaction's acquisitions.  On expiry the
+  /// transaction aborts as the presumed deadlock victim (Section 2.4's
+  /// timeout-based deadlock resolution); the query service retries the
+  /// whole operation with capped exponential backoff.
+  void set_lock_timeout(std::chrono::milliseconds timeout) {
+    lock_timeout_ = timeout;
+  }
+  std::chrono::milliseconds lock_timeout() const { return lock_timeout_; }
+
   /// Logs then applies every buffered write; releases locks.  If an apply
   /// step fails (e.g. unique violation), already-applied steps are rolled
   /// back, the log entries are removed, and the transaction aborts.
@@ -94,6 +111,7 @@ class Transaction {
   TransactionManager* mgr_;
   uint64_t id_;
   State state_ = State::kActive;
+  std::chrono::milliseconds lock_timeout_{200};
   std::vector<PendingOp> ops_;
 };
 

@@ -45,6 +45,16 @@ class Arena {
     return out;
   }
 
+  /// Releases every block.  All previously returned pointers are
+  /// invalidated; any NodePool layered on top must be discarded too.  Used
+  /// by per-worker scratch arenas that recycle between tasks.
+  void Reset() {
+    blocks_.clear();
+    current_ = nullptr;
+    remaining_ = 0;
+    allocated_bytes_ = 0;
+  }
+
   /// Total bytes handed out (net of nothing: frees are recycled by callers).
   size_t allocated_bytes() const { return allocated_bytes_; }
 

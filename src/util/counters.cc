@@ -1,5 +1,6 @@
 #include "src/util/counters.h"
 
+#include <mutex>
 #include <sstream>
 
 namespace mmdb {
@@ -42,11 +43,38 @@ namespace detail {
 thread_local OpCounters tls_counters;
 }  // namespace detail
 
+namespace {
+std::mutex g_fold_mu;
+OpCounters g_folded;  // counters folded by threads that finished counting
+}  // namespace
+
 OpCounters Snapshot() { return detail::tls_counters; }
 void Reset() { detail::tls_counters = OpCounters(); }
+
+void FoldIntoGlobal() {
+  std::lock_guard<std::mutex> lock(g_fold_mu);
+  g_folded += detail::tls_counters;
+  detail::tls_counters = OpCounters();
+}
+
+OpCounters AccumulatedSnapshot() {
+  std::lock_guard<std::mutex> lock(g_fold_mu);
+  OpCounters out = g_folded;
+  out += detail::tls_counters;
+  return out;
+}
+
+void ResetAll() {
+  std::lock_guard<std::mutex> lock(g_fold_mu);
+  g_folded = OpCounters();
+  detail::tls_counters = OpCounters();
+}
 #else
 OpCounters Snapshot() { return OpCounters(); }
 void Reset() {}
+void FoldIntoGlobal() {}
+OpCounters AccumulatedSnapshot() { return OpCounters(); }
+void ResetAll() {}
 #endif
 
 }  // namespace counters

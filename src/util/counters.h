@@ -7,6 +7,15 @@
 // The paper compiled the counters out for the final timing runs; we do the
 // same via the MMDB_COUNTERS preprocessor flag (ON by default for tests,
 // turned into no-ops otherwise).
+//
+// Thread-safety: the live counters are explicitly thread_local, so Bump*
+// never contends and never races — each thread (including every query
+// service worker) counts its own work.  Cross-thread totals are explicit:
+// a thread folds its counters into a process-wide, mutex-protected
+// accumulator with FoldIntoGlobal() (workers do this when they exit), and
+// AccumulatedSnapshot() reads that accumulator plus the calling thread's
+// live counters.  Live counters of *other* running threads are never read
+// — that would be a data race.
 
 #ifndef MMDB_UTIL_COUNTERS_H_
 #define MMDB_UTIL_COUNTERS_H_
@@ -41,6 +50,18 @@ OpCounters Snapshot();
 
 /// Resets the current thread's counters to zero.
 void Reset();
+
+/// Adds the current thread's counters into the process-wide accumulator
+/// (mutex-protected) and resets them.  Call before a counting thread
+/// exits; QueryService workers do this automatically.
+void FoldIntoGlobal();
+
+/// Process-wide accumulator (everything folded so far) plus the calling
+/// thread's live counters.
+OpCounters AccumulatedSnapshot();
+
+/// Clears the process-wide accumulator and the calling thread's counters.
+void ResetAll();
 
 #if defined(MMDB_COUNTERS)
 namespace detail {

@@ -1,0 +1,480 @@
+// Tests for the concurrent query service (src/server): session lifecycle,
+// admission control, graceful shutdown, lock-correct concurrent execution
+// (no lost updates, index/relation consistency under mixed read/write
+// sessions), and service metrics.  The stress tests here are the ones CI
+// runs under ThreadSanitizer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/database.h"
+#include "src/core/query.h"
+#include "src/server/query_service.h"
+#include "src/server/work_queue.h"
+#include "src/storage/tuple.h"
+#include "src/util/counters.h"
+
+namespace mmdb {
+namespace {
+
+using namespace std::chrono_literals;
+
+WhereClause Eq(std::string field, Value v) {
+  return WhereClause{std::move(field), CompareOp::kEq, std::move(v)};
+}
+
+// ---- BoundedWorkQueue unit tests -------------------------------------------
+
+TEST(WorkQueueTest, PushPopFifoAndHighWater) {
+  BoundedWorkQueue<int> q(3);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_TRUE(q.TryPush(3));
+  EXPECT_FALSE(q.TryPush(4));  // full: admission control
+  EXPECT_EQ(q.high_water(), 3u);
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.TryPush(4));  // room again
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(WorkQueueTest, CloseDrainsThenStops) {
+  BoundedWorkQueue<int> q(4);
+  q.TryPush(7);
+  q.TryPush(8);
+  q.Close();
+  EXPECT_FALSE(q.TryPush(9));  // closed: no intake
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));  // admitted items still drain
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 8);
+  EXPECT_FALSE(q.Pop(&v));  // closed + empty
+}
+
+TEST(WorkQueueTest, CloseWakesBlockedConsumer) {
+  BoundedWorkQueue<int> q(2);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    int v;
+    bool got = q.Pop(&v);
+    EXPECT_FALSE(got);
+    returned = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  q.Close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+// ---- Latency histogram ------------------------------------------------------
+
+TEST(LatencyHistogramTest, RecordsAndEstimatesPercentiles) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.Record(10.0);    // bucket [8,16)
+  for (int i = 0; i < 10; ++i) h.Record(1000.0);  // bucket [512,1024)
+  auto s = h.Snap();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.max_micros, 1000u);
+  EXPECT_NEAR(s.MeanMicros(), (90 * 10.0 + 10 * 1000.0) / 100.0, 1e-9);
+  EXPECT_LE(s.PercentileMicros(0.50), 16u);
+  EXPECT_GE(s.PercentileMicros(0.99), 512u);
+}
+
+// ---- Service basics ---------------------------------------------------------
+
+std::unique_ptr<Database> MakeEmpDb(int rows) {
+  auto db = std::make_unique<Database>();
+  db->CreateTable("emp", {{"id", Type::kInt32},
+                          {"age", Type::kInt32},
+                          {"name", Type::kString}});
+  for (int i = 0; i < rows; ++i) {
+    db->Insert("emp", {Value(i), Value(20 + i % 50),
+                       Value("name" + std::to_string(i))});
+  }
+  return db;
+}
+
+TEST(QueryServiceTest, SelectInsertUpdateIncrementDelete) {
+  auto db = MakeEmpDb(100);
+  ServiceOptions opts;
+  opts.workers = 2;
+  QueryService service(db.get(), opts);
+  Session* s = service.OpenSession();
+
+  // Select: ages are 20..69; strictly greater than 64 leaves 65..69.
+  SelectSpec sel;
+  sel.table = "emp";
+  sel.where = {WhereClause{"age", CompareOp::kGt, Value(64)}};
+  OpResult r = s->Select(sel);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(r.rows.size(), 10u);  // 5 ages * 2 rows each
+  EXPECT_EQ(r.columns.size(), 3u);
+  EXPECT_FALSE(r.plan.empty());
+
+  // Insert.
+  r = s->Insert(InsertSpec{"emp", {Value(100), Value(33), Value("newbie")}});
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(r.rows_affected, 1u);
+
+  // Update by match predicate.
+  UpdateSpec up;
+  up.table = "emp";
+  up.match = Eq("id", Value(100));
+  up.set_field = "name";
+  up.set_value = Value("renamed");
+  r = s->Update(up);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(r.rows_affected, 1u);
+
+  // Increment.
+  IncrementSpec inc;
+  inc.table = "emp";
+  inc.match = Eq("id", Value(100));
+  inc.field = "age";
+  inc.delta = 7;
+  r = s->Increment(inc);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(r.rows_affected, 1u);
+
+  SelectSpec check;
+  check.table = "emp";
+  check.where = {Eq("id", Value(100))};
+  check.columns = {"emp.name", "emp.age"};
+  r = s->Select(check);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "renamed");
+  EXPECT_EQ(r.rows[0][1].AsInt32(), 40);
+
+  // Delete.
+  r = s->Delete(DeleteSpec{"emp", Eq("id", Value(100))});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.rows_affected, 1u);
+  r = s->Select(check);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.rows.size(), 0u);
+
+  Session::Counts counts = s->counts();
+  EXPECT_EQ(counts.submitted, 7u);
+  EXPECT_EQ(counts.completed, 7u);
+  EXPECT_EQ(counts.aborted, 0u);
+  service.CloseSession(s);
+  service.Shutdown();
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, 7u);
+  EXPECT_EQ(stats.started, stats.completed + stats.failed + stats.aborted);
+  EXPECT_EQ(stats.sessions_opened, 1u);
+  EXPECT_EQ(stats.sessions_closed, 1u);
+}
+
+TEST(QueryServiceTest, JoinedSelectThroughService) {
+  Database db;
+  db.CreateTable("dept", {{"id", Type::kInt32}, {"dname", Type::kString}});
+  db.CreateTable("emp", {{"eid", Type::kInt32},
+                         {"dept_id", Type::kInt32},
+                         {"ename", Type::kString}});
+  db.Insert("dept", {Value(1), Value("Toy")});
+  db.Insert("dept", {Value(2), Value("Shoe")});
+  for (int i = 0; i < 10; ++i) {
+    db.Insert("emp", {Value(i), Value(1 + i % 2),
+                      Value("e" + std::to_string(i))});
+  }
+  ServiceOptions opts;
+  opts.workers = 2;
+  QueryService service(&db, opts);
+  Session* s = service.OpenSession();
+
+  SelectSpec sel;
+  sel.table = "dept";
+  sel.where = {Eq("dname", Value("Toy"))};
+  sel.join = JoinClause{"emp", "id", "dept_id", {}};
+  sel.columns = {"emp.ename", "dept.dname"};
+  OpResult r = s->Select(sel);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(r.rows.size(), 5u);
+  for (const auto& row : r.rows) EXPECT_EQ(row[1].AsString(), "Toy");
+}
+
+TEST(QueryServiceTest, ValidatesNamesInsteadOfSilentlyDropping) {
+  auto db = MakeEmpDb(5);
+  QueryService service(db.get(), ServiceOptions{.workers = 1});
+  Session* s = service.OpenSession();
+
+  SelectSpec bad_field;
+  bad_field.table = "emp";
+  bad_field.where = {Eq("nope", Value(1))};
+  EXPECT_EQ(s->Select(bad_field).status.code(), StatusCode::kNotFound);
+
+  SelectSpec bad_table;
+  bad_table.table = "ghosts";
+  EXPECT_EQ(s->Select(bad_table).status.code(), StatusCode::kNotFound);
+
+  UpdateSpec bad_set;
+  bad_set.table = "emp";
+  bad_set.match = Eq("id", Value(1));
+  bad_set.set_field = "nope";
+  bad_set.set_value = Value(1);
+  EXPECT_EQ(s->Update(bad_set).status.code(), StatusCode::kNotFound);
+
+  IncrementSpec bad_inc;
+  bad_inc.table = "emp";
+  bad_inc.match = Eq("id", Value(1));
+  bad_inc.field = "name";  // not an integer field
+  EXPECT_EQ(s->Increment(bad_inc).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---- Admission control and shutdown ----------------------------------------
+
+TEST(QueryServiceTest, AdmissionControlRejectsWhenFull) {
+  auto db = MakeEmpDb(10);
+  ServiceOptions opts;
+  opts.workers = 0;  // nothing drains: deterministic fullness
+  opts.queue_depth = 2;
+  QueryService service(db.get(), opts);
+  Session* s = service.OpenSession();
+
+  std::atomic<int> callbacks{0};
+  std::atomic<int> shutdown_aborts{0};
+  auto cb = [&](OpResult r) {
+    ++callbacks;
+    if (r.status.code() == StatusCode::kAborted) ++shutdown_aborts;
+  };
+  SelectSpec sel;
+  sel.table = "emp";
+  EXPECT_TRUE(service.Submit(s, Operation(sel), cb).ok());
+  EXPECT_TRUE(service.Submit(s, Operation(sel), cb).ok());
+  Status third = service.Submit(s, Operation(sel), cb);
+  EXPECT_EQ(third.code(), StatusCode::kResourceExhausted);
+
+  service.Shutdown();
+  // Both admitted ops got their callback (failed by shutdown: no workers
+  // ever ran them); the rejected one did not.
+  EXPECT_EQ(callbacks.load(), 2);
+  EXPECT_EQ(shutdown_aborts.load(), 2);
+
+  // Intake is closed for good.
+  EXPECT_EQ(service.Submit(s, Operation(sel), cb).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(s->Select(sel).status.code(), StatusCode::kFailedPrecondition);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.submitted, 5u);
+  EXPECT_EQ(stats.rejected, 3u);
+  EXPECT_EQ(stats.queue_depth_hwm, 2u);
+}
+
+TEST(QueryServiceTest, ShutdownDrainsAdmittedWork) {
+  auto db = MakeEmpDb(200);
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.queue_depth = 128;
+  QueryService service(db.get(), opts);
+  Session* s = service.OpenSession();
+
+  std::atomic<int> callbacks{0};
+  std::atomic<int> completed{0};
+  SelectSpec sel;
+  sel.table = "emp";
+  sel.where = {WhereClause{"name", CompareOp::kNe, Value("x")}};  // scan
+  int admitted = 0;
+  for (int i = 0; i < 64; ++i) {
+    Status st = service.Submit(s, Operation(sel), [&](OpResult r) {
+      ++callbacks;
+      if (r.ok()) ++completed;
+    });
+    if (st.ok()) ++admitted;
+  }
+  service.Shutdown();  // must drain everything admitted
+  EXPECT_EQ(callbacks.load(), admitted);
+  EXPECT_EQ(completed.load(), admitted);  // workers existed: all ran
+}
+
+// ---- Concurrency correctness ------------------------------------------------
+
+// The canonical lost-update check: concurrent sessions increment shared
+// counters through the service; with correct X locking around the
+// read-modify-write, the final sum is exactly the number of increments.
+TEST(QueryServiceStressTest, NoLostUpdatesOnCounterTable) {
+  Database db;
+  db.CreateTable("counters", {{"id", Type::kInt32}, {"value", Type::kInt64}});
+  constexpr int kCounters = 4;
+  for (int i = 0; i < kCounters; ++i) {
+    db.Insert("counters", {Value(i), Value(int64_t{0})});
+  }
+
+  ServiceOptions opts;
+  opts.workers = 4;
+  opts.queue_depth = 512;
+  opts.lock_timeout = 2000ms;  // generous: TSan slows lock holders a lot
+  opts.max_attempts = 64;
+  QueryService service(&db, opts);
+
+  constexpr int kClients = 4;
+  constexpr int kIncrementsPerClient = 100;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&service, &failures, c] {
+      Session* s = service.OpenSession();
+      for (int i = 0; i < kIncrementsPerClient; ++i) {
+        IncrementSpec inc;
+        inc.table = "counters";
+        inc.match = Eq("id", Value((c + i) % kCounters));
+        inc.field = "value";
+        inc.delta = 1;
+        OpResult r = s->Increment(inc);
+        if (!r.ok() || r.rows_affected != 1) ++failures;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  service.Shutdown();
+  EXPECT_EQ(failures.load(), 0);
+
+  int64_t total = 0;
+  const Relation* rel = db.GetTable("counters");
+  rel->ForEachTuple([&](TupleRef t) {
+    total += tuple::GetValue(t, rel->schema(), 1).AsInt64();
+  });
+  EXPECT_EQ(total, int64_t{kClients} * kIncrementsPerClient);
+}
+
+// Mixed select/insert/update/delete sessions against shared tables; then
+// verify relation/index consistency: cardinality matches a full scan, and
+// every surviving row is reachable through the primary index and the
+// secondary hash index.
+TEST(QueryServiceStressTest, MixedWorkloadKeepsIndexesConsistent) {
+  Database db;
+  db.CreateTable("items", {{"id", Type::kInt32},
+                           {"grp", Type::kInt32},
+                           {"payload", Type::kString}});
+  ASSERT_NE(db.CreateIndex("items", "grp", IndexKind::kChainedBucketHash), nullptr);
+  constexpr int kSeed = 300;
+  for (int i = 0; i < kSeed; ++i) {
+    db.Insert("items", {Value(i), Value(i % 10),
+                        Value("p" + std::to_string(i))});
+  }
+
+  ServiceOptions opts;
+  opts.workers = 4;
+  opts.queue_depth = 1024;
+  opts.lock_timeout = 2000ms;
+  opts.max_attempts = 64;
+  QueryService service(&db, opts);
+
+  constexpr int kOpsPerClient = 80;
+  std::atomic<int> failures{0};
+
+  auto reader = [&](int salt) {
+    Session* s = service.OpenSession();
+    for (int i = 0; i < kOpsPerClient; ++i) {
+      SelectSpec sel;
+      sel.table = "items";
+      sel.where = {Eq("grp", Value((i + salt) % 10))};  // hash lookup
+      if (!s->Select(sel).ok()) ++failures;
+    }
+  };
+  auto inserter = [&] {
+    Session* s = service.OpenSession();
+    for (int i = 0; i < kOpsPerClient; ++i) {
+      OpResult r = s->Insert(InsertSpec{
+          "items",
+          {Value(1000 + i), Value(i % 10), Value("new" + std::to_string(i))}});
+      if (!r.ok()) ++failures;
+    }
+  };
+  auto updater = [&] {
+    Session* s = service.OpenSession();
+    for (int i = 0; i < kOpsPerClient; ++i) {
+      UpdateSpec up;
+      up.table = "items";
+      up.match = Eq("id", Value((i * 7) % kSeed));
+      up.set_field = "payload";
+      up.set_value = Value("upd" + std::to_string(i));
+      OpResult r = s->Update(up);  // 0 rows is fine (deleted meanwhile)
+      if (!r.ok()) ++failures;
+    }
+  };
+  auto deleter = [&] {
+    Session* s = service.OpenSession();
+    for (int i = 0; i < kOpsPerClient; ++i) {
+      OpResult r = s->Delete(DeleteSpec{"items", Eq("id", Value((i * 3) % kSeed))});
+      if (!r.ok()) ++failures;
+    }
+  };
+
+  std::vector<std::thread> clients;
+  clients.emplace_back(reader, 0);
+  clients.emplace_back(reader, 5);
+  clients.emplace_back(inserter);
+  clients.emplace_back(updater);
+  clients.emplace_back(deleter);
+  for (auto& t : clients) t.join();
+  service.Shutdown();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Invariant 1: full scan agrees with the relation's cardinality.
+  Relation* rel = db.GetTable("items");
+  size_t scanned = 0;
+  std::vector<int32_t> ids;
+  rel->ForEachTuple([&](TupleRef t) {
+    ++scanned;
+    ids.push_back(tuple::GetValue(t, rel->schema(), 0).AsInt32());
+  });
+  EXPECT_EQ(scanned, rel->cardinality());
+
+  // Invariant 2: every surviving row is reachable through the primary
+  // (T Tree on id) and secondary (chained hash on grp) indices.
+  for (int32_t id : ids) {
+    QueryResult qr = db.Query("items")
+                         .Where("id", CompareOp::kEq, Value(id))
+                         .Run();
+    EXPECT_GE(qr.rows.size(), 1u) << "id " << id << " lost from an index";
+  }
+  size_t via_hash = 0;
+  for (int g = 0; g < 10; ++g) {
+    via_hash += db.Query("items")
+                    .Where("grp", CompareOp::kEq, Value(g))
+                    .Run()
+                    .rows.size();
+  }
+  EXPECT_EQ(via_hash, rel->cardinality());
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.started, stats.completed + stats.failed + stats.aborted);
+  uint64_t latency_total = 0;
+  for (const auto& h : stats.latency) latency_total += h.count;
+  EXPECT_EQ(latency_total, stats.started);
+}
+
+// Worker threads fold their per-thread operation counters into the global
+// accumulator on exit, so instrumentation survives the pool.
+TEST(QueryServiceTest, WorkerCountersFoldIntoGlobalAccumulator) {
+  counters::ResetAll();
+  auto db = MakeEmpDb(200);
+  {
+    QueryService service(db.get(), ServiceOptions{.workers = 2});
+    Session* s = service.OpenSession();
+    SelectSpec sel;
+    sel.table = "emp";
+    sel.where = {Eq("id", Value(42))};
+    for (int i = 0; i < 10; ++i) ASSERT_TRUE(s->Select(sel).ok());
+    service.Shutdown();
+  }
+#if defined(MMDB_COUNTERS)
+  OpCounters total = counters::AccumulatedSnapshot();
+  EXPECT_GT(total.comparisons + total.node_visits, 0u)
+      << "worker-side index work was not folded: " << total.ToString();
+#endif
+}
+
+}  // namespace
+}  // namespace mmdb
