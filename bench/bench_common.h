@@ -8,6 +8,8 @@
 #ifndef MMDB_BENCH_BENCH_COMMON_H_
 #define MMDB_BENCH_BENCH_COMMON_H_
 
+#include <benchmark/benchmark.h>
+
 #include <memory>
 #include <string>
 #include <vector>
@@ -127,7 +129,50 @@ inline TempList ProjectInput(const Relation& rel) {
   return list;
 }
 
+/// Drop-in replacement for BENCHMARK_MAIN() that understands `--json`:
+/// when present, results are additionally written to `BENCH_<name>.json`
+/// (Google Benchmark's JSON reporter) in the working directory — the
+/// machine-readable artifact CI uploads.  Every other flag passes through.
+inline int RunBenchmarkMain(const char* name, int argc, char** argv) {
+  std::vector<char*> args;
+  bool json = false;
+  for (int i = 0; i < argc; ++i) {
+    if (argv[i] != nullptr && std::string(argv[i]) == "--json") {
+      json = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (json) {
+    out_flag = std::string("--benchmark_out=BENCH_") + name + ".json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  ::benchmark::Initialize(&n, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace bench
 }  // namespace mmdb
+
+/// BENCHMARK_MAIN() with the --json convention; `name` keys the output
+/// file (BENCH_<name>.json).
+#define MMDB_BENCH_MAIN(name)                                    \
+  int main(int argc, char** argv) {                              \
+    char arg0_default[] = "benchmark";                           \
+    char* args_default = arg0_default;                           \
+    if (!argv) {                                                 \
+      argc = 1;                                                  \
+      argv = &args_default;                                      \
+    }                                                            \
+    return ::mmdb::bench::RunBenchmarkMain(#name, argc, argv);   \
+  }                                                              \
+  static_assert(true, "require a trailing semicolon")
 
 #endif  // MMDB_BENCH_BENCH_COMMON_H_

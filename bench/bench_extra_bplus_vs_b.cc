@@ -90,4 +90,4 @@ BENCHMARK(BM_Footnote3_Scan)->Apply(Sweep)->Unit(benchmark::kMillisecond);
 }  // namespace bench
 }  // namespace mmdb
 
-BENCHMARK_MAIN();
+MMDB_BENCH_MAIN(extra_bplus_vs_b);

@@ -69,4 +69,4 @@ BENCHMARK(BM_ScanTTree)->Unit(benchmark::kMillisecond);
 }  // namespace bench
 }  // namespace mmdb
 
-BENCHMARK_MAIN();
+MMDB_BENCH_MAIN(extra_build_scan);

@@ -47,4 +47,4 @@ BENCHMARK(BM_Extra_Create)
 }  // namespace bench
 }  // namespace mmdb
 
-BENCHMARK_MAIN();
+MMDB_BENCH_MAIN(extra_index_create);

@@ -106,4 +106,4 @@ BENCHMARK(BM_Selection_TreeRange)->Arg(10)->Arg(100)->Arg(1000)
 }  // namespace bench
 }  // namespace mmdb
 
-BENCHMARK_MAIN();
+MMDB_BENCH_MAIN(extra_selection);

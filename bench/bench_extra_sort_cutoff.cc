@@ -28,4 +28,4 @@ BENCHMARK(BM_SortCutoff)
 }  // namespace bench
 }  // namespace mmdb
 
-BENCHMARK_MAIN();
+MMDB_BENCH_MAIN(extra_sort_cutoff);

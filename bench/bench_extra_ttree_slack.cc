@@ -52,4 +52,4 @@ BENCHMARK(BM_TTreeSlackQueryMix)
 }  // namespace bench
 }  // namespace mmdb
 
-BENCHMARK_MAIN();
+MMDB_BENCH_MAIN(extra_ttree_slack);

@@ -54,4 +54,4 @@ BENCHMARK(BM_Graph01_Search)->Apply(GraphArgs)->Unit(benchmark::kMillisecond);
 }  // namespace bench
 }  // namespace mmdb
 
-BENCHMARK_MAIN();
+MMDB_BENCH_MAIN(graph01_search);

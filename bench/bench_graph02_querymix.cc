@@ -98,4 +98,4 @@ BENCHMARK(BM_Graph02_Mix_40_30_30)->Apply(GraphArgs)->Unit(benchmark::kMilliseco
 }  // namespace bench
 }  // namespace mmdb
 
-BENCHMARK_MAIN();
+MMDB_BENCH_MAIN(graph02_querymix);

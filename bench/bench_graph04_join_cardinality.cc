@@ -26,4 +26,4 @@ BENCHMARK(BM_Graph04_VaryCardinality)
 }  // namespace bench
 }  // namespace mmdb
 
-BENCHMARK_MAIN();
+MMDB_BENCH_MAIN(graph04_join_cardinality);

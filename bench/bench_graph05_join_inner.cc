@@ -42,4 +42,4 @@ BENCHMARK(BM_Graph05_VaryInner)
 }  // namespace bench
 }  // namespace mmdb
 
-BENCHMARK_MAIN();
+MMDB_BENCH_MAIN(graph05_join_inner);

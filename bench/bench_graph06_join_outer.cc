@@ -31,4 +31,4 @@ BENCHMARK(BM_Graph06_VaryOuter)
 }  // namespace bench
 }  // namespace mmdb
 
-BENCHMARK_MAIN();
+MMDB_BENCH_MAIN(graph06_join_outer);

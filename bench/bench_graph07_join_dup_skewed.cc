@@ -30,4 +30,4 @@ BENCHMARK(BM_Graph07_VaryDupSkewed)
 }  // namespace bench
 }  // namespace mmdb
 
-BENCHMARK_MAIN();
+MMDB_BENCH_MAIN(graph07_join_dup_skewed);

@@ -30,4 +30,4 @@ BENCHMARK(BM_Graph08_VaryDupUniform)
 }  // namespace bench
 }  // namespace mmdb
 
-BENCHMARK_MAIN();
+MMDB_BENCH_MAIN(graph08_join_dup_uniform);

@@ -31,4 +31,4 @@ BENCHMARK(BM_Graph09_VarySemijoin)
 }  // namespace bench
 }  // namespace mmdb
 
-BENCHMARK_MAIN();
+MMDB_BENCH_MAIN(graph09_join_semijoin);

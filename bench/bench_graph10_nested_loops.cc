@@ -59,4 +59,4 @@ BENCHMARK(BM_Graph10_HashJoinReference)
 }  // namespace bench
 }  // namespace mmdb
 
-BENCHMARK_MAIN();
+MMDB_BENCH_MAIN(graph10_nested_loops);

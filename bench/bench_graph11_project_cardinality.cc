@@ -59,4 +59,4 @@ BENCHMARK(BM_Graph11_Hash)
 }  // namespace bench
 }  // namespace mmdb
 
-BENCHMARK_MAIN();
+MMDB_BENCH_MAIN(graph11_project_cardinality);

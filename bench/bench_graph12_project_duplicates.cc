@@ -62,4 +62,4 @@ BENCHMARK(BM_Graph12_Hash)
 }  // namespace bench
 }  // namespace mmdb
 
-BENCHMARK_MAIN();
+MMDB_BENCH_MAIN(graph12_project_duplicates);

@@ -19,6 +19,7 @@
 #include <memory>
 #include <thread>
 
+#include "bench/bench_common.h"
 #include "src/core/database.h"
 #include "src/server/query_service.h"
 #include "src/workload/generator.h"
@@ -177,4 +178,4 @@ BENCHMARK(BM_ServiceMixed)
 }  // namespace
 }  // namespace mmdb
 
-BENCHMARK_MAIN();
+MMDB_BENCH_MAIN(service_throughput);

@@ -12,7 +12,9 @@ namespace mmdb {
 Database::Database()
     : log_device_(std::make_unique<LogDevice>(&log_buffer_, &disk_image_)),
       txn_manager_(std::make_unique<TransactionManager>(
-          &catalog_, &log_buffer_, &lock_manager_)) {}
+          &catalog_, &log_buffer_, &lock_manager_)) {
+  lock_manager_.set_metrics(&metrics_);
+}
 
 Database::~Database() = default;
 

@@ -20,6 +20,7 @@
 #include "src/txn/log_device.h"
 #include "src/txn/recovery.h"
 #include "src/txn/transaction.h"
+#include "src/util/metrics.h"
 
 namespace mmdb {
 
@@ -107,6 +108,12 @@ class Database {
   DiskImage& disk_image() { return disk_image_; }
   LockManager& lock_manager() { return lock_manager_; }
 
+  /// Observability: the database-wide metric registry.  The lock manager
+  /// records lock-wait histograms here; the query service adds its
+  /// counters and latency series; `RenderPrometheus()` is the text
+  /// endpoint (also exposed as the shell's METRICS command).
+  MetricsRegistry& metrics() { return metrics_; }
+
  private:
   struct DdlTable {
     std::string name;
@@ -129,6 +136,8 @@ class Database {
                              IndexKind kind, IndexConfig config,
                              bool record_ddl);
 
+  // Declared before the lock manager, which holds pointers into it.
+  MetricsRegistry metrics_;
   Catalog catalog_;
   StableLogBuffer log_buffer_;
   DiskImage disk_image_;

@@ -1,7 +1,14 @@
 #include "src/core/planner.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/trace.h"
+
 namespace mmdb {
 namespace {
+
+double Log2Of(double n) { return n < 2.0 ? 1.0 : std::log2(n); }
 
 /// First existing ordered index of a relation keyed on `field`.
 const OrderedIndex* OrderedIndexOn(const Relation& rel, size_t field) {
@@ -38,6 +45,7 @@ const char* JoinMethodName(JoinMethod method) {
 }
 
 JoinPlan Planner::PlanJoin(const JoinSpec& spec, const JoinStats& stats) {
+  trace::Span span("plan_join");
   JoinPlan plan;
 
   // Rule 0: a precomputed join "would beat each of the join methods in
@@ -157,6 +165,7 @@ TempList Planner::InequalityJoin(const JoinSpec& spec, CompareOp op,
 }
 
 AccessPath Planner::PlanSelect(const Relation& rel, const Predicate& pred) {
+  trace::Span span("plan_select");
   for (const auto& index : rel.indexes()) {
     if (!IndexKindOrdered(index->kind()) && index->key_fields().size() == 1 &&
         pred.EqualityOn(index->key_fields()[0])) {
@@ -173,6 +182,56 @@ AccessPath Planner::PlanSelect(const Relation& rel, const Predicate& pred) {
     }
   }
   return AccessPath::kSequentialScan;
+}
+
+double Planner::EstimateSelectCost(const Relation& rel, const Predicate& pred,
+                                   AccessPath path) {
+  const double n = static_cast<double>(rel.cardinality());
+  const double conds = static_cast<double>(pred.conditions().size());
+  switch (path) {
+    case AccessPath::kHashLookup:
+      // One hash call plus the expected bucket chain (assume short).
+      return 1.0 + 2.0 + std::max(0.0, conds - 1.0);
+    case AccessPath::kTreeLookup:
+      return Log2Of(n);
+    case AccessPath::kTreeRange:
+      // Descend once; the scan length depends on selectivity we don't
+      // estimate, so charge the descent plus a token linear term.
+      return Log2Of(n) + 0.1 * n;
+    case AccessPath::kSequentialScan:
+      return n * std::max(1.0, conds);
+  }
+  return n;
+}
+
+double Planner::EstimateJoinCost(const JoinSpec& spec, JoinMethod method) {
+  const double n1 = static_cast<double>(spec.outer->cardinality());
+  const double n2 = static_cast<double>(spec.inner->cardinality());
+  switch (method) {
+    case JoinMethod::kPrecomputed:
+      return n1;  // one pointer chase per outer tuple
+    case JoinMethod::kTreeMerge:
+      return n1 + 2.0 * n2;  // Section 3.3.4 key-join cost
+    case JoinMethod::kTreeJoin:
+      return n1 * Log2Of(n2);
+    case JoinMethod::kHashProbe:
+      return n1;  // one hash call per probe, fixed-cost buckets
+    case JoinMethod::kHashJoin:
+      return n1 + n2;  // build hashes + probe hashes
+    case JoinMethod::kSortMerge:
+      return n1 * Log2Of(n1) + n2 * Log2Of(n2) + n1 + n2;
+    case JoinMethod::kNestedLoops:
+      return n1 * n2;
+  }
+  return n1 * n2;
+}
+
+double Planner::EstimateProbeJoinCost(size_t outer_rows, const Relation& inner,
+                                      const TupleIndex* inner_index) {
+  const double n1 = static_cast<double>(outer_rows);
+  const double n2 = static_cast<double>(inner.cardinality());
+  if (inner_index == nullptr) return n2 + n1;  // hash build + probe
+  return IndexKindOrdered(inner_index->kind()) ? n1 * Log2Of(n2) : n1;
 }
 
 }  // namespace mmdb

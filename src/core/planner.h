@@ -72,6 +72,23 @@ class Planner {
   /// reports the decision without running it).
   static AccessPath PlanSelect(const Relation& rel, const Predicate& pred);
 
+  // ---- Cost predictions (Section 3.3.4 formulas) ----------------------------
+  //
+  // Costs are in the paper's unit of algorithmic work — comparisons plus
+  // hash-function calls — the same unit OpCounters observes, so EXPLAIN
+  // ANALYZE can print predicted next to actual and make cost-model error
+  // directly visible.
+
+  static double EstimateSelectCost(const Relation& rel, const Predicate& pred,
+                                   AccessPath path);
+  static double EstimateJoinCost(const JoinSpec& spec, JoinMethod method);
+
+  /// Select-then-join probe phase (the Query 2 strategy): `outer_rows`
+  /// selected tuples probed into `inner` through `inner_index` (nullptr =
+  /// a hash table is built first).
+  static double EstimateProbeJoinCost(size_t outer_rows, const Relation& inner,
+                                      const TupleIndex* inner_index);
+
   /// Non-equijoin (<, <=, >, >=) per Section 3.3.5: an ordered index on the
   /// inner join column is used when it exists; otherwise a sorted array is
   /// built on the fly (the Sort Merge build discipline) and scanned.

@@ -1,12 +1,54 @@
 #include "src/core/query.h"
 
+#include <cmath>
+#include <iomanip>
 #include <sstream>
 
 #include "src/core/database.h"
 #include "src/exec/sort.h"
+#include "src/util/timer.h"
+#include "src/util/trace.h"
 
 namespace mmdb {
 namespace {
+
+/// Captures one plan node's actuals: wall time from construction, counter
+/// delta from construction to Done().  Counter snapshots only happen in
+/// analyze mode; the Timer is one clock read.
+class StageCapture {
+ public:
+  explicit StageCapture(bool on) : on_(on) {
+    if (on_) before_ = counters::Snapshot();
+  }
+
+  PlanNodeStats Done(std::string label, double est_cost,
+                     uint64_t rows) const {
+    PlanNodeStats node;
+    node.label = std::move(label);
+    node.est_cost = est_cost;
+    node.actual_rows = rows;
+    node.wall_micros = timer_.ElapsedMicros();
+    if (on_) node.ops = counters::Snapshot() - before_;
+    return node;
+  }
+
+ private:
+  bool on_;
+  Timer timer_;
+  OpCounters before_;
+};
+
+void RenderNode(const PlanNodeStats& node, int depth, std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  if (depth > 0) *os << "-> ";
+  *os << node.label << "  (cost=" << std::fixed << std::setprecision(0)
+      << node.est_cost << " rows=" << node.actual_rows
+      << " time=" << std::setprecision(1) << node.wall_micros << "us | "
+      << node.ops.ToString() << ")\n";
+  for (const PlanNodeStats& child : node.children) {
+    RenderNode(child, depth + 1, os);
+  }
+}
 
 /// Splits "a.b.c" into segments.
 std::vector<std::string> SplitPath(const std::string& path) {
@@ -82,6 +124,17 @@ QueryBuilder& QueryBuilder::OrderBySelected() {
   return *this;
 }
 
+QueryBuilder& QueryBuilder::Analyze() {
+  analyze_ = true;
+  return *this;
+}
+
+std::string PlanNodeStats::Render() const {
+  std::ostringstream os;
+  RenderNode(*this, 0, &os);
+  return os.str();
+}
+
 Status QueryBuilder::ResolveColumn(const std::string& path,
                                    ResultDescriptor* desc) const {
   std::vector<std::string> segments = SplitPath(path);
@@ -127,29 +180,46 @@ Status QueryBuilder::ResolveColumn(const std::string& path,
 
 QueryResult QueryBuilder::Run() {
   QueryResult result;
+  result.analyzed = analyze_;
   std::ostringstream plan;
+  trace::Span query_span("query_run");
+  query_span.AddArgs("\"table\":\"" + table_ + "\"");
+
+  // Root of the analyze tree: whole-query totals across all operators.
+  const StageCapture total(analyze_);
 
   Relation* rel = db_->GetTable(table_);
   if (rel == nullptr) {
     result.plan = "error: no table " + table_;
+    result.analyzed = false;
     return result;
   }
 
   if (!join_table_.has_value()) {
+    const StageCapture cap(analyze_);
+    trace::Span span("select");
     AccessPath path;
     TempList rows = ::mmdb::Select(*rel, where_, &path);
+    span.AddArgs(std::string("\"path\":\"") + AccessPathName(path) + "\"");
     plan << "select(" << table_ << "): " << AccessPathName(path);
+    if (analyze_) {
+      result.analyze.children.push_back(cap.Done(
+          "select(" + table_ + "): " + AccessPathName(path),
+          Planner::EstimateSelectCost(*rel, where_, path), rows.size()));
+    }
     result.rows = std::move(rows);
   } else {
     Relation* joined = db_->GetTable(*join_table_);
     if (joined == nullptr) {
       result.plan = "error: no table " + *join_table_;
+      result.analyzed = false;
       return result;
     }
     auto lf = rel->schema().FieldIndex(join_left_);
     auto rf = joined->schema().FieldIndex(join_right_);
     if (!lf.has_value() || !rf.has_value()) {
       result.plan = "error: bad join fields";
+      result.analyzed = false;
       return result;
     }
     JoinSpec spec{rel, *lf, joined, *rf};
@@ -157,24 +227,65 @@ QueryResult QueryBuilder::Run() {
     if (!where_.empty()) {
       // The paper's Query 2 strategy: select on the driving relation first,
       // then join only the selected tuples (Section 2.1).
+      const StageCapture select_cap(analyze_);
       AccessPath path;
-      TempList selected = ::mmdb::Select(*rel, where_, &path);
+      TempList selected(ResultDescriptor({rel}));
+      {
+        trace::Span span("select");
+        selected = ::mmdb::Select(*rel, where_, &path);
+        span.AddArgs(std::string("\"path\":\"") + AccessPathName(path) +
+                     "\"");
+      }
+      if (analyze_) {
+        result.analyze.children.push_back(select_cap.Done(
+            "select(" + table_ + "): " + AccessPathName(path),
+            Planner::EstimateSelectCost(*rel, where_, path),
+            selected.size()));
+      }
+
+      const StageCapture join_cap(analyze_);
       TupleIndex* inner_index = joined->FindIndexOn(*rf, false);
-      rows = TempListJoin(selected, *lf, *joined, *rf, inner_index);
+      {
+        trace::Span span("join");
+        rows = TempListJoin(selected, *lf, *joined, *rf, inner_index);
+      }
+      const char* method = inner_index != nullptr ? "probe existing index"
+                                                  : "hash build + probe";
       plan << "select(" << table_ << "): " << AccessPathName(path) << " ("
-           << selected.size() << " rows); join(" << *join_table_ << "): "
-           << (inner_index != nullptr ? "probe existing index"
-                                      : "hash build + probe");
+           << selected.size() << " rows); join(" << *join_table_
+           << "): " << method;
+      if (analyze_) {
+        result.analyze.children.push_back(join_cap.Done(
+            "join(" + *join_table_ + "): " + method,
+            Planner::EstimateProbeJoinCost(selected.size(), *joined,
+                                           inner_index),
+            rows.size()));
+      }
     } else {
+      const StageCapture join_cap(analyze_);
       JoinPlan jp;
-      rows = Planner::Join(spec, stats_, &jp);
+      {
+        trace::Span span("join");
+        rows = Planner::Join(spec, stats_, &jp);
+        span.AddArgs(std::string("\"method\":\"") + JoinMethodName(jp.method) +
+                     "\"");
+      }
       plan << "join(" << table_ << ", " << *join_table_
            << "): " << JoinMethodName(jp.method) << " [" << jp.rationale
            << "]";
+      if (analyze_) {
+        result.analyze.children.push_back(join_cap.Done(
+            "join(" + table_ + ", " + *join_table_ + "): " +
+                JoinMethodName(jp.method),
+            Planner::EstimateJoinCost(spec, jp.method), rows.size()));
+      }
     }
 
     // Residual predicate on the joined side.
     if (!where_joined_.empty()) {
+      const StageCapture filter_cap(analyze_);
+      trace::Span span("filter");
+      const uint64_t rows_in = rows.size();
       TempList filtered(rows.descriptor());
       const Schema& rs = joined->schema();
       for (size_t r = 0; r < rows.size(); ++r) {
@@ -184,6 +295,11 @@ QueryResult QueryBuilder::Run() {
       }
       plan << "; filter(" << where_joined_.ToString(rs) << ")";
       rows = std::move(filtered);
+      if (analyze_) {
+        result.analyze.children.push_back(
+            filter_cap.Done("filter(" + where_joined_.ToString(rs) + ")",
+                            static_cast<double>(rows_in), rows.size()));
+      }
     }
     result.rows = std::move(rows);
   }
@@ -200,19 +316,47 @@ QueryResult QueryBuilder::Run() {
     if (!s.ok()) {
       result.plan = "error: " + s.ToString();
       result.rows.Clear();
+      result.analyzed = false;
       return result;
     }
   }
 
   if (distinct_) {
+    const StageCapture cap(analyze_);
+    trace::Span span("distinct");
+    const uint64_t rows_in = result.rows.size();
     result.rows = ProjectHash(result.rows);
     plan << "; distinct: hashing (Section 3.4)";
+    if (analyze_) {
+      result.analyze.children.push_back(
+          cap.Done("distinct: hashing", static_cast<double>(rows_in),
+                   result.rows.size()));
+    }
   }
   if (ordered_) {
+    const StageCapture cap(analyze_);
+    trace::Span span("order_by");
+    const double n = static_cast<double>(result.rows.size());
     result.rows = SortTempList(result.rows);
     plan << "; order by: hybrid quicksort";
+    if (analyze_) {
+      result.analyze.children.push_back(
+          cap.Done("order by: hybrid quicksort",
+                   n < 2.0 ? n : n * std::log2(n), result.rows.size()));
+    }
   }
   result.plan = plan.str();
+
+  if (analyze_) {
+    double est_total = 0.0;
+    for (const PlanNodeStats& child : result.analyze.children) {
+      est_total += child.est_cost;
+    }
+    PlanNodeStats root =
+        total.Done("query(" + table_ + ")", est_total, result.rows.size());
+    root.children = std::move(result.analyze.children);
+    result.analyze = std::move(root);
+  }
   return result;
 }
 

@@ -22,15 +22,35 @@
 
 #include "src/core/planner.h"
 #include "src/storage/temp_list.h"
+#include "src/util/counters.h"
 
 namespace mmdb {
 
 class Database;
 
+/// One node of an EXPLAIN ANALYZE plan tree: the planner's prediction next
+/// to what actually happened.  `est_cost` is in the paper's unit of work
+/// (comparisons + hash calls, Section 3.3.4), the same unit `ops` counts —
+/// estimated-vs-actual is the cost-model error, visible per operator.
+struct PlanNodeStats {
+  std::string label;       ///< operator + decision, e.g. "select(emp): hash lookup"
+  double est_cost = 0.0;   ///< predicted comparisons + hash calls
+  uint64_t actual_rows = 0;  ///< rows this node produced
+  double wall_micros = 0.0;
+  OpCounters ops;          ///< observed counter deltas for this node
+  std::vector<PlanNodeStats> children;
+
+  /// Indented multi-line tree: one node per line with cost / rows / time /
+  /// counters annotations.
+  std::string Render() const;
+};
+
 /// Result of Run(): the rows plus the plan decisions taken.
 struct QueryResult {
   TempList rows;
   std::string plan;  ///< human-readable access-path / join-method trace
+  bool analyzed = false;    ///< true iff Analyze() was requested (and ran)
+  PlanNodeStats analyze;    ///< per-operator stats tree when analyzed
 
   QueryResult() : rows(ResultDescriptor()) {}
 };
@@ -66,6 +86,11 @@ class QueryBuilder {
   /// Section 3.3.2's algorithm).  Applied after Distinct().
   QueryBuilder& OrderBySelected();
 
+  /// EXPLAIN ANALYZE mode: Run() additionally captures, per plan node, the
+  /// OpCounters deltas, output rows, and wall time next to the planner's
+  /// cost estimate, into QueryResult::analyze.
+  QueryBuilder& Analyze();
+
   /// Executes and returns rows + plan trace.  On an ill-formed query the
   /// result is empty and `plan` carries the error.
   QueryResult Run();
@@ -83,6 +108,7 @@ class QueryBuilder {
   std::vector<std::string> columns_;
   bool distinct_ = false;
   bool ordered_ = false;
+  bool analyze_ = false;
 };
 
 }  // namespace mmdb

@@ -6,6 +6,8 @@
 
 #include "src/core/query.h"
 #include "src/exec/select.h"
+#include "src/util/counters.h"
+#include "src/util/trace.h"
 
 namespace mmdb {
 namespace {
@@ -243,15 +245,23 @@ std::string CommandShell::Execute(const std::string& statement) {
     if (head == "CREATE") return RunCreate(t);
     if (head == "FOREIGN") return RunForeignKey(t);
     if (head == "INSERT") return RunInsert(t);
-    if (head == "SELECT") return RunSelect(t, /*explain_only=*/false);
+    if (head == "SELECT") {
+      return RunSelect(t, /*explain_only=*/false, /*analyze=*/false);
+    }
     if (head == "EXPLAIN") {
+      if (t.size() > 1 && TokenIs(t[1], "ANALYZE")) {
+        return RunSelect(std::vector<Token>(t.begin() + 2, t.end()),
+                         /*explain_only=*/true, /*analyze=*/true);
+      }
       return RunSelect(std::vector<Token>(t.begin() + 1, t.end()),
-                       /*explain_only=*/true);
+                       /*explain_only=*/true, /*analyze=*/false);
     }
     if (head == "UPDATE") return RunUpdate(t);
     if (head == "DELETE") return RunDelete(t);
     if (head == "SHOW") return RunShowTables();
     if (head == "DESCRIBE") return RunDescribe(t);
+    if (head == "METRICS") return RunMetrics();
+    if (head == "TRACE") return RunTrace(t);
     if (head == "CHECKPOINT") {
       db_->Checkpoint();
       db_->RunLogDevice();
@@ -368,7 +378,7 @@ std::string CommandShell::RunInsert(const std::vector<Token>& t) {
 }
 
 std::string CommandShell::RunSelect(const std::vector<Token>& t,
-                                    bool explain_only) {
+                                    bool explain_only, bool analyze) {
   // SELECT cols FROM table [JOIN t2 ON lf = rf] [WHERE cond (AND cond)*]
   //        [DISTINCT] [ORDERED]
   if (t.empty() || Upper(t[0].text) != "SELECT") {
@@ -427,8 +437,15 @@ std::string CommandShell::RunSelect(const std::vector<Token>& t,
   }
 
   if (!columns.empty()) builder.Select(columns);
+  if (analyze) builder.Analyze();
   QueryResult result = builder.Run();
   if (result.plan.rfind("error", 0) == 0) return result.plan;
+  if (analyze) {
+    // EXPLAIN ANALYZE: the query ran; report the per-operator tree, not
+    // the rows.
+    return result.analyze.Render() + "(" + std::to_string(result.rows.size()) +
+           " rows)";
+  }
   if (explain_only) return "plan: " + result.plan;
 
   std::ostringstream os;
@@ -535,6 +552,38 @@ std::string CommandShell::RunDescribe(const std::vector<Token>& t) {
   os << "(" << rel->cardinality() << " rows in " << rel->partitions().size()
      << " partitions)";
   return os.str();
+}
+
+std::string CommandShell::RunMetrics() {
+  // Publish the sampled series (accumulated OpCounters) so the scrape is
+  // current, then render everything the registry holds.
+  counters::PublishGauges(&db_->metrics());
+  return db_->metrics().RenderPrometheus();
+}
+
+std::string CommandShell::RunTrace(const std::vector<Token>& t) {
+  if (t.size() >= 2) {
+    const std::string sub = Upper(t[1].text);
+    if (sub == "ON" && t.size() == 2) {
+      trace::Enable();
+      return "ok: tracing on";
+    }
+    if (sub == "OFF" && t.size() == 2) {
+      trace::Disable();
+      return "ok: tracing off";
+    }
+    if (sub == "DUMP" && t.size() == 3) {
+      std::string error;
+      if (!trace::WriteChromeJson(t[2].text, &error)) {
+        return "error: " + error;
+      }
+      std::ostringstream os;
+      os << "ok: wrote " << trace::Snapshot().size() << " spans to "
+         << t[2].text;
+      return os.str();
+    }
+  }
+  return "error: TRACE ON | TRACE OFF | TRACE DUMP 'path'";
 }
 
 }  // namespace mmdb

@@ -14,6 +14,10 @@
 //   SHOW TABLES;         DESCRIBE emp;
 //   CHECKPOINT;          CRASH;          -- checkpoint / simulated crash
 //   EXPLAIN SELECT ...;                  -- plan without rows
+//   EXPLAIN ANALYZE SELECT ...;          -- run + per-operator stats tree
+//   METRICS;                             -- Prometheus text exposition
+//   TRACE ON; TRACE OFF;                 -- toggle span recording
+//   TRACE DUMP 'trace.json';             -- chrome://tracing JSON
 //
 // Strings are single-quoted; numbers with a '.' parse as doubles; WHERE
 // conditions are AND-conjunctions of `field op literal` (a `table.` prefix
@@ -55,11 +59,14 @@ class CommandShell {
   std::string RunCreate(const std::vector<Token>& t);
   std::string RunForeignKey(const std::vector<Token>& t);
   std::string RunInsert(const std::vector<Token>& t);
-  std::string RunSelect(const std::vector<Token>& t, bool explain_only);
+  std::string RunSelect(const std::vector<Token>& t, bool explain_only,
+                        bool analyze);
   std::string RunUpdate(const std::vector<Token>& t);
   std::string RunDelete(const std::vector<Token>& t);
   std::string RunShowTables();
   std::string RunDescribe(const std::vector<Token>& t);
+  std::string RunMetrics();
+  std::string RunTrace(const std::vector<Token>& t);
 
   Database* db_;
 };

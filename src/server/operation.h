@@ -50,6 +50,9 @@ struct SelectSpec {
   std::vector<std::string> columns;  ///< dot-paths; empty = all driving fields
   bool distinct = false;
   bool ordered = false;
+  /// EXPLAIN ANALYZE: fill OpResult::analyze with the per-operator plan
+  /// tree (estimated cost vs. actual rows / OpCounters / wall time).
+  bool analyze = false;
 };
 
 /// Transactional insert of one row.
@@ -98,6 +101,7 @@ struct OpResult {
   std::vector<std::string> columns;            ///< select: output labels
   std::vector<std::vector<Value>> rows;        ///< select: materialized rows
   std::string plan;                            ///< select: plan trace
+  std::string analyze;                         ///< select: EXPLAIN ANALYZE tree
   size_t rows_affected = 0;                    ///< DML: rows written/removed
   int attempts = 1;                            ///< 1 = no deadlock retries
 

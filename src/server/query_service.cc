@@ -9,6 +9,7 @@
 #include "src/exec/select.h"
 #include "src/storage/tuple.h"
 #include "src/util/counters.h"
+#include "src/util/trace.h"
 
 namespace mmdb {
 namespace {
@@ -49,7 +50,10 @@ OpResult Session::Delete(DeleteSpec spec) {
 // ---- Service lifecycle ------------------------------------------------------
 
 QueryService::QueryService(Database* db, ServiceOptions options)
-    : db_(db), options_(options), queue_(options.queue_depth) {
+    : db_(db),
+      options_(options),
+      queue_(options.queue_depth),
+      metrics_(&db->metrics()) {
   workers_.reserve(options_.workers);
   for (size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -68,7 +72,7 @@ void QueryService::Shutdown() {
     // them so every accepted Submit still gets its callback exactly once.
     Task task;
     while (queue_.TryPop(&task)) {
-      metrics_.started.fetch_add(1, std::memory_order_relaxed);
+      metrics_.started->Add();
       OpResult result;
       result.status = Status::Aborted("service shut down before execution");
       Finish(task, std::move(result));
@@ -79,7 +83,7 @@ void QueryService::Shutdown() {
 Session* QueryService::OpenSession() {
   std::lock_guard<std::mutex> lock(sessions_mu_);
   sessions_.emplace_back(new Session(this, next_session_id_++));
-  metrics_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+  metrics_.sessions_opened->Add();
   return sessions_.back().get();
 }
 
@@ -90,16 +94,16 @@ void QueryService::CloseSession(Session* session) {
       [session](const std::unique_ptr<Session>& s) { return s.get() == session; });
   if (it != sessions_.end()) {
     sessions_.erase(it);
-    metrics_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
+    metrics_.sessions_closed->Add();
   }
 }
 
 // ---- Submission -------------------------------------------------------------
 
 Status QueryService::Submit(Session* session, Operation op, Callback done) {
-  metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
+  metrics_.submitted->Add();
   if (!accepting_.load(std::memory_order_relaxed)) {
-    metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+    metrics_.rejected->Add();
     return Status::FailedPrecondition("query service is shut down");
   }
   Task task;
@@ -108,7 +112,7 @@ Status QueryService::Submit(Session* session, Operation op, Callback done) {
   task.done = std::move(done);
   task.latency.Restart();
   if (!queue_.TryPush(std::move(task))) {
-    metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+    metrics_.rejected->Add();
     return Status::ResourceExhausted("query service queue is full");
   }
   if (session != nullptr) {
@@ -134,6 +138,14 @@ ServiceStats QueryService::Stats() const {
   return metrics_.Snapshot(queue_.size(), queue_.high_water());
 }
 
+std::string QueryService::MetricsText() const {
+  // Refresh the sampled series (queue gauges, accumulated OpCounters)
+  // before rendering so the scrape is point-in-time consistent.
+  metrics_.Snapshot(queue_.size(), queue_.high_water());
+  counters::PublishGauges(&db_->metrics());
+  return db_->metrics().RenderPrometheus();
+}
+
 // ---- Workers ----------------------------------------------------------------
 
 void QueryService::WorkerLoop(size_t index) {
@@ -142,24 +154,41 @@ void QueryService::WorkerLoop(size_t index) {
   ctx.rng = Rng(0x5eedULL + index * 0x9E3779B97F4A7C15ULL);
   Task task;
   while (queue_.Pop(&task)) {
-    metrics_.started.fetch_add(1, std::memory_order_relaxed);
+    metrics_.started->Add();
+    // The interval from Submit to this dequeue is the queue wait; emit it
+    // as a span on *this* thread (the one that paid for the waiting) and
+    // feed the queue-wait histogram.
+    const auto dequeued = trace::Clock::now();
+    trace::RecordSpan("queue_wait", task.latency.start_time(), dequeued);
+    metrics_.queue_wait->Record(
+        std::chrono::duration<double, std::micro>(dequeued -
+                                                  task.latency.start_time())
+            .count());
     ctx.arena.Reset();  // per-task scratch
-    OpResult result = RunWithRetry(ctx, task.op);
+    OpResult result;
+    {
+      trace::Span span("execute");
+      span.AddArgs(std::string("\"op\":\"") + OpKindName(KindOf(task.op)) +
+                   "\"");
+      result = RunWithRetry(ctx, task.op);
+    }
     Finish(task, std::move(result));
+    // Fold this thread's OpCounters into the process-wide accumulator per
+    // completed query — not only at worker exit — so a metrics scrape
+    // mid-run sees the work already done (fix for the stale-accumulator
+    // window; see the fold regression test).
+    counters::FoldIntoGlobal();
   }
-  // Fold this worker's operation counters into the process-wide
-  // accumulator so post-shutdown instrumentation sees the work done here.
-  counters::FoldIntoGlobal();
 }
 
 void QueryService::Finish(Task& task, OpResult result) {
   metrics_.latency(KindOf(task.op)).Record(task.latency.ElapsedMicros());
   if (result.ok()) {
-    metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+    metrics_.completed->Add();
   } else if (result.status.code() == StatusCode::kAborted) {
-    metrics_.aborted.fetch_add(1, std::memory_order_relaxed);
+    metrics_.aborted->Add();
   } else {
-    metrics_.failed.fetch_add(1, std::memory_order_relaxed);
+    metrics_.failed->Add();
   }
   if (task.session != nullptr) {
     if (result.ok()) {
@@ -180,7 +209,7 @@ OpResult QueryService::RunWithRetry(WorkerContext& ctx, const Operation& op) {
     result.attempts = attempt;
     if (!IsDeadlockTimeout(result.status)) break;
     if (attempt >= options_.max_attempts) break;
-    metrics_.retries.fetch_add(1, std::memory_order_relaxed);
+    metrics_.retries->Add();
     // Capped exponential backoff with jitter: the victim waits out the
     // presumed deadlock before retrying from scratch.
     const int shift = std::min(attempt - 1, 20);
@@ -276,6 +305,7 @@ OpResult QueryService::RunSelect(const SelectSpec& spec) {
   if (!spec.columns.empty()) qb.Select(spec.columns);
   if (spec.distinct) qb.Distinct();
   if (spec.ordered) qb.OrderBySelected();
+  if (spec.analyze) qb.Analyze();
 
   QueryResult qr = qb.Run();
   if (IsErrorPlan(qr.plan)) {
@@ -300,6 +330,7 @@ OpResult QueryService::RunSelect(const SelectSpec& spec) {
     out.rows.push_back(std::move(row));
   }
   out.plan = std::move(qr.plan);
+  if (qr.analyzed) out.analyze = qr.analyze.Render();
   out.rows_affected = out.rows.size();
 
   // Read-only: nothing was logged, so releasing the locks via Abort() is

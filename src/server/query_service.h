@@ -100,6 +100,12 @@ class QueryService {
 
   ServiceStats Stats() const;
 
+  /// Prometheus text exposition of the whole process: every former
+  /// ServiceStats field (as `mmdb_service_*` series), the lock manager's
+  /// wait histograms, queue-depth gauges, and the accumulated OpCounters
+  /// gauges.  Scrape-friendly; also behind the shell's METRICS command.
+  std::string MetricsText() const;
+
   const ServiceOptions& options() const { return options_; }
   Database* database() const { return db_; }
 

@@ -1,25 +1,8 @@
 #include "src/server/service_stats.h"
 
-#include <algorithm>
-#include <bit>
-#include <cmath>
 #include <sstream>
 
 namespace mmdb {
-namespace {
-
-/// Bucket index for a microsecond value: 0 for <1µs, else 1 + floor(log2),
-/// clamped to the open-ended last bucket.
-size_t BucketOf(uint64_t micros) {
-  if (micros == 0) return 0;
-  const size_t idx = static_cast<size_t>(std::bit_width(micros));
-  return std::min(idx, LatencyHistogram::kBuckets - 1);
-}
-
-/// Upper bound (µs) of bucket i.
-uint64_t BucketUpper(size_t i) { return uint64_t{1} << i; }
-
-}  // namespace
 
 const char* OpKindName(OpKind kind) {
   switch (kind) {
@@ -32,75 +15,44 @@ const char* OpKindName(OpKind kind) {
   return "?";
 }
 
-void LatencyHistogram::Record(double micros) {
-  const uint64_t us =
-      micros <= 0 ? 0 : static_cast<uint64_t>(std::llround(micros));
-  buckets_[BucketOf(us)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  total_micros_.fetch_add(us, std::memory_order_relaxed);
-  uint64_t prev = max_micros_.load(std::memory_order_relaxed);
-  while (us > prev &&
-         !max_micros_.compare_exchange_weak(prev, us,
-                                            std::memory_order_relaxed)) {
+ServiceMetrics::ServiceMetrics(MetricsRegistry* registry)
+    : submitted(registry->GetCounter("mmdb_service_submitted_total")),
+      rejected(registry->GetCounter("mmdb_service_rejected_total")),
+      started(registry->GetCounter("mmdb_service_started_total")),
+      completed(registry->GetCounter("mmdb_service_completed_total")),
+      failed(registry->GetCounter("mmdb_service_failed_total")),
+      aborted(registry->GetCounter("mmdb_service_aborted_total")),
+      retries(registry->GetCounter("mmdb_service_retries_total")),
+      sessions_opened(registry->GetCounter("mmdb_service_sessions_opened_total")),
+      sessions_closed(registry->GetCounter("mmdb_service_sessions_closed_total")),
+      queue_wait(registry->GetHistogram("mmdb_service_queue_wait_micros")),
+      queue_depth_(registry->GetGauge("mmdb_service_queue_depth")),
+      queue_depth_hwm_(registry->GetGauge("mmdb_service_queue_depth_hwm")) {
+  for (size_t i = 0; i < kOpKindCount; ++i) {
+    latency_[i] = registry->GetHistogram(
+        std::string("mmdb_service_latency_micros{op=\"") +
+        OpKindName(static_cast<OpKind>(i)) + "\"}");
   }
-}
-
-LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
-  Snapshot s;
-  s.count = count_.load(std::memory_order_relaxed);
-  s.total_micros = total_micros_.load(std::memory_order_relaxed);
-  s.max_micros = max_micros_.load(std::memory_order_relaxed);
-  for (size_t i = 0; i < kBuckets; ++i) {
-    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
-  }
-  return s;
-}
-
-double LatencyHistogram::Snapshot::MeanMicros() const {
-  return count == 0 ? 0.0
-                    : static_cast<double>(total_micros) /
-                          static_cast<double>(count);
-}
-
-uint64_t LatencyHistogram::Snapshot::PercentileMicros(double p) const {
-  if (count == 0) return 0;
-  p = std::clamp(p, 0.0, 1.0);
-  const uint64_t rank = static_cast<uint64_t>(std::ceil(p * count));
-  uint64_t seen = 0;
-  for (size_t i = 0; i < kBuckets; ++i) {
-    seen += buckets[i];
-    if (seen >= rank) {
-      // The open last bucket has no upper bound; report the observed max.
-      return i + 1 == kBuckets ? max_micros : BucketUpper(i);
-    }
-  }
-  return max_micros;
-}
-
-std::string LatencyHistogram::Snapshot::ToString() const {
-  std::ostringstream os;
-  os << "n=" << count << " mean=" << MeanMicros() << "us"
-     << " p50<=" << PercentileMicros(0.50) << "us"
-     << " p99<=" << PercentileMicros(0.99) << "us"
-     << " max=" << max_micros << "us";
-  return os.str();
 }
 
 ServiceStats ServiceMetrics::Snapshot(size_t queue_depth,
                                       size_t queue_depth_hwm) const {
+  queue_depth_->Set(static_cast<int64_t>(queue_depth));
+  queue_depth_hwm_->Set(static_cast<int64_t>(queue_depth_hwm));
   ServiceStats s;
-  s.submitted = submitted.load(std::memory_order_relaxed);
-  s.rejected = rejected.load(std::memory_order_relaxed);
-  s.started = started.load(std::memory_order_relaxed);
-  s.completed = completed.load(std::memory_order_relaxed);
-  s.failed = failed.load(std::memory_order_relaxed);
-  s.aborted = aborted.load(std::memory_order_relaxed);
-  s.retries = retries.load(std::memory_order_relaxed);
-  s.sessions_opened = sessions_opened.load(std::memory_order_relaxed);
-  s.sessions_closed = sessions_closed.load(std::memory_order_relaxed);
+  s.submitted = submitted->Value();
+  s.rejected = rejected->Value();
+  s.started = started->Value();
+  s.completed = completed->Value();
+  s.failed = failed->Value();
+  s.aborted = aborted->Value();
+  s.retries = retries->Value();
+  s.sessions_opened = sessions_opened->Value();
+  s.sessions_closed = sessions_closed->Value();
   s.queue_depth = queue_depth;
   s.queue_depth_hwm = queue_depth_hwm;
-  for (size_t i = 0; i < kOpKindCount; ++i) s.latency[i] = latency_[i].Snap();
+  for (size_t i = 0; i < kOpKindCount; ++i) s.latency[i] = latency_[i]->Snap();
+  s.queue_wait = queue_wait->Snap();
   return s;
 }
 
@@ -112,6 +64,9 @@ std::string ServiceStats::ToString() const {
      << " retries=" << retries << "\n"
      << "sessions=" << sessions_opened << " (closed " << sessions_closed
      << ") queue_depth=" << queue_depth << " hwm=" << queue_depth_hwm << "\n";
+  if (queue_wait.count > 0) {
+    os << "  queue wait: " << queue_wait.ToString() << "\n";
+  }
   for (size_t i = 0; i < kOpKindCount; ++i) {
     if (latency[i].count == 0) continue;
     os << "  " << OpKindName(static_cast<OpKind>(i)) << ": "

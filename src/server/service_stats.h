@@ -4,19 +4,23 @@
 // of comparisons ... to ensure that the algorithms were doing what they
 // were supposed to") at the service layer: queries started / completed /
 // aborted / retried, queue depth high-water mark, and latency distribution
-// per operation kind, all built on the repo's steady-clock Timer.
+// per operation kind.
 //
-// The live counters are atomics bumped by worker threads; ServiceStats is
-// the plain-struct snapshot handed to callers.
+// All live series are owned by the Database's MetricsRegistry under
+// `mmdb_service_*` names, so the Prometheus endpoint and the ServiceStats
+// snapshot read the same atomics; ServiceMetrics is just the cached-pointer
+// view workers bump without a registry lookup.  ServiceStats remains the
+// plain-struct snapshot handed to callers.
 
 #ifndef MMDB_SERVER_SERVICE_STATS_H_
 #define MMDB_SERVER_SERVICE_STATS_H_
 
 #include <array>
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
+
+#include "src/util/metrics.h"
 
 namespace mmdb {
 
@@ -33,38 +37,6 @@ inline constexpr size_t kOpKindCount = 5;
 
 const char* OpKindName(OpKind kind);
 
-/// Lock-free latency histogram: power-of-two microsecond buckets
-/// (bucket i counts samples in [2^(i-1), 2^i) µs; bucket 0 is < 1 µs,
-/// the last bucket is open-ended).  Record() is a couple of relaxed
-/// atomic increments, cheap enough to leave on in production.
-class LatencyHistogram {
- public:
-  static constexpr size_t kBuckets = 22;  // open bucket starts at ~2.1 s
-
-  /// Plain-value snapshot of one histogram.
-  struct Snapshot {
-    uint64_t count = 0;
-    uint64_t total_micros = 0;
-    uint64_t max_micros = 0;
-    std::array<uint64_t, kBuckets> buckets{};
-
-    double MeanMicros() const;
-    /// Upper-bound estimate of the p-quantile (p in [0,1]) in µs.
-    uint64_t PercentileMicros(double p) const;
-    /// One-line rendering: count/mean/p50/p99/max.
-    std::string ToString() const;
-  };
-
-  void Record(double micros);
-  Snapshot Snap() const;
-
- private:
-  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> total_micros_{0};
-  std::atomic<uint64_t> max_micros_{0};
-};
-
 /// Point-in-time snapshot of the whole service, returned by
 /// QueryService::Stats().
 struct ServiceStats {
@@ -80,35 +52,43 @@ struct ServiceStats {
   size_t queue_depth = 0;      ///< queued (not yet started) right now
   size_t queue_depth_hwm = 0;  ///< deepest backlog ever observed
   std::array<LatencyHistogram::Snapshot, kOpKindCount> latency{};
+  LatencyHistogram::Snapshot queue_wait{};  ///< Submit -> worker dequeue
 
   /// Multi-line human-readable rendering.
   std::string ToString() const;
 };
 
-/// The live (atomic) counterpart of ServiceStats, owned by the service and
-/// bumped from worker and client threads.
+/// The live counterpart of ServiceStats: cached pointers into the
+/// registry's `mmdb_service_*` series, bumped from worker and client
+/// threads.  The registry must outlive this object.
 class ServiceMetrics {
  public:
-  std::atomic<uint64_t> submitted{0};
-  std::atomic<uint64_t> rejected{0};
-  std::atomic<uint64_t> started{0};
-  std::atomic<uint64_t> completed{0};
-  std::atomic<uint64_t> failed{0};
-  std::atomic<uint64_t> aborted{0};
-  std::atomic<uint64_t> retries{0};
-  std::atomic<uint64_t> sessions_opened{0};
-  std::atomic<uint64_t> sessions_closed{0};
+  explicit ServiceMetrics(MetricsRegistry* registry);
+
+  Counter* submitted;
+  Counter* rejected;
+  Counter* started;
+  Counter* completed;
+  Counter* failed;
+  Counter* aborted;
+  Counter* retries;
+  Counter* sessions_opened;
+  Counter* sessions_closed;
+  LatencyHistogram* queue_wait;
 
   LatencyHistogram& latency(OpKind kind) {
-    return latency_[static_cast<size_t>(kind)];
+    return *latency_[static_cast<size_t>(kind)];
   }
 
   /// Queue depth / high-water are owned by the queue; the caller passes
-  /// them in.
+  /// them in.  Also publishes them to the registry's gauges so a metrics
+  /// scrape sees the same numbers.
   ServiceStats Snapshot(size_t queue_depth, size_t queue_depth_hwm) const;
 
  private:
-  std::array<LatencyHistogram, kOpKindCount> latency_;
+  std::array<LatencyHistogram*, kOpKindCount> latency_{};
+  Gauge* queue_depth_;
+  Gauge* queue_depth_hwm_;
 };
 
 }  // namespace mmdb

@@ -2,16 +2,82 @@
 
 #include <algorithm>
 
+#include "src/util/metrics.h"
+#include "src/util/trace.h"
+
 namespace mmdb {
+namespace {
+
+/// JSON args fragment for a lock_wait span ("mode":"S","scope":"partition",
+/// "relation":"emp","granted":true).  Built only when tracing is enabled.
+std::string LockSpanArgs(const LockId& id, LockMode mode, bool granted) {
+  std::string args = "\"mode\":\"";
+  args += mode == LockMode::kShared ? "S" : "X";
+  args += "\",\"scope\":\"";
+  args += id.partition == LockId::kRelationLock ? "structure" : "partition";
+  args += "\",\"relation\":\"" + id.relation + "\"";
+  if (id.partition != LockId::kRelationLock) {
+    args += ",\"partition\":" + std::to_string(id.partition);
+  }
+  args += ",\"granted\":";
+  args += granted ? "true" : "false";
+  return args;
+}
+
+}  // namespace
 
 bool LockManager::HoldsShared(const LockState& s, uint64_t txn_id) const {
   return std::find(s.shared_holders.begin(), s.shared_holders.end(), txn_id) !=
          s.shared_holders.end();
 }
 
+void LockManager::set_metrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    wait_hist_[0][0] = wait_hist_[0][1] = nullptr;
+    wait_hist_[1][0] = wait_hist_[1][1] = nullptr;
+    timeouts_ = nullptr;
+    return;
+  }
+  const char* modes[2] = {"shared", "exclusive"};
+  const char* scopes[2] = {"partition", "structure"};
+  for (int m = 0; m < 2; ++m) {
+    for (int s = 0; s < 2; ++s) {
+      wait_hist_[m][s] = registry->GetHistogram(
+          std::string("mmdb_lock_wait_micros{mode=\"") + modes[m] +
+          "\",scope=\"" + scopes[s] + "\"}");
+    }
+  }
+  timeouts_ = registry->GetCounter("mmdb_lock_timeouts_total");
+}
+
 bool LockManager::Acquire(uint64_t txn_id, const LockId& id, LockMode mode,
                           std::chrono::milliseconds timeout) {
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const auto start = std::chrono::steady_clock::now();
+  const bool traced = trace::Enabled();
+  const bool metered = timeouts_ != nullptr;
+  if (!traced && !metered) {
+    return AcquireImpl(txn_id, id, mode, start + timeout);
+  }
+
+  const bool granted = AcquireImpl(txn_id, id, mode, start + timeout);
+  const auto end = std::chrono::steady_clock::now();
+  if (metered) {
+    const int m = mode == LockMode::kExclusive ? 1 : 0;
+    const int s = id.partition == LockId::kRelationLock ? 1 : 0;
+    wait_hist_[m][s]->Record(
+        std::chrono::duration<double, std::micro>(end - start).count());
+    if (!granted) timeouts_->Add(1);
+  }
+  if (traced) {
+    trace::RecordSpan("lock_wait", start, end,
+                      LockSpanArgs(id, mode, granted));
+  }
+  return granted;
+}
+
+bool LockManager::AcquireImpl(uint64_t txn_id, const LockId& id,
+                              LockMode mode,
+                              std::chrono::steady_clock::time_point deadline) {
   std::unique_lock<std::mutex> lock(mu_);
   LockState& s = table_[id];
 

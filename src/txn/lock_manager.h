@@ -12,6 +12,7 @@
 #ifndef MMDB_TXN_LOCK_MANAGER_H_
 #define MMDB_TXN_LOCK_MANAGER_H_
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -21,6 +22,8 @@
 #include <vector>
 
 namespace mmdb {
+
+class MetricsRegistry;
 
 /// What gets locked: one partition of one relation.  The sentinel partition
 /// kRelationLock covers relation-structure changes (growing a new
@@ -62,6 +65,14 @@ class LockManager {
   /// Total number of held (granted) locks.
   size_t GrantedCount() const;
 
+  /// Wires lock observability into `registry` (pass nullptr to disconnect):
+  /// every Acquire records its wait time into one of four
+  /// `mmdb_lock_wait_micros{mode=...,scope=...}` histograms (mode S/X,
+  /// scope partition/structure) and counts timeouts in
+  /// `mmdb_lock_timeouts_total`.  When tracing is enabled, each call also
+  /// emits a "lock_wait" span tagged the same way.
+  void set_metrics(MetricsRegistry* registry);
+
  private:
   struct LockState {
     // Granted holders; exclusive_holder != 0 means one X holder.
@@ -83,10 +94,18 @@ class LockManager {
   };
 
   bool HoldsShared(const LockState& s, uint64_t txn_id) const;
+  bool AcquireImpl(uint64_t txn_id, const LockId& id, LockMode mode,
+                   std::chrono::steady_clock::time_point deadline);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<LockId, LockState> table_;
+
+  // Observability (optional): wait-time histograms indexed
+  // [mode][scope], scope 0 = partition, 1 = structure.  Cached pointers so
+  // the hot path never touches the registry map.
+  class LatencyHistogram* wait_hist_[2][2] = {};
+  class Counter* timeouts_ = nullptr;
 };
 
 }  // namespace mmdb

@@ -3,6 +3,8 @@
 #include <mutex>
 #include <sstream>
 
+#include "src/util/metrics.h"
+
 namespace mmdb {
 
 OpCounters OpCounters::operator-(const OpCounters& rhs) const {
@@ -76,6 +78,22 @@ void FoldIntoGlobal() {}
 OpCounters AccumulatedSnapshot() { return OpCounters(); }
 void ResetAll() {}
 #endif
+
+void PublishGauges(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  const OpCounters oc = AccumulatedSnapshot();
+  const auto set = [&](const char* name, uint64_t v) {
+    registry->GetGauge(std::string("mmdb_opcounters_") + name)
+        ->Set(static_cast<int64_t>(v));
+  };
+  set("comparisons", oc.comparisons);
+  set("data_moves", oc.data_moves);
+  set("hash_calls", oc.hash_calls);
+  set("node_visits", oc.node_visits);
+  set("rotations", oc.rotations);
+  set("splits", oc.splits);
+  set("merges", oc.merges);
+}
 
 }  // namespace counters
 }  // namespace mmdb

@@ -43,6 +43,8 @@ struct OpCounters {
   std::string ToString() const;
 };
 
+class MetricsRegistry;
+
 namespace counters {
 
 /// Returns a snapshot of the current thread's counters.
@@ -62,6 +64,12 @@ OpCounters AccumulatedSnapshot();
 
 /// Clears the process-wide accumulator and the calling thread's counters.
 void ResetAll();
+
+/// Publishes AccumulatedSnapshot() into `registry` as
+/// `mmdb_opcounters_<field>` gauges (one per OpCounters field).  Workers
+/// fold on every query completion, so the published totals track live
+/// traffic, not just exited threads.
+void PublishGauges(MetricsRegistry* registry);
 
 #if defined(MMDB_COUNTERS)
 namespace detail {

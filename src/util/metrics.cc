@@ -1,0 +1,196 @@
+#include "src/util/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace mmdb {
+namespace {
+
+/// Bucket index for a microsecond value: 0 for <1µs, else 1 + floor(log2),
+/// clamped to the open-ended last bucket.
+size_t BucketOf(uint64_t micros) {
+  if (micros == 0) return 0;
+  const size_t idx = static_cast<size_t>(std::bit_width(micros));
+  return std::min(idx, LatencyHistogram::kBuckets - 1);
+}
+
+/// Splits a metric name into base and label set: `a{b="c"}` -> (`a`,
+/// `b="c"`); no braces -> (name, "").
+void SplitName(const std::string& name, std::string* base,
+               std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  const size_t close = name.rfind('}');
+  *labels = name.substr(brace + 1,
+                        close == std::string::npos ? std::string::npos
+                                                   : close - brace - 1);
+}
+
+/// `base` + optional extra label merged with the series' own labels.
+std::string SeriesName(const std::string& base, const std::string& labels,
+                       const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return base;
+  std::string out = base + "{" + labels;
+  if (!labels.empty() && !extra.empty()) out += ",";
+  out += extra;
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+uint64_t LatencyHistogram::BucketUpperMicros(size_t i) {
+  return uint64_t{1} << i;
+}
+
+void LatencyHistogram::Record(double micros) {
+  const uint64_t us =
+      micros <= 0 ? 0 : static_cast<uint64_t>(std::llround(micros));
+  buckets_[BucketOf(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_micros_.fetch_add(us, std::memory_order_relaxed);
+  uint64_t prev = max_micros_.load(std::memory_order_relaxed);
+  while (us > prev &&
+         !max_micros_.compare_exchange_weak(prev, us,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.total_micros = total_micros_.load(std::memory_order_relaxed);
+  s.max_micros = max_micros_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+double LatencyHistogram::Snapshot::MeanMicros() const {
+  return count == 0 ? 0.0
+                    : static_cast<double>(total_micros) /
+                          static_cast<double>(count);
+}
+
+uint64_t LatencyHistogram::Snapshot::PercentileMicros(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const uint64_t rank = static_cast<uint64_t>(std::ceil(p * count));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // The open last bucket has no upper bound; report the observed max.
+      return i + 1 == kBuckets ? max_micros : BucketUpperMicros(i);
+    }
+  }
+  return max_micros;
+}
+
+std::string LatencyHistogram::Snapshot::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count << " mean=" << MeanMicros() << "us"
+     << " p50<=" << PercentileMicros(0.50) << "us"
+     << " p99<=" << PercentileMicros(0.99) << "us"
+     << " max=" << max_micros << "us";
+  return os.str();
+}
+
+MetricsRegistry::Entry* MetricsRegistry::GetOrCreate(const std::string& name,
+                                                     Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.kind == kind ? &it->second : nullptr;
+  }
+  Entry entry;
+  entry.kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<LatencyHistogram>();
+      break;
+  }
+  return &entries_.emplace(name, std::move(entry)).first->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  Entry* e = GetOrCreate(name, Kind::kCounter);
+  return e == nullptr ? nullptr : e->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  Entry* e = GetOrCreate(name, Kind::kGauge);
+  return e == nullptr ? nullptr : e->gauge.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  Entry* e = GetOrCreate(name, Kind::kHistogram);
+  return e == nullptr ? nullptr : e->histogram.get();
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  // entries_ is name-sorted, so every series of a family (same base,
+  // different labels) is contiguous; emit one # TYPE line per family.
+  std::string last_base;
+  for (const auto& [name, entry] : entries_) {
+    std::string base, labels;
+    SplitName(name, &base, &labels);
+    if (base != last_base) {
+      const char* type = entry.kind == Kind::kCounter    ? "counter"
+                         : entry.kind == Kind::kGauge    ? "gauge"
+                                                         : "histogram";
+      os << "# TYPE " << base << " " << type << "\n";
+      last_base = base;
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        os << SeriesName(base, labels) << " " << entry.counter->Value()
+           << "\n";
+        break;
+      case Kind::kGauge:
+        os << SeriesName(base, labels) << " " << entry.gauge->Value() << "\n";
+        break;
+      case Kind::kHistogram: {
+        const LatencyHistogram::Snapshot s = entry.histogram->Snap();
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+          cumulative += s.buckets[i];
+          std::string le =
+              i + 1 == LatencyHistogram::kBuckets
+                  ? std::string("+Inf")
+                  : std::to_string(LatencyHistogram::BucketUpperMicros(i));
+          os << SeriesName(base + "_bucket", labels, "le=\"" + le + "\"")
+             << " " << cumulative << "\n";
+        }
+        os << SeriesName(base + "_sum", labels) << " " << s.total_micros
+           << "\n";
+        os << SeriesName(base + "_count", labels) << " " << s.count << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mmdb

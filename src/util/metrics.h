@@ -1,0 +1,128 @@
+// Metrics registry: named counters, gauges, and latency histograms with a
+// Prometheus-style text rendering.  This is the service-level half of the
+// paper's Section 3.1 instrumentation ("recording and examining the number
+// of comparisons ... to ensure that the algorithms were doing what they
+// were supposed to"): where OpCounters count algorithmic work per thread,
+// the registry aggregates process-visible series — operations completed,
+// queue depth, lock-wait time — that a production deployment would scrape.
+//
+// Naming follows the Prometheus convention: `mmdb_<subsystem>_<what>` with
+// optional labels in braces (`mmdb_lock_wait_micros{mode="shared",
+// scope="partition"}`), counters suffixed `_total`.  A full name (base +
+// label set) identifies one metric object; GetCounter/GetGauge/GetHistogram
+// are get-or-create, so independent subsystems can share series by name.
+//
+// Thread-safety: metric objects are lock-free atomics safe to bump from
+// any thread; registration and rendering take the registry mutex.  Pointers
+// returned by Get* stay valid for the registry's lifetime (entries are
+// never removed).
+
+#ifndef MMDB_UTIL_METRICS_H_
+#define MMDB_UTIL_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace mmdb {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time level (queue depth, live sessions).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Lock-free latency histogram: power-of-two microsecond buckets
+/// (bucket i counts samples in [2^(i-1), 2^i) µs; bucket 0 is < 1 µs,
+/// the last bucket is open-ended).  Record() is a couple of relaxed
+/// atomic increments, cheap enough to leave on in production.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 22;  // open bucket starts at ~2.1 s
+
+  /// Plain-value snapshot of one histogram.
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t total_micros = 0;
+    uint64_t max_micros = 0;
+    std::array<uint64_t, kBuckets> buckets{};
+
+    double MeanMicros() const;
+    /// Upper-bound estimate of the p-quantile (p in [0,1]) in µs.
+    uint64_t PercentileMicros(double p) const;
+    /// One-line rendering: count/mean/p50/p99/max.
+    std::string ToString() const;
+  };
+
+  /// Inclusive upper bound (µs) of bucket i; the last bucket has none.
+  static uint64_t BucketUpperMicros(size_t i);
+
+  void Record(double micros);
+  Snapshot Snap() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_micros_{0};
+  std::atomic<uint64_t> max_micros_{0};
+};
+
+/// Registry of named metrics.  One per Database; subsystems (lock manager,
+/// query service, shell) get-or-create their series against it.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create.  `name` may carry a label set: `base{k="v",k2="v2"}`.
+  /// Requesting an existing name with a different metric type returns
+  /// nullptr (the name is taken).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// Prometheus text exposition: `# TYPE` per family, `name value` per
+  /// series, histograms as cumulative `_bucket{le=...}` + `_sum`/`_count`.
+  std::string RenderPrometheus() const;
+
+  size_t size() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  Entry* GetOrCreate(const std::string& name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_UTIL_METRICS_H_

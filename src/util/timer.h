@@ -24,6 +24,9 @@ class Timer {
   /// Microseconds elapsed since construction or the last Restart().
   double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
 
+  /// When the stopwatch last started (for cross-thread trace spans).
+  std::chrono::steady_clock::time_point start_time() const { return start_; }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

@@ -1,0 +1,192 @@
+#include "src/util/trace.h"
+
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+namespace mmdb {
+namespace trace {
+namespace {
+
+/// Fixed-capacity ring of completed spans.  One mutex guards writes and
+/// snapshots; spans complete at query/operator granularity (not per tuple),
+/// so contention on it is negligible next to the work being traced.
+struct Ring {
+  std::mutex mu;
+  std::vector<SpanRecord> spans;  // size == capacity once full
+  size_t capacity = 0;
+  size_t next = 0;        // ring write position
+  uint64_t total = 0;     // spans recorded since Enable
+  Clock::time_point epoch{};  // ts origin for the JSON dump
+};
+
+Ring& GlobalRing() {
+  static Ring* ring = new Ring();
+  return *ring;
+}
+
+std::atomic<uint32_t> g_next_tid{1};
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      *out += ' ';
+    } else {
+      *out += c;
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+thread_local uint32_t tls_tid = 0;
+thread_local uint32_t tls_depth = 0;
+
+uint32_t ThreadId() {
+  if (tls_tid == 0) {
+    tls_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_tid;
+}
+
+uint32_t EnterSpan() { return tls_depth++; }
+void LeaveSpan() {
+  if (tls_depth > 0) --tls_depth;
+}
+
+void PushSpan(const char* name, Clock::time_point start,
+              Clock::time_point end, std::string args, uint32_t depth) {
+  SpanRecord rec;
+  rec.name = name;
+  rec.args = std::move(args);
+  rec.start = start;
+  rec.dur_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count());
+  rec.tid = ThreadId();
+  rec.depth = depth;
+
+  Ring& ring = GlobalRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  if (ring.capacity == 0) return;  // disabled and never enabled
+  if (ring.spans.size() < ring.capacity) {
+    ring.spans.push_back(std::move(rec));
+  } else {
+    ring.spans[ring.next] = std::move(rec);
+  }
+  ring.next = (ring.next + 1) % ring.capacity;
+  ++ring.total;
+}
+
+}  // namespace detail
+
+void Enable(size_t capacity) {
+  Ring& ring = GlobalRing();
+  {
+    std::lock_guard<std::mutex> lock(ring.mu);
+    ring.spans.clear();
+    ring.spans.reserve(capacity);
+    ring.capacity = capacity == 0 ? 1 : capacity;
+    ring.next = 0;
+    ring.total = 0;
+    ring.epoch = Clock::now();
+  }
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Disable() {
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void Clear() {
+  Ring& ring = GlobalRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.spans.clear();
+  ring.next = 0;
+  ring.total = 0;
+}
+
+std::vector<SpanRecord> Snapshot() {
+  Ring& ring = GlobalRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  std::vector<SpanRecord> out;
+  out.reserve(ring.spans.size());
+  // Oldest first: when the ring has wrapped, `next` points at the oldest.
+  const size_t n = ring.spans.size();
+  const size_t first = n < ring.capacity ? 0 : ring.next;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(ring.spans[(first + i) % n]);
+  }
+  return out;
+}
+
+uint64_t TotalRecorded() {
+  Ring& ring = GlobalRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  return ring.total;
+}
+
+std::string ToChromeJson() {
+  Clock::time_point epoch;
+  {
+    Ring& ring = GlobalRing();
+    std::lock_guard<std::mutex> lock(ring.mu);
+    epoch = ring.epoch;
+  }
+  const std::vector<SpanRecord> spans = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    const double ts =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(s.start -
+                                                                 epoch)
+                .count()) /
+        1e3;
+    std::string event = "{\"name\":\"";
+    AppendEscaped(&event, s.name);
+    event += "\",\"cat\":\"mmdb\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+             std::to_string(s.tid);
+    {
+      std::ostringstream num;
+      num << ",\"ts\":" << ts << ",\"dur\":" << s.DurMicros();
+      event += num.str();
+    }
+    if (!s.args.empty()) {
+      event += ",\"args\":{" + s.args + "}";
+    }
+    event += "}";
+    out += event;
+  }
+  out += "]}";
+  return out;
+}
+
+bool WriteChromeJson(const std::string& path, std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  out << ToChromeJson();
+  out.close();
+  if (!out) {
+    if (error != nullptr) *error = "write failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace trace
+}  // namespace mmdb

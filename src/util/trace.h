@@ -1,0 +1,135 @@
+// Lightweight span tracing for the query lifecycle.  The paper validated
+// its algorithms by *counting* work (Section 3.1); tracing adds the time
+// dimension: where inside one query the microseconds went — queue wait,
+// lock wait, planning, each operator — attributed to the exact query that
+// paid them.
+//
+// Design:
+//   * a process-global on/off flag (relaxed atomic).  When tracing is off,
+//     a Span construction is one relaxed load and a branch — cheap enough
+//     to leave the instrumentation compiled in everywhere;
+//   * completed spans land in a global fixed-capacity ring buffer (oldest
+//     overwritten), so tracing never allocates without bound;
+//   * span names are string literals; optional args are a preformatted
+//     JSON-fragment string ("\"mode\":\"S\"") built only when enabled;
+//   * nesting is tracked per thread (a thread-local depth counter — the
+//     span *stack*); cross-thread intervals (queue wait measured from
+//     Submit on the client thread to dequeue on the worker) use
+//     RecordSpan with explicit start/end timestamps;
+//   * ToChromeJson() renders the buffer in the chrome://tracing /
+//     Perfetto "traceEvents" format (ph:"X" complete events, ts/dur µs).
+
+#ifndef MMDB_UTIL_TRACE_H_
+#define MMDB_UTIL_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mmdb {
+namespace trace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One completed span, as stored in the ring buffer.
+struct SpanRecord {
+  const char* name = "";        ///< static string (span site)
+  std::string args;             ///< JSON fragment, e.g. "\"mode\":\"S\""
+  Clock::time_point start{};
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;             ///< small per-thread id (not the OS tid)
+  uint32_t depth = 0;           ///< nesting depth on that thread
+
+  double DurMicros() const { return static_cast<double>(dur_ns) / 1e3; }
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+void PushSpan(const char* name, Clock::time_point start,
+              Clock::time_point end, std::string args, uint32_t depth);
+uint32_t ThreadId();
+uint32_t EnterSpan();  // returns depth before increment
+void LeaveSpan();
+}  // namespace detail
+
+/// Whether spans are currently being recorded.  One relaxed load.
+inline bool Enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Starts recording into a fresh ring buffer of `capacity` spans.
+void Enable(size_t capacity = 1 << 16);
+
+/// Stops recording.  The buffer keeps its contents for Snapshot/ToChromeJson.
+void Disable();
+
+/// Discards all recorded spans (recording state unchanged).
+void Clear();
+
+/// Copies out the recorded spans, oldest first.
+std::vector<SpanRecord> Snapshot();
+
+/// Total spans recorded since Enable (including any the ring dropped).
+uint64_t TotalRecorded();
+
+/// chrome://tracing "traceEvents" JSON for the current buffer contents.
+std::string ToChromeJson();
+
+/// Writes ToChromeJson() to `path`.  Returns false (and sets *error) on
+/// I/O failure.
+bool WriteChromeJson(const std::string& path, std::string* error = nullptr);
+
+/// Records an explicit interval (cross-thread spans like queue wait).
+inline void RecordSpan(const char* name, Clock::time_point start,
+                       Clock::time_point end, std::string args = {}) {
+  if (!Enabled()) return;
+  detail::PushSpan(name, start, end, std::move(args), 0);
+}
+
+/// RAII span: times the enclosing scope on the current thread.  Does
+/// nothing (and costs one relaxed load) when tracing is disabled.
+class Span {
+ public:
+  explicit Span(const char* name) : name_(name), active_(Enabled()) {
+    if (active_) {
+      depth_ = detail::EnterSpan();
+      start_ = Clock::now();
+    }
+  }
+  Span(const char* name, std::string args) : Span(name) {
+    if (active_) args_ = std::move(args);
+  }
+  ~Span() {
+    if (active_) {
+      detail::PushSpan(name_, start_, Clock::now(), std::move(args_), depth_);
+      detail::LeaveSpan();
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return active_; }
+
+  /// Appends a JSON fragment ("\"k\":\"v\"") to the span's args.  No-op
+  /// when inactive, so callers may build the string behind `if (active())`.
+  void AddArgs(const std::string& fragment) {
+    if (!active_ || fragment.empty()) return;
+    if (!args_.empty()) args_ += ",";
+    args_ += fragment;
+  }
+
+ private:
+  const char* name_;
+  bool active_;
+  uint32_t depth_ = 0;
+  Clock::time_point start_{};
+  std::string args_;
+};
+
+}  // namespace trace
+}  // namespace mmdb
+
+#endif  // MMDB_UTIL_TRACE_H_

@@ -1,0 +1,193 @@
+// EXPLAIN ANALYZE: per-operator plan-node stats (estimated cost, actual
+// rows, OpCounters deltas, wall time) through QueryBuilder::Analyze(), the
+// shell's EXPLAIN ANALYZE statement, and the planner's cost estimates.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/database.h"
+#include "src/core/planner.h"
+#include "src/core/query.h"
+#include "src/core/shell.h"
+
+namespace mmdb {
+namespace {
+
+/// Two relations with enough rows for exact, hand-checkable counts:
+/// `grp` holds ids 0..9; `item` holds 100 rows whose `gid` cycles 0..9
+/// (10 items per group).
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.CreateTable("grp", {{"id", Type::kInt32}, {"tag", Type::kString}});
+    db_.CreateTable("item", {{"id", Type::kInt32},
+                             {"gid", Type::kInt32},
+                             {"score", Type::kInt32}});
+    for (int g = 0; g < 10; ++g) {
+      db_.Insert("grp", {Value(g), Value("tag" + std::to_string(g))});
+    }
+    for (int i = 0; i < 100; ++i) {
+      db_.Insert("item", {Value(i), Value(i % 10), Value(i % 7)});
+    }
+  }
+
+  Database db_;
+};
+
+TEST_F(ExplainTest, SingleTableSelectTree) {
+  QueryResult r = db_.Query("item")
+                      .Where("gid", CompareOp::kEq, 3)
+                      .Analyze()
+                      .Run();
+  ASSERT_TRUE(r.analyzed);
+  EXPECT_EQ(r.rows.size(), 10u);
+
+  // Root: whole-query totals; one child: the select stage.
+  EXPECT_EQ(r.analyze.actual_rows, 10u);
+  ASSERT_EQ(r.analyze.children.size(), 1u);
+  const PlanNodeStats& select = r.analyze.children[0];
+  EXPECT_EQ(select.actual_rows, 10u);
+  EXPECT_NE(select.label.find("select(item)"), std::string::npos);
+  // No index on gid: sequential scan over 100 rows, est cost = n = 100.
+  EXPECT_DOUBLE_EQ(select.est_cost, 100.0);
+  EXPECT_GE(select.wall_micros, 0.0);
+#if defined(MMDB_COUNTERS)
+  // The scan compared gid on every row; the counters must show it.
+  EXPECT_GE(select.ops.comparisons, 100u);
+#endif
+}
+
+TEST_F(ExplainTest, TwoRelationJoinTreeHasExactRowCounts) {
+  // select grp where id<3 (3 rows), then join item on gid: 3 groups x 10
+  // items = 30 output rows.
+  QueryResult r = db_.Query("grp")
+                      .Where("id", CompareOp::kLt, 3)
+                      .JoinWith("item", "id", "gid")
+                      .Select({"grp.tag", "item.id"})
+                      .Analyze()
+                      .Run();
+  ASSERT_TRUE(r.analyzed);
+  ASSERT_EQ(r.rows.size(), 30u);
+
+  ASSERT_EQ(r.analyze.children.size(), 2u);
+  const PlanNodeStats& select = r.analyze.children[0];
+  const PlanNodeStats& join = r.analyze.children[1];
+  EXPECT_NE(select.label.find("select(grp)"), std::string::npos);
+  EXPECT_EQ(select.actual_rows, 3u);  // exact: ids 0,1,2
+  EXPECT_NE(join.label.find("join(item)"), std::string::npos);
+  EXPECT_EQ(join.actual_rows, 30u);  // exact: 3 groups x 10 items
+  EXPECT_EQ(r.analyze.actual_rows, 30u);
+  EXPECT_GT(select.est_cost, 0.0);
+  EXPECT_GT(join.est_cost, 0.0);
+  // Root estimate aggregates the stages.
+  EXPECT_DOUBLE_EQ(r.analyze.est_cost, select.est_cost + join.est_cost);
+#if defined(MMDB_COUNTERS)
+  // The hash build+probe spent hash calls; they belong to the join node,
+  // not the select node.
+  EXPECT_GT(join.ops.hash_calls, 0u);
+#endif
+}
+
+TEST_F(ExplainTest, RenderShowsCostRowsTimePerLine) {
+  QueryResult r = db_.Query("grp")
+                      .Where("id", CompareOp::kLt, 3)
+                      .JoinWith("item", "id", "gid")
+                      .Analyze()
+                      .Run();
+  ASSERT_TRUE(r.analyzed);
+  const std::string tree = r.analyze.Render();
+  EXPECT_NE(tree.find("query(grp)"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("-> select(grp)"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("-> join(item)"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("cost="), std::string::npos);
+  EXPECT_NE(tree.find("rows=30"), std::string::npos);
+  EXPECT_NE(tree.find("time="), std::string::npos);
+  EXPECT_NE(tree.find("cmp="), std::string::npos);  // OpCounters rendering
+}
+
+TEST_F(ExplainTest, DistinctAndOrderNodesAppear) {
+  QueryResult r = db_.Query("item")
+                      .Where("score", CompareOp::kEq, 0)
+                      .Select({"item.gid"})
+                      .Distinct()
+                      .OrderBySelected()
+                      .Analyze()
+                      .Run();
+  ASSERT_TRUE(r.analyzed);
+  ASSERT_EQ(r.analyze.children.size(), 3u);
+  EXPECT_NE(r.analyze.children[1].label.find("distinct"), std::string::npos);
+  EXPECT_NE(r.analyze.children[2].label.find("order by"), std::string::npos);
+  // Distinct output = order input = root output rows.
+  EXPECT_EQ(r.analyze.children[2].actual_rows, r.rows.size());
+}
+
+TEST_F(ExplainTest, PlainRunLeavesAnalyzeOff) {
+  QueryResult r = db_.Query("item").Where("gid", CompareOp::kEq, 3).Run();
+  EXPECT_FALSE(r.analyzed);
+  EXPECT_TRUE(r.analyze.children.empty());
+}
+
+TEST_F(ExplainTest, ErrorQueriesReportNoAnalyzeTree) {
+  QueryResult r = db_.Query("nope").Analyze().Run();
+  EXPECT_FALSE(r.analyzed);
+  EXPECT_EQ(r.plan.rfind("error:", 0), 0u) << r.plan;
+}
+
+// ---- Planner estimates ------------------------------------------------------
+
+TEST_F(ExplainTest, SelectEstimatesFollowTheAccessPathOrdering) {
+  Relation* item = db_.GetTable("item");
+  Predicate pred;
+  pred.Add(1, CompareOp::kEq, Value(3));  // gid = 3
+  const double scan =
+      Planner::EstimateSelectCost(*item, pred, AccessPath::kSequentialScan);
+  const double tree =
+      Planner::EstimateSelectCost(*item, pred, AccessPath::kTreeLookup);
+  const double hash =
+      Planner::EstimateSelectCost(*item, pred, AccessPath::kHashLookup);
+  // The paper's selection preference order: hash < tree < scan.
+  EXPECT_LT(hash, tree);
+  EXPECT_LT(tree, scan);
+  EXPECT_DOUBLE_EQ(scan, 100.0);
+}
+
+TEST_F(ExplainTest, JoinEstimatesRankNestedLoopsWorst) {
+  Relation* grp = db_.GetTable("grp");
+  Relation* item = db_.GetTable("item");
+  JoinSpec spec{grp, 0, item, 1};
+  const double hash = Planner::EstimateJoinCost(spec, JoinMethod::kHashJoin);
+  const double merge =
+      Planner::EstimateJoinCost(spec, JoinMethod::kTreeMerge);
+  const double nested =
+      Planner::EstimateJoinCost(spec, JoinMethod::kNestedLoops);
+  EXPECT_DOUBLE_EQ(hash, 110.0);    // |R1| + |R2|
+  EXPECT_DOUBLE_EQ(merge, 210.0);   // |R1| + 2|R2|
+  EXPECT_DOUBLE_EQ(nested, 1000.0); // |R1| * |R2|
+  EXPECT_LT(hash, nested);
+}
+
+// ---- Shell ------------------------------------------------------------------
+
+TEST_F(ExplainTest, ShellExplainAnalyzeExecutesAndPrintsTree) {
+  CommandShell shell(&db_);
+  const std::string out = shell.Execute(
+      "EXPLAIN ANALYZE SELECT grp.tag, item.id FROM grp "
+      "JOIN item ON id = gid WHERE id < 3");
+  EXPECT_EQ(out.find("error"), std::string::npos) << out;
+  EXPECT_NE(out.find("query(grp)"), std::string::npos) << out;
+  EXPECT_NE(out.find("rows=30"), std::string::npos) << out;
+  EXPECT_NE(out.find("cost="), std::string::npos) << out;
+  EXPECT_NE(out.find("(30 rows)"), std::string::npos) << out;
+}
+
+TEST_F(ExplainTest, ShellPlainExplainStillSkipsExecution) {
+  CommandShell shell(&db_);
+  const std::string out =
+      shell.Execute("EXPLAIN SELECT item.id FROM item WHERE gid = 3");
+  EXPECT_EQ(out.rfind("plan: ", 0), 0u) << out;
+  EXPECT_EQ(out.find("rows="), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace mmdb

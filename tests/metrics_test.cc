@@ -1,0 +1,231 @@
+// Direct unit tests for src/util/metrics: LatencyHistogram bucket
+// boundaries and percentile edge cases, the registry's get-or-create
+// semantics, and the Prometheus text rendering.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/metrics.h"
+
+namespace mmdb {
+namespace {
+
+uint64_t BucketSum(const LatencyHistogram::Snapshot& s) {
+  uint64_t sum = 0;
+  for (uint64_t b : s.buckets) sum += b;
+  return sum;
+}
+
+// ---- LatencyHistogram buckets ----------------------------------------------
+
+TEST(LatencyHistogramTest, BucketBoundariesAtOneAndTwoMicros) {
+  LatencyHistogram h;
+  h.Record(0.0);  // <1µs -> bucket 0
+  h.Record(0.4);  // rounds to 0µs -> bucket 0
+  h.Record(1.0);  // [1,2) -> bucket 1
+  h.Record(2.0);  // [2,4) -> bucket 2
+  h.Record(3.0);  // [2,4) -> bucket 2
+  h.Record(4.0);  // [4,8) -> bucket 3
+  auto s = h.Snap();
+  EXPECT_EQ(s.buckets[0], 2u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 2u);
+  EXPECT_EQ(s.buckets[3], 1u);
+  EXPECT_EQ(s.count, 6u);
+  EXPECT_EQ(BucketSum(s), s.count);
+}
+
+TEST(LatencyHistogramTest, OpenEndedLastBucketCatchesEverythingHuge) {
+  LatencyHistogram h;
+  // Far beyond the last bounded bucket (~2.1s): must land in the open
+  // bucket, not overflow the array.
+  h.Record(1e12);
+  h.Record(1e15);
+  auto s = h.Snap();
+  EXPECT_EQ(s.buckets[LatencyHistogram::kBuckets - 1], 2u);
+  EXPECT_EQ(s.count, 2u);
+}
+
+TEST(LatencyHistogramTest, NegativeSamplesClampToZero) {
+  LatencyHistogram h;
+  h.Record(-5.0);
+  auto s = h.Snap();
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.total_micros, 0u);
+}
+
+// ---- Percentile edge cases --------------------------------------------------
+
+TEST(LatencyHistogramTest, PercentileOnEmptyHistogramIsZero) {
+  LatencyHistogram h;
+  auto s = h.Snap();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.PercentileMicros(0.0), 0u);
+  EXPECT_EQ(s.PercentileMicros(0.5), 0u);
+  EXPECT_EQ(s.PercentileMicros(1.0), 0u);
+  EXPECT_EQ(s.MeanMicros(), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentileWithSingleSample) {
+  LatencyHistogram h;
+  h.Record(100.0);  // bucket [64,128) -> upper bound 128
+  auto s = h.Snap();
+  EXPECT_EQ(s.PercentileMicros(0.01), 128u);
+  EXPECT_EQ(s.PercentileMicros(0.50), 128u);
+  EXPECT_EQ(s.PercentileMicros(0.99), 128u);
+  EXPECT_EQ(s.max_micros, 100u);
+}
+
+TEST(LatencyHistogramTest, PercentileInSaturatedOpenBucketReportsMax) {
+  LatencyHistogram h;
+  // Every sample beyond the bounded buckets: the open bucket has no upper
+  // bound, so the estimate must fall back to the observed max.
+  h.Record(3e9);
+  h.Record(4e9);
+  h.Record(5e9);
+  auto s = h.Snap();
+  EXPECT_EQ(s.PercentileMicros(0.50), 5000000000u);
+  EXPECT_EQ(s.PercentileMicros(0.99), 5000000000u);
+}
+
+TEST(LatencyHistogramTest, PercentileClampsOutOfRangeP) {
+  LatencyHistogram h;
+  for (int i = 0; i < 8; ++i) h.Record(10.0);
+  auto s = h.Snap();
+  EXPECT_EQ(s.PercentileMicros(-1.0), s.PercentileMicros(0.0));
+  EXPECT_EQ(s.PercentileMicros(2.0), s.PercentileMicros(1.0));
+}
+
+// ---- Snapshot vs. concurrent Record ----------------------------------------
+
+TEST(LatencyHistogramTest, SnapshotRacesWithRecordersStayCoherent) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> recorders;
+  recorders.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&] {
+      while (!go.load()) {
+      }
+      for (int i = 0; i < kPerThread; ++i) h.Record(double(i % 512));
+    });
+  }
+  go.store(true);
+  // Record() bumps the bucket before the count and Snap() reads the count
+  // first, so a racing snapshot may see more bucket entries than count —
+  // but never fewer.
+  for (int i = 0; i < 200; ++i) {
+    auto s = h.Snap();
+    EXPECT_GE(BucketSum(s), s.count);
+  }
+  for (auto& t : recorders) t.join();
+  auto s = h.Snap();
+  EXPECT_EQ(s.count, uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(BucketSum(s), s.count);
+  EXPECT_EQ(s.max_micros, 511u);
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsSamePointer) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("mmdb_test_total");
+  Counter* b = reg.GetCounter("mmdb_test_total");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(b->Value(), 3u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, KindMismatchReturnsNull) {
+  MetricsRegistry reg;
+  ASSERT_NE(reg.GetCounter("mmdb_taken"), nullptr);
+  EXPECT_EQ(reg.GetGauge("mmdb_taken"), nullptr);
+  EXPECT_EQ(reg.GetHistogram("mmdb_taken"), nullptr);
+}
+
+TEST(MetricsRegistryTest, LabeledSeriesAreDistinct) {
+  MetricsRegistry reg;
+  Counter* s = reg.GetCounter("mmdb_ops_total{op=\"select\"}");
+  Counter* i = reg.GetCounter("mmdb_ops_total{op=\"insert\"}");
+  ASSERT_NE(s, nullptr);
+  ASSERT_NE(i, nullptr);
+  EXPECT_NE(s, i);
+  s->Add(5);
+  i->Add(2);
+  const std::string text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("mmdb_ops_total{op=\"select\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("mmdb_ops_total{op=\"insert\"} 2"), std::string::npos);
+  // One # TYPE line for the whole family, not one per labeled series.
+  size_t first = text.find("# TYPE mmdb_ops_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE mmdb_ops_total counter", first + 1),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  Gauge* g = reg.GetGauge("mmdb_depth");
+  g->Set(7);
+  g->Add(-3);
+  EXPECT_EQ(g->Value(), 4);
+  EXPECT_NE(reg.RenderPrometheus().find("mmdb_depth 4"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusHistogramIsCumulativeAndEndsAtInf) {
+  MetricsRegistry reg;
+  LatencyHistogram* h = reg.GetHistogram("mmdb_wait_micros");
+  h->Record(1.0);   // bucket 1 (le=2)
+  h->Record(10.0);  // bucket 4 (le=16)
+  h->Record(10.0);
+  const std::string text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE mmdb_wait_micros histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("mmdb_wait_micros_bucket{le=\"2\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("mmdb_wait_micros_bucket{le=\"16\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("mmdb_wait_micros_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("mmdb_wait_micros_sum 21"), std::string::npos);
+  EXPECT_NE(text.find("mmdb_wait_micros_count 3"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, RenderedCountersParseBackToTheirValues) {
+  MetricsRegistry reg;
+  reg.GetCounter("mmdb_a_total")->Add(11);
+  reg.GetCounter("mmdb_b_total")->Add(22);
+  reg.GetGauge("mmdb_c")->Set(-9);
+  std::istringstream in(reg.RenderPrometheus());
+  std::string line;
+  int parsed = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    const long long value = std::stoll(line.substr(space + 1));
+    if (name == "mmdb_a_total") {
+      EXPECT_EQ(value, 11);
+      ++parsed;
+    } else if (name == "mmdb_b_total") {
+      EXPECT_EQ(value, 22);
+      ++parsed;
+    } else if (name == "mmdb_c") {
+      EXPECT_EQ(value, -9);
+      ++parsed;
+    }
+  }
+  EXPECT_EQ(parsed, 3);
+}
+
+}  // namespace
+}  // namespace mmdb

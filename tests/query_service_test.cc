@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,6 +19,8 @@
 #include "src/server/work_queue.h"
 #include "src/storage/tuple.h"
 #include "src/util/counters.h"
+#include "src/util/timer.h"
+#include "src/util/trace.h"
 
 namespace mmdb {
 namespace {
@@ -474,6 +478,168 @@ TEST(QueryServiceTest, WorkerCountersFoldIntoGlobalAccumulator) {
   EXPECT_GT(total.comparisons + total.node_visits, 0u)
       << "worker-side index work was not folded: " << total.ToString();
 #endif
+}
+
+// Regression: workers fold per completed query, not only at thread exit —
+// a scrape taken while the pool is still alive must see the work already
+// done (the old exit-only fold left the accumulator stale for the entire
+// service lifetime).
+TEST(QueryServiceTest, CountersFoldPerQueryWhileWorkersStillRun) {
+  counters::ResetAll();
+  auto db = MakeEmpDb(200);
+  QueryService service(db.get(), ServiceOptions{.workers = 2});
+  Session* s = service.OpenSession();
+  SelectSpec sel;
+  sel.table = "emp";
+  sel.where = {Eq("id", Value(42))};
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(s->Select(sel).ok());
+#if defined(MMDB_COUNTERS)
+  // No Shutdown: the workers are alive and their thread-locals uncounted
+  // unless the per-query fold happened.
+  OpCounters total = counters::AccumulatedSnapshot();
+  EXPECT_GT(total.comparisons + total.node_visits, 0u)
+      << "per-query fold missing: " << total.ToString();
+#endif
+  service.Shutdown();
+}
+
+// ---- Tracing through the service -------------------------------------------
+
+// The per-query spans (queue_wait + execute) must fit inside the latency
+// the client measured around Execute() — they partition the same interval.
+TEST(QueryServiceTest, TraceSpansSumWithinEndToEndLatency) {
+  auto db = MakeEmpDb(500);
+  QueryService service(db.get(), ServiceOptions{.workers = 1});
+  Session* s = service.OpenSession();
+  SelectSpec sel;
+  sel.table = "emp";
+  sel.where = {Eq("age", Value(30))};
+
+  trace::Enable();
+  Timer e2e;
+  ASSERT_TRUE(s->Select(sel).ok());
+  const double e2e_micros = e2e.ElapsedMicros();
+  trace::Disable();
+
+  double queue_wait = 0.0, execute = 0.0, lock_wait = 0.0;
+  int execute_spans = 0;
+  for (const trace::SpanRecord& span : trace::Snapshot()) {
+    const std::string name = span.name;
+    if (name == "queue_wait") queue_wait += span.DurMicros();
+    if (name == "execute") {
+      execute += span.DurMicros();
+      ++execute_spans;
+    }
+    if (name == "lock_wait") lock_wait += span.DurMicros();
+  }
+  ASSERT_EQ(execute_spans, 1);
+  EXPECT_GT(execute, 0.0);
+  // Generous slack: the client also pays promise/future wakeup latency,
+  // so the span sum must come in *under* the end-to-end time.
+  EXPECT_LE(queue_wait + execute, e2e_micros)
+      << "queue_wait=" << queue_wait << " execute=" << execute
+      << " e2e=" << e2e_micros;
+  // Lock waits happen inside execution.
+  EXPECT_LE(lock_wait, execute);
+  service.Shutdown();
+}
+
+// ---- Metrics endpoint -------------------------------------------------------
+
+// Scrape-and-parse: every former ServiceStats field must be present as an
+// `mmdb_service_*` series with a value matching Stats(), and the lock
+// manager's wait histograms must be exposed.
+TEST(QueryServiceTest, MetricsTextExposesServiceStatsAndLockWaits) {
+  auto db = MakeEmpDb(100);
+  QueryService service(db.get(), ServiceOptions{.workers = 2});
+  Session* s = service.OpenSession();
+  SelectSpec sel;
+  sel.table = "emp";
+  sel.where = {Eq("id", Value(7))};
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(s->Select(sel).ok());
+  ASSERT_TRUE(s->Insert(InsertSpec{"emp", {Value(1000), Value(30),
+                                           Value("new")}}).ok());
+
+  const ServiceStats stats = service.Stats();
+  const std::string text = service.MetricsText();
+
+  // Parse `name value` lines into a map.
+  std::map<std::string, long long> series;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    series[line.substr(0, space)] = std::stoll(line.substr(space + 1));
+  }
+
+  EXPECT_EQ(series["mmdb_service_submitted_total"],
+            static_cast<long long>(stats.submitted));
+  EXPECT_EQ(series["mmdb_service_rejected_total"],
+            static_cast<long long>(stats.rejected));
+  EXPECT_EQ(series["mmdb_service_started_total"],
+            static_cast<long long>(stats.started));
+  EXPECT_EQ(series["mmdb_service_completed_total"],
+            static_cast<long long>(stats.completed));
+  EXPECT_EQ(series["mmdb_service_failed_total"],
+            static_cast<long long>(stats.failed));
+  EXPECT_EQ(series["mmdb_service_aborted_total"],
+            static_cast<long long>(stats.aborted));
+  EXPECT_EQ(series["mmdb_service_retries_total"],
+            static_cast<long long>(stats.retries));
+  EXPECT_EQ(series["mmdb_service_sessions_opened_total"], 1);
+  ASSERT_TRUE(series.count("mmdb_service_sessions_closed_total"));
+  ASSERT_TRUE(series.count("mmdb_service_queue_depth"));
+  ASSERT_TRUE(series.count("mmdb_service_queue_depth_hwm"));
+
+  // Per-op latency histograms: the six selects+insert all recorded.
+  EXPECT_EQ(series["mmdb_service_latency_micros_count{op=\"select\"}"], 5);
+  EXPECT_EQ(series["mmdb_service_latency_micros_count{op=\"insert\"}"], 1);
+  EXPECT_EQ(series["mmdb_service_queue_wait_micros_count"], 6);
+
+  // Lock-wait histograms from the LockManager: reads took shared locks,
+  // the insert took the structure lock exclusive.
+  EXPECT_GT(
+      series["mmdb_lock_wait_micros_count{mode=\"shared\",scope=\"partition\"}"],
+      0);
+  EXPECT_GT(series["mmdb_lock_wait_micros_count{mode=\"exclusive\","
+                   "scope=\"structure\"}"],
+            0);
+  ASSERT_TRUE(series.count("mmdb_lock_timeouts_total"));
+
+#if defined(MMDB_COUNTERS)
+  // Accumulated OpCounters ride along as gauges.
+  EXPECT_GT(series["mmdb_opcounters_comparisons"], 0);
+#endif
+  service.Shutdown();
+}
+
+// ---- EXPLAIN ANALYZE through the service ------------------------------------
+
+TEST(QueryServiceTest, AnalyzeFlagReturnsPlanNodeTree) {
+  auto db = MakeEmpDb(50);
+  QueryService service(db.get(), ServiceOptions{.workers = 1});
+  Session* s = service.OpenSession();
+  SelectSpec sel;
+  sel.table = "emp";
+  sel.where = {Eq("age", Value(25))};
+  sel.analyze = true;
+  OpResult r = s->Select(sel);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_FALSE(r.analyze.empty());
+  EXPECT_NE(r.analyze.find("query(emp)"), std::string::npos) << r.analyze;
+  EXPECT_NE(r.analyze.find("cost="), std::string::npos);
+  EXPECT_NE(r.analyze.find("rows=" + std::to_string(r.rows.size())),
+            std::string::npos)
+      << r.analyze;
+
+  // Without the flag the field stays empty.
+  sel.analyze = false;
+  OpResult plain = s->Select(sel);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain.analyze.empty());
+  service.Shutdown();
 }
 
 }  // namespace

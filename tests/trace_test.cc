@@ -1,0 +1,160 @@
+// Tests for src/util/trace: span recording on/off, nesting depth, the
+// ring buffer's overwrite discipline, cross-thread RecordSpan, and the
+// chrome://tracing JSON rendering.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/trace.h"
+
+namespace mmdb {
+namespace {
+
+// Tracing state is process-global; every test starts from scratch.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { trace::Disable(); }
+  void TearDown() override { trace::Disable(); }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  trace::Enable();
+  trace::Disable();
+  {
+    trace::Span span("ignored");
+    EXPECT_FALSE(span.active());
+  }
+  trace::RecordSpan("also_ignored", trace::Clock::now(), trace::Clock::now());
+  EXPECT_TRUE(trace::Snapshot().empty());
+  EXPECT_EQ(trace::TotalRecorded(), 0u);
+}
+
+TEST_F(TraceTest, SpansNestWithDepthAndCloseInnerFirst) {
+  trace::Enable();
+  {
+    trace::Span outer("outer");
+    trace::Span inner("inner");
+    EXPECT_TRUE(outer.active());
+    EXPECT_TRUE(inner.active());
+  }
+  auto spans = trace::Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Spans land when they *close*: inner first at depth 1, outer at 0.
+  EXPECT_STREQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_STREQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].depth, 0u);
+  EXPECT_GE(spans[1].dur_ns, spans[0].dur_ns);  // outer encloses inner
+  EXPECT_EQ(spans[0].tid, spans[1].tid);
+}
+
+TEST_F(TraceTest, ArgsFragmentsJoinWithCommas) {
+  trace::Enable();
+  {
+    trace::Span span("tagged");
+    span.AddArgs("\"mode\":\"S\"");
+    span.AddArgs("\"partition\":3");
+  }
+  auto spans = trace::Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].args, "\"mode\":\"S\",\"partition\":3");
+}
+
+TEST_F(TraceTest, RingOverwritesOldestButCountsEverything) {
+  trace::Enable(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    trace::Span span("s");
+  }
+  auto spans = trace::Snapshot();
+  EXPECT_EQ(spans.size(), 4u);
+  EXPECT_EQ(trace::TotalRecorded(), 10u);
+}
+
+TEST_F(TraceTest, EnableResetsTheBufferAndClearKeepsRecording) {
+  trace::Enable();
+  { trace::Span span("first"); }
+  trace::Enable();  // fresh buffer
+  EXPECT_TRUE(trace::Snapshot().empty());
+  { trace::Span span("second"); }
+  trace::Clear();
+  EXPECT_TRUE(trace::Snapshot().empty());
+  { trace::Span span("third"); }  // still enabled after Clear
+  ASSERT_EQ(trace::Snapshot().size(), 1u);
+  EXPECT_STREQ(trace::Snapshot()[0].name, "third");
+}
+
+TEST_F(TraceTest, CrossThreadRecordSpanAndDistinctThreadIds) {
+  trace::Enable();
+  const auto start = trace::Clock::now();
+  uint32_t main_tid = 0;
+  {
+    trace::Span span("on_main");
+  }
+  std::thread worker([&] {
+    trace::RecordSpan("queue_wait", start, trace::Clock::now(),
+                      "\"queued\":true");
+    trace::Span span("on_worker");
+  });
+  worker.join();
+  auto spans = trace::Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  main_tid = spans[0].tid;
+  EXPECT_STREQ(spans[1].name, "queue_wait");
+  EXPECT_NE(spans[1].tid, main_tid);
+  EXPECT_EQ(spans[1].args, "\"queued\":true");
+  EXPECT_GT(spans[1].dur_ns, 0u);
+}
+
+TEST_F(TraceTest, ChromeJsonHasTraceEventsWithCompletePhase) {
+  trace::Enable();
+  {
+    trace::Span span("render_me");
+    span.AddArgs("\"k\":\"v\"");
+  }
+  const std::string json = trace::ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"render_me\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"k\":\"v\""), std::string::npos);
+}
+
+TEST_F(TraceTest, WriteChromeJsonRoundTripsThroughAFile) {
+  trace::Enable();
+  { trace::Span span("to_disk"); }
+  const std::string path = ::testing::TempDir() + "mmdb_trace_test.json";
+  std::string error;
+  ASSERT_TRUE(trace::WriteChromeJson(path, &error)) << error;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(contents.find("to_disk"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, ConcurrentSpansFromManyThreadsAllLand) {
+  trace::Enable(1 << 12);
+  constexpr int kThreads = 4;
+  constexpr int kSpansEach = 100;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansEach; ++i) {
+        trace::Span span("burst");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(trace::TotalRecorded(), uint64_t{kThreads} * kSpansEach);
+  EXPECT_EQ(trace::Snapshot().size(), size_t{kThreads} * kSpansEach);
+}
+
+}  // namespace
+}  // namespace mmdb
