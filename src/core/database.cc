@@ -6,6 +6,7 @@
 
 #include "src/core/query.h"
 #include "src/index/key_ops.h"
+#include "src/index/partitioned_index.h"
 
 namespace mmdb {
 
@@ -47,8 +48,20 @@ TupleIndex* Database::AttachNewIndex(Relation* rel,
   } else {
     ops = std::make_shared<CompositeKeyOps>(&rel->schema(), field_ids);
   }
-  std::unique_ptr<TupleIndex> index =
-      ::mmdb::CreateIndex(kind, std::move(ops), config);
+  // Non-unique indices are partition-local (one shard per partition) so DML
+  // touching one partition rewrites only that partition's shards under its X
+  // lock.  Unique indices must stay relation-global: uniqueness cannot be
+  // checked per partition.
+  std::unique_ptr<TupleIndex> index;
+  if (config.unique) {
+    index = ::mmdb::CreateIndex(kind, std::move(ops), config);
+  } else if (IndexKindOrdered(kind)) {
+    index = std::make_unique<PartitionedOrderedIndex>(rel, kind,
+                                                      std::move(ops), config);
+  } else {
+    index = std::make_unique<PartitionedHashIndex>(rel, kind, std::move(ops),
+                                                   config);
+  }
   std::string index_name = rel->name();
   for (const std::string& f : fields) index_name += "." + f;
   index_name += std::string(".") + IndexKindName(kind);

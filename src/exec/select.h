@@ -2,6 +2,13 @@
 // in the MM-DBMS: hash lookup (exact match only), ordered-index lookup /
 // range scan, and a sequential scan "through an unrelated index".  The
 // result is always a width-1 temporary list of tuple pointers.
+//
+// The index an access path probes may be a partition-local composite
+// (src/index/partitioned_index.h): probes fan out to per-partition shards
+// and ordered scans run over a merged cursor, so every operator here — and
+// the planner's path choice — is oblivious to the sharding.  The query
+// service also routes DML target *finding* through Select, so a keyed
+// UPDATE/DELETE costs the same index probe as the equivalent read.
 
 #ifndef MMDB_EXEC_SELECT_H_
 #define MMDB_EXEC_SELECT_H_

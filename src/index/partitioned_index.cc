@@ -1,0 +1,315 @@
+#include "src/index/partitioned_index.h"
+
+#include <cassert>
+
+#include "src/storage/relation.h"
+
+namespace mmdb {
+namespace internal {
+
+PartitionShards::PartitionShards(const Relation* rel, IndexKind kind,
+                                 std::shared_ptr<const KeyOps> ops,
+                                 IndexConfig config)
+    : rel_(rel), kind_(kind), ops_(std::move(ops)), config_(config) {
+  // Partition-local shards cannot enforce uniqueness (see header).
+  assert(!config_.unique);
+  config_.unique = false;
+  for (const auto& p : rel_->partitions()) EnsureShard(p->id());
+}
+
+void PartitionShards::EnsureShard(uint32_t partition_id) {
+  if (partition_id >= shards_.size()) shards_.resize(partition_id + 1);
+  if (shards_[partition_id] != nullptr) return;
+  shards_[partition_id] = CreateIndex(kind_, ops_, config_);
+  if (bulk_) shards_[partition_id]->BeginBulk();
+}
+
+TupleIndex* PartitionShards::Route(TupleRef t) const {
+  Partition* p = rel_->PartitionOf(t);
+  if (p == nullptr || p->id() >= shards_.size()) return nullptr;
+  return shards_[p->id()].get();
+}
+
+size_t PartitionShards::TotalSize() const {
+  size_t n = 0;
+  for (const auto& s : shards_) {
+    if (s != nullptr) n += s->size();
+  }
+  return n;
+}
+
+size_t PartitionShards::TotalBytes() const {
+  size_t n = sizeof(*this) + shards_.capacity() * sizeof(shards_[0]);
+  for (const auto& s : shards_) {
+    if (s != nullptr) n += s->StorageBytes();
+  }
+  return n;
+}
+
+void PartitionShards::BeginBulk() {
+  bulk_ = true;
+  for (const auto& s : shards_) {
+    if (s != nullptr) s->BeginBulk();
+  }
+}
+
+void PartitionShards::EndBulk() {
+  bulk_ = false;
+  for (const auto& s : shards_) {
+    if (s != nullptr) s->EndBulk();
+  }
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Merged cursor over the ordered shards.
+///
+/// Invariant: let P be the merged position (the element of subs_[current_]).
+/// Every slot with a valid cursor is parked at the smallest element of its
+/// shard that is >= P in the (key, tuple-pointer) total order; a slot whose
+/// cursor is null or invalid has no element >= P.  Next() advances only the
+/// current slot; Prev() materializes each shard's largest element < P and
+/// takes the maximum — both preserve the invariant (each shard's elements
+/// below its parked position are < P).
+class MergedCursor : public OrderedIndex::Cursor {
+ public:
+  MergedCursor(const std::vector<std::unique_ptr<TupleIndex>>* shards,
+               const KeyOps* ops)
+      : shards_(shards), ops_(ops), subs_(shards->size()) {}
+
+  bool Valid() const override { return current_ >= 0; }
+
+  TupleRef Get() const override { return subs_[current_]->Get(); }
+
+  void Next() override {
+    if (current_ < 0) return;
+    subs_[current_]->Next();
+    Reselect();
+  }
+
+  void Prev() override {
+    if (current_ < 0) return;  // invalid stays invalid (cursor contract)
+    int best = -1;
+    std::vector<std::unique_ptr<Cursor>> cand(subs_.size());
+    for (size_t i = 0; i < subs_.size(); ++i) {
+      const OrderedIndex* shard = ShardAt(i);
+      if (shard == nullptr) continue;
+      if (subs_[i] != nullptr && subs_[i]->Valid()) {
+        cand[i] = subs_[i]->Clone();
+        cand[i]->Prev();
+      } else {
+        // Exhausted shard: its whole content is < P, so its largest
+        // element is the candidate.
+        cand[i] = shard->Last();
+      }
+      if (cand[i] != nullptr && cand[i]->Valid() &&
+          (best < 0 ||
+           ops_->CompareTie(cand[i]->Get(), cand[best]->Get()) > 0)) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) {
+      current_ = -1;  // stepped before the first element
+      return;
+    }
+    subs_[best] = std::move(cand[best]);
+    current_ = best;
+  }
+
+  std::unique_ptr<Cursor> Clone() const override {
+    auto copy = std::make_unique<MergedCursor>(shards_, ops_);
+    for (size_t i = 0; i < subs_.size(); ++i) {
+      if (subs_[i] != nullptr) copy->subs_[i] = subs_[i]->Clone();
+    }
+    copy->current_ = current_;
+    return copy;
+  }
+
+  // ---- Positioning (called by the composite) -------------------------------
+
+  void SetFirst() {
+    ForEachShard([&](size_t i, const OrderedIndex& s) { subs_[i] = s.First(); });
+    Reselect();
+  }
+
+  void SetSeek(const Value& v) {
+    ForEachShard(
+        [&](size_t i, const OrderedIndex& s) { subs_[i] = s.Seek(v); });
+    Reselect();
+  }
+
+  void SetLast() {
+    int best = -1;
+    ForEachShard([&](size_t i, const OrderedIndex& s) {
+      subs_[i] = s.Last();
+      if (subs_[i] != nullptr && subs_[i]->Valid() &&
+          (best < 0 ||
+           ops_->CompareTie(subs_[i]->Get(), subs_[best]->Get()) > 0)) {
+        best = static_cast<int>(i);
+      }
+    });
+    // Non-winners sit below the merged position: mark them exhausted so the
+    // invariant ("valid slots are at their smallest element >= P") holds.
+    for (size_t i = 0; i < subs_.size(); ++i) {
+      if (static_cast<int>(i) != best) subs_[i].reset();
+    }
+    current_ = best;
+  }
+
+ private:
+  const OrderedIndex* ShardAt(size_t i) const {
+    return static_cast<const OrderedIndex*>((*shards_)[i].get());
+  }
+
+  template <typename Fn>
+  void ForEachShard(Fn&& fn) {
+    for (size_t i = 0; i < shards_->size(); ++i) {
+      const OrderedIndex* s = ShardAt(i);
+      if (s != nullptr) fn(i, *s);
+    }
+  }
+
+  void Reselect() {
+    current_ = -1;
+    for (size_t i = 0; i < subs_.size(); ++i) {
+      if (subs_[i] == nullptr || !subs_[i]->Valid()) continue;
+      if (current_ < 0 ||
+          ops_->CompareTie(subs_[i]->Get(), subs_[current_]->Get()) < 0) {
+        current_ = static_cast<int>(i);
+      }
+    }
+  }
+
+  const std::vector<std::unique_ptr<TupleIndex>>* shards_;
+  const KeyOps* ops_;
+  std::vector<std::unique_ptr<Cursor>> subs_;  // parallel to *shards_
+  int current_ = -1;
+};
+
+}  // namespace
+
+// ---- PartitionedOrderedIndex ------------------------------------------------
+
+PartitionedOrderedIndex::PartitionedOrderedIndex(
+    const Relation* rel, IndexKind kind, std::shared_ptr<const KeyOps> ops,
+    IndexConfig config)
+    : shards_(rel, kind, std::move(ops), config) {
+  assert(IndexKindOrdered(kind));
+}
+
+bool PartitionedOrderedIndex::Insert(TupleRef t) {
+  TupleIndex* shard = shards_.Route(t);
+  assert(shard != nullptr && "tuple outside every partition shard");
+  return shard != nullptr && shard->Insert(t);
+}
+
+bool PartitionedOrderedIndex::Erase(TupleRef t) {
+  TupleIndex* shard = shards_.Route(t);
+  return shard != nullptr && shard->Erase(t);
+}
+
+TupleRef PartitionedOrderedIndex::Find(const Value& key) const {
+  for (const auto& s : shards_.shards()) {
+    if (s == nullptr) continue;
+    TupleRef t = s->Find(key);
+    if (t != nullptr) return t;
+  }
+  return nullptr;
+}
+
+void PartitionedOrderedIndex::FindAll(const Value& key,
+                                      std::vector<TupleRef>* out) const {
+  for (const auto& s : shards_.shards()) {
+    if (s != nullptr) s->FindAll(key, out);
+  }
+}
+
+std::unique_ptr<OrderedIndex::Cursor> PartitionedOrderedIndex::First() const {
+  auto c = std::make_unique<MergedCursor>(&shards_.shards(), &key_ops());
+  c->SetFirst();
+  return c;
+}
+
+std::unique_ptr<OrderedIndex::Cursor> PartitionedOrderedIndex::Last() const {
+  auto c = std::make_unique<MergedCursor>(&shards_.shards(), &key_ops());
+  c->SetLast();
+  return c;
+}
+
+std::unique_ptr<OrderedIndex::Cursor> PartitionedOrderedIndex::Seek(
+    const Value& v) const {
+  auto c = std::make_unique<MergedCursor>(&shards_.shards(), &key_ops());
+  c->SetSeek(v);
+  return c;
+}
+
+// ---- PartitionedHashIndex ---------------------------------------------------
+
+PartitionedHashIndex::PartitionedHashIndex(const Relation* rel, IndexKind kind,
+                                           std::shared_ptr<const KeyOps> ops,
+                                           IndexConfig config)
+    : shards_(rel, kind, std::move(ops), config) {
+  assert(!IndexKindOrdered(kind));
+}
+
+bool PartitionedHashIndex::Insert(TupleRef t) {
+  TupleIndex* shard = shards_.Route(t);
+  assert(shard != nullptr && "tuple outside every partition shard");
+  return shard != nullptr && shard->Insert(t);
+}
+
+bool PartitionedHashIndex::Erase(TupleRef t) {
+  TupleIndex* shard = shards_.Route(t);
+  return shard != nullptr && shard->Erase(t);
+}
+
+TupleRef PartitionedHashIndex::Find(const Value& key) const {
+  for (const auto& s : shards_.shards()) {
+    if (s == nullptr) continue;
+    TupleRef t = s->Find(key);
+    if (t != nullptr) return t;
+  }
+  return nullptr;
+}
+
+void PartitionedHashIndex::FindAll(const Value& key,
+                                   std::vector<TupleRef>* out) const {
+  for (const auto& s : shards_.shards()) {
+    if (s != nullptr) s->FindAll(key, out);
+  }
+}
+
+void PartitionedHashIndex::ScanAll(const ScanFn& fn) const {
+  for (const auto& s : shards_.shards()) {
+    if (s == nullptr) continue;
+    bool stop = false;
+    static_cast<const HashIndex*>(s.get())->ScanAll([&](TupleRef t) {
+      if (!fn(t)) {
+        stop = true;
+        return false;
+      }
+      return true;
+    });
+    if (stop) return;
+  }
+}
+
+HashIndex::HashStats PartitionedHashIndex::Stats() const {
+  HashStats total;
+  double weighted_chain = 0;
+  for (const auto& s : shards_.shards()) {
+    if (s == nullptr) continue;
+    HashStats hs = static_cast<const HashIndex*>(s.get())->Stats();
+    total.buckets += hs.buckets;
+    total.overflow_nodes += hs.overflow_nodes;
+    weighted_chain += hs.avg_chain_length * static_cast<double>(hs.buckets);
+  }
+  if (total.buckets > 0) {
+    total.avg_chain_length = weighted_chain / static_cast<double>(total.buckets);
+  }
+  return total;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,153 @@
+// Partition-local index composites.
+//
+// A PartitionedOrderedIndex / PartitionedHashIndex looks like one index of
+// the underlying kind (kind() reports the shard kind, so planner casts and
+// access-path selection are unchanged) but internally keeps one concrete
+// index instance — a *shard* — per relation partition.  Mutations route to
+// the shard of the tuple's partition, so a transaction holding a partition
+// X lock rewrites only that partition's shards and concurrent writers on
+// disjoint partitions no longer contend on shared index structure.  Reads
+// (which hold every partition's S lock) probe all shards; ordered scans
+// merge the shards' cursors in key order (pointer tie-break), preserving
+// the single-index scan order exactly.
+//
+// Shards are created at construction (one per existing partition) and on
+// OnPartitionAdded(), which the relation delivers under the structure X
+// lock — so the shard vector itself is never resized while readers or
+// partition-level writers are active.
+//
+// Uniqueness cannot be enforced partition-locally (a duplicate may live in
+// another partition's shard), so unique indices stay relation-global and
+// their relations keep the structure-X DML path; both composites reject
+// config.unique.
+
+#ifndef MMDB_INDEX_PARTITIONED_INDEX_H_
+#define MMDB_INDEX_PARTITIONED_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/index/index.h"
+#include "src/index/key_ops.h"
+
+namespace mmdb {
+
+class Relation;
+
+namespace internal {
+
+/// The shared shard plumbing of both composites: shard storage (indexed by
+/// partition id; gaps are null), tuple-to-shard routing via the owning
+/// relation, and aggregate statistics.
+class PartitionShards {
+ public:
+  PartitionShards(const Relation* rel, IndexKind kind,
+                  std::shared_ptr<const KeyOps> ops, IndexConfig config);
+
+  /// Creates the shard for a (new) partition id if absent.  Called from the
+  /// composite's OnPartitionAdded under the relation-structure X lock.
+  void EnsureShard(uint32_t partition_id);
+
+  /// Shard holding tuples of `t`'s partition, or nullptr if `t` is not in
+  /// any partition of the relation.
+  TupleIndex* Route(TupleRef t) const;
+
+  size_t TotalSize() const;
+  size_t TotalBytes() const;
+  void BeginBulk();
+  void EndBulk();
+
+  const KeyOps& key_ops() const { return *ops_; }
+  IndexKind kind() const { return kind_; }
+  const std::vector<std::unique_ptr<TupleIndex>>& shards() const {
+    return shards_;
+  }
+
+ private:
+  const Relation* rel_;
+  IndexKind kind_;
+  std::shared_ptr<const KeyOps> ops_;
+  IndexConfig config_;
+  std::vector<std::unique_ptr<TupleIndex>> shards_;  // by partition id
+  bool bulk_ = false;  // propagate the bulk bracket to shards created mid-load
+};
+
+}  // namespace internal
+
+/// Partition-local composite over an ordered shard kind (array / trees).
+/// The full cursor protocol is implemented by merging the shards' cursors,
+/// so every OrderedIndex default (Find, FindAll, ScanAll, ScanRange) and
+/// every merge-join consumer works against it unchanged.
+class PartitionedOrderedIndex : public OrderedIndex {
+ public:
+  PartitionedOrderedIndex(const Relation* rel, IndexKind kind,
+                          std::shared_ptr<const KeyOps> ops,
+                          IndexConfig config);
+
+  IndexKind kind() const override { return shards_.kind(); }
+  const KeyOps& key_ops() const override { return shards_.key_ops(); }
+  bool partition_local() const override { return true; }
+  void OnPartitionAdded(uint32_t partition_id) override {
+    shards_.EnsureShard(partition_id);
+  }
+
+  bool Insert(TupleRef t) override;
+  bool Erase(TupleRef t) override;
+  size_t size() const override { return shards_.TotalSize(); }
+  size_t StorageBytes() const override { return shards_.TotalBytes(); }
+  void BeginBulk() override { shards_.BeginBulk(); }
+  void EndBulk() override { shards_.EndBulk(); }
+
+  // Probe every shard directly (cheaper than a merged-cursor walk).
+  TupleRef Find(const Value& key) const override;
+  void FindAll(const Value& key, std::vector<TupleRef>* out) const override;
+
+  std::unique_ptr<Cursor> First() const override;
+  std::unique_ptr<Cursor> Last() const override;
+  std::unique_ptr<Cursor> Seek(const Value& v) const override;
+
+  /// Shard introspection for tests (per-shard invariant checks).
+  const std::vector<std::unique_ptr<TupleIndex>>& shards() const {
+    return shards_.shards();
+  }
+
+ private:
+  internal::PartitionShards shards_;
+};
+
+/// Partition-local composite over a hash shard kind.
+class PartitionedHashIndex : public HashIndex {
+ public:
+  PartitionedHashIndex(const Relation* rel, IndexKind kind,
+                       std::shared_ptr<const KeyOps> ops, IndexConfig config);
+
+  IndexKind kind() const override { return shards_.kind(); }
+  const KeyOps& key_ops() const override { return shards_.key_ops(); }
+  bool partition_local() const override { return true; }
+  void OnPartitionAdded(uint32_t partition_id) override {
+    shards_.EnsureShard(partition_id);
+  }
+
+  bool Insert(TupleRef t) override;
+  bool Erase(TupleRef t) override;
+  TupleRef Find(const Value& key) const override;
+  void FindAll(const Value& key, std::vector<TupleRef>* out) const override;
+  size_t size() const override { return shards_.TotalSize(); }
+  size_t StorageBytes() const override { return shards_.TotalBytes(); }
+  void BeginBulk() override { shards_.BeginBulk(); }
+  void EndBulk() override { shards_.EndBulk(); }
+
+  void ScanAll(const ScanFn& fn) const override;
+  HashStats Stats() const override;
+
+  const std::vector<std::unique_ptr<TupleIndex>>& shards() const {
+    return shards_.shards();
+  }
+
+ private:
+  internal::PartitionShards shards_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_INDEX_PARTITIONED_INDEX_H_

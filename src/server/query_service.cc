@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <future>
+#include <limits>
 #include <utility>
 
 #include "src/core/database.h"
@@ -347,7 +348,9 @@ OpResult QueryService::RunInsert(const InsertSpec& spec) {
   OpResult out;
   std::unique_ptr<Transaction> txn = db_->Begin();
   txn->set_lock_timeout(options_.lock_timeout);
-  Status s = txn->Insert(spec.table, spec.values);  // structure lock X
+  // Structure S + reserved-partition X (escalates to structure X only for
+  // global indices / foreign keys / full relation); see Transaction::Insert.
+  Status s = txn->Insert(spec.table, spec.values);
   if (!s.ok()) {
     if (txn->state() == Transaction::State::kActive) txn->Abort();
     out.status = s;
@@ -411,28 +414,84 @@ OpResult QueryService::RunMutation(WorkerContext& ctx, const Operation& op) {
     }
   }
 
+  // Lock-scope decision (mirrors the policy Transaction enforces op by op):
+  // partition-local DML runs under structure S + target-partition X locks;
+  // the escalation cases take the structure X lock up front so the find
+  // phase does not first acquire shared locks it would then have to upgrade.
+  bool relation_wide;
+  if (kind == OpKind::kDelete) {
+    relation_wide = rel->HasGlobalIndex();
+  } else {
+    relation_wide = rel->schema().field(write_field).type == Type::kString ||
+                    rel->HasGlobalIndexKeyedOn(write_field);
+  }
+
   std::unique_ptr<Transaction> txn = db_->Begin();
   txn->set_lock_timeout(options_.lock_timeout);
 
-  // Exclusive structure lock: updates and deletes rewrite indices shared
-  // across partitions, so the whole relation must be quiesced (readers
-  // take this lock shared first; inserts take it exclusive).
-  Status s = txn->LockRelationExclusive(*table);
+  Status s = relation_wide ? txn->LockRelationExclusive(*table)
+                           : txn->LockForRead(*table);
   if (!s.ok()) {
     out.status = s;  // txn already aborted on lock timeout
     return out;
   }
 
-  // Find targets under the exclusive lock, then stage their addresses in
-  // the worker's scratch arena: TupleRef is trivially copyable, and the
-  // arena recycles between tasks without touching the heap.
+  // Find targets through the planner's access-path pick (hash lookup >
+  // tree lookup > sequential scan) — DML target discovery costs the same
+  // as the equivalent read — then stage their addresses in the worker's
+  // scratch arena: TupleRef is trivially copyable, and the arena recycles
+  // between tasks without touching the heap.
   Predicate pred;
   pred.Add(*match_field, match->op, match->value);
-  TempList matches = ::mmdb::Select(*rel, pred);
-  const size_t n = matches.size();
+  AccessPath path = AccessPath::kSequentialScan;
+  TempList matches = ::mmdb::Select(*rel, pred, &path);
+  out.plan = std::string("dml match: ") + AccessPathName(path);
+  size_t n = matches.size();
   auto* targets =
       static_cast<TupleRef*>(ctx.arena.Allocate(n * sizeof(TupleRef)));
   for (size_t i = 0; i < n; ++i) targets[i] = matches.At(i, 0);
+
+  if (!relation_wide) {
+    // Swap the partition S locks for X locks on just the partitions that
+    // hold targets.  Fresh acquisitions (release-then-lock, ascending id
+    // order) rather than in-place upgrades: two writers upgrading the same
+    // partition would deadlock on each other's shared hold, while fresh
+    // requests simply queue FIFO.  The structure S lock is kept throughout,
+    // so tuples cannot relocate and partitions cannot appear or vanish in
+    // the unlocked window; targets are revalidated under X below.
+    std::vector<uint32_t> pids;
+    pids.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      Partition* p = rel->PartitionOf(targets[i]);
+      if (p != nullptr) pids.push_back(p->id());
+    }
+    std::sort(pids.begin(), pids.end());
+    pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
+    for (const auto& p : rel->partitions()) {
+      txn->ReleasePartitionLock(*table, p->id());
+    }
+    for (uint32_t pid : pids) {
+      s = txn->LockPartitionExclusive(*table, pid);
+      if (!s.ok()) {
+        out.status = s;  // txn already aborted on lock timeout
+        return out;
+      }
+    }
+    // Revalidate: a concurrent partition-local writer may have deleted or
+    // rewritten a staged target (or recycled its slot) in the window.
+    size_t kept = 0;
+    for (size_t i = 0; i < n; ++i) {
+      Partition* p = rel->PartitionOf(targets[i]);
+      if (p == nullptr ||
+          p->slot_state(p->SlotOf(targets[i])) !=
+              Partition::SlotState::kLive ||
+          !pred.Matches(targets[i], rel->schema())) {
+        continue;
+      }
+      targets[kept++] = targets[i];
+    }
+    n = kept;
+  }
 
   for (size_t i = 0; i < n && s.ok(); ++i) {
     switch (kind) {
@@ -442,14 +501,30 @@ OpResult QueryService::RunMutation(WorkerContext& ctx, const Operation& op) {
         break;
       case OpKind::kIncrement: {
         // Read-modify-write under the exclusive lock — this is where a
-        // lockless service would lose updates.
+        // lockless service would lose updates.  Compute in 64 bits and
+        // range-check: int32 + int64 delta silently wrapped before.
         const auto& inc = std::get<IncrementSpec>(op);
         const Value current =
             tuple::GetValue(targets[i], rel->schema(), write_field);
-        Value next = current.type() == Type::kInt32
-                         ? Value(static_cast<int32_t>(current.AsInt32() +
-                                                      inc.delta))
-                         : Value(current.AsInt64() + inc.delta);
+        Value next;
+        if (current.type() == Type::kInt32) {
+          const int64_t wide = int64_t{current.AsInt32()} + inc.delta;
+          if (wide < std::numeric_limits<int32_t>::min() ||
+              wide > std::numeric_limits<int32_t>::max()) {
+            s = Status::InvalidArgument("increment overflows int32 field " +
+                                        inc.field);
+            break;
+          }
+          next = Value(static_cast<int32_t>(wide));
+        } else {
+          int64_t wide = 0;
+          if (__builtin_add_overflow(current.AsInt64(), inc.delta, &wide)) {
+            s = Status::InvalidArgument("increment overflows int64 field " +
+                                        inc.field);
+            break;
+          }
+          next = Value(wide);
+        }
         s = txn->Update(*table, targets[i], write_field, std::move(next));
         break;
       }

@@ -10,13 +10,31 @@
 //                                                         v
 //                                    LockManager --- Database (shared)
 //
-// Locking protocol (deadlock-ordered: structure lock first, partitions in
-// ascending id, relations in name order):
+// Locking protocol.  Secondary indices are partition-local (one shard per
+// partition, src/index/partitioned_index.h), so DML that touches one
+// partition rewrites only that partition's shards.  Every operation holds
+// the relation-structure lock at least SHARED, which freezes the partition
+// set: no partition creation, no cross-partition tuple relocation.
 //   * reads   take the structure lock + every partition SHARED;
-//   * inserts take the structure lock EXCLUSIVE (Transaction::Insert);
-//   * updates/deletes/increments take the structure lock EXCLUSIVE before
-//     touching anything — index rewrites are shared across partitions, so
-//     partition locks alone cannot protect them from concurrent readers.
+//   * inserts take structure SHARED and reserve one partition EXCLUSIVE
+//     (lock-free room probe, lock, re-check — Transaction::Insert);
+//   * updates/deletes/increments take structure SHARED + every partition
+//     SHARED to find targets via the planner's access-path pick, then drop
+//     the partition S locks and freshly X-lock just the partitions holding
+//     targets, in ascending id order, revalidating targets under X;
+//   * escalation to structure EXCLUSIVE happens only where partition
+//     locality breaks: string-field updates (relocation risk), writes
+//     through a relation-global index (unique indices stay global),
+//     deletes on relations with a global index, inserts needing a new
+//     partition or resolving foreign keys.
+// Deadlock ordering: structure lock before partition locks, partitions in
+// ascending id, relations in name order.  The find phase re-acquires
+// partition X locks fresh instead of upgrading S->X in place — two writers
+// upgrading the same partition would deadlock on each other's shared hold,
+// whereas fresh requests queue FIFO behind the lock.  The revalidation
+// step makes the release window safe: a target deleted or rewritten by a
+// concurrent partition-local writer is skipped, exactly as if this
+// operation had run after it.
 // A lock-wait timeout is treated as a deadlock: the transaction aborts and
 // the worker retries the whole operation with capped exponential backoff
 // (plus jitter) up to ServiceOptions::max_attempts.

@@ -76,6 +76,18 @@ class TupleIndex {
   virtual void BeginBulk() {}
   virtual void EndBulk() {}
 
+  /// True for partition-local composites (one index instance per relation
+  /// partition, see src/index/partitioned_index.h).  The transaction layer
+  /// keys its lock-scope policy off this: a relation whose indices are all
+  /// partition-local can run DML under per-partition X locks; any
+  /// relation-global index forces the relation-structure X lock.
+  virtual bool partition_local() const { return false; }
+
+  /// Notification that the owning relation grew a new partition.  Delivered
+  /// only to attached indices, always under the relation-structure X lock
+  /// (partition creation is a structure change).  Default: no-op.
+  virtual void OnPartitionAdded(uint32_t partition_id) { (void)partition_id; }
+
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 

@@ -13,7 +13,9 @@ Partition::Partition(uint32_t id, const Schema* schema, const Options& options)
       heap_bytes_(options.heap_bytes),
       slots_(new std::byte[size_t{slot_capacity_} * stride_]),
       heap_(heap_bytes_ > 0 ? new std::byte[heap_bytes_] : nullptr),
-      states_(slot_capacity_, SlotState::kFree) {}
+      states_(slot_capacity_, SlotState::kFree) {
+  free_slots_.store(slot_capacity_, std::memory_order_relaxed);
+}
 
 size_t Partition::HeapNeeded(const std::vector<Value>& values) const {
   size_t need = 0;
@@ -28,14 +30,16 @@ size_t Partition::HeapNeeded(const std::vector<Value>& values) const {
 }
 
 bool Partition::HasRoomFor(const std::vector<Value>& values) const {
-  if (free_list_.empty() && next_fresh_slot_ >= slot_capacity_) return false;
-  return heap_used_ + HeapNeeded(values) <= heap_bytes_;
+  if (free_slots_.load(std::memory_order_relaxed) == 0) return false;
+  return heap_used_.load(std::memory_order_relaxed) + HeapNeeded(values) <=
+         heap_bytes_;
 }
 
 std::byte* Partition::HeapAlloc(size_t n) {
-  if (heap_used_ + n > heap_bytes_) return nullptr;
-  std::byte* out = heap_.get() + heap_used_;
-  heap_used_ += n;
+  const size_t used = heap_used_.load(std::memory_order_relaxed);
+  if (used + n > heap_bytes_) return nullptr;
+  std::byte* out = heap_.get() + used;
+  heap_used_.store(used + n, std::memory_order_relaxed);
   return out;
 }
 
@@ -106,6 +110,7 @@ TupleRef Partition::Insert(const std::vector<Value>& values) {
     (void)ok;
   }
   states_[slot] = SlotState::kLive;
+  free_slots_.fetch_sub(1, std::memory_order_relaxed);
   ++live_count_;
   return rec;
 }
@@ -116,7 +121,10 @@ TupleRef Partition::InsertIntoSlot(uint32_t slot,
   if (slot >= slot_capacity_ || states_[slot] != SlotState::kFree) {
     return nullptr;
   }
-  if (heap_used_ + HeapNeeded(values) > heap_bytes_) return nullptr;
+  if (heap_used_.load(std::memory_order_relaxed) + HeapNeeded(values) >
+      heap_bytes_) {
+    return nullptr;
+  }
   if (slot >= next_fresh_slot_) {
     // Slots skipped over become reusable free slots.
     for (uint32_t s = next_fresh_slot_; s < slot; ++s) free_list_.push_back(s);
@@ -130,6 +138,7 @@ TupleRef Partition::InsertIntoSlot(uint32_t slot,
     (void)ok;
   }
   states_[slot] = SlotState::kLive;
+  free_slots_.fetch_sub(1, std::memory_order_relaxed);
   ++live_count_;
   return rec;
 }
@@ -140,6 +149,7 @@ bool Partition::Erase(TupleRef t) {
   if (states_[slot] != SlotState::kLive) return false;
   states_[slot] = SlotState::kFree;
   free_list_.push_back(slot);
+  free_slots_.fetch_add(1, std::memory_order_relaxed);
   --live_count_;
   return true;
 }

@@ -14,6 +14,7 @@
 #ifndef MMDB_STORAGE_PARTITION_H_
 #define MMDB_STORAGE_PARTITION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -50,10 +51,14 @@ class Partition {
   const Schema& schema() const { return *schema_; }
   uint32_t slot_capacity() const { return slot_capacity_; }
   size_t live_count() const { return live_count_; }
-  size_t heap_used() const { return heap_used_; }
+  size_t heap_used() const { return heap_used_.load(std::memory_order_relaxed); }
   size_t heap_bytes() const { return heap_bytes_; }
 
   /// True if a record built from `values` fits (free slot + heap room).
+  /// Reads only the atomic room counters, so it may be probed by a
+  /// transaction planning an insert *without* holding this partition's
+  /// lock; the answer can be stale and must be re-checked once the
+  /// partition X lock is held (Relation::PlanInsert discipline).
   bool HasRoomFor(const std::vector<Value>& values) const;
 
   /// Writes a new tuple; returns its address, or nullptr if out of slot or
@@ -125,7 +130,12 @@ class Partition {
   std::vector<SlotState> states_;
   std::vector<uint32_t> free_list_;  // slot numbers available for reuse
   uint32_t next_fresh_slot_ = 0;     // never-used slot watermark
-  size_t heap_used_ = 0;
+  // Room counters are atomics (relaxed): lock-free insert planning probes
+  // them from other threads while the partition's X-lock holder mutates.
+  // All *mutations* happen under the partition X lock; the atomics only
+  // make the unlocked reads well-defined, not the writes concurrent.
+  std::atomic<size_t> heap_used_{0};
+  std::atomic<uint32_t> free_slots_{0};  // free-list + untouched fresh slots
   size_t live_count_ = 0;
 };
 

@@ -9,25 +9,36 @@ namespace mmdb {
 Relation::Relation(std::string name, Schema schema, Options options)
     : name_(std::move(name)), schema_(std::move(schema)), options_(options) {}
 
+Partition* Relation::AddPartition() {
+  partitions_.push_back(std::make_unique<Partition>(
+      next_partition_id_++, &schema_, options_.partition));
+  Partition* p = partitions_.back().get();
+  by_base_[p->base()] = p;
+  // Partition-local composites grow a shard for the new partition.
+  for (auto& index : indexes_) index->OnPartitionAdded(p->id());
+  return p;
+}
+
 Partition* Relation::PartitionWithRoom(const std::vector<Value>& values) {
   // Last-partition-first: inserts are overwhelmingly appended to the newest
   // partition; older partitions regain room only via deletions.
   for (auto it = partitions_.rbegin(); it != partitions_.rend(); ++it) {
     if ((*it)->HasRoomFor(values)) return it->get();
   }
-  partitions_.push_back(std::make_unique<Partition>(
-      next_partition_id_++, &schema_, options_.partition));
-  Partition* p = partitions_.back().get();
-  by_base_[p->base()] = p;
-  return p;
+  return AddPartition();
 }
 
-TupleRef Relation::Insert(const std::vector<Value>& values) {
-  assert(values.size() == schema_.field_count());
-  std::vector<Value> resolved = values;
+Partition* Relation::PlanInsert(const std::vector<Value>& values) const {
+  for (auto it = partitions_.rbegin(); it != partitions_.rend(); ++it) {
+    if ((*it)->HasRoomFor(values)) return it->get();
+  }
+  return nullptr;
+}
+
+bool Relation::ResolveForeignKeys(std::vector<Value>* values) const {
   // Materialize foreign keys as tuple pointers (Section 2.1).
   for (const ForeignKeyDecl& fk : fks_) {
-    Value& v = resolved[fk.field];
+    Value& v = (*values)[fk.field];
     if (v.type() == Type::kPointer) continue;  // caller supplied the pointer
     TupleIndex* target_index = fk.target->FindIndexOn(fk.target_field, false);
     TupleRef hit = nullptr;
@@ -43,11 +54,14 @@ TupleRef Relation::Insert(const std::vector<Value>& values) {
         }
       });
     }
-    if (hit == nullptr) return nullptr;  // dangling foreign key
+    if (hit == nullptr) return false;  // dangling foreign key
     v = Value(hit);
   }
+  return true;
+}
 
-  Partition* p = PartitionWithRoom(resolved);
+TupleRef Relation::InsertResolved(Partition* p,
+                                  const std::vector<Value>& resolved) {
   TupleRef t = p->Insert(resolved);
   if (t == nullptr) return nullptr;  // record larger than a whole partition
 
@@ -59,8 +73,25 @@ TupleRef Relation::Insert(const std::vector<Value>& values) {
       return nullptr;
     }
   }
-  ++cardinality_;
+  cardinality_.fetch_add(1, std::memory_order_relaxed);
   return t;
+}
+
+TupleRef Relation::Insert(const std::vector<Value>& values) {
+  assert(values.size() == schema_.field_count());
+  std::vector<Value> resolved = values;
+  if (!ResolveForeignKeys(&resolved)) return nullptr;
+  return InsertResolved(PartitionWithRoom(resolved), resolved);
+}
+
+TupleRef Relation::InsertInto(uint32_t partition_id,
+                              const std::vector<Value>& values) {
+  assert(values.size() == schema_.field_count());
+  std::vector<Value> resolved = values;
+  if (!ResolveForeignKeys(&resolved)) return nullptr;
+  Partition* p = PartitionById(partition_id);
+  if (p == nullptr || !p->HasRoomFor(resolved)) return nullptr;
+  return InsertResolved(p, resolved);
 }
 
 Status Relation::Delete(TupleRef t) {
@@ -71,7 +102,7 @@ Status Relation::Delete(TupleRef t) {
   }
   for (auto& index : indexes_) index->Erase(t);
   p->Erase(t);
-  --cardinality_;
+  cardinality_.fetch_sub(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -115,10 +146,7 @@ Status Relation::UpdateField(TupleRef t, size_t field, const Value& v) {
   if (q == p) {
     // p reported room generically but could not hold the grown payload;
     // force a fresh partition.
-    partitions_.push_back(std::make_unique<Partition>(
-        next_partition_id_++, &schema_, options_.partition));
-    q = partitions_.back().get();
-    by_base_[q->base()] = q;
+    q = AddPartition();
   }
   TupleRef moved = q->Insert(values);
   if (moved == nullptr) {
@@ -177,6 +205,20 @@ TupleIndex* Relation::FindIndexOn(size_t field, bool ordered_only) const {
   return nullptr;
 }
 
+bool Relation::HasGlobalIndex() const {
+  for (const auto& index : indexes_) {
+    if (!index->partition_local()) return true;
+  }
+  return false;
+}
+
+bool Relation::HasGlobalIndexKeyedOn(size_t field) const {
+  for (const auto& index : indexes_) {
+    if (!index->partition_local() && index->KeyedOnField(field)) return true;
+  }
+  return false;
+}
+
 Status Relation::DeclareForeignKey(size_t field, Relation* target,
                                    size_t target_field) {
   if (field >= schema_.field_count() ||
@@ -221,11 +263,7 @@ Partition* Relation::PartitionById(uint32_t id) const {
 }
 
 Partition* Relation::GetOrCreatePartition(uint32_t id) {
-  while (next_partition_id_ <= id) {
-    partitions_.push_back(std::make_unique<Partition>(
-        next_partition_id_++, &schema_, options_.partition));
-    by_base_[partitions_.back()->base()] = partitions_.back().get();
-  }
+  while (next_partition_id_ <= id) AddPartition();
   return PartitionById(id);
 }
 
@@ -240,7 +278,7 @@ TupleRef Relation::InsertAt(TupleId tid, const std::vector<Value>& values) {
       return nullptr;
     }
   }
-  ++cardinality_;
+  cardinality_.fetch_add(1, std::memory_order_relaxed);
   return t;
 }
 

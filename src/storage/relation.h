@@ -8,6 +8,7 @@
 #ifndef MMDB_STORAGE_RELATION_H_
 #define MMDB_STORAGE_RELATION_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -39,7 +40,9 @@ class Relation {
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
-  size_t cardinality() const { return cardinality_; }
+  size_t cardinality() const {
+    return cardinality_.load(std::memory_order_relaxed);
+  }
 
   // ---- Tuple lifecycle ----------------------------------------------------
 
@@ -50,6 +53,20 @@ class Relation {
   /// Returns nullptr if a unique index rejected the tuple or a foreign key
   /// failed to resolve.
   TupleRef Insert(const std::vector<Value>& values);
+
+  /// Insert-planning probe: the partition that currently has room for
+  /// `values`, or nullptr if none does.  Reads only atomic room counters,
+  /// so a transaction may call it without partition locks; the answer can
+  /// go stale and must be re-validated (HasRoomFor) once the partition's
+  /// X lock is held.  Never allocates a partition.
+  Partition* PlanInsert(const std::vector<Value>& values) const;
+
+  /// Inserts into a specific partition (a transaction's reserved insert
+  /// target).  Never creates partitions; returns nullptr if the partition
+  /// does not exist, has no room, a unique index rejected the tuple, or a
+  /// foreign key failed to resolve — callers fall back to the generic
+  /// Insert under the structure X lock.
+  TupleRef InsertInto(uint32_t partition_id, const std::vector<Value>& values);
 
   /// Removes a tuple from all indices and frees its slot.
   Status Delete(TupleRef t);
@@ -80,6 +97,16 @@ class Relation {
   const std::vector<std::unique_ptr<TupleIndex>>& indexes() const {
     return indexes_;
   }
+
+  /// True if any attached index is relation-global (not partition-local).
+  /// Such an index is rewritten by inserts/deletes on *any* partition, so
+  /// DML on this relation must serialize behind the structure X lock.
+  bool HasGlobalIndex() const;
+
+  /// True if a relation-global index is keyed on `field` — single-field
+  /// updates then need the structure X lock; otherwise the touched
+  /// partition's X lock suffices.
+  bool HasGlobalIndexKeyedOn(size_t field) const;
 
   // ---- Foreign keys ---------------------------------------------------------
 
@@ -127,8 +154,17 @@ class Relation {
   }
 
  private:
+  /// Allocates the next partition, registers it for address lookup, and
+  /// notifies every attached index (partition-local composites grow a new
+  /// shard).  The single choke point for partition creation — callers must
+  /// hold the relation-structure X lock under concurrency.
+  Partition* AddPartition();
   /// A partition with room for `values`, allocating a new one if needed.
   Partition* PartitionWithRoom(const std::vector<Value>& values);
+  /// Materializes foreign keys as tuple pointers; false on a dangling key.
+  bool ResolveForeignKeys(std::vector<Value>* values) const;
+  /// Inserts FK-resolved values into `p` and maintains every index.
+  TupleRef InsertResolved(Partition* p, const std::vector<Value>& resolved);
   /// Reads current values of `t` (pointer fields as raw pointers).
   std::vector<Value> Snapshot(TupleRef t) const;
 
@@ -140,7 +176,9 @@ class Relation {
   std::map<const std::byte*, Partition*> by_base_;
   std::vector<std::unique_ptr<TupleIndex>> indexes_;
   std::vector<ForeignKeyDecl> fks_;
-  size_t cardinality_ = 0;
+  // Atomic (relaxed): transactions on disjoint partitions bump it without
+  // the structure X lock; readers (planner cost model) probe it lock-free.
+  std::atomic<size_t> cardinality_{0};
   uint32_t next_partition_id_ = 0;
 };
 

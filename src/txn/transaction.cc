@@ -27,11 +27,41 @@ Status Transaction::Insert(const std::string& relation,
   if (values.size() != rel->schema().field_count()) {
     return Status::InvalidArgument("arity mismatch");
   }
+  // Structure S pins the partition set while we reserve a target.
   Status s = AcquireOrDie(LockId{relation, LockId::kRelationLock},
-                          LockMode::kExclusive);
+                          LockMode::kShared);
   if (!s.ok()) return s;
-  ops_.push_back(
-      PendingOp{LogOp::kInsert, rel, nullptr, std::move(values), 0, Value()});
+
+  uint32_t reserved = LockId::kRelationLock;
+  if (rel->HasGlobalIndex() || !rel->foreign_keys().empty()) {
+    // A global (e.g. unique) index is rewritten by this insert, and foreign
+    // key resolution probes other relations: serialize relation-wide.
+    s = AcquireOrDie(LockId{relation, LockId::kRelationLock},
+                     LockMode::kExclusive);
+    if (!s.ok()) return s;
+  } else {
+    // Reservation loop: probe lock-free, lock the candidate partition, then
+    // re-check (the probe may have gone stale while we waited for the lock).
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      Partition* p = rel->PlanInsert(values);
+      if (p == nullptr) break;
+      s = AcquireOrDie(LockId{relation, p->id()}, LockMode::kExclusive);
+      if (!s.ok()) return s;
+      if (p->HasRoomFor(values)) {
+        reserved = p->id();
+        break;
+      }
+      mgr_->locks()->Release(id_, LockId{relation, p->id()});
+    }
+    if (reserved == LockId::kRelationLock) {
+      // Every partition is full: escalate so Commit may create one.
+      s = AcquireOrDie(LockId{relation, LockId::kRelationLock},
+                       LockMode::kExclusive);
+      if (!s.ok()) return s;
+    }
+  }
+  ops_.push_back(PendingOp{LogOp::kInsert, rel, nullptr, std::move(values), 0,
+                           Value(), reserved});
   return Status::Ok();
 }
 
@@ -39,9 +69,15 @@ Status Transaction::Delete(const std::string& relation, TupleRef t) {
   if (state_ != State::kActive) return Status::FailedPrecondition("not active");
   Relation* rel = mgr_->catalog()->Get(relation);
   if (rel == nullptr) return Status::NotFound("no relation " + relation);
+  // A delete erases the tuple from *every* index, so any global index makes
+  // it relation-wide; otherwise structure S + partition X suffices.
+  Status s = AcquireOrDie(LockId{relation, LockId::kRelationLock},
+                          rel->HasGlobalIndex() ? LockMode::kExclusive
+                                                : LockMode::kShared);
+  if (!s.ok()) return s;
   Partition* p = rel->PartitionOf(rel->Resolve(t));
   if (p == nullptr) return Status::NotFound("tuple not in " + relation);
-  Status s = AcquireOrDie(LockId{relation, p->id()}, LockMode::kExclusive);
+  s = AcquireOrDie(LockId{relation, p->id()}, LockMode::kExclusive);
   if (!s.ok()) return s;
   ops_.push_back(PendingOp{LogOp::kDelete, rel, rel->Resolve(t), {}, 0, Value()});
   return Status::Ok();
@@ -55,9 +91,19 @@ Status Transaction::Update(const std::string& relation, TupleRef t,
   if (field >= rel->schema().field_count()) {
     return Status::InvalidArgument("no such field");
   }
+  // String updates may relocate the tuple across partitions; global-index
+  // keys are rewritten relation-wide.  Both escalate to structure X, every
+  // other update runs under structure S + the tuple's partition X.
+  const bool relation_wide =
+      rel->schema().field(field).type == Type::kString ||
+      rel->HasGlobalIndexKeyedOn(field);
+  Status s = AcquireOrDie(
+      LockId{relation, LockId::kRelationLock},
+      relation_wide ? LockMode::kExclusive : LockMode::kShared);
+  if (!s.ok()) return s;
   Partition* p = rel->PartitionOf(rel->Resolve(t));
   if (p == nullptr) return Status::NotFound("tuple not in " + relation);
-  Status s = AcquireOrDie(LockId{relation, p->id()}, LockMode::kExclusive);
+  s = AcquireOrDie(LockId{relation, p->id()}, LockMode::kExclusive);
   if (!s.ok()) return s;
   ops_.push_back(PendingOp{LogOp::kUpdate, rel, rel->Resolve(t), {}, field,
                            std::move(v)});
@@ -85,6 +131,17 @@ Status Transaction::LockRelationExclusive(const std::string& relation) {
   }
   return AcquireOrDie(LockId{relation, LockId::kRelationLock},
                       LockMode::kExclusive);
+}
+
+Status Transaction::LockPartitionExclusive(const std::string& relation,
+                                           uint32_t pid) {
+  if (state_ != State::kActive) return Status::FailedPrecondition("not active");
+  return AcquireOrDie(LockId{relation, pid}, LockMode::kExclusive);
+}
+
+void Transaction::ReleasePartitionLock(const std::string& relation,
+                                       uint32_t pid) {
+  mgr_->locks()->Release(id_, LockId{relation, pid});
 }
 
 Status Transaction::Commit() {
@@ -132,7 +189,27 @@ Status Transaction::Commit() {
         record.op = LogOp::kInsert;
         record.relation = op.relation->name();
         const uint64_t lsn = log->Append(std::move(record));
-        TupleRef t = op.relation->Insert(op.values);
+        TupleRef t = nullptr;
+        if (op.reserved_partition != LockId::kRelationLock) {
+          // Reserved path: the partition's X lock has been held since the
+          // reservation, so the re-checked room can only have been consumed
+          // by this transaction's own earlier inserts.
+          t = op.relation->InsertInto(op.reserved_partition, op.values);
+          if (t == nullptr) {
+            // Stale reservation — escalate to the structure X lock so the
+            // generic path may pick (or create) another partition.  Must
+            // not go through AcquireOrDie: its Abort() would discard lock
+            // state while `applied` ops still need the rollback below.
+            if (!mgr_->locks()->Acquire(
+                    id_, LockId{op.relation->name(), LockId::kRelationLock},
+                    LockMode::kExclusive, lock_timeout_)) {
+              rollback();
+              return Status::Aborted("lock timeout (deadlock victim) on " +
+                                     op.relation->name());
+            }
+          }
+        }
+        if (t == nullptr) t = op.relation->Insert(op.values);
         if (t == nullptr) {
           rollback();
           return Status::Aborted("insert failed (unique violation or bad FK)");

@@ -4,10 +4,22 @@
 // the update touches the database (IMS FASTPATH discipline), so an abort
 // merely discards the buffer — no undo pass exists.
 //
-// Locking is at partition granularity through the LockManager.  Inserts
-// take the relation-structure lock (the target partition is chosen at apply
-// time); deletes and updates lock the tuple's partition; readers share-lock
-// the partitions they scan.
+// Locking is at partition granularity through the LockManager.  Every
+// relation-touching operation holds the relation-structure lock at least
+// SHARED (which pins the partition set: no partition creation, no tuple
+// relocation).  On top of that:
+//   * updates/deletes of fixed-width, non-globally-indexed fields take only
+//     the tuple's partition EXCLUSIVE — disjoint partitions proceed in
+//     parallel because secondary indices are partition-local;
+//   * inserts reserve a target partition (lock-free PlanInsert probe, then
+//     partition X, then re-check) and commit into it; if no partition has
+//     room the insert escalates to the structure X lock so a partition may
+//     be created;
+//   * string-field updates (relocation risk), writes touching a
+//     relation-global index (unique indices stay global), deletes on
+//     relations with a global index, and inserts into relations with a
+//     global index or foreign keys escalate to the structure X lock.
+// Readers share-lock the structure plus every partition they scan.
 
 #ifndef MMDB_TXN_TRANSACTION_H_
 #define MMDB_TXN_TRANSACTION_H_
@@ -52,13 +64,19 @@ class Transaction {
   State state() const { return state_; }
 
   /// Buffers an insert.  The write is invisible (even to this transaction)
-  /// until Commit().
+  /// until Commit().  Takes the structure lock SHARED and reserves a target
+  /// partition under its X lock; escalates to the structure X lock when the
+  /// relation has a global index / foreign keys or no partition has room.
   Status Insert(const std::string& relation, std::vector<Value> values);
 
-  /// Buffers a delete of a live tuple.
+  /// Buffers a delete of a live tuple.  Structure S + the tuple's partition
+  /// X; escalates to structure X if the relation has a global index (the
+  /// delete would rewrite it).
   Status Delete(const std::string& relation, TupleRef t);
 
-  /// Buffers a single-field update.
+  /// Buffers a single-field update.  Structure S + the tuple's partition X;
+  /// escalates to structure X for string fields (the tuple may relocate
+  /// across partitions) and fields keyed by a relation-global index.
   Status Update(const std::string& relation, TupleRef t, size_t field,
                 Value v);
 
@@ -69,10 +87,20 @@ class Transaction {
   /// Exclusively locks the relation-structure lock, serializing this
   /// transaction against every reader (LockForRead takes the structure
   /// lock shared first) and every other writer of the relation.  The query
-  /// service's DML path takes this before updates/deletes: index rewrites
-  /// are shared across partitions, so partition locks alone do not make
-  /// them safe against concurrent index readers.
+  /// service's DML path takes this only for the escalation cases above;
+  /// partition-local DML stays under structure S + partition X.
   Status LockRelationExclusive(const std::string& relation);
+
+  /// Exclusively locks one partition (the query service's DML path, after
+  /// target discovery, X-locks the partitions it will touch in ascending id
+  /// order).  Re-acquiring a lock already held exclusive is a no-op.
+  Status LockPartitionExclusive(const std::string& relation, uint32_t pid);
+
+  /// Drops this transaction's hold (shared *and* exclusive) on one
+  /// partition lock.  Used by the service to shed the partition S locks of
+  /// partitions that turned out to hold no DML targets.  Must not be called
+  /// for a partition with buffered writes.
+  void ReleasePartitionLock(const std::string& relation, uint32_t pid);
 
   /// Lock-wait budget for this transaction's acquisitions.  On expiry the
   /// transaction aborts as the presumed deadlock victim (Section 2.4's
@@ -104,6 +132,9 @@ class Transaction {
     std::vector<Value> values;      // insert values
     size_t field = 0;               // update
     Value field_value;              // update
+    // Insert: partition reserved (X-locked) for the apply; kRelationLock
+    // means no reservation — apply under the structure X lock instead.
+    uint32_t reserved_partition = LockId::kRelationLock;
   };
 
   Status AcquireOrDie(const LockId& lock_id, LockMode mode);

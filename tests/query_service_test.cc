@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -598,12 +599,19 @@ TEST(QueryServiceTest, MetricsTextExposesServiceStatsAndLockWaits) {
   EXPECT_EQ(series["mmdb_service_latency_micros_count{op=\"insert\"}"], 1);
   EXPECT_EQ(series["mmdb_service_queue_wait_micros_count"], 6);
 
-  // Lock-wait histograms from the LockManager: reads took shared locks,
-  // the insert took the structure lock exclusive.
+  // Lock-wait histograms from the LockManager: reads took shared partition
+  // locks; the insert reserved a partition exclusive (structure stays
+  // shared — no global index on emp, so no structure-X escalation).
   EXPECT_GT(
       series["mmdb_lock_wait_micros_count{mode=\"shared\",scope=\"partition\"}"],
       0);
+  EXPECT_GT(series["mmdb_lock_wait_micros_count{mode=\"shared\","
+                   "scope=\"structure\"}"],
+            0);
   EXPECT_GT(series["mmdb_lock_wait_micros_count{mode=\"exclusive\","
+                   "scope=\"partition\"}"],
+            0);
+  EXPECT_EQ(series["mmdb_lock_wait_micros_count{mode=\"exclusive\","
                    "scope=\"structure\"}"],
             0);
   ASSERT_TRUE(series.count("mmdb_lock_timeouts_total"));
@@ -613,6 +621,126 @@ TEST(QueryServiceTest, MetricsTextExposesServiceStatsAndLockWaits) {
   EXPECT_GT(series["mmdb_opcounters_comparisons"], 0);
 #endif
   service.Shutdown();
+}
+
+// ---- DML-path regressions ---------------------------------------------------
+
+TEST(QueryServiceTest, IncrementOverflowIsRejectedInsteadOfWrapping) {
+  Database db;
+  db.CreateTable("acct", {{"id", Type::kInt32},
+                          {"bal32", Type::kInt32},
+                          {"bal64", Type::kInt64}});
+  db.Insert("acct", {Value(1), Value(std::numeric_limits<int32_t>::max()),
+                     Value(std::numeric_limits<int64_t>::max())});
+  QueryService service(&db, ServiceOptions{.workers = 1});
+  Session* s = service.OpenSession();
+  Relation* rel = db.GetTable("acct");
+  TupleRef row = rel->primary_index()->Find(Value(1));
+  ASSERT_NE(row, nullptr);
+
+  // int32 at the ceiling: +1 used to wrap to INT32_MIN silently.
+  IncrementSpec inc;
+  inc.table = "acct";
+  inc.match = Eq("id", Value(1));
+  inc.field = "bal32";
+  inc.delta = 1;
+  OpResult r = s->Increment(inc);
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(tuple::GetValue(row, rel->schema(), 1).AsInt32(),
+            std::numeric_limits<int32_t>::max())
+      << "failed increment must leave the value untouched";
+
+  // A huge negative delta stays representable: the arithmetic runs in 64
+  // bits, so INT32_MAX - 4294967295 lands exactly on INT32_MIN.
+  inc.delta = -int64_t{4294967295};
+  r = s->Increment(inc);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(r.rows_affected, 1u);
+  EXPECT_EQ(tuple::GetValue(row, rel->schema(), 1).AsInt32(),
+            std::numeric_limits<int32_t>::min());
+
+  // Underflow from the floor is rejected the same way.
+  inc.delta = -1;
+  r = s->Increment(inc);
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(tuple::GetValue(row, rel->schema(), 1).AsInt32(),
+            std::numeric_limits<int32_t>::min());
+
+  // int64 fields overflow-check too.
+  inc.field = "bal64";
+  inc.delta = 1;
+  r = s->Increment(inc);
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(tuple::GetValue(row, rel->schema(), 2).AsInt64(),
+            std::numeric_limits<int64_t>::max());
+  service.Shutdown();
+}
+
+TEST(QueryServiceTest, DmlTargetLookupFollowsThePlannerAccessPath) {
+  auto db = MakeEmpDb(1000);  // primary T Tree on id
+  ASSERT_NE(db->CreateIndex("emp", "age", IndexKind::kChainedBucketHash),
+            nullptr);
+
+#if defined(MMDB_COUNTERS)
+  const OpCounters base = counters::AccumulatedSnapshot();
+#endif
+  {
+    QueryService service(db.get(), ServiceOptions{.workers = 1});
+    Session* s = service.OpenSession();
+
+    // Keyed on the primary tree: the DML find phase reports (and uses) the
+    // same access path a SELECT with this predicate would.
+    UpdateSpec up;
+    up.table = "emp";
+    up.match = Eq("id", Value(700));
+    up.set_field = "age";
+    up.set_value = Value(99);
+    OpResult r = s->Update(up);
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+    EXPECT_EQ(r.rows_affected, 1u);
+    EXPECT_NE(r.plan.find("dml match: tree lookup"), std::string::npos)
+        << r.plan;
+
+    // Keyed on the secondary hash index.
+    DeleteSpec del;
+    del.table = "emp";
+    del.match = Eq("age", Value(99));
+    r = s->Delete(del);
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+    EXPECT_NE(r.plan.find("dml match: hash lookup"), std::string::npos)
+        << r.plan;
+    service.Shutdown();  // workers fold their OpCounters on exit
+  }
+#if defined(MMDB_COUNTERS)
+  // The keyed statements cost index-probe comparisons, not a 1000-row
+  // sweep per statement: before DML routed through the planner, every
+  // mutation walked the whole relation.
+  const OpCounters keyed = counters::AccumulatedSnapshot() - base;
+  EXPECT_GT(keyed.comparisons, 0u);
+  EXPECT_LT(keyed.comparisons, 500u) << keyed.ToString();
+#endif
+
+  {
+    QueryService service(db.get(), ServiceOptions{.workers = 1});
+    Session* s = service.OpenSession();
+    // No usable index: the planner (rightly) falls back to a scan.
+    UpdateSpec up;
+    up.table = "emp";
+    up.match = WhereClause{"name", CompareOp::kEq, Value("name3")};
+    up.set_field = "age";
+    up.set_value = Value(31);
+    OpResult r = s->Update(up);
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+    EXPECT_NE(r.plan.find("dml match: sequential scan"), std::string::npos)
+        << r.plan;
+    service.Shutdown();
+  }
+#if defined(MMDB_COUNTERS)
+  // ... and the scan fallback really does sweep, which is what makes the
+  // bound above meaningful.
+  const OpCounters swept = counters::AccumulatedSnapshot() - base;
+  EXPECT_GT(swept.comparisons, 900u) << swept.ToString();
+#endif
 }
 
 // ---- EXPLAIN ANALYZE through the service ------------------------------------

@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <thread>
 
+#include "src/index/partitioned_index.h"
 #include "src/txn/transaction.h"
 #include "tests/test_util.h"
 
@@ -138,6 +141,156 @@ TEST_F(TxnTest, UnknownRelationAndFieldRejected) {
   TupleRef t = rel_->Insert({Value(9), Value(0)});
   EXPECT_EQ(txn->Update("r", t, 5, Value(1)).code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST_F(TxnTest, AbortRollsBackBufferedUpdateBatch) {
+  // A batch of buffered updates followed by Abort leaves every tuple
+  // untouched (deferred updates: nothing was applied yet).
+  TupleRef t1 = rel_->Insert({Value(1), Value(0)});
+  TupleRef t2 = rel_->Insert({Value(2), Value(1)});
+
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(txn->Update("r", t1, 0, Value(100)).ok());
+  ASSERT_TRUE(txn->Update("r", t2, 0, Value(200)).ok());
+  txn->Abort();
+
+  EXPECT_EQ(testutil::KeyOf(t1, *rel_), 1);
+  EXPECT_EQ(testutil::KeyOf(t2, *rel_), 2);
+  EXPECT_EQ(log_.size(), 0u);
+  EXPECT_EQ(locks_.GrantedCount(), 0u);
+}
+
+TEST_F(TxnTest, MidCommitUpdateFailureRollsBackEarlierUpdates) {
+  // DML batch: the second update collides with a unique key at apply time,
+  // so the already-applied first update must be undone (value and index).
+  Relation* u = catalog_.CreateRelation("u", Schema({{"key", Type::kInt32}}));
+  IndexConfig config;
+  config.unique = true;
+  TupleIndex* index = testutil::AttachKeyIndex(u, IndexKind::kTTree, config);
+  TupleRef a = u->Insert({Value(1)});
+  TupleRef b = u->Insert({Value(2)});
+  u->Insert({Value(7)});
+
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(txn->Update("u", a, 0, Value(5)).ok());
+  ASSERT_TRUE(txn->Update("u", b, 0, Value(7)).ok());  // collides at commit
+  Status s = txn->Commit();
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_EQ(txn->state(), Transaction::State::kAborted);
+
+  // First update undone: 1 is back, 5 is gone, index agrees with the heap.
+  EXPECT_EQ(testutil::KeyOf(a, *u), 1);
+  EXPECT_EQ(testutil::KeyOf(b, *u), 2);
+  EXPECT_EQ(index->Find(Value(5)), nullptr);
+  EXPECT_NE(index->Find(Value(1)), nullptr);
+  EXPECT_NE(index->Find(Value(7)), nullptr);
+  EXPECT_EQ(log_.size(), 0u);
+  EXPECT_EQ(locks_.GrantedCount(), 0u);
+}
+
+// Fixture for partition-local behavior: a relation with tiny partitions and
+// a partition-local (facade) index, so DML stays under structure S +
+// partition X.
+class PartitionLocalTxnTest : public ::testing::Test {
+ protected:
+  PartitionLocalTxnTest() : mgr_(&catalog_, &log_, &locks_) {
+    Relation::Options options;
+    options.partition.slot_capacity = 4;
+    rel_ = catalog_.CreateRelation(
+        "pl", Schema({{"key", Type::kInt32}, {"seq", Type::kInt32}}),
+        options);
+    auto ops = std::make_shared<FieldKeyOps>(&rel_->schema(), 0);
+    auto index = std::make_unique<PartitionedOrderedIndex>(
+        rel_, IndexKind::kTTree, std::move(ops), IndexConfig{});
+    index->set_name("pl.key.facade");
+    index->set_key_fields({0});
+    rel_->AttachIndex(std::move(index));
+  }
+
+  Catalog catalog_;
+  StableLogBuffer log_;
+  LockManager locks_;
+  TransactionManager mgr_;
+  Relation* rel_;
+};
+
+TEST_F(PartitionLocalTxnTest, InsertReservesOnePartitionNotTheStructureX) {
+  // Partition 0 fills up; partition 1 keeps room, so an insert reserves it.
+  std::vector<TupleRef> rows;
+  for (int32_t i = 0; i < 7; ++i) {
+    rows.push_back(rel_->Insert({Value(i), Value(i)}));
+  }
+  ASSERT_EQ(rel_->partitions().size(), 2u);
+  ASSERT_EQ(rel_->PartitionOf(rows[0])->id(), 0u);
+
+  auto writer = mgr_.Begin();
+  ASSERT_TRUE(writer->Insert("pl", {Value(100), Value(100)}).ok());
+
+  // The reservation holds the structure lock + partition 1, nothing else.
+  const std::vector<LockId> held = locks_.HeldBy(writer->id());
+  EXPECT_EQ(held.size(), 2u);
+  EXPECT_NE(std::find(held.begin(), held.end(),
+                      LockId{"pl", LockId::kRelationLock}),
+            held.end());
+  EXPECT_NE(std::find(held.begin(), held.end(), LockId{"pl", 1}), held.end());
+
+  // Structure lock is only SHARED: a concurrent update in partition 0
+  // (structure S + partition-0 X) proceeds instead of timing out.
+  auto other = mgr_.Begin();
+  other->set_lock_timeout(std::chrono::milliseconds(20));
+  ASSERT_TRUE(other->Update("pl", rows[0], 0, Value(50)).ok());
+  ASSERT_TRUE(other->Commit().ok());
+
+  ASSERT_TRUE(writer->Commit().ok());
+  EXPECT_EQ(rel_->cardinality(), 8u);
+  EXPECT_EQ(testutil::KeyOf(rows[0], *rel_), 50);
+}
+
+TEST_F(PartitionLocalTxnTest, DisjointPartitionUpdatesHoldLocksConcurrently) {
+  std::vector<TupleRef> rows;
+  for (int32_t i = 0; i < 8; ++i) {
+    rows.push_back(rel_->Insert({Value(i), Value(i)}));
+  }
+  ASSERT_EQ(rel_->partitions().size(), 2u);
+  TupleRef in_p0 = rows[0], in_p1 = rows[7];
+  ASSERT_EQ(rel_->PartitionOf(in_p0)->id(), 0u);
+  ASSERT_EQ(rel_->PartitionOf(in_p1)->id(), 1u);
+
+  // Both writers buffer their update and hold their partition X at once —
+  // under the old relation-wide protocol the second would deadlock-abort.
+  auto t1 = mgr_.Begin();
+  auto t2 = mgr_.Begin();
+  t1->set_lock_timeout(std::chrono::milliseconds(20));
+  t2->set_lock_timeout(std::chrono::milliseconds(20));
+  ASSERT_TRUE(t1->Update("pl", in_p0, 0, Value(100)).ok());
+  ASSERT_TRUE(t2->Update("pl", in_p1, 0, Value(200)).ok());
+  ASSERT_TRUE(t1->Commit().ok());
+  ASSERT_TRUE(t2->Commit().ok());
+  EXPECT_EQ(testutil::KeyOf(in_p0, *rel_), 100);
+  EXPECT_EQ(testutil::KeyOf(in_p1, *rel_), 200);
+}
+
+TEST_F(PartitionLocalTxnTest, StaleReservationEscalatesAtCommit) {
+  // Partition 1 has one free slot, but the transaction buffers three
+  // inserts — each reserves partition 1 (buffered writes are invisible to
+  // PlanInsert).  At commit the overflow inserts find the reservation
+  // stale, escalate to the structure X lock, and land in a fresh partition.
+  for (int32_t i = 0; i < 7; ++i) rel_->Insert({Value(i), Value(i)});
+  ASSERT_EQ(rel_->partitions().size(), 2u);
+
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(txn->Insert("pl", {Value(100), Value(0)}).ok());
+  ASSERT_TRUE(txn->Insert("pl", {Value(101), Value(1)}).ok());
+  ASSERT_TRUE(txn->Insert("pl", {Value(102), Value(2)}).ok());
+  ASSERT_TRUE(txn->Commit().ok());
+
+  EXPECT_EQ(rel_->cardinality(), 10u);
+  EXPECT_GE(rel_->partitions().size(), 3u);
+  TupleIndex* index = rel_->primary_index();
+  for (int32_t k : {100, 101, 102}) {
+    EXPECT_NE(index->Find(Value(k)), nullptr) << k;
+  }
+  EXPECT_EQ(locks_.GrantedCount(), 0u);
 }
 
 TEST_F(TxnTest, ConcurrentNonConflictingTransactions) {
