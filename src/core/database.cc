@@ -1,12 +1,15 @@
 #include "src/core/database.h"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <sstream>
 
 #include "src/core/query.h"
 #include "src/index/key_ops.h"
 #include "src/index/partitioned_index.h"
+#include "src/txn/log_format.h"
+#include "src/txn/wal.h"
 
 namespace mmdb {
 
@@ -17,7 +20,13 @@ Database::Database()
   lock_manager_.set_metrics(&metrics_);
 }
 
-Database::~Database() = default;
+Database::~Database() {
+  // Background workers must be quiet before any relation is torn down:
+  // the durability flusher/checkpointer walk the catalog, and the log
+  // device worker reads the buffer and disk image.
+  if (durability_ != nullptr) durability_->Stop();
+  log_device_->StopBackground();
+}
 
 Relation* Database::CreateTable(const std::string& name,
                                 std::vector<Field> fields,
@@ -29,7 +38,14 @@ Relation* Database::CreateTable(const std::string& name,
   // at least one index per relation).
   AttachNewIndex(rel, {fields.front().name}, IndexKind::kTTree, IndexConfig(),
                  /*record_ddl=*/true);
+  PersistDdl();
   return rel;
+}
+
+void Database::PersistDdl() {
+  // Failures latch into mmdb_checkpoint_failures_total; the next
+  // checkpoint (periodic or explicit) re-journals the schema anyway.
+  if (durability_ != nullptr) durability_->Checkpoint();
 }
 
 TupleIndex* Database::AttachNewIndex(Relation* rel,
@@ -81,7 +97,10 @@ TupleIndex* Database::CreateIndex(const std::string& table,
                                   IndexConfig config) {
   Relation* rel = catalog_.Get(table);
   if (rel == nullptr) return nullptr;
-  return AttachNewIndex(rel, {field}, kind, config, /*record_ddl=*/true);
+  TupleIndex* index = AttachNewIndex(rel, {field}, kind, config,
+                                     /*record_ddl=*/true);
+  if (index != nullptr) PersistDdl();
+  return index;
 }
 
 TupleIndex* Database::CreateCompositeIndex(
@@ -94,7 +113,10 @@ TupleIndex* Database::CreateCompositeIndex(
     // values are single-field; restrict to ordered kinds for sanity.
     return nullptr;
   }
-  return AttachNewIndex(rel, fields, kind, config, /*record_ddl=*/true);
+  TupleIndex* index = AttachNewIndex(rel, fields, kind, config,
+                                     /*record_ddl=*/true);
+  if (index != nullptr) PersistDdl();
+  return index;
 }
 
 Status Database::DeclareForeignKey(const std::string& table,
@@ -114,6 +136,7 @@ Status Database::DeclareForeignKey(const std::string& table,
   Status s = rel->DeclareForeignKey(*f, target_rel, *tf);
   if (s.ok()) {
     ddl_fks_.push_back(DdlForeignKey{table, field, target, target_field});
+    PersistDdl();
   }
   return s;
 }
@@ -127,6 +150,7 @@ Status Database::DropTable(const std::string& name) {
                   [&](const DdlIndex& i) { return i.table == name; });
     std::erase_if(ddl_fks_,
                   [&](const DdlForeignKey& fk) { return fk.table == name; });
+    PersistDdl();
   }
   return s;
 }
@@ -176,10 +200,8 @@ int KindToken(IndexKind kind) { return static_cast<int>(kind); }
 
 }  // namespace
 
-Status Database::SaveSnapshot(const std::string& path) {
-  Checkpoint();
-  std::ofstream os(path, std::ios::trunc);
-  if (!os) return Status::Internal("cannot open " + path);
+std::string Database::SchemaText() const {
+  std::ostringstream os;
   os << "mmdb-snapshot 1\n";
   for (const DdlTable& t : ddl_tables_) {
     os << "table " << t.name << " " << t.fields.size() << " "
@@ -202,22 +224,25 @@ Status Database::SaveSnapshot(const std::string& path) {
        << fk.target_field << "\n";
   }
   os << "end\n";
+  return os.str();
+}
+
+Status Database::SaveSnapshot(const std::string& path) {
+  Checkpoint();
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return Status::Internal("cannot open " + path);
+  os << SchemaText();
   if (!os) return Status::Internal("write failed: " + path);
   os.close();
   return disk_image_.SaveToFile(path + ".img");
 }
 
-Status Database::LoadSnapshot(const std::string& path) {
-  if (catalog_.size() != 0) {
-    return Status::FailedPrecondition("LoadSnapshot needs an empty database");
-  }
-  std::ifstream is(path);
-  if (!is) return Status::NotFound("cannot open " + path);
+Status Database::ReplaySchemaText(std::istream& is) {
   std::string magic;
   int version = 0;
   is >> magic >> version;
   if (magic != "mmdb-snapshot" || version != 1) {
-    return Status::InvalidArgument("not an mmdb snapshot: " + path);
+    return Status::InvalidArgument("not an mmdb schema journal");
   }
 
   std::string keyword;
@@ -294,8 +319,19 @@ Status Database::LoadSnapshot(const std::string& path) {
       return Status::Internal("unknown snapshot keyword " + keyword);
     }
   }
+  return Status::Ok();
+}
 
-  Status s = disk_image_.LoadFromFile(path + ".img");
+Status Database::LoadSnapshot(const std::string& path) {
+  if (catalog_.size() != 0) {
+    return Status::FailedPrecondition("LoadSnapshot needs an empty database");
+  }
+  std::ifstream is(path);
+  if (!is) return Status::NotFound("cannot open " + path);
+  Status s = ReplaySchemaText(is);
+  if (!s.ok()) return s;
+
+  s = disk_image_.LoadFromFile(path + ".img");
   if (!s.ok()) return s;
   RecoveryManager recovery(&disk_image_, log_device_.get());
   for (const std::string& name : catalog_.List()) {
@@ -306,9 +342,150 @@ Status Database::LoadSnapshot(const std::string& path) {
 }
 
 void Database::Checkpoint() {
+  if (durability_ != nullptr) {
+    durability_->Checkpoint();
+    return;
+  }
   for (const std::string& name : catalog_.List()) {
     disk_image_.CheckpointRelation(*catalog_.Get(name));
   }
+}
+
+size_t Database::RunLogDevice() {
+  if (durability_ != nullptr) {
+    // Durable mode: the durability manager is the buffer's single drainer
+    // (WAL first, then accumulation); the image itself advances only at
+    // checkpoints.
+    size_t pumped = 0;
+    durability_->Pump(/*sync=*/false, &pumped);
+    return pumped;
+  }
+  return log_device_->RunCycle();
+}
+
+Status Database::EnableDurability(DurabilityOptions options) {
+  if (durability_ != nullptr) {
+    return Status::FailedPrecondition("durability already enabled");
+  }
+  if (options.mode == DurabilityMode::kOff) {
+    return Status::InvalidArgument("use DisableDurability for mode off");
+  }
+  // Single-drainer rule: the log device's own worker must not race the
+  // durability manager for committed records.
+  log_device_->StopBackground();
+  auto manager = std::make_unique<DurabilityManager>(this, std::move(options));
+  Status s = manager->Start();
+  if (!s.ok()) return s;
+  durability_ = std::move(manager);
+  return Status::Ok();
+}
+
+Status Database::DisableDurability() {
+  if (durability_ == nullptr) return Status::Ok();
+  durability_->Stop();
+  durability_.reset();
+  return Status::Ok();
+}
+
+Status Database::WaitDurable(uint64_t lsn) {
+  if (durability_ == nullptr) return Status::Ok();
+  return durability_->WaitDurable(lsn);
+}
+
+Status Database::CheckpointNow() {
+  if (durability_ != nullptr) return durability_->Checkpoint();
+  Checkpoint();
+  log_device_->RunCycle();
+  return Status::Ok();
+}
+
+Status Database::Recover(const std::string& dir, Env* env,
+                         RecoveryManager::Progress* progress) {
+  if (catalog_.size() != 0) {
+    return Status::FailedPrecondition("Recover needs an empty database");
+  }
+  if (env == nullptr) env = Env::Posix();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // 1. Schema journal.
+  std::string schema;
+  Status s = env->ReadFile(dir + "/" + log_format::SchemaFileName(), &schema);
+  if (!s.ok()) return s;
+  std::istringstream schema_stream(schema);
+  s = ReplaySchemaText(schema_stream);
+  if (!s.ok()) return s;
+
+  // 2. Newest valid checkpoint (a corrupt or half-written one falls back
+  // to the next older, whose WAL segments are still on disk).
+  std::vector<std::string> names;
+  s = env->ListDir(dir, &names);
+  if (!s.ok()) return s;
+  std::vector<uint64_t> ckpt_lsns;
+  for (const std::string& name : names) {
+    uint64_t lsn;
+    if (log_format::ParseCheckpointFileName(name, &lsn)) {
+      ckpt_lsns.push_back(lsn);
+    }
+  }
+  std::sort(ckpt_lsns.rbegin(), ckpt_lsns.rend());
+  uint64_t ckpt_lsn = 0;
+  disk_image_.Clear();
+  for (uint64_t candidate : ckpt_lsns) {
+    std::string data;
+    if (!env->ReadFile(dir + "/" + log_format::CheckpointFileName(candidate),
+                       &data)
+             .ok()) {
+      continue;
+    }
+    uint64_t stored_lsn;
+    std::string_view image_bytes;
+    if (!log_format::DecodeCheckpoint(data, &stored_lsn, &image_bytes).ok() ||
+        stored_lsn != candidate) {
+      continue;
+    }
+    if (disk_image_.DeserializeFrom(image_bytes).ok()) {
+      ckpt_lsn = candidate;
+      break;
+    }
+    disk_image_.Clear();
+  }
+
+  // 3. WAL tail: committed records past the checkpoint, stopping at the
+  // first torn/corrupt frame.
+  WalReplayResult wal;
+  s = ReplayWalDir(env, dir, ckpt_lsn, &wal);
+  if (!s.ok()) return s;
+  const size_t replayed = wal.records.size();
+  const uint64_t max_lsn = std::max(wal.max_lsn, ckpt_lsn);
+  log_device_->Accumulate(std::move(wal.records));
+
+  // 4. Rebuild every relation: checkpoint image merged with the tail.
+  RecoveryManager recovery(&disk_image_, log_device_.get());
+  for (const std::string& name : catalog_.List()) {
+    s = recovery.RecoverRelation(catalog_.Get(name));
+    if (!s.ok()) return s;
+  }
+  s = recovery.ResolvePointers(catalog_);
+  if (!s.ok()) return s;
+
+  // 5. Fresh LSNs must clear everything still on disk, even records of
+  // uncommitted transactions (an old segment could otherwise make a reused
+  // LSN look like a regression).
+  log_buffer_.ResetNextLsn(max_lsn + 1);
+
+  const double micros = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+  metrics_.GetGauge("mmdb_recovery_records_replayed")
+      ->Set(static_cast<int64_t>(replayed));
+  metrics_.GetGauge("mmdb_recovery_records_dropped")
+      ->Set(static_cast<int64_t>(wal.records_dropped));
+  metrics_.GetGauge("mmdb_recovery_micros")->Set(static_cast<int64_t>(micros));
+  if (progress != nullptr) {
+    *progress = recovery.progress();
+    progress->log_records_dropped = wal.records_dropped;
+  }
+  return Status::Ok();
 }
 
 Status Database::SimulateCrashAndRecover(

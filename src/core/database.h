@@ -6,10 +6,12 @@
 #ifndef MMDB_CORE_DATABASE_H_
 #define MMDB_CORE_DATABASE_H_
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/core/durability.h"
 #include "src/core/planner.h"
 #include "src/exec/project.h"
 #include "src/index/index.h"
@@ -79,11 +81,14 @@ class Database {
 
   // ---- Durability (Figure 2) --------------------------------------------------
 
-  /// Checkpoints every relation into the disk image.
+  /// Checkpoints every relation into the disk image (and, when durability
+  /// is enabled, runs the full durable checkpoint protocol).
   void Checkpoint();
 
   /// One log-device cycle: drain committed records, propagate to disk copy.
-  size_t RunLogDevice() { return log_device_->RunCycle(); }
+  /// When durability is enabled this routes through the durability manager
+  /// (the single drainer: records must hit the WAL before the device).
+  size_t RunLogDevice();
 
   /// Simulates a crash: discards all in-memory relations, then rebuilds
   /// them (schemas and indices replayed from recorded DDL, data recovered
@@ -101,6 +106,44 @@ class Database {
   /// Restores a snapshot into this (empty) database: replays the schema
   /// journal, loads the disk image, and recovers every relation.
   Status LoadSnapshot(const std::string& path);
+
+  // ---- Crash-safe durability (file-backed WAL + checkpoints) -----------------
+
+  /// Turns on file-backed durability: writes the schema journal and an
+  /// initial checkpoint of the current state to `options.dir`, opens the
+  /// WAL, and starts the background flusher/checkpointer.  From the moment
+  /// this returns OK, every acknowledged commit survives a crash (sync
+  /// mode) or survives up to the flush interval (async mode).
+  Status EnableDurability(DurabilityOptions options);
+
+  /// Stops the durability machinery after a final drain + fsync.
+  Status DisableDurability();
+
+  /// Rebuilds this (empty) database from a durability directory: schema
+  /// journal, newest valid checkpoint, then the WAL tail — stopping
+  /// cleanly at the first torn or corrupt record.  Call EnableDurability
+  /// afterwards to resume durable operation on the same directory.
+  Status Recover(const std::string& dir, Env* env = nullptr,
+                 RecoveryManager::Progress* progress = nullptr);
+
+  /// Blocks until the record with this LSN is crash-durable (sync mode);
+  /// no-op otherwise.  The query service calls this with a transaction's
+  /// commit_lsn() before acknowledging DML.
+  Status WaitDurable(uint64_t lsn);
+
+  /// Durable checkpoint (or the legacy in-memory checkpoint when
+  /// durability is off).
+  Status CheckpointNow();
+
+  DurabilityMode durability_mode() const {
+    return durability_ == nullptr ? DurabilityMode::kOff
+                                  : durability_->mode();
+  }
+  DurabilityManager* durability() { return durability_.get(); }
+
+  /// The schema journal as text (what SaveSnapshot and the durable
+  /// checkpointer both persist).
+  std::string SchemaText() const;
 
   Catalog& catalog() { return catalog_; }
   StableLogBuffer& log_buffer() { return log_buffer_; }
@@ -136,6 +179,16 @@ class Database {
                              IndexKind kind, IndexConfig config,
                              bool record_ddl);
 
+  /// Replays a schema journal (the SchemaText format) into this empty
+  /// database, recording the DDL for future journals.
+  Status ReplaySchemaText(std::istream& is);
+
+  /// Best-effort checkpoint after DDL while durability is enabled: the
+  /// schema journal on disk only changes at checkpoints, so a relation
+  /// created after the last one would otherwise be invisible to recovery
+  /// (its WAL records reference a name the journal does not declare).
+  void PersistDdl();
+
   // Declared before the lock manager, which holds pointers into it.
   MetricsRegistry metrics_;
   Catalog catalog_;
@@ -144,6 +197,10 @@ class Database {
   LockManager lock_manager_;
   std::unique_ptr<LogDevice> log_device_;
   std::unique_ptr<TransactionManager> txn_manager_;
+  // Declared after everything its threads touch, so it is destroyed (and
+  // its flusher/checkpointer joined) first; ~Database also stops it
+  // explicitly before any other teardown.
+  std::unique_ptr<DurabilityManager> durability_;
 
   // DDL journal for crash simulation (schema durability stand-in).
   std::vector<DdlTable> ddl_tables_;

@@ -1,0 +1,316 @@
+#include "src/core/durability.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/core/database.h"
+#include "src/txn/log_format.h"
+
+namespace mmdb {
+
+const char* DurabilityModeName(DurabilityMode mode) {
+  switch (mode) {
+    case DurabilityMode::kOff:
+      return "off";
+    case DurabilityMode::kAsync:
+      return "async";
+    case DurabilityMode::kSync:
+      return "sync";
+  }
+  return "?";
+}
+
+DurabilityManager::DurabilityManager(Database* db, DurabilityOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      env_(options_.env != nullptr ? options_.env : Env::Posix()),
+      wal_(env_, options_.dir) {
+  MetricsRegistry& m = db_->metrics();
+  bytes_appended_ = m.GetCounter("mmdb_log_bytes_appended_total");
+  records_appended_ = m.GetCounter("mmdb_log_records_appended_total");
+  fsyncs_ = m.GetCounter("mmdb_fsync_total");
+  fsync_micros_ = m.GetHistogram("mmdb_fsync_micros");
+  checkpoints_ = m.GetCounter("mmdb_checkpoint_total");
+  checkpoint_failures_ = m.GetCounter("mmdb_checkpoint_failures_total");
+  checkpoint_micros_ = m.GetHistogram("mmdb_checkpoint_micros");
+  checkpoint_bytes_ = m.GetGauge("mmdb_checkpoint_bytes");
+}
+
+DurabilityManager::~DurabilityManager() { Stop(); }
+
+uint64_t DurabilityManager::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return durable_lsn_;
+}
+
+uint64_t DurabilityManager::checkpoint_lsn() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return checkpoint_lsn_;
+}
+
+bool DurabilityManager::failed() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return failed_;
+}
+
+Status DurabilityManager::Start() {
+  std::lock_guard<std::mutex> ckpt(checkpoint_mu_);
+  if (started_) return Status::FailedPrecondition("durability already started");
+  if (options_.mode == DurabilityMode::kOff) {
+    return Status::InvalidArgument("durability mode is off");
+  }
+  if (options_.dir.empty()) {
+    return Status::InvalidArgument("durability dir required");
+  }
+  Status s = env_->CreateDir(options_.dir);
+  if (!s.ok()) return s;
+  s = CheckpointLocked(/*initial=*/true);
+  if (!s.ok()) return s;
+  started_ = true;
+  running_.store(true);
+  flusher_ = std::thread([this] { FlusherLoop(); });
+  if (options_.checkpoint_interval.count() > 0) {
+    checkpointer_ = std::thread([this] { CheckpointerLoop(); });
+  }
+  return Status::Ok();
+}
+
+void DurabilityManager::Stop() {
+  if (running_.exchange(false)) {
+    {
+      std::lock_guard<std::mutex> lock(stop_mu_);
+      stop_cv_.notify_all();
+    }
+    if (flusher_.joinable()) flusher_.join();
+    if (checkpointer_.joinable()) checkpointer_.join();
+  }
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (!started_) return;
+  started_ = false;
+  PumpLocked(/*sync=*/true, nullptr);  // best-effort final drain
+  wal_.Close();
+}
+
+Status DurabilityManager::PumpLocked(bool sync, size_t* pumped) {
+  if (failed_) return Status::Internal("wal failed; durability is down");
+  size_t data_records = 0;
+  for (;;) {
+    std::vector<LogRecord> drained = db_->log_buffer().DrainCommitted(1024);
+    if (drained.empty()) break;
+    size_t bytes_before = wal_.bytes_appended();
+    for (const LogRecord& r : drained) {
+      Status s = wal_.Append(r);
+      if (!s.ok()) {
+        // Records already drained from the buffer but not appended are
+        // lost to the WAL — which is exactly why nothing past this point
+        // is ever acknowledged: failed_ stays set.
+        failed_ = true;
+        durable_cv_.notify_all();
+        return s;
+      }
+      appended_lsn_ = std::max(appended_lsn_, r.lsn);
+      if (!r.is_commit_marker()) ++data_records;
+    }
+    bytes_appended_->Add(wal_.bytes_appended() - bytes_before);
+    records_appended_->Add(drained.size());
+    db_->log_device().Accumulate(std::move(drained));
+  }
+  if (pumped != nullptr) *pumped = data_records;
+  if (sync && durable_lsn_ < appended_lsn_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    Status s = wal_.Sync();
+    if (!s.ok()) {
+      failed_ = true;
+      durable_cv_.notify_all();
+      return s;
+    }
+    fsyncs_->Add(1);
+    fsync_micros_->Record(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    durable_lsn_ = appended_lsn_;
+    durable_cv_.notify_all();
+  }
+  return Status::Ok();
+}
+
+Status DurabilityManager::Pump(bool sync, size_t* pumped) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return PumpLocked(sync, pumped);
+}
+
+Status DurabilityManager::WaitDurable(uint64_t lsn) {
+  if (lsn == 0) return Status::Ok();
+  if (options_.mode != DurabilityMode::kSync) return Status::Ok();
+  std::unique_lock<std::mutex> lock(wal_mu_);
+  for (;;) {
+    if (durable_lsn_ >= lsn) return Status::Ok();
+    if (failed_) return Status::Internal("wal failed; write not durable");
+    // Group commit: whoever holds the mutex drains and fsyncs for every
+    // transaction that committed so far; followers blocked on the mutex
+    // find their marker already durable.
+    Status s = PumpLocked(/*sync=*/true, nullptr);
+    if (!s.ok()) return s;
+    if (durable_lsn_ >= lsn) return Status::Ok();
+    // Our marker is committed but stuck behind an earlier-LSN record of a
+    // transaction still mid-commit; wait for it to finish.
+    durable_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+Status DurabilityManager::WriteFileAtomic(const std::string& name,
+                                          std::string_view body) {
+  const std::string path = options_.dir + "/" + name;
+  const std::string tmp = path + ".tmp";
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(tmp, /*truncate=*/true, &file);
+  if (!s.ok()) return s;
+  s = file->Append(body);
+  if (s.ok()) s = file->Sync();
+  if (s.ok()) s = file->Close();
+  if (!s.ok()) return s;
+  return env_->RenameFile(tmp, path);
+}
+
+void DurabilityManager::DeleteObsoleteFiles(uint64_t keep_lsn) {
+  std::vector<std::string> names;
+  if (!env_->ListDir(options_.dir, &names).ok()) return;
+  for (const std::string& name : names) {
+    uint64_t lsn;
+    const bool stale_ckpt =
+        log_format::ParseCheckpointFileName(name, &lsn) && lsn != keep_lsn;
+    const bool stale_wal =
+        log_format::ParseWalFileName(name, &lsn) && lsn != keep_lsn;
+    const bool leftover_tmp =
+        name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0;
+    if (stale_ckpt || stale_wal || leftover_tmp) {
+      env_->RemoveFile(options_.dir + "/" + name);  // best effort
+    }
+  }
+}
+
+Status DurabilityManager::Checkpoint() {
+  std::lock_guard<std::mutex> ckpt(checkpoint_mu_);
+  if (!started_) return Status::FailedPrecondition("durability not started");
+  return CheckpointLocked(/*initial=*/false);
+}
+
+Status DurabilityManager::CheckpointLocked(bool initial) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // 1. Quiesce: share-lock every relation (name order, matching the
+  // service's lock protocol).  While these are held no transaction can be
+  // inside Commit(), so the stable buffer holds only whole transactions.
+  std::unique_ptr<Transaction> txn = db_->Begin();
+  txn->set_lock_timeout(options_.checkpoint_lock_timeout);
+  for (const std::string& name : db_->catalog().List()) {
+    Status s = txn->LockForRead(name);
+    if (!s.ok()) {
+      txn->Abort();
+      checkpoint_failures_->Add(1);
+      return Status::Aborted("checkpoint quiesce: " + s.message());
+    }
+  }
+
+  uint64_t ckpt_lsn = 0;
+  std::string image_bytes;
+  Status result;
+  {
+    std::unique_lock<std::mutex> lock(wal_mu_);
+    if (initial) {
+      // No WAL yet.  Committed records from the pre-durable phase describe
+      // updates already live in the relations; the snapshot below captures
+      // their effects, so the records themselves are discarded.
+      while (!db_->log_buffer().DrainCommitted(1024).empty()) {
+      }
+    } else {
+      // 2. Every committed record reaches the old segment, fsync'd, before
+      // the snapshot is cut — a crash mid-checkpoint replays them from it.
+      result = PumpLocked(/*sync=*/true, nullptr);
+    }
+    if (result.ok()) {
+      ckpt_lsn = db_->log_buffer().last_lsn();
+      // 3. The accumulation (all LSNs <= ckpt_lsn) folds into the image,
+      // then every relation is re-snapshotted — this also captures
+      // non-transactional DML, which never passes through the log.
+      db_->log_device().PropagateAll();
+      for (const std::string& name : db_->catalog().List()) {
+        db_->disk_image().CheckpointRelation(*db_->catalog().Get(name));
+      }
+      db_->disk_image().SerializeTo(&image_bytes);
+      // 4. Rotate inside the quiesce: the first post-checkpoint commit
+      // must land in wal-<ckpt_lsn>.log, not the segment about to die.
+      result = wal_.Rotate(ckpt_lsn);
+      if (!result.ok()) failed_ = true;
+    }
+  }
+
+  // 5. Publish the snapshot while still holding the quiesce locks.  (For
+  // an initial checkpoint there may be no older checkpoint to fall back
+  // on, so no commit may be acknowledged against the new WAL before the
+  // checkpoint file exists; steady-state checkpoints just keep the window
+  // simple.)
+  if (result.ok()) {
+    result = WriteFileAtomic(log_format::SchemaFileName(), db_->SchemaText());
+  }
+  if (result.ok()) {
+    result = WriteFileAtomic(
+        log_format::CheckpointFileName(ckpt_lsn),
+        log_format::EncodeCheckpoint(ckpt_lsn, image_bytes));
+  }
+  txn->Abort();  // read-only; releases the quiesce locks
+
+  if (!result.ok()) {
+    checkpoint_failures_->Add(1);
+    return result;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    // Everything at or below ckpt_lsn is now durable via the checkpoint
+    // file, even LSNs that never reached the WAL (the initial case).
+    appended_lsn_ = std::max(appended_lsn_, ckpt_lsn);
+    durable_lsn_ = std::max(durable_lsn_, ckpt_lsn);
+    checkpoint_lsn_ = ckpt_lsn;
+    durable_cv_.notify_all();
+  }
+  // 6. Older checkpoints and fully-covered WAL segments are dead only now
+  // that the new checkpoint is durably in place.
+  DeleteObsoleteFiles(ckpt_lsn);
+
+  checkpoints_->Add(1);
+  checkpoint_bytes_->Set(static_cast<int64_t>(image_bytes.size()));
+  checkpoint_micros_->Record(
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count());
+  return Status::Ok();
+}
+
+void DurabilityManager::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (running_.load()) {
+    stop_cv_.wait_for(lock, options_.flush_interval,
+                      [this] { return !running_.load(); });
+    if (!running_.load()) break;
+    lock.unlock();
+    Pump(/*sync=*/true, nullptr);
+    lock.lock();
+  }
+}
+
+void DurabilityManager::CheckpointerLoop() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (running_.load()) {
+    stop_cv_.wait_for(lock, options_.checkpoint_interval,
+                      [this] { return !running_.load(); });
+    if (!running_.load()) break;
+    lock.unlock();
+    Checkpoint();  // failures are counted in mmdb_checkpoint_failures_total
+    lock.lock();
+  }
+}
+
+}  // namespace mmdb

@@ -1,0 +1,160 @@
+// DurabilityManager: the file-backed end of the recovery chain.  The
+// paper's Figure 2 assumes stable hardware (battery-backed log buffer,
+// active log device); this component makes the same chain crash-safe on an
+// ordinary filesystem through an Env:
+//
+//   StableLogBuffer --drain--> WAL segment (framed, CRC'd, fsync'd)
+//                     \------> LogDevice accumulation --checkpoint--> files
+//
+// In durable mode the manager is the *single drainer* of the stable log
+// buffer: every committed record is appended to the write-ahead log before
+// it reaches the log device's change accumulation, and the accumulation is
+// propagated into the DiskImage only inside Checkpoint() — so the image
+// never changes while it is being serialized.
+//
+// Commit acknowledgement (sync mode) is group commit: a committing session
+// calls WaitDurable(marker LSN); the first waiter becomes the flush leader,
+// drains the buffer, appends, and fsyncs once for every transaction that
+// committed in the meantime.
+//
+// Checkpoint protocol (crash-safe at every step):
+//   1. quiesce: one transaction share-locks every relation (no writer can
+//      be mid-commit, so the stable buffer holds only complete txns);
+//   2. drain buffer -> WAL, fsync;
+//   3. propagate the accumulation, snapshot every relation into the
+//      DiskImage, serialize it;  L = last assigned LSN;
+//   4. rotate the WAL to wal-<L>.log (still inside the quiesce — a commit
+//      after release must land in the new segment);
+//   5. write schema + checkpoint-<L>.ckpt via temp+rename, then release
+//      the locks (an initial checkpoint has no older one to fall back on,
+//      so no commit may be acknowledged before the file exists);
+//   6. only then delete older checkpoints and WAL segments.
+// A crash before step 5's rename leaves the previous checkpoint plus every
+// WAL segment it needs; a crash after leaves the new one.  Either way
+// recovery finds a consistent prefix containing every acknowledged commit.
+
+#ifndef MMDB_CORE_DURABILITY_H_
+#define MMDB_CORE_DURABILITY_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <string_view>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/txn/wal.h"
+#include "src/util/env.h"
+#include "src/util/metrics.h"
+#include "src/util/status.h"
+
+namespace mmdb {
+
+class Database;
+
+enum class DurabilityMode {
+  kOff,    ///< no file I/O; the in-memory chain only (the seed behaviour)
+  kAsync,  ///< WAL appended + fsync'd by the background flusher; commits
+           ///< return immediately (bounded loss window = flush interval)
+  kSync,   ///< commit acknowledgement waits for the marker's fsync
+};
+
+const char* DurabilityModeName(DurabilityMode mode);
+
+struct DurabilityOptions {
+  DurabilityMode mode = DurabilityMode::kSync;
+  /// Directory holding schema.mmdb, checkpoint-*.ckpt and wal-*.log.
+  std::string dir;
+  /// Filesystem to write through; nullptr = Env::Posix().
+  Env* env = nullptr;
+  /// Background flush cadence (drain + append + fsync).
+  std::chrono::milliseconds flush_interval{5};
+  /// Automatic checkpoint cadence; 0 disables (manual CheckpointNow only).
+  std::chrono::milliseconds checkpoint_interval{0};
+  /// Lock-wait budget for the checkpoint quiesce transaction.
+  std::chrono::milliseconds checkpoint_lock_timeout{1000};
+};
+
+class DurabilityManager {
+ public:
+  DurabilityManager(Database* db, DurabilityOptions options);
+  ~DurabilityManager();
+
+  /// Makes the database durable: writes the schema journal, takes the
+  /// initial checkpoint of the current in-memory state, opens a fresh WAL,
+  /// and starts the background flusher (and checkpointer, if configured).
+  /// Nothing is acknowledged durable until this returns OK.
+  Status Start();
+
+  /// Stops the background threads after a final drain + fsync.  Idempotent.
+  void Stop();
+
+  /// Blocks until every record with LSN <= `lsn` is fsync'd (group commit).
+  /// `lsn` 0 returns immediately.  Fails if the WAL writer has failed —
+  /// the caller must NOT acknowledge the write in that case.
+  Status WaitDurable(uint64_t lsn);
+
+  /// One drain cycle: committed buffer -> WAL append -> accumulation;
+  /// fsyncs if `sync`.  Returns the number of data records moved via
+  /// `*pumped` (may be null).
+  Status Pump(bool sync, size_t* pumped = nullptr);
+
+  /// Runs the checkpoint protocol above.  Fails (leaving the previous
+  /// checkpoint authoritative) if the quiesce cannot lock every relation
+  /// within the configured timeout or a file write fails.
+  Status Checkpoint();
+
+  DurabilityMode mode() const { return options_.mode; }
+  const DurabilityOptions& options() const { return options_; }
+  uint64_t durable_lsn() const;
+  uint64_t checkpoint_lsn() const;
+  /// True once a WAL append/fsync has failed; no further write is ever
+  /// acknowledged (the torn tail must stay the end of the stream).
+  bool failed() const;
+
+ private:
+  Status CheckpointLocked(bool initial);
+  Status PumpLocked(bool sync, size_t* pumped);
+  Status WriteFileAtomic(const std::string& name, std::string_view body);
+  void DeleteObsoleteFiles(uint64_t keep_lsn);
+  void FlusherLoop();
+  void CheckpointerLoop();
+
+  Database* db_;
+  DurabilityOptions options_;
+  Env* env_;
+
+  // Serializes checkpoints against each other (wal_mu_ covers the WAL).
+  std::mutex checkpoint_mu_;
+
+  mutable std::mutex wal_mu_;
+  std::condition_variable durable_cv_;
+  WalWriter wal_;
+  uint64_t appended_lsn_ = 0;  // highest LSN appended to the WAL
+  uint64_t durable_lsn_ = 0;   // highest LSN covered by an fsync
+  uint64_t checkpoint_lsn_ = 0;
+  bool failed_ = false;
+  bool started_ = false;
+
+  std::atomic<bool> running_{false};
+  std::thread flusher_;
+  std::thread checkpointer_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+
+  Counter* bytes_appended_;
+  Counter* records_appended_;
+  Counter* fsyncs_;
+  LatencyHistogram* fsync_micros_;
+  Counter* checkpoints_;
+  Counter* checkpoint_failures_;
+  LatencyHistogram* checkpoint_micros_;
+  Gauge* checkpoint_bytes_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_DURABILITY_H_

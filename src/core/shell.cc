@@ -263,9 +263,46 @@ std::string CommandShell::Execute(const std::string& statement) {
     if (head == "METRICS") return RunMetrics();
     if (head == "TRACE") return RunTrace(t);
     if (head == "CHECKPOINT") {
-      db_->Checkpoint();
-      db_->RunLogDevice();
+      Status s = db_->CheckpointNow();
+      if (!s.ok()) return "error: " + s.ToString();
       return "ok: checkpointed";
+    }
+    if (head == "DURABILITY") {
+      // DURABILITY 'dir' SYNC|ASYNC  |  DURABILITY OFF
+      if (t.size() == 2 && TokenIs(t[1], "OFF")) {
+        Status s = db_->DisableDurability();
+        if (!s.ok()) return "error: " + s.ToString();
+        return "ok: durability off";
+      }
+      if (t.size() != 3 || !t[1].quoted) {
+        return "error: DURABILITY 'dir' SYNC|ASYNC, or DURABILITY OFF";
+      }
+      DurabilityOptions options;
+      options.dir = t[1].text;
+      const std::string mode = Upper(t[2].text);
+      if (mode == "SYNC") {
+        options.mode = DurabilityMode::kSync;
+      } else if (mode == "ASYNC") {
+        options.mode = DurabilityMode::kAsync;
+      } else {
+        return "error: durability mode must be SYNC or ASYNC";
+      }
+      Status s = db_->EnableDurability(std::move(options));
+      if (!s.ok()) return "error: " + s.ToString();
+      return std::string("ok: durability ") +
+             DurabilityModeName(db_->durability_mode()) + " in " + t[1].text;
+    }
+    if (head == "RECOVER") {
+      // RECOVER 'dir' — rebuild this (empty) database from a durability dir.
+      if (t.size() != 2 || !t[1].quoted) return "error: RECOVER 'dir'";
+      RecoveryManager::Progress progress;
+      Status s = db_->Recover(t[1].text, nullptr, &progress);
+      if (!s.ok()) return "error: " + s.ToString();
+      std::ostringstream os;
+      os << "ok: recovered " << progress.tuples_loaded << " tuples ("
+         << progress.log_records_merged << " log records merged, "
+         << progress.log_records_dropped << " dropped)";
+      return os.str();
     }
     if (head == "CRASH") {
       RecoveryManager::Progress progress;

@@ -13,6 +13,8 @@
 //   DELETE FROM emp WHERE age < 25;
 //   SHOW TABLES;         DESCRIBE emp;
 //   CHECKPOINT;          CRASH;          -- checkpoint / simulated crash
+//   DURABILITY '/data/mmdb' SYNC;        -- file-backed WAL (SYNC|ASYNC|OFF)
+//   RECOVER '/data/mmdb';                -- rebuild empty db from that dir
 //   EXPLAIN SELECT ...;                  -- plan without rows
 //   EXPLAIN ANALYZE SELECT ...;          -- run + per-operator stats tree
 //   METRICS;                             -- Prometheus text exposition

@@ -357,6 +357,11 @@ OpResult QueryService::RunInsert(const InsertSpec& spec) {
     return out;
   }
   s = txn->Commit();
+  if (s.ok()) {
+    // Sync durability: the insert is acknowledged only once its commit
+    // marker is fsync'd (no-op when durability is off or async).
+    s = db_->WaitDurable(txn->commit_lsn());
+  }
   out.status = s;
   out.rows_affected = s.ok() ? 1 : 0;
   return out;
@@ -543,6 +548,10 @@ OpResult QueryService::RunMutation(WorkerContext& ctx, const Operation& op) {
   }
 
   s = txn->Commit();
+  if (s.ok()) {
+    // Sync durability: ack only after the commit marker is fsync'd.
+    s = db_->WaitDurable(txn->commit_lsn());
+  }
   out.status = s;
   out.rows_affected = s.ok() ? n : 0;
   return out;

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 
 #include "src/storage/tuple.h"
 
@@ -203,74 +204,96 @@ size_t DiskImage::TotalBytes() const {
 
 namespace {
 
-void PutU32(std::ofstream* os, uint32_t v) {
-  os->write(reinterpret_cast<const char*>(&v), sizeof(v));
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-bool GetU32(std::ifstream* is, uint32_t* v) {
-  return static_cast<bool>(is->read(reinterpret_cast<char*>(v), sizeof(*v)));
+bool GetU32(std::string_view in, size_t* pos, uint32_t* v) {
+  if (*pos + sizeof(*v) > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, sizeof(*v));
+  *pos += sizeof(*v);
+  return true;
 }
 
 }  // namespace
 
-Status DiskImage::SaveToFile(const std::string& path) const {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) return Status::Internal("cannot open " + path);
-  PutU32(&os, static_cast<uint32_t>(data_.size()));
+void DiskImage::SerializeTo(std::string* out) const {
+  out->clear();
+  PutU32(out, static_cast<uint32_t>(data_.size()));
   for (const auto& [name, partitions] : data_) {
-    PutU32(&os, static_cast<uint32_t>(name.size()));
-    os.write(name.data(), static_cast<std::streamsize>(name.size()));
-    PutU32(&os, static_cast<uint32_t>(partitions.size()));
+    PutU32(out, static_cast<uint32_t>(name.size()));
+    out->append(name);
+    PutU32(out, static_cast<uint32_t>(partitions.size()));
     for (const auto& [id, image] : partitions) {
-      PutU32(&os, id);
-      PutU32(&os, static_cast<uint32_t>(image.size()));
+      PutU32(out, id);
+      PutU32(out, static_cast<uint32_t>(image.size()));
       for (const auto& [slot, bytes] : image) {
-        PutU32(&os, slot);
-        PutU32(&os, static_cast<uint32_t>(bytes.size()));
-        os.write(reinterpret_cast<const char*>(bytes.data()),
-                 static_cast<std::streamsize>(bytes.size()));
+        PutU32(out, slot);
+        PutU32(out, static_cast<uint32_t>(bytes.size()));
+        out->append(reinterpret_cast<const char*>(bytes.data()),
+                    bytes.size());
       }
     }
   }
+}
+
+Status DiskImage::DeserializeFrom(std::string_view data) {
+  data_.clear();
+  size_t pos = 0;
+  uint32_t relations;
+  if (!GetU32(data, &pos, &relations)) {
+    return Status::Internal("truncated image data");
+  }
+  for (uint32_t r = 0; r < relations; ++r) {
+    uint32_t name_len;
+    if (!GetU32(data, &pos, &name_len) || pos + name_len > data.size()) {
+      return Status::Internal("truncated image data");
+    }
+    std::string name(data.substr(pos, name_len));
+    pos += name_len;
+    uint32_t partitions;
+    if (!GetU32(data, &pos, &partitions)) {
+      return Status::Internal("truncated image data");
+    }
+    for (uint32_t p = 0; p < partitions; ++p) {
+      uint32_t id, tuples;
+      if (!GetU32(data, &pos, &id) || !GetU32(data, &pos, &tuples)) {
+        return Status::Internal("truncated image data");
+      }
+      PartitionImage image;
+      for (uint32_t t = 0; t < tuples; ++t) {
+        uint32_t slot, len;
+        if (!GetU32(data, &pos, &slot) || !GetU32(data, &pos, &len) ||
+            pos + len > data.size()) {
+          return Status::Internal("truncated image data");
+        }
+        TupleImage bytes(len);
+        std::memcpy(bytes.data(), data.data() + pos, len);
+        pos += len;
+        image[slot] = std::move(bytes);
+      }
+      data_[name][id] = std::move(image);
+    }
+  }
+  if (pos != data.size()) return Status::Internal("trailing image data");
+  return Status::Ok();
+}
+
+Status DiskImage::SaveToFile(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return Status::Internal("cannot open " + path);
+  std::string bytes;
+  SerializeTo(&bytes);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   return os ? Status::Ok() : Status::Internal("write failed: " + path);
 }
 
 Status DiskImage::LoadFromFile(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) return Status::NotFound("cannot open " + path);
-  data_.clear();
-  uint32_t relations;
-  if (!GetU32(&is, &relations)) return Status::Internal("truncated file");
-  for (uint32_t r = 0; r < relations; ++r) {
-    uint32_t name_len;
-    if (!GetU32(&is, &name_len)) return Status::Internal("truncated file");
-    std::string name(name_len, '\0');
-    if (!is.read(name.data(), name_len)) {
-      return Status::Internal("truncated file");
-    }
-    uint32_t partitions;
-    if (!GetU32(&is, &partitions)) return Status::Internal("truncated file");
-    for (uint32_t p = 0; p < partitions; ++p) {
-      uint32_t id, tuples;
-      if (!GetU32(&is, &id) || !GetU32(&is, &tuples)) {
-        return Status::Internal("truncated file");
-      }
-      PartitionImage image;
-      for (uint32_t t = 0; t < tuples; ++t) {
-        uint32_t slot, len;
-        if (!GetU32(&is, &slot) || !GetU32(&is, &len)) {
-          return Status::Internal("truncated file");
-        }
-        TupleImage bytes(len);
-        if (!is.read(reinterpret_cast<char*>(bytes.data()), len)) {
-          return Status::Internal("truncated file");
-        }
-        image[slot] = std::move(bytes);
-      }
-      data_[name][id] = std::move(image);
-    }
-  }
-  return Status::Ok();
+  std::string bytes((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+  return DeserializeFrom(bytes);
 }
 
 }  // namespace mmdb

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/storage/relation.h"
@@ -76,6 +77,11 @@ class DiskImage {
 
   /// Relations present in the image.
   std::vector<std::string> Relations() const;
+
+  /// Byte-exact serialization (the checkpoint file payload; SaveToFile /
+  /// LoadFromFile wrap the same format in a file).
+  void SerializeTo(std::string* out) const;
+  Status DeserializeFrom(std::string_view data);
 
   /// Byte-exact save/load for cross-process durability.
   Status SaveToFile(const std::string& path) const;

@@ -9,6 +9,7 @@ const char* LogOpName(LogOp op) {
     case LogOp::kInsert: return "insert";
     case LogOp::kDelete: return "delete";
     case LogOp::kUpdate: return "update";
+    case LogOp::kCommit: return "commit";
   }
   return "?";
 }
@@ -26,9 +27,27 @@ bool StableLogBuffer::IsCommitted(uint64_t txn_id) const {
          committed_txns_.end();
 }
 
-void StableLogBuffer::Commit(uint64_t txn_id) {
+bool StableLogBuffer::HasRecords(uint64_t txn_id) const {
+  for (const LogRecord& r : records_) {
+    if (r.txn_id == txn_id) return true;
+  }
+  return false;
+}
+
+uint64_t StableLogBuffer::Commit(uint64_t txn_id) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!IsCommitted(txn_id)) committed_txns_.push_back(txn_id);
+  if (IsCommitted(txn_id)) return 0;
+  // A transaction that wrote nothing needs neither registration nor a
+  // marker; registering it would leak an entry that no drain ever removes.
+  if (!HasRecords(txn_id)) return 0;
+  committed_txns_.push_back(txn_id);
+  LogRecord marker;
+  marker.txn_id = txn_id;
+  marker.op = LogOp::kCommit;
+  marker.lsn = next_lsn_++;
+  const uint64_t lsn = marker.lsn;
+  records_.push_back(std::move(marker));
+  return lsn;
 }
 
 void StableLogBuffer::Abort(uint64_t txn_id) {
@@ -57,10 +76,21 @@ std::vector<LogRecord> StableLogBuffer::DrainCommitted(size_t max) {
   // log device in LSN order for the change accumulation to be correct).
   while (out.size() < max && !records_.empty() &&
          IsCommitted(records_.front().txn_id)) {
+    // The commit marker is a transaction's last record; draining it means
+    // the transaction is fully out of the buffer, so its id can be
+    // forgotten (the committed-txns list stays bounded by in-flight txns).
+    if (records_.front().is_commit_marker()) {
+      std::erase(committed_txns_, records_.front().txn_id);
+    }
     out.push_back(std::move(records_.front()));
     records_.pop_front();
   }
   return out;
+}
+
+void StableLogBuffer::ResetNextLsn(uint64_t next) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_lsn_ = next;
 }
 
 size_t StableLogBuffer::size() const {

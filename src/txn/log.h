@@ -21,7 +21,11 @@
 
 namespace mmdb {
 
-enum class LogOp : uint8_t { kInsert, kDelete, kUpdate };
+/// kCommit is a transaction's commit marker: appended by Commit() after the
+/// transaction's data records, it is what makes the transaction durable —
+/// WAL replay applies only records of transactions whose marker survives in
+/// the valid log prefix, so a torn tail can never expose a partial batch.
+enum class LogOp : uint8_t { kInsert, kDelete, kUpdate, kCommit };
 
 const char* LogOpName(LogOp op);
 
@@ -33,6 +37,8 @@ struct LogRecord {
   TupleId tid;
   /// Full-tuple after-image (EncodeTuple format); empty for deletes.
   TupleImage payload;
+
+  bool is_commit_marker() const { return op == LogOp::kCommit; }
 };
 
 /// The stable log buffer of Figure 2.  Transactions append records before
@@ -43,8 +49,11 @@ class StableLogBuffer {
   /// Appends a record (assigning its LSN) and returns that LSN.
   uint64_t Append(LogRecord record);
 
-  /// Makes all of txn's records eligible for the log device.
-  void Commit(uint64_t txn_id);
+  /// Makes all of txn's records eligible for the log device, appending a
+  /// kCommit marker after them.  Returns the marker's LSN — the durability
+  /// watermark a sync-mode commit waits on — or 0 if the transaction wrote
+  /// nothing (no marker is appended).
+  uint64_t Commit(uint64_t txn_id);
 
   /// Removes txn's records ("the log entry is removed and no undo is
   /// needed").
@@ -65,6 +74,10 @@ class StableLogBuffer {
   /// Latest LSN assigned so far.
   uint64_t last_lsn() const;
 
+  /// Restarts LSN assignment at `next` (recovery: max replayed LSN + 1, so
+  /// fresh records never collide with LSNs already on disk).
+  void ResetNextLsn(uint64_t next);
+
  private:
   mutable std::mutex mu_;
   std::deque<LogRecord> records_;          // in-flight + committed, LSN order
@@ -72,6 +85,7 @@ class StableLogBuffer {
   uint64_t next_lsn_ = 1;
 
   bool IsCommitted(uint64_t txn_id) const;
+  bool HasRecords(uint64_t txn_id) const;
 };
 
 }  // namespace mmdb

@@ -5,11 +5,23 @@ namespace mmdb {
 size_t LogDevice::Pump(size_t max) {
   std::vector<LogRecord> drained = buffer_->DrainCommitted(max);
   std::lock_guard<std::mutex> lock(mu_);
+  size_t data_records = 0;
   for (LogRecord& r : drained) {
+    if (r.is_commit_marker()) continue;  // no data to accumulate
+    Key key{r.relation, r.tid.partition};
+    accumulation_[key].push_back(std::move(r));
+    ++data_records;
+  }
+  return data_records;
+}
+
+void LogDevice::Accumulate(std::vector<LogRecord> records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (LogRecord& r : records) {
+    if (r.is_commit_marker()) continue;
     Key key{r.relation, r.tid.partition};
     accumulation_[key].push_back(std::move(r));
   }
-  return drained.size();
 }
 
 void LogDevice::ApplyToImage(const LogRecord& record, PartitionImage* image) {
@@ -73,6 +85,15 @@ size_t LogDevice::accumulated() const {
   return n;
 }
 
+size_t LogDevice::Drain() {
+  size_t total = 0;
+  for (;;) {
+    total += RunCycle();
+    if (buffer_->committed_size() == 0 && accumulated() == 0) return total;
+    std::this_thread::yield();  // head-of-buffer txn still in flight
+  }
+}
+
 void LogDevice::StartBackground(std::chrono::milliseconds interval) {
   if (running_.exchange(true)) return;  // already running
   worker_ = std::thread([this, interval] {
@@ -93,7 +114,7 @@ void LogDevice::StopBackground() {
     stop_cv_.notify_all();
   }
   if (worker_.joinable()) worker_.join();
-  RunCycle();  // final drain so nothing committed is left behind
+  Drain();  // full final drain so nothing committed is left behind
 }
 
 }  // namespace mmdb

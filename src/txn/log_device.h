@@ -35,8 +35,17 @@ class LogDevice {
   ~LogDevice() { StopBackground(); }
 
   /// Moves up to `max` committed records from the stable log buffer into
-  /// the change-accumulation log.  Returns how many were taken.
+  /// the change-accumulation log.  Commit markers are consumed but not
+  /// accumulated (they carry no data); the return value counts only data
+  /// records.
   size_t Pump(size_t max = 1024);
+
+  /// Adds already-drained records to the accumulation log.  This is how the
+  /// durability manager feeds the device in durable mode (it is the single
+  /// drainer of the stable buffer: WAL append first, then accumulation),
+  /// and how recovery injects the replayed WAL tail so LoadPartition can
+  /// merge it with the checkpoint image.  Markers are skipped.
+  void Accumulate(std::vector<LogRecord> records);
 
   /// Applies the accumulated records for one partition to the disk copy and
   /// forgets them.  Returns the number of records applied.
@@ -51,6 +60,13 @@ class LogDevice {
     PropagateAll();
     return pumped;
   }
+
+  /// Loops RunCycle() until both the stable buffer's committed backlog and
+  /// the accumulation log are empty — unlike a single pump, this cannot
+  /// leave records behind.  Spins (yielding) past a head-of-buffer
+  /// in-flight transaction; callers run it where none can exist (shutdown,
+  /// checkpoint quiesce).  Returns total data records moved.
+  size_t Drain();
 
   /// Accumulated records for a partition that have NOT yet reached the disk
   /// copy — recovery merges these with the on-disk partition on the fly.

@@ -1,0 +1,180 @@
+#include "src/txn/log_format.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/crc32c.h"
+
+namespace mmdb {
+namespace log_format {
+namespace {
+
+template <typename T>
+void Put(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool Get(std::string_view in, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+std::string EncodePayload(const LogRecord& record) {
+  std::string payload;
+  Put<uint8_t>(&payload, static_cast<uint8_t>(record.op));
+  Put<uint64_t>(&payload, record.lsn);
+  Put<uint64_t>(&payload, record.txn_id);
+  Put<uint32_t>(&payload, static_cast<uint32_t>(record.relation.size()));
+  payload.append(record.relation);
+  Put<uint32_t>(&payload, record.tid.partition);
+  Put<uint32_t>(&payload, record.tid.slot);
+  Put<uint32_t>(&payload, static_cast<uint32_t>(record.payload.size()));
+  payload.append(reinterpret_cast<const char*>(record.payload.data()),
+                 record.payload.size());
+  return payload;
+}
+
+bool DecodePayload(std::string_view payload, LogRecord* record) {
+  size_t pos = 0;
+  uint8_t op;
+  if (!Get(payload, &pos, &op)) return false;
+  if (op > static_cast<uint8_t>(LogOp::kCommit)) return false;
+  record->op = static_cast<LogOp>(op);
+  if (!Get(payload, &pos, &record->lsn)) return false;
+  if (!Get(payload, &pos, &record->txn_id)) return false;
+  uint32_t rel_len;
+  if (!Get(payload, &pos, &rel_len)) return false;
+  if (pos + rel_len > payload.size()) return false;
+  record->relation.assign(payload.data() + pos, rel_len);
+  pos += rel_len;
+  if (!Get(payload, &pos, &record->tid.partition)) return false;
+  if (!Get(payload, &pos, &record->tid.slot)) return false;
+  uint32_t image_len;
+  if (!Get(payload, &pos, &image_len)) return false;
+  if (pos + image_len > payload.size()) return false;
+  record->payload.resize(image_len);
+  std::memcpy(record->payload.data(), payload.data() + pos, image_len);
+  pos += image_len;
+  return pos == payload.size();
+}
+
+}  // namespace
+
+void EncodeRecord(const LogRecord& record, std::string* out) {
+  const std::string payload = EncodePayload(record);
+  Put<uint32_t>(out, static_cast<uint32_t>(payload.size()));
+  Put<uint32_t>(out,
+                crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  out->append(payload);
+}
+
+DecodeResult DecodeRecord(std::string_view data, size_t* pos,
+                          LogRecord* record) {
+  if (*pos == data.size()) return DecodeResult::kEnd;
+  const size_t start = *pos;
+  size_t p = *pos;
+  uint32_t len, masked_crc;
+  if (!Get(data, &p, &len) || !Get(data, &p, &masked_crc) ||
+      p + len > data.size()) {
+    *pos = start;
+    return DecodeResult::kCorrupt;  // torn frame at the tail
+  }
+  const std::string_view payload = data.substr(p, len);
+  if (crc32c::Unmask(masked_crc) !=
+      crc32c::Value(payload.data(), payload.size())) {
+    *pos = start;
+    return DecodeResult::kCorrupt;
+  }
+  if (!DecodePayload(payload, record)) {
+    *pos = start;
+    return DecodeResult::kCorrupt;
+  }
+  *pos = p + len;
+  return DecodeResult::kOk;
+}
+
+std::string EncodeCheckpoint(uint64_t lsn, std::string_view image_bytes) {
+  std::string out;
+  Put<uint64_t>(&out, kCheckpointMagic);
+  Put<uint32_t>(&out, kCheckpointVersion);
+  Put<uint64_t>(&out, lsn);
+  Put<uint64_t>(&out, static_cast<uint64_t>(image_bytes.size()));
+  Put<uint32_t>(&out, crc32c::Mask(crc32c::Value(image_bytes.data(),
+                                                 image_bytes.size())));
+  out.append(image_bytes);
+  return out;
+}
+
+Status DecodeCheckpoint(std::string_view data, uint64_t* lsn,
+                        std::string_view* image_bytes) {
+  size_t pos = 0;
+  uint64_t magic, payload_len;
+  uint32_t version, masked_crc;
+  if (!Get(data, &pos, &magic) || magic != kCheckpointMagic) {
+    return Status::Internal("checkpoint: bad magic");
+  }
+  if (!Get(data, &pos, &version) || version != kCheckpointVersion) {
+    return Status::Internal("checkpoint: unsupported version");
+  }
+  if (!Get(data, &pos, lsn) || !Get(data, &pos, &payload_len) ||
+      !Get(data, &pos, &masked_crc)) {
+    return Status::Internal("checkpoint: truncated header");
+  }
+  if (pos + payload_len != data.size()) {
+    return Status::Internal("checkpoint: truncated payload");
+  }
+  *image_bytes = data.substr(pos, payload_len);
+  if (crc32c::Unmask(masked_crc) !=
+      crc32c::Value(image_bytes->data(), image_bytes->size())) {
+    return Status::Internal("checkpoint: CRC mismatch");
+  }
+  return Status::Ok();
+}
+
+std::string CheckpointFileName(uint64_t lsn) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "checkpoint-%020llu.ckpt",
+                static_cast<unsigned long long>(lsn));
+  return buf;
+}
+
+std::string WalFileName(uint64_t start_lsn) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "wal-%020llu.log",
+                static_cast<unsigned long long>(start_lsn));
+  return buf;
+}
+
+namespace {
+
+bool ParseNumbered(const std::string& name, const std::string& prefix,
+                   const std::string& suffix, uint64_t* value) {
+  if (name.size() != prefix.size() + 20 + suffix.size()) return false;
+  if (name.rfind(prefix, 0) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (size_t i = prefix.size(); i < prefix.size() + 20; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *value = v;
+  return true;
+}
+
+}  // namespace
+
+bool ParseCheckpointFileName(const std::string& name, uint64_t* lsn) {
+  return ParseNumbered(name, "checkpoint-", ".ckpt", lsn);
+}
+
+bool ParseWalFileName(const std::string& name, uint64_t* start_lsn) {
+  return ParseNumbered(name, "wal-", ".log", start_lsn);
+}
+
+}  // namespace log_format
+}  // namespace mmdb

@@ -1,0 +1,72 @@
+// Durable serialized form of the recovery chain (Section 2.4 made real):
+//
+//   WAL record frame   [u32 payload_len][u32 masked_crc32c][payload]
+//   record payload     u8 op | u64 lsn | u64 txn_id
+//                      | u32 rel_len | rel bytes
+//                      | u32 partition | u32 slot
+//                      | u32 image_len | image bytes
+//   checkpoint file    [u64 magic][u32 version][u64 lsn]
+//                      [u64 payload_len][u32 masked_crc32c][DiskImage bytes]
+//
+// LSNs are monotonic across the record stream; a decoder stops cleanly at
+// the first truncated frame, CRC mismatch, or LSN regression — the torn
+// tail a crash leaves behind is data loss only for transactions that were
+// never acknowledged.
+//
+// File naming inside a durability directory:
+//   schema.mmdb                 DDL journal (text, temp+rename)
+//   checkpoint-<lsn,20d>.ckpt   atomic snapshot of the disk image at <lsn>
+//   wal-<lsn,20d>.log           records with lsn > <lsn>, ascending
+
+#ifndef MMDB_TXN_LOG_FORMAT_H_
+#define MMDB_TXN_LOG_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/txn/log.h"
+
+namespace mmdb {
+namespace log_format {
+
+inline constexpr uint64_t kCheckpointMagic = 0x4d4d44424b505431ull;  // "MMDBKPT1"
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/// Appends one framed record to `*out`.
+void EncodeRecord(const LogRecord& record, std::string* out);
+
+enum class DecodeResult {
+  kOk,       ///< one record decoded, *pos advanced
+  kEnd,      ///< clean end of data (nothing left at *pos)
+  kCorrupt,  ///< truncated frame / CRC mismatch / malformed payload
+};
+
+/// Decodes the frame at `*pos`; on kOk fills `*record` and advances `*pos`.
+/// On kCorrupt, `*pos` is left at the bad frame.
+DecodeResult DecodeRecord(std::string_view data, size_t* pos,
+                          LogRecord* record);
+
+/// Wraps a serialized DiskImage into a checkpoint file body.
+std::string EncodeCheckpoint(uint64_t lsn, std::string_view image_bytes);
+
+/// Validates a checkpoint file; on success fills the lsn and the image
+/// payload (a view into `data` — keep `data` alive).
+Status DecodeCheckpoint(std::string_view data, uint64_t* lsn,
+                        std::string_view* image_bytes);
+
+// ---- Durability-directory file names ------------------------------------
+
+std::string CheckpointFileName(uint64_t lsn);
+std::string WalFileName(uint64_t start_lsn);
+inline const char* SchemaFileName() { return "schema.mmdb"; }
+
+/// Parses "checkpoint-<lsn>.ckpt" / "wal-<lsn>.log"; false if `name` is not
+/// of that shape.
+bool ParseCheckpointFileName(const std::string& name, uint64_t* lsn);
+bool ParseWalFileName(const std::string& name, uint64_t* start_lsn);
+
+}  // namespace log_format
+}  // namespace mmdb
+
+#endif  // MMDB_TXN_LOG_FORMAT_H_

@@ -37,6 +37,10 @@ class RecoveryManager {
     size_t tuples_loaded = 0;
     size_t log_records_merged = 0;
     size_t pointers_resolved = 0;
+    /// WAL records discarded during file-backed recovery: transactions with
+    /// no commit marker in the valid prefix, plus frames past the first
+    /// corruption.  Filled by Database::Recover, not by this manager.
+    size_t log_records_dropped = 0;
   };
 
   /// Loads one partition: disk snapshot merged with the log device's

@@ -282,7 +282,7 @@ Status Transaction::Commit() {
     }
   }
 
-  log->Commit(id_);
+  commit_lsn_ = log->Commit(id_);
   state_ = State::kCommitted;
   mgr_->locks()->ReleaseAll(id_);
   return Status::Ok();

@@ -121,6 +121,11 @@ class Transaction {
 
   size_t pending_ops() const { return ops_.size(); }
 
+  /// LSN of this transaction's commit marker (0 until Commit(), and 0 after
+  /// a commit that wrote nothing).  In sync durability mode the caller
+  /// passes this to Database::WaitDurable before acknowledging the write.
+  uint64_t commit_lsn() const { return commit_lsn_; }
+
  private:
   friend class TransactionManager;
   Transaction(TransactionManager* mgr, uint64_t id) : mgr_(mgr), id_(id) {}
@@ -143,6 +148,7 @@ class Transaction {
   uint64_t id_;
   State state_ = State::kActive;
   std::chrono::milliseconds lock_timeout_{200};
+  uint64_t commit_lsn_ = 0;
   std::vector<PendingOp> ops_;
 };
 

@@ -1,0 +1,140 @@
+#include "src/txn/wal.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "src/txn/log_format.h"
+
+namespace mmdb {
+
+std::string WalWriter::segment_path() const {
+  return dir_ + "/" + log_format::WalFileName(segment_start_);
+}
+
+Status WalWriter::Open(uint64_t start_lsn, bool truncate) {
+  segment_start_ = start_lsn;
+  failed_ = false;
+  Status s = env_->NewWritableFile(segment_path(), truncate, &file_);
+  if (!s.ok()) failed_ = true;
+  return s;
+}
+
+Status WalWriter::Append(const LogRecord& record) {
+  if (failed_) return Status::Internal("wal writer failed earlier");
+  if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
+  std::string frame;
+  log_format::EncodeRecord(record, &frame);
+  Status s = file_->Append(frame);
+  if (!s.ok()) {
+    // A torn frame may now sit at the segment tail; latch so no valid
+    // frame can ever be appended after it.
+    failed_ = true;
+    return s;
+  }
+  bytes_appended_ += frame.size();
+  ++records_appended_;
+  return Status::Ok();
+}
+
+Status WalWriter::Sync() {
+  if (failed_) return Status::Internal("wal writer failed earlier");
+  if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
+  Status s = file_->Sync();
+  if (!s.ok()) failed_ = true;
+  return s;
+}
+
+Status WalWriter::Rotate(uint64_t start_lsn) {
+  if (file_ != nullptr) {
+    Status s = Close();
+    if (!s.ok()) return s;
+  }
+  return Open(start_lsn, /*truncate=*/true);
+}
+
+Status WalWriter::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  Status s = file_->Close();
+  file_.reset();
+  return s;
+}
+
+Status ReplayWalDir(Env* env, const std::string& dir, uint64_t after_lsn,
+                    WalReplayResult* result) {
+  *result = WalReplayResult{};
+
+  std::vector<std::string> names;
+  Status s = env->ListDir(dir, &names);
+  if (!s.ok()) return s;
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  for (const std::string& name : names) {
+    uint64_t start;
+    if (log_format::ParseWalFileName(name, &start)) {
+      segments.emplace_back(start, dir + "/" + name);
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+
+  // Pass over every segment in start-LSN order, collecting the valid
+  // record prefix and the set of committed transactions.  The stream ends
+  // at the first torn/corrupt frame or LSN regression; later segments are
+  // not read past it (their records could only follow the corruption).
+  std::vector<LogRecord> valid;
+  std::vector<uint64_t> committed;
+  uint64_t last_lsn = 0;
+  for (const auto& [start, path] : segments) {
+    if (result->tail_corrupt) break;
+    std::string data;
+    s = env->ReadFile(path, &data);
+    if (!s.ok()) return s;
+    ++result->segments_read;
+    size_t pos = 0;
+    for (;;) {
+      LogRecord record;
+      const log_format::DecodeResult r =
+          log_format::DecodeRecord(data, &pos, &record);
+      if (r == log_format::DecodeResult::kEnd) break;
+      if (r == log_format::DecodeResult::kCorrupt ||
+          record.lsn <= last_lsn) {
+        result->tail_corrupt = true;
+        // Best-effort count of the frames lost after the corruption (the
+        // bad frame plus any well-framed successors) so Progress can
+        // report how much was dropped.  None of them are applied.
+        while (pos + 8 <= data.size()) {
+          uint32_t len;
+          std::memcpy(&len, data.data() + pos, sizeof(len));
+          if (pos + 8 + len > data.size()) break;
+          pos += 8 + len;
+          ++result->records_dropped;
+        }
+        if (pos < data.size()) ++result->records_dropped;  // torn tail frame
+        break;
+      }
+      last_lsn = record.lsn;
+      result->max_lsn = std::max(result->max_lsn, record.lsn);
+      if (record.is_commit_marker()) {
+        committed.push_back(record.txn_id);
+      }
+      valid.push_back(std::move(record));
+    }
+  }
+
+  // Keep only data records of committed transactions past the checkpoint.
+  auto is_committed = [&committed](uint64_t txn_id) {
+    return std::find(committed.begin(), committed.end(), txn_id) !=
+           committed.end();
+  };
+  for (LogRecord& record : valid) {
+    if (record.is_commit_marker()) continue;
+    if (!is_committed(record.txn_id)) {
+      ++result->records_dropped;
+      continue;
+    }
+    if (record.lsn <= after_lsn) continue;  // covered by the checkpoint
+    result->records.push_back(std::move(record));
+  }
+  return Status::Ok();
+}
+
+}  // namespace mmdb

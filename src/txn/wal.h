@@ -1,0 +1,84 @@
+// Write-ahead log segments on an Env.  WalWriter appends framed records
+// (src/txn/log_format.h) to the current segment and rotates to a fresh one
+// at each checkpoint; ReplayWalDir reads every segment of a durability
+// directory back in LSN order, keeps the valid prefix, and filters it down
+// to the records of committed transactions newer than the checkpoint.
+//
+// Failure discipline: the first append/sync error latches the writer as
+// failed — a half-written frame must never be followed by a valid one, or
+// replay could resurrect the valid record while skipping the torn one.
+
+#ifndef MMDB_TXN_WAL_H_
+#define MMDB_TXN_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/txn/log.h"
+#include "src/util/env.h"
+
+namespace mmdb {
+
+class WalWriter {
+ public:
+  WalWriter(Env* env, std::string dir) : env_(env), dir_(std::move(dir)) {}
+
+  /// Opens segment wal-<start_lsn>.log.  `truncate` discards any previous
+  /// file of that name (safe only when every needed record ≤ start_lsn is
+  /// checkpointed — see DurabilityManager's initial checkpoint).
+  Status Open(uint64_t start_lsn, bool truncate);
+
+  /// Appends one framed record (buffered until Sync).
+  Status Append(const LogRecord& record);
+
+  /// fsyncs the current segment.
+  Status Sync();
+
+  /// Closes the current segment and opens a fresh wal-<start_lsn>.log.
+  Status Rotate(uint64_t start_lsn);
+
+  Status Close();
+
+  uint64_t segment_start() const { return segment_start_; }
+  std::string segment_path() const;
+  bool failed() const { return failed_; }
+  uint64_t bytes_appended() const { return bytes_appended_; }
+  uint64_t records_appended() const { return records_appended_; }
+
+ private:
+  Env* env_;
+  std::string dir_;
+  std::unique_ptr<WritableFile> file_;
+  uint64_t segment_start_ = 0;
+  uint64_t bytes_appended_ = 0;
+  uint64_t records_appended_ = 0;
+  bool failed_ = false;
+};
+
+struct WalReplayResult {
+  /// Data records of committed transactions with lsn > the filter LSN, in
+  /// LSN order (commit markers are consumed, not emitted).
+  std::vector<LogRecord> records;
+  /// Records parsed but discarded: members of transactions with no commit
+  /// marker in the valid prefix, plus frames after the first corruption.
+  size_t records_dropped = 0;
+  /// Highest LSN seen in the valid prefix (committed or not) — the floor
+  /// for ResetNextLsn, so fresh LSNs never collide with on-disk ones.
+  uint64_t max_lsn = 0;
+  /// True if replay stopped at a torn/corrupt record instead of clean EOF.
+  bool tail_corrupt = false;
+  size_t segments_read = 0;
+};
+
+/// Replays every wal-*.log under `dir`: records with lsn <= after_lsn are
+/// skipped (they are covered by the checkpoint).  Stops cleanly at the
+/// first torn/corrupt record or LSN regression; everything before it that
+/// belongs to a committed transaction is returned.
+Status ReplayWalDir(Env* env, const std::string& dir, uint64_t after_lsn,
+                    WalReplayResult* result);
+
+}  // namespace mmdb
+
+#endif  // MMDB_TXN_WAL_H_

@@ -1,0 +1,37 @@
+// CRC32C (Castagnoli) checksum for the durable log and checkpoint formats.
+// Software table implementation — no SSE4.2 dependency — fast enough for
+// the log-append path (the fsync dominates by orders of magnitude).
+
+#ifndef MMDB_UTIL_CRC32C_H_
+#define MMDB_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mmdb {
+namespace crc32c {
+
+/// Extends `crc` (a previous Value() result, or 0 for a fresh stream) with
+/// `n` bytes at `data`.
+uint32_t Extend(uint32_t crc, const void* data, size_t n);
+
+/// Checksum of one contiguous buffer.
+inline uint32_t Value(const void* data, size_t n) { return Extend(0, data, n); }
+
+/// A checksum stored next to the data it covers can be corrupted into a
+/// value that accidentally verifies against the corrupted data (e.g. a run
+/// of zeros checksums to zero).  Masking (as in LevelDB) makes the stored
+/// form differ from any checksum of bytes that include the stored form.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8ul;
+}
+
+inline uint32_t Unmask(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8ul;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace crc32c
+}  // namespace mmdb
+
+#endif  // MMDB_UTIL_CRC32C_H_

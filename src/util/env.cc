@@ -1,0 +1,416 @@
+#include "src/util/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mmdb {
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+// ---- POSIX --------------------------------------------------------------
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(ErrnoMessage("write", path_));
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::Internal(ErrnoMessage("fsync", path_));
+    }
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::Ok();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return Status::Internal(ErrnoMessage("close", path_));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Status NewWritableFile(const std::string& path, bool truncate,
+                         std::unique_ptr<WritableFile>* out) override {
+    int flags = O_CREAT | O_WRONLY | O_CLOEXEC;
+    flags |= truncate ? O_TRUNC : O_APPEND;
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return Status::Internal(ErrnoMessage("open", path));
+    *out = std::make_unique<PosixWritableFile>(fd, path);
+    return Status::Ok();
+  }
+
+  Status ReadFile(const std::string& path, std::string* out) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return Status::NotFound(ErrnoMessage("open", path));
+    out->clear();
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return Status::Internal(ErrnoMessage("read", path));
+      }
+      if (n == 0) break;
+      out->append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return Status::Ok();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::Internal(ErrnoMessage("rename", from));
+    }
+    // The rename is only crash-durable once the directory entry is synced.
+    return SyncDir(ParentDir(to));
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return Status::Internal(ErrnoMessage("unlink", path));
+    }
+    return Status::Ok();
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Status ListDir(const std::string& dir,
+                 std::vector<std::string>* names) override {
+    names->clear();
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return Status::NotFound(ErrnoMessage("opendir", dir));
+    while (struct dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names->push_back(name);
+    }
+    ::closedir(d);
+    return Status::Ok();
+  }
+
+  Status CreateDir(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Internal(ErrnoMessage("mkdir", dir));
+    }
+    return Status::Ok();
+  }
+
+  Status FileSize(const std::string& path, uint64_t* size) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return Status::NotFound(ErrnoMessage("stat", path));
+    }
+    *size = static_cast<uint64_t>(st.st_size);
+    return Status::Ok();
+  }
+
+ private:
+  static Status SyncDir(const std::string& dir) {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return Status::Internal(ErrnoMessage("open dir", dir));
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return Status::Internal(ErrnoMessage("fsync dir", dir));
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+Env* Env::Posix() {
+  static PosixEnv env;
+  return &env;
+}
+
+// ---- In-memory ----------------------------------------------------------
+
+class InMemWritableFile : public WritableFile {
+ public:
+  explicit InMemWritableFile(std::shared_ptr<InMemEnv::FileState> state)
+      : state_(std::move(state)) {}
+
+  Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->data.append(data);
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->synced = state_->data.size();
+    return Status::Ok();
+  }
+
+  Status Close() override { return Status::Ok(); }
+
+ private:
+  std::shared_ptr<InMemEnv::FileState> state_;
+};
+
+Status InMemEnv::NewWritableFile(const std::string& path, bool truncate,
+                                 std::unique_ptr<WritableFile>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& state = files_[path];
+  if (state == nullptr) state = std::make_shared<FileState>();
+  if (truncate) {
+    std::lock_guard<std::mutex> file_lock(state->mu);
+    state->data.clear();
+    state->synced = 0;
+  }
+  *out = std::make_unique<InMemWritableFile>(state);
+  return Status::Ok();
+}
+
+Status InMemEnv::ReadFile(const std::string& path, std::string* out) {
+  std::shared_ptr<FileState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound("no file " + path);
+    state = it->second;
+  }
+  std::lock_guard<std::mutex> file_lock(state->mu);
+  *out = state->data;
+  return Status::Ok();
+}
+
+Status InMemEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("no file " + from);
+  files_[to] = it->second;
+  files_.erase(it);
+  return Status::Ok();
+}
+
+Status InMemEnv::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0) return Status::NotFound("no file " + path);
+  return Status::Ok();
+}
+
+bool InMemEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) != 0;
+}
+
+Status InMemEnv::ListDir(const std::string& dir,
+                         std::vector<std::string>* names) {
+  names->clear();
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [path, state] : files_) {
+    if (path.rfind(prefix, 0) != 0) continue;
+    const std::string rest = path.substr(prefix.size());
+    if (rest.find('/') != std::string::npos) continue;  // nested
+    names->push_back(rest);
+  }
+  return Status::Ok();
+}
+
+Status InMemEnv::CreateDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dirs_[dir] = true;
+  return Status::Ok();
+}
+
+Status InMemEnv::FileSize(const std::string& path, uint64_t* size) {
+  std::shared_ptr<FileState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound("no file " + path);
+    state = it->second;
+  }
+  std::lock_guard<std::mutex> file_lock(state->mu);
+  *size = state->data.size();
+  return Status::Ok();
+}
+
+void InMemEnv::CrashAndLoseUnsynced() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = files_.begin(); it != files_.end();) {
+    std::shared_ptr<FileState>& state = it->second;
+    std::unique_lock<std::mutex> file_lock(state->mu);
+    if (state->synced == 0) {
+      file_lock.unlock();
+      it = files_.erase(it);
+      continue;
+    }
+    state->data.resize(state->synced);
+    ++it;
+  }
+}
+
+// ---- Fault injection ----------------------------------------------------
+
+class FaultInjectionWritableFile : public WritableFile {
+ public:
+  FaultInjectionWritableFile(FaultInjectionEnv* env,
+                             std::unique_ptr<WritableFile> target)
+      : env_(env), target_(std::move(target)) {}
+
+  Status Append(std::string_view data) override {
+    if (env_->Dead()) return Status::Internal("injected fault: disk dead");
+    if (env_->ChargeIo()) return target_->Append(data);
+    // The faulted append: what (if anything) reaches the target depends on
+    // the mode — the caller sees an error either way.
+    switch (env_->mode_) {
+      case FaultInjectionEnv::FaultMode::kFail:
+        break;
+      case FaultInjectionEnv::FaultMode::kShortWrite:
+        target_->Append(data.substr(0, data.size() / 2)).ok();
+        break;
+      case FaultInjectionEnv::FaultMode::kTornWrite: {
+        std::string torn(data.substr(0, data.size() / 2 + 1));
+        if (!torn.empty()) torn.back() = static_cast<char>(~torn.back());
+        target_->Append(torn).ok();
+        break;
+      }
+    }
+    return Status::Internal("injected fault: append failed");
+  }
+
+  Status Sync() override {
+    if (env_->Dead()) return Status::Internal("injected fault: disk dead");
+    if (!env_->ChargeIo()) return Status::Internal("injected fault: fsync failed");
+    return target_->Sync();
+  }
+
+  Status Close() override { return target_->Close(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::unique_ptr<WritableFile> target_;
+};
+
+void FaultInjectionEnv::ArmFault(uint64_t n, FaultMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ios_ = 0;
+  fail_at_ = n;
+  mode_ = mode;
+  fired_ = false;
+}
+
+void FaultInjectionEnv::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ios_ = 0;
+  fail_at_ = 0;
+  fired_ = false;
+}
+
+uint64_t FaultInjectionEnv::io_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ios_;
+}
+
+bool FaultInjectionEnv::fault_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+bool FaultInjectionEnv::ChargeIo() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++ios_;
+  if (fail_at_ != 0 && ios_ == fail_at_) {
+    fired_ = true;
+    return false;
+  }
+  return !fired_;
+}
+
+bool FaultInjectionEnv::Dead() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+Status FaultInjectionEnv::NewWritableFile(const std::string& path,
+                                          bool truncate,
+                                          std::unique_ptr<WritableFile>* out) {
+  std::unique_ptr<WritableFile> inner;
+  Status s = target_->NewWritableFile(path, truncate, &inner);
+  if (!s.ok()) return s;
+  *out = std::make_unique<FaultInjectionWritableFile>(this, std::move(inner));
+  return Status::Ok();
+}
+
+Status FaultInjectionEnv::ReadFile(const std::string& path, std::string* out) {
+  return target_->ReadFile(path, out);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  if (Dead()) return Status::Internal("injected fault: disk dead");
+  if (!ChargeIo()) return Status::Internal("injected fault: rename failed");
+  return target_->RenameFile(from, to);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  if (Dead()) return Status::Internal("injected fault: disk dead");
+  return target_->RemoveFile(path);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return target_->FileExists(path);
+}
+
+Status FaultInjectionEnv::ListDir(const std::string& dir,
+                                  std::vector<std::string>* names) {
+  return target_->ListDir(dir, names);
+}
+
+Status FaultInjectionEnv::CreateDir(const std::string& dir) {
+  return target_->CreateDir(dir);
+}
+
+Status FaultInjectionEnv::FileSize(const std::string& path, uint64_t* size) {
+  return target_->FileSize(path, size);
+}
+
+}  // namespace mmdb

@@ -1,0 +1,148 @@
+// Env: the filesystem seam the durability chain writes through (the
+// CalicoDB pattern).  Production uses PosixEnv; tests swap in InMemEnv for
+// hermetic speed and wrap either in FaultInjectionEnv to fail, short-write,
+// or tear the Nth I/O and then drop un-synced data — so crash safety is
+// proven by systematic fault sweeps, not asserted.
+//
+// The durable-write contract the WAL and checkpointer rely on:
+//   * Append is buffered; only Sync() makes appended bytes survive a crash.
+//   * RenameFile is atomic and, once it returns OK, durable (PosixEnv
+//     fsyncs the parent directory) — the checkpoint temp+rename protocol
+//     depends on this.
+//   * A crash may truncate any file to its last-synced prefix; it never
+//     reorders synced bytes.
+
+#ifndef MMDB_UTIL_ENV_H_
+#define MMDB_UTIL_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace mmdb {
+
+/// Sequential append-only file handle.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  /// Makes every appended byte crash-durable.
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for appending; `truncate` discards existing content.
+  virtual Status NewWritableFile(const std::string& path, bool truncate,
+                                 std::unique_ptr<WritableFile>* out) = 0;
+  /// Reads the whole file into `*out`.
+  virtual Status ReadFile(const std::string& path, std::string* out) = 0;
+  /// Atomic durable rename (replaces `to` if it exists).
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  /// Non-recursive listing of plain file names in `dir`.
+  virtual Status ListDir(const std::string& dir,
+                         std::vector<std::string>* names) = 0;
+  /// Creates one directory level; OK if it already exists.
+  virtual Status CreateDir(const std::string& dir) = 0;
+  virtual Status FileSize(const std::string& path, uint64_t* size) = 0;
+
+  /// Process-wide POSIX-backed environment.
+  static Env* Posix();
+};
+
+/// Hermetic in-memory filesystem.  Tracks the synced prefix of every file
+/// so CrashAndLoseUnsynced() can simulate a power failure: each file is
+/// truncated to its last-synced length (files never synced disappear).
+class InMemEnv : public Env {
+ public:
+  Status NewWritableFile(const std::string& path, bool truncate,
+                         std::unique_ptr<WritableFile>* out) override;
+  Status ReadFile(const std::string& path, std::string* out) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status ListDir(const std::string& dir,
+                 std::vector<std::string>* names) override;
+  Status CreateDir(const std::string& dir) override;
+  Status FileSize(const std::string& path, uint64_t* size) override;
+
+  /// Simulated power loss: every file reverts to its last-synced prefix.
+  void CrashAndLoseUnsynced();
+
+ private:
+  friend class InMemWritableFile;
+  struct FileState {
+    std::mutex mu;
+    std::string data;
+    size_t synced = 0;
+  };
+
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<FileState>> files_;
+  std::map<std::string, bool> dirs_;
+};
+
+/// Wraps another Env and injects a write fault at the Nth I/O (Append,
+/// Sync, or Rename each count as one).  After the fault fires, every
+/// further write fails — the disk is dead — until Reset().  Reads pass
+/// through untouched so recovery can be exercised against the survivors.
+class FaultInjectionEnv : public Env {
+ public:
+  enum class FaultMode {
+    kFail,        ///< the I/O errors without side effects
+    kShortWrite,  ///< an Append persists only a prefix, then errors
+    kTornWrite,   ///< an Append persists a corrupted prefix, then errors
+  };
+
+  explicit FaultInjectionEnv(Env* target) : target_(target) {}
+
+  /// Arms the fault: the `n`th write I/O from now (1-based) fails with
+  /// `mode`.  Pass 0 to disarm.
+  void ArmFault(uint64_t n, FaultMode mode = FaultMode::kFail);
+  /// Clears both the armed fault and the dead-disk latch.
+  void Reset();
+  /// Write I/Os observed since construction or the last Reset().
+  uint64_t io_count() const;
+  bool fault_fired() const;
+
+  Status NewWritableFile(const std::string& path, bool truncate,
+                         std::unique_ptr<WritableFile>* out) override;
+  Status ReadFile(const std::string& path, std::string* out) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status ListDir(const std::string& dir,
+                 std::vector<std::string>* names) override;
+  Status CreateDir(const std::string& dir) override;
+  Status FileSize(const std::string& path, uint64_t* size) override;
+
+ private:
+  friend class FaultInjectionWritableFile;
+
+  /// Charges one write I/O; returns false (and latches the dead-disk
+  /// state) if this is the faulted one.
+  bool ChargeIo();
+  bool Dead() const;
+
+  Env* target_;
+  mutable std::mutex mu_;
+  uint64_t ios_ = 0;
+  uint64_t fail_at_ = 0;  // 0 = disarmed
+  FaultMode mode_ = FaultMode::kFail;
+  bool fired_ = false;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_UTIL_ENV_H_

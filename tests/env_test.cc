@@ -1,0 +1,185 @@
+// Env seam: POSIX + in-memory behaviour, crash simulation, fault injection.
+
+#include "src/util/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/util/crc32c.h"
+
+namespace mmdb {
+namespace {
+
+std::string TempDir(const std::string& tag) {
+  std::string tmpl = std::string(::testing::TempDir()) + "mmdb_env_" + tag +
+                     "_XXXXXX";
+  char* made = mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return tmpl;
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vector: 32 zero bytes.
+  std::string zeros(32, '\0');
+  EXPECT_EQ(crc32c::Value(zeros.data(), zeros.size()), 0x8a9136aau);
+  std::string ones(32, '\xff');
+  EXPECT_EQ(crc32c::Value(ones.data(), ones.size()), 0x62a8ab43u);
+}
+
+TEST(Crc32cTest, MaskRoundTripsAndDiffers) {
+  const uint32_t crc = crc32c::Value("hello", 5);
+  EXPECT_NE(crc32c::Mask(crc), crc);
+  EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+}
+
+TEST(Crc32cTest, ExtendIsIncremental) {
+  const char* data = "incremental checksum";
+  uint32_t whole = crc32c::Value(data, 20);
+  uint32_t part = crc32c::Extend(crc32c::Value(data, 7), data + 7, 13);
+  EXPECT_EQ(whole, part);
+}
+
+TEST(PosixEnvTest, WriteReadRenameRemove) {
+  Env* env = Env::Posix();
+  const std::string dir = TempDir("posix");
+  const std::string path = dir + "/a.txt";
+
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env->NewWritableFile(path, /*truncate=*/true, &f).ok());
+  ASSERT_TRUE(f->Append("hello ").ok());
+  ASSERT_TRUE(f->Append("world").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Close().ok());
+
+  std::string read;
+  ASSERT_TRUE(env->ReadFile(path, &read).ok());
+  EXPECT_EQ(read, "hello world");
+  uint64_t size = 0;
+  ASSERT_TRUE(env->FileSize(path, &size).ok());
+  EXPECT_EQ(size, 11u);
+
+  // Append mode continues an existing file.
+  ASSERT_TRUE(env->NewWritableFile(path, /*truncate=*/false, &f).ok());
+  ASSERT_TRUE(f->Append("!").ok());
+  ASSERT_TRUE(f->Close().ok());
+  ASSERT_TRUE(env->ReadFile(path, &read).ok());
+  EXPECT_EQ(read, "hello world!");
+
+  const std::string path2 = dir + "/b.txt";
+  ASSERT_TRUE(env->RenameFile(path, path2).ok());
+  EXPECT_FALSE(env->FileExists(path));
+  EXPECT_TRUE(env->FileExists(path2));
+
+  std::vector<std::string> names;
+  ASSERT_TRUE(env->ListDir(dir, &names).ok());
+  EXPECT_EQ(names, std::vector<std::string>{"b.txt"});
+
+  ASSERT_TRUE(env->RemoveFile(path2).ok());
+  EXPECT_FALSE(env->FileExists(path2));
+  EXPECT_FALSE(env->ReadFile(path2, &read).ok());
+}
+
+TEST(InMemEnvTest, CrashLosesUnsyncedSuffix) {
+  InMemEnv env;
+  ASSERT_TRUE(env.CreateDir("d").ok());
+
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env.NewWritableFile("d/synced", true, &f).ok());
+  ASSERT_TRUE(f->Append("durable").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append("-volatile").ok());
+  ASSERT_TRUE(f->Close().ok());
+
+  std::unique_ptr<WritableFile> g;
+  ASSERT_TRUE(env.NewWritableFile("d/never_synced", true, &g).ok());
+  ASSERT_TRUE(g->Append("gone").ok());
+  ASSERT_TRUE(g->Close().ok());
+
+  env.CrashAndLoseUnsynced();
+
+  std::string read;
+  ASSERT_TRUE(env.ReadFile("d/synced", &read).ok());
+  EXPECT_EQ(read, "durable");
+  EXPECT_FALSE(env.FileExists("d/never_synced"));
+}
+
+TEST(InMemEnvTest, RenameIsDurable) {
+  InMemEnv env;
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env.NewWritableFile("x.tmp", true, &f).ok());
+  ASSERT_TRUE(f->Append("payload").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Close().ok());
+  ASSERT_TRUE(env.RenameFile("x.tmp", "x").ok());
+
+  env.CrashAndLoseUnsynced();
+  std::string read;
+  ASSERT_TRUE(env.ReadFile("x", &read).ok());
+  EXPECT_EQ(read, "payload");
+  EXPECT_FALSE(env.FileExists("x.tmp"));
+}
+
+TEST(FaultInjectionEnvTest, FailsNthIoThenStaysDead) {
+  InMemEnv base;
+  FaultInjectionEnv env(&base);
+  env.ArmFault(3, FaultInjectionEnv::FaultMode::kFail);
+
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env.NewWritableFile("f", true, &f).ok());
+  EXPECT_TRUE(f->Append("a").ok());   // io 1
+  EXPECT_TRUE(f->Append("b").ok());   // io 2
+  EXPECT_FALSE(f->Append("c").ok());  // io 3: the fault
+  EXPECT_TRUE(env.fault_fired());
+  EXPECT_FALSE(f->Append("d").ok());  // disk is dead
+  EXPECT_FALSE(f->Sync().ok());
+  EXPECT_FALSE(env.RenameFile("f", "g").ok());
+
+  std::string read;
+  ASSERT_TRUE(env.ReadFile("f", &read).ok());  // reads still work
+  EXPECT_EQ(read, "ab");
+
+  env.Reset();
+  EXPECT_TRUE(f->Append("e").ok());
+  ASSERT_TRUE(env.ReadFile("f", &read).ok());
+  EXPECT_EQ(read, "abe");
+}
+
+TEST(FaultInjectionEnvTest, ShortAndTornWrites) {
+  InMemEnv base;
+  FaultInjectionEnv env(&base);
+
+  env.ArmFault(1, FaultInjectionEnv::FaultMode::kShortWrite);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env.NewWritableFile("s", true, &f).ok());
+  EXPECT_FALSE(f->Append("1234567890").ok());
+  std::string read;
+  ASSERT_TRUE(env.ReadFile("s", &read).ok());
+  EXPECT_EQ(read, "12345");  // a prefix survived
+
+  env.Reset();
+  env.ArmFault(1, FaultInjectionEnv::FaultMode::kTornWrite);
+  std::unique_ptr<WritableFile> g;
+  ASSERT_TRUE(env.NewWritableFile("t", true, &g).ok());
+  EXPECT_FALSE(g->Append("1234567890").ok());
+  ASSERT_TRUE(env.ReadFile("t", &read).ok());
+  ASSERT_EQ(read.size(), 6u);          // half + 1
+  EXPECT_NE(read, "123456");           // ...with the last byte corrupted
+  EXPECT_EQ(read.substr(0, 5), "12345");
+}
+
+TEST(FaultInjectionEnvTest, CountsSyncAndRename) {
+  InMemEnv base;
+  FaultInjectionEnv env(&base);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env.NewWritableFile("f", true, &f).ok());
+  ASSERT_TRUE(f->Append("x").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Close().ok());
+  ASSERT_TRUE(env.RenameFile("f", "g").ok());
+  EXPECT_EQ(env.io_count(), 3u);  // append + sync + rename
+}
+
+}  // namespace
+}  // namespace mmdb

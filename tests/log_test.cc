@@ -38,8 +38,9 @@ TEST(StableLogBufferTest, UncommittedRecordsDoNotDrain) {
   EXPECT_EQ(buffer.committed_size(), 0u);
   EXPECT_TRUE(buffer.DrainCommitted(10).empty());
   buffer.Commit(1);
-  EXPECT_EQ(buffer.committed_size(), 1u);
-  EXPECT_EQ(buffer.DrainCommitted(10).size(), 1u);
+  // Data record + the commit marker the buffer appends at Commit().
+  EXPECT_EQ(buffer.committed_size(), 2u);
+  EXPECT_EQ(buffer.DrainCommitted(10).size(), 2u);
   EXPECT_EQ(buffer.size(), 0u);
 }
 
@@ -51,8 +52,9 @@ TEST(StableLogBufferTest, AbortRemovesRecords) {
   EXPECT_EQ(buffer.size(), 1u);
   buffer.Commit(2);
   auto drained = buffer.DrainCommitted(10);
-  ASSERT_EQ(drained.size(), 1u);
+  ASSERT_EQ(drained.size(), 2u);  // data record + commit marker
   EXPECT_EQ(drained[0].txn_id, 2u);
+  EXPECT_TRUE(drained[1].is_commit_marker());
 }
 
 TEST(StableLogBufferTest, InFlightHeadBlocksDraining) {
@@ -64,7 +66,7 @@ TEST(StableLogBufferTest, InFlightHeadBlocksDraining) {
   buffer.Commit(2);
   EXPECT_TRUE(buffer.DrainCommitted(10).empty());
   buffer.Commit(1);
-  EXPECT_EQ(buffer.DrainCommitted(10).size(), 2u);
+  EXPECT_EQ(buffer.DrainCommitted(10).size(), 4u);  // 2 data + 2 markers
 }
 
 TEST(StableLogBufferTest, PatchFillsTidAndPayload) {

@@ -171,6 +171,41 @@ TEST_F(ShellTest, ShowTables) {
   EXPECT_NE(out.find("(2 tables)"), std::string::npos);
 }
 
+TEST_F(ShellTest, DurabilityCheckpointAndRecover) {
+  std::string dir = std::string(::testing::TempDir()) + "mmdb_shellXXXXXX";
+  ASSERT_NE(mkdtemp(dir.data()), nullptr);
+
+  Run("CREATE TABLE t (x INT)");
+  EXPECT_EQ(Run("DURABILITY '" + dir + "' SYNC"),
+            "ok: durability sync in " + dir);
+  Run("INSERT INTO t VALUES (1)");
+  Run("INSERT INTO t VALUES (2)");
+  // Shell inserts take the non-transactional fast path (no WAL records);
+  // the checkpoint is what makes them durable.
+  EXPECT_EQ(Run("CHECKPOINT"), "ok: checkpointed");
+
+  Database other;
+  CommandShell recovered(&other);
+  EXPECT_EQ(recovered.Execute("RECOVER '" + dir + "'"),
+            "ok: recovered 2 tuples (0 log records merged, 0 dropped)");
+  EXPECT_NE(recovered.Execute("SELECT t.x FROM t").find("(2 rows)"),
+            std::string::npos);
+
+  EXPECT_EQ(Run("DURABILITY OFF"), "ok: durability off");
+}
+
+TEST_F(ShellTest, DurabilityAndRecoverErrors) {
+  EXPECT_NE(Run("DURABILITY").find("error"), std::string::npos);
+  EXPECT_NE(Run("DURABILITY 'd' SOMETIMES").find("error"), std::string::npos);
+  EXPECT_NE(Run("DURABILITY d SYNC").find("error"), std::string::npos);
+  EXPECT_NE(Run("RECOVER").find("error"), std::string::npos);
+  EXPECT_NE(Run("RECOVER '/nonexistent/mmdb'").find("error"),
+            std::string::npos);
+  Run("CREATE TABLE t (x INT)");
+  // A non-empty database refuses to recover over itself.
+  EXPECT_NE(Run("RECOVER '/tmp'").find("error"), std::string::npos);
+}
+
 TEST_F(ShellTest, NumericLiteralWidths) {
   Run("CREATE TABLE t (a INT, b BIGINT, c DOUBLE)");
   EXPECT_EQ(Run("INSERT INTO t VALUES (1, 5000000000, 2.5)"), "ok: 1 row");

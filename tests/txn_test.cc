@@ -37,7 +37,8 @@ TEST_F(TxnTest, CommitAppliesBufferedWrites) {
   ASSERT_TRUE(txn->Commit().ok());
   EXPECT_EQ(rel_->cardinality(), 2u);
   EXPECT_EQ(txn->state(), Transaction::State::kCommitted);
-  EXPECT_EQ(log_.committed_size(), 2u);  // records await the log device
+  // Two data records + the commit marker await the log device.
+  EXPECT_EQ(log_.committed_size(), 3u);
   EXPECT_EQ(locks_.GrantedCount(), 0u);  // released
 }
 
@@ -93,7 +94,7 @@ TEST_F(TxnTest, LogRecordsCarryAfterImages) {
   ASSERT_TRUE(txn->Insert("r", {Value(5), Value(9)}).ok());
   ASSERT_TRUE(txn->Commit().ok());
   auto drained = log_.DrainCommitted(10);
-  ASSERT_EQ(drained.size(), 1u);
+  ASSERT_EQ(drained.size(), 2u);  // data record + commit marker
   EXPECT_EQ(drained[0].op, LogOp::kInsert);
   EXPECT_EQ(drained[0].relation, "r");
   EXPECT_FALSE(drained[0].payload.empty());

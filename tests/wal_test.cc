@@ -1,0 +1,287 @@
+// WAL format + segment replay: framing, CRC rejection, commit-marker
+// filtering, torn tails, and rotation across segments.
+
+#include "src/txn/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/txn/log_format.h"
+#include "src/util/env.h"
+
+namespace mmdb {
+namespace {
+
+TupleImage Image(std::initializer_list<int> bytes) {
+  TupleImage out;
+  for (int b : bytes) out.push_back(static_cast<std::byte>(b));
+  return out;
+}
+
+LogRecord Data(uint64_t lsn, uint64_t txn, uint32_t slot) {
+  LogRecord r;
+  r.lsn = lsn;
+  r.txn_id = txn;
+  r.op = LogOp::kInsert;
+  r.relation = "emp";
+  r.tid = TupleId{0, slot};
+  r.payload = Image({1, 2, 3});
+  return r;
+}
+
+LogRecord Marker(uint64_t lsn, uint64_t txn) {
+  LogRecord r;
+  r.lsn = lsn;
+  r.txn_id = txn;
+  r.op = LogOp::kCommit;
+  return r;
+}
+
+TEST(LogFormatTest, RecordRoundTrip) {
+  LogRecord in = Data(42, 7, 9);
+  in.op = LogOp::kUpdate;
+  std::string buf;
+  log_format::EncodeRecord(in, &buf);
+
+  size_t pos = 0;
+  LogRecord out;
+  ASSERT_EQ(log_format::DecodeRecord(buf, &pos, &out),
+            log_format::DecodeResult::kOk);
+  EXPECT_EQ(pos, buf.size());
+  EXPECT_EQ(out.lsn, 42u);
+  EXPECT_EQ(out.txn_id, 7u);
+  EXPECT_EQ(out.op, LogOp::kUpdate);
+  EXPECT_EQ(out.relation, "emp");
+  EXPECT_EQ(out.tid.partition, 0u);
+  EXPECT_EQ(out.tid.slot, 9u);
+  EXPECT_EQ(out.payload, Image({1, 2, 3}));
+  EXPECT_EQ(log_format::DecodeRecord(buf, &pos, &out),
+            log_format::DecodeResult::kEnd);
+}
+
+TEST(LogFormatTest, EveryTruncationPointIsCorruptNotCrash) {
+  std::string buf;
+  log_format::EncodeRecord(Data(1, 1, 0), &buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    if (cut == 0) continue;  // empty = clean end
+    std::string_view truncated(buf.data(), cut);
+    size_t pos = 0;
+    LogRecord out;
+    EXPECT_EQ(log_format::DecodeRecord(truncated, &pos, &out),
+              log_format::DecodeResult::kCorrupt)
+        << "cut at " << cut;
+    EXPECT_EQ(pos, 0u);
+  }
+}
+
+TEST(LogFormatTest, EverySingleByteFlipIsRejected) {
+  std::string buf;
+  log_format::EncodeRecord(Data(1, 1, 0), &buf);
+  for (size_t i = 0; i < buf.size(); ++i) {
+    std::string corrupt = buf;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x40);
+    size_t pos = 0;
+    LogRecord out;
+    const auto r = log_format::DecodeRecord(corrupt, &pos, &out);
+    // Flipping a length byte can make the frame claim more data than
+    // exists (corrupt) — it can never decode to the original record.
+    if (r == log_format::DecodeResult::kOk) {
+      EXPECT_TRUE(out.lsn != 1 || out.txn_id != 1 || out.relation != "emp")
+          << "undetected corruption at byte " << i;
+      ADD_FAILURE() << "CRC accepted a flipped byte at " << i;
+    }
+  }
+}
+
+TEST(LogFormatTest, CheckpointRoundTripAndRejection) {
+  const std::string image = "pretend disk image bytes";
+  std::string file = log_format::EncodeCheckpoint(123, image);
+
+  uint64_t lsn = 0;
+  std::string_view got;
+  ASSERT_TRUE(log_format::DecodeCheckpoint(file, &lsn, &got).ok());
+  EXPECT_EQ(lsn, 123u);
+  EXPECT_EQ(got, image);
+
+  std::string flipped = file;
+  flipped[flipped.size() - 3] ^= 0x1;
+  EXPECT_FALSE(log_format::DecodeCheckpoint(flipped, &lsn, &got).ok());
+  EXPECT_FALSE(
+      log_format::DecodeCheckpoint(std::string_view(file).substr(0, 10), &lsn,
+                                   &got)
+          .ok());
+}
+
+TEST(LogFormatTest, FileNames) {
+  EXPECT_EQ(log_format::WalFileName(7), "wal-00000000000000000007.log");
+  EXPECT_EQ(log_format::CheckpointFileName(7),
+            "checkpoint-00000000000000000007.ckpt");
+  uint64_t v = 0;
+  EXPECT_TRUE(log_format::ParseWalFileName("wal-00000000000000000042.log", &v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(log_format::ParseCheckpointFileName(
+      "checkpoint-00000000000000000042.ckpt", &v));
+  EXPECT_FALSE(log_format::ParseWalFileName("wal-42.log", &v));
+  EXPECT_FALSE(log_format::ParseWalFileName("wal-0000000000000000004x.log", &v));
+  EXPECT_FALSE(log_format::ParseCheckpointFileName("schema.mmdb", &v));
+}
+
+class WalReplayTest : public ::testing::Test {
+ protected:
+  void WriteSegment(uint64_t start, const std::vector<LogRecord>& records,
+                    size_t truncate_tail_bytes = 0) {
+    std::string bytes;
+    for (const LogRecord& r : records) log_format::EncodeRecord(r, &bytes);
+    if (truncate_tail_bytes > 0) {
+      bytes.resize(bytes.size() - truncate_tail_bytes);
+    }
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(env_.NewWritableFile("d/" + log_format::WalFileName(start),
+                                     true, &f)
+                    .ok());
+    ASSERT_TRUE(f->Append(bytes).ok());
+    ASSERT_TRUE(f->Sync().ok());
+  }
+
+  InMemEnv env_;
+};
+
+TEST_F(WalReplayTest, CommittedTransactionsOnly) {
+  // txn 1 committed, txn 2 has no marker (crash before its commit record).
+  WriteSegment(0, {Data(1, 1, 0), Data(2, 1, 1), Marker(3, 1), Data(4, 2, 2)});
+  WalReplayResult r;
+  ASSERT_TRUE(ReplayWalDir(&env_, "d", 0, &r).ok());
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.records[0].lsn, 1u);
+  EXPECT_EQ(r.records[1].lsn, 2u);
+  EXPECT_EQ(r.records_dropped, 1u);  // txn 2's orphan
+  EXPECT_EQ(r.max_lsn, 4u);          // uncommitted LSNs still raise the floor
+  EXPECT_FALSE(r.tail_corrupt);
+  EXPECT_EQ(r.segments_read, 1u);
+}
+
+TEST_F(WalReplayTest, TruncatedFinalRecordStopsCleanly) {
+  WriteSegment(0, {Data(1, 1, 0), Marker(2, 1), Data(3, 2, 1), Marker(4, 2)},
+               /*truncate_tail_bytes=*/5);  // tears the final marker
+  WalReplayResult r;
+  ASSERT_TRUE(ReplayWalDir(&env_, "d", 0, &r).ok());
+  // txn 2's marker is torn away, so its data record is dropped; txn 1 is
+  // intact.
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].lsn, 1u);
+  EXPECT_TRUE(r.tail_corrupt);
+  EXPECT_EQ(r.records_dropped, 2u);  // torn marker + orphaned data record
+  EXPECT_EQ(r.max_lsn, 3u);
+}
+
+TEST_F(WalReplayTest, CorruptCrcMidLogDropsTheTail) {
+  std::string bytes;
+  for (const LogRecord& r :
+       {Data(1, 1, 0), Marker(2, 1), Data(3, 2, 1), Marker(4, 2),
+        Data(5, 3, 2), Marker(6, 3)}) {
+    log_format::EncodeRecord(r, &bytes);
+  }
+  // Corrupt one payload byte of the third record (lsn 3): everything from
+  // there on is unusable, even though later frames are intact.
+  size_t pos = 0, frames = 0;
+  std::string_view view = bytes;
+  LogRecord scratch;
+  while (frames < 2 &&
+         log_format::DecodeRecord(view, &pos, &scratch) ==
+             log_format::DecodeResult::kOk) {
+    ++frames;
+  }
+  bytes[pos + 9] = static_cast<char>(bytes[pos + 9] ^ 0x20);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(
+      env_.NewWritableFile("d/" + log_format::WalFileName(0), true, &f).ok());
+  ASSERT_TRUE(f->Append(bytes).ok());
+
+  WalReplayResult r;
+  ASSERT_TRUE(ReplayWalDir(&env_, "d", 0, &r).ok());
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].lsn, 1u);
+  EXPECT_TRUE(r.tail_corrupt);
+  EXPECT_EQ(r.records_dropped, 4u);  // the corrupt frame + three after it
+  EXPECT_EQ(r.max_lsn, 2u);
+}
+
+TEST_F(WalReplayTest, AfterLsnFiltersCheckpointedRecords) {
+  WriteSegment(0, {Data(1, 1, 0), Marker(2, 1), Data(3, 2, 1), Marker(4, 2)});
+  WalReplayResult r;
+  ASSERT_TRUE(ReplayWalDir(&env_, "d", 2, &r).ok());
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].lsn, 3u);
+  EXPECT_EQ(r.max_lsn, 4u);
+}
+
+TEST_F(WalReplayTest, MultipleSegmentsInLsnOrder) {
+  WriteSegment(0, {Data(1, 1, 0), Marker(2, 1)});
+  WriteSegment(2, {Data(3, 2, 1), Marker(4, 2)});
+  WriteSegment(4, {Data(5, 3, 2), Marker(6, 3)});
+  WalReplayResult r;
+  ASSERT_TRUE(ReplayWalDir(&env_, "d", 0, &r).ok());
+  ASSERT_EQ(r.records.size(), 3u);
+  EXPECT_EQ(r.records[0].lsn, 1u);
+  EXPECT_EQ(r.records[2].lsn, 5u);
+  EXPECT_EQ(r.segments_read, 3u);
+  EXPECT_FALSE(r.tail_corrupt);
+}
+
+TEST_F(WalReplayTest, LsnRegressionReadsAsCorruption) {
+  WriteSegment(0, {Data(5, 1, 0), Marker(6, 1), Data(2, 2, 1), Marker(7, 2)});
+  WalReplayResult r;
+  ASSERT_TRUE(ReplayWalDir(&env_, "d", 0, &r).ok());
+  EXPECT_TRUE(r.tail_corrupt);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].lsn, 5u);
+}
+
+TEST(WalWriterTest, AppendSyncRotate) {
+  InMemEnv env;
+  WalWriter wal(&env, "d");
+  ASSERT_TRUE(wal.Open(0, /*truncate=*/true).ok());
+  ASSERT_TRUE(wal.Append(Data(1, 1, 0)).ok());
+  ASSERT_TRUE(wal.Append(Marker(2, 1)).ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  EXPECT_EQ(wal.records_appended(), 2u);
+  EXPECT_GT(wal.bytes_appended(), 0u);
+
+  ASSERT_TRUE(wal.Rotate(2).ok());
+  EXPECT_EQ(wal.segment_start(), 2u);
+  ASSERT_TRUE(wal.Append(Data(3, 2, 1)).ok());
+  ASSERT_TRUE(wal.Append(Marker(4, 2)).ok());
+  ASSERT_TRUE(wal.Sync().ok());
+
+  WalReplayResult r;
+  ASSERT_TRUE(ReplayWalDir(&env, "d", 0, &r).ok());
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.segments_read, 2u);
+}
+
+TEST(WalWriterTest, FirstErrorLatchesTheWriter) {
+  InMemEnv base;
+  FaultInjectionEnv env(&base);
+  WalWriter wal(&env, "d");
+  ASSERT_TRUE(wal.Open(0, true).ok());
+  ASSERT_TRUE(wal.Append(Data(1, 1, 0)).ok());
+
+  env.ArmFault(1, FaultInjectionEnv::FaultMode::kTornWrite);
+  EXPECT_FALSE(wal.Append(Data(2, 1, 1)).ok());
+  EXPECT_TRUE(wal.failed());
+  env.Reset();  // the disk "recovers"...
+  // ...but the writer must refuse to put a valid frame after the torn one.
+  EXPECT_FALSE(wal.Append(Data(3, 1, 2)).ok());
+  EXPECT_FALSE(wal.Sync().ok());
+
+  // Replay sees the intact first record and stops at the torn frame.
+  WalReplayResult r;
+  ASSERT_TRUE(ReplayWalDir(&env, "d", 0, &r).ok());
+  EXPECT_TRUE(r.tail_corrupt);
+  EXPECT_EQ(r.max_lsn, 1u);
+}
+
+}  // namespace
+}  // namespace mmdb
