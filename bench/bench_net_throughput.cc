@@ -1,0 +1,318 @@
+// Open-loop many-connection load generator for the network front end.
+//
+// Each benchmark run stands up a real epoll server (ephemeral port) over a
+// QueryService and drives it through N TCP connections.  Every connection
+// gets a *paced sender* thread and an independent *receiver* thread — the
+// open-loop shape: arrivals are scheduled by the generator's clock, not
+// gated on completions, so server slowdown shows up as queueing latency
+// and typed kOverloaded shed instead of silently throttling the offered
+// load (the closed-loop coordinated-omission trap).
+//
+//   * NetOpenLoop — sweeps connection counts (8 .. 256 — the >=128
+//     concurrent-pipelined-connections acceptance point lives here) with a
+//     fixed per-connection burst of point selects.  Reported counters:
+//     qps (completed/sec), offered (sent/sec), shed (kOverloaded), and
+//     lat_p50/p95/p99/max_us from per-request send->response timestamps.
+//   * NetPipelineDepth — one connection, sweeping the client-side pipeline
+//     bound: depth 1 is the classic request/response round trip; deeper
+//     pipelines amortize the wire and show where the server's
+//     max_pipeline admission starts shedding.
+//   * NetPingLatency — empty-frame round trips: the protocol + epoll floor
+//     with no query execution in it.
+//
+// Run with --json to emit BENCH_net_throughput.json (CI artifact).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/database.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/server/query_service.h"
+#include "src/util/metrics.h"
+#include "src/util/timer.h"
+
+namespace mmdb {
+namespace net {
+namespace {
+
+constexpr int kRows = 4096;  // point-select target pool
+
+/// Server + service + database for one benchmark run.
+struct Stack {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<Server> server;
+
+  static Stack Make(size_t workers, size_t max_pipeline) {
+    Stack s;
+    s.db = std::make_unique<Database>();
+    s.db->CreateTable("emp", {{"id", Type::kInt32},
+                              {"age", Type::kInt32},
+                              {"name", Type::kString}});
+    for (int i = 0; i < kRows; ++i) {
+      s.db->Insert("emp", {Value(i), Value(20 + i % 50),
+                           Value("name" + std::to_string(i))});
+    }
+    ServiceOptions sopts;
+    sopts.workers = workers;
+    sopts.queue_depth = 8192;
+    s.service = std::make_unique<QueryService>(s.db.get(), sopts);
+    ServerOptions nopts;
+    nopts.max_connections = 1024;
+    nopts.max_pipeline = max_pipeline;
+    s.server = std::make_unique<Server>(s.service.get(), nopts);
+    if (!s.server->Start().ok()) s.server.reset();
+    return s;
+  }
+
+  ~Stack() {
+    server.reset();  // Stop() drains before the service goes away
+    service.reset();
+  }
+  Stack() = default;
+  Stack(Stack&&) = default;
+  Stack& operator=(Stack&&) = default;
+};
+
+Operation PointSelect(int id) {
+  SelectSpec s;
+  s.table = "emp";
+  s.where = {WhereClause{"id", CompareOp::kEq, Value(id % kRows)}};
+  s.columns = {"emp.name"};
+  return Operation(std::move(s));
+}
+
+/// One connection of the open-loop generator: the sender stamps each
+/// request id with a Timer; the receiver thread looks the stamp up and
+/// records the full wire+queue+execute+wire latency.
+struct OpenLoopConn {
+  Client client;
+  std::mutex mu;
+  std::unordered_map<uint64_t, Timer> sent_at;
+
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> errors{0};
+};
+
+/// Drains `expect` responses, classifying completions vs. typed shed.
+void DrainResponses(OpenLoopConn& conn, uint64_t expect,
+                    LatencyHistogram& lat) {
+  for (uint64_t i = 0; i < expect; ++i) {
+    Response r;
+    if (!conn.client.Receive(&r).ok()) {
+      conn.errors.fetch_add(expect - i, std::memory_order_relaxed);
+      return;
+    }
+    Timer started;
+    bool stamped = false;
+    {
+      std::lock_guard<std::mutex> lock(conn.mu);
+      auto it = conn.sent_at.find(r.request_id);
+      if (it != conn.sent_at.end()) {
+        started = it->second;
+        stamped = true;
+        conn.sent_at.erase(it);
+      }
+    }
+    if (r.is_error) {
+      // Typed shed (kOverloaded under offered overload) — counted, never
+      // part of the latency distribution.
+      conn.shed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!r.result.ok()) {
+      conn.errors.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    conn.completed.fetch_add(1, std::memory_order_relaxed);
+    if (stamped) lat.Record(static_cast<double>(started.ElapsedMicros()));
+  }
+}
+
+/// Sends `ops` point selects on a fixed arrival schedule (`gap` between
+/// sends, zero = as fast as the socket accepts), never waiting for
+/// responses.
+uint64_t PacedSend(OpenLoopConn& conn, int ops, int seed,
+                   std::chrono::microseconds gap) {
+  uint64_t sent = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < ops; ++i) {
+    if (gap.count() > 0) {
+      // Open loop: sleep to the *schedule*, not relative to the last send,
+      // so a slow server cannot stretch the arrival process.
+      std::this_thread::sleep_until(start + gap * i);
+    }
+    uint64_t id = 0;
+    Timer t;
+    if (!conn.client.Send(PointSelect(seed + i), &id).ok()) break;
+    {
+      std::lock_guard<std::mutex> lock(conn.mu);
+      conn.sent_at.emplace(id, t);
+    }
+    ++sent;
+  }
+  return sent;
+}
+
+void BM_NetOpenLoop(benchmark::State& state) {
+  const int conns = static_cast<int>(state.range(0));
+  const int ops_per_conn = 64;
+  Stack stack = Stack::Make(/*workers=*/4, /*max_pipeline=*/64);
+  if (!stack.server) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+  const uint16_t port = stack.server->port();
+
+  std::vector<std::unique_ptr<OpenLoopConn>> pool;
+  for (int i = 0; i < conns; ++i) {
+    auto conn = std::make_unique<OpenLoopConn>();
+    if (!conn->client.Connect("127.0.0.1", port).ok()) {
+      state.SkipWithError("connect failed");
+      return;
+    }
+    pool.push_back(std::move(conn));
+  }
+
+  LatencyHistogram lat;
+  uint64_t offered = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(2 * pool.size());
+    std::vector<uint64_t> sent(pool.size(), 0);
+    for (size_t i = 0; i < pool.size(); ++i) {
+      threads.emplace_back([&, i] {
+        sent[i] = PacedSend(*pool[i], ops_per_conn,
+                            static_cast<int>(i) * 131,
+                            std::chrono::microseconds(0));
+      });
+      threads.emplace_back(
+          [&, i] { DrainResponses(*pool[i], ops_per_conn, lat); });
+    }
+    for (auto& t : threads) t.join();
+    for (uint64_t s : sent) offered += s;
+  }
+
+  uint64_t completed = 0, shed = 0, errors = 0;
+  for (const auto& conn : pool) {
+    completed += conn->completed.load();
+    shed += conn->shed.load();
+    errors += conn->errors.load();
+  }
+  if (errors != 0) {
+    state.SkipWithError("unexpected errors on the wire");
+    return;
+  }
+  const auto snap = lat.Snap();
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(completed), benchmark::Counter::kIsRate);
+  state.counters["offered"] = benchmark::Counter(
+      static_cast<double>(offered), benchmark::Counter::kIsRate);
+  state.counters["shed"] = static_cast<double>(shed);
+  state.counters["connections"] = static_cast<double>(conns);
+  state.counters["lat_p50_us"] =
+      static_cast<double>(snap.PercentileMicros(0.50));
+  state.counters["lat_p95_us"] =
+      static_cast<double>(snap.PercentileMicros(0.95));
+  state.counters["lat_p99_us"] =
+      static_cast<double>(snap.PercentileMicros(0.99));
+  state.counters["lat_max_us"] = static_cast<double>(snap.max_micros);
+}
+BENCHMARK(BM_NetOpenLoop)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Arg(256)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NetPipelineDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  constexpr int kOpsPerIter = 256;
+  Stack stack = Stack::Make(/*workers=*/4, /*max_pipeline=*/64);
+  if (!stack.server) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+  Client client;
+  if (!client.Connect("127.0.0.1", stack.server->port()).ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+
+  uint64_t completed = 0;
+  for (auto _ : state) {
+    int sent = 0, received = 0;
+    while (received < kOpsPerIter) {
+      while (sent < kOpsPerIter &&
+             client.inflight() < static_cast<uint64_t>(depth)) {
+        if (!client.Send(PointSelect(sent)).ok()) {
+          state.SkipWithError("send failed");
+          return;
+        }
+        ++sent;
+      }
+      Response r;
+      if (!client.Receive(&r).ok() || !r.ok()) {
+        state.SkipWithError("receive failed");
+        return;
+      }
+      ++received;
+      ++completed;
+    }
+  }
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(completed), benchmark::Counter::kIsRate);
+  state.counters["depth"] = static_cast<double>(depth);
+}
+BENCHMARK(BM_NetPipelineDepth)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NetPingLatency(benchmark::State& state) {
+  Stack stack = Stack::Make(/*workers=*/1, /*max_pipeline=*/16);
+  if (!stack.server) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+  Client client;
+  if (!client.Connect("127.0.0.1", stack.server->port()).ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  LatencyHistogram lat;
+  for (auto _ : state) {
+    Timer t;
+    if (!client.Ping().ok()) {
+      state.SkipWithError("ping failed");
+      return;
+    }
+    lat.Record(static_cast<double>(t.ElapsedMicros()));
+  }
+  const auto snap = lat.Snap();
+  state.counters["rtt_p50_us"] =
+      static_cast<double>(snap.PercentileMicros(0.50));
+  state.counters["rtt_p99_us"] =
+      static_cast<double>(snap.PercentileMicros(0.99));
+}
+BENCHMARK(BM_NetPingLatency)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace net
+}  // namespace mmdb
+
+MMDB_BENCH_MAIN(net_throughput);

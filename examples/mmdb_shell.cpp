@@ -9,6 +9,13 @@
 //
 //   $ ./mmdb_shell -c "CREATE TABLE t (x INT); INSERT INTO t VALUES (1);
 //                      SELECT * FROM t;"
+//
+// --serve <port> exposes the shell's database over the binary wire
+// protocol (equivalent to typing `SERVE <port>;`) while the REPL stays
+// interactive — remote net::Client traffic and local statements hit the
+// same tables:
+//
+//   $ ./mmdb_shell --serve 7700
 
 #include <cstdio>
 #include <iostream>
@@ -21,13 +28,28 @@ int main(int argc, char** argv) {
   mmdb::Database db;
   mmdb::CommandShell shell(&db);
 
-  if (argc == 3 && std::string(argv[1]) == "-c") {
-    std::fputs(shell.ExecuteScript(argv[2]).c_str(), stdout);
+  std::string serve_port;
+  int arg = 1;
+  if (argc >= 3 && std::string(argv[1]) == "--serve") {
+    serve_port = argv[2];
+    arg = 3;
+  }
+  if (argc - arg == 2 && std::string(argv[arg]) == "-c") {
+    if (!serve_port.empty()) {
+      std::printf("%s\n", shell.Execute("SERVE " + serve_port).c_str());
+    }
+    std::fputs(shell.ExecuteScript(argv[arg + 1]).c_str(), stdout);
     return 0;
   }
-  if (argc != 1) {
-    std::fprintf(stderr, "usage: %s [-c 'script']\n", argv[0]);
+  if (argc != arg) {
+    std::fprintf(stderr, "usage: %s [--serve <port>] [-c 'script']\n",
+                 argv[0]);
     return 2;
+  }
+  if (!serve_port.empty()) {
+    const std::string result = shell.Execute("SERVE " + serve_port);
+    std::printf("%s\n", result.c_str());
+    if (result.rfind("error:", 0) == 0) return 1;
   }
 
   std::printf("mmdb shell — statements end with ';' (Ctrl-D to exit)\n");

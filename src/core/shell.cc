@@ -6,6 +6,8 @@
 
 #include "src/core/query.h"
 #include "src/exec/select.h"
+#include "src/net/server.h"
+#include "src/server/query_service.h"
 #include "src/util/counters.h"
 #include "src/util/trace.h"
 
@@ -262,6 +264,7 @@ std::string CommandShell::Execute(const std::string& statement) {
     if (head == "DESCRIBE") return RunDescribe(t);
     if (head == "METRICS") return RunMetrics();
     if (head == "TRACE") return RunTrace(t);
+    if (head == "SERVE") return RunServe(t);
     if (head == "CHECKPOINT") {
       Status s = db_->CheckpointNow();
       if (!s.ok()) return "error: " + s.ToString();
@@ -621,6 +624,50 @@ std::string CommandShell::RunTrace(const std::vector<Token>& t) {
     }
   }
   return "error: TRACE ON | TRACE OFF | TRACE DUMP 'path'";
+}
+
+CommandShell::CommandShell(Database* db) : db_(db) {}
+
+CommandShell::~CommandShell() {
+  // Server before service: the server's Stop() drains in-flight completion
+  // callbacks, which still reference the service.
+  serve_server_.reset();
+  serve_service_.reset();
+}
+
+uint16_t CommandShell::serving_port() const {
+  return serve_server_ != nullptr ? serve_server_->port() : 0;
+}
+
+std::string CommandShell::RunServe(const std::vector<Token>& t) {
+  if (t.size() == 2 && TokenIs(t[1], "OFF")) {
+    if (serve_server_ == nullptr) return "error: not serving";
+    serve_server_.reset();  // Stop() drains before the service goes away
+    serve_service_.reset();
+    return "ok: serve off";
+  }
+  if (t.size() != 2 || t[1].quoted) return "error: SERVE <port> | SERVE OFF";
+  if (serve_server_ != nullptr) {
+    return "error: already serving on port " +
+           std::to_string(serve_server_->port());
+  }
+  unsigned long port;
+  try {
+    port = std::stoul(t[1].text);
+  } catch (const std::exception&) {
+    return "error: SERVE <port> | SERVE OFF";
+  }
+  if (port > 65535) return "error: port out of range";
+
+  auto service = std::make_unique<QueryService>(db_);
+  net::ServerOptions options;
+  options.port = static_cast<uint16_t>(port);
+  auto server = std::make_unique<net::Server>(service.get(), options);
+  Status s = server->Start();
+  if (!s.ok()) return "error: " + s.ToString();
+  serve_service_ = std::move(service);
+  serve_server_ = std::move(server);
+  return "ok: serving on port " + std::to_string(serve_server_->port());
 }
 
 }  // namespace mmdb

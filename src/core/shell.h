@@ -20,6 +20,9 @@
 //   METRICS;                             -- Prometheus text exposition
 //   TRACE ON; TRACE OFF;                 -- toggle span recording
 //   TRACE DUMP 'trace.json';             -- chrome://tracing JSON
+//   SERVE 7700;                          -- expose this db over TCP
+//   SERVE 0;                             -- ... on an ephemeral port
+//   SERVE OFF;                           -- stop serving
 //
 // Strings are single-quoted; numbers with a '.' parse as doubles; WHERE
 // conditions are AND-conjunctions of `field op literal` (a `table.` prefix
@@ -28,6 +31,8 @@
 #ifndef MMDB_CORE_SHELL_H_
 #define MMDB_CORE_SHELL_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,9 +40,19 @@
 
 namespace mmdb {
 
+class QueryService;
+namespace net {
+class Server;
+}  // namespace net
+
 class CommandShell {
  public:
-  explicit CommandShell(Database* db) : db_(db) {}
+  /// Constructor and destructor live in shell.cc where QueryService and
+  /// net::Server are complete types (the unique_ptr members need them
+  /// even for the constructor's exception-cleanup path).  The destructor
+  /// stops an active SERVE: server first, then its query service.
+  explicit CommandShell(Database* db);
+  ~CommandShell();
 
   /// Executes one statement (with or without trailing ';'); returns the
   /// printable result, or a line starting with "error:" on failure.
@@ -57,6 +72,10 @@ class CommandShell {
                                      std::string* error);
   static Value ParseLiteral(const Token& token);
 
+  /// Port the active SERVE is bound to, or 0 when not serving (tests that
+  /// SERVE with port 0 read the ephemeral port back through this).
+  uint16_t serving_port() const;
+
  private:
   std::string RunCreate(const std::vector<Token>& t);
   std::string RunForeignKey(const std::vector<Token>& t);
@@ -69,8 +88,14 @@ class CommandShell {
   std::string RunDescribe(const std::vector<Token>& t);
   std::string RunMetrics();
   std::string RunTrace(const std::vector<Token>& t);
+  std::string RunServe(const std::vector<Token>& t);
 
   Database* db_;
+  /// SERVE state: a query service + network front end over db_.  The
+  /// server must stop before the service (declaration order handles the
+  /// default teardown; RunServe handles explicit SERVE OFF).
+  std::unique_ptr<QueryService> serve_service_;
+  std::unique_ptr<net::Server> serve_server_;
 };
 
 }  // namespace mmdb

@@ -1,0 +1,221 @@
+#include "src/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mmdb {
+namespace net {
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s =
+        Status::Internal(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::Ok();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---- Send side --------------------------------------------------------------
+
+Status Client::SendFrame(FrameType type, const std::string& payload,
+                         uint64_t* request_id) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  const uint64_t id = next_id_++;
+  if (request_id != nullptr) *request_id = id;
+  std::string frame;
+  EncodeFrame(type, id, payload, &frame);
+  size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Internal(std::string("send: ") + std::strerror(errno));
+  }
+  if (type == FrameType::kRequest) ++sent_;
+  return Status::Ok();
+}
+
+Status Client::Send(const Operation& op, uint64_t* request_id) {
+  std::string payload;
+  if (!EncodeOperation(op, &payload)) {
+    return Status::InvalidArgument("operation not encodable (pointer value?)");
+  }
+  return SendFrame(FrameType::kRequest, payload, request_id);
+}
+
+// ---- Receive side -----------------------------------------------------------
+
+Status Client::ReadFrame(Frame* frame) {
+  // recv_mu_ is held by the caller.
+  for (;;) {
+    std::string error;
+    switch (in_.Next(frame, &error)) {
+      case FrameBuffer::Result::kFrame:
+        return Status::Ok();
+      case FrameBuffer::Result::kCorrupt:
+        return Status::Internal("corrupt frame from server: " + error);
+      case FrameBuffer::Result::kNeedMore:
+        break;
+    }
+    if (fd_ < 0) return Status::FailedPrecondition("not connected");
+    if (recv_timeout_.count() > 0) {
+      pollfd p{fd_, POLLIN, 0};
+      const int r = ::poll(&p, 1, static_cast<int>(recv_timeout_.count()));
+      if (r == 0) return Status::ResourceExhausted("receive timeout");
+      if (r < 0 && errno != EINTR) {
+        return Status::Internal(std::string("poll: ") + std::strerror(errno));
+      }
+      if (r < 0) continue;
+    }
+    char buf[16 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      in_.Append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::Aborted("connection closed by server");
+    if (errno == EINTR) continue;
+    return Status::Internal(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+bool Client::FrameToResponse(const Frame& frame, Response* out) {
+  out->request_id = frame.request_id;
+  switch (frame.type) {
+    case FrameType::kResponse:
+      out->is_error = false;
+      return DecodeOpResult(frame.payload, &out->result);
+    case FrameType::kError:
+      out->is_error = true;
+      return DecodeError(frame.payload, &out->error_code,
+                         &out->error_message);
+    default:
+      return false;  // pings/pongs are not responses
+  }
+}
+
+Status Client::Receive(Response* out) {
+  std::lock_guard<std::mutex> lock(recv_mu_);
+  if (!parked_.empty()) {
+    *out = std::move(parked_.front());
+    parked_.pop_front();
+    return Status::Ok();
+  }
+  for (;;) {
+    Frame frame;
+    Status s = ReadFrame(&frame);
+    if (!s.ok()) return s;
+    if (frame.type == FrameType::kPong) continue;  // stray pong: drop
+    if (!FrameToResponse(frame, out)) {
+      return Status::Internal("malformed response payload");
+    }
+    if (out->request_id != 0) ++received_;
+    return Status::Ok();
+  }
+}
+
+Response Client::Call(const Operation& op) {
+  Response resp;
+  uint64_t id = 0;
+  Status s = Send(op, &id);
+  if (!s.ok()) {
+    resp.result.status = s;
+    return resp;
+  }
+  std::lock_guard<std::mutex> lock(recv_mu_);
+  // Deliver parked responses for *this* id first (possible when Call and
+  // Receive interleave on one thread).
+  for (auto it = parked_.begin(); it != parked_.end(); ++it) {
+    if (it->request_id == id) {
+      resp = std::move(*it);
+      parked_.erase(it);
+      return resp;
+    }
+  }
+  for (;;) {
+    Frame frame;
+    s = ReadFrame(&frame);
+    if (!s.ok()) {
+      resp.result.status = s;
+      return resp;
+    }
+    if (frame.type == FrameType::kPong) continue;
+    Response r;
+    if (!FrameToResponse(frame, &r)) {
+      resp.result.status = Status::Internal("malformed response payload");
+      return resp;
+    }
+    if (r.request_id != 0) ++received_;
+    if (r.request_id == id ||
+        (r.is_error && r.request_id == 0)) {
+      // A connection-level error (id 0, e.g. kTooManyConnections) answers
+      // whatever we were waiting on.
+      return r;
+    }
+    parked_.push_back(std::move(r));  // out-of-order pipelined completion
+  }
+}
+
+Status Client::Ping() {
+  uint64_t id = 0;
+  Status s = SendFrame(FrameType::kPing, {}, &id);
+  if (!s.ok()) return s;
+  std::lock_guard<std::mutex> lock(recv_mu_);
+  for (;;) {
+    Frame frame;
+    s = ReadFrame(&frame);
+    if (!s.ok()) return s;
+    if (frame.type == FrameType::kPong && frame.request_id == id) {
+      return Status::Ok();
+    }
+    Response r;
+    if (FrameToResponse(frame, &r)) {
+      if (r.request_id != 0) ++received_;
+      parked_.push_back(std::move(r));
+    }
+  }
+}
+
+uint64_t Client::inflight() const {
+  std::lock_guard<std::mutex> send_lock(send_mu_);
+  std::lock_guard<std::mutex> recv_lock(recv_mu_);
+  return sent_ - received_;
+}
+
+}  // namespace net
+}  // namespace mmdb

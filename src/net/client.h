@@ -1,0 +1,103 @@
+// C++ client for the network front end: blocking TCP socket speaking the
+// src/net/wire_format.h protocol, with a synchronous convenience API
+// (Call) and a pipelined asynchronous one (Send / Receive).
+//
+// Pipelining: Send() writes a request frame without waiting; the server
+// may complete pipelined requests out of order (its workers are a pool),
+// so every Response carries the request id it answers.  Call() internally
+// receives until its own id shows up, parking other responses for later
+// Receive() calls.
+//
+// Thread-safety: a Client may be driven by at most one sending thread and
+// one receiving thread concurrently (the open-loop load generator pairs a
+// paced sender with a drain thread per connection).  Send/Call take the
+// write lock, Receive/Call the read lock; Call holds both roles briefly
+// and must then be the only caller.
+
+#ifndef MMDB_NET_CLIENT_H_
+#define MMDB_NET_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "src/net/wire_format.h"
+#include "src/util/status.h"
+
+namespace mmdb {
+namespace net {
+
+/// One server reply: either the executed operation's OpResult (kResponse)
+/// or a typed error frame (kError — shed load / protocol violation).
+struct Response {
+  uint64_t request_id = 0;
+  bool is_error = false;
+  WireErrorCode error_code = WireErrorCode::kProtocolError;  ///< when is_error
+  std::string error_message;                                 ///< when is_error
+  OpResult result;  ///< when !is_error
+
+  /// True when the operation executed and reported OK.
+  bool ok() const { return !is_error && result.ok(); }
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Receive-side timeout for Receive/Call; 0 = block forever.  Expiry
+  /// surfaces as kResourceExhausted("receive timeout").
+  void set_receive_timeout(std::chrono::milliseconds t) { recv_timeout_ = t; }
+
+  /// Synchronous round trip: Send + Receive until this request's response
+  /// arrives (other pipelined responses are parked for later Receive).
+  Response Call(const Operation& op);
+
+  /// Pipelined send; returns the assigned request id via *request_id
+  /// (may be null).  Does not wait for any response.
+  Status Send(const Operation& op, uint64_t* request_id = nullptr);
+
+  /// Blocks for the next response on the wire (or a parked one), in server
+  /// completion order — not necessarily send order.
+  Status Receive(Response* out);
+
+  /// Liveness round trip (kPing/kPong).
+  Status Ping();
+
+  /// In-flight request count (sent minus received); the open-loop load
+  /// generator uses it to bound its own pipeline.
+  uint64_t inflight() const;
+
+ private:
+  Status SendFrame(FrameType type, const std::string& payload,
+                   uint64_t* request_id);
+  /// Reads one frame off the socket into *frame.
+  Status ReadFrame(Frame* frame);
+  static bool FrameToResponse(const Frame& frame, Response* out);
+
+  int fd_ = -1;
+  std::chrono::milliseconds recv_timeout_{0};
+
+  mutable std::mutex send_mu_;
+  uint64_t next_id_ = 1;
+  uint64_t sent_ = 0;
+
+  mutable std::mutex recv_mu_;
+  FrameBuffer in_;
+  std::deque<Response> parked_;  ///< responses read while waiting for an id
+  uint64_t received_ = 0;
+};
+
+}  // namespace net
+}  // namespace mmdb
+
+#endif  // MMDB_NET_CLIENT_H_

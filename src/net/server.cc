@@ -1,0 +1,654 @@
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "src/core/database.h"
+#include "src/server/query_service.h"
+#include "src/util/metrics.h"
+#include "src/util/timer.h"
+#include "src/util/trace.h"
+
+namespace mmdb {
+namespace net {
+
+namespace {
+using SteadyClock = std::chrono::steady_clock;
+
+/// Read buffer chunk; the loop keeps reading chunks until EAGAIN, so this
+/// bounds syscall granularity, not message size.
+constexpr size_t kReadChunk = 64 * 1024;
+}  // namespace
+
+// ---- Metrics ----------------------------------------------------------------
+
+struct Server::Metrics {
+  Counter* accepted;
+  Counter* rejected_connections;   ///< shed at accept (connection cap)
+  Counter* rejected_pipeline;      ///< shed: per-connection pipeline bound
+  Counter* rejected_queue;         ///< shed: service queue full
+  Counter* rejected_shutdown;      ///< shed: request arrived while stopping
+  Counter* frames_in;
+  Counter* frames_out;
+  Counter* bytes_in;
+  Counter* bytes_out;
+  Counter* protocol_errors;
+  Counter* idle_closed;
+  Counter* requests;
+  Counter* responses;
+  Gauge* connections;
+  Gauge* connections_hwm;
+  Gauge* pipeline_depth_hwm;
+  LatencyHistogram* decode_micros;
+  LatencyHistogram* request_micros;
+
+  explicit Metrics(MetricsRegistry* r)
+      : accepted(r->GetCounter("mmdb_net_accepted_total")),
+        rejected_connections(
+            r->GetCounter("mmdb_net_rejected_connections_total")),
+        rejected_pipeline(
+            r->GetCounter("mmdb_net_rejected_total{reason=\"pipeline\"}")),
+        rejected_queue(
+            r->GetCounter("mmdb_net_rejected_total{reason=\"queue\"}")),
+        rejected_shutdown(
+            r->GetCounter("mmdb_net_rejected_total{reason=\"shutdown\"}")),
+        frames_in(r->GetCounter("mmdb_net_frames_in_total")),
+        frames_out(r->GetCounter("mmdb_net_frames_out_total")),
+        bytes_in(r->GetCounter("mmdb_net_bytes_in_total")),
+        bytes_out(r->GetCounter("mmdb_net_bytes_out_total")),
+        protocol_errors(r->GetCounter("mmdb_net_protocol_errors_total")),
+        idle_closed(r->GetCounter("mmdb_net_idle_closed_total")),
+        requests(r->GetCounter("mmdb_net_requests_total")),
+        responses(r->GetCounter("mmdb_net_responses_total")),
+        connections(r->GetGauge("mmdb_net_connections")),
+        connections_hwm(r->GetGauge("mmdb_net_connections_hwm")),
+        pipeline_depth_hwm(r->GetGauge("mmdb_net_pipeline_depth_hwm")),
+        decode_micros(r->GetHistogram("mmdb_net_decode_micros")),
+        request_micros(r->GetHistogram("mmdb_net_request_micros")) {}
+};
+
+// ---- Connection -------------------------------------------------------------
+
+struct Server::Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  const int fd;
+  Session* session = nullptr;  ///< per-connection service session
+
+  // Loop-thread-only state.
+  FrameBuffer in;
+  uint32_t interest = 0;       ///< events currently armed in epoll
+  bool registered = false;     ///< fd is (still) in the epoll set
+  SteadyClock::time_point last_activity{};
+
+  // Shared state: the loop and worker completion callbacks both touch the
+  // outbound buffer and flags under `mu`.
+  std::mutex mu;
+  std::string out;
+  size_t out_pos = 0;
+  bool closed = false;            ///< loop closed the socket; drop output
+  bool close_after_flush = false; ///< protocol error: flush, then close
+  bool session_released = false;
+  size_t in_flight = 0;           ///< submitted ops awaiting callbacks
+  size_t pipeline_hwm = 0;
+};
+
+// ---- Lifecycle --------------------------------------------------------------
+
+Server::Server(QueryService* service, ServerOptions options)
+    : service_(service),
+      options_(std::move(options)),
+      metrics_(new Metrics(&service->database()->metrics())) {
+  options_.max_pipeline = std::max<size_t>(1, options_.max_pipeline);
+  options_.max_connections = std::max<size_t>(1, options_.max_connections);
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load(std::memory_order_acquire) || loop_.joinable()) {
+    return Status::FailedPrecondition("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad host " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status s = Status::Internal(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    Status s = Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Status s = Status::Internal("epoll/eventfd setup failed");
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    ::close(listen_fd_);
+    epoll_fd_ = wake_fd_ = listen_fd_ = -1;
+    return s;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void Server::Stop() {
+  if (!loop_.joinable()) return;
+  stopping_.store(true, std::memory_order_release);
+  Wake();
+  // Drain: every in-flight Submit callback must finish touching connection
+  // and server state before we let the loop tear sockets down (and before
+  // the caller may destroy the QueryService/Database behind us).  The
+  // callback decrements and notifies *under* drain_mu_, so when this wait
+  // returns no callback can still be inside server code.
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait(lock, [this] { return in_flight_total_ == 0; });
+  }
+  Wake();
+  loop_.join();
+  running_.store(false, std::memory_order_release);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  wake_fd_ = epoll_fd_ = -1;
+}
+
+void Server::Wake() {
+  if (wake_fd_ < 0) return;
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Server::DrainWakePipe() {
+  uint64_t value;
+  while (::read(wake_fd_, &value, sizeof(value)) > 0) {
+  }
+}
+
+size_t Server::InFlightTotal() {
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  return in_flight_total_;
+}
+
+// ---- Event loop -------------------------------------------------------------
+
+void Server::Loop() {
+  constexpr int kMaxEvents = 128;
+  epoll_event events[kMaxEvents];
+  bool listen_closed = false;
+
+  for (;;) {
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    if (stopping && !listen_closed) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      listen_closed = true;
+    }
+    if (stopping && InFlightTotal() == 0) break;
+
+    int timeout_ms = 500;
+    if (stopping) {
+      timeout_ms = 10;
+    } else if (options_.idle_timeout.count() > 0) {
+      timeout_ms = static_cast<int>(std::clamp<int64_t>(
+          options_.idle_timeout.count() / 2, 1, 50));
+    }
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    if (n < 0 && errno != EINTR) break;
+
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        DrainWakePipe();
+        continue;
+      }
+      if (fd == listen_fd_ && !listen_closed) {
+        HandleListen();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      HandleEvent(events[i].events, it->second);
+    }
+
+    // Completion callbacks queued responses; flush them on this thread.
+    std::vector<std::shared_ptr<Connection>> pending;
+    {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+      pending.swap(flush_queue_);
+    }
+    for (const auto& conn : pending) {
+      bool is_open;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        is_open = !conn->closed;
+      }
+      if (is_open && !Flush(conn)) CloseConnection(conn);
+    }
+
+    if (!stopping && options_.idle_timeout.count() > 0) SweepIdle();
+  }
+
+  // Drained: no callback will queue output again.  Give every connection a
+  // final flush so pipelined clients see the responses the service already
+  // produced, then close everything.
+  std::vector<std::shared_ptr<Connection>> remaining;
+  remaining.reserve(conns_.size());
+  for (auto& [fd, conn] : conns_) remaining.push_back(conn);
+  for (const auto& conn : remaining) {
+    Flush(conn);
+    CloseConnection(conn);
+  }
+  conns_.clear();
+}
+
+void Server::HandleListen() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: wait for next event
+
+    if (conns_.size() >= options_.max_connections) {
+      // Shed with a typed frame: the client learns *why* instead of seeing
+      // a silent RST.  Best-effort single write — the frame is small enough
+      // to fit any socket buffer.
+      metrics_->rejected_connections->Add();
+      std::string payload, frame;
+      EncodeError(WireErrorCode::kTooManyConnections,
+                  "connection cap reached", &payload);
+      EncodeFrame(FrameType::kError, 0, payload, &frame);
+      [[maybe_unused]] ssize_t n = ::write(fd, frame.data(), frame.size());
+      ::close(fd);
+      continue;
+    }
+
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>(fd);
+    conn->session = service_->OpenSession();
+    conn->last_activity = SteadyClock::now();
+    conn->interest = EPOLLIN;
+    epoll_event ev{};
+    ev.events = conn->interest |
+                (options_.edge_triggered ? EPOLLET : 0u) |
+                (options_.oneshot ? EPOLLONESHOT : 0u);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      service_->CloseSession(conn->session);
+      continue;  // conn destructor closes fd
+    }
+    conn->registered = true;
+    conns_.emplace(fd, std::move(conn));
+    metrics_->accepted->Add();
+    metrics_->connections->Set(static_cast<int64_t>(conns_.size()));
+    conns_hwm_ = std::max(conns_hwm_, conns_.size());
+    metrics_->connections_hwm->Set(static_cast<int64_t>(conns_hwm_));
+  }
+}
+
+void Server::UpdateInterest(Connection* conn) {
+  if (!conn->registered) return;
+  epoll_event ev{};
+  ev.events = conn->interest |
+              (options_.edge_triggered ? EPOLLET : 0u) |
+              (options_.oneshot ? EPOLLONESHOT : 0u);
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+// By value for the same map-erase reason as CloseConnection.
+void Server::HandleEvent(uint32_t events, std::shared_ptr<Connection> conn) {
+  conn->last_activity = SteadyClock::now();
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    CloseConnection(conn);
+    return;
+  }
+  bool alive = true;
+  if ((events & EPOLLIN) != 0) alive = ReadAndDispatch(conn);
+  if (alive && (events & EPOLLOUT) != 0) alive = Flush(conn);
+  if (!alive) {
+    CloseConnection(conn);
+    return;
+  }
+  // EPOLLONESHOT disarms the fd on delivery; rearm with current interest.
+  // (Also refreshes EPOLLOUT, which Flush may have toggled.)
+  if (options_.oneshot) UpdateInterest(conn.get());
+}
+
+bool Server::ReadAndDispatch(const std::shared_ptr<Connection>& conn) {
+  trace::Span span("net_read");
+  char buf[kReadChunk];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      metrics_->bytes_in->Add(static_cast<uint64_t>(n));
+      conn->in.Append(buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf) && !options_.edge_triggered) {
+        break;  // short read: level-triggered epoll will re-notify
+      }
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;  // hard error
+  }
+
+  // Carve and dispatch every complete frame that arrived.
+  for (;;) {
+    Frame frame;
+    std::string error;
+    Timer decode_timer;
+    const FrameBuffer::Result r = conn->in.Next(&frame, &error);
+    if (r == FrameBuffer::Result::kNeedMore) break;
+    if (r == FrameBuffer::Result::kCorrupt) {
+      // The stream is unusable (framing lost): answer with a typed
+      // protocol error, flush it, then close.
+      metrics_->protocol_errors->Add();
+      SendError(conn, 0, WireErrorCode::kProtocolError, error);
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->close_after_flush = true;
+      break;
+    }
+    metrics_->decode_micros->Record(decode_timer.ElapsedMicros());
+    metrics_->frames_in->Add();
+    DispatchFrame(conn, std::move(frame));
+    bool closing;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      closing = conn->close_after_flush;
+    }
+    if (closing) break;  // protocol error mid-pipeline: stop decoding
+  }
+  return Flush(conn);
+}
+
+void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
+                           Frame frame) {
+  switch (frame.type) {
+    case FrameType::kPing:
+      QueueFrame(conn, FrameType::kPong, frame.request_id, {});
+      return;
+    case FrameType::kRequest:
+      break;
+    default: {
+      // Clients must not send responses/errors/pongs.
+      metrics_->protocol_errors->Add();
+      SendError(conn, frame.request_id, WireErrorCode::kProtocolError,
+                std::string("unexpected frame type ") +
+                    FrameTypeName(frame.type));
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->close_after_flush = true;
+      return;
+    }
+  }
+
+  metrics_->requests->Add();
+  if (stopping_.load(std::memory_order_acquire)) {
+    metrics_->rejected_shutdown->Add();
+    SendError(conn, frame.request_id, WireErrorCode::kShuttingDown,
+              "server is stopping");
+    return;
+  }
+
+  Operation op;
+  {
+    trace::Span span("net_decode");
+    if (!DecodeOperation(frame.payload, &op)) {
+      // The frame passed its CRC, so this is a malformed payload from a
+      // confused client, not line noise; the framing is still intact and
+      // the connection stays usable.
+      metrics_->protocol_errors->Add();
+      SendError(conn, frame.request_id, WireErrorCode::kProtocolError,
+                "malformed request payload");
+      return;
+    }
+  }
+
+  // Admission: bounded per-connection pipeline.  Shedding here (instead of
+  // buffering) keeps worst-case memory per connection proportional to the
+  // bound and tells the client to back off, with its request id attached.
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->in_flight < options_.max_pipeline) {
+      ++conn->in_flight;
+      conn->pipeline_hwm = std::max(conn->pipeline_hwm, conn->in_flight);
+      if (static_cast<int64_t>(conn->pipeline_hwm) >
+          metrics_->pipeline_depth_hwm->Value()) {
+        metrics_->pipeline_depth_hwm->Set(
+            static_cast<int64_t>(conn->pipeline_hwm));
+      }
+      admitted = true;
+    }
+  }
+  if (!admitted) {
+    metrics_->rejected_pipeline->Add();
+    SendError(conn, frame.request_id, WireErrorCode::kOverloaded,
+              "pipeline limit reached");
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++in_flight_total_;
+  }
+
+  const uint64_t request_id = frame.request_id;
+  const auto received = trace::Clock::now();
+  const Timer request_timer;
+  Status s = service_->Submit(
+      conn->session, std::move(op),
+      [this, conn, request_id, received, request_timer](OpResult result) {
+        // Worker-thread completion: encode, append to the connection's
+        // outbound buffer, wake the loop to flush.  Everything this
+        // callback touches (conn state, metrics, flush queue, eventfd)
+        // happens *before* the drain decrement below — that ordering is
+        // the graceful-shutdown contract.
+        std::string payload;
+        EncodeOpResult(result, &payload);
+        bool queue_flush = false;
+        bool release_session = false;
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          if (!conn->closed) {
+            EncodeFrame(FrameType::kResponse, request_id, payload, &conn->out);
+            queue_flush = true;
+          }
+          --conn->in_flight;
+          if (conn->closed && conn->in_flight == 0 &&
+              !conn->session_released) {
+            conn->session_released = true;
+            release_session = true;
+          }
+        }
+        metrics_->responses->Add();
+        metrics_->frames_out->Add();
+        metrics_->request_micros->Record(request_timer.ElapsedMicros());
+        trace::RecordSpan("net_request", received, trace::Clock::now());
+        if (release_session) service_->CloseSession(conn->session);
+        if (queue_flush) {
+          {
+            std::lock_guard<std::mutex> lock(flush_mu_);
+            flush_queue_.push_back(conn);
+          }
+          Wake();
+        }
+        // Last touch: let Stop() proceed.  Notify under the mutex so the
+        // waiter cannot destroy the server between decrement and notify.
+        {
+          std::lock_guard<std::mutex> lock(drain_mu_);
+          --in_flight_total_;
+          drain_cv_.notify_all();
+        }
+      });
+
+  if (!s.ok()) {
+    // Submission failed — undo the admission accounting and shed with the
+    // matching typed error.
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      --conn->in_flight;
+    }
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      --in_flight_total_;
+      drain_cv_.notify_all();
+    }
+    if (s.code() == StatusCode::kResourceExhausted) {
+      metrics_->rejected_queue->Add();
+      SendError(conn, request_id, WireErrorCode::kOverloaded, s.message());
+    } else {
+      metrics_->rejected_shutdown->Add();
+      SendError(conn, request_id, WireErrorCode::kShuttingDown, s.message());
+    }
+  }
+}
+
+void Server::SendError(const std::shared_ptr<Connection>& conn,
+                       uint64_t request_id, WireErrorCode code,
+                       std::string_view message) {
+  std::string payload;
+  EncodeError(code, message, &payload);
+  QueueFrame(conn, FrameType::kError, request_id, payload);
+}
+
+void Server::QueueFrame(const std::shared_ptr<Connection>& conn,
+                        FrameType type, uint64_t request_id,
+                        std::string_view payload) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->closed) return;
+  EncodeFrame(type, request_id, payload, &conn->out);
+  metrics_->frames_out->Add();
+}
+
+bool Server::Flush(const std::shared_ptr<Connection>& conn) {
+  trace::Span span("net_flush");
+  bool want_write = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return true;
+    while (conn->out_pos < conn->out.size()) {
+      const ssize_t n = ::write(conn->fd, conn->out.data() + conn->out_pos,
+                                conn->out.size() - conn->out_pos);
+      if (n > 0) {
+        conn->out_pos += static_cast<size_t>(n);
+        metrics_->bytes_out->Add(static_cast<uint64_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // Partial write: keep position, wait for EPOLLOUT.
+        want_write = true;
+        break;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // peer gone / hard error
+    }
+    if (conn->out_pos == conn->out.size()) {
+      conn->out.clear();
+      conn->out_pos = 0;
+      if (conn->close_after_flush) return false;  // error frame delivered
+    }
+  }
+  // Interest is loop-thread-only state: Flush runs exclusively on the loop
+  // (worker callbacks only append bytes and enqueue the conn for flushing).
+  const uint32_t desired = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  if (desired != conn->interest) {
+    conn->interest = desired;
+    UpdateInterest(conn.get());
+  }
+  return true;
+}
+
+// Takes the shared_ptr by value: callers may hand us the reference stored
+// in conns_, which the erase below would otherwise invalidate mid-call.
+void Server::CloseConnection(std::shared_ptr<Connection> conn) {
+  bool release_session = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return;
+    conn->closed = true;
+    if (conn->in_flight == 0 && !conn->session_released) {
+      conn->session_released = true;
+      release_session = true;
+    }
+    // else: the last in-flight callback releases the session.
+  }
+  if (release_session) service_->CloseSession(conn->session);
+  if (conn->registered) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    conn->registered = false;
+  }
+  ::shutdown(conn->fd, SHUT_RDWR);
+  conns_.erase(conn->fd);  // destructor closes the fd when callbacks drop it
+  metrics_->connections->Set(static_cast<int64_t>(conns_.size()));
+}
+
+void Server::SweepIdle() {
+  const auto now = SteadyClock::now();
+  std::vector<std::shared_ptr<Connection>> idle;
+  for (auto& [fd, conn] : conns_) {
+    bool busy;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      busy = conn->in_flight > 0 || conn->out_pos < conn->out.size();
+    }
+    if (!busy && now - conn->last_activity > options_.idle_timeout) {
+      idle.push_back(conn);
+    }
+  }
+  for (const auto& conn : idle) {
+    metrics_->idle_closed->Add();
+    CloseConnection(conn);
+  }
+}
+
+}  // namespace net
+}  // namespace mmdb

@@ -1,0 +1,178 @@
+// Network front end: a nonblocking epoll TCP server that speaks the
+// src/net/wire_format.h framed protocol and feeds decoded operations into
+// the existing QueryService work queue.
+//
+//   clients --TCP--> epoll loop (1 thread) --Submit--> QueryService workers
+//                        ^                                     |
+//                        |   eventfd wake + flush queue        |
+//                        +---- completion callbacks <----------+
+//
+// One event-loop thread owns every socket: it accepts, reads, decodes
+// frames, and submits requests; QueryService worker callbacks encode the
+// response, append it to the connection's outbound buffer, and wake the
+// loop through an eventfd to flush.  Partial writes keep their position in
+// the buffer and arm EPOLLOUT until drained.
+//
+// Per-connection state machine:
+//
+//   kOpen --(protocol error)--> kClosing (flush error frame) --> closed
+//     |--(idle timeout / EOF / write error)-----------------------> closed
+//     |--(server Stop: drain in-flight, flush)-------------------> closed
+//
+// Admission control (never silent drops, never unbounded buffering):
+//   * global connection cap: excess accepts get one kTooManyConnections
+//     error frame and an immediate close;
+//   * per-connection pipeline bound: a request arriving with
+//     max_pipeline ops already in flight is shed with a typed kOverloaded
+//     error frame carrying its request id (the pipeline can never exceed
+//     the bound, so the outbound buffer stays proportional to it);
+//   * service queue full: Submit's kResourceExhausted becomes kOverloaded;
+//   * idle connections are closed after idle_timeout.
+//
+// Graceful shutdown (mirrors the PR 5 durability-thread ordering fix):
+// Stop() ends intake, then *waits for every in-flight Submit callback to
+// finish touching connection state* before the loop closes sockets and
+// Stop returns — so destroying the QueryService/Database right after
+// Stop() can never race a completion callback (regression-tested under
+// TSan/ASan by NetServerTest.StopUnderLoad).
+//
+// Observability: mmdb_net_* counters/gauges/histograms registered in the
+// database's MetricsRegistry (so QueryService::MetricsText() scrapes them)
+// and trace spans (net_read / net_decode / net_request / net_flush) in the
+// PR 2 trace layer — chrome://tracing shows the socket-to-commit path.
+
+#ifndef MMDB_NET_SERVER_H_
+#define MMDB_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/wire_format.h"
+#include "src/util/status.h"
+
+namespace mmdb {
+
+class QueryService;
+class Counter;
+class Gauge;
+class LatencyHistogram;
+class Session;
+
+namespace net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; Server::port() reports the actual one.
+  uint16_t port = 0;
+  int backlog = 128;
+  /// Global cap on live connections; excess accepts are shed with a typed
+  /// kTooManyConnections frame.
+  size_t max_connections = 1024;
+  /// Per-connection in-flight pipeline bound; requests beyond it are shed
+  /// with kOverloaded.
+  size_t max_pipeline = 64;
+  /// Close connections with no traffic for this long (0 = never).
+  std::chrono::milliseconds idle_timeout{0};
+  /// Edge-triggered epoll (EPOLLET).  The loop always reads/writes until
+  /// EAGAIN, so level vs. edge is behaviorally identical — both are tested.
+  bool edge_triggered = false;
+  /// EPOLLONESHOT on connection sockets: every delivered event disarms the
+  /// fd until the loop explicitly rearms it after handling.  With a single
+  /// loop thread this buys nothing, but the rearm discipline is what a
+  /// multi-loop server needs, and the option proves the code path is safe.
+  bool oneshot = false;
+};
+
+class Server {
+ public:
+  /// The service (and its database) must outlive the server; call Stop()
+  /// (or destroy the server) before shutting the service down.
+  explicit Server(QueryService* service, ServerOptions options = {});
+  ~Server();  // implies Stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the event loop.  Fails if the address is
+  /// unusable or the server was already started.
+  Status Start();
+
+  /// Stops intake, drains every in-flight operation's completion callback,
+  /// flushes what can be flushed, closes all sockets, and joins the loop
+  /// thread.  After Stop returns no server code runs on any thread.
+  /// Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Port actually bound (differs from options.port when that was 0).
+  uint16_t port() const { return port_; }
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Connection;
+  struct Metrics;
+
+  void Loop();
+  void HandleListen();
+  void HandleEvent(uint32_t events, std::shared_ptr<Connection> conn);
+  /// Reads until EAGAIN/EOF, decodes and dispatches frames.  Returns false
+  /// if the connection must close.
+  bool ReadAndDispatch(const std::shared_ptr<Connection>& conn);
+  void DispatchFrame(const std::shared_ptr<Connection>& conn, Frame frame);
+  /// Queues a typed error frame on the connection.
+  void SendError(const std::shared_ptr<Connection>& conn, uint64_t request_id,
+                 WireErrorCode code, std::string_view message);
+  void QueueFrame(const std::shared_ptr<Connection>& conn, FrameType type,
+                  uint64_t request_id, std::string_view payload);
+  /// Flushes the outbound buffer; arms/disarms EPOLLOUT.  Returns false if
+  /// the connection must close (write error, or close-after-flush drained).
+  bool Flush(const std::shared_ptr<Connection>& conn);
+  void UpdateInterest(Connection* conn);
+  void CloseConnection(std::shared_ptr<Connection> conn);
+  void SweepIdle();
+  void Wake();
+  void DrainWakePipe();
+  size_t InFlightTotal();
+
+  QueryService* service_;
+  ServerOptions options_;
+  std::unique_ptr<Metrics> metrics_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: completion callbacks wake the loop
+  uint16_t port_ = 0;
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  /// Loop-thread-only connection table.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+  size_t conns_hwm_ = 0;
+
+  /// Connections with freshly queued responses, posted by worker callbacks.
+  std::mutex flush_mu_;
+  std::vector<std::shared_ptr<Connection>> flush_queue_;
+
+  /// Global in-flight submit count; Stop() waits for it to reach zero
+  /// while callbacks decrement it as their very last server-state touch
+  /// (notify under the mutex, so a waiter can never outrun the callback).
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  size_t in_flight_total_ = 0;
+};
+
+}  // namespace net
+}  // namespace mmdb
+
+#endif  // MMDB_NET_SERVER_H_

@@ -1,0 +1,534 @@
+#include "src/net/wire_format.h"
+
+#include <cstring>
+
+#include "src/util/crc32c.h"
+
+namespace mmdb {
+namespace net {
+namespace {
+
+// ---- Little-endian primitives ----------------------------------------------
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  PutU8(out, static_cast<uint8_t>(v));
+  PutU8(out, static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  PutU16(out, static_cast<uint16_t>(v));
+  PutU16(out, static_cast<uint16_t>(v >> 16));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+uint32_t ReadU32At(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  // The codebase targets little-endian Linux; memcpy keeps it alias-safe.
+  return v;
+}
+
+uint64_t ReadU64At(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Bounds-checked sequential reader over a payload.  Every Get* returns
+/// false once the payload is exhausted; decoders propagate that as corrupt.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  bool GetU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool GetU16(uint16_t* v) {
+    uint8_t a, b;
+    if (!GetU8(&a) || !GetU8(&b)) return false;
+    *v = static_cast<uint16_t>(a | (uint16_t{b} << 8));
+    return true;
+  }
+  bool GetU32(uint32_t* v) {
+    uint16_t a, b;
+    if (!GetU16(&a) || !GetU16(&b)) return false;
+    *v = a | (uint32_t{b} << 16);
+    return true;
+  }
+  bool GetU64(uint64_t* v) {
+    uint32_t a, b;
+    if (!GetU32(&a) || !GetU32(&b)) return false;
+    *v = a | (uint64_t{b} << 32);
+    return true;
+  }
+  bool GetString(std::string* v) {
+    uint32_t n;
+    if (!GetU32(&n) || remaining() < n) return false;
+    v->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  /// Vector-count guard: a decoded count is plausible only if at least
+  /// `min_elem_size` bytes per element remain — garbage counts fail here
+  /// instead of driving a huge reserve().
+  bool GetCount(uint32_t* n, size_t min_elem_size) {
+    if (!GetU32(n)) return false;
+    return remaining() >= static_cast<size_t>(*n) * min_elem_size;
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ---- Value / clause codecs --------------------------------------------------
+
+bool PutValue(std::string* out, const Value& v) {
+  switch (v.type()) {
+    case Type::kInt32:
+      PutU8(out, 0);
+      PutU32(out, static_cast<uint32_t>(v.AsInt32()));
+      return true;
+    case Type::kInt64:
+      PutU8(out, 1);
+      PutU64(out, static_cast<uint64_t>(v.AsInt64()));
+      return true;
+    case Type::kDouble: {
+      PutU8(out, 2);
+      uint64_t bits;
+      double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(out, bits);
+      return true;
+    }
+    case Type::kString:
+      PutU8(out, 3);
+      PutString(out, v.AsString());
+      return true;
+    case Type::kPointer:
+      // Raw tuple addresses are meaningless in another process.
+      return false;
+  }
+  return false;
+}
+
+bool GetValue(ByteReader* r, Value* out) {
+  uint8_t tag;
+  if (!r->GetU8(&tag)) return false;
+  switch (tag) {
+    case 0: {
+      uint32_t v;
+      if (!r->GetU32(&v)) return false;
+      *out = Value(static_cast<int32_t>(v));
+      return true;
+    }
+    case 1: {
+      uint64_t v;
+      if (!r->GetU64(&v)) return false;
+      *out = Value(static_cast<int64_t>(v));
+      return true;
+    }
+    case 2: {
+      uint64_t bits;
+      if (!r->GetU64(&bits)) return false;
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      *out = Value(d);
+      return true;
+    }
+    case 3: {
+      std::string s;
+      if (!r->GetString(&s)) return false;
+      *out = Value(std::move(s));
+      return true;
+    }
+    default:
+      return false;  // unknown tag (kPointer is never encoded)
+  }
+}
+
+constexpr uint8_t kMaxCompareOp = static_cast<uint8_t>(CompareOp::kGe);
+
+void PutWhere(std::string* out, const WhereClause& w, bool* ok) {
+  PutString(out, w.field);
+  PutU8(out, static_cast<uint8_t>(w.op));
+  if (!PutValue(out, w.value)) *ok = false;
+}
+
+bool GetWhere(ByteReader* r, WhereClause* out) {
+  uint8_t op;
+  if (!r->GetString(&out->field) || !r->GetU8(&op) || op > kMaxCompareOp) {
+    return false;
+  }
+  out->op = static_cast<CompareOp>(op);
+  return GetValue(r, &out->value);
+}
+
+void PutWheres(std::string* out, const std::vector<WhereClause>& ws,
+               bool* ok) {
+  PutU32(out, static_cast<uint32_t>(ws.size()));
+  for (const WhereClause& w : ws) PutWhere(out, w, ok);
+}
+
+bool GetWheres(ByteReader* r, std::vector<WhereClause>* out) {
+  uint32_t n;
+  // field len(4) + op(1) + value tag(1) + 1 byte payload minimum
+  if (!r->GetCount(&n, 6)) return false;
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    WhereClause w;
+    if (!GetWhere(r, &w)) return false;
+    out->push_back(std::move(w));
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType t) {
+  switch (t) {
+    case FrameType::kRequest: return "request";
+    case FrameType::kResponse: return "response";
+    case FrameType::kError: return "error";
+    case FrameType::kPing: return "ping";
+    case FrameType::kPong: return "pong";
+  }
+  return "?";
+}
+
+const char* WireErrorCodeName(WireErrorCode c) {
+  switch (c) {
+    case WireErrorCode::kProtocolError: return "protocol_error";
+    case WireErrorCode::kOverloaded: return "overloaded";
+    case WireErrorCode::kTooManyConnections: return "too_many_connections";
+    case WireErrorCode::kShuttingDown: return "shutting_down";
+  }
+  return "?";
+}
+
+// ---- Frames -----------------------------------------------------------------
+
+void EncodeFrame(FrameType type, uint64_t request_id, std::string_view payload,
+                 std::string* out) {
+  const size_t base = out->size();
+  out->reserve(base + kHeaderSize + payload.size());
+  PutU32(out, kMagic);
+  PutU8(out, kWireVersion);
+  PutU8(out, static_cast<uint8_t>(type));
+  PutU16(out, 0);  // reserved
+  PutU64(out, request_id);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  // CRC over header bytes [4, 20) + payload, then masked so a stored CRC
+  // of zeros never verifies a zeroed frame.
+  uint32_t crc = crc32c::Extend(0, out->data() + base + 4, 16);
+  crc = crc32c::Extend(crc, payload.data(), payload.size());
+  PutU32(out, crc32c::Mask(crc));
+  out->append(payload.data(), payload.size());
+}
+
+void FrameBuffer::Append(const void* data, size_t n) {
+  // Compact once the consumed prefix dominates, so long-lived pipelined
+  // connections don't grow the buffer without bound.
+  if (pos_ > 4096 && pos_ > data_.size() / 2) {
+    data_.erase(0, pos_);
+    pos_ = 0;
+  }
+  data_.append(static_cast<const char*>(data), n);
+}
+
+FrameBuffer::Result FrameBuffer::Next(Frame* out, std::string* error) {
+  const size_t avail = data_.size() - pos_;
+  if (avail < kHeaderSize) return Result::kNeedMore;
+  const char* h = data_.data() + pos_;
+  if (ReadU32At(h) != kMagic) {
+    if (error != nullptr) *error = "bad magic";
+    return Result::kCorrupt;
+  }
+  const uint8_t version = static_cast<uint8_t>(h[4]);
+  if (version != kWireVersion) {
+    if (error != nullptr) {
+      *error = "unsupported version " + std::to_string(version);
+    }
+    return Result::kCorrupt;
+  }
+  const uint8_t type = static_cast<uint8_t>(h[5]);
+  if (type < static_cast<uint8_t>(FrameType::kRequest) ||
+      type > static_cast<uint8_t>(FrameType::kPong)) {
+    if (error != nullptr) *error = "unknown frame type";
+    return Result::kCorrupt;
+  }
+  const uint32_t payload_len = ReadU32At(h + 16);
+  if (payload_len > kMaxPayload) {
+    if (error != nullptr) *error = "oversized payload";
+    return Result::kCorrupt;
+  }
+  if (avail < kHeaderSize + payload_len) return Result::kNeedMore;
+  uint32_t crc = crc32c::Extend(0, h + 4, 16);
+  crc = crc32c::Extend(crc, h + kHeaderSize, payload_len);
+  if (crc32c::Mask(crc) != ReadU32At(h + 20)) {
+    if (error != nullptr) *error = "frame checksum mismatch";
+    return Result::kCorrupt;
+  }
+  out->type = static_cast<FrameType>(type);
+  out->request_id = ReadU64At(h + 8);
+  out->payload.assign(h + kHeaderSize, payload_len);
+  pos_ += kHeaderSize + payload_len;
+  return Result::kFrame;
+}
+
+// ---- Operation codec --------------------------------------------------------
+
+bool EncodeOperation(const Operation& op, std::string* out) {
+  bool ok = true;
+  PutU8(out, static_cast<uint8_t>(op.index()));
+  switch (KindOf(op)) {
+    case OpKind::kSelect: {
+      const auto& s = std::get<SelectSpec>(op);
+      PutString(out, s.table);
+      PutWheres(out, s.where, &ok);
+      PutU8(out, s.join.has_value() ? 1 : 0);
+      if (s.join.has_value()) {
+        PutString(out, s.join->table);
+        PutString(out, s.join->left_field);
+        PutString(out, s.join->right_field);
+        PutWheres(out, s.join->where, &ok);
+      }
+      PutU32(out, static_cast<uint32_t>(s.columns.size()));
+      for (const std::string& c : s.columns) PutString(out, c);
+      PutU8(out, static_cast<uint8_t>((s.distinct ? 1 : 0) |
+                                      (s.ordered ? 2 : 0) |
+                                      (s.analyze ? 4 : 0)));
+      break;
+    }
+    case OpKind::kInsert: {
+      const auto& s = std::get<InsertSpec>(op);
+      PutString(out, s.table);
+      PutU32(out, static_cast<uint32_t>(s.values.size()));
+      for (const Value& v : s.values) {
+        if (!PutValue(out, v)) ok = false;
+      }
+      break;
+    }
+    case OpKind::kUpdate: {
+      const auto& s = std::get<UpdateSpec>(op);
+      PutString(out, s.table);
+      PutWhere(out, s.match, &ok);
+      PutString(out, s.set_field);
+      if (!PutValue(out, s.set_value)) ok = false;
+      break;
+    }
+    case OpKind::kIncrement: {
+      const auto& s = std::get<IncrementSpec>(op);
+      PutString(out, s.table);
+      PutWhere(out, s.match, &ok);
+      PutString(out, s.field);
+      PutU64(out, static_cast<uint64_t>(s.delta));
+      break;
+    }
+    case OpKind::kDelete: {
+      const auto& s = std::get<DeleteSpec>(op);
+      PutString(out, s.table);
+      PutWhere(out, s.match, &ok);
+      break;
+    }
+  }
+  return ok;
+}
+
+bool DecodeOperation(std::string_view payload, Operation* out) {
+  ByteReader r(payload);
+  uint8_t kind;
+  if (!r.GetU8(&kind)) return false;
+  switch (kind) {
+    case static_cast<uint8_t>(OpKind::kSelect): {
+      SelectSpec s;
+      uint8_t has_join;
+      if (!r.GetString(&s.table) || !GetWheres(&r, &s.where) ||
+          !r.GetU8(&has_join) || has_join > 1) {
+        return false;
+      }
+      if (has_join == 1) {
+        JoinClause j;
+        if (!r.GetString(&j.table) || !r.GetString(&j.left_field) ||
+            !r.GetString(&j.right_field) || !GetWheres(&r, &j.where)) {
+          return false;
+        }
+        s.join = std::move(j);
+      }
+      uint32_t ncols;
+      if (!r.GetCount(&ncols, 4)) return false;
+      s.columns.reserve(ncols);
+      for (uint32_t i = 0; i < ncols; ++i) {
+        std::string c;
+        if (!r.GetString(&c)) return false;
+        s.columns.push_back(std::move(c));
+      }
+      uint8_t flags;
+      if (!r.GetU8(&flags) || flags > 7) return false;
+      s.distinct = (flags & 1) != 0;
+      s.ordered = (flags & 2) != 0;
+      s.analyze = (flags & 4) != 0;
+      if (!r.done()) return false;
+      *out = std::move(s);
+      return true;
+    }
+    case static_cast<uint8_t>(OpKind::kInsert): {
+      InsertSpec s;
+      uint32_t n;
+      if (!r.GetString(&s.table) || !r.GetCount(&n, 2)) return false;
+      s.values.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        Value v;
+        if (!GetValue(&r, &v)) return false;
+        s.values.push_back(std::move(v));
+      }
+      if (!r.done()) return false;
+      *out = std::move(s);
+      return true;
+    }
+    case static_cast<uint8_t>(OpKind::kUpdate): {
+      UpdateSpec s;
+      if (!r.GetString(&s.table) || !GetWhere(&r, &s.match) ||
+          !r.GetString(&s.set_field) || !GetValue(&r, &s.set_value) ||
+          !r.done()) {
+        return false;
+      }
+      *out = std::move(s);
+      return true;
+    }
+    case static_cast<uint8_t>(OpKind::kIncrement): {
+      IncrementSpec s;
+      uint64_t delta;
+      if (!r.GetString(&s.table) || !GetWhere(&r, &s.match) ||
+          !r.GetString(&s.field) || !r.GetU64(&delta) || !r.done()) {
+        return false;
+      }
+      s.delta = static_cast<int64_t>(delta);
+      *out = std::move(s);
+      return true;
+    }
+    case static_cast<uint8_t>(OpKind::kDelete): {
+      DeleteSpec s;
+      if (!r.GetString(&s.table) || !GetWhere(&r, &s.match) || !r.done()) {
+        return false;
+      }
+      *out = std::move(s);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+// ---- OpResult codec ---------------------------------------------------------
+
+constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kInternal);
+
+bool EncodeOpResult(const OpResult& result, std::string* out) {
+  bool ok = true;
+  PutU8(out, static_cast<uint8_t>(result.status.code()));
+  PutString(out, result.status.message());
+  PutU64(out, result.rows_affected);
+  PutU32(out, static_cast<uint32_t>(result.attempts));
+  PutU32(out, static_cast<uint32_t>(result.columns.size()));
+  for (const std::string& c : result.columns) PutString(out, c);
+  PutU32(out, static_cast<uint32_t>(result.rows.size()));
+  for (const auto& row : result.rows) {
+    PutU32(out, static_cast<uint32_t>(row.size()));
+    for (const Value& v : row) {
+      if (!PutValue(out, v)) {
+        // kPointer columns (materialized foreign keys) have no wire form;
+        // ship them as their textual rendering rather than failing the row.
+        PutU8(out, 3);
+        PutString(out, v.ToString());
+      }
+    }
+  }
+  PutString(out, result.plan);
+  PutString(out, result.analyze);
+  return ok;
+}
+
+bool DecodeOpResult(std::string_view payload, OpResult* out) {
+  ByteReader r(payload);
+  uint8_t code;
+  std::string message;
+  uint64_t rows_affected;
+  uint32_t attempts, ncols, nrows;
+  if (!r.GetU8(&code) || code > kMaxStatusCode || !r.GetString(&message) ||
+      !r.GetU64(&rows_affected) || !r.GetU32(&attempts)) {
+    return false;
+  }
+  out->status = Status(static_cast<StatusCode>(code), std::move(message));
+  out->rows_affected = rows_affected;
+  out->attempts = static_cast<int>(attempts);
+  if (!r.GetCount(&ncols, 4)) return false;
+  out->columns.clear();
+  out->columns.reserve(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    std::string c;
+    if (!r.GetString(&c)) return false;
+    out->columns.push_back(std::move(c));
+  }
+  if (!r.GetCount(&nrows, 4)) return false;
+  out->rows.clear();
+  out->rows.reserve(nrows);
+  for (uint32_t i = 0; i < nrows; ++i) {
+    uint32_t width;
+    if (!r.GetCount(&width, 2)) return false;
+    std::vector<Value> row;
+    row.reserve(width);
+    for (uint32_t c = 0; c < width; ++c) {
+      Value v;
+      if (!GetValue(&r, &v)) return false;
+      row.push_back(std::move(v));
+    }
+    out->rows.push_back(std::move(row));
+  }
+  if (!r.GetString(&out->plan) || !r.GetString(&out->analyze) || !r.done()) {
+    return false;
+  }
+  return true;
+}
+
+// ---- Error codec ------------------------------------------------------------
+
+void EncodeError(WireErrorCode code, std::string_view message,
+                 std::string* out) {
+  PutU16(out, static_cast<uint16_t>(code));
+  PutString(out, message);
+}
+
+bool DecodeError(std::string_view payload, WireErrorCode* code,
+                 std::string* message) {
+  ByteReader r(payload);
+  uint16_t c;
+  if (!r.GetU16(&c) || c < 1 ||
+      c > static_cast<uint16_t>(WireErrorCode::kShuttingDown) ||
+      !r.GetString(message) || !r.done()) {
+    return false;
+  }
+  *code = static_cast<WireErrorCode>(c);
+  return true;
+}
+
+}  // namespace net
+}  // namespace mmdb

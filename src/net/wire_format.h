@@ -1,0 +1,127 @@
+// Binary wire protocol for the network front end.  Everything that crosses
+// a socket is a *frame*:
+//
+//   offset  size  field
+//        0     4  magic      "MMDB" (0x4d 0x4d 0x44 0x42 on the wire)
+//        4     1  version    kWireVersion
+//        5     1  type       FrameType
+//        6     2  reserved   zero on send, ignored on receive
+//        8     8  request id little-endian; echoes the request in responses
+//       16     4  payload length, little-endian (<= kMaxPayload)
+//       20     4  masked CRC32C over bytes [4, 20) + payload (LevelDB-style
+//                 masking via crc32c::Mask, reusing src/util/crc32c)
+//       24     n  payload
+//
+// The CRC covers the header tail as well as the payload, so a flipped bit
+// anywhere except the magic is detected by the checksum and a flipped magic
+// byte is detected by the magic itself — the every-byte-flip test in
+// net_wire_test relies on this.
+//
+// Payloads:
+//   kRequest    an encoded Operation (op-kind tag + spec fields)
+//   kResponse   an encoded OpResult (status, columns, rows, plan, ...)
+//   kError      u16 WireErrorCode + length-prefixed message.  Typed shed
+//               load: kOverloaded / kTooManyConnections are load shedding,
+//               kProtocolError precedes a server-initiated close.
+//   kPing/kPong empty (liveness probe; the server echoes the request id)
+//
+// Decoding is defensive by construction: every read is bounds-checked
+// through ByteReader, vector counts are validated against the bytes that
+// remain (a garbage count cannot over-allocate), and any violation turns
+// into kCorrupt — never a crash or over-read.
+
+#ifndef MMDB_NET_WIRE_FORMAT_H_
+#define MMDB_NET_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/server/operation.h"
+
+namespace mmdb {
+namespace net {
+
+inline constexpr uint32_t kMagic = 0x4244'4d4du;  // "MMDB" little-endian
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kHeaderSize = 24;
+/// Upper bound on a frame payload; a length field beyond this is a protocol
+/// error, so a corrupt length can never make a peer buffer gigabytes.
+inline constexpr uint32_t kMaxPayload = 16u << 20;
+
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kError = 3,
+  kPing = 4,
+  kPong = 5,
+};
+
+/// Typed error frames.  The first three are the admission-control contract:
+/// a shed request/connection always learns *why* it was shed.
+enum class WireErrorCode : uint16_t {
+  kProtocolError = 1,       ///< malformed frame; the sender closes after this
+  kOverloaded = 2,          ///< pipeline bound or service queue full
+  kTooManyConnections = 3,  ///< global connection cap
+  kShuttingDown = 4,        ///< server stopping; request was not executed
+};
+
+const char* FrameTypeName(FrameType t);
+const char* WireErrorCodeName(WireErrorCode c);
+
+/// One decoded frame.  `payload` is an owned copy (frames outlive the
+/// receive buffer they were carved from).
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Appends a complete frame (header + payload) to `*out`.
+void EncodeFrame(FrameType type, uint64_t request_id, std::string_view payload,
+                 std::string* out);
+
+/// Incremental frame decoder over a connection's receive stream.  Append
+/// raw bytes as they arrive; Next() carves complete frames off the front.
+class FrameBuffer {
+ public:
+  enum class Result {
+    kFrame,     ///< *out filled, bytes consumed
+    kNeedMore,  ///< prefix of a valid frame; append more bytes
+    kCorrupt,   ///< bad magic/version/length/CRC — the stream is unusable
+  };
+
+  void Append(const void* data, size_t n);
+  Result Next(Frame* out, std::string* error);
+
+  size_t buffered() const { return data_.size() - pos_; }
+
+ private:
+  std::string data_;
+  size_t pos_ = 0;  ///< consumed prefix, compacted opportunistically
+};
+
+// ---- Payload codecs ---------------------------------------------------------
+
+/// Encodes an Operation as a kRequest payload.  Returns false for values a
+/// wire client cannot legally carry (Type::kPointer — tuple addresses never
+/// leave the process).
+bool EncodeOperation(const Operation& op, std::string* out);
+bool DecodeOperation(std::string_view payload, Operation* out);
+
+/// Encodes the service's OpResult as a kResponse payload (status code +
+/// message, columns, materialized rows, plan/analyze text, rows_affected,
+/// attempts).
+bool EncodeOpResult(const OpResult& result, std::string* out);
+bool DecodeOpResult(std::string_view payload, OpResult* out);
+
+/// kError payload.
+void EncodeError(WireErrorCode code, std::string_view message,
+                 std::string* out);
+bool DecodeError(std::string_view payload, WireErrorCode* code,
+                 std::string* message);
+
+}  // namespace net
+}  // namespace mmdb
+
+#endif  // MMDB_NET_WIRE_FORMAT_H_
