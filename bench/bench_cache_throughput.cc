@@ -1,0 +1,228 @@
+// Reuse-cache throughput on a Zipf-skewed, read-mostly operation mix
+// (DESIGN.md §4d), cache on vs cache off, single worker — the 1-CPU
+// acceptance shape for the cache subsystem is >=2x closed-loop throughput
+// and a lower open-loop p99 with the cache on.
+//
+// The workload joins the two access patterns the cache serves:
+//
+//   * scan templates — a small rotating set of sequential-scan shapes over
+//     a read-only dimension table ("dim", unindexed predicate column).
+//     Uncached, every execution walks the whole table; cached, the first
+//     execution fills a result entry that is never invalidated (nothing
+//     writes dim), so repeats are O(1) lock-free hits.
+//   * Zipf point reads + increments over a partitioned "accounts" table
+//     with a unique (relation-global) hash index on the key.  Point-read
+//     entries carry partition-precise footprints, so an increment kills
+//     only the entries whose partition it wrote — hot keys in untouched
+//     partitions keep hitting.
+//
+//   * CacheMixClosed — closed-loop qps, Args(cache_on, read_pct) with
+//     read_pct 90 and 99.  Counters: qps, hit_rate, invalidations.
+//   * CacheMixOpenLoop — same mix at a fixed offered rate (paced Submit,
+//     latency measured from the *scheduled* send instant, so server
+//     slowdown shows up as queueing delay, not reduced load).  Counters:
+//     qps, lat_p50_us, lat_p99_us.
+//
+// Run with --json to emit BENCH_cache_throughput.json (CI artifact).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/cache/reuse_cache.h"
+#include "src/core/database.h"
+#include "src/server/query_service.h"
+#include "src/workload/generator.h"
+
+namespace mmdb {
+namespace {
+
+constexpr int32_t kAccounts = 8192;   // 8 partitions at the default 1024 cap
+constexpr int32_t kDimRows = 10000;   // sequential-scan cost per uncached scan
+constexpr uint32_t kScanTemplates = 8;
+
+std::unique_ptr<Database> MakeDb(bool cache_on) {
+  auto db = std::make_unique<Database>();
+  db->reuse_cache().SetEnabled(cache_on);
+
+  // Read-write fact table: unique global index on id => precise footprints.
+  db->CreateTable("accounts", {{"id", Type::kInt32}, {"bal", Type::kInt32}});
+  IndexConfig unique;
+  unique.unique = true;
+  db->CreateIndex("accounts", "id", IndexKind::kChainedBucketHash, unique);
+  for (int32_t i = 0; i < kAccounts; ++i) {
+    db->Insert("accounts", {Value(i), Value(1000)});
+  }
+
+  // Read-only dimension table; `weight` is unindexed so every uncached
+  // template query is a full sequential scan.
+  db->CreateTable("dim", {{"id", Type::kInt32}, {"weight", Type::kInt32}});
+  Rng rng(5);
+  for (int32_t i = 0; i < kDimRows; ++i) {
+    db->Insert("dim", {Value(i), Value(int32_t(rng.NextBounded(1000)))});
+  }
+  return db;
+}
+
+MixSpec Mix(double read_pct) {
+  MixSpec spec;
+  spec.key_domain = kAccounts;
+  spec.zipf_theta = 0.99;
+  spec.read_pct = read_pct;
+  spec.point_pct = 50.0;  // reads: half hot point lookups, half scan templates
+  spec.templates = kScanTemplates;
+  return spec;
+}
+
+/// Translates one MixedOp into a service operation.
+Operation ToOperation(const MixedOp& op) {
+  switch (op.kind) {
+    case MixedOp::Kind::kScanRead: {
+      // ~1% selectivity scan template over the dimension table.
+      SelectSpec sel;
+      sel.table = "dim";
+      sel.where = {WhereClause{"weight", CompareOp::kGt,
+                               Value(int32_t(990 + op.template_id % 9))}};
+      return sel;
+    }
+    case MixedOp::Kind::kPointRead: {
+      SelectSpec sel;
+      sel.table = "accounts";
+      sel.where = {WhereClause{"id", CompareOp::kEq, Value(int32_t(op.key))}};
+      sel.columns = {"accounts.bal"};
+      return sel;
+    }
+    case MixedOp::Kind::kInsert:
+    case MixedOp::Kind::kUpdate:
+      break;
+  }
+  IncrementSpec inc;
+  inc.table = "accounts";
+  inc.match = WhereClause{"id", CompareOp::kEq, Value(int32_t(op.key))};
+  inc.field = "bal";
+  inc.delta = 1;
+  return inc;
+}
+
+void BM_CacheMixClosed(benchmark::State& state) {
+  const bool cache_on = state.range(0) != 0;
+  const double read_pct = static_cast<double>(state.range(1));
+  auto db = MakeDb(cache_on);
+  ServiceOptions opts;
+  opts.workers = 1;  // the acceptance shape is single-CPU
+  QueryService service(db.get(), opts);
+  Session* session = service.OpenSession();
+  OpMixGenerator gen(Mix(read_pct), /*seed=*/42);
+
+  int64_t ops = 0;
+  for (auto _ : state) {
+    constexpr int kBatch = 256;
+    for (int i = 0; i < kBatch; ++i) {
+      OpResult r = service.Execute(session, ToOperation(gen.Next()));
+      if (!r.ok()) {
+        state.SkipWithError(r.status.ToString().c_str());
+        return;
+      }
+    }
+    ops += kBatch;
+  }
+
+  const cache::CacheStats cs = db->reuse_cache().Stats();
+  state.counters["qps"] = benchmark::Counter(static_cast<double>(ops),
+                                             benchmark::Counter::kIsRate);
+  state.counters["cache_on"] = cache_on ? 1 : 0;
+  state.counters["read_pct"] = read_pct;
+  state.counters["hit_rate"] =
+      cs.hits + cs.misses > 0
+          ? static_cast<double>(cs.hits) / double(cs.hits + cs.misses)
+          : 0.0;
+  state.counters["invalidations"] = static_cast<double>(cs.invalidations);
+  service.CloseSession(session);
+}
+BENCHMARK(BM_CacheMixClosed)
+    ->Args({0, 90})
+    ->Args({1, 90})
+    ->Args({0, 99})
+    ->Args({1, 99})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CacheMixOpenLoop(benchmark::State& state) {
+  const bool cache_on = state.range(0) != 0;
+  constexpr int kOfferedPerSec = 1000;  // sustainable for both modes
+  constexpr int kOpsPerIter = 1000;
+  auto db = MakeDb(cache_on);
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.queue_depth = 4096;  // queueing shows up as latency, not shed
+  QueryService service(db.get(), opts);
+  Session* session = service.OpenSession();
+  OpMixGenerator gen(Mix(90.0), /*seed=*/42);
+
+  std::vector<double> latencies_us;
+  for (auto _ : state) {
+    using Clock = std::chrono::steady_clock;
+    const auto interval =
+        std::chrono::nanoseconds(1'000'000'000 / kOfferedPerSec);
+    std::vector<double> lat(kOpsPerIter, 0.0);
+    std::atomic<int> done{0};
+    std::atomic<int> errors{0};
+    const auto start = Clock::now();
+    for (int i = 0; i < kOpsPerIter; ++i) {
+      const auto scheduled = start + i * interval;
+      std::this_thread::sleep_until(scheduled);
+      Status s = service.Submit(
+          session, ToOperation(gen.Next()), [&lat, &done, &errors, i,
+                                             scheduled](OpResult r) {
+            if (!r.ok()) errors.fetch_add(1, std::memory_order_relaxed);
+            lat[i] = std::chrono::duration<double, std::micro>(
+                         Clock::now() - scheduled)
+                         .count();
+            done.fetch_add(1, std::memory_order_release);
+          });
+      if (!s.ok()) {
+        state.SkipWithError("submit rejected");
+        return;
+      }
+    }
+    while (done.load(std::memory_order_acquire) < kOpsPerIter) {
+      std::this_thread::yield();
+    }
+    if (errors.load() != 0) {
+      state.SkipWithError("operation failed");
+      return;
+    }
+    latencies_us.insert(latencies_us.end(), lat.begin(), lat.end());
+  }
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  auto pct = [&](double p) {
+    if (latencies_us.empty()) return 0.0;
+    const size_t i = std::min(latencies_us.size() - 1,
+                              size_t(p * double(latencies_us.size())));
+    return latencies_us[i];
+  };
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(latencies_us.size()), benchmark::Counter::kIsRate);
+  state.counters["cache_on"] = cache_on ? 1 : 0;
+  state.counters["lat_p50_us"] = pct(0.50);
+  state.counters["lat_p99_us"] = pct(0.99);
+  service.CloseSession(session);
+}
+BENCHMARK(BM_CacheMixOpenLoop)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+}  // namespace
+}  // namespace mmdb
+
+MMDB_BENCH_MAIN(cache_throughput);

@@ -1,0 +1,118 @@
+#include "src/cache/fingerprint.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace mmdb {
+namespace cache {
+namespace {
+
+/// Canonical, unambiguous constant encoding.  Integers are width-normalized
+/// (int32 5 and int64 5 select the same tuples under Value::Compare, so
+/// they must encode identically); strings are length-prefixed so field
+/// separators in payloads cannot forge a collision.
+void EncodeValue(const Value& v, std::ostringstream* os) {
+  switch (v.type()) {
+    case Type::kInt32:
+      *os << "i" << static_cast<int64_t>(v.AsInt32());
+      break;
+    case Type::kInt64:
+      *os << "i" << v.AsInt64();
+      break;
+    case Type::kDouble: {
+      // Hex float round-trips exactly; "%g" would collide distinct values.
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "d%a", v.AsDouble());
+      *os << buf;
+      break;
+    }
+    case Type::kString:
+      *os << "s" << v.AsString().size() << ":" << v.AsString();
+      break;
+    case Type::kPointer:
+      *os << "p" << reinterpret_cast<uintptr_t>(v.AsPointer());
+      break;
+  }
+}
+
+std::string EncodeConjunct(const ShapeConjunct& c) {
+  std::ostringstream os;
+  os << c.field.size() << ":" << c.field << "/" << static_cast<int>(c.op)
+     << "/";
+  EncodeValue(c.value, &os);
+  return os.str();
+}
+
+/// Conjuncts are an unordered conjunction: sort the encodings so any
+/// ordering of the same condition set yields one key.
+void EncodeConjunctSet(const std::vector<ShapeConjunct>& set,
+                       std::ostringstream* os) {
+  std::vector<std::string> encoded;
+  encoded.reserve(set.size());
+  for (const ShapeConjunct& c : set) encoded.push_back(EncodeConjunct(c));
+  std::sort(encoded.begin(), encoded.end());
+  *os << "[" << encoded.size();
+  for (const std::string& e : encoded) *os << "|" << e;
+  *os << "]";
+}
+
+}  // namespace
+
+std::string FingerprintBase(const QueryShape& shape) {
+  std::ostringstream os;
+  os << "t" << shape.table.size() << ":" << shape.table << ";w";
+  EncodeConjunctSet(shape.where, &os);
+  if (shape.has_join) {
+    os << ";j" << shape.join_table.size() << ":" << shape.join_table << "/"
+       << shape.join_left.size() << ":" << shape.join_left << "/"
+       << shape.join_right.size() << ":" << shape.join_right << ";jw";
+    EncodeConjunctSet(shape.join_where, &os);
+  }
+  return os.str();
+}
+
+namespace {
+
+size_t CountSegments(const std::string& path) {
+  return static_cast<size_t>(std::count(path.begin(), path.end(), '.')) + 1;
+}
+
+bool HasTablePrefix(const QueryShape& shape, const std::string& path) {
+  const size_t dot = path.find('.');
+  if (dot == std::string::npos) return false;
+  const std::string head = path.substr(0, dot);
+  return head == shape.table || (shape.has_join && head == shape.join_table);
+}
+
+}  // namespace
+
+void NormalizeColumns(QueryShape* shape) {
+  for (std::string& c : shape->columns) {
+    if (!HasTablePrefix(*shape, c)) c = shape->table + "." + c;
+  }
+}
+
+bool ColumnsCacheable(const QueryShape& shape) {
+  for (const std::string& c : shape.columns) {
+    // After NormalizeColumns every path is "<table>.<...>"; a single-hop
+    // column has exactly two segments.
+    if (CountSegments(c) != 2) return false;
+  }
+  return true;
+}
+
+std::string FingerprintFull(const QueryShape& shape) {
+  std::ostringstream os;
+  os << FingerprintBase(shape) << ";c[";
+  // Column order is significant (it is the output order); no sorting here.
+  for (const std::string& c : shape.columns) {
+    os << c.size() << ":" << c << "|";
+  }
+  os << "]" << (shape.distinct ? ";D" : "") << (shape.ordered ? ";O" : "");
+  return os.str();
+}
+
+}  // namespace cache
+}  // namespace mmdb

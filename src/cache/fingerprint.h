@@ -1,0 +1,87 @@
+// Plan fingerprints: the normalized-key half of the reuse cache (see
+// reuse_cache.h and DESIGN.md §4d).  "Revisiting Reuse in Main Memory
+// Database Systems" keys cached results and intermediates by a canonical
+// form of the plan so that syntactically different but equivalent queries
+// share one entry.  Here the canonical form covers everything the engine's
+// query surface can vary:
+//
+//   * conjuncts are sorted by (field, op, value) — WHERE a=1 AND b=2 and
+//     WHERE b=2 AND a=1 produce the same key;
+//   * integer constants are width-normalized — int32 5 and int64 5 select
+//     the same tuples (Value::Compare is cross-width numeric), so they must
+//     produce the same key;
+//   * the output column list is made explicit — "all columns" expands to the
+//     driving table's fields before fingerprinting, so SELECT * and the
+//     spelled-out equivalent collide.
+//
+// Two keys exist per shape: the *base* key identifies the select/join/filter
+// stage output (column list, DISTINCT and ORDER BY excluded — queries that
+// differ only in projection share the same intermediate), and the *full* key
+// identifies the final row set and order.
+//
+// The shape struct is deliberately local to this library: the cache sits
+// below the server layer (src/server depends on it, not vice versa), so it
+// cannot speak SelectSpec.  Callers adapt at the boundary.
+
+#ifndef MMDB_CACHE_FINGERPRINT_H_
+#define MMDB_CACHE_FINGERPRINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/exec/predicate.h"
+#include "src/storage/value.h"
+
+namespace mmdb {
+namespace cache {
+
+/// One canonicalizable conjunct: field *name* (not index — the key must
+/// survive a drop/recreate of the relation without aliasing) plus operator
+/// and constant.
+struct ShapeConjunct {
+  std::string field;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+};
+
+/// Everything that determines a query's result given database contents.
+struct QueryShape {
+  std::string table;
+  std::vector<ShapeConjunct> where;
+
+  bool has_join = false;
+  std::string join_table;
+  std::string join_left, join_right;
+  std::vector<ShapeConjunct> join_where;
+
+  /// Output columns as dot-paths.  Must already be explicit (an empty
+  /// Select() expanded to the driving table's fields) so equivalent
+  /// spellings collide.
+  std::vector<std::string> columns;
+  bool distinct = false;
+  bool ordered = false;
+};
+
+/// Key of the select/join/filter stage output (columns/distinct/ordered
+/// excluded).  Stable across conjunct order and integer constant width.
+std::string FingerprintBase(const QueryShape& shape);
+
+/// Key of the final result (base + columns + distinct + ordered).
+std::string FingerprintFull(const QueryShape& shape);
+
+/// Canonicalizes shape.columns in place: a path whose first segment is not
+/// one of the shape's table names gets the driving table prepended, so
+/// "name" and "emp.name" produce the same key (mirroring the resolution
+/// precedence of QueryBuilder::ResolveColumn).
+void NormalizeColumns(QueryShape* shape);
+
+/// True if every column resolves within the shape's own tables in a single
+/// hop.  Foreign-key hop columns ("emp.dept_id.name") read tuples of
+/// relations outside the query's lock/footprint scope, so results carrying
+/// them cannot be cached soundly.
+bool ColumnsCacheable(const QueryShape& shape);
+
+}  // namespace cache
+}  // namespace mmdb
+
+#endif  // MMDB_CACHE_FINGERPRINT_H_

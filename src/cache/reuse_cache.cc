@@ -1,0 +1,306 @@
+#include "src/cache/reuse_cache.h"
+
+#include <algorithm>
+
+#include "src/util/metrics.h"
+#include "src/util/trace.h"
+
+namespace mmdb {
+namespace cache {
+
+// ---- Footprint --------------------------------------------------------------
+
+void Footprint::AddAll(const std::string& relation) {
+  for (RelationScope& s : relations) {
+    if (s.relation == relation) {
+      s.all_partitions = true;
+      s.partitions.clear();
+      return;
+    }
+  }
+  relations.push_back(RelationScope{relation, true, {}});
+}
+
+void Footprint::AddPartitions(const std::string& relation,
+                              const std::vector<uint32_t>& pids) {
+  for (RelationScope& s : relations) {
+    if (s.relation == relation) {
+      if (s.all_partitions) return;
+      s.partitions.insert(s.partitions.end(), pids.begin(), pids.end());
+      std::sort(s.partitions.begin(), s.partitions.end());
+      s.partitions.erase(
+          std::unique(s.partitions.begin(), s.partitions.end()),
+          s.partitions.end());
+      return;
+    }
+  }
+  RelationScope scope{relation, false, pids};
+  std::sort(scope.partitions.begin(), scope.partitions.end());
+  scope.partitions.erase(
+      std::unique(scope.partitions.begin(), scope.partitions.end()),
+      scope.partitions.end());
+  relations.push_back(std::move(scope));
+}
+
+// ---- Size accounting --------------------------------------------------------
+
+namespace {
+
+size_t ApproxValueBytes(const Value& v) {
+  size_t n = sizeof(Value);
+  if (v.type() == Type::kString) n += v.AsString().capacity();
+  return n;
+}
+
+constexpr size_t kEntryOverhead = 256;  // map node, LRU node, bucket refs
+
+}  // namespace
+
+size_t ApproxBytes(const ResultPayload& p) {
+  size_t n = kEntryOverhead + p.plan.size();
+  for (const std::string& c : p.columns) n += c.size() + sizeof(std::string);
+  for (const auto& row : p.rows) {
+    n += sizeof(row) + (row.capacity() - row.size()) * sizeof(Value);
+    for (const Value& v : row) n += ApproxValueBytes(v);
+  }
+  return n;
+}
+
+size_t ApproxBytes(const TempPayload& p) {
+  // Pointer-rows: the paper's cheap-to-retain representation.
+  return kEntryOverhead + p.plan.size() +
+         p.rows.raw_rows().capacity() * sizeof(TupleRef) +
+         p.rows.descriptor().columns().size() * sizeof(ColumnRef);
+}
+
+// ---- ReuseCache -------------------------------------------------------------
+
+ReuseCache::ReuseCache(MetricsRegistry* registry, size_t budget_bytes)
+    : budget_bytes_(budget_bytes),
+      hits_(registry->GetCounter("mmdb_cache_hits_total")),
+      misses_(registry->GetCounter("mmdb_cache_misses_total")),
+      fills_(registry->GetCounter("mmdb_cache_fills_total")),
+      invalidations_(registry->GetCounter("mmdb_cache_invalidations_total")),
+      evictions_(registry->GetCounter("mmdb_cache_evictions_total")),
+      bytes_gauge_(registry->GetGauge("mmdb_cache_bytes")),
+      entries_gauge_(registry->GetGauge("mmdb_cache_entries")) {}
+
+void ReuseCache::SetEnabled(bool on) {
+  const bool was = enabled_.exchange(on, std::memory_order_acq_rel);
+  if (was && !on) Flush();
+}
+
+void ReuseCache::SetBudgetBytes(size_t bytes) {
+  budget_bytes_.store(bytes, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  EvictToBudgetLocked();
+  UpdateGaugesLocked();
+}
+
+std::shared_ptr<const ResultPayload> ReuseCache::LookupResult(
+    const std::string& key) {
+  if (!enabled() || entry_count_.load(std::memory_order_acquire) == 0) {
+    if (enabled()) misses_->Add();
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second->result == nullptr) {
+    misses_->Add();
+    return nullptr;
+  }
+  Entry* e = it->second.get();
+  lru_.splice(lru_.begin(), lru_, e->lru_it);
+  hits_->Add();
+  return e->result;
+}
+
+std::shared_ptr<const TempPayload> ReuseCache::LookupTemp(
+    const std::string& key) {
+  if (!enabled() || entry_count_.load(std::memory_order_acquire) == 0) {
+    if (enabled()) misses_->Add();
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second->temp == nullptr) {
+    misses_->Add();
+    return nullptr;
+  }
+  Entry* e = it->second.get();
+  lru_.splice(lru_.begin(), lru_, e->lru_it);
+  hits_->Add();
+  return e->temp;
+}
+
+namespace {
+
+/// Amortized husk removal: compact a bucket when it reaches a power-of-two
+/// size, so registration stays O(1) amortized even if sweeps never visit.
+template <typename WeakVec>
+void CompactIfCrowded(WeakVec* bucket) {
+  const size_t n = bucket->size();
+  if (n >= 32 && (n & (n - 1)) == 0) {
+    std::erase_if(*bucket, [](const auto& w) { return w.expired(); });
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<ReuseCache::Entry> ReuseCache::InsertLocked(
+    const std::string& key, const Footprint& reads, size_t bytes) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) KillLocked(it->second.get());
+
+  auto e = std::make_shared<Entry>();
+  e->key = key;
+  e->reads = reads;
+  e->bytes = bytes;
+  lru_.push_front(e.get());
+  e->lru_it = lru_.begin();
+  entries_.emplace(key, e);
+  bytes_ += bytes;
+  entry_count_.store(entries_.size(), std::memory_order_release);
+
+  for (const Footprint::RelationScope& s : reads.relations) {
+    RelationBuckets& b = rel_index_[s.relation];
+    CompactIfCrowded(&b.members);
+    b.members.push_back(e);
+    if (s.all_partitions) {
+      CompactIfCrowded(&b.whole);
+      b.whole.push_back(e);
+    } else {
+      for (uint32_t pid : s.partitions) {
+        auto& bucket = b.by_pid[pid];
+        CompactIfCrowded(&bucket);
+        bucket.push_back(e);
+      }
+    }
+  }
+  return e;
+}
+
+void ReuseCache::FillResult(const std::string& key, const Footprint& reads,
+                            ResultPayload payload) {
+  if (!enabled()) return;
+  const size_t bytes = ApproxBytes(payload);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes > budget_bytes_.load(std::memory_order_relaxed)) return;
+  auto e = InsertLocked(key, reads, bytes);
+  e->result = std::make_shared<const ResultPayload>(std::move(payload));
+  fills_->Add();
+  EvictToBudgetLocked();
+  UpdateGaugesLocked();
+}
+
+void ReuseCache::FillTemp(const std::string& key, const Footprint& reads,
+                          TempPayload payload) {
+  if (!enabled()) return;
+  const size_t bytes = ApproxBytes(payload);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes > budget_bytes_.load(std::memory_order_relaxed)) return;
+  auto e = InsertLocked(key, reads, bytes);
+  e->temp = std::make_shared<const TempPayload>(std::move(payload));
+  fills_->Add();
+  EvictToBudgetLocked();
+  UpdateGaugesLocked();
+}
+
+void ReuseCache::KillLocked(Entry* e) {
+  auto it = entries_.find(e->key);
+  if (it == entries_.end() || it->second.get() != e) return;  // already gone
+  bytes_ -= e->bytes;
+  lru_.erase(e->lru_it);
+  entries_.erase(it);  // bucket weak refs expire with the shared_ptr
+  entry_count_.store(entries_.size(), std::memory_order_release);
+}
+
+void ReuseCache::EvictToBudgetLocked() {
+  const size_t budget = budget_bytes_.load(std::memory_order_relaxed);
+  while (bytes_ > budget && !lru_.empty()) {
+    KillLocked(lru_.back());
+    evictions_->Add();
+  }
+}
+
+size_t ReuseCache::SweepBucketLocked(
+    std::vector<std::weak_ptr<Entry>>* bucket) {
+  size_t killed = 0;
+  for (std::weak_ptr<Entry>& w : *bucket) {
+    if (std::shared_ptr<Entry> e = w.lock()) {
+      KillLocked(e.get());
+      ++killed;
+    }
+  }
+  bucket->clear();
+  return killed;
+}
+
+void ReuseCache::Invalidate(const Footprint& writes) {
+  if (writes.empty()) return;
+  if (entry_count_.load(std::memory_order_acquire) == 0) return;
+  trace::Span span("cache_invalidate");
+  size_t killed = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Footprint::RelationScope& s : writes.relations) {
+    auto it = rel_index_.find(s.relation);
+    if (it == rel_index_.end()) continue;
+    RelationBuckets& b = it->second;
+    if (s.all_partitions) {
+      killed += SweepBucketLocked(&b.members);
+      rel_index_.erase(it);  // whole/by_pid refs are all dead now
+    } else {
+      killed += SweepBucketLocked(&b.whole);
+      for (uint32_t pid : s.partitions) {
+        auto pit = b.by_pid.find(pid);
+        if (pit != b.by_pid.end()) {
+          killed += SweepBucketLocked(&pit->second);
+          b.by_pid.erase(pit);
+        }
+      }
+    }
+  }
+  if (killed > 0) {
+    invalidations_->Add(killed);
+    UpdateGaugesLocked();
+  }
+}
+
+void ReuseCache::InvalidateRelation(const std::string& relation) {
+  Footprint writes;
+  writes.AddAll(relation);
+  Invalidate(writes);
+}
+
+void ReuseCache::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  rel_index_.clear();
+  bytes_ = 0;
+  entry_count_.store(0, std::memory_order_release);
+  UpdateGaugesLocked();
+}
+
+void ReuseCache::UpdateGaugesLocked() {
+  bytes_gauge_->Set(static_cast<int64_t>(bytes_));
+  entries_gauge_->Set(static_cast<int64_t>(entries_.size()));
+}
+
+CacheStats ReuseCache::Stats() const {
+  CacheStats s;
+  s.enabled = enabled();
+  s.hits = hits_->Value();
+  s.misses = misses_->Value();
+  s.fills = fills_->Value();
+  s.invalidations = invalidations_->Value();
+  s.evictions = evictions_->Value();
+  s.budget_bytes = budget_bytes_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.entries = entries_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+}  // namespace cache
+}  // namespace mmdb

@@ -1,0 +1,214 @@
+// Reuse cache (DESIGN.md §4d): memory-budgeted caching of SELECT results
+// and query intermediates, keyed by the normalized plan fingerprints of
+// fingerprint.h, invalidated at partition granularity by the write-lock
+// footprint committing transactions already hold.
+//
+// Two entry kinds share one budget and one LRU order:
+//
+//   * RESULT entries hold fully materialized rows (owned Values).  A hit is
+//     served without taking any lock: the invalidation protocol guarantees
+//     every entry still present reflects all acknowledged writes (writers
+//     invalidate while still holding their X locks, before the commit is
+//     acknowledged), so serving a live entry is linearizable.
+//   * INTERMEDIATE entries hold TempLists — pointer-rows into partition
+//     slots, the paper's cheap-to-retain representation.  They are only
+//     safe to traverse while the caller holds the S locks the original
+//     execution held; QueryBuilder serves them inside the reader's lock
+//     scope (or single-threaded use).
+//
+// Soundness of the footprint (why partition granularity is safe here): the
+// partition-locking protocol (transaction.h) escalates every write that can
+// change *which* tuples match an indexed key — inserts, deletes, and
+// updates of globally-indexed or string fields — to the relation-structure
+// X lock, i.e. a relation-wide write footprint.  Therefore an entry may
+// record a footprint narrower than "all partitions" only when its matching
+// set is pinned by such an index: a single-table, single-conjunct query on
+// a relation-globally-indexed field, whose outputs live on the matching
+// tuples themselves.  Such an entry records exactly the partitions holding
+// its matching tuples; partition-local writes (fixed-width non-key updates)
+// elsewhere provably cannot change its result.  Every other entry records
+// an all-partitions footprint per touched relation — still invalidated
+// precisely, just at relation granularity.
+//
+// Fill/invalidate race freedom: fills happen while the reader still holds
+// its S locks; invalidation happens while the writer still holds its X
+// locks.  A write overlapping an entry's footprint is therefore strictly
+// ordered with that entry's fill by the lock manager — either the fill
+// completes first (and the invalidation removes it) or the write's
+// invalidation completes first (and the fill reflects the new state).
+
+#ifndef MMDB_CACHE_REUSE_CACHE_H_
+#define MMDB_CACHE_REUSE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/temp_list.h"
+#include "src/storage/value.h"
+
+namespace mmdb {
+
+class Counter;
+class Gauge;
+class MetricsRegistry;
+
+namespace cache {
+
+/// A set of (relation, partitions) scopes — an entry's read footprint at
+/// fill time, or a committing transaction's write footprint.  Two
+/// footprints overlap on a relation if either side is all-partitions or
+/// their partition sets intersect.
+struct Footprint {
+  struct RelationScope {
+    std::string relation;
+    bool all_partitions = false;
+    std::vector<uint32_t> partitions;  ///< sorted unique; unused when all
+  };
+  std::vector<RelationScope> relations;
+
+  /// Relation-wide scope (replaces any narrower scope for the relation).
+  void AddAll(const std::string& relation);
+  /// Adds partitions to the relation's scope (no-op if already all).
+  void AddPartitions(const std::string& relation,
+                     const std::vector<uint32_t>& pids);
+
+  bool empty() const { return relations.empty(); }
+};
+
+/// A materialized SELECT result: owned values, safe to serve lock-free.
+struct ResultPayload {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+  std::string plan;  ///< the plan trace of the execution that filled it
+};
+
+/// A retained intermediate: pointer-rows, valid only under the reader's
+/// S locks on the footprint relations.
+struct TempPayload {
+  TempList rows;
+  std::string plan;
+
+  TempPayload() : rows(ResultDescriptor()) {}
+};
+
+struct CacheStats {
+  bool enabled = false;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t fills = 0;
+  uint64_t invalidations = 0;  ///< entries removed by write footprints
+  uint64_t evictions = 0;      ///< entries removed by the byte budget
+  size_t entries = 0;
+  size_t bytes = 0;
+  size_t budget_bytes = 0;
+};
+
+class ReuseCache {
+ public:
+  /// `registry` hosts the mmdb_cache_* series; must outlive the cache.
+  ReuseCache(MetricsRegistry* registry, size_t budget_bytes);
+
+  // ---- Configuration --------------------------------------------------------
+
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+  /// Disabling flushes all entries (re-enabling starts cold).
+  void SetEnabled(bool on);
+  void SetBudgetBytes(size_t bytes);
+
+  // ---- Serve / fill ---------------------------------------------------------
+
+  /// nullptr on miss.  The returned payload stays valid even if the entry
+  /// is invalidated or evicted after lookup (shared ownership) — but for
+  /// intermediates the *pointers inside* are only valid under the reader's
+  /// locks; see the class comment.
+  std::shared_ptr<const ResultPayload> LookupResult(const std::string& key);
+  std::shared_ptr<const TempPayload> LookupTemp(const std::string& key);
+
+  /// Inserts (or replaces) an entry.  Must be called while the executing
+  /// reader still holds the S locks under which `payload` was computed.
+  void FillResult(const std::string& key, const Footprint& reads,
+                  ResultPayload payload);
+  void FillTemp(const std::string& key, const Footprint& reads,
+                TempPayload payload);
+
+  // ---- Invalidation ---------------------------------------------------------
+
+  /// Removes every entry whose footprint overlaps `writes`.  Must be called
+  /// while the writer still holds its X locks (Transaction::Commit calls it
+  /// before ReleaseAll), so it is ordered against concurrent fills.
+  void Invalidate(const Footprint& writes);
+
+  /// Relation-wide invalidation (DDL, fast-path DML, recovery of one
+  /// relation).
+  void InvalidateRelation(const std::string& relation);
+
+  /// Drops everything (recovery, CACHE OFF).
+  void Flush();
+
+  CacheStats Stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const ResultPayload> result;  // exactly one of these
+    std::shared_ptr<const TempPayload> temp;      // two is set
+    Footprint reads;
+    size_t bytes = 0;
+    std::list<Entry*>::iterator lru_it;
+  };
+
+  /// Per-relation reverse index: which entries a write scope can hit.
+  /// A relation-wide write sweeps `members` (every entry that read the
+  /// relation at all — including partition-precise entries whose matching
+  /// set was empty at fill time); a partition write sweeps `whole` (entries
+  /// with an all-partitions footprint) plus `by_pid[pid]`.  Buckets hold
+  /// weak refs; expired ones are pruned during sweeps and registrations.
+  struct RelationBuckets {
+    std::vector<std::weak_ptr<Entry>> members;
+    std::vector<std::weak_ptr<Entry>> whole;
+    std::unordered_map<uint32_t, std::vector<std::weak_ptr<Entry>>> by_pid;
+  };
+
+  std::shared_ptr<Entry> InsertLocked(const std::string& key,
+                                      const Footprint& reads, size_t bytes);
+  void KillLocked(Entry* e);
+  void EvictToBudgetLocked();
+  /// Kills live entries in `bucket` and compacts expired refs.
+  size_t SweepBucketLocked(std::vector<std::weak_ptr<Entry>>* bucket);
+  void UpdateGaugesLocked();
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+  std::list<Entry*> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, RelationBuckets> rel_index_;
+  size_t bytes_ = 0;
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<size_t> budget_bytes_;
+  // Lock-free early-out for the DML commit path: writers skip the mutex
+  // entirely while the cache is empty.
+  std::atomic<size_t> entry_count_{0};
+
+  Counter* hits_;
+  Counter* misses_;
+  Counter* fills_;
+  Counter* invalidations_;
+  Counter* evictions_;
+  Gauge* bytes_gauge_;
+  Gauge* entries_gauge_;
+};
+
+/// Approximate retained size of payloads (for the byte budget).
+size_t ApproxBytes(const ResultPayload& p);
+size_t ApproxBytes(const TempPayload& p);
+
+}  // namespace cache
+}  // namespace mmdb
+
+#endif  // MMDB_CACHE_REUSE_CACHE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -13,10 +14,36 @@
 
 namespace mmdb {
 
+namespace {
+
+/// Cache configuration from the environment: MMDB_CACHE=OFF|0|off starts
+/// the reuse cache disabled (the CI parity job runs the whole suite this
+/// way); MMDB_CACHE_BYTES overrides the 64 MiB default budget.
+bool CacheEnabledFromEnv() {
+  const char* v = std::getenv("MMDB_CACHE");
+  if (v == nullptr) return true;
+  const std::string s(v);
+  return !(s == "OFF" || s == "off" || s == "0" || s == "false");
+}
+
+size_t CacheBudgetFromEnv() {
+  constexpr size_t kDefault = 64u << 20;
+  const char* v = std::getenv("MMDB_CACHE_BYTES");
+  if (v == nullptr) return kDefault;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  return (end == v || n == 0) ? kDefault : static_cast<size_t>(n);
+}
+
+}  // namespace
+
 Database::Database()
-    : log_device_(std::make_unique<LogDevice>(&log_buffer_, &disk_image_)),
+    : reuse_cache_(std::make_unique<cache::ReuseCache>(&metrics_,
+                                                       CacheBudgetFromEnv())),
+      log_device_(std::make_unique<LogDevice>(&log_buffer_, &disk_image_)),
       txn_manager_(std::make_unique<TransactionManager>(
-          &catalog_, &log_buffer_, &lock_manager_)) {
+          &catalog_, &log_buffer_, &lock_manager_, reuse_cache_.get())) {
+  reuse_cache_->SetEnabled(CacheEnabledFromEnv());
   lock_manager_.set_metrics(&metrics_);
 }
 
@@ -144,6 +171,7 @@ Status Database::DeclareForeignKey(const std::string& table,
 Status Database::DropTable(const std::string& name) {
   Status s = catalog_.Drop(name);
   if (s.ok()) {
+    reuse_cache_->InvalidateRelation(name);
     std::erase_if(ddl_tables_,
                   [&](const DdlTable& t) { return t.name == name; });
     std::erase_if(ddl_indexes_,
@@ -155,17 +183,27 @@ Status Database::DropTable(const std::string& name) {
   return s;
 }
 
+// The auto-commit fast paths take no locks (loads and single-threaded
+// examples), so the best the cache can do is relation-wide invalidation
+// after the write — correct in the single-threaded settings these paths
+// support; concurrent use goes through transactions, which invalidate
+// under their X locks.
+
 TupleRef Database::Insert(const std::string& table,
                           std::vector<Value> values) {
   Relation* rel = catalog_.Get(table);
   if (rel == nullptr) return nullptr;
-  return rel->Insert(values);
+  TupleRef t = rel->Insert(values);
+  if (t != nullptr) reuse_cache_->InvalidateRelation(table);
+  return t;
 }
 
 Status Database::Delete(const std::string& table, TupleRef t) {
   Relation* rel = catalog_.Get(table);
   if (rel == nullptr) return Status::NotFound("no relation " + table);
-  return rel->Delete(t);
+  Status s = rel->Delete(t);
+  if (s.ok()) reuse_cache_->InvalidateRelation(table);
+  return s;
 }
 
 Status Database::Update(const std::string& table, TupleRef t,
@@ -174,7 +212,9 @@ Status Database::Update(const std::string& table, TupleRef t,
   if (rel == nullptr) return Status::NotFound("no relation " + table);
   auto f = rel->schema().FieldIndex(field);
   if (!f.has_value()) return Status::NotFound("no field " + field);
-  return rel->UpdateField(t, *f, std::move(v));
+  Status s = rel->UpdateField(t, *f, std::move(v));
+  if (s.ok()) reuse_cache_->InvalidateRelation(table);
+  return s;
 }
 
 QueryBuilder Database::Query(const std::string& table) {
@@ -491,6 +531,10 @@ Status Database::Recover(const std::string& dir, Env* env,
 Status Database::SimulateCrashAndRecover(
     const std::vector<std::string>& working_set_tables,
     RecoveryManager::Progress* progress) {
+  // Rebuilt relations get fresh partitions: every cached tuple pointer and
+  // footprint is stale.
+  reuse_cache_->Flush();
+
   // CRASH: every in-memory relation is gone.  (Drop in reverse dependency
   // order: referencing relations before their targets.)
   std::vector<std::string> names = catalog_.List();

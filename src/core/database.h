@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cache/reuse_cache.h"
 #include "src/core/durability.h"
 #include "src/core/planner.h"
 #include "src/exec/project.h"
@@ -157,6 +158,14 @@ class Database {
   /// endpoint (also exposed as the shell's METRICS command).
   MetricsRegistry& metrics() { return metrics_; }
 
+  /// The plan-keyed result/intermediate reuse cache (DESIGN.md §4d).
+  /// Always constructed; enabled by default unless the MMDB_CACHE=OFF
+  /// environment variable is set.  MMDB_CACHE_BYTES overrides the default
+  /// 64 MiB budget.  Committing transactions invalidate it through the
+  /// transaction manager; the query layers look up and fill; the shell's
+  /// CACHE command toggles it at runtime.
+  cache::ReuseCache& reuse_cache() { return *reuse_cache_; }
+
  private:
   struct DdlTable {
     std::string name;
@@ -195,6 +204,8 @@ class Database {
   StableLogBuffer log_buffer_;
   DiskImage disk_image_;
   LockManager lock_manager_;
+  // Before txn_manager_, which invalidates it at commit.
+  std::unique_ptr<cache::ReuseCache> reuse_cache_;
   std::unique_ptr<LogDevice> log_device_;
   std::unique_ptr<TransactionManager> txn_manager_;
   // Declared after everything its threads touch, so it is destroyed (and

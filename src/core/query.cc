@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <iomanip>
+#include <memory>
 #include <sstream>
 
+#include "src/cache/fingerprint.h"
+#include "src/cache/reuse_cache.h"
 #include "src/core/database.h"
 #include "src/exec/sort.h"
 #include "src/util/timer.h"
@@ -195,7 +198,89 @@ QueryResult QueryBuilder::Run() {
     return result;
   }
 
-  if (!join_table_.has_value()) {
+  // Reuse cache (DESIGN.md §4d): intermediates are cached at two stages.
+  // The *base* entry holds the select/join/filter output (shared across
+  // projection variants of the same shape); the *full* entry additionally
+  // covers DISTINCT/ORDER BY, and only exists when one of those transforms
+  // ran (plain projections are cheap enough to redo from the base rows).
+  // Both hold TempLists — pointer-rows, only valid under the read locks the
+  // caller holds (the query service runs this inside its LockForRead scope;
+  // direct callers are single-threaded).  Footprints are relation-granular
+  // here; the partition-precise case lives in the service's result cache.
+  cache::ReuseCache& rc = db_->reuse_cache();
+  bool cacheable = false;
+  const bool want_full = distinct_ || ordered_;
+  std::string base_key, full_key;
+  if (rc.enabled()) {
+    cache::QueryShape shape;
+    shape.table = table_;
+    shape.distinct = distinct_;
+    shape.ordered = ordered_;
+    bool shape_ok = true;
+    for (const Condition& c : where_.conditions()) {
+      shape.where.push_back(cache::ShapeConjunct{
+          rel->schema().field(c.field).name, c.op, c.value});
+    }
+    if (join_table_.has_value()) {
+      shape.has_join = true;
+      shape.join_table = *join_table_;
+      shape.join_left = join_left_;
+      shape.join_right = join_right_;
+      Relation* j = db_->GetTable(*join_table_);
+      if (j == nullptr) {
+        shape_ok = false;  // falls through to the error path below
+      } else {
+        for (const Condition& c : where_joined_.conditions()) {
+          shape.join_where.push_back(cache::ShapeConjunct{
+              j->schema().field(c.field).name, c.op, c.value});
+        }
+      }
+    }
+    shape.columns = columns_;
+    if (shape.columns.empty()) {
+      for (const Field& f : rel->schema().fields()) {
+        shape.columns.push_back(table_ + "." + f.name);
+      }
+    }
+    cache::NormalizeColumns(&shape);
+    cacheable = shape_ok && cache::ColumnsCacheable(shape);
+    if (cacheable) {
+      base_key = "tmpb:" + cache::FingerprintBase(shape);
+      if (want_full) full_key = "tmp:" + cache::FingerprintFull(shape);
+    }
+  }
+
+  // Full hit: the final rows (columns resolved, distinct/sort applied)
+  // served straight from the cache.
+  if (cacheable && want_full) {
+    if (auto hit = rc.LookupTemp(full_key)) {
+      result.rows = hit->rows;
+      result.plan = hit->plan + "; cache: hit";
+      if (analyze_) {
+        PlanNodeStats child;
+        child.label = "cache(" + table_ + "): hit, rows served from cache";
+        child.actual_rows = result.rows.size();
+        PlanNodeStats root =
+            total.Done("query(" + table_ + ")", 0.0, result.rows.size());
+        root.children.push_back(std::move(child));
+        result.analyze = std::move(root);
+      }
+      return result;
+    }
+  }
+
+  std::shared_ptr<const cache::TempPayload> base_hit;
+  if (cacheable) base_hit = rc.LookupTemp(base_key);
+  if (base_hit != nullptr) {
+    result.rows = base_hit->rows;  // descriptor has sources, no columns yet
+    plan << base_hit->plan << "; cache: base hit";
+    if (analyze_) {
+      PlanNodeStats node;
+      node.label = "cache(" + table_ + "): base hit";
+      node.actual_rows = result.rows.size();
+      result.analyze.children.push_back(std::move(node));
+    }
+  } else if (!join_table_.has_value()) {
     const StageCapture cap(analyze_);
     trace::Span span("select");
     AccessPath path;
@@ -304,6 +389,20 @@ QueryResult QueryBuilder::Run() {
     result.rows = std::move(rows);
   }
 
+  // Fill the base entry while the caller's read locks are still held (the
+  // fill-before-unlock half of the invalidation protocol).
+  cache::Footprint footprint;
+  if (cacheable) {
+    footprint.AddAll(table_);
+    if (join_table_.has_value()) footprint.AddAll(*join_table_);
+    if (base_hit == nullptr) {
+      cache::TempPayload payload;
+      payload.rows = result.rows;
+      payload.plan = plan.str();
+      rc.FillTemp(base_key, footprint, std::move(payload));
+    }
+  }
+
   // Output columns (result-descriptor projection, Section 2.3).
   std::vector<std::string> columns = columns_;
   if (columns.empty()) {
@@ -346,6 +445,15 @@ QueryResult QueryBuilder::Run() {
     }
   }
   result.plan = plan.str();
+
+  // Full entry: rows after projection/distinct/sort, so the repeated query
+  // skips those transforms too.
+  if (cacheable && want_full) {
+    cache::TempPayload payload;
+    payload.rows = result.rows;
+    payload.plan = result.plan;
+    rc.FillTemp(full_key, footprint, std::move(payload));
+  }
 
   if (analyze_) {
     double est_total = 0.0;

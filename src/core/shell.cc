@@ -263,6 +263,7 @@ std::string CommandShell::Execute(const std::string& statement) {
     if (head == "SHOW") return RunShowTables();
     if (head == "DESCRIBE") return RunDescribe(t);
     if (head == "METRICS") return RunMetrics();
+    if (head == "CACHE") return RunCache(t);
     if (head == "TRACE") return RunTrace(t);
     if (head == "SERVE") return RunServe(t);
     if (head == "CHECKPOINT") {
@@ -599,6 +600,36 @@ std::string CommandShell::RunMetrics() {
   // current, then render everything the registry holds.
   counters::PublishGauges(&db_->metrics());
   return db_->metrics().RenderPrometheus();
+}
+
+std::string CommandShell::RunCache(const std::vector<Token>& t) {
+  cache::ReuseCache& rc = db_->reuse_cache();
+  if (t.size() == 2) {
+    const std::string sub = Upper(t[1].text);
+    if (sub == "ON") {
+      rc.SetEnabled(true);
+      return "ok: cache on";
+    }
+    if (sub == "OFF") {
+      // SetEnabled(false) also flushes, so re-enabling starts cold.
+      rc.SetEnabled(false);
+      return "ok: cache off";
+    }
+    if (sub == "STATS") {
+      const cache::CacheStats s = rc.Stats();
+      std::ostringstream os;
+      os << "cache: " << (s.enabled ? "on" : "off") << "\n"
+         << "hits: " << s.hits << "\n"
+         << "misses: " << s.misses << "\n"
+         << "fills: " << s.fills << "\n"
+         << "invalidations: " << s.invalidations << "\n"
+         << "evictions: " << s.evictions << "\n"
+         << "entries: " << s.entries << "\n"
+         << "bytes: " << s.bytes << " / " << s.budget_bytes;
+      return os.str();
+    }
+  }
+  return "error: CACHE ON | CACHE OFF | CACHE STATS";
 }
 
 std::string CommandShell::RunTrace(const std::vector<Token>& t) {

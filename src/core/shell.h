@@ -18,6 +18,7 @@
 //   EXPLAIN SELECT ...;                  -- plan without rows
 //   EXPLAIN ANALYZE SELECT ...;          -- run + per-operator stats tree
 //   METRICS;                             -- Prometheus text exposition
+//   CACHE ON; CACHE OFF; CACHE STATS;    -- reuse cache toggle / counters
 //   TRACE ON; TRACE OFF;                 -- toggle span recording
 //   TRACE DUMP 'trace.json';             -- chrome://tracing JSON
 //   SERVE 7700;                          -- expose this db over TCP
@@ -87,6 +88,7 @@ class CommandShell {
   std::string RunShowTables();
   std::string RunDescribe(const std::vector<Token>& t);
   std::string RunMetrics();
+  std::string RunCache(const std::vector<Token>& t);
   std::string RunTrace(const std::vector<Token>& t);
   std::string RunServe(const std::vector<Token>& t);
 

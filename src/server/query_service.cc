@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "src/cache/fingerprint.h"
+#include "src/cache/reuse_cache.h"
 #include "src/core/database.h"
 #include "src/core/query.h"
 #include "src/exec/select.h"
@@ -26,6 +28,34 @@ bool IsDeadlockTimeout(const Status& s) {
 /// QueryBuilder reports ill-formed queries through the plan string.
 bool IsErrorPlan(const std::string& plan) {
   return plan.rfind("error:", 0) == 0;
+}
+
+/// Adapts a (pre-validated) SelectSpec to the cache's canonical shape.
+cache::QueryShape ShapeFromSpec(const SelectSpec& spec, const Relation& rel) {
+  cache::QueryShape shape;
+  shape.table = spec.table;
+  shape.distinct = spec.distinct;
+  shape.ordered = spec.ordered;
+  for (const WhereClause& w : spec.where) {
+    shape.where.push_back(cache::ShapeConjunct{w.field, w.op, w.value});
+  }
+  if (spec.join.has_value()) {
+    shape.has_join = true;
+    shape.join_table = spec.join->table;
+    shape.join_left = spec.join->left_field;
+    shape.join_right = spec.join->right_field;
+    for (const WhereClause& w : spec.join->where) {
+      shape.join_where.push_back(cache::ShapeConjunct{w.field, w.op, w.value});
+    }
+  }
+  shape.columns = spec.columns;
+  if (shape.columns.empty()) {
+    for (const Field& f : rel.schema().fields()) {
+      shape.columns.push_back(spec.table + "." + f.name);
+    }
+  }
+  cache::NormalizeColumns(&shape);
+  return shape;
 }
 
 }  // namespace
@@ -276,6 +306,35 @@ OpResult QueryService::RunSelect(const SelectSpec& spec) {
     }
   }
 
+  // Result cache (DESIGN.md §4d): a hit is served without beginning a
+  // transaction or taking any lock.  This is linearizable because writers
+  // invalidate overlapping entries *before* their commit is acknowledged
+  // (Transaction::Commit, while still holding the X locks): any entry
+  // still present reflects every acknowledged write.
+  cache::ReuseCache& rc = db_->reuse_cache();
+  bool cacheable = false;
+  std::string result_key;
+  if (rc.enabled()) {
+    const cache::QueryShape shape = ShapeFromSpec(spec, *rel);
+    cacheable = cache::ColumnsCacheable(shape);
+    if (cacheable) {
+      result_key = "res:" + cache::FingerprintFull(shape);
+      if (auto hit = rc.LookupResult(result_key)) {
+        out.columns = hit->columns;
+        out.rows = hit->rows;
+        out.plan = hit->plan + "; cache: hit";
+        if (spec.analyze) {
+          out.analyze = "query(" + spec.table + ")  (cache hit: " +
+                        std::to_string(out.rows.size()) +
+                        " rows served from cache, 0 executed)\n";
+        }
+        out.rows_affected = out.rows.size();
+        out.status = Status::Ok();
+        return out;
+      }
+    }
+  }
+
   std::unique_ptr<Transaction> txn = db_->Begin();
   txn->set_lock_timeout(options_.lock_timeout);
 
@@ -333,6 +392,49 @@ OpResult QueryService::RunSelect(const SelectSpec& spec) {
   out.plan = std::move(qr.plan);
   if (qr.analyzed) out.analyze = qr.analyze.Render();
   out.rows_affected = out.rows.size();
+
+  // Fill the result cache while the S locks are still held (fills after
+  // unlock could cache a result a concurrent committed write already made
+  // stale).  The footprint is partition-precise only in the one provably
+  // sound case: a single-table, single-conjunct, non-DISTINCT query on a
+  // relation-globally-indexed field.  There, every write that can change
+  // the *matching set* (any insert or delete — the relation has a global
+  // index — and any update of the predicate field) escalates to the
+  // structure X lock and so invalidates relation-wide, while content
+  // updates of matching tuples hit the footprint partitions; writes to
+  // other partitions provably cannot affect this entry.  Everything else
+  // records an all-partitions footprint per involved relation.
+  if (cacheable && rc.enabled()) {
+    cache::Footprint footprint;
+    bool precise = !spec.join.has_value() && spec.where.size() == 1 &&
+                   !spec.distinct;
+    if (precise) {
+      auto f = rel->schema().FieldIndex(spec.where.front().field);
+      precise = f.has_value() && rel->HasGlobalIndexKeyedOn(*f);
+    }
+    if (precise) {
+      std::vector<uint32_t> pids;
+      pids.reserve(qr.rows.size());
+      for (size_t r = 0; r < qr.rows.size(); ++r) {
+        Partition* p = rel->PartitionOf(qr.rows.At(r, 0));
+        if (p == nullptr) {
+          precise = false;
+          break;
+        }
+        pids.push_back(p->id());
+      }
+      if (precise) footprint.AddPartitions(spec.table, pids);
+    }
+    if (!precise) {
+      footprint.AddAll(spec.table);
+      if (spec.join.has_value()) footprint.AddAll(spec.join->table);
+    }
+    cache::ResultPayload payload;
+    payload.columns = out.columns;
+    payload.rows = out.rows;
+    payload.plan = out.plan;
+    rc.FillResult(result_key, footprint, std::move(payload));
+  }
 
   // Read-only: nothing was logged, so releasing the locks via Abort() is
   // the cheap correct exit (Commit would register the txn id with the log

@@ -162,6 +162,15 @@ std::vector<LockId> LockManager::HeldBy(uint64_t txn_id) const {
   return out;
 }
 
+std::vector<LockId> LockManager::ExclusiveHeldBy(uint64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LockId> out;
+  for (const auto& [id, s] : table_) {
+    if (s.exclusive_holder == txn_id) out.push_back(id);
+  }
+  return out;
+}
+
 size_t LockManager::GrantedCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;

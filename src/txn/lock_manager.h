@@ -62,6 +62,13 @@ class LockManager {
   /// Locks currently held by txn (diagnostics/tests).
   std::vector<LockId> HeldBy(uint64_t txn_id) const;
 
+  /// Exclusive locks currently held by txn — a committing transaction's
+  /// write footprint (partition X locks for partition-local DML, the
+  /// kRelationLock sentinel for escalated relation-wide writes).  The
+  /// reuse cache invalidates overlapping entries from exactly this set,
+  /// before the locks are released.
+  std::vector<LockId> ExclusiveHeldBy(uint64_t txn_id) const;
+
   /// Total number of held (granted) locks.
   size_t GrantedCount() const;
 

@@ -1,5 +1,6 @@
 #include "src/txn/transaction.h"
 
+#include "src/cache/reuse_cache.h"
 #include "src/storage/tuple.h"
 
 namespace mmdb {
@@ -280,6 +281,25 @@ Status Transaction::Commit() {
         break;
       }
     }
+  }
+
+  // Publish the write footprint to the reuse cache *while the X locks are
+  // still held* and before the commit is acknowledged: any cache fill of an
+  // overlapping entry is ordered against this write by the lock manager
+  // (the filling reader holds S locks on its footprint), so no entry can
+  // survive that predates this write, and no acknowledged write can be
+  // missing from a served entry.
+  if (cache::ReuseCache* rc = mgr_->reuse_cache();
+      rc != nullptr && !ops_.empty()) {
+    cache::Footprint writes;
+    for (const LockId& id : mgr_->locks()->ExclusiveHeldBy(id_)) {
+      if (id.partition == LockId::kRelationLock) {
+        writes.AddAll(id.relation);
+      } else {
+        writes.AddPartitions(id.relation, {id.partition});
+      }
+    }
+    rc->Invalidate(writes);
   }
 
   commit_lsn_ = log->Commit(id_);

@@ -35,24 +35,34 @@
 
 namespace mmdb {
 
+namespace cache {
+class ReuseCache;
+}
+
 class Transaction;
 
 class TransactionManager {
  public:
   TransactionManager(Catalog* catalog, StableLogBuffer* log,
-                     LockManager* locks)
-      : catalog_(catalog), log_(log), locks_(locks) {}
+                     LockManager* locks,
+                     cache::ReuseCache* reuse_cache = nullptr)
+      : catalog_(catalog),
+        log_(log),
+        locks_(locks),
+        reuse_cache_(reuse_cache) {}
 
   std::unique_ptr<Transaction> Begin();
 
   Catalog* catalog() const { return catalog_; }
   StableLogBuffer* log() const { return log_; }
   LockManager* locks() const { return locks_; }
+  cache::ReuseCache* reuse_cache() const { return reuse_cache_; }
 
  private:
   Catalog* catalog_;
   StableLogBuffer* log_;
   LockManager* locks_;
+  cache::ReuseCache* reuse_cache_;
   std::atomic<uint64_t> next_txn_id_{1};
 };
 

@@ -2,11 +2,83 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "src/index/array_index.h"
 #include "src/index/key_ops.h"
 
 namespace mmdb {
+
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
+    : n_(n == 0 ? 1 : n), theta_(theta) {
+  assert(theta >= 0.0 && theta < 1.0);
+  zetan_ = Zeta(n_, theta_);
+  const double zeta2 = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / double(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+  // n == 1 degenerates eta to 0/0; Next() never uses it then.
+  if (!std::isfinite(eta_)) eta_ = 1.0;
+}
+
+uint64_t ZipfGenerator::Next(Rng* rng) const {
+  if (n_ == 1) return 0;
+  const double u = rng->NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t rank = static_cast<uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+OpMixGenerator::OpMixGenerator(const MixSpec& spec, uint64_t seed)
+    : spec_(spec), rng_(seed), zipf_(spec.key_domain, spec.zipf_theta) {
+  if (spec_.key_domain == 0) spec_.key_domain = 1;
+  if (spec_.templates == 0) spec_.templates = 1;
+}
+
+int64_t OpMixGenerator::KeyForRank(uint64_t rank) const {
+  if (spec_.zipf_theta == 0.0) return static_cast<int64_t>(rank);  // uniform
+  // FNV-1a on the rank's bytes scatters consecutive hot ranks across the
+  // whole domain (occasional collisions merely merge two ranks' popularity).
+  uint64_t h = 1469598103934665603ULL;
+  for (int b = 0; b < 8; ++b) {
+    h ^= (rank >> (8 * b)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<int64_t>(h % spec_.key_domain);
+}
+
+MixedOp OpMixGenerator::Next() {
+  MixedOp op;
+  op.key = KeyForRank(zipf_.Next(&rng_));
+  op.template_id = static_cast<uint32_t>(rng_.NextBounded(spec_.templates));
+  const double roll = rng_.NextDouble() * 100.0;
+  if (roll < spec_.read_pct) {
+    if (rng_.NextDouble() * 100.0 < spec_.point_pct) {
+      op.kind = MixedOp::Kind::kPointRead;
+    } else {
+      op.kind = MixedOp::Kind::kScanRead;
+      op.key_hi = op.key + static_cast<int64_t>(spec_.scan_width);
+    }
+  } else {
+    op.kind = rng_.NextDouble() * 100.0 < spec_.insert_pct
+                  ? MixedOp::Kind::kInsert
+                  : MixedOp::Kind::kUpdate;
+  }
+  return op;
+}
 
 WorkloadGen::WorkloadGen(uint64_t seed) : rng_(seed) {}
 

@@ -40,6 +40,75 @@ struct ColumnData {
   std::vector<int32_t> values;   ///< cardinality values, shuffled
 };
 
+/// Zipf-distributed rank sampling over [0, n), rank 0 most popular, using
+/// the incremental-zeta method of Gray et al. ("Quickly Generating
+/// Billion-Record Synthetic Databases") as popularized by YCSB.  theta in
+/// [0, 1): 0 is uniform, 0.99 is the YCSB default hot-key skew.  Setup is
+/// O(n) (one zeta sum); Next() is O(1).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Next rank in [0, n).  Consumes one draw from `rng`.
+  uint64_t Next(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+/// One operation drawn from an OpMixGenerator.  Deliberately engine-agnostic
+/// (plain keys, no SelectSpec/Database types) so src/workload stays below the
+/// server layer; drivers translate ops into whatever API they exercise.
+struct MixedOp {
+  enum class Kind { kPointRead, kScanRead, kUpdate, kInsert };
+  Kind kind = Kind::kPointRead;
+  int64_t key = 0;         ///< point/update target, or scan lower bound
+  int64_t key_hi = 0;      ///< scan upper bound (kScanRead only)
+  uint32_t template_id = 0;  ///< which repeated query template to issue
+};
+
+/// Knobs of a key-value style operation mix over an integer key domain.
+struct MixSpec {
+  uint64_t key_domain = 100000;  ///< keys are in [0, key_domain)
+  double zipf_theta = 0.99;      ///< key skew; 0 = uniform
+  double read_pct = 95.0;        ///< reads vs writes
+  double point_pct = 80.0;       ///< within reads: point lookups vs scans
+  uint64_t scan_width = 100;     ///< key width of a range scan
+  double insert_pct = 0.0;       ///< within writes: inserts vs updates
+  uint32_t templates = 1;        ///< distinct query templates to rotate over
+};
+
+/// Draws an endless, seeded, reproducible stream of MixedOps: Zipf-skewed
+/// key choice (hot ranks scrambled across the domain so popular keys are not
+/// adjacent), read/write and point/scan mixes per MixSpec, and a rotating
+/// template id so a small set of query shapes repeats — the access pattern
+/// the reuse cache (src/cache) is built for.
+class OpMixGenerator {
+ public:
+  OpMixGenerator(const MixSpec& spec, uint64_t seed = 42);
+
+  MixedOp Next();
+
+  const MixSpec& spec() const { return spec_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  /// Maps a popularity rank to a key, scattering hot ranks across the
+  /// domain (FNV-1a scramble, as in YCSB's ScrambledZipfian).
+  int64_t KeyForRank(uint64_t rank) const;
+
+  MixSpec spec_;
+  Rng rng_;
+  ZipfGenerator zipf_;
+};
+
 class WorkloadGen {
  public:
   explicit WorkloadGen(uint64_t seed = 42);

@@ -1,0 +1,203 @@
+// Reuse-cache concurrency: hot cached readers racing partition-local
+// writers through the QueryService.  The invariants under test are the
+// cache's two load-bearing promises (reuse_cache.h):
+//
+//   * zero stale reads — a committed-and-acked write is visible to every
+//     later read, cached or not, because the writer invalidates overlapping
+//     entries before its commit is acknowledged;
+//   * precision — writers to partitions a cached result never read do not
+//     disturb it (no invalidation, no refill churn).
+//
+// Run under TSan in CI (the cache's internal mutex, the lock-free hit path,
+// and the commit-path invalidation all cross threads here).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cache/reuse_cache.h"
+#include "src/core/database.h"
+#include "src/server/query_service.h"
+
+namespace mmdb {
+namespace {
+
+constexpr uint32_t kSlotCap = 16;  // partition capacity: key k lives in k/16
+
+std::unique_ptr<Database> MakeAccountsDb(int rows) {
+  auto db = std::make_unique<Database>();
+  db->reuse_cache().SetEnabled(true);  // the subject under test, env aside
+  Relation::Options opts;
+  opts.partition.slot_capacity = kSlotCap;
+  db->CreateTable("accounts", {{"id", Type::kInt32}, {"bal", Type::kInt32}},
+                  opts);
+  // A unique (relation-global) index on id makes point reads precise: the
+  // service records only the partitions the result rows live in, and every
+  // matching-set-changing write escalates to structure-X.
+  IndexConfig unique;
+  unique.unique = true;
+  EXPECT_NE(db->CreateIndex("accounts", "id", IndexKind::kChainedBucketHash, unique),
+            nullptr);
+  for (int i = 0; i < rows; ++i) {
+    db->Insert("accounts", {Value(i), Value(1000)});
+  }
+  return db;
+}
+
+SelectSpec PointRead(int32_t key) {
+  SelectSpec sel;
+  sel.table = "accounts";
+  sel.where = {WhereClause{"id", CompareOp::kEq, Value(key)}};
+  sel.columns = {"accounts.bal"};
+  return sel;
+}
+
+IncrementSpec Bump(int32_t key) {
+  IncrementSpec inc;
+  inc.table = "accounts";
+  inc.match = WhereClause{"id", CompareOp::kEq, Value(key)};
+  inc.field = "bal";
+  inc.delta = 1;
+  return inc;
+}
+
+// Readers on hot keys race writers incrementing the same keys.  Each acked
+// increment raises that key's published floor *after* the ack; every read
+// must observe at least the floor it loaded before issuing the select.  A
+// cache entry surviving a commit-acked overlapping write would violate
+// this immediately.
+TEST(CacheConcurrencyTest, ZeroStaleReadsUnderOverlappingWrites) {
+  constexpr int kKeys = 8;       // all hot: maximal cache/DML collision
+  constexpr int kWrites = 300;   // per writer
+  constexpr int kReads = 600;    // per reader
+  auto db = MakeAccountsDb(64);
+
+  ServiceOptions sopts;
+  sopts.workers = 4;
+  QueryService service(db.get(), sopts);
+
+  std::atomic<int> floor[kKeys];
+  for (auto& f : floor) f.store(0);
+  std::atomic<bool> failed{false};
+
+  auto writer = [&] {
+    Session* s = service.OpenSession();
+    for (int i = 0; i < kWrites && !failed.load(); ++i) {
+      const int k = i % kKeys;
+      OpResult r = service.Execute(s, Bump(k));
+      ASSERT_TRUE(r.ok()) << r.status.ToString();
+      // The Execute return *is* the commit ack; publish the new floor.
+      floor[k].fetch_add(1, std::memory_order_release);
+    }
+    service.CloseSession(s);
+  };
+
+  auto reader = [&] {
+    Session* s = service.OpenSession();
+    for (int i = 0; i < kReads && !failed.load(); ++i) {
+      const int k = i % kKeys;
+      const int lo = floor[k].load(std::memory_order_acquire);
+      OpResult r = service.Execute(s, PointRead(k));
+      ASSERT_TRUE(r.ok()) << r.status.ToString();
+      ASSERT_EQ(r.rows.size(), 1u);
+      const int32_t bal = r.rows[0][0].AsInt32();
+      if (bal < 1000 + lo) {
+        failed.store(true);
+        FAIL() << "stale read: key " << k << " bal " << bal
+               << " below acked floor " << 1000 + lo;
+      }
+    }
+    service.CloseSession(s);
+  };
+
+  std::vector<std::thread> threads;
+  threads.emplace_back(writer);
+  threads.emplace_back(writer);
+  threads.emplace_back(reader);
+  threads.emplace_back(reader);
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+
+  // The mix must actually have exercised the cache.
+  const cache::CacheStats s = db->reuse_cache().Stats();
+  EXPECT_GT(s.fills, 0u);
+  EXPECT_GT(s.invalidations, 0u);
+}
+
+// Writers confined to partitions a cached read never touched must not
+// invalidate it: the hot entry keeps serving hits with zero refills.
+TEST(CacheConcurrencyTest, DisjointPartitionWritesLeaveEntriesAlone) {
+  auto db = MakeAccountsDb(64);  // partitions: keys 0-15, 16-31, 32-47, ...
+
+  ServiceOptions sopts;
+  sopts.workers = 2;
+  QueryService service(db.get(), sopts);
+  Session* s = service.OpenSession();
+
+  // Warm the cache for a key in partition 0 and confirm the hit path.
+  ASSERT_TRUE(service.Execute(s, PointRead(3)).ok());
+  OpResult warm = service.Execute(s, PointRead(3));
+  ASSERT_TRUE(warm.ok());
+  ASSERT_NE(warm.plan.find("cache: hit"), std::string::npos) << warm.plan;
+
+  const cache::CacheStats before = db->reuse_cache().Stats();
+
+  // Hammer keys 32..63 (partitions 2 and 3) from two threads.
+  auto writer = [&](int32_t lo) {
+    Session* ws = service.OpenSession();
+    for (int i = 0; i < 200; ++i) {
+      OpResult r = service.Execute(ws, Bump(lo + i % 16));
+      ASSERT_TRUE(r.ok()) << r.status.ToString();
+    }
+    service.CloseSession(ws);
+  };
+  std::thread w1(writer, 32), w2(writer, 48);
+  w1.join();
+  w2.join();
+
+  // The partition-0 entry survived every disjoint write.
+  OpResult after = service.Execute(s, PointRead(3));
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after.plan.find("cache: hit"), std::string::npos) << after.plan;
+  EXPECT_EQ(after.rows[0][0], Value(1000));
+
+  const cache::CacheStats now = db->reuse_cache().Stats();
+  // The precise result entry survived (zero refill churn).  At most the
+  // builder's conservative whole-relation *intermediate* entry may die to
+  // the first disjoint write; the result entry itself must not.
+  EXPECT_EQ(now.fills, before.fills);
+  EXPECT_LE(now.invalidations, before.invalidations + 1);
+  service.CloseSession(s);
+}
+
+// Sanity for the overlap direction of the same setup: one increment to the
+// cached key invalidates exactly that entry and the next read recomputes.
+TEST(CacheConcurrencyTest, OverlappingWriteInvalidatesBeforeAck) {
+  auto db = MakeAccountsDb(64);
+
+  ServiceOptions sopts;
+  sopts.workers = 1;
+  QueryService service(db.get(), sopts);
+  Session* s = service.OpenSession();
+
+  ASSERT_TRUE(service.Execute(s, PointRead(5)).ok());
+  OpResult warm = service.Execute(s, PointRead(5));
+  ASSERT_NE(warm.plan.find("cache: hit"), std::string::npos) << warm.plan;
+
+  const uint64_t inv_before = db->reuse_cache().Stats().invalidations;
+  ASSERT_TRUE(service.Execute(s, Bump(5)).ok());
+  EXPECT_GT(db->reuse_cache().Stats().invalidations, inv_before);
+
+  OpResult fresh = service.Execute(s, PointRead(5));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh.plan.find("cache: hit"), std::string::npos) << fresh.plan;
+  EXPECT_EQ(fresh.rows[0][0], Value(1001));
+  service.CloseSession(s);
+}
+
+}  // namespace
+}  // namespace mmdb

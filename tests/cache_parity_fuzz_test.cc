@@ -1,0 +1,267 @@
+// Cache parity fuzz: replay identical random DML/SELECT interleavings
+// against two databases — cache on vs cache off — and diff every result
+// set.  Any divergence (a stale hit, a wrong footprint, a fingerprint
+// collision, a missed invalidation) shows up as a mismatched result.
+//
+// Result-ordering rules: an ORDERED select must match row for row; an
+// unordered select is compared as a multiset (the engine never promises an
+// order for plain selects, and a cached result may legally differ in order
+// from a recomputed one).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cache/reuse_cache.h"
+#include "src/core/database.h"
+#include "src/core/query.h"
+#include "src/server/query_service.h"
+#include "src/util/rng.h"
+
+namespace mmdb {
+namespace {
+
+std::unique_ptr<Database> MakeDb(bool cache_on) {
+  auto db = std::make_unique<Database>();
+  db->reuse_cache().SetEnabled(cache_on);
+  Relation::Options opts;
+  opts.partition.slot_capacity = 32;  // several partitions at our scale
+  db->CreateTable("t", {{"id", Type::kInt32},
+                        {"grp", Type::kInt32},
+                        {"val", Type::kInt32},
+                        {"name", Type::kString}},
+                  opts);
+  IndexConfig unique;
+  unique.unique = true;
+  EXPECT_NE(db->CreateIndex("t", "id", IndexKind::kChainedBucketHash, unique), nullptr);
+  EXPECT_NE(db->CreateIndex("t", "grp", IndexKind::kTTree), nullptr);
+  db->CreateTable("g", {{"gid", Type::kInt32}, {"label", Type::kString}});
+  for (int i = 0; i < 8; ++i) {
+    db->Insert("g", {Value(i), Value("g" + std::to_string(i))});
+  }
+  for (int i = 0; i < 200; ++i) {
+    db->Insert("t", {Value(i), Value(i % 8), Value(i * 3),
+                     Value("n" + std::to_string(i % 10))});
+  }
+  return db;
+}
+
+std::vector<std::string> RowStrings(const OpResult& r) {
+  std::vector<std::string> out;
+  out.reserve(r.rows.size());
+  for (const std::vector<Value>& row : r.rows) {
+    std::string s;
+    for (const Value& v : row) {
+      s += v.ToString();
+      s += '\x1f';
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void ExpectSameResult(const OpResult& on, const OpResult& off, bool ordered,
+                      const std::string& what) {
+  ASSERT_EQ(on.ok(), off.ok()) << what << ": " << on.status.ToString()
+                               << " vs " << off.status.ToString();
+  if (!on.ok()) return;
+  EXPECT_EQ(on.columns, off.columns) << what;
+  std::vector<std::string> a = RowStrings(on);
+  std::vector<std::string> b = RowStrings(off);
+  if (!ordered) {
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+  }
+  EXPECT_EQ(a, b) << what << " (cache-on vs cache-off rows diverge)";
+}
+
+/// One seeded interleaving: every op runs against both databases in the
+/// same order; every select's result set is diffed.
+void RunInterleaving(uint64_t seed, int ops) {
+  auto db_on = MakeDb(true);
+  auto db_off = MakeDb(false);
+  ASSERT_TRUE(db_on->reuse_cache().enabled());
+  ASSERT_FALSE(db_off->reuse_cache().enabled());
+
+  ServiceOptions sopts;
+  sopts.workers = 1;  // sequential: both replicas see identical histories
+  QueryService svc_on(db_on.get(), sopts);
+  QueryService svc_off(db_off.get(), sopts);
+  Session* s_on = svc_on.OpenSession();
+  Session* s_off = svc_off.OpenSession();
+
+  Rng rng(seed);
+  int32_t next_id = 200;
+  for (int i = 0; i < ops; ++i) {
+    const uint64_t roll = rng.NextBounded(100);
+    Operation op;
+    bool ordered = false;
+    if (roll < 55) {
+      // Select, biased toward a few hot shapes so the cache actually hits.
+      SelectSpec sel;
+      sel.table = "t";
+      switch (rng.NextBounded(6)) {
+        case 0:  // hot point read on the unique key (precise footprint)
+          sel.where = {{"id", CompareOp::kEq,
+                        Value(int32_t(rng.NextBounded(8)))}};
+          sel.columns = {"t.val"};
+          break;
+        case 1:  // group scan
+          sel.where = {{"grp", CompareOp::kEq,
+                        Value(int32_t(rng.NextBounded(8)))}};
+          break;
+        case 2:  // range + projection
+          sel.where = {{"val", CompareOp::kGt,
+                        Value(int32_t(rng.NextBounded(300)))}};
+          sel.columns = {"t.id", "t.val"};
+          break;
+        case 3:  // distinct + ordered (full-key cache path; exact compare)
+          sel.where = {{"grp", CompareOp::kLt,
+                        Value(int32_t(rng.NextBounded(8)))}};
+          sel.columns = {"t.name"};
+          sel.distinct = true;
+          sel.ordered = true;
+          ordered = true;
+          break;
+        case 4: {  // equijoin against the dimension table
+          sel.where = {{"id", CompareOp::kLt,
+                        Value(int32_t(rng.NextBounded(64)))}};
+          JoinClause j;
+          j.table = "g";
+          j.left_field = "grp";
+          j.right_field = "gid";
+          sel.join = j;
+          sel.columns = {"t.id", "g.label"};
+          break;
+        }
+        default:  // full scan, sometimes analyzed (analyze must not skew)
+          sel.analyze = rng.NextBounded(2) == 0;
+          break;
+      }
+      op = sel;
+    } else if (roll < 70) {
+      InsertSpec ins;
+      ins.table = "t";
+      // Mostly fresh ids, sometimes a duplicate (must fail identically).
+      const int32_t id = rng.NextBounded(10) == 0
+                             ? int32_t(rng.NextBounded(64))
+                             : next_id++;
+      ins.values = {Value(id), Value(int32_t(rng.NextBounded(8))),
+                    Value(int32_t(rng.NextBounded(300))),
+                    Value("n" + std::to_string(rng.NextBounded(10)))};
+      op = ins;
+    } else if (roll < 80) {
+      UpdateSpec up;
+      up.table = "t";
+      up.match = {"id", CompareOp::kEq, Value(int32_t(rng.NextBounded(64)))};
+      if (rng.NextBounded(3) == 0) {
+        // String update: relocation risk, escalates to structure-X.
+        up.set_field = "name";
+        up.set_value = Value("x" + std::to_string(rng.NextBounded(10)));
+      } else {
+        up.set_field = "val";
+        up.set_value = Value(int32_t(rng.NextBounded(300)));
+      }
+      op = up;
+    } else if (roll < 92) {
+      IncrementSpec inc;
+      inc.table = "t";
+      inc.match = {"id", CompareOp::kEq, Value(int32_t(rng.NextBounded(64)))};
+      inc.field = "val";
+      inc.delta = 1 + int64_t(rng.NextBounded(5));
+      op = inc;
+    } else {
+      DeleteSpec del;
+      del.table = "t";
+      del.match = {"id", CompareOp::kEq,
+                   Value(int32_t(64 + rng.NextBounded(256)))};
+      op = del;
+    }
+
+    OpResult r_on = svc_on.Execute(s_on, op);
+    OpResult r_off = svc_off.Execute(s_off, op);
+    ExpectSameResult(r_on, r_off, ordered,
+                     "seed " + std::to_string(seed) + " op " +
+                         std::to_string(i) + " kind " +
+                         std::to_string(op.index()));
+    if (::testing::Test::HasFailure()) return;  // first divergence is enough
+  }
+
+  // The run is only meaningful if the cache-on side actually cached.
+  EXPECT_GT(db_on->reuse_cache().Stats().hits, 0u) << "seed " << seed;
+  EXPECT_EQ(db_off->reuse_cache().Stats().fills, 0u);
+  svc_on.CloseSession(s_on);
+  svc_off.CloseSession(s_off);
+}
+
+TEST(CacheParityFuzzTest, ServiceInterleavings) {
+  RunInterleaving(101, 400);
+  RunInterleaving(202, 400);
+  RunInterleaving(303, 400);
+}
+
+// The same idea one layer down: QueryBuilder repeats interleaved with
+// fast-path DML, cache-on vs cache-off, including the base-hit projection
+// path that re-projects a cached intermediate.
+TEST(CacheParityFuzzTest, BuilderInterleavings) {
+  auto db_on = MakeDb(true);
+  auto db_off = MakeDb(false);
+
+  Rng rng(77);
+  auto run = [&](Database& db, uint64_t which) -> std::vector<std::string> {
+    QueryBuilder qb = db.Query("t");
+    switch (which) {
+      case 0:
+        qb.Where("grp", CompareOp::kEq, 3).Select({"t.id", "t.val"});
+        break;
+      case 1:
+        qb.Where("grp", CompareOp::kEq, 3).Select({"t.id"});  // base reuse
+        break;
+      case 2:
+        qb.Where("val", CompareOp::kGt, 100)
+            .Select({"t.name"})
+            .Distinct()
+            .OrderBySelected();
+        break;
+      default:
+        qb.Where("id", CompareOp::kLt, 30);
+        break;
+    }
+    QueryResult r = qb.Run();
+    std::vector<std::string> rows;
+    const size_t cols = r.rows.descriptor().columns().size();
+    for (size_t i = 0; i < r.rows.size(); ++i) {
+      std::string s;
+      for (size_t c = 0; c < cols; ++c) {
+        s += r.rows.GetValue(i, c).ToString();
+        s += '\x1f';
+      }
+      rows.push_back(std::move(s));
+    }
+    if (which != 2) std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+
+  int32_t next_id = 500;
+  for (int i = 0; i < 300; ++i) {
+    if (rng.NextBounded(4) == 0) {
+      // Fast-path DML (invalidates relation-wide on the cache-on side).
+      db_on->Insert("t", {Value(next_id), Value(int32_t(next_id % 8)),
+                          Value(int32_t(next_id * 2)), Value("z")});
+      db_off->Insert("t", {Value(next_id), Value(int32_t(next_id % 8)),
+                           Value(int32_t(next_id * 2)), Value("z")});
+      ++next_id;
+    }
+    const uint64_t which = rng.NextBounded(4);
+    EXPECT_EQ(run(*db_on, which), run(*db_off, which))
+        << "builder divergence at iteration " << i << " shape " << which;
+    if (::testing::Test::HasFailure()) return;
+  }
+  EXPECT_GT(db_on->reuse_cache().Stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,519 @@
+// The reuse cache (src/cache): fingerprint canonicalization, LRU/budget
+// eviction, partition-granular invalidation, and the end-to-end hit paths
+// through QueryBuilder, QueryService, and the shell CACHE command.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cache/fingerprint.h"
+#include "src/cache/reuse_cache.h"
+#include "src/core/database.h"
+#include "src/core/query.h"
+#include "src/core/shell.h"
+#include "src/server/query_service.h"
+#include "src/util/metrics.h"
+
+namespace mmdb {
+namespace {
+
+using cache::CacheStats;
+using cache::ColumnsCacheable;
+using cache::FingerprintBase;
+using cache::FingerprintFull;
+using cache::Footprint;
+using cache::NormalizeColumns;
+using cache::QueryShape;
+using cache::ResultPayload;
+using cache::ReuseCache;
+using cache::ShapeConjunct;
+
+// ---- Fingerprints -----------------------------------------------------------
+
+QueryShape EmpShape() {
+  QueryShape s;
+  s.table = "emp";
+  s.where = {{"age", CompareOp::kGt, Value(40)},
+             {"id", CompareOp::kEq, Value(7)}};
+  s.columns = {"emp.name", "emp.age"};
+  return s;
+}
+
+TEST(FingerprintTest, ConjunctOrderIrrelevant) {
+  QueryShape a = EmpShape();
+  QueryShape b = EmpShape();
+  std::swap(b.where[0], b.where[1]);
+  EXPECT_EQ(FingerprintBase(a), FingerprintBase(b));
+  EXPECT_EQ(FingerprintFull(a), FingerprintFull(b));
+}
+
+TEST(FingerprintTest, IntegerWidthNormalized) {
+  // int32 7 and int64 7 select the same tuples (Value::Compare is
+  // cross-width), so their keys must collide.
+  QueryShape a = EmpShape();
+  QueryShape b = EmpShape();
+  b.where[1].value = Value(int64_t{7});
+  EXPECT_EQ(FingerprintFull(a), FingerprintFull(b));
+}
+
+TEST(FingerprintTest, DifferentPredicatesDifferentKeys) {
+  QueryShape a = EmpShape();
+  QueryShape op = EmpShape();
+  op.where[0].op = CompareOp::kGe;
+  QueryShape val = EmpShape();
+  val.where[0].value = Value(41);
+  QueryShape field = EmpShape();
+  field.where[0].field = "id";
+  EXPECT_NE(FingerprintBase(a), FingerprintBase(op));
+  EXPECT_NE(FingerprintBase(a), FingerprintBase(val));
+  EXPECT_NE(FingerprintBase(a), FingerprintBase(field));
+}
+
+TEST(FingerprintTest, BaseKeyIgnoresProjection) {
+  QueryShape a = EmpShape();
+  QueryShape b = EmpShape();
+  b.columns = {"emp.age"};
+  b.distinct = true;
+  b.ordered = true;
+  EXPECT_EQ(FingerprintBase(a), FingerprintBase(b));
+  EXPECT_NE(FingerprintFull(a), FingerprintFull(b));
+}
+
+TEST(FingerprintTest, ColumnOrderSignificant) {
+  // Output order is part of the result; swapped columns are a different
+  // full key (but the same base key).
+  QueryShape a = EmpShape();
+  QueryShape b = EmpShape();
+  std::swap(b.columns[0], b.columns[1]);
+  EXPECT_NE(FingerprintFull(a), FingerprintFull(b));
+  EXPECT_EQ(FingerprintBase(a), FingerprintBase(b));
+}
+
+TEST(FingerprintTest, DistinctAndOrderedAreDistinctKeys) {
+  QueryShape plain = EmpShape();
+  QueryShape d = EmpShape();
+  d.distinct = true;
+  QueryShape o = EmpShape();
+  o.ordered = true;
+  EXPECT_NE(FingerprintFull(plain), FingerprintFull(d));
+  EXPECT_NE(FingerprintFull(plain), FingerprintFull(o));
+  EXPECT_NE(FingerprintFull(d), FingerprintFull(o));
+}
+
+TEST(FingerprintTest, NormalizeColumnsMatchesExplicitSpelling) {
+  QueryShape bare = EmpShape();
+  bare.columns = {"name", "age"};
+  NormalizeColumns(&bare);
+  EXPECT_EQ(bare.columns, (std::vector<std::string>{"emp.name", "emp.age"}));
+  EXPECT_EQ(FingerprintFull(bare), FingerprintFull(EmpShape()));
+}
+
+TEST(FingerprintTest, JoinShapeInKey) {
+  QueryShape a = EmpShape();
+  QueryShape j = EmpShape();
+  j.has_join = true;
+  j.join_table = "dept";
+  j.join_left = "dept_id";
+  j.join_right = "id";
+  j.join_where = {{"name", CompareOp::kEq, Value("Toy")}};
+  EXPECT_NE(FingerprintBase(a), FingerprintBase(j));
+  QueryShape j2 = j;
+  j2.join_where[0].value = Value("Shoe");
+  EXPECT_NE(FingerprintBase(j), FingerprintBase(j2));
+}
+
+TEST(FingerprintTest, StringLengthPrefixPreventsCollision) {
+  // "a" = "b/1/..." forgeries: length prefixes keep payload bytes from
+  // impersonating key structure.
+  QueryShape a = EmpShape();
+  a.where = {{"name", CompareOp::kEq, Value("ab")}};
+  QueryShape b = EmpShape();
+  b.where = {{"name", CompareOp::kEq, Value("a")}};
+  EXPECT_NE(FingerprintBase(a), FingerprintBase(b));
+}
+
+TEST(FingerprintTest, ColumnsCacheableRejectsFkHops) {
+  QueryShape s = EmpShape();
+  EXPECT_TRUE(ColumnsCacheable(s));
+  s.columns.push_back("emp.dept_id.name");  // hop into another relation
+  EXPECT_FALSE(ColumnsCacheable(s));
+}
+
+// ---- ReuseCache mechanics ---------------------------------------------------
+
+ResultPayload OneRowPayload(int32_t v) {
+  ResultPayload p;
+  p.columns = {"k"};
+  p.rows = {{Value(v)}};
+  p.plan = "test";
+  return p;
+}
+
+Footprint WholeRel(const std::string& rel) {
+  Footprint f;
+  f.AddAll(rel);
+  return f;
+}
+
+Footprint RelParts(const std::string& rel, std::vector<uint32_t> pids) {
+  Footprint f;
+  f.AddPartitions(rel, pids);
+  return f;
+}
+
+TEST(ReuseCacheTest, FillThenHit) {
+  MetricsRegistry metrics;
+  ReuseCache rc(&metrics, 1 << 20);
+  EXPECT_EQ(rc.LookupResult("k1"), nullptr);
+  rc.FillResult("k1", WholeRel("emp"), OneRowPayload(7));
+  auto hit = rc.LookupResult("k1");
+  ASSERT_NE(hit, nullptr);
+  ASSERT_EQ(hit->rows.size(), 1u);
+  EXPECT_EQ(hit->rows[0][0], Value(7));
+  const CacheStats s = rc.Stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.fills, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_GT(s.bytes, 0u);
+}
+
+TEST(ReuseCacheTest, DisabledLookupAndFillAreNoOps) {
+  MetricsRegistry metrics;
+  ReuseCache rc(&metrics, 1 << 20);
+  rc.SetEnabled(false);
+  rc.FillResult("k1", WholeRel("emp"), OneRowPayload(7));
+  EXPECT_EQ(rc.LookupResult("k1"), nullptr);
+  EXPECT_EQ(rc.Stats().entries, 0u);
+  EXPECT_EQ(rc.Stats().fills, 0u);
+}
+
+TEST(ReuseCacheTest, DisablingFlushes) {
+  MetricsRegistry metrics;
+  ReuseCache rc(&metrics, 1 << 20);
+  rc.FillResult("k1", WholeRel("emp"), OneRowPayload(7));
+  EXPECT_EQ(rc.Stats().entries, 1u);
+  rc.SetEnabled(false);
+  rc.SetEnabled(true);
+  EXPECT_EQ(rc.LookupResult("k1"), nullptr);  // re-enabled cold
+  EXPECT_EQ(rc.Stats().entries, 0u);
+}
+
+TEST(ReuseCacheTest, OversizedEntryIsNotCached) {
+  MetricsRegistry metrics;
+  ReuseCache rc(&metrics, /*budget_bytes=*/64);  // below entry overhead
+  rc.FillResult("k1", WholeRel("emp"), OneRowPayload(7));
+  EXPECT_EQ(rc.Stats().entries, 0u);
+  EXPECT_EQ(rc.LookupResult("k1"), nullptr);
+}
+
+TEST(ReuseCacheTest, LruEvictionUnderBudget) {
+  MetricsRegistry metrics;
+  ReuseCache rc(&metrics, 1 << 20);
+  rc.FillResult("a", WholeRel("emp"), OneRowPayload(1));
+  rc.FillResult("b", WholeRel("emp"), OneRowPayload(2));
+  rc.FillResult("c", WholeRel("emp"), OneRowPayload(3));
+  // Touch "a" so "b" becomes least-recently-used, then shrink the budget to
+  // roughly two entries' worth: eviction must take "b" first.
+  ASSERT_NE(rc.LookupResult("a"), nullptr);
+  const size_t two_entries = rc.Stats().bytes * 2 / 3;
+  rc.SetBudgetBytes(two_entries);
+  rc.FillResult("d", WholeRel("emp"), OneRowPayload(4));  // triggers eviction
+  EXPECT_EQ(rc.LookupResult("b"), nullptr);
+  EXPECT_NE(rc.LookupResult("a"), nullptr);
+  EXPECT_NE(rc.LookupResult("d"), nullptr);
+  EXPECT_GT(rc.Stats().evictions, 0u);
+  EXPECT_LE(rc.Stats().bytes, two_entries);
+}
+
+TEST(ReuseCacheTest, PartitionPreciseInvalidation) {
+  MetricsRegistry metrics;
+  ReuseCache rc(&metrics, 1 << 20);
+  rc.FillResult("p0", RelParts("emp", {0}), OneRowPayload(1));
+  rc.FillResult("p2", RelParts("emp", {2}), OneRowPayload(2));
+
+  // A write to partition 1 overlaps neither entry.
+  rc.Invalidate(RelParts("emp", {1}));
+  EXPECT_NE(rc.LookupResult("p0"), nullptr);
+  EXPECT_NE(rc.LookupResult("p2"), nullptr);
+  EXPECT_EQ(rc.Stats().invalidations, 0u);
+
+  // A write to partition 0 kills exactly the overlapping entry.
+  rc.Invalidate(RelParts("emp", {0}));
+  EXPECT_EQ(rc.LookupResult("p0"), nullptr);
+  EXPECT_NE(rc.LookupResult("p2"), nullptr);
+  EXPECT_EQ(rc.Stats().invalidations, 1u);
+}
+
+TEST(ReuseCacheTest, RelationWideWriteKillsPreciseEntries) {
+  MetricsRegistry metrics;
+  ReuseCache rc(&metrics, 1 << 20);
+  rc.FillResult("p0", RelParts("emp", {0}), OneRowPayload(1));
+  // Empty partition set = a point query that matched nothing; only a
+  // relation-wide (structure-X) write can change its (empty) answer.
+  rc.FillResult("none", RelParts("emp", {}), OneRowPayload(2));
+  rc.Invalidate(RelParts("emp", {0, 1, 2}));
+  EXPECT_EQ(rc.LookupResult("p0"), nullptr);
+  EXPECT_NE(rc.LookupResult("none"), nullptr);  // no partition overlaps it
+
+  rc.Invalidate(WholeRel("emp"));  // structure-X: sweeps every emp entry
+  EXPECT_EQ(rc.LookupResult("none"), nullptr);
+}
+
+TEST(ReuseCacheTest, WholeRelationReadsDieOnAnyPartitionWrite) {
+  MetricsRegistry metrics;
+  ReuseCache rc(&metrics, 1 << 20);
+  rc.FillResult("scan", WholeRel("emp"), OneRowPayload(1));
+  rc.Invalidate(RelParts("emp", {3}));
+  EXPECT_EQ(rc.LookupResult("scan"), nullptr);
+}
+
+TEST(ReuseCacheTest, InvalidationIsPerRelation) {
+  MetricsRegistry metrics;
+  ReuseCache rc(&metrics, 1 << 20);
+  rc.FillResult("e", WholeRel("emp"), OneRowPayload(1));
+  rc.FillResult("d", WholeRel("dept"), OneRowPayload(2));
+  rc.InvalidateRelation("emp");
+  EXPECT_EQ(rc.LookupResult("e"), nullptr);
+  EXPECT_NE(rc.LookupResult("d"), nullptr);
+}
+
+TEST(ReuseCacheTest, MultiRelationFootprintDiesWithEitherRelation) {
+  MetricsRegistry metrics;
+  ReuseCache rc(&metrics, 1 << 20);
+  Footprint join;
+  join.AddAll("emp");
+  join.AddAll("dept");
+  rc.FillResult("j", join, OneRowPayload(1));
+  rc.Invalidate(RelParts("dept", {0}));
+  EXPECT_EQ(rc.LookupResult("j"), nullptr);
+}
+
+TEST(ReuseCacheTest, MetricsRegistered) {
+  MetricsRegistry metrics;
+  ReuseCache rc(&metrics, 1 << 20);
+  rc.FillResult("k", WholeRel("emp"), OneRowPayload(1));
+  ASSERT_NE(rc.LookupResult("k"), nullptr);
+  const std::string text = metrics.RenderPrometheus();
+  EXPECT_NE(text.find("mmdb_cache_hits_total"), std::string::npos);
+  EXPECT_NE(text.find("mmdb_cache_bytes"), std::string::npos);
+  EXPECT_NE(text.find("mmdb_cache_entries 1"), std::string::npos);
+}
+
+// ---- End to end: QueryBuilder -----------------------------------------------
+
+class CacheE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.reuse_cache().SetEnabled(true);  // the subject under test, env aside
+    db_.CreateTable("dept", {{"name", Type::kString}, {"id", Type::kInt32}});
+    db_.CreateTable("emp", {{"name", Type::kString},
+                            {"id", Type::kInt32},
+                            {"age", Type::kInt32},
+                            {"dept_id", Type::kPointer}});
+    ASSERT_TRUE(db_.DeclareForeignKey("emp", "dept_id", "dept", "id").ok());
+    db_.Insert("dept", {Value("Toy"), Value(459)});
+    db_.Insert("dept", {Value("Shoe"), Value(409)});
+    db_.Insert("emp", {Value("Dave"), Value(23), Value(24), Value(459)});
+    db_.Insert("emp", {Value("Suzan"), Value(12), Value(27), Value(459)});
+    db_.Insert("emp", {Value("Al"), Value(51), Value(67), Value(409)});
+  }
+
+  QueryResult Young() {
+    return db_.Query("emp")
+        .Where("age", CompareOp::kLt, 30)
+        .Select({"emp.name", "emp.age"})
+        .Run();
+  }
+
+  Database db_;
+};
+
+TEST_F(CacheE2eTest, RepeatQueryHitsCache) {
+  QueryResult first = Young();
+  EXPECT_EQ(first.plan.find("cache"), std::string::npos) << first.plan;
+  QueryResult second = Young();
+  // A plain projection reuses the select-stage intermediate (only
+  // DISTINCT/ORDERED results get a full-result entry at this layer).
+  EXPECT_NE(second.plan.find("cache: base hit"), std::string::npos)
+      << second.plan;
+  ASSERT_EQ(second.rows.size(), first.rows.size());
+  for (size_t i = 0; i < first.rows.size(); ++i) {
+    EXPECT_EQ(second.rows.GetValue(i, 0), first.rows.GetValue(i, 0));
+    EXPECT_EQ(second.rows.GetValue(i, 1), first.rows.GetValue(i, 1));
+  }
+  EXPECT_GE(db_.reuse_cache().Stats().hits, 1u);
+}
+
+TEST_F(CacheE2eTest, ProjectionVariantsShareBaseIntermediate) {
+  (void)Young();  // fills the base (select-stage) entry
+  QueryResult names = db_.Query("emp")
+                          .Where("age", CompareOp::kLt, 30)
+                          .Select({"emp.name"})
+                          .Run();
+  EXPECT_NE(names.plan.find("cache: base hit"), std::string::npos)
+      << names.plan;
+  EXPECT_EQ(names.rows.size(), 2u);
+}
+
+TEST_F(CacheE2eTest, DmlInvalidatesAndRecomputes) {
+  QueryResult before = Young();
+  EXPECT_EQ(before.rows.size(), 2u);
+  (void)Young();  // now cached
+  db_.Insert("emp", {Value("Kid"), Value(99), Value(18), Value(459)});
+  QueryResult after = Young();
+  EXPECT_EQ(after.plan.find("cache: hit"), std::string::npos) << after.plan;
+  EXPECT_EQ(after.rows.size(), 3u);  // the new row is visible, not stale
+}
+
+TEST_F(CacheE2eTest, FkHopColumnsAreNeverCached) {
+  auto hop = [&] {
+    return db_.Query("emp")
+        .Where("age", CompareOp::kGt, 60)
+        .Select({"emp.name", "emp.dept_id.name"})
+        .Run();
+  };
+  (void)hop();
+  QueryResult second = hop();
+  // The hop reads dept tuples outside the footprint; no cache annotation.
+  EXPECT_EQ(second.plan.find("cache: hit"), std::string::npos) << second.plan;
+  ASSERT_EQ(second.rows.size(), 1u);
+  EXPECT_EQ(second.rows.GetValue(0, 1), Value("Shoe"));
+}
+
+TEST_F(CacheE2eTest, OrderedAndDistinctServeFromFullEntry) {
+  auto ordered = [&] {
+    return db_.Query("emp")
+        .Where("age", CompareOp::kGt, 20)
+        .Select({"emp.age"})
+        .Distinct()
+        .OrderBySelected()
+        .Run();
+  };
+  QueryResult first = ordered();
+  QueryResult second = ordered();
+  EXPECT_NE(second.plan.find("cache: hit"), std::string::npos) << second.plan;
+  ASSERT_EQ(second.rows.size(), first.rows.size());
+  for (size_t i = 0; i < first.rows.size(); ++i) {
+    EXPECT_EQ(second.rows.GetValue(i, 0), first.rows.GetValue(i, 0));
+  }
+}
+
+TEST_F(CacheE2eTest, DropTableInvalidates) {
+  (void)Young();
+  (void)Young();
+  ASSERT_TRUE(db_.DropTable("emp").ok());
+  db_.CreateTable("emp", {{"name", Type::kString},
+                          {"id", Type::kInt32},
+                          {"age", Type::kInt32},
+                          {"dept_id", Type::kPointer}});
+  QueryResult r = db_.Query("emp")
+                      .Where("age", CompareOp::kLt, 30)
+                      .Select({"emp.name", "emp.age"})
+                      .Run();
+  EXPECT_EQ(r.plan.find("cache: hit"), std::string::npos) << r.plan;
+  EXPECT_EQ(r.rows.size(), 0u);  // fresh empty table, not the cached rows
+}
+
+// ---- End to end: QueryService -----------------------------------------------
+
+TEST(CacheServiceTest, ResultCacheHitAndInvalidation) {
+  Database db;
+  db.reuse_cache().SetEnabled(true);
+  db.CreateTable("emp", {{"id", Type::kInt32}, {"age", Type::kInt32}});
+  for (int i = 0; i < 50; ++i) db.Insert("emp", {Value(i), Value(20 + i % 50)});
+
+  ServiceOptions opts;
+  opts.workers = 1;
+  QueryService service(&db, opts);
+  Session* s = service.OpenSession();
+
+  SelectSpec sel;
+  sel.table = "emp";
+  sel.where = {WhereClause{"age", CompareOp::kGt, Value(60)}};
+  OpResult first = service.Execute(s, sel);
+  ASSERT_TRUE(first.ok()) << first.status.ToString();
+  OpResult second = service.Execute(s, sel);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second.plan.find("cache: hit"), std::string::npos) << second.plan;
+  ASSERT_EQ(second.rows.size(), first.rows.size());
+
+  // Transactional DML through the service invalidates before it acks.
+  OpResult ins =
+      service.Execute(s, InsertSpec{"emp", {Value(100), Value(70)}});
+  ASSERT_TRUE(ins.ok()) << ins.status.ToString();
+  OpResult third = service.Execute(s, sel);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third.rows.size(), first.rows.size() + 1);
+  service.CloseSession(s);
+}
+
+TEST(CacheServiceTest, AnalyzeAnnotatesHits) {
+  Database db;
+  db.reuse_cache().SetEnabled(true);
+  db.CreateTable("emp", {{"id", Type::kInt32}, {"age", Type::kInt32}});
+  db.Insert("emp", {Value(1), Value(30)});
+
+  ServiceOptions opts;
+  opts.workers = 1;
+  QueryService service(&db, opts);
+  Session* s = service.OpenSession();
+
+  SelectSpec sel;
+  sel.table = "emp";
+  sel.where = {WhereClause{"age", CompareOp::kEq, Value(30)}};
+  sel.analyze = true;
+  OpResult first = service.Execute(s, sel);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.analyze.find("cache hit"), std::string::npos);
+  OpResult second = service.Execute(s, sel);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second.analyze.find("cache hit"), std::string::npos)
+      << second.analyze;
+  service.CloseSession(s);
+}
+
+// ---- Shell ------------------------------------------------------------------
+
+TEST(CacheShellTest, CacheCommand) {
+  Database db;
+  db.reuse_cache().SetEnabled(true);
+  CommandShell shell(&db);
+  EXPECT_EQ(shell.Execute("CREATE TABLE t (id INT, v INT);"),
+            "ok: table t (2 fields)");
+  EXPECT_EQ(shell.Execute("INSERT INTO t VALUES (1, 10);"), "ok: 1 row");
+
+  std::string stats = shell.Execute("CACHE STATS");
+  EXPECT_NE(stats.find("cache: on"), std::string::npos) << stats;
+
+  // Two identical selects: the second one hits.
+  (void)shell.Execute("SELECT t.v FROM t WHERE id = 1;");
+  (void)shell.Execute("SELECT t.v FROM t WHERE id = 1;");
+  stats = shell.Execute("CACHE STATS");
+  EXPECT_NE(stats.find("hits: 1"), std::string::npos) << stats;
+
+  EXPECT_EQ(shell.Execute("CACHE OFF"), "ok: cache off");
+  stats = shell.Execute("CACHE STATS");
+  EXPECT_NE(stats.find("cache: off"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("entries: 0"), std::string::npos) << stats;  // flushed
+
+  EXPECT_EQ(shell.Execute("CACHE ON"), "ok: cache on");
+  EXPECT_NE(shell.Execute("CACHE SIDEWAYS").find("error:"), std::string::npos);
+}
+
+TEST(CacheShellTest, ExplainAnalyzeShowsHit) {
+  Database db;
+  db.reuse_cache().SetEnabled(true);
+  CommandShell shell(&db);
+  (void)shell.Execute("CREATE TABLE t (id INT, v INT);");
+  (void)shell.Execute("INSERT INTO t VALUES (1, 10);");
+  (void)shell.Execute("EXPLAIN ANALYZE SELECT t.v FROM t WHERE id = 1;");
+  const std::string second =
+      shell.Execute("EXPLAIN ANALYZE SELECT t.v FROM t WHERE id = 1;");
+  EXPECT_NE(second.find("cache"), std::string::npos) << second;
+}
+
+}  // namespace
+}  // namespace mmdb

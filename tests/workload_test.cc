@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <set>
 
 #include "src/workload/generator.h"
@@ -133,6 +135,129 @@ TEST(WorkloadTest, DeterministicForSeed) {
   ColumnData ca = a.Generate({500, 30, 0.4});
   ColumnData cb = b.Generate({500, 30, 0.4});
   EXPECT_EQ(ca.values, cb.values);
+}
+
+TEST(ZipfTest, RanksInRange) {
+  Rng rng(1);
+  ZipfGenerator zipf(1000, 0.99);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t r = zipf.Next(&rng);
+    EXPECT_LT(r, 1000u);
+  }
+}
+
+TEST(ZipfTest, SkewOrdersRankFrequencies) {
+  // Under theta=0.99 rank 0 must dominate rank 10 which dominates rank 100.
+  Rng rng(2);
+  ZipfGenerator zipf(1000, 0.99);
+  std::vector<int> freq(1000, 0);
+  for (int i = 0; i < 200000; ++i) freq[zipf.Next(&rng)]++;
+  EXPECT_GT(freq[0], freq[10]);
+  EXPECT_GT(freq[10], freq[100]);
+  // YCSB-style skew: the hottest 10 ranks draw a large share of the mass.
+  int top10 = 0;
+  for (int i = 0; i < 10; ++i) top10 += freq[i];
+  EXPECT_GT(top10, 200000 / 4);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  Rng rng(3);
+  ZipfGenerator zipf(100, 0.0);
+  std::vector<int> freq(100, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) freq[zipf.Next(&rng)]++;
+  // Every rank within 3x of the expected uniform count.
+  for (int f : freq) {
+    EXPECT_GT(f, draws / 100 / 3);
+    EXPECT_LT(f, draws / 100 * 3);
+  }
+}
+
+TEST(ZipfTest, SingleElementDomain) {
+  Rng rng(4);
+  ZipfGenerator zipf(1, 0.99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Next(&rng), 0u);
+}
+
+TEST(OpMixTest, RatiosConverge) {
+  MixSpec spec;
+  spec.key_domain = 10000;
+  spec.read_pct = 90.0;
+  spec.point_pct = 75.0;
+  spec.insert_pct = 50.0;
+  OpMixGenerator gen(spec, 11);
+  int reads = 0, points = 0, scans = 0, inserts = 0, updates = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const MixedOp op = gen.Next();
+    switch (op.kind) {
+      case MixedOp::Kind::kPointRead: ++reads; ++points; break;
+      case MixedOp::Kind::kScanRead: ++scans; ++reads; break;
+      case MixedOp::Kind::kInsert: ++inserts; break;
+      case MixedOp::Kind::kUpdate: ++updates; break;
+    }
+  }
+  EXPECT_NEAR(double(reads) / n, 0.90, 0.01);
+  EXPECT_NEAR(double(points) / reads, 0.75, 0.01);
+  EXPECT_NEAR(double(inserts) / (inserts + updates), 0.50, 0.02);
+  EXPECT_GT(scans, 0);
+}
+
+TEST(OpMixTest, KeysInDomainAndScansBounded) {
+  MixSpec spec;
+  spec.key_domain = 5000;
+  spec.scan_width = 64;
+  OpMixGenerator gen(spec, 12);
+  for (int i = 0; i < 20000; ++i) {
+    const MixedOp op = gen.Next();
+    EXPECT_GE(op.key, 0);
+    EXPECT_LT(op.key, 5000);
+    if (op.kind == MixedOp::Kind::kScanRead) {
+      EXPECT_EQ(op.key_hi, op.key + 64);
+    }
+    EXPECT_LT(op.template_id, 1u);  // default templates=1
+  }
+}
+
+TEST(OpMixTest, SkewConcentratesKeys) {
+  // A 0.99-theta mix must revisit its hottest key far more often than a
+  // uniform mix over the same domain — that repetition is what makes the
+  // reuse cache pay off.
+  auto hottest_share = [](double theta) {
+    MixSpec spec;
+    spec.key_domain = 10000;
+    spec.zipf_theta = theta;
+    OpMixGenerator gen(spec, 13);
+    std::map<int64_t, int> freq;
+    for (int i = 0; i < 50000; ++i) freq[gen.Next().key]++;
+    int hottest = 0;
+    for (const auto& [k, f] : freq) hottest = std::max(hottest, f);
+    return double(hottest) / 50000;
+  };
+  EXPECT_GT(hottest_share(0.99), 10 * hottest_share(0.0));
+}
+
+TEST(OpMixTest, TemplatesRotate) {
+  MixSpec spec;
+  spec.templates = 4;
+  OpMixGenerator gen(spec, 14);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(gen.Next().template_id);
+  EXPECT_EQ(seen.size(), 4u);
+  for (uint32_t t : seen) EXPECT_LT(t, 4u);
+}
+
+TEST(OpMixTest, DeterministicForSeed) {
+  MixSpec spec;
+  spec.read_pct = 80.0;
+  OpMixGenerator a(spec, 99), b(spec, 99);
+  for (int i = 0; i < 1000; ++i) {
+    const MixedOp x = a.Next(), y = b.Next();
+    EXPECT_EQ(x.kind, y.kind);
+    EXPECT_EQ(x.key, y.key);
+    EXPECT_EQ(x.key_hi, y.key_hi);
+    EXPECT_EQ(x.template_id, y.template_id);
+  }
 }
 
 }  // namespace
