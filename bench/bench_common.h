@@ -9,8 +9,12 @@
 #define MMDB_BENCH_BENCH_COMMON_H_
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -158,8 +162,81 @@ inline int RunBenchmarkMain(const char* name, int argc, char** argv) {
   return 0;
 }
 
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 16);
+  for (char c : s) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// The --json convention for the printf-style report benches (Graph 3's
+/// distribution table, Table 1's storage costs): runs `fn` with stdout
+/// captured, re-prints the report, and writes BENCH_<name>.json holding
+/// the text — so *every* bench produces a machine-collectable artifact.
+inline int RunTextReportMain(const char* name, int argc, char** argv,
+                             void (*fn)()) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] != nullptr && std::string(argv[i]) == "--json") json = true;
+  }
+  if (!json) {
+    fn();
+    return 0;
+  }
+  const std::string tmp_path = std::string("BENCH_") + name + ".capture";
+  std::fflush(stdout);
+  const int saved = ::dup(::fileno(stdout));
+  if (saved < 0 || std::freopen(tmp_path.c_str(), "w", stdout) == nullptr) {
+    fn();  // capture unavailable; still run
+    return 0;
+  }
+  fn();
+  std::fflush(stdout);
+  ::dup2(saved, ::fileno(stdout));
+  ::close(saved);
+
+  std::ifstream in(tmp_path);
+  std::stringstream captured;
+  captured << in.rdbuf();
+  in.close();
+  std::remove(tmp_path.c_str());
+  const std::string text = captured.str();
+  std::fputs(text.c_str(), stdout);
+
+  const std::string json_path = std::string("BENCH_") + name + ".json";
+  std::ofstream out(json_path);
+  out << "{\n  \"name\": \"" << name << "\",\n"
+      << "  \"format\": \"text_report\",\n"
+      << "  \"report\": \"" << JsonEscape(text) << "\"\n}\n";
+  return 0;
+}
+
 }  // namespace bench
 }  // namespace mmdb
+
+/// main() for printf-style report benches, honoring --json via
+/// RunTextReportMain; `fn` is a void() report printer.
+#define MMDB_BENCH_TEXT_MAIN(name, fn)                                 \
+  int main(int argc, char** argv) {                                    \
+    return ::mmdb::bench::RunTextReportMain(#name, argc, argv, (fn));  \
+  }                                                                    \
+  static_assert(true, "require a trailing semicolon")
 
 /// BENCHMARK_MAIN() with the --json convention; `name` keys the output
 /// file (BENCH_<name>.json).

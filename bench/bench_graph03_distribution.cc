@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "src/workload/generator.h"
 
 namespace mmdb {
@@ -39,7 +40,4 @@ void Run() {
 }  // namespace
 }  // namespace mmdb
 
-int main() {
-  mmdb::Run();
-  return 0;
-}
+MMDB_BENCH_TEXT_MAIN(bench_graph03_distribution, &mmdb::Run);

@@ -11,8 +11,11 @@
 //   * NetOpenLoop — sweeps connection counts (8 .. 256 — the >=128
 //     concurrent-pipelined-connections acceptance point lives here) with a
 //     fixed per-connection burst of point selects.  Reported counters:
-//     qps (completed/sec), offered (sent/sec), shed (kOverloaded), and
-//     lat_p50/p95/p99/max_us from per-request send->response timestamps.
+//     qps (completed/sec), offered (sent/sec), shed (kOverloaded),
+//     lat_p50/p95/p99/max_us from per-request send->response timestamps,
+//     and the server-echoed decomposition srv_{queue,lock,exec,commit}_us
+//     (means) with net_overhead_us = client mean - server-side total —
+//     the client-vs-server latency split, in both console and --json.
 //   * NetPipelineDepth — one connection, sweeping the client-side pipeline
 //     bound: depth 1 is the classic request/response round trip; deeper
 //     pipelines amortize the wire and show where the server's
@@ -91,6 +94,26 @@ Operation PointSelect(int id) {
   return Operation(std::move(s));
 }
 
+/// Sum of the server-reported per-request breakdown (each OpResult echoes
+/// queue/lock/exec/commit micros in the response frame) — subtracting the
+/// server-side total from the client-observed latency isolates the wire +
+/// client-stack overhead.
+struct ServerMicros {
+  std::atomic<uint64_t> queue{0};
+  std::atomic<uint64_t> lock{0};
+  std::atomic<uint64_t> exec{0};
+  std::atomic<uint64_t> commit{0};
+  std::atomic<uint64_t> count{0};
+
+  void Accumulate(const OpResult& r) {
+    queue.fetch_add(r.queue_us, std::memory_order_relaxed);
+    lock.fetch_add(r.lock_us, std::memory_order_relaxed);
+    exec.fetch_add(r.exec_us, std::memory_order_relaxed);
+    commit.fetch_add(r.commit_us, std::memory_order_relaxed);
+    count.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
 /// One connection of the open-loop generator: the sender stamps each
 /// request id with a Timer; the receiver thread looks the stamp up and
 /// records the full wire+queue+execute+wire latency.
@@ -105,8 +128,8 @@ struct OpenLoopConn {
 };
 
 /// Drains `expect` responses, classifying completions vs. typed shed.
-void DrainResponses(OpenLoopConn& conn, uint64_t expect,
-                    LatencyHistogram& lat) {
+void DrainResponses(OpenLoopConn& conn, uint64_t expect, LatencyHistogram& lat,
+                    ServerMicros* srv = nullptr) {
   for (uint64_t i = 0; i < expect; ++i) {
     Response r;
     if (!conn.client.Receive(&r).ok()) {
@@ -135,6 +158,7 @@ void DrainResponses(OpenLoopConn& conn, uint64_t expect,
       continue;
     }
     conn.completed.fetch_add(1, std::memory_order_relaxed);
+    if (srv != nullptr) srv->Accumulate(r.result);
     if (stamped) lat.Record(static_cast<double>(started.ElapsedMicros()));
   }
 }
@@ -185,6 +209,7 @@ void BM_NetOpenLoop(benchmark::State& state) {
   }
 
   LatencyHistogram lat;
+  ServerMicros srv;
   uint64_t offered = 0;
   for (auto _ : state) {
     std::vector<std::thread> threads;
@@ -197,7 +222,7 @@ void BM_NetOpenLoop(benchmark::State& state) {
                             std::chrono::microseconds(0));
       });
       threads.emplace_back(
-          [&, i] { DrainResponses(*pool[i], ops_per_conn, lat); });
+          [&, i] { DrainResponses(*pool[i], ops_per_conn, lat, &srv); });
     }
     for (auto& t : threads) t.join();
     for (uint64_t s : sent) offered += s;
@@ -227,6 +252,26 @@ void BM_NetOpenLoop(benchmark::State& state) {
   state.counters["lat_p99_us"] =
       static_cast<double>(snap.PercentileMicros(0.99));
   state.counters["lat_max_us"] = static_cast<double>(snap.max_micros);
+
+  // Client-vs-server latency decomposition from the breakdown each
+  // response echoes: where did the client-observed mean actually go?
+  const double n = static_cast<double>(srv.count.load());
+  if (n > 0) {
+    const double srv_queue = static_cast<double>(srv.queue.load()) / n;
+    const double srv_lock = static_cast<double>(srv.lock.load()) / n;
+    const double srv_exec = static_cast<double>(srv.exec.load()) / n;
+    const double srv_commit = static_cast<double>(srv.commit.load()) / n;
+    const double srv_total = srv_queue + srv_lock + srv_exec + srv_commit;
+    state.counters["srv_queue_us"] = srv_queue;
+    state.counters["srv_lock_us"] = srv_lock;
+    state.counters["srv_exec_us"] = srv_exec;
+    state.counters["srv_commit_us"] = srv_commit;
+    state.counters["srv_total_us"] = srv_total;
+    // Wire + client-stack share of the mean round trip (clamped: the two
+    // clocks are different, so tiny negatives are possible at the floor).
+    const double overhead = snap.MeanMicros() - srv_total;
+    state.counters["net_overhead_us"] = overhead > 0 ? overhead : 0;
+  }
 }
 BENCHMARK(BM_NetOpenLoop)
     ->Arg(8)

@@ -78,7 +78,4 @@ void Run() {
 }  // namespace bench
 }  // namespace mmdb
 
-int main() {
-  mmdb::bench::Run();
-  return 0;
-}
+MMDB_BENCH_TEXT_MAIN(bench_table1_storage, &mmdb::bench::Run);

@@ -1,0 +1,60 @@
+// mmdb_scrape: a tiny operator CLI that pulls the observability endpoints
+// from a running server over the binary wire protocol (kAdminRequest
+// frames) — the same text `curl http://host:port/<endpoint>` returns via
+// the HTTP shim, but exercising the native path.
+//
+//   $ ./mmdb_scrape 127.0.0.1 7700 metrics   # Prometheus exposition
+//   $ ./mmdb_scrape 127.0.0.1 7700 status    # health one-pager
+//   $ ./mmdb_scrape 127.0.0.1 7700 slowlog   # recent slow queries
+//   $ ./mmdb_scrape 127.0.0.1 7700 flight    # flight-recorder snapshot
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/net/client.h"
+#include "src/net/wire_format.h"
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr, "usage: %s <host> <port> metrics|status|slowlog|flight\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string host = argv[1];
+  const int port = std::atoi(argv[2]);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "error: bad port '%s'\n", argv[2]);
+    return 2;
+  }
+  const std::string what = argv[3];
+  mmdb::net::AdminKind kind;
+  if (what == "metrics") {
+    kind = mmdb::net::AdminKind::kMetrics;
+  } else if (what == "status") {
+    kind = mmdb::net::AdminKind::kStatus;
+  } else if (what == "slowlog") {
+    kind = mmdb::net::AdminKind::kSlowLog;
+  } else if (what == "flight") {
+    kind = mmdb::net::AdminKind::kFlight;
+  } else {
+    std::fprintf(stderr, "error: unknown endpoint '%s'\n", what.c_str());
+    return 2;
+  }
+
+  mmdb::net::Client client;
+  mmdb::Status s = client.Connect(host, static_cast<uint16_t>(port));
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::string text;
+  s = client.Admin(kind, &text);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::fputs(text.c_str(), stdout);
+  if (!text.empty() && text.back() != '\n') std::fputc('\n', stdout);
+  return 0;
+}

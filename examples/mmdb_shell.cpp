@@ -16,15 +16,42 @@
 // same tables:
 //
 //   $ ./mmdb_shell --serve 7700
+//
+// SIGUSR1 dumps the flight recorder + slow-query log without interrupting
+// anything: the handler just sets a flag; the watchdog tick (when serving)
+// or the REPL loop performs the dump.
+//
+//   $ kill -USR1 $(pidof mmdb_shell)
 
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <string>
 
 #include "src/core/database.h"
 #include "src/core/shell.h"
+#include "src/server/flight_recorder.h"
+
+namespace {
+
+extern "C" void OnSigusr1(int) { mmdb::flight::RequestDump(); }
+
+/// REPL-side dump service: when no watchdog thread is running (not
+/// serving), the prompt loop consumes the SIGUSR1 flag between statements.
+void MaybeDump() {
+  if (!mmdb::flight::ConsumePendingDump()) return;
+  std::fprintf(stderr, "--- flight recorder dump (SIGUSR1) ---\n%s\n%s\n",
+               mmdb::flight::SlowLogText().c_str(),
+               mmdb::flight::FlightText().c_str());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
+  std::signal(SIGUSR1, OnSigusr1);
+
   mmdb::Database db;
   mmdb::CommandShell shell(&db);
 
@@ -39,6 +66,7 @@ int main(int argc, char** argv) {
       std::printf("%s\n", shell.Execute("SERVE " + serve_port).c_str());
     }
     std::fputs(shell.ExecuteScript(argv[arg + 1]).c_str(), stdout);
+    MaybeDump();
     return 0;
   }
   if (argc != arg) {
@@ -57,6 +85,7 @@ int main(int argc, char** argv) {
   std::printf("mmdb> ");
   std::fflush(stdout);
   while (std::getline(std::cin, line)) {
+    MaybeDump();
     buffer += line;
     buffer += '\n';
     if (line.find(';') != std::string::npos) {
@@ -69,5 +98,14 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   std::printf("\n");
+  if (!serve_port.empty()) {
+    // Backgrounded `--serve` with stdin at EOF (CI, daemonized runs): keep
+    // the server up until SIGINT/SIGTERM instead of exiting with stdin.
+    std::fprintf(stderr, "stdin closed; still serving (Ctrl-C to stop)\n");
+    for (;;) {
+      pause();
+      MaybeDump();
+    }
+  }
   return 0;
 }

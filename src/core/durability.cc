@@ -44,6 +44,11 @@ uint64_t DurabilityManager::durable_lsn() const {
   return durable_lsn_;
 }
 
+uint64_t DurabilityManager::appended_lsn() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return appended_lsn_;
+}
+
 uint64_t DurabilityManager::checkpoint_lsn() const {
   std::lock_guard<std::mutex> lock(wal_mu_);
   return checkpoint_lsn_;

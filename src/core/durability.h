@@ -110,6 +110,9 @@ class DurabilityManager {
   DurabilityMode mode() const { return options_.mode; }
   const DurabilityOptions& options() const { return options_; }
   uint64_t durable_lsn() const;
+  /// Highest LSN appended to the WAL; appended - durable is the fsync lag a
+  /// STATUS scrape reports as `wal_lag`.
+  uint64_t appended_lsn() const;
   uint64_t checkpoint_lsn() const;
   /// True once a WAL append/fsync has failed; no further write is ever
   /// acknowledged (the torn tail must stay the end of the stream).

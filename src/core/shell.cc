@@ -7,6 +7,7 @@
 #include "src/core/query.h"
 #include "src/exec/select.h"
 #include "src/net/server.h"
+#include "src/server/flight_recorder.h"
 #include "src/server/query_service.h"
 #include "src/util/counters.h"
 #include "src/util/trace.h"
@@ -266,6 +267,9 @@ std::string CommandShell::Execute(const std::string& statement) {
     if (head == "CACHE") return RunCache(t);
     if (head == "TRACE") return RunTrace(t);
     if (head == "SERVE") return RunServe(t);
+    if (head == "SLOWLOG") return RunSlowLog();
+    if (head == "FLIGHT") return RunFlight();
+    if (head == "STATUS") return RunStatus();
     if (head == "CHECKPOINT") {
       Status s = db_->CheckpointNow();
       if (!s.ok()) return "error: " + s.ToString();
@@ -699,6 +703,28 @@ std::string CommandShell::RunServe(const std::vector<Token>& t) {
   serve_service_ = std::move(service);
   serve_server_ = std::move(server);
   return "ok: serving on port " + std::to_string(serve_server_->port());
+}
+
+std::string CommandShell::RunSlowLog() { return flight::SlowLogText(); }
+
+std::string CommandShell::RunFlight() { return flight::FlightText(); }
+
+std::string CommandShell::RunStatus() {
+  // The full one-pager needs a QueryService (queue depth, workers, WAL
+  // lag...); without an active SERVE, report what the process still knows.
+  if (serve_service_ != nullptr) {
+    return serve_service_->StatusText() + "serving_port: " +
+           std::to_string(serve_server_->port());
+  }
+  std::ostringstream os;
+  const cache::CacheStats cs = db_->reuse_cache().Stats();
+  os << "serving: off\n"
+     << "flight_recorded: " << flight::TotalRecorded() << "\n"
+     << "flight_slow: " << flight::TotalSlow() << "\n"
+     << "cache_enabled: " << (cs.enabled ? 1 : 0) << "\n"
+     << "cache_entries: " << cs.entries << "\n"
+     << "cache_bytes: " << cs.bytes;
+  return os.str();
 }
 
 }  // namespace mmdb

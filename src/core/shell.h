@@ -21,6 +21,9 @@
 //   CACHE ON; CACHE OFF; CACHE STATS;    -- reuse cache toggle / counters
 //   TRACE ON; TRACE OFF;                 -- toggle span recording
 //   TRACE DUMP 'trace.json';             -- chrome://tracing JSON
+//   SLOWLOG;                             -- recent over-threshold requests
+//   FLIGHT;                              -- flight-recorder ring snapshot
+//   STATUS;                              -- server health one-pager
 //   SERVE 7700;                          -- expose this db over TCP
 //   SERVE 0;                             -- ... on an ephemeral port
 //   SERVE OFF;                           -- stop serving
@@ -91,6 +94,9 @@ class CommandShell {
   std::string RunCache(const std::vector<Token>& t);
   std::string RunTrace(const std::vector<Token>& t);
   std::string RunServe(const std::vector<Token>& t);
+  std::string RunSlowLog();
+  std::string RunFlight();
+  std::string RunStatus();
 
   Database* db_;
   /// SERVE state: a query service + network front end over db_.  The

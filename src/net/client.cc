@@ -8,7 +8,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+
+#include "src/util/hash.h"
 
 namespace mmdb {
 namespace net {
@@ -35,6 +38,14 @@ Status Client::Connect(const std::string& host, uint16_t port) {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   fd_ = fd;
+  // Per-connection salt so generated trace ids from different clients (or
+  // reconnects) don't collide even though each counts requests from 1.
+  trace_base_ = HashMix64(
+      static_cast<uint64_t>(std::chrono::steady_clock::now()
+                                .time_since_epoch()
+                                .count()) ^
+      (static_cast<uint64_t>(fd) << 48) ^
+      reinterpret_cast<uintptr_t>(this));
   return Status::Ok();
 }
 
@@ -48,13 +59,19 @@ void Client::Close() {
 // ---- Send side --------------------------------------------------------------
 
 Status Client::SendFrame(FrameType type, const std::string& payload,
-                         uint64_t* request_id) {
+                         uint64_t* request_id, uint64_t trace_id,
+                         uint64_t* trace_id_out) {
   std::lock_guard<std::mutex> lock(send_mu_);
   if (fd_ < 0) return Status::FailedPrecondition("not connected");
   const uint64_t id = next_id_++;
   if (request_id != nullptr) *request_id = id;
+  if (trace_id == 0 && type == FrameType::kRequest) {
+    trace_id = HashMix64(trace_base_ + id);
+    if (trace_id == 0) trace_id = 1;
+  }
+  if (trace_id_out != nullptr) *trace_id_out = trace_id;
   std::string frame;
-  EncodeFrame(type, id, payload, &frame);
+  EncodeFrame(type, id, trace_id, payload, &frame);
   size_t off = 0;
   while (off < frame.size()) {
     const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off,
@@ -70,12 +87,14 @@ Status Client::SendFrame(FrameType type, const std::string& payload,
   return Status::Ok();
 }
 
-Status Client::Send(const Operation& op, uint64_t* request_id) {
+Status Client::Send(const Operation& op, uint64_t* request_id,
+                    uint64_t trace_id, uint64_t* trace_id_out) {
   std::string payload;
   if (!EncodeOperation(op, &payload)) {
     return Status::InvalidArgument("operation not encodable (pointer value?)");
   }
-  return SendFrame(FrameType::kRequest, payload, request_id);
+  return SendFrame(FrameType::kRequest, payload, request_id, trace_id,
+                   trace_id_out);
 }
 
 // ---- Receive side -----------------------------------------------------------
@@ -89,6 +108,9 @@ Status Client::ReadFrame(Frame* frame) {
         return Status::Ok();
       case FrameBuffer::Result::kCorrupt:
         return Status::Internal("corrupt frame from server: " + error);
+      case FrameBuffer::Result::kUnsupportedVersion:
+        return Status::Internal("unsupported frame version from server: " +
+                                error);
       case FrameBuffer::Result::kNeedMore:
         break;
     }
@@ -116,6 +138,7 @@ Status Client::ReadFrame(Frame* frame) {
 
 bool Client::FrameToResponse(const Frame& frame, Response* out) {
   out->request_id = frame.request_id;
+  out->trace_id = frame.trace_id;
   switch (frame.type) {
     case FrameType::kResponse:
       out->is_error = false;
@@ -149,10 +172,10 @@ Status Client::Receive(Response* out) {
   }
 }
 
-Response Client::Call(const Operation& op) {
+Response Client::Call(const Operation& op, uint64_t trace_id) {
   Response resp;
   uint64_t id = 0;
-  Status s = Send(op, &id);
+  Status s = Send(op, &id, trace_id);
   if (!s.ok()) {
     resp.result.status = s;
     return resp;
@@ -188,6 +211,35 @@ Response Client::Call(const Operation& op) {
       return r;
     }
     parked_.push_back(std::move(r));  // out-of-order pipelined completion
+  }
+}
+
+Status Client::Admin(AdminKind kind, std::string* text) {
+  uint64_t id = 0;
+  const std::string payload(1, static_cast<char>(kind));
+  Status s = SendFrame(FrameType::kAdminRequest, payload, &id);
+  if (!s.ok()) return s;
+  std::lock_guard<std::mutex> lock(recv_mu_);
+  for (;;) {
+    Frame frame;
+    s = ReadFrame(&frame);
+    if (!s.ok()) return s;
+    if (frame.type == FrameType::kAdminResponse && frame.request_id == id) {
+      *text = std::move(frame.payload);
+      return Status::Ok();
+    }
+    if (frame.type == FrameType::kError && frame.request_id == id) {
+      WireErrorCode code = WireErrorCode::kProtocolError;
+      std::string message;
+      DecodeError(frame.payload, &code, &message);
+      return Status::InvalidArgument("admin request refused: " + message);
+    }
+    if (frame.type == FrameType::kPong) continue;
+    Response r;
+    if (FrameToResponse(frame, &r)) {
+      if (r.request_id != 0) ++received_;
+      parked_.push_back(std::move(r));
+    }
   }
 }
 

@@ -33,6 +33,7 @@ namespace net {
 /// or a typed error frame (kError — shed load / protocol violation).
 struct Response {
   uint64_t request_id = 0;
+  uint64_t trace_id = 0;  ///< echoed from the request's wire header
   bool is_error = false;
   WireErrorCode error_code = WireErrorCode::kProtocolError;  ///< when is_error
   std::string error_message;                                 ///< when is_error
@@ -60,11 +61,21 @@ class Client {
 
   /// Synchronous round trip: Send + Receive until this request's response
   /// arrives (other pipelined responses are parked for later Receive).
-  Response Call(const Operation& op);
+  /// `trace_id` is the end-to-end identity carried in the wire header,
+  /// echoed in the response, and stamped on every server-side span /
+  /// flight record; 0 = the client picks a fresh one.
+  Response Call(const Operation& op, uint64_t trace_id = 0);
 
-  /// Pipelined send; returns the assigned request id via *request_id
-  /// (may be null).  Does not wait for any response.
-  Status Send(const Operation& op, uint64_t* request_id = nullptr);
+  /// Pipelined send; returns the assigned request id via *request_id and
+  /// the trace id actually used via *trace_id_out (either may be null).
+  /// Does not wait for any response.
+  Status Send(const Operation& op, uint64_t* request_id = nullptr,
+              uint64_t trace_id = 0, uint64_t* trace_id_out = nullptr);
+
+  /// Admin round trip: fetches METRICS / STATUS / SLOWLOG / FLIGHT text
+  /// over the binary protocol (kAdminRequest/kAdminResponse).  Pipelined
+  /// query responses arriving meanwhile are parked for later Receive.
+  Status Admin(AdminKind kind, std::string* text);
 
   /// Blocks for the next response on the wire (or a parked one), in server
   /// completion order — not necessarily send order.
@@ -79,7 +90,8 @@ class Client {
 
  private:
   Status SendFrame(FrameType type, const std::string& payload,
-                   uint64_t* request_id);
+                   uint64_t* request_id, uint64_t trace_id = 0,
+                   uint64_t* trace_id_out = nullptr);
   /// Reads one frame off the socket into *frame.
   Status ReadFrame(Frame* frame);
   static bool FrameToResponse(const Frame& frame, Response* out);
@@ -90,6 +102,7 @@ class Client {
   mutable std::mutex send_mu_;
   uint64_t next_id_ = 1;
   uint64_t sent_ = 0;
+  uint64_t trace_base_ = 0;  ///< per-connection salt for generated trace ids
 
   mutable std::mutex recv_mu_;
   FrameBuffer in_;

@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include "src/core/database.h"
+#include "src/server/flight_recorder.h"
 #include "src/server/query_service.h"
 #include "src/util/metrics.h"
 #include "src/util/timer.h"
@@ -28,6 +29,10 @@ using SteadyClock = std::chrono::steady_clock;
 /// Read buffer chunk; the loop keeps reading chunks until EAGAIN, so this
 /// bounds syscall granularity, not message size.
 constexpr size_t kReadChunk = 64 * 1024;
+
+/// HTTP shim request cap: a scrape GET is a few hundred bytes; anything
+/// bigger is not a scraper.
+constexpr size_t kMaxHttpRequest = 8 * 1024;
 }  // namespace
 
 // ---- Metrics ----------------------------------------------------------------
@@ -43,9 +48,12 @@ struct Server::Metrics {
   Counter* bytes_in;
   Counter* bytes_out;
   Counter* protocol_errors;
+  Counter* unsupported_version;  ///< wire-v1 frames answered with the typed error
   Counter* idle_closed;
   Counter* requests;
   Counter* responses;
+  Counter* admin_requests;  ///< METRICS/STATUS/SLOWLOG/FLIGHT over binary
+  Counter* http_requests;   ///< GETs served by the plaintext scrape shim
   Gauge* connections;
   Gauge* connections_hwm;
   Gauge* pipeline_depth_hwm;
@@ -67,9 +75,13 @@ struct Server::Metrics {
         bytes_in(r->GetCounter("mmdb_net_bytes_in_total")),
         bytes_out(r->GetCounter("mmdb_net_bytes_out_total")),
         protocol_errors(r->GetCounter("mmdb_net_protocol_errors_total")),
+        unsupported_version(
+            r->GetCounter("mmdb_net_unsupported_version_total")),
         idle_closed(r->GetCounter("mmdb_net_idle_closed_total")),
         requests(r->GetCounter("mmdb_net_requests_total")),
         responses(r->GetCounter("mmdb_net_responses_total")),
+        admin_requests(r->GetCounter("mmdb_net_admin_requests_total")),
+        http_requests(r->GetCounter("mmdb_net_http_requests_total")),
         connections(r->GetGauge("mmdb_net_connections")),
         connections_hwm(r->GetGauge("mmdb_net_connections_hwm")),
         pipeline_depth_hwm(r->GetGauge("mmdb_net_pipeline_depth_hwm")),
@@ -89,6 +101,14 @@ struct Server::Connection {
   Session* session = nullptr;  ///< per-connection service session
 
   // Loop-thread-only state.
+  /// Protocol sniffed from the connection's first bytes: the "MMDB" magic
+  /// (or anything that is not an HTTP method — it then fails CRC with a
+  /// typed error) selects the binary protocol; "GET "/"HEAD" selects the
+  /// plaintext-HTTP scrape shim.
+  enum class Proto : uint8_t { kUnknown, kBinary, kHttp };
+  Proto proto = Proto::kUnknown;
+  std::string sniff;     ///< first bytes held until the protocol is known
+  std::string http_buf;  ///< accumulated HTTP request (kHttp only)
   FrameBuffer in;
   uint32_t interest = 0;       ///< events currently armed in epoll
   bool registered = false;     ///< fd is (still) in the epoll set
@@ -173,6 +193,14 @@ Status Server::Start() {
   ev.data.fd = wake_fd_;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
 
+  // Heartbeat for the loop thread: a wedged epoll loop is reported by the
+  // service's watchdog exactly like a stalled worker.
+  if (loop_beat_ == nullptr && service_->watchdog() != nullptr) {
+    loop_beat_ = service_->watchdog()->RegisterLoop("net_loop");
+  } else if (loop_beat_ != nullptr) {
+    loop_beat_->Resume();  // restarted server: re-arm from now
+  }
+
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   loop_ = std::thread([this] { Loop(); });
@@ -225,6 +253,7 @@ void Server::Loop() {
   bool listen_closed = false;
 
   for (;;) {
+    if (loop_beat_ != nullptr) loop_beat_->Pulse();
     const bool stopping = stopping_.load(std::memory_order_acquire);
     if (stopping && !listen_closed) {
       ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
@@ -240,6 +269,13 @@ void Server::Loop() {
     } else if (options_.idle_timeout.count() > 0) {
       timeout_ms = static_cast<int>(std::clamp<int64_t>(
           options_.idle_timeout.count() / 2, 1, 50));
+    }
+    if (loop_beat_ != nullptr) {
+      // An idle wait must stay well inside the watchdog deadline, or a
+      // healthy-but-eventless loop reads as wedged.
+      const int64_t cap = std::max<int64_t>(
+          service_->watchdog()->options().deadline.count() / 4, 1);
+      timeout_ms = static_cast<int>(std::min<int64_t>(timeout_ms, cap));
     }
     const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
     if (n < 0 && errno != EINTR) break;
@@ -288,6 +324,7 @@ void Server::Loop() {
     CloseConnection(conn);
   }
   conns_.clear();
+  if (loop_beat_ != nullptr) loop_beat_->Retire();
 }
 
 void Server::HandleListen() {
@@ -304,7 +341,7 @@ void Server::HandleListen() {
       std::string payload, frame;
       EncodeError(WireErrorCode::kTooManyConnections,
                   "connection cap reached", &payload);
-      EncodeFrame(FrameType::kError, 0, payload, &frame);
+      EncodeFrame(FrameType::kError, 0, 0, payload, &frame);
       [[maybe_unused]] ssize_t n = ::write(fd, frame.data(), frame.size());
       ::close(fd);
       continue;
@@ -363,6 +400,33 @@ void Server::HandleEvent(uint32_t events, std::shared_ptr<Connection> conn) {
   if (options_.oneshot) UpdateInterest(conn.get());
 }
 
+void Server::IngestBytes(Connection* conn, const char* data, size_t n) {
+  switch (conn->proto) {
+    case Connection::Proto::kBinary:
+      conn->in.Append(data, n);
+      return;
+    case Connection::Proto::kHttp:
+      conn->http_buf.append(data, n);
+      return;
+    case Connection::Proto::kUnknown:
+      break;
+  }
+  conn->sniff.append(data, n);
+  if (conn->sniff.size() < 4) return;  // not enough to sniff yet
+  if (conn->sniff.compare(0, 4, "GET ") == 0 ||
+      conn->sniff.compare(0, 4, "HEAD") == 0) {
+    conn->proto = Connection::Proto::kHttp;
+    conn->http_buf = std::move(conn->sniff);
+  } else {
+    // "MMDB" magic — or garbage, which the frame decoder then rejects
+    // with the usual typed protocol error.
+    conn->proto = Connection::Proto::kBinary;
+    conn->in.Append(conn->sniff.data(), conn->sniff.size());
+  }
+  conn->sniff.clear();
+  conn->sniff.shrink_to_fit();
+}
+
 bool Server::ReadAndDispatch(const std::shared_ptr<Connection>& conn) {
   trace::Span span("net_read");
   char buf[kReadChunk];
@@ -370,7 +434,7 @@ bool Server::ReadAndDispatch(const std::shared_ptr<Connection>& conn) {
     const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
     if (n > 0) {
       metrics_->bytes_in->Add(static_cast<uint64_t>(n));
-      conn->in.Append(buf, static_cast<size_t>(n));
+      IngestBytes(conn.get(), buf, static_cast<size_t>(n));
       if (static_cast<size_t>(n) < sizeof(buf) && !options_.edge_triggered) {
         break;  // short read: level-triggered epoll will re-notify
       }
@@ -380,6 +444,12 @@ bool Server::ReadAndDispatch(const std::shared_ptr<Connection>& conn) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
     return false;  // hard error
+  }
+
+  if (conn->proto == Connection::Proto::kUnknown) return true;  // < 4 bytes
+  if (conn->proto == Connection::Proto::kHttp) {
+    if (!HandleHttp(conn)) return false;
+    return Flush(conn);
   }
 
   // Carve and dispatch every complete frame that arrived.
@@ -393,8 +463,25 @@ bool Server::ReadAndDispatch(const std::shared_ptr<Connection>& conn) {
       // The stream is unusable (framing lost): answer with a typed
       // protocol error, flush it, then close.
       metrics_->protocol_errors->Add();
-      SendError(conn, 0, WireErrorCode::kProtocolError, error);
+      SendError(conn, 0, 0, WireErrorCode::kProtocolError, error);
       std::lock_guard<std::mutex> lock(conn->mu);
+      conn->close_after_flush = true;
+      break;
+    }
+    if (r == FrameBuffer::Result::kUnsupportedVersion) {
+      // A well-formed frame in the old wire version: answer with a typed
+      // kUnsupportedVersion error *in the sender's own framing* (v1), with
+      // its request id attached, so the old client reads a clean refusal
+      // instead of a CRC failure or a silent close.  Then close.
+      metrics_->unsupported_version->Add();
+      std::string payload, v1frame;
+      EncodeError(WireErrorCode::kUnsupportedVersion, error, &payload);
+      EncodeFrameV1(FrameType::kError, frame.request_id, payload, &v1frame);
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (!conn->closed) {
+        conn->out += v1frame;
+        metrics_->frames_out->Add();
+      }
       conn->close_after_flush = true;
       break;
     }
@@ -411,18 +498,108 @@ bool Server::ReadAndDispatch(const std::shared_ptr<Connection>& conn) {
   return Flush(conn);
 }
 
+// ---- HTTP scrape shim -------------------------------------------------------
+
+std::string Server::AdminText(AdminKind kind) {
+  switch (kind) {
+    case AdminKind::kMetrics:
+      return service_->MetricsText();
+    case AdminKind::kStatus: {
+      std::string text = service_->StatusText();
+      // Net-layer lines the service cannot see (loop-thread state).
+      text += "net_connections: " + std::to_string(conns_.size()) + "\n";
+      text += "net_connections_hwm: " + std::to_string(conns_hwm_) + "\n";
+      return text;
+    }
+    case AdminKind::kSlowLog:
+      return flight::SlowLogText();
+    case AdminKind::kFlight:
+      return flight::FlightText();
+  }
+  return "";
+}
+
+bool Server::HandleHttp(const std::shared_ptr<Connection>& conn) {
+  const size_t header_end = conn->http_buf.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    if (conn->http_buf.size() > kMaxHttpRequest) return false;  // not a scraper
+    return true;  // headers still arriving
+  }
+  metrics_->http_requests->Add();
+
+  const size_t line_end = conn->http_buf.find("\r\n");
+  const std::string line = conn->http_buf.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  const std::string method =
+      sp1 == std::string::npos ? line : line.substr(0, sp1);
+  std::string path = sp1 == std::string::npos || sp2 == std::string::npos
+                         ? std::string()
+                         : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  int code = 200;
+  std::string body;
+  if (path == "/metrics") {
+    body = AdminText(AdminKind::kMetrics);
+  } else if (path == "/status") {
+    body = AdminText(AdminKind::kStatus);
+  } else if (path == "/slowlog") {
+    body = AdminText(AdminKind::kSlowLog);
+  } else if (path == "/flight") {
+    body = AdminText(AdminKind::kFlight);
+  } else {
+    code = 404;
+    body = "not found; try /metrics /status /slowlog /flight\n";
+  }
+
+  std::string resp;
+  resp.reserve(body.size() + 160);
+  resp += code == 200 ? "HTTP/1.0 200 OK\r\n" : "HTTP/1.0 404 Not Found\r\n";
+  resp += "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+  resp += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  resp += "Connection: close\r\n\r\n";
+  if (method != "HEAD") resp += body;
+
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->closed) return false;
+  conn->out += resp;
+  conn->http_buf.clear();
+  conn->close_after_flush = true;  // one scrape per connection
+  return true;
+}
+
 void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
                            Frame frame) {
   switch (frame.type) {
     case FrameType::kPing:
-      QueueFrame(conn, FrameType::kPong, frame.request_id, {});
+      QueueFrame(conn, FrameType::kPong, frame.request_id, frame.trace_id, {});
       return;
+    case FrameType::kAdminRequest: {
+      // Scrape endpoints answered inline on the loop thread: the text is
+      // assembled from lock-free snapshots, so this cannot stall the loop.
+      if (frame.payload.size() != 1 ||
+          frame.payload[0] < static_cast<char>(AdminKind::kMetrics) ||
+          frame.payload[0] > static_cast<char>(AdminKind::kFlight)) {
+        metrics_->protocol_errors->Add();
+        SendError(conn, frame.request_id, frame.trace_id,
+                  WireErrorCode::kProtocolError, "malformed admin payload");
+        return;
+      }
+      metrics_->admin_requests->Add();
+      QueueFrame(conn, FrameType::kAdminResponse, frame.request_id,
+                 frame.trace_id,
+                 AdminText(static_cast<AdminKind>(frame.payload[0])));
+      return;
+    }
     case FrameType::kRequest:
       break;
     default: {
       // Clients must not send responses/errors/pongs.
       metrics_->protocol_errors->Add();
-      SendError(conn, frame.request_id, WireErrorCode::kProtocolError,
+      SendError(conn, frame.request_id, frame.trace_id,
+                WireErrorCode::kProtocolError,
                 std::string("unexpected frame type ") +
                     FrameTypeName(frame.type));
       std::lock_guard<std::mutex> lock(conn->mu);
@@ -434,8 +611,8 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
   metrics_->requests->Add();
   if (stopping_.load(std::memory_order_acquire)) {
     metrics_->rejected_shutdown->Add();
-    SendError(conn, frame.request_id, WireErrorCode::kShuttingDown,
-              "server is stopping");
+    SendError(conn, frame.request_id, frame.trace_id,
+              WireErrorCode::kShuttingDown, "server is stopping");
     return;
   }
 
@@ -447,8 +624,8 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
       // confused client, not line noise; the framing is still intact and
       // the connection stays usable.
       metrics_->protocol_errors->Add();
-      SendError(conn, frame.request_id, WireErrorCode::kProtocolError,
-                "malformed request payload");
+      SendError(conn, frame.request_id, frame.trace_id,
+                WireErrorCode::kProtocolError, "malformed request payload");
       return;
     }
   }
@@ -472,8 +649,8 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
   }
   if (!admitted) {
     metrics_->rejected_pipeline->Add();
-    SendError(conn, frame.request_id, WireErrorCode::kOverloaded,
-              "pipeline limit reached");
+    SendError(conn, frame.request_id, frame.trace_id,
+              WireErrorCode::kOverloaded, "pipeline limit reached");
     return;
   }
   {
@@ -482,11 +659,13 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
   }
 
   const uint64_t request_id = frame.request_id;
+  const uint64_t trace_id = frame.trace_id;
   const auto received = trace::Clock::now();
   const Timer request_timer;
   Status s = service_->Submit(
       conn->session, std::move(op),
-      [this, conn, request_id, received, request_timer](OpResult result) {
+      [this, conn, request_id, trace_id, received,
+       request_timer](OpResult result) {
         // Worker-thread completion: encode, append to the connection's
         // outbound buffer, wake the loop to flush.  Everything this
         // callback touches (conn state, metrics, flush queue, eventfd)
@@ -499,7 +678,8 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
         {
           std::lock_guard<std::mutex> lock(conn->mu);
           if (!conn->closed) {
-            EncodeFrame(FrameType::kResponse, request_id, payload, &conn->out);
+            EncodeFrame(FrameType::kResponse, request_id, trace_id, payload,
+                        &conn->out);
             queue_flush = true;
           }
           --conn->in_flight;
@@ -528,7 +708,8 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
           --in_flight_total_;
           drain_cv_.notify_all();
         }
-      });
+      },
+      trace_id);
 
   if (!s.ok()) {
     // Submission failed — undo the admission accounting and shed with the
@@ -544,28 +725,30 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
     }
     if (s.code() == StatusCode::kResourceExhausted) {
       metrics_->rejected_queue->Add();
-      SendError(conn, request_id, WireErrorCode::kOverloaded, s.message());
+      SendError(conn, request_id, trace_id, WireErrorCode::kOverloaded,
+                s.message());
     } else {
       metrics_->rejected_shutdown->Add();
-      SendError(conn, request_id, WireErrorCode::kShuttingDown, s.message());
+      SendError(conn, request_id, trace_id, WireErrorCode::kShuttingDown,
+                s.message());
     }
   }
 }
 
 void Server::SendError(const std::shared_ptr<Connection>& conn,
-                       uint64_t request_id, WireErrorCode code,
-                       std::string_view message) {
+                       uint64_t request_id, uint64_t trace_id,
+                       WireErrorCode code, std::string_view message) {
   std::string payload;
   EncodeError(code, message, &payload);
-  QueueFrame(conn, FrameType::kError, request_id, payload);
+  QueueFrame(conn, FrameType::kError, request_id, trace_id, payload);
 }
 
 void Server::QueueFrame(const std::shared_ptr<Connection>& conn,
-                        FrameType type, uint64_t request_id,
+                        FrameType type, uint64_t request_id, uint64_t trace_id,
                         std::string_view payload) {
   std::lock_guard<std::mutex> lock(conn->mu);
   if (conn->closed) return;
-  EncodeFrame(type, request_id, payload, &conn->out);
+  EncodeFrame(type, request_id, trace_id, payload, &conn->out);
   metrics_->frames_out->Add();
 }
 

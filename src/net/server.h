@@ -40,6 +40,23 @@
 // database's MetricsRegistry (so QueryService::MetricsText() scrapes them)
 // and trace spans (net_read / net_decode / net_request / net_flush) in the
 // PR 2 trace layer — chrome://tracing shows the socket-to-commit path.
+//
+// Trace propagation: the v2 wire header carries a client-chosen 64-bit
+// trace id; the server hands it to QueryService::Submit (so every span,
+// flight record and slow-log line downstream carries it) and echoes it in
+// the response header.  Wire-version-1 frames are answered with a typed
+// kUnsupportedVersion error instead of a CRC failure.
+//
+// Scrape endpoints: kAdminRequest frames (METRICS / STATUS / SLOWLOG /
+// FLIGHT) are answered inline on the loop thread; additionally a minimal
+// plaintext-HTTP GET shim rides the same port — the first bytes of each
+// connection pick the protocol ("MMDB" magic = binary, "GET "/"HEAD" =
+// HTTP) — so `curl http://host:port/metrics` and a stock Prometheus
+// scraper work with no second listener.  HTTP responses always close.
+//
+// The net loop also registers a LOOP heartbeat with the service's
+// watchdog (when enabled): a wedged epoll loop is detected and reported
+// like a stalled worker.
 
 #ifndef MMDB_NET_SERVER_H_
 #define MMDB_NET_SERVER_H_
@@ -56,6 +73,7 @@
 #include <vector>
 
 #include "src/net/wire_format.h"
+#include "src/server/watchdog.h"
 #include "src/util/status.h"
 
 namespace mmdb {
@@ -128,12 +146,21 @@ class Server {
   /// Reads until EAGAIN/EOF, decodes and dispatches frames.  Returns false
   /// if the connection must close.
   bool ReadAndDispatch(const std::shared_ptr<Connection>& conn);
+  /// Routes freshly read bytes by the connection's sniffed protocol.
+  void IngestBytes(Connection* conn, const char* data, size_t n);
+  /// Serves one plaintext-HTTP GET (the curl/Prometheus shim).  Returns
+  /// false if the connection must close immediately.
+  bool HandleHttp(const std::shared_ptr<Connection>& conn);
+  /// The scrape text behind both the admin frames and the HTTP shim.
+  std::string AdminText(AdminKind kind);
   void DispatchFrame(const std::shared_ptr<Connection>& conn, Frame frame);
   /// Queues a typed error frame on the connection.
   void SendError(const std::shared_ptr<Connection>& conn, uint64_t request_id,
-                 WireErrorCode code, std::string_view message);
+                 uint64_t trace_id, WireErrorCode code,
+                 std::string_view message);
   void QueueFrame(const std::shared_ptr<Connection>& conn, FrameType type,
-                  uint64_t request_id, std::string_view payload);
+                  uint64_t request_id, uint64_t trace_id,
+                  std::string_view payload);
   /// Flushes the outbound buffer; arms/disarms EPOLLOUT.  Returns false if
   /// the connection must close (write error, or close-after-flush drained).
   bool Flush(const std::shared_ptr<Connection>& conn);
@@ -147,6 +174,9 @@ class Server {
   QueryService* service_;
   ServerOptions options_;
   std::unique_ptr<Metrics> metrics_;
+  /// Event-loop heartbeat with the service's watchdog (null when the
+  /// watchdog is disabled).  Pulsed at each loop-top, retired at exit.
+  Watchdog::Beat* loop_beat_ = nullptr;
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;

@@ -210,6 +210,8 @@ const char* FrameTypeName(FrameType t) {
     case FrameType::kError: return "error";
     case FrameType::kPing: return "ping";
     case FrameType::kPong: return "pong";
+    case FrameType::kAdminRequest: return "admin_request";
+    case FrameType::kAdminResponse: return "admin_response";
   }
   return "?";
 }
@@ -220,14 +222,25 @@ const char* WireErrorCodeName(WireErrorCode c) {
     case WireErrorCode::kOverloaded: return "overloaded";
     case WireErrorCode::kTooManyConnections: return "too_many_connections";
     case WireErrorCode::kShuttingDown: return "shutting_down";
+    case WireErrorCode::kUnsupportedVersion: return "unsupported_version";
+  }
+  return "?";
+}
+
+const char* AdminKindName(AdminKind k) {
+  switch (k) {
+    case AdminKind::kMetrics: return "metrics";
+    case AdminKind::kStatus: return "status";
+    case AdminKind::kSlowLog: return "slowlog";
+    case AdminKind::kFlight: return "flight";
   }
   return "?";
 }
 
 // ---- Frames -----------------------------------------------------------------
 
-void EncodeFrame(FrameType type, uint64_t request_id, std::string_view payload,
-                 std::string* out) {
+void EncodeFrame(FrameType type, uint64_t request_id, uint64_t trace_id,
+                 std::string_view payload, std::string* out) {
   const size_t base = out->size();
   out->reserve(base + kHeaderSize + payload.size());
   PutU32(out, kMagic);
@@ -235,9 +248,26 @@ void EncodeFrame(FrameType type, uint64_t request_id, std::string_view payload,
   PutU8(out, static_cast<uint8_t>(type));
   PutU16(out, 0);  // reserved
   PutU64(out, request_id);
+  PutU64(out, trace_id);
   PutU32(out, static_cast<uint32_t>(payload.size()));
-  // CRC over header bytes [4, 20) + payload, then masked so a stored CRC
+  // CRC over header bytes [4, 28) + payload, then masked so a stored CRC
   // of zeros never verifies a zeroed frame.
+  uint32_t crc = crc32c::Extend(0, out->data() + base + 4, 24);
+  crc = crc32c::Extend(crc, payload.data(), payload.size());
+  PutU32(out, crc32c::Mask(crc));
+  out->append(payload.data(), payload.size());
+}
+
+void EncodeFrameV1(FrameType type, uint64_t request_id,
+                   std::string_view payload, std::string* out) {
+  const size_t base = out->size();
+  out->reserve(base + kHeaderSizeV1 + payload.size());
+  PutU32(out, kMagic);
+  PutU8(out, kWireVersion1);
+  PutU8(out, static_cast<uint8_t>(type));
+  PutU16(out, 0);  // reserved
+  PutU64(out, request_id);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
   uint32_t crc = crc32c::Extend(0, out->data() + base + 4, 16);
   crc = crc32c::Extend(crc, payload.data(), payload.size());
   PutU32(out, crc32c::Mask(crc));
@@ -256,39 +286,70 @@ void FrameBuffer::Append(const void* data, size_t n) {
 
 FrameBuffer::Result FrameBuffer::Next(Frame* out, std::string* error) {
   const size_t avail = data_.size() - pos_;
-  if (avail < kHeaderSize) return Result::kNeedMore;
+  if (avail < 5) return Result::kNeedMore;  // magic + version
   const char* h = data_.data() + pos_;
   if (ReadU32At(h) != kMagic) {
     if (error != nullptr) *error = "bad magic";
     return Result::kCorrupt;
   }
   const uint8_t version = static_cast<uint8_t>(h[4]);
+  if (version == kWireVersion1) {
+    // A retired-version peer.  Validate against the *v1* layout including
+    // its CRC: only a genuinely well-formed v1 frame earns the typed
+    // kUnsupportedVersion outcome (and surrenders its request id for the
+    // error reply) — line noise that happens to read "version 1" still
+    // fails the v1 checksum and stays kCorrupt.
+    if (avail < kHeaderSizeV1) return Result::kNeedMore;
+    const uint32_t payload_len = ReadU32At(h + 16);
+    if (payload_len > kMaxPayload) {
+      if (error != nullptr) *error = "oversized payload";
+      return Result::kCorrupt;
+    }
+    if (avail < kHeaderSizeV1 + payload_len) return Result::kNeedMore;
+    uint32_t crc = crc32c::Extend(0, h + 4, 16);
+    crc = crc32c::Extend(crc, h + kHeaderSizeV1, payload_len);
+    if (crc32c::Mask(crc) != ReadU32At(h + 20)) {
+      if (error != nullptr) *error = "frame checksum mismatch";
+      return Result::kCorrupt;
+    }
+    out->type = FrameType::kRequest;  // v1 payloads are not decoded further
+    out->request_id = ReadU64At(h + 8);
+    out->trace_id = 0;
+    out->payload.clear();
+    pos_ += kHeaderSizeV1 + payload_len;
+    if (error != nullptr) {
+      *error = "wire version 1 no longer supported";
+    }
+    return Result::kUnsupportedVersion;
+  }
   if (version != kWireVersion) {
     if (error != nullptr) {
       *error = "unsupported version " + std::to_string(version);
     }
     return Result::kCorrupt;
   }
+  if (avail < kHeaderSize) return Result::kNeedMore;
   const uint8_t type = static_cast<uint8_t>(h[5]);
   if (type < static_cast<uint8_t>(FrameType::kRequest) ||
-      type > static_cast<uint8_t>(FrameType::kPong)) {
+      type > static_cast<uint8_t>(FrameType::kAdminResponse)) {
     if (error != nullptr) *error = "unknown frame type";
     return Result::kCorrupt;
   }
-  const uint32_t payload_len = ReadU32At(h + 16);
+  const uint32_t payload_len = ReadU32At(h + 24);
   if (payload_len > kMaxPayload) {
     if (error != nullptr) *error = "oversized payload";
     return Result::kCorrupt;
   }
   if (avail < kHeaderSize + payload_len) return Result::kNeedMore;
-  uint32_t crc = crc32c::Extend(0, h + 4, 16);
+  uint32_t crc = crc32c::Extend(0, h + 4, 24);
   crc = crc32c::Extend(crc, h + kHeaderSize, payload_len);
-  if (crc32c::Mask(crc) != ReadU32At(h + 20)) {
+  if (crc32c::Mask(crc) != ReadU32At(h + 28)) {
     if (error != nullptr) *error = "frame checksum mismatch";
     return Result::kCorrupt;
   }
   out->type = static_cast<FrameType>(type);
   out->request_id = ReadU64At(h + 8);
+  out->trace_id = ReadU64At(h + 16);
   out->payload.assign(h + kHeaderSize, payload_len);
   pos_ += kHeaderSize + payload_len;
   return Result::kFrame;
@@ -464,6 +525,13 @@ bool EncodeOpResult(const OpResult& result, std::string* out) {
   }
   PutString(out, result.plan);
   PutString(out, result.analyze);
+  // Server-side micros breakdown + cache outcome (v2 additions): the
+  // client-vs-server latency decomposition rides on every response.
+  PutU32(out, result.queue_us);
+  PutU32(out, result.lock_us);
+  PutU32(out, result.exec_us);
+  PutU32(out, result.commit_us);
+  PutU8(out, static_cast<uint8_t>(result.cache_outcome));
   return ok;
 }
 
@@ -503,9 +571,17 @@ bool DecodeOpResult(std::string_view payload, OpResult* out) {
     }
     out->rows.push_back(std::move(row));
   }
-  if (!r.GetString(&out->plan) || !r.GetString(&out->analyze) || !r.done()) {
+  if (!r.GetString(&out->plan) || !r.GetString(&out->analyze)) {
     return false;
   }
+  uint8_t cache;
+  if (!r.GetU32(&out->queue_us) || !r.GetU32(&out->lock_us) ||
+      !r.GetU32(&out->exec_us) || !r.GetU32(&out->commit_us) ||
+      !r.GetU8(&cache) ||
+      cache > static_cast<uint8_t>(CacheOutcome::kMiss) || !r.done()) {
+    return false;
+  }
+  out->cache_outcome = static_cast<CacheOutcome>(cache);
   return true;
 }
 
@@ -522,7 +598,7 @@ bool DecodeError(std::string_view payload, WireErrorCode* code,
   ByteReader r(payload);
   uint16_t c;
   if (!r.GetU16(&c) || c < 1 ||
-      c > static_cast<uint16_t>(WireErrorCode::kShuttingDown) ||
+      c > static_cast<uint16_t>(WireErrorCode::kUnsupportedVersion) ||
       !r.GetString(message) || !r.done()) {
     return false;
   }

@@ -1,0 +1,403 @@
+#include "src/server/flight_recorder.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+#include "src/util/hash.h"
+#include "src/util/log.h"
+
+namespace mmdb {
+namespace flight {
+namespace {
+
+// ---- Seqlock ring -----------------------------------------------------------
+//
+// One writer (the owning thread), any number of readers.  The classic
+// seqlock protocol expressed entirely in atomics so TSan sees every access:
+//   writer: version <- odd (relaxed); fence(release); words (relaxed);
+//           version <- even (release)
+//   reader: v1 <- version (acquire); words (relaxed); fence(acquire);
+//           v2 <- version (relaxed); keep iff v1 == v2 and even
+// The release fence orders the odd store before the word stores (a reader
+// that sees new words must see the odd version), and the final release
+// store pairs with the reader's acquire load to make the words visible.
+
+constexpr size_t kWords = 7;
+
+struct Slot {
+  std::atomic<uint32_t> version{0};
+  std::array<std::atomic<uint64_t>, kWords> words{};
+};
+
+void Pack(const Record& r, uint64_t* w) {
+  w[0] = r.trace_id;
+  w[1] = r.fingerprint;
+  w[2] = static_cast<uint64_t>(r.end_wall_micros);
+  w[3] = static_cast<uint64_t>(r.total_us) |
+         (static_cast<uint64_t>(r.queue_us) << 32);
+  w[4] = static_cast<uint64_t>(r.lock_us) |
+         (static_cast<uint64_t>(r.exec_us) << 32);
+  w[5] = static_cast<uint64_t>(r.commit_us) |
+         (static_cast<uint64_t>(r.rows) << 32);
+  w[6] = static_cast<uint64_t>(r.kind) |
+         (static_cast<uint64_t>(r.status) << 8) |
+         (static_cast<uint64_t>(r.cache) << 16) |
+         (static_cast<uint64_t>(r.admission) << 24) |
+         (static_cast<uint64_t>(r.attempts) << 32);
+}
+
+void Unpack(const uint64_t* w, Record* r) {
+  r->trace_id = w[0];
+  r->fingerprint = w[1];
+  r->end_wall_micros = static_cast<int64_t>(w[2]);
+  r->total_us = static_cast<uint32_t>(w[3]);
+  r->queue_us = static_cast<uint32_t>(w[3] >> 32);
+  r->lock_us = static_cast<uint32_t>(w[4]);
+  r->exec_us = static_cast<uint32_t>(w[4] >> 32);
+  r->commit_us = static_cast<uint32_t>(w[5]);
+  r->rows = static_cast<uint32_t>(w[5] >> 32);
+  r->kind = static_cast<uint8_t>(w[6]);
+  r->status = static_cast<uint8_t>(w[6] >> 8);
+  r->cache = static_cast<uint8_t>(w[6] >> 16);
+  r->admission = static_cast<uint8_t>(w[6] >> 24);
+  r->attempts = static_cast<uint32_t>(w[6] >> 32);
+}
+
+struct Ring {
+  std::array<Slot, kRingSlots> slots;
+  /// Next slot the owner writes; also the owner's record count.  Written
+  /// by the owner, read by snapshots.
+  std::atomic<uint64_t> next{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<Ring*> rings;  ///< never freed: readers may walk at any time
+};
+
+Registry& GlobalRegistry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+thread_local Ring* tls_ring = nullptr;
+
+Ring* ThisThreadRing() {
+  if (tls_ring == nullptr) {
+    tls_ring = new Ring();  // leaked by design (see Registry)
+    Registry& reg = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.rings.push_back(tls_ring);
+  }
+  return tls_ring;
+}
+
+std::atomic<uint64_t> g_total_recorded{0};
+std::atomic<uint64_t> g_total_slow{0};
+std::atomic<bool> g_dump_requested{false};
+
+// ---- Enable / threshold state ----------------------------------------------
+
+bool InitialEnabled() {
+  const char* env = std::getenv("MMDB_TRACE");
+  return env == nullptr ||
+         (std::strcmp(env, "OFF") != 0 && std::strcmp(env, "off") != 0 &&
+          std::strcmp(env, "0") != 0);
+}
+
+uint64_t InitialSlowThreshold() {
+  const char* env = std::getenv("MMDB_SLOW_US");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env) return static_cast<uint64_t>(v);
+  }
+  return 10'000;  // 10 ms
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag{InitialEnabled()};
+  return flag;
+}
+
+std::atomic<uint64_t>& SlowThreshold() {
+  static std::atomic<uint64_t> micros{InitialSlowThreshold()};
+  return micros;
+}
+
+// ---- Slow-query log ---------------------------------------------------------
+
+struct SlowLog {
+  std::mutex mu;
+  std::deque<std::pair<uint64_t, std::string>> lines;  ///< (trace_id, line)
+  static constexpr size_t kCap = 128;
+};
+
+SlowLog& GlobalSlowLog() {
+  static SlowLog* s = new SlowLog();
+  return *s;
+}
+
+void AppendSlowLine(uint64_t trace_id, std::string line) {
+  SlowLog& sl = GlobalSlowLog();
+  std::lock_guard<std::mutex> lock(sl.mu);
+  if (sl.lines.size() >= SlowLog::kCap) sl.lines.pop_front();
+  sl.lines.emplace_back(trace_id, std::move(line));
+}
+
+void AppendHex(std::string* out, uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+}  // namespace
+
+const char* AdmissionName(Admission a) {
+  switch (a) {
+    case Admission::kAdmitted: return "admitted";
+    case Admission::kShedQueue: return "shed_queue";
+    case Admission::kShedShutdown: return "shed_shutdown";
+  }
+  return "?";
+}
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabledForTest(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t SlowThresholdMicros() {
+  return SlowThreshold().load(std::memory_order_relaxed);
+}
+
+void SetSlowThresholdMicros(uint64_t micros) {
+  SlowThreshold().store(micros, std::memory_order_relaxed);
+}
+
+uint64_t Fingerprint(const Operation& op) {
+  // Shape only — field names and comparison ops, never literal values, so
+  // "the same statement with different constants" aggregates to one hash.
+  uint64_t h = HashMix64(static_cast<uint64_t>(op.index()) + 0x9E37);
+  auto mix_str = [&h](const std::string& s) {
+    h = HashMix64(h ^ HashString(s));
+  };
+  auto mix_where = [&](const WhereClause& w) {
+    mix_str(w.field);
+    h = HashMix64(h ^ static_cast<uint64_t>(w.op));
+  };
+  switch (KindOf(op)) {
+    case OpKind::kSelect: {
+      const auto& s = std::get<SelectSpec>(op);
+      mix_str(s.table);
+      for (const WhereClause& w : s.where) mix_where(w);
+      if (s.join.has_value()) {
+        mix_str(s.join->table);
+        mix_str(s.join->left_field);
+        mix_str(s.join->right_field);
+        for (const WhereClause& w : s.join->where) mix_where(w);
+      }
+      for (const std::string& c : s.columns) mix_str(c);
+      h = HashMix64(h ^ ((s.distinct ? 1u : 0u) | (s.ordered ? 2u : 0u)));
+      break;
+    }
+    case OpKind::kInsert: {
+      const auto& s = std::get<InsertSpec>(op);
+      mix_str(s.table);
+      h = HashMix64(h ^ s.values.size());
+      break;
+    }
+    case OpKind::kUpdate: {
+      const auto& s = std::get<UpdateSpec>(op);
+      mix_str(s.table);
+      mix_where(s.match);
+      mix_str(s.set_field);
+      break;
+    }
+    case OpKind::kIncrement: {
+      const auto& s = std::get<IncrementSpec>(op);
+      mix_str(s.table);
+      mix_where(s.match);
+      mix_str(s.field);
+      break;
+    }
+    case OpKind::kDelete: {
+      const auto& s = std::get<DeleteSpec>(op);
+      mix_str(s.table);
+      mix_where(s.match);
+      break;
+    }
+  }
+  return h == 0 ? 1 : h;
+}
+
+std::string FormatRecord(const Record& rec) {
+  std::string line;
+  line.reserve(160);
+  line += "trace=";
+  AppendHex(&line, rec.trace_id);
+  line += " kind=";
+  line += OpKindName(static_cast<OpKind>(rec.kind));
+  line += " fingerprint=";
+  AppendHex(&line, rec.fingerprint);
+  line += " total_us=" + std::to_string(rec.total_us);
+  line += " queue_us=" + std::to_string(rec.queue_us);
+  line += " lock_us=" + std::to_string(rec.lock_us);
+  line += " exec_us=" + std::to_string(rec.exec_us);
+  line += " commit_us=" + std::to_string(rec.commit_us);
+  line += " rows=" + std::to_string(rec.rows);
+  line += " attempts=" + std::to_string(rec.attempts);
+  line += " status=" + std::to_string(rec.status);
+  line += " cache=";
+  line += CacheOutcomeName(static_cast<CacheOutcome>(rec.cache));
+  line += " admission=";
+  line += AdmissionName(static_cast<Admission>(rec.admission));
+  return line;
+}
+
+void Note(const Record& rec) {
+  if (!Enabled()) return;
+  Ring* ring = ThisThreadRing();
+  const uint64_t n = ring->next.load(std::memory_order_relaxed);
+  Slot& slot = ring->slots[n % kRingSlots];
+
+  uint64_t words[kWords];
+  Pack(rec, words);
+  const uint32_t v = slot.version.load(std::memory_order_relaxed);
+  slot.version.store(v + 1, std::memory_order_relaxed);  // odd: in progress
+  std::atomic_thread_fence(std::memory_order_release);
+  for (size_t i = 0; i < kWords; ++i) {
+    slot.words[i].store(words[i], std::memory_order_relaxed);
+  }
+  slot.version.store(v + 2, std::memory_order_release);  // even: readable
+  ring->next.store(n + 1, std::memory_order_release);
+
+  g_total_recorded.fetch_add(1, std::memory_order_relaxed);
+
+  if (rec.total_us >= SlowThresholdMicros() ||
+      rec.admission != static_cast<uint8_t>(Admission::kAdmitted)) {
+    g_total_slow.fetch_add(1, std::memory_order_relaxed);
+    std::string line = "slow query " + FormatRecord(rec);
+    logging::Warn("slowlog", line);
+    AppendSlowLine(rec.trace_id, std::move(line));
+  }
+}
+
+namespace {
+
+/// Seqlock-read one slot into *out.  False on a torn or never-written slot.
+bool ReadSlot(const Slot& slot, Record* out) {
+  const uint32_t v1 = slot.version.load(std::memory_order_acquire);
+  if (v1 == 0 || (v1 & 1u) != 0) return false;
+  uint64_t words[kWords];
+  for (size_t i = 0; i < kWords; ++i) {
+    words[i] = slot.words[i].load(std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (slot.version.load(std::memory_order_relaxed) != v1) return false;
+  Unpack(words, out);
+  return true;
+}
+
+}  // namespace
+
+std::vector<Record> Snapshot() {
+  std::vector<Ring*> rings;
+  {
+    Registry& reg = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    rings = reg.rings;
+  }
+  std::vector<Record> out;
+  for (Ring* ring : rings) {
+    const uint64_t n = ring->next.load(std::memory_order_acquire);
+    const size_t count = static_cast<size_t>(std::min<uint64_t>(n, kRingSlots));
+    for (size_t i = 0; i < count; ++i) {
+      Record rec;
+      if (ReadSlot(ring->slots[i], &rec)) out.push_back(rec);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Record& a, const Record& b) {
+    return a.end_wall_micros < b.end_wall_micros;
+  });
+  return out;
+}
+
+bool FindByTraceId(uint64_t trace_id, Record* out) {
+  const std::vector<Record> all = Snapshot();
+  // Newest match wins (retried/shed entries may share an id with a later
+  // completion; the operator wants the final word).
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    if (it->trace_id == trace_id) {
+      *out = *it;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FlightText(size_t limit) {
+  std::vector<Record> all = Snapshot();
+  const size_t n = std::min(limit, all.size());
+  std::string out = "flight recorder: " + std::to_string(all.size()) +
+                    " readable records (showing newest " + std::to_string(n) +
+                    "; " + std::to_string(TotalRecorded()) +
+                    " recorded since start)\n";
+  for (size_t i = all.size() - n; i < all.size(); ++i) {
+    out += FormatRecord(all[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string SlowLogText(size_t limit) {
+  SlowLog& sl = GlobalSlowLog();
+  std::lock_guard<std::mutex> lock(sl.mu);
+  const size_t n = std::min(limit, sl.lines.size());
+  std::string out = "slow-query log: " + std::to_string(sl.lines.size()) +
+                    " entries (threshold " +
+                    std::to_string(SlowThresholdMicros()) + " us; " +
+                    std::to_string(TotalSlow()) + " slow since start)\n";
+  for (size_t i = sl.lines.size() - n; i < sl.lines.size(); ++i) {
+    out += sl.lines[i].second;
+    out += '\n';
+  }
+  return out;
+}
+
+void NoteStall(uint64_t trace_id, const std::string& line) {
+  g_total_slow.fetch_add(1, std::memory_order_relaxed);
+  AppendSlowLine(trace_id, line);
+}
+
+uint64_t TotalRecorded() {
+  return g_total_recorded.load(std::memory_order_relaxed);
+}
+
+uint64_t TotalSlow() { return g_total_slow.load(std::memory_order_relaxed); }
+
+void RequestDump() {
+  g_dump_requested.store(true, std::memory_order_relaxed);
+}
+
+bool ConsumePendingDump() {
+  return g_dump_requested.exchange(false, std::memory_order_relaxed);
+}
+
+void ClearSlowLogForTest() {
+  SlowLog& sl = GlobalSlowLog();
+  std::lock_guard<std::mutex> lock(sl.mu);
+  sl.lines.clear();
+}
+
+}  // namespace flight
+}  // namespace mmdb

@@ -1,0 +1,129 @@
+// Flight recorder + slow-query log: always-on, lock-free visibility into
+// the most recent completed requests, and a pushed, rate-limited record of
+// the slow ones.
+//
+// Span tracing (src/util/trace.h) answers "where did the microseconds of
+// one traced run go" but must be switched on and drains quickly under
+// load.  The flight recorder answers the production question — "what was
+// this server doing just now, and what was request 0x7f3a... specifically"
+// — at all times, for ~zero cost:
+//
+//   * each thread that completes requests owns a fixed ring of
+//     kRingSlots summary records (trace id, kind, fingerprint, the
+//     queue/lock/exec/commit micros breakdown, rows, cache + admission
+//     outcome).  Writing is a handful of relaxed atomic stores behind a
+//     seqlock version word — no locks, no allocation, no contention;
+//   * readers (SLOWLOG/FLIGHT shell commands, admin scrape endpoints, the
+//     SIGUSR1 dump) walk every registered ring and drop records whose
+//     version changed mid-copy — a torn read is skipped, never returned;
+//   * a request whose total time crosses the slow threshold additionally
+//     lands in a small mutex-guarded slow-query log and emits one
+//     structured WARN line through the rate-limited src/util/log (so a
+//     pathological workload cannot turn the log into the bottleneck).
+//
+// Gating: MMDB_TRACE=OFF disables recording entirely (the overhead-guard
+// baseline in CI); anything else leaves it on.  The slow threshold comes
+// from MMDB_SLOW_US (default 10ms).  Rings are process-global and never
+// freed, so a reader can always walk them safely.
+
+#ifndef MMDB_SERVER_FLIGHT_RECORDER_H_
+#define MMDB_SERVER_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/server/operation.h"
+
+namespace mmdb {
+namespace flight {
+
+/// Admission outcome of a request (shed requests are recorded too — an
+/// operator asking "what happened to trace X" must see rejections).
+enum class Admission : uint8_t {
+  kAdmitted = 0,
+  kShedQueue = 1,     ///< service queue full
+  kShedShutdown = 2,  ///< service stopping
+};
+
+const char* AdmissionName(Admission a);
+
+/// One completed (or shed) request summary.  Plain POD — it is packed into
+/// seven 64-bit words inside the ring slots.
+struct Record {
+  uint64_t trace_id = 0;
+  uint64_t fingerprint = 0;      ///< statement-shape hash (kind+table+fields)
+  int64_t end_wall_micros = 0;   ///< completion wall-clock (µs since epoch)
+  uint32_t total_us = 0;
+  uint32_t queue_us = 0;
+  uint32_t lock_us = 0;
+  uint32_t exec_us = 0;
+  uint32_t commit_us = 0;
+  uint32_t rows = 0;
+  uint32_t attempts = 1;
+  uint8_t kind = 0;       ///< OpKind
+  uint8_t status = 0;     ///< StatusCode
+  uint8_t cache = 0;      ///< CacheOutcome
+  uint8_t admission = 0;  ///< Admission
+};
+
+inline constexpr size_t kRingSlots = 256;
+
+/// Whether recording is on (first call reads MMDB_TRACE; "OFF" disables).
+bool Enabled();
+void SetEnabledForTest(bool enabled);
+
+/// Requests slower than this many micros (total) enter the slow-query log.
+uint64_t SlowThresholdMicros();
+void SetSlowThresholdMicros(uint64_t micros);
+
+/// Statement-shape hash for a service operation: kind + table(s) + field
+/// names/ops — NOT literal values, so reoccurring shapes share a
+/// fingerprint an operator can aggregate on.
+uint64_t Fingerprint(const Operation& op);
+
+/// Records one completed/shed request into the calling thread's ring (and
+/// the slow log if it crossed the threshold).  Lock-free; no-op when
+/// disabled.
+void Note(const Record& rec);
+
+/// Copies out every readable record from every thread's ring, newest
+/// last (sorted by completion wall time).  Torn slots are skipped.
+std::vector<Record> Snapshot();
+
+/// Finds the most recent record with this trace id.  Returns false if no
+/// ring holds it (evicted or never recorded).
+bool FindByTraceId(uint64_t trace_id, Record* out);
+
+/// Human/scrape text: the newest `limit` flight records, one per line.
+std::string FlightText(size_t limit = 64);
+
+/// The newest `limit` slow-query log lines (structured key=value text).
+std::string SlowLogText(size_t limit = 64);
+
+/// Appends a watchdog observation to the slow-query log (stalled worker /
+/// wedged loop); `line` is the preformatted key=value text.
+void NoteStall(uint64_t trace_id, const std::string& line);
+
+/// Total records ever written (including shed entries); slow entries only.
+uint64_t TotalRecorded();
+uint64_t TotalSlow();
+
+/// SIGUSR1 support: RequestDump is async-signal-safe (one relaxed store);
+/// a service thread (watchdog tick / shell loop) consumes the flag and
+/// performs the actual dump.
+void RequestDump();
+bool ConsumePendingDump();
+
+/// Formats one record as the structured key=value line used by the slow
+/// log and FlightText.
+std::string FormatRecord(const Record& rec);
+
+/// Testing hook: drops every slow-log entry (rings are append-only and
+/// shared across tests; the slow log is assertable state).
+void ClearSlowLogForTest();
+
+}  // namespace flight
+}  // namespace mmdb
+
+#endif  // MMDB_SERVER_FLIGHT_RECORDER_H_

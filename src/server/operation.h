@@ -93,6 +93,22 @@ inline OpKind KindOf(const Operation& op) {
   return static_cast<OpKind>(op.index());
 }
 
+/// Where a select's rows came from (reuse cache vs. execution).
+enum class CacheOutcome : uint8_t {
+  kNone = 0,  ///< not a cacheable read (DML, cache off, uncacheable shape)
+  kHit = 1,   ///< served from the reuse cache without locking
+  kMiss = 2,  ///< cacheable shape, executed (and possibly filled)
+};
+
+inline const char* CacheOutcomeName(CacheOutcome c) {
+  switch (c) {
+    case CacheOutcome::kNone: return "none";
+    case CacheOutcome::kHit: return "hit";
+    case CacheOutcome::kMiss: return "miss";
+  }
+  return "?";
+}
+
 /// What the worker hands back.  Select rows are materialized Values copied
 /// out while the read locks were still held — they stay valid after the
 /// locks are gone, unlike tuple pointers.
@@ -104,6 +120,15 @@ struct OpResult {
   std::string analyze;                         ///< select: EXPLAIN ANALYZE tree
   size_t rows_affected = 0;                    ///< DML: rows written/removed
   int attempts = 1;                            ///< 1 = no deadlock retries
+
+  /// Server-side micros breakdown, filled by the worker and shipped on the
+  /// wire: where inside the server this request's time went.  exec_us
+  /// excludes the lock and commit waits (total ≈ queue+lock+exec+commit).
+  uint32_t queue_us = 0;   ///< Submit -> worker dequeue
+  uint32_t lock_us = 0;    ///< summed lock-manager waits (all attempts)
+  uint32_t exec_us = 0;    ///< execution minus lock/commit waits
+  uint32_t commit_us = 0;  ///< WaitDurable (WAL fsync acknowledgement)
+  CacheOutcome cache_outcome = CacheOutcome::kNone;
 
   bool ok() const { return status.ok(); }
 };

@@ -1,6 +1,7 @@
 #include "src/server/query_service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <future>
 #include <limits>
 #include <utility>
@@ -10,12 +11,37 @@
 #include "src/core/database.h"
 #include "src/core/query.h"
 #include "src/exec/select.h"
+#include "src/server/flight_recorder.h"
 #include "src/storage/tuple.h"
 #include "src/util/counters.h"
+#include "src/util/hash.h"
 #include "src/util/trace.h"
 
 namespace mmdb {
 namespace {
+
+/// Saturating micros -> uint32 (a breakdown field caps at ~71 minutes).
+uint32_t SatMicros(double micros) {
+  if (micros <= 0) return 0;
+  if (micros >= static_cast<double>(std::numeric_limits<uint32_t>::max())) {
+    return std::numeric_limits<uint32_t>::max();
+  }
+  return static_cast<uint32_t>(micros);
+}
+
+uint32_t SatCount(size_t n) {
+  return n > std::numeric_limits<uint32_t>::max()
+             ? std::numeric_limits<uint32_t>::max()
+             : static_cast<uint32_t>(n);
+}
+
+/// Completion wall-clock in micros since the epoch (flight records use
+/// wall time so an operator can line entries up with external logs).
+int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Distinguishes the retryable abort (lock-wait timeout = presumed
 /// deadlock) from terminal aborts like unique violations, which retrying
@@ -84,7 +110,15 @@ QueryService::QueryService(Database* db, ServiceOptions options)
     : db_(db),
       options_(options),
       queue_(options.queue_depth),
-      metrics_(&db->metrics()) {
+      metrics_(&db->metrics()),
+      started_at_(std::chrono::steady_clock::now()) {
+  if (options_.watchdog_enabled) {
+    WatchdogOptions wd;
+    wd.interval = options_.watchdog_interval;
+    wd.deadline = options_.watchdog_deadline;
+    watchdog_.reset(new Watchdog(&db->metrics(), wd));
+    watchdog_->Start();
+  }
   workers_.reserve(options_.workers);
   for (size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -99,6 +133,7 @@ void QueryService::Shutdown() {
     queue_.Close();  // intake stops; workers drain what was admitted
     for (std::thread& w : workers_) w.join();
     workers_.clear();
+    if (watchdog_ != nullptr) watchdog_->Stop();
     // Zero-worker mode (admission tests): admitted tasks never ran — fail
     // them so every accepted Submit still gets its callback exactly once.
     Task task;
@@ -131,19 +166,55 @@ void QueryService::CloseSession(Session* session) {
 
 // ---- Submission -------------------------------------------------------------
 
-Status QueryService::Submit(Session* session, Operation op, Callback done) {
+void QueryService::NoteShed(uint64_t trace_id, uint64_t fingerprint,
+                            uint8_t kind, uint8_t admission, StatusCode code) {
+  if (!flight::Enabled()) return;
+  flight::Record rec;
+  rec.trace_id = trace_id;
+  rec.fingerprint = fingerprint;
+  rec.end_wall_micros = WallMicros();
+  rec.attempts = 0;  // never reached a worker
+  rec.kind = kind;
+  rec.status = static_cast<uint8_t>(code);
+  rec.admission = admission;
+  flight::Note(rec);
+}
+
+Status QueryService::Submit(Session* session, Operation op, Callback done,
+                            uint64_t trace_id) {
   metrics_.submitted->Add();
+  if (trace_id == 0) {
+    // Scramble a counter so service-assigned ids don't collide with the
+    // small literal ids tests and clients tend to pick.
+    trace_id = HashMix64(next_trace_.fetch_add(1, std::memory_order_relaxed) ^
+                         0x6d6d64625f747261ULL);
+    if (trace_id == 0) trace_id = 1;
+  }
+  // Fingerprint up front: the shed paths below need it after `op` has been
+  // moved into the queue (or refused), and the completion path reuses it
+  // so the shape is hashed exactly once per request.
+  const uint8_t kind = static_cast<uint8_t>(KindOf(op));
+  const uint64_t fingerprint =
+      flight::Enabled() ? flight::Fingerprint(op) : 0;
   if (!accepting_.load(std::memory_order_relaxed)) {
     metrics_.rejected->Add();
+    NoteShed(trace_id, fingerprint, kind,
+             static_cast<uint8_t>(flight::Admission::kShedShutdown),
+             StatusCode::kFailedPrecondition);
     return Status::FailedPrecondition("query service is shut down");
   }
   Task task;
   task.session = session;
   task.op = std::move(op);
   task.done = std::move(done);
+  task.trace_id = trace_id;
+  task.fingerprint = fingerprint;
   task.latency.Restart();
   if (!queue_.TryPush(std::move(task))) {
     metrics_.rejected->Add();
+    NoteShed(trace_id, fingerprint, kind,
+             static_cast<uint8_t>(flight::Admission::kShedQueue),
+             StatusCode::kResourceExhausted);
     return Status::ResourceExhausted("query service queue is full");
   }
   if (session != nullptr) {
@@ -152,11 +223,13 @@ Status QueryService::Submit(Session* session, Operation op, Callback done) {
   return Status::Ok();
 }
 
-OpResult QueryService::Execute(Session* session, Operation op) {
+OpResult QueryService::Execute(Session* session, Operation op,
+                               uint64_t trace_id) {
   auto promise = std::make_shared<std::promise<OpResult>>();
   std::future<OpResult> future = promise->get_future();
   Status s = Submit(session, std::move(op),
-                    [promise](OpResult r) { promise->set_value(std::move(r)); });
+                    [promise](OpResult r) { promise->set_value(std::move(r)); },
+                    trace_id);
   if (!s.ok()) {
     OpResult result;
     result.status = s;
@@ -167,6 +240,64 @@ OpResult QueryService::Execute(Session* session, Operation op) {
 
 ServiceStats QueryService::Stats() const {
   return metrics_.Snapshot(queue_.size(), queue_.high_water());
+}
+
+std::string QueryService::StatusText() const {
+  const ServiceStats st = Stats();
+  const double uptime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_at_)
+          .count();
+  char buf[160];
+  std::string out;
+  out.reserve(1024);
+  std::snprintf(buf, sizeof(buf), "uptime_s: %.1f\n", uptime_s);
+  out += buf;
+  out += "workers: " + std::to_string(options_.workers) + "\n";
+  out += "queue_depth: " + std::to_string(st.queue_depth) + "\n";
+  out += "queue_depth_hwm: " + std::to_string(st.queue_depth_hwm) + "\n";
+  out += "queue_capacity: " + std::to_string(options_.queue_depth) + "\n";
+  out += "sessions_open: " +
+         std::to_string(st.sessions_opened - st.sessions_closed) + "\n";
+  out += "ops_submitted: " + std::to_string(st.submitted) + "\n";
+  out += "ops_completed: " + std::to_string(st.completed) + "\n";
+  out += "ops_rejected: " + std::to_string(st.rejected) + "\n";
+  out += "ops_aborted: " + std::to_string(st.aborted) + "\n";
+  out += "ops_failed: " + std::to_string(st.failed) + "\n";
+
+  DurabilityManager* dur = db_->durability();
+  if (dur != nullptr) {
+    const uint64_t appended = dur->appended_lsn();
+    const uint64_t durable = dur->durable_lsn();
+    out += "wal_appended_lsn: " + std::to_string(appended) + "\n";
+    out += "wal_durable_lsn: " + std::to_string(durable) + "\n";
+    out += "wal_lag: " +
+           std::to_string(appended > durable ? appended - durable : 0) + "\n";
+  } else {
+    out += "wal: off\n";
+  }
+
+  const cache::CacheStats cs = db_->reuse_cache().Stats();
+  out += std::string("cache_enabled: ") + (cs.enabled ? "1" : "0") + "\n";
+  out += "cache_entries: " + std::to_string(cs.entries) + "\n";
+  out += "cache_bytes: " + std::to_string(cs.bytes) + "\n";
+  out += "cache_budget_bytes: " + std::to_string(cs.budget_bytes) + "\n";
+  out += "cache_hits: " + std::to_string(cs.hits) + "\n";
+  out += "cache_misses: " + std::to_string(cs.misses) + "\n";
+
+  if (watchdog_ != nullptr) {
+    out += "watchdog_alerts: " + std::to_string(watchdog_->alerts()) + "\n";
+    out += "watchdog_stalled_workers: " +
+           std::to_string(watchdog_->stalled_workers()) + "\n";
+    out += "watchdog_wedged_loops: " +
+           std::to_string(watchdog_->wedged_loops()) + "\n";
+  } else {
+    out += "watchdog: off\n";
+  }
+
+  out += "flight_recorded: " + std::to_string(flight::TotalRecorded()) + "\n";
+  out += "flight_slow: " + std::to_string(flight::TotalSlow()) + "\n";
+  return out;
 }
 
 std::string QueryService::MetricsText() const {
@@ -183,37 +314,89 @@ void QueryService::WorkerLoop(size_t index) {
   WorkerContext ctx;
   ctx.index = index;
   ctx.rng = Rng(0x5eedULL + index * 0x9E3779B97F4A7C15ULL);
+  Watchdog::Beat* beat =
+      watchdog_ != nullptr
+          ? watchdog_->RegisterWorker("worker-" + std::to_string(index))
+          : nullptr;
   Task task;
   while (queue_.Pop(&task)) {
     metrics_.started->Add();
+    // Enter the request context first: every span this task produces from
+    // here on (queue_wait included) carries the wire-visible trace id, and
+    // the lock/commit wait accumulators start from zero.
+    trace::BeginRequest(task.trace_id);
+    if (beat != nullptr) beat->Busy(task.trace_id);
     // The interval from Submit to this dequeue is the queue wait; emit it
     // as a span on *this* thread (the one that paid for the waiting) and
     // feed the queue-wait histogram.
     const auto dequeued = trace::Clock::now();
     trace::RecordSpan("queue_wait", task.latency.start_time(), dequeued);
-    metrics_.queue_wait->Record(
+    const double queue_micros =
         std::chrono::duration<double, std::micro>(dequeued -
                                                   task.latency.start_time())
-            .count());
+            .count();
+    metrics_.queue_wait->Record(queue_micros);
     ctx.arena.Reset();  // per-task scratch
     OpResult result;
+    const auto exec_start = trace::Clock::now();
     {
       trace::Span span("execute");
       span.AddArgs(std::string("\"op\":\"") + OpKindName(KindOf(task.op)) +
                    "\"");
       result = RunWithRetry(ctx, task.op);
     }
+    // Server-side breakdown shipped with the result: queue wait, summed
+    // lock waits (every attempt), WAL-fsync wait, and exec = wall time in
+    // RunWithRetry minus the waits it contains (backoff sleeps count as
+    // exec — the retries are work the request cost the server).
+    const double exec_micros =
+        std::chrono::duration<double, std::micro>(trace::Clock::now() -
+                                                  exec_start)
+            .count();
+    const double lock_micros =
+        static_cast<double>(trace::LockWaitNanos()) / 1e3;
+    const double commit_micros =
+        static_cast<double>(trace::CommitWaitNanos()) / 1e3;
+    result.queue_us = SatMicros(queue_micros);
+    result.lock_us = SatMicros(lock_micros);
+    result.commit_us = SatMicros(commit_micros);
+    result.exec_us = SatMicros(exec_micros - lock_micros - commit_micros);
     Finish(task, std::move(result));
+    if (beat != nullptr) beat->Idle();
+    trace::BeginRequest(0);  // leave the request context
     // Fold this thread's OpCounters into the process-wide accumulator per
     // completed query — not only at worker exit — so a metrics scrape
     // mid-run sees the work already done (fix for the stale-accumulator
     // window; see the fold regression test).
     counters::FoldIntoGlobal();
   }
+  if (beat != nullptr) beat->Retire();
 }
 
 void QueryService::Finish(Task& task, OpResult result) {
-  metrics_.latency(KindOf(task.op)).Record(task.latency.ElapsedMicros());
+  const double total_micros = task.latency.ElapsedMicros();
+  metrics_.latency(KindOf(task.op)).Record(total_micros);
+  if (flight::Enabled()) {
+    flight::Record rec;
+    rec.trace_id = task.trace_id;
+    rec.fingerprint = task.fingerprint != 0 ? task.fingerprint
+                                            : flight::Fingerprint(task.op);
+    rec.end_wall_micros = WallMicros();
+    rec.total_us = SatMicros(total_micros);
+    rec.queue_us = result.queue_us;
+    rec.lock_us = result.lock_us;
+    rec.exec_us = result.exec_us;
+    rec.commit_us = result.commit_us;
+    rec.rows = SatCount(result.rows_affected);
+    rec.attempts = result.attempts < 0
+                       ? 0
+                       : static_cast<uint32_t>(result.attempts);
+    rec.kind = static_cast<uint8_t>(KindOf(task.op));
+    rec.status = static_cast<uint8_t>(result.status.code());
+    rec.cache = static_cast<uint8_t>(result.cache_outcome);
+    rec.admission = static_cast<uint8_t>(flight::Admission::kAdmitted);
+    flight::Note(rec);
+  }
   if (result.ok()) {
     metrics_.completed->Add();
   } else if (result.status.code() == StatusCode::kAborted) {
@@ -320,6 +503,7 @@ OpResult QueryService::RunSelect(const SelectSpec& spec) {
     if (cacheable) {
       result_key = "res:" + cache::FingerprintFull(shape);
       if (auto hit = rc.LookupResult(result_key)) {
+        out.cache_outcome = CacheOutcome::kHit;
         out.columns = hit->columns;
         out.rows = hit->rows;
         out.plan = hit->plan + "; cache: hit";
@@ -334,6 +518,8 @@ OpResult QueryService::RunSelect(const SelectSpec& spec) {
       }
     }
   }
+  // A cacheable shape that was not served above executes below: a miss.
+  if (cacheable) out.cache_outcome = CacheOutcome::kMiss;
 
   std::unique_ptr<Transaction> txn = db_->Begin();
   txn->set_lock_timeout(options_.lock_timeout);
@@ -461,8 +647,14 @@ OpResult QueryService::RunInsert(const InsertSpec& spec) {
   s = txn->Commit();
   if (s.ok()) {
     // Sync durability: the insert is acknowledged only once its commit
-    // marker is fsync'd (no-op when durability is off or async).
+    // marker is fsync'd (no-op when durability is off or async).  The wait
+    // is the request's commit_us in the breakdown.
+    const auto t0 = std::chrono::steady_clock::now();
     s = db_->WaitDurable(txn->commit_lsn());
+    trace::AddCommitWaitNanos(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
   }
   out.status = s;
   out.rows_affected = s.ok() ? 1 : 0;
@@ -652,7 +844,12 @@ OpResult QueryService::RunMutation(WorkerContext& ctx, const Operation& op) {
   s = txn->Commit();
   if (s.ok()) {
     // Sync durability: ack only after the commit marker is fsync'd.
+    const auto t0 = std::chrono::steady_clock::now();
     s = db_->WaitDurable(txn->commit_lsn());
+    trace::AddCommitWaitNanos(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
   }
   out.status = s;
   out.rows_affected = s.ok() ? n : 0;

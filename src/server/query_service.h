@@ -57,6 +57,7 @@
 #include "src/server/operation.h"
 #include "src/server/service_stats.h"
 #include "src/server/session.h"
+#include "src/server/watchdog.h"
 #include "src/server/work_queue.h"
 #include "src/util/arena.h"
 #include "src/util/rng.h"
@@ -80,6 +81,12 @@ struct ServiceOptions {
   /// jittered to [1/2, 1] of that by the worker's private rng.
   std::chrono::milliseconds backoff_base{1};
   std::chrono::milliseconds backoff_cap{64};
+  /// Stall watchdog over the worker pool (and any registered event loop).
+  /// A worker busy on one task for longer than watchdog_deadline raises a
+  /// one-shot alert (metrics + slow log); an idle server never alarms.
+  bool watchdog_enabled = true;
+  std::chrono::milliseconds watchdog_interval{100};
+  std::chrono::milliseconds watchdog_deadline{2000};
 };
 
 class QueryService {
@@ -105,12 +112,19 @@ class QueryService {
   /// Asynchronous submission.  `done` runs on a worker thread exactly once
   /// if (and only if) this returns OK.  Fails with kResourceExhausted when
   /// the queue is full and kFailedPrecondition after Shutdown.
-  Status Submit(Session* session, Operation op, Callback done);
+  ///
+  /// `trace_id` is the request's end-to-end identity: every span, flight
+  /// record, and slow-log line this operation produces carries it, so a
+  /// client (or the wire protocol) can hand one in and later ask "what
+  /// happened to 0x7f3a...".  0 = service assigns a fresh nonzero id.
+  /// Shed submissions are recorded in the flight ring too.
+  Status Submit(Session* session, Operation op, Callback done,
+                uint64_t trace_id = 0);
 
   /// Synchronous submission: blocks the calling thread until the operation
   /// completes (or admission fails).  Must not be called from a worker
   /// callback — the waiting would deadlock the pool.
-  OpResult Execute(Session* session, Operation op);
+  OpResult Execute(Session* session, Operation op, uint64_t trace_id = 0);
 
   /// Stops intake, drains every admitted operation, joins the workers.
   /// Idempotent; also run by the destructor.
@@ -124,6 +138,16 @@ class QueryService {
   /// gauges.  Scrape-friendly; also behind the shell's METRICS command.
   std::string MetricsText() const;
 
+  /// Human-readable one-screen status: uptime, queue depth / high-water,
+  /// session and worker counts, WAL appended/durable lag, reuse-cache
+  /// footprint, watchdog state.  Behind the shell's STATUS command and the
+  /// net server's admin endpoint.
+  std::string StatusText() const;
+
+  /// The stall watchdog (null when ServiceOptions::watchdog_enabled is
+  /// false).  The net server registers its event-loop beat here.
+  Watchdog* watchdog() const { return watchdog_.get(); }
+
   const ServiceOptions& options() const { return options_; }
   Database* database() const { return db_; }
 
@@ -132,6 +156,8 @@ class QueryService {
     Session* session = nullptr;
     Operation op;
     Callback done;
+    uint64_t trace_id = 0;
+    uint64_t fingerprint = 0;  ///< statement-shape hash, computed at Submit
     Timer latency;  ///< started at Submit; spans queue wait + execution
   };
 
@@ -145,6 +171,9 @@ class QueryService {
 
   void WorkerLoop(size_t index);
   void Finish(Task& task, OpResult result);
+  /// Records a shed submission in the flight ring / slow log.
+  void NoteShed(uint64_t trace_id, uint64_t fingerprint, uint8_t kind,
+                uint8_t admission, StatusCode code);
   OpResult RunWithRetry(WorkerContext& ctx, const Operation& op);
   OpResult RunOnce(WorkerContext& ctx, const Operation& op);
   OpResult RunSelect(const SelectSpec& spec);
@@ -156,6 +185,9 @@ class QueryService {
   ServiceOptions options_;
   BoundedWorkQueue<Task> queue_;
   ServiceMetrics metrics_;
+  std::unique_ptr<Watchdog> watchdog_;
+  std::chrono::steady_clock::time_point started_at_;
+  std::atomic<uint64_t> next_trace_{1};
   std::vector<std::thread> workers_;
 
   std::mutex sessions_mu_;

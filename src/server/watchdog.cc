@@ -1,0 +1,138 @@
+#include "src/server/watchdog.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/server/flight_recorder.h"
+#include "src/util/log.h"
+#include "src/util/metrics.h"
+
+namespace mmdb {
+
+int64_t Watchdog::Beat::NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Watchdog::Watchdog(MetricsRegistry* registry, WatchdogOptions options)
+    : options_(options),
+      checks_total_(registry->GetCounter("mmdb_watchdog_checks_total")),
+      alerts_total_(registry->GetCounter("mmdb_watchdog_alerts_total")),
+      stalled_gauge_(registry->GetGauge("mmdb_watchdog_stalled_workers")),
+      wedged_gauge_(registry->GetGauge("mmdb_watchdog_wedged_loops")) {}
+
+Watchdog::~Watchdog() { Stop(); }
+
+Watchdog::Beat* Watchdog::Register(Beat::Kind kind, std::string name) {
+  std::lock_guard<std::mutex> lock(beats_mu_);
+  beats_.emplace_back(new Beat(kind, std::move(name)));
+  return beats_.back().get();
+}
+
+Watchdog::Beat* Watchdog::RegisterWorker(std::string name) {
+  return Register(Beat::Kind::kWork, std::move(name));
+}
+
+Watchdog::Beat* Watchdog::RegisterLoop(std::string name) {
+  Beat* beat = Register(Beat::Kind::kLoop, std::move(name));
+  beat->Pulse();  // armed from "now", not from the epoch
+  return beat;
+}
+
+void Watchdog::Start() {
+  std::lock_guard<std::mutex> lock(run_mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+void Watchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+    run_cv_.notify_all();
+  }
+  thread_.join();
+}
+
+void Watchdog::ThreadMain() {
+  std::unique_lock<std::mutex> lock(run_mu_);
+  for (;;) {
+    if (run_cv_.wait_for(lock, options_.interval, [this] { return stop_; })) {
+      return;
+    }
+    lock.unlock();
+    CheckNow();
+    lock.lock();
+  }
+}
+
+void Watchdog::CheckNow() {
+  checks_total_->Add();
+
+  // A SIGUSR1 dump request is serviced here: the signal handler only sets
+  // a flag (async-signal-safe); this thread does the real work.
+  if (flight::ConsumePendingDump()) {
+    logging::Info("flight", "dump requested (SIGUSR1)");
+    logging::Info("flight", flight::SlowLogText());
+    logging::Info("flight", flight::FlightText());
+  }
+
+  const int64_t now = Beat::NowNanos();
+  const int64_t deadline_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(options_.deadline)
+          .count();
+
+  size_t stalled = 0;
+  size_t wedged = 0;
+  std::lock_guard<std::mutex> lock(beats_mu_);
+  for (const auto& beat : beats_) {
+    if (!beat->active_.load(std::memory_order_acquire)) {
+      beat->alerted = false;
+      continue;
+    }
+    bool over = false;
+    int64_t age_ns = 0;
+    if (beat->kind_ == Beat::Kind::kWork) {
+      if (beat->busy_.load(std::memory_order_acquire)) {
+        age_ns = now - beat->stamp_ns_.load(std::memory_order_acquire);
+        over = age_ns > deadline_ns;
+      }
+      if (over) ++stalled;
+    } else {
+      age_ns = now - beat->stamp_ns_.load(std::memory_order_acquire);
+      over = age_ns > deadline_ns;
+      if (over) ++wedged;
+    }
+
+    if (over && !beat->alerted) {
+      beat->alerted = true;
+      alerts_total_->Add();
+      alerts_.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t trace_id =
+          beat->trace_id_.load(std::memory_order_relaxed);
+      char line[192];
+      std::snprintf(line, sizeof(line),
+                    "%s %s for %" PRId64 " ms (deadline %" PRId64
+                    " ms) trace=0x%llx",
+                    beat->name_.c_str(),
+                    beat->kind_ == Beat::Kind::kWork ? "stalled" : "wedged",
+                    age_ns / 1'000'000,
+                    static_cast<int64_t>(options_.deadline.count()),
+                    static_cast<unsigned long long>(trace_id));
+      logging::Error("watchdog", line);
+      flight::NoteStall(trace_id, std::string("watchdog ") + line);
+    } else if (!over && beat->alerted) {
+      beat->alerted = false;
+      logging::Info("watchdog", beat->name_ + " recovered");
+    }
+  }
+  stalled_.store(stalled, std::memory_order_relaxed);
+  wedged_.store(wedged, std::memory_order_relaxed);
+  stalled_gauge_->Set(static_cast<int64_t>(stalled));
+  wedged_gauge_->Set(static_cast<int64_t>(wedged));
+}
+
+}  // namespace mmdb

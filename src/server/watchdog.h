@@ -1,0 +1,155 @@
+// Watchdog: detects stalled workers and wedged event loops and *reports*
+// them (metrics + slow-query log + ERROR line) instead of letting the
+// process die silently or hang unobserved.
+//
+// The monitored threads publish heartbeats through Beat objects — a few
+// relaxed atomic stores per unit of work, cheap enough for the hottest
+// paths:
+//
+//   * a WORK beat brackets request execution: Busy(trace_id) when a worker
+//     picks a task up, Idle() when it finishes.  A worker busy on the same
+//     task for longer than the deadline is *stalled* (typically parked in
+//     a lock-manager wait or wedged in an operator);
+//   * a LOOP beat is pulsed every loop iteration (net::Server's epoll
+//     loop).  A pulse older than the deadline while the beat is active
+//     means the loop is *wedged* — it is not even reaching its top.
+//
+// An idle worker (waiting in the queue Pop) is not busy, so an idle server
+// never alarms.  Alerts are edge-triggered: one alert when a beat crosses
+// the deadline, re-armed only after it recovers — the watchdog itself can
+// never flood the log (and the slow-log line carries the stuck request's
+// trace id, linking the alert back to the flight recorder).
+//
+// Exported series: mmdb_watchdog_checks_total, mmdb_watchdog_alerts_total,
+// mmdb_watchdog_stalled_workers (gauge), mmdb_watchdog_wedged_loops
+// (gauge).
+
+#ifndef MMDB_SERVER_WATCHDOG_H_
+#define MMDB_SERVER_WATCHDOG_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mmdb {
+
+class MetricsRegistry;
+class Counter;
+class Gauge;
+
+struct WatchdogOptions {
+  /// Check cadence.
+  std::chrono::milliseconds interval{100};
+  /// A beat busy/stale for longer than this raises an alert.
+  std::chrono::milliseconds deadline{2000};
+};
+
+class Watchdog {
+ public:
+  /// One monitored thread's heartbeat.  Registered once, owned by the
+  /// watchdog forever (threads may exit; Retire() deactivates).
+  class Beat {
+   public:
+    /// WORK beats: entering / leaving a unit of work.
+    void Busy(uint64_t trace_id) {
+      trace_id_.store(trace_id, std::memory_order_relaxed);
+      stamp_ns_.store(NowNanos(), std::memory_order_release);
+      busy_.store(true, std::memory_order_release);
+    }
+    void Idle() {
+      busy_.store(false, std::memory_order_release);
+      trace_id_.store(0, std::memory_order_relaxed);
+    }
+
+    /// LOOP beats: "I reached the top of my loop again."
+    void Pulse() { stamp_ns_.store(NowNanos(), std::memory_order_release); }
+
+    /// Deactivates the beat (thread exiting); never alarms afterwards.
+    void Retire() { active_.store(false, std::memory_order_release); }
+
+    /// Re-activates a retired beat, armed from now (restarted loop).
+    void Resume() {
+      stamp_ns_.store(NowNanos(), std::memory_order_release);
+      busy_.store(false, std::memory_order_release);
+      active_.store(true, std::memory_order_release);
+    }
+
+    const std::string& name() const { return name_; }
+
+   private:
+    friend class Watchdog;
+    enum class Kind : uint8_t { kWork, kLoop };
+
+    Beat(Kind kind, std::string name) : kind_(kind), name_(std::move(name)) {}
+    static int64_t NowNanos();
+
+    const Kind kind_;
+    const std::string name_;
+    std::atomic<int64_t> stamp_ns_{0};   ///< busy-since (work) / last pulse
+    std::atomic<uint64_t> trace_id_{0};  ///< work beats: the stuck request
+    std::atomic<bool> busy_{false};      ///< work beats only
+    std::atomic<bool> active_{true};
+    bool alerted = false;  ///< watchdog-thread-only: edge trigger state
+  };
+
+  Watchdog(MetricsRegistry* registry, WatchdogOptions options);
+  ~Watchdog();  // implies Stop()
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Registers a heartbeat for a worker thread / an event loop.  The
+  /// returned Beat stays valid for the watchdog's lifetime.
+  Beat* RegisterWorker(std::string name);
+  Beat* RegisterLoop(std::string name);
+
+  /// Starts / stops the checker thread.  Start is idempotent.
+  void Start();
+  void Stop();
+
+  /// Runs one check pass synchronously (deterministic tests).
+  void CheckNow();
+
+  uint64_t alerts() const { return alerts_.load(std::memory_order_relaxed); }
+  /// Currently-over-deadline beats, as of the last check pass.
+  size_t stalled_workers() const {
+    return stalled_.load(std::memory_order_relaxed);
+  }
+  size_t wedged_loops() const {
+    return wedged_.load(std::memory_order_relaxed);
+  }
+
+  const WatchdogOptions& options() const { return options_; }
+
+ private:
+  Beat* Register(Beat::Kind kind, std::string name);
+  void ThreadMain();
+
+  WatchdogOptions options_;
+  Counter* checks_total_;
+  Counter* alerts_total_;
+  Gauge* stalled_gauge_;
+  Gauge* wedged_gauge_;
+
+  std::mutex beats_mu_;
+  std::vector<std::unique_ptr<Beat>> beats_;
+
+  std::atomic<uint64_t> alerts_{0};
+  std::atomic<size_t> stalled_{0};
+  std::atomic<size_t> wedged_{0};
+
+  std::mutex run_mu_;
+  std::condition_variable run_cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_SERVER_WATCHDOG_H_

@@ -55,12 +55,21 @@ bool LockManager::Acquire(uint64_t txn_id, const LockId& id, LockMode mode,
   const auto start = std::chrono::steady_clock::now();
   const bool traced = trace::Enabled();
   const bool metered = timeouts_ != nullptr;
-  if (!traced && !metered) {
+  // A worker inside a request scope always times the wait: the per-request
+  // lock_us breakdown (flight recorder / wire response) needs it even when
+  // span tracing and metrics are off.
+  const bool in_request = trace::CurrentTraceId() != 0;
+  if (!traced && !metered && !in_request) {
     return AcquireImpl(txn_id, id, mode, start + timeout);
   }
 
   const bool granted = AcquireImpl(txn_id, id, mode, start + timeout);
   const auto end = std::chrono::steady_clock::now();
+  if (in_request) {
+    trace::AddLockWaitNanos(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count()));
+  }
   if (metered) {
     const int m = mode == LockMode::kExclusive ? 1 : 0;
     const int s = id.partition == LockId::kRelationLock ? 1 : 0;

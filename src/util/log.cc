@@ -1,0 +1,168 @@
+#include "src/util/log.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <map>
+#include <mutex>
+
+namespace mmdb {
+namespace logging {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Level ParseLevel(const char* s) {
+  if (s == nullptr || *s == '\0') return Level::kInfo;
+  if (std::strcmp(s, "debug") == 0 || std::strcmp(s, "DEBUG") == 0) {
+    return Level::kDebug;
+  }
+  if (std::strcmp(s, "info") == 0 || std::strcmp(s, "INFO") == 0) {
+    return Level::kInfo;
+  }
+  if (std::strcmp(s, "warn") == 0 || std::strcmp(s, "WARN") == 0) {
+    return Level::kWarn;
+  }
+  if (std::strcmp(s, "error") == 0 || std::strcmp(s, "ERROR") == 0) {
+    return Level::kError;
+  }
+  if (std::strcmp(s, "off") == 0 || std::strcmp(s, "OFF") == 0) {
+    return Level::kOff;
+  }
+  return Level::kInfo;
+}
+
+Level InitialLevel() { return ParseLevel(std::getenv("MMDB_LOG")); }
+
+std::atomic<uint8_t> g_min_level{
+    static_cast<uint8_t>(255)};  // 255 = not yet initialized
+
+std::atomic<uint64_t> g_suppressed_total{0};
+
+/// One token bucket per (level, subsys) stream.
+struct Bucket {
+  double tokens = kBurst;
+  Clock::time_point last = Clock::now();
+  uint64_t suppressed = 0;  ///< since the last emitted line
+};
+
+struct SinkState {
+  std::mutex mu;
+  Sink sink;  ///< empty = stderr default
+  std::map<std::pair<uint8_t, std::string>, Bucket> buckets;
+};
+
+SinkState& GlobalSink() {
+  static SinkState* s = new SinkState();
+  return *s;
+}
+
+/// "2026-08-08T12:00:00.123Z" from the wall clock.
+void AppendTimestamp(std::string* out) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(millis));
+  *out += buf;
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Level MinLevel() {
+  uint8_t v = g_min_level.load(std::memory_order_relaxed);
+  if (v == 255) {
+    const Level parsed = InitialLevel();
+    uint8_t expected = 255;
+    g_min_level.compare_exchange_strong(expected, static_cast<uint8_t>(parsed),
+                                        std::memory_order_relaxed);
+    v = g_min_level.load(std::memory_order_relaxed);
+  }
+  return static_cast<Level>(v);
+}
+
+void SetMinLevel(Level level) {
+  g_min_level.store(static_cast<uint8_t>(level), std::memory_order_relaxed);
+}
+
+bool Enabled(Level level) {
+  return level != Level::kOff && level >= MinLevel();
+}
+
+void SetSinkForTest(Sink sink) {
+  SinkState& s = GlobalSink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.sink = std::move(sink);
+}
+
+uint64_t SuppressedTotal() {
+  return g_suppressed_total.load(std::memory_order_relaxed);
+}
+
+void Log(Level level, std::string_view subsys, std::string_view message) {
+  if (!Enabled(level)) return;
+
+  SinkState& s = GlobalSink();
+  std::string line;
+  Sink sink;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    Bucket& b = s.buckets[{static_cast<uint8_t>(level), std::string(subsys)}];
+    const auto now = Clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - b.last).count();
+    b.last = now;
+    b.tokens = std::min(kBurst, b.tokens + elapsed * kPerSecond);
+    if (b.tokens < 1.0) {
+      ++b.suppressed;
+      g_suppressed_total.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    b.tokens -= 1.0;
+
+    line.reserve(64 + message.size());
+    AppendTimestamp(&line);
+    line += ' ';
+    line += LevelName(level);
+    line += ' ';
+    line.append(subsys.data(), subsys.size());
+    line += ": ";
+    if (b.suppressed > 0) {
+      line += "[suppressed " + std::to_string(b.suppressed) + "] ";
+      b.suppressed = 0;
+    }
+    line.append(message.data(), message.size());
+    sink = s.sink;  // copy under the lock; call outside it
+  }
+  if (sink) {
+    sink(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace logging
+}  // namespace mmdb

@@ -1,0 +1,87 @@
+// Leveled, rate-limited process logging.  The engine had no logging
+// facility before the observability PR — spans and metrics are pull-based
+// (scraped or dumped), but a slow query or a stalled worker needs to *push*
+// a line somewhere a human or a log shipper will see it, without ever
+// letting a pathological workload turn the log into the bottleneck.
+//
+// Design:
+//   * four levels (Debug < Info < Warn < Error) behind one relaxed atomic
+//     minimum; a suppressed call is a load and a compare;
+//   * per-(level, subsystem) token buckets: each stream may burst
+//     `kBurst` lines and then refills at `kPerSecond` lines/second.
+//     Suppressed lines are counted and the count is prepended to the next
+//     line that does get through ("[suppressed 42] ...") so volume is
+//     never silently lost;
+//   * one pluggable sink (default: one fprintf(stderr) per line, so lines
+//     from concurrent threads never interleave mid-line); tests install a
+//     capturing sink;
+//   * the minimum level comes from the MMDB_LOG environment variable on
+//     first use (debug|info|warn|error|off), default Info.
+//
+// Lines look like:
+//   2026-08-08T12:00:00.123Z WARN  slowlog: trace=0x1d0a... total_us=12345
+
+#ifndef MMDB_UTIL_LOG_H_
+#define MMDB_UTIL_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace mmdb {
+namespace logging {
+
+enum class Level : uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,  ///< min-level only; never a message level
+};
+
+const char* LevelName(Level level);
+
+/// Current minimum level (first call parses MMDB_LOG).
+Level MinLevel();
+void SetMinLevel(Level level);
+
+/// True when a message at `level` would be emitted (cheap pre-check so
+/// callers can skip building expensive strings).
+bool Enabled(Level level);
+
+/// Emits one line through the rate limiter.  `subsys` must be a stable
+/// short tag ("slowlog", "watchdog", "net"); it keys the token bucket.
+void Log(Level level, std::string_view subsys, std::string_view message);
+
+inline void Debug(std::string_view subsys, std::string_view message) {
+  Log(Level::kDebug, subsys, message);
+}
+inline void Info(std::string_view subsys, std::string_view message) {
+  Log(Level::kInfo, subsys, message);
+}
+inline void Warn(std::string_view subsys, std::string_view message) {
+  Log(Level::kWarn, subsys, message);
+}
+inline void Error(std::string_view subsys, std::string_view message) {
+  Log(Level::kError, subsys, message);
+}
+
+/// Rate-limit policy: per (level, subsys) stream, allow a burst of kBurst
+/// lines, refilling at kPerSecond lines per second.
+inline constexpr double kBurst = 10.0;
+inline constexpr double kPerSecond = 5.0;
+
+/// Replaces the output sink (nullptr restores the stderr default).  The
+/// sink receives fully formatted lines without a trailing newline.  Used
+/// by tests to capture output; install before concurrent logging starts.
+using Sink = std::function<void(Level, const std::string& line)>;
+void SetSinkForTest(Sink sink);
+
+/// Total lines suppressed by the rate limiter since process start.
+uint64_t SuppressedTotal();
+
+}  // namespace logging
+}  // namespace mmdb
+
+#endif  // MMDB_UTIL_LOG_H_

@@ -1,5 +1,6 @@
 #include "src/util/trace.h"
 
+#include <cstdio>
 #include <fstream>
 #include <mutex>
 #include <sstream>
@@ -50,6 +51,9 @@ std::atomic<bool> g_enabled{false};
 
 thread_local uint32_t tls_tid = 0;
 thread_local uint32_t tls_depth = 0;
+thread_local uint64_t tls_trace_id = 0;
+thread_local uint64_t tls_lock_wait_ns = 0;
+thread_local uint64_t tls_commit_wait_ns = 0;
 
 uint32_t ThreadId() {
   if (tls_tid == 0) {
@@ -68,6 +72,7 @@ void PushSpan(const char* name, Clock::time_point start,
   SpanRecord rec;
   rec.name = name;
   rec.args = std::move(args);
+  rec.trace_id = tls_trace_id;
   rec.start = start;
   rec.dur_ns = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
@@ -163,8 +168,18 @@ std::string ToChromeJson() {
       num << ",\"ts\":" << ts << ",\"dur\":" << s.DurMicros();
       event += num.str();
     }
-    if (!s.args.empty()) {
-      event += ",\"args\":{" + s.args + "}";
+    // The wire-visible trace id goes into args so a chrome://tracing or
+    // Perfetto query can pull every span of one request by id.
+    std::string args = s.args;
+    if (s.trace_id != 0) {
+      if (!args.empty()) args += ",";
+      char idbuf[32];
+      std::snprintf(idbuf, sizeof(idbuf), "\"trace_id\":\"0x%llx\"",
+                    static_cast<unsigned long long>(s.trace_id));
+      args += idbuf;
+    }
+    if (!args.empty()) {
+      event += ",\"args\":{" + args + "}";
     }
     event += "}";
     out += event;

@@ -39,6 +39,7 @@ struct SpanRecord {
   std::string args;             ///< JSON fragment, e.g. "\"mode\":\"S\""
   Clock::time_point start{};
   uint64_t dur_ns = 0;
+  uint64_t trace_id = 0;        ///< wire-visible request id (0 = no request)
   uint32_t tid = 0;             ///< small per-thread id (not the OS tid)
   uint32_t depth = 0;           ///< nesting depth on that thread
 
@@ -52,7 +53,41 @@ void PushSpan(const char* name, Clock::time_point start,
 uint32_t ThreadId();
 uint32_t EnterSpan();  // returns depth before increment
 void LeaveSpan();
+extern thread_local uint64_t tls_trace_id;
+extern thread_local uint64_t tls_lock_wait_ns;
+extern thread_local uint64_t tls_commit_wait_ns;
 }  // namespace detail
+
+// ---- Per-request context ----------------------------------------------------
+//
+// The worker executing a request stamps its thread with the request's
+// wire-visible trace id; every span the thread records while the request
+// runs carries that id, and the lock manager / commit path accumulate
+// their wait time here so the service can hand the client a
+// queue/lock/exec/commit breakdown.  Always on (plain thread-local writes
+// — no atomics, no branches on the tracing flag): the accumulators are how
+// the flight recorder attributes time even when span tracing is disabled.
+
+/// Enters a request scope on this thread: sets the trace id and zeroes the
+/// wait accumulators.  Call with 0 to leave the scope.
+inline void BeginRequest(uint64_t trace_id) {
+  detail::tls_trace_id = trace_id;
+  detail::tls_lock_wait_ns = 0;
+  detail::tls_commit_wait_ns = 0;
+}
+
+/// Trace id of the request this thread is executing (0 outside a request).
+inline uint64_t CurrentTraceId() { return detail::tls_trace_id; }
+
+/// Lock-wait time charged to the current request (lock manager hook).
+inline void AddLockWaitNanos(uint64_t ns) { detail::tls_lock_wait_ns += ns; }
+inline uint64_t LockWaitNanos() { return detail::tls_lock_wait_ns; }
+
+/// Durability-wait time charged to the current request (commit fsync ack).
+inline void AddCommitWaitNanos(uint64_t ns) {
+  detail::tls_commit_wait_ns += ns;
+}
+inline uint64_t CommitWaitNanos() { return detail::tls_commit_wait_ns; }
 
 /// Whether spans are currently being recorded.  One relaxed load.
 inline bool Enabled() {

@@ -1,0 +1,233 @@
+// Flight recorder: fingerprint shape-hashing, record round trips,
+// ring wraparound (single-threaded and under concurrent readers — the
+// TSan target for the seqlock), slow-query log thresholding.
+
+#include "src/server/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/server/operation.h"
+#include "src/util/log.h"
+
+namespace mmdb {
+namespace flight {
+namespace {
+
+/// Unique trace ids across every test in this binary: rings are per-thread
+/// and never cleared, so ids must not collide between tests.
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> next{0x0F11'0000'0000'0000ULL};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+Operation PointSelect(const std::string& table, int id) {
+  SelectSpec s;
+  s.table = table;
+  s.where = {WhereClause{"id", CompareOp::kEq, Value(id)}};
+  s.columns = {table + ".name"};
+  return Operation(std::move(s));
+}
+
+Record MakeRecord(uint64_t trace_id) {
+  Record r;
+  r.trace_id = trace_id;
+  r.fingerprint = trace_id ^ 0xF00DULL;
+  r.end_wall_micros = static_cast<int64_t>(trace_id & 0xFFFFFFFF);
+  r.total_us = static_cast<uint32_t>(trace_id & 0xFFFF);
+  r.queue_us = 11;
+  r.lock_us = 22;
+  r.exec_us = 33;
+  r.commit_us = 44;
+  r.rows = 7;
+  r.attempts = 2;
+  r.kind = static_cast<uint8_t>(OpKind::kSelect);
+  r.status = 0;
+  r.cache = static_cast<uint8_t>(CacheOutcome::kHit);
+  r.admission = static_cast<uint8_t>(Admission::kAdmitted);
+  return r;
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabledForTest(true);
+    saved_threshold_ = SlowThresholdMicros();
+    // Silence the slow-query WARN lines during tests.
+    logging::SetSinkForTest([](logging::Level, const std::string&) {});
+  }
+  void TearDown() override {
+    SetSlowThresholdMicros(saved_threshold_);
+    logging::SetSinkForTest(nullptr);
+  }
+  uint64_t saved_threshold_ = 0;
+};
+
+TEST_F(FlightRecorderTest, FingerprintIgnoresLiteralValues) {
+  EXPECT_EQ(Fingerprint(PointSelect("emp", 1)),
+            Fingerprint(PointSelect("emp", 999)));
+}
+
+TEST_F(FlightRecorderTest, FingerprintSeparatesShapes) {
+  EXPECT_NE(Fingerprint(PointSelect("emp", 1)),
+            Fingerprint(PointSelect("dept", 1)));
+  InsertSpec ins;
+  ins.table = "emp";
+  ins.values = {Value(1)};
+  EXPECT_NE(Fingerprint(PointSelect("emp", 1)),
+            Fingerprint(Operation(std::move(ins))));
+  EXPECT_NE(Fingerprint(PointSelect("emp", 1)), 0u);
+}
+
+TEST_F(FlightRecorderTest, NoteThenFindRoundTripsEveryField) {
+  const uint64_t id = NextTraceId();
+  const Record in = MakeRecord(id);
+  Note(in);
+
+  Record out;
+  ASSERT_TRUE(FindByTraceId(id, &out));
+  EXPECT_EQ(out.trace_id, in.trace_id);
+  EXPECT_EQ(out.fingerprint, in.fingerprint);
+  EXPECT_EQ(out.end_wall_micros, in.end_wall_micros);
+  EXPECT_EQ(out.total_us, in.total_us);
+  EXPECT_EQ(out.queue_us, in.queue_us);
+  EXPECT_EQ(out.lock_us, in.lock_us);
+  EXPECT_EQ(out.exec_us, in.exec_us);
+  EXPECT_EQ(out.commit_us, in.commit_us);
+  EXPECT_EQ(out.rows, in.rows);
+  EXPECT_EQ(out.attempts, in.attempts);
+  EXPECT_EQ(out.kind, in.kind);
+  EXPECT_EQ(out.cache, in.cache);
+  EXPECT_EQ(out.admission, in.admission);
+}
+
+TEST_F(FlightRecorderTest, UnknownTraceIdIsNotFound) {
+  Record out;
+  EXPECT_FALSE(FindByTraceId(0xDEAD'BEEF'0000'0001ULL, &out));
+}
+
+TEST_F(FlightRecorderTest, DisabledNoteIsANoOp) {
+  SetEnabledForTest(false);
+  const uint64_t before = TotalRecorded();
+  const uint64_t id = NextTraceId();
+  Note(MakeRecord(id));
+  SetEnabledForTest(true);
+  EXPECT_EQ(TotalRecorded(), before);
+  Record out;
+  EXPECT_FALSE(FindByTraceId(id, &out));
+}
+
+TEST_F(FlightRecorderTest, RingWrapsKeepingNewestRecords) {
+  // 3x the ring capacity through this thread's ring: the oldest two thirds
+  // must be evicted, the newest kRingSlots all still findable.
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < 3 * kRingSlots; ++i) ids.push_back(NextTraceId());
+  for (uint64_t id : ids) Note(MakeRecord(id));
+
+  Record out;
+  for (size_t i = ids.size() - kRingSlots; i < ids.size(); ++i) {
+    EXPECT_TRUE(FindByTraceId(ids[i], &out)) << "newest record " << i;
+  }
+  for (size_t i = 0; i < kRingSlots; ++i) {
+    EXPECT_FALSE(FindByTraceId(ids[i], &out)) << "evicted record " << i;
+  }
+}
+
+TEST_F(FlightRecorderTest, ConcurrentWrapAndSnapshotNeverTearsRecords) {
+  // The TSan target: writers wrap their rings while readers snapshot.
+  // Every record a reader sees must be internally consistent —
+  // fingerprint == trace_id ^ 0xF00D holds for every written record, so a
+  // torn read (old trace_id, new fingerprint) is detectable.
+  constexpr int kWriters = 4;
+  constexpr size_t kPerWriter = 3 * kRingSlots;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        for (const Record& rec : Snapshot()) {
+          if (rec.trace_id >= 0x0F11'0000'0000'0000ULL &&
+              rec.fingerprint != (rec.trace_id ^ 0xF00DULL)) {
+            torn.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      for (size_t i = 0; i < kPerWriter; ++i) Note(MakeRecord(NextTraceId()));
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(torn.load(), 0u);
+}
+
+TEST_F(FlightRecorderTest, SlowRequestsEnterTheSlowLog) {
+  ClearSlowLogForTest();
+  SetSlowThresholdMicros(1000);
+  const uint64_t slow_id = NextTraceId();
+  const uint64_t fast_id = NextTraceId();
+  Record slow = MakeRecord(slow_id);
+  slow.total_us = 5000;
+  Record fast = MakeRecord(fast_id);
+  fast.total_us = 10;
+  const uint64_t slow_before = TotalSlow();
+  Note(slow);
+  Note(fast);
+  EXPECT_EQ(TotalSlow(), slow_before + 1);
+
+  const std::string text = SlowLogText();
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "0x%llx",
+                static_cast<unsigned long long>(slow_id));
+  EXPECT_NE(text.find(hex), std::string::npos) << text;
+  std::snprintf(hex, sizeof(hex), "0x%llx",
+                static_cast<unsigned long long>(fast_id));
+  EXPECT_EQ(text.find(hex), std::string::npos) << text;
+}
+
+TEST_F(FlightRecorderTest, ShedRequestsAlwaysEnterTheSlowLog) {
+  ClearSlowLogForTest();
+  SetSlowThresholdMicros(1'000'000);  // nothing is slow by time
+  const uint64_t id = NextTraceId();
+  Record shed = MakeRecord(id);
+  shed.total_us = 1;
+  shed.admission = static_cast<uint8_t>(Admission::kShedQueue);
+  Note(shed);
+  const std::string text = SlowLogText();
+  EXPECT_NE(text.find("shed_queue"), std::string::npos) << text;
+}
+
+TEST_F(FlightRecorderTest, FormatRecordIsStructuredKeyValue) {
+  const Record r = MakeRecord(NextTraceId());
+  const std::string line = FormatRecord(r);
+  EXPECT_NE(line.find("trace=0x"), std::string::npos);
+  EXPECT_NE(line.find("kind=select"), std::string::npos);
+  EXPECT_NE(line.find("queue_us=11"), std::string::npos);
+  EXPECT_NE(line.find("lock_us=22"), std::string::npos);
+  EXPECT_NE(line.find("exec_us=33"), std::string::npos);
+  EXPECT_NE(line.find("commit_us=44"), std::string::npos);
+  EXPECT_NE(line.find("cache=hit"), std::string::npos);
+  EXPECT_NE(line.find("admission=admitted"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, DumpFlagIsOneShot) {
+  EXPECT_FALSE(ConsumePendingDump());
+  RequestDump();
+  EXPECT_TRUE(ConsumePendingDump());
+  EXPECT_FALSE(ConsumePendingDump());
+}
+
+}  // namespace
+}  // namespace flight
+}  // namespace mmdb

@@ -451,7 +451,7 @@ class RawPeer {
 std::string ValidRequestFrame(uint64_t id) {
   std::string payload, frame;
   EncodeOperation(Operation(SelectById(1)), &payload);
-  EncodeFrame(FrameType::kRequest, id, payload, &frame);
+  EncodeFrame(FrameType::kRequest, id, 0, payload, &frame);
   return frame;
 }
 
@@ -476,7 +476,9 @@ TEST(NetServerTest, GarbageBytesGetTypedErrorAndClose) {
   Harness h = MakeHarness(4);
   RawPeer p;
   ASSERT_TRUE(p.Connect(h.port()));
-  ASSERT_TRUE(p.SendAll("GET / HTTP/1.1\r\nHost: nope\r\n\r\n"));
+  // Neither the MMDB magic nor an HTTP verb: sniffed as binary, rejected as
+  // a corrupt frame.  ("GET ..." would be served by the HTTP scrape shim.)
+  ASSERT_TRUE(p.SendAll("SMTP HELO nope\r\n\r\n"));
   ExpectProtocolErrorThenClose(p.ReadToEof());
   EXPECT_GE(MetricValue(h.service->MetricsText(),
                         "mmdb_net_protocol_errors_total"),
@@ -541,9 +543,9 @@ TEST(NetServerTest, MalformedPayloadInValidFrameKeepsConnectionOpen) {
   RawPeer p;
   ASSERT_TRUE(p.Connect(h.port()));
   std::string bad;
-  EncodeFrame(FrameType::kRequest, 77, "not an operation", &bad);
+  EncodeFrame(FrameType::kRequest, 77, 0, "not an operation", &bad);
   std::string ping;
-  EncodeFrame(FrameType::kPing, 78, {}, &ping);
+  EncodeFrame(FrameType::kPing, 78, 0, {}, &ping);
   ASSERT_TRUE(p.SendAll(bad + ping));
 
   // Expect exactly: kError(id=77, kProtocolError) then kPong(id=78) — the
@@ -580,7 +582,7 @@ TEST(NetServerTest, UnexpectedFrameTypeIsAProtocolError) {
   RawPeer p;
   ASSERT_TRUE(p.Connect(h.port()));
   std::string frame;
-  EncodeFrame(FrameType::kResponse, 12, "", &frame);  // clients must not
+  EncodeFrame(FrameType::kResponse, 12, 0, "", &frame);  // clients must not
   ASSERT_TRUE(p.SendAll(frame));
   ExpectProtocolErrorThenClose(p.ReadToEof());
 }

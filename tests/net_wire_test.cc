@@ -139,6 +139,11 @@ TEST(NetWireTest, OpResultRoundTrip) {
   r.analyze = "tree";
   r.rows_affected = 2;
   r.attempts = 3;
+  r.queue_us = 120;
+  r.lock_us = 4500;
+  r.exec_us = 77;
+  r.commit_us = 0;
+  r.cache_outcome = CacheOutcome::kMiss;
 
   std::string payload;
   ASSERT_TRUE(EncodeOpResult(r, &payload));
@@ -154,6 +159,11 @@ TEST(NetWireTest, OpResultRoundTrip) {
   EXPECT_EQ(out.analyze, r.analyze);
   EXPECT_EQ(out.rows_affected, 2u);
   EXPECT_EQ(out.attempts, 3);
+  EXPECT_EQ(out.queue_us, 120u);
+  EXPECT_EQ(out.lock_us, 4500u);
+  EXPECT_EQ(out.exec_us, 77u);
+  EXPECT_EQ(out.commit_us, 0u);
+  EXPECT_EQ(out.cache_outcome, CacheOutcome::kMiss);
 }
 
 TEST(NetWireTest, PointerResultValuesShipAsText) {
@@ -184,6 +194,8 @@ TEST(NetWireTest, ErrorRoundTrip) {
 
 // ---- Frame layer ------------------------------------------------------------
 
+constexpr uint64_t kTestTraceId = 0x1122334455667788ULL;
+
 std::string EncodedRequestFrame() {
   SelectSpec s;
   s.table = "emp";
@@ -191,7 +203,7 @@ std::string EncodedRequestFrame() {
   std::string payload;
   EncodeOperation(Operation(s), &payload);
   std::string frame;
-  EncodeFrame(FrameType::kRequest, 42, payload, &frame);
+  EncodeFrame(FrameType::kRequest, 42, kTestTraceId, payload, &frame);
   return frame;
 }
 
@@ -204,6 +216,7 @@ TEST(NetWireTest, FrameRoundTrip) {
   ASSERT_EQ(buf.Next(&f, &error), FrameBuffer::Result::kFrame) << error;
   EXPECT_EQ(f.type, FrameType::kRequest);
   EXPECT_EQ(f.request_id, 42u);
+  EXPECT_EQ(f.trace_id, kTestTraceId);
   Operation op;
   ASSERT_TRUE(DecodeOperation(f.payload, &op));
   EXPECT_EQ(std::get<SelectSpec>(op).table, "emp");
@@ -229,7 +242,7 @@ TEST(NetWireTest, ByteAtATimeAssembly) {
 TEST(NetWireTest, PipelinedFramesDecodeInOrder) {
   std::string bytes;
   for (uint64_t id = 1; id <= 5; ++id) {
-    EncodeFrame(FrameType::kPing, id, {}, &bytes);
+    EncodeFrame(FrameType::kPing, id, id * 7, {}, &bytes);
   }
   FrameBuffer buf;
   buf.Append(bytes.data(), bytes.size());
@@ -238,6 +251,7 @@ TEST(NetWireTest, PipelinedFramesDecodeInOrder) {
   for (uint64_t id = 1; id <= 5; ++id) {
     ASSERT_EQ(buf.Next(&f, &error), FrameBuffer::Result::kFrame);
     EXPECT_EQ(f.request_id, id);
+    EXPECT_EQ(f.trace_id, id * 7);
     EXPECT_EQ(f.type, FrameType::kPing);
   }
   EXPECT_EQ(buf.Next(&f, &error), FrameBuffer::Result::kNeedMore);
@@ -259,9 +273,9 @@ TEST(NetWireTest, EveryByteFlipIsDetected) {
       std::string error;
       const auto r = buf.Next(&f, &error);
       // kNeedMore is acceptable only when the flip *grew* the declared
-      // payload length (offset 16..19): the frame then looks incomplete,
+      // payload length (offset 24..27): the frame then looks incomplete,
       // and the CRC rejects it once "enough" bytes arrive.
-      if (i >= 16 && i < 20) {
+      if (i >= 24 && i < 28) {
         if (r == FrameBuffer::Result::kNeedMore) {
           // Feed filler until the inflated length is satisfied; it must
           // then fail the CRC.
@@ -292,16 +306,65 @@ TEST(NetWireTest, EveryByteFlipIsDetected) {
 TEST(NetWireTest, OversizedPayloadLengthIsCorrupt) {
   std::string bytes = EncodedRequestFrame();
   const uint32_t huge = kMaxPayload + 1;
-  bytes[16] = static_cast<char>(huge);
-  bytes[17] = static_cast<char>(huge >> 8);
-  bytes[18] = static_cast<char>(huge >> 16);
-  bytes[19] = static_cast<char>(huge >> 24);
+  bytes[24] = static_cast<char>(huge);
+  bytes[25] = static_cast<char>(huge >> 8);
+  bytes[26] = static_cast<char>(huge >> 16);
+  bytes[27] = static_cast<char>(huge >> 24);
   FrameBuffer buf;
   buf.Append(bytes.data(), bytes.size());
   Frame f;
   std::string error;
   EXPECT_EQ(buf.Next(&f, &error), FrameBuffer::Result::kCorrupt);
   EXPECT_EQ(error, "oversized payload");
+}
+
+// ---- Wire-version compatibility ---------------------------------------------
+
+TEST(NetWireTest, V1FrameGetsTypedUnsupportedVersion) {
+  // A well-formed frame in the old 24-byte-header wire version must come
+  // back as kUnsupportedVersion with the peer's request id — a typed
+  // refusal, not a CRC failure — and must be fully consumed so the stream
+  // stays parseable.
+  std::string bytes;
+  EncodeFrameV1(FrameType::kRequest, 99, "old payload", &bytes);
+  FrameBuffer buf;
+  buf.Append(bytes.data(), bytes.size());
+  Frame f;
+  std::string error;
+  ASSERT_EQ(buf.Next(&f, &error), FrameBuffer::Result::kUnsupportedVersion);
+  EXPECT_EQ(f.request_id, 99u);
+  EXPECT_NE(error.find("version 1"), std::string::npos) << error;
+  EXPECT_EQ(buf.buffered(), 0u);
+  // A v2 frame following the refused v1 frame still decodes.
+  std::string next = EncodedRequestFrame();
+  buf.Append(next.data(), next.size());
+  ASSERT_EQ(buf.Next(&f, &error), FrameBuffer::Result::kFrame) << error;
+  EXPECT_EQ(f.request_id, 42u);
+}
+
+TEST(NetWireTest, CorruptV1FrameIsCorruptNotUnsupported) {
+  // The v1 path still authenticates: a bit-flipped v1 frame must be
+  // rejected as corrupt, not politely refused (line noise could otherwise
+  // forge a "v1 client" signal).
+  std::string bytes;
+  EncodeFrameV1(FrameType::kRequest, 7, "payload", &bytes);
+  bytes[10] = static_cast<char>(bytes[10] ^ 0x40);  // inside request id
+  FrameBuffer buf;
+  buf.Append(bytes.data(), bytes.size());
+  Frame f;
+  std::string error;
+  EXPECT_EQ(buf.Next(&f, &error), FrameBuffer::Result::kCorrupt);
+}
+
+TEST(NetWireTest, UnknownFutureVersionIsCorrupt) {
+  std::string bytes = EncodedRequestFrame();
+  bytes[4] = 9;  // version byte
+  FrameBuffer buf;
+  buf.Append(bytes.data(), bytes.size());
+  Frame f;
+  std::string error;
+  EXPECT_EQ(buf.Next(&f, &error), FrameBuffer::Result::kCorrupt);
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
 }
 
 TEST(NetWireTest, GarbageIsCorruptNotCrash) {

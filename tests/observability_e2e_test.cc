@@ -1,0 +1,369 @@
+// End-to-end observability: a chosen trace id travels client -> wire ->
+// QueryService -> flight recorder/slow-query log with its full micros
+// breakdown; the admin scrape endpoints (binary frames and the HTTP shim)
+// expose the mmdb_net_/mmdb_cache_/mmdb_watchdog_ series; a version-1
+// client gets a typed kUnsupportedVersion reply in its own framing; the
+// watchdog fires on a worker stalled behind a held relation lock and stays
+// quiet on an idle server.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/core/database.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/net/wire_format.h"
+#include "src/server/flight_recorder.h"
+#include "src/server/query_service.h"
+#include "src/txn/lock_manager.h"
+#include "src/util/log.h"
+
+namespace mmdb {
+namespace net {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// Server + service + database with a small emp table; watchdog timing is
+/// configurable per test.
+struct Harness {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<Server> server;
+
+  uint16_t port() const { return server->port(); }
+
+  Harness() = default;
+  Harness(Harness&&) = default;
+  Harness& operator=(Harness&&) = default;
+  ~Harness() {
+    server.reset();  // Stop() drains before the service goes away
+    service.reset();
+  }
+};
+
+Harness MakeHarness(ServiceOptions sopts = {}) {
+  Harness h;
+  h.db = std::make_unique<Database>();
+  h.db->CreateTable("emp", {{"id", Type::kInt32},
+                            {"age", Type::kInt32},
+                            {"name", Type::kString}});
+  for (int i = 0; i < 64; ++i) {
+    h.db->Insert("emp", {Value(i), Value(20 + i % 50),
+                         Value("name" + std::to_string(i))});
+  }
+  h.service = std::make_unique<QueryService>(h.db.get(), sopts);
+  h.server = std::make_unique<Server>(h.service.get(), ServerOptions{});
+  EXPECT_TRUE(h.server->Start().ok());
+  return h;
+}
+
+Operation PointSelect(int id) {
+  SelectSpec s;
+  s.table = "emp";
+  s.where = {WhereClause{"id", CompareOp::kEq, Value(id)}};
+  s.columns = {"emp.name"};
+  return Operation(std::move(s));
+}
+
+std::string HexId(uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// A raw TCP peer for the HTTP shim and mixed-version tests.
+class RawPeer {
+ public:
+  ~RawPeer() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool Connect(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+  bool SendAll(std::string_view data) {
+    size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + off, data.size() - off, 0);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+  std::string ReadToEof() {
+    std::string all;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      all.append(buf, static_cast<size_t>(n));
+    }
+    return all;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+class ObservabilityE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    flight::SetEnabledForTest(true);
+    saved_threshold_ = flight::SlowThresholdMicros();
+    logging::SetSinkForTest([](logging::Level, const std::string&) {});
+  }
+  void TearDown() override {
+    flight::SetSlowThresholdMicros(saved_threshold_);
+    logging::SetSinkForTest(nullptr);
+  }
+  uint64_t saved_threshold_ = 0;
+};
+
+TEST_F(ObservabilityE2eTest, ChosenTraceIdIsFindableWithFullBreakdown) {
+  Harness h = MakeHarness();
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", h.port()).ok());
+
+  constexpr uint64_t kTrace = 0x0E2E'0000'0000'1234ULL;
+  Response r = client.Call(PointSelect(7), kTrace);
+  ASSERT_TRUE(r.ok());
+  // The response frame echoes the chosen id...
+  EXPECT_EQ(r.trace_id, kTrace);
+  // ...and carries the server-side micros breakdown + cache outcome.
+  EXPECT_EQ(r.result.cache_outcome, CacheOutcome::kMiss);
+
+  // The flight recorder holds the same request, keyed by the same id.
+  flight::Record rec;
+  ASSERT_TRUE(flight::FindByTraceId(kTrace, &rec));
+  EXPECT_EQ(rec.kind, static_cast<uint8_t>(OpKind::kSelect));
+  EXPECT_EQ(rec.admission, static_cast<uint8_t>(flight::Admission::kAdmitted));
+  EXPECT_EQ(rec.cache, static_cast<uint8_t>(CacheOutcome::kMiss));
+  EXPECT_EQ(rec.rows, 1u);
+  EXPECT_NE(rec.fingerprint, 0u);
+  EXPECT_GE(rec.total_us, rec.exec_us);
+  EXPECT_EQ(rec.queue_us, r.result.queue_us);
+  EXPECT_EQ(rec.exec_us, r.result.exec_us);
+
+  // A repeat of the same statement shape is served by the reuse cache and
+  // is recorded as such, under its own trace id.
+  constexpr uint64_t kTrace2 = kTrace + 1;
+  Response r2 = client.Call(PointSelect(7), kTrace2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.result.cache_outcome, CacheOutcome::kHit);
+  flight::Record rec2;
+  ASSERT_TRUE(flight::FindByTraceId(kTrace2, &rec2));
+  EXPECT_EQ(rec2.cache, static_cast<uint8_t>(CacheOutcome::kHit));
+  EXPECT_EQ(rec2.fingerprint, rec.fingerprint);  // same statement shape
+}
+
+TEST_F(ObservabilityE2eTest, AutoTraceIdsAreGeneratedAndDistinct) {
+  Harness h = MakeHarness();
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", h.port()).ok());
+  Response a = client.Call(PointSelect(1));
+  Response b = client.Call(PointSelect(2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.trace_id, 0u);
+  EXPECT_NE(b.trace_id, 0u);
+  EXPECT_NE(a.trace_id, b.trace_id);
+}
+
+TEST_F(ObservabilityE2eTest, SlowQueryLandsInSlowLogWithBreakdown) {
+  flight::ClearSlowLogForTest();
+  flight::SetSlowThresholdMicros(0);  // everything is slow
+  Harness h = MakeHarness();
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", h.port()).ok());
+  constexpr uint64_t kTrace = 0x0E2E'0000'5104'0001ULL;
+  ASSERT_TRUE(client.Call(PointSelect(3), kTrace).ok());
+
+  const std::string text = flight::SlowLogText();
+  const size_t at = text.find(HexId(kTrace));
+  ASSERT_NE(at, std::string::npos) << text;
+  const std::string line = text.substr(at, text.find('\n', at) - at);
+  EXPECT_NE(line.find("queue_us="), std::string::npos) << line;
+  EXPECT_NE(line.find("exec_us="), std::string::npos) << line;
+  EXPECT_NE(line.find("cache="), std::string::npos) << line;
+}
+
+TEST_F(ObservabilityE2eTest, AdminFramesServeAllFourEndpoints) {
+  Harness h = MakeHarness();
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", h.port()).ok());
+  ASSERT_TRUE(client.Call(PointSelect(5)).ok());  // populate some series
+
+  std::string metrics;
+  ASSERT_TRUE(client.Admin(AdminKind::kMetrics, &metrics).ok());
+  EXPECT_NE(metrics.find("mmdb_net_frames_in_total"), std::string::npos);
+  EXPECT_NE(metrics.find("mmdb_cache_"), std::string::npos);
+  EXPECT_NE(metrics.find("mmdb_watchdog_checks_total"), std::string::npos);
+
+  std::string status;
+  ASSERT_TRUE(client.Admin(AdminKind::kStatus, &status).ok());
+  EXPECT_NE(status.find("workers:"), std::string::npos);
+  EXPECT_NE(status.find("queue_depth:"), std::string::npos);
+  EXPECT_NE(status.find("net_connections:"), std::string::npos);
+
+  std::string slowlog;
+  ASSERT_TRUE(client.Admin(AdminKind::kSlowLog, &slowlog).ok());
+  EXPECT_NE(slowlog.find("slow-query log:"), std::string::npos);
+
+  std::string fl;
+  ASSERT_TRUE(client.Admin(AdminKind::kFlight, &fl).ok());
+  EXPECT_NE(fl.find("flight recorder:"), std::string::npos);
+}
+
+TEST_F(ObservabilityE2eTest, HttpShimServesMetricsForCurl) {
+  Harness h = MakeHarness();
+  RawPeer p;
+  ASSERT_TRUE(p.Connect(h.port()));
+  ASSERT_TRUE(p.SendAll("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"));
+  const std::string reply = p.ReadToEof();
+  EXPECT_EQ(reply.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << reply;
+  EXPECT_NE(reply.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(reply.find("mmdb_net_frames_in_total"), std::string::npos);
+  EXPECT_NE(reply.find("mmdb_watchdog_"), std::string::npos);
+}
+
+TEST_F(ObservabilityE2eTest, HttpShimUnknownPathIs404) {
+  Harness h = MakeHarness();
+  RawPeer p;
+  ASSERT_TRUE(p.Connect(h.port()));
+  ASSERT_TRUE(p.SendAll("GET /wrong HTTP/1.1\r\nHost: x\r\n\r\n"));
+  const std::string reply = p.ReadToEof();
+  EXPECT_EQ(reply.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u) << reply;
+}
+
+TEST_F(ObservabilityE2eTest, V1ClientGetsTypedErrorInV1Framing) {
+  Harness h = MakeHarness();
+  RawPeer p;
+  ASSERT_TRUE(p.Connect(h.port()));
+
+  std::string payload, frame;
+  ASSERT_TRUE(EncodeOperation(PointSelect(1), &payload));
+  EncodeFrameV1(FrameType::kRequest, /*request_id=*/55, payload, &frame);
+  ASSERT_TRUE(p.SendAll(frame));
+
+  // The reply must be parseable by a *v1* decoder: 24-byte header with
+  // payload_len at offset 16, carrying kError/kUnsupportedVersion
+  // addressed to request 55.  The server closes afterwards.
+  const std::string reply = p.ReadToEof();
+  ASSERT_GE(reply.size(), kHeaderSizeV1);
+  EXPECT_EQ(std::memcmp(reply.data(), "MMDB", 4), 0);
+  EXPECT_EQ(static_cast<uint8_t>(reply[4]), kWireVersion1);
+  EXPECT_EQ(static_cast<FrameType>(reply[5]), FrameType::kError);
+  uint64_t request_id = 0;
+  std::memcpy(&request_id, reply.data() + 8, sizeof(request_id));
+  EXPECT_EQ(request_id, 55u);
+  uint32_t len = 0;
+  std::memcpy(&len, reply.data() + 16, sizeof(len));
+  ASSERT_EQ(reply.size(), kHeaderSizeV1 + len);
+
+  WireErrorCode code;
+  std::string message;
+  ASSERT_TRUE(DecodeError(
+      std::string_view(reply.data() + kHeaderSizeV1, len), &code, &message));
+  EXPECT_EQ(code, WireErrorCode::kUnsupportedVersion);
+  EXPECT_NE(message.find("version"), std::string::npos);
+}
+
+TEST_F(ObservabilityE2eTest, WatchdogQuietOnIdleServer) {
+  ServiceOptions sopts;
+  sopts.watchdog_interval = milliseconds(5);
+  sopts.watchdog_deadline = milliseconds(25);
+  Harness h = MakeHarness(sopts);
+  // Several deadlines of pure idleness (plus a connected-but-quiet
+  // client): no alerts.
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", h.port()).ok());
+  std::this_thread::sleep_for(milliseconds(100));
+  ASSERT_NE(h.service->watchdog(), nullptr);
+  EXPECT_EQ(h.service->watchdog()->alerts(), 0u);
+  EXPECT_EQ(h.service->watchdog()->stalled_workers(), 0u);
+  EXPECT_EQ(h.service->watchdog()->wedged_loops(), 0u);
+}
+
+TEST_F(ObservabilityE2eTest, WatchdogFiresOnWorkerStalledBehindHeldLock) {
+  ServiceOptions sopts;
+  sopts.workers = 2;
+  sopts.watchdog_interval = milliseconds(5);
+  sopts.watchdog_deadline = milliseconds(50);
+  Harness h = MakeHarness(sopts);
+
+  // An outside "transaction" grabs every partition of emp exclusively (and
+  // the relation-growth sentinel), so the submitted update's worker parks
+  // in the lock manager far past the watchdog deadline.
+  constexpr uint64_t kHolder = 0x0E2E'70CC'0000'0001ULL;
+  LockManager& lm = h.db->lock_manager();
+  const size_t parts = h.db->GetTable("emp")->partitions().size();
+  for (uint32_t pid = 0; pid < parts; ++pid) {
+    ASSERT_TRUE(lm.Acquire(kHolder, LockId{"emp", pid}, LockMode::kExclusive));
+  }
+  ASSERT_TRUE(lm.Acquire(kHolder, LockId{"emp", LockId::kRelationLock},
+                         LockMode::kExclusive));
+
+  UpdateSpec up;
+  up.table = "emp";
+  up.match = WhereClause{"id", CompareOp::kEq, Value(1)};
+  up.set_field = "age";
+  up.set_value = Value(99);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Session* session = h.service->OpenSession();
+  ASSERT_TRUE(h.service
+                  ->Submit(session, Operation(std::move(up)),
+                           [&](const OpResult&) {
+                             std::lock_guard<std::mutex> lock(mu);
+                             done = true;
+                             cv.notify_all();
+                           })
+                  .ok());
+
+  // The worker is now wedged behind the held locks: the watchdog must
+  // notice within a few deadlines.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (h.service->watchdog()->alerts() == 0 &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  EXPECT_GE(h.service->watchdog()->alerts(), 1u);
+  EXPECT_GE(h.service->watchdog()->stalled_workers(), 1u);
+
+  // Release and let the retried update finish so teardown is clean.
+  lm.ReleaseAll(kHolder);
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait_for(lock, std::chrono::seconds(10), [&] { return done; });
+    EXPECT_TRUE(done);
+  }
+  h.service->CloseSession(session);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace mmdb

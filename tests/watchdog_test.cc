@@ -1,0 +1,161 @@
+// Watchdog: stalled-worker and wedged-loop detection via deterministic
+// CheckNow passes (no reliance on the checker thread's timing), plus the
+// quiet-when-idle and edge-triggered-alert properties.
+
+#include "src/server/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "src/server/flight_recorder.h"
+#include "src/util/log.h"
+#include "src/util/metrics.h"
+
+namespace mmdb {
+namespace {
+
+using std::chrono::milliseconds;
+
+class WatchdogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    logging::SetSinkForTest([](logging::Level, const std::string&) {});
+  }
+  void TearDown() override { logging::SetSinkForTest(nullptr); }
+
+  /// A watchdog with no checker thread started: every pass is an explicit
+  /// CheckNow(), so deadlines are exercised by sleeping past them.
+  MetricsRegistry registry;
+  WatchdogOptions Opts(int deadline_ms) {
+    WatchdogOptions o;
+    o.interval = milliseconds(10);
+    o.deadline = milliseconds(deadline_ms);
+    return o;
+  }
+};
+
+TEST_F(WatchdogTest, IdleWorkerNeverAlarms) {
+  Watchdog dog(&registry, Opts(20));
+  Watchdog::Beat* beat = dog.RegisterWorker("w0");
+  // Idle (registered, never Busy) across several deadlines: quiet.
+  std::this_thread::sleep_for(milliseconds(60));
+  dog.CheckNow();
+  EXPECT_EQ(dog.alerts(), 0u);
+  EXPECT_EQ(dog.stalled_workers(), 0u);
+
+  // Busy-then-idle within the deadline: still quiet.
+  beat->Busy(0x1111);
+  beat->Idle();
+  std::this_thread::sleep_for(milliseconds(60));
+  dog.CheckNow();
+  EXPECT_EQ(dog.alerts(), 0u);
+}
+
+TEST_F(WatchdogTest, StalledWorkerAlertsOnceAndRearmsAfterRecovery) {
+  Watchdog dog(&registry, Opts(20));
+  Watchdog::Beat* beat = dog.RegisterWorker("w0");
+  beat->Busy(0xABCD);
+  std::this_thread::sleep_for(milliseconds(40));
+  dog.CheckNow();
+  EXPECT_EQ(dog.alerts(), 1u);
+  EXPECT_EQ(dog.stalled_workers(), 1u);
+
+  // Still stuck: edge-triggered, no second alert.
+  dog.CheckNow();
+  EXPECT_EQ(dog.alerts(), 1u);
+  EXPECT_EQ(dog.stalled_workers(), 1u);
+
+  // Recovers, then stalls again: a fresh alert.
+  beat->Idle();
+  dog.CheckNow();
+  EXPECT_EQ(dog.stalled_workers(), 0u);
+  beat->Busy(0xABCE);
+  std::this_thread::sleep_for(milliseconds(40));
+  dog.CheckNow();
+  EXPECT_EQ(dog.alerts(), 2u);
+}
+
+TEST_F(WatchdogTest, StallAlertLandsInSlowLogWithTraceId) {
+  flight::ClearSlowLogForTest();
+  Watchdog dog(&registry, Opts(20));
+  Watchdog::Beat* beat = dog.RegisterWorker("w0");
+  beat->Busy(0x5744'0001);
+  std::this_thread::sleep_for(milliseconds(40));
+  dog.CheckNow();
+  const std::string text = flight::SlowLogText();
+  EXPECT_NE(text.find("0x57440001"), std::string::npos) << text;
+  beat->Idle();
+}
+
+TEST_F(WatchdogTest, WedgedLoopAlertsAndPulseClears) {
+  Watchdog dog(&registry, Opts(20));
+  Watchdog::Beat* beat = dog.RegisterLoop("loop");
+  beat->Pulse();
+  dog.CheckNow();
+  EXPECT_EQ(dog.wedged_loops(), 0u);
+
+  std::this_thread::sleep_for(milliseconds(40));
+  dog.CheckNow();
+  EXPECT_EQ(dog.alerts(), 1u);
+  EXPECT_EQ(dog.wedged_loops(), 1u);
+
+  beat->Pulse();
+  dog.CheckNow();
+  EXPECT_EQ(dog.wedged_loops(), 0u);
+}
+
+TEST_F(WatchdogTest, RetiredBeatIsQuietUntilResumed) {
+  Watchdog dog(&registry, Opts(20));
+  Watchdog::Beat* beat = dog.RegisterLoop("loop");
+  beat->Pulse();
+  beat->Retire();
+  std::this_thread::sleep_for(milliseconds(40));
+  dog.CheckNow();
+  EXPECT_EQ(dog.alerts(), 0u);
+
+  // Resume re-arms from *now*: no instant stale-pulse alarm...
+  beat->Resume();
+  dog.CheckNow();
+  EXPECT_EQ(dog.alerts(), 0u);
+  // ...but monitoring is live again.
+  std::this_thread::sleep_for(milliseconds(40));
+  dog.CheckNow();
+  EXPECT_EQ(dog.alerts(), 1u);
+}
+
+TEST_F(WatchdogTest, MetricsSeriesAreRegistered) {
+  Watchdog dog(&registry, Opts(20));
+  Watchdog::Beat* beat = dog.RegisterWorker("w0");
+  beat->Busy(1);
+  std::this_thread::sleep_for(milliseconds(40));
+  dog.CheckNow();
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("mmdb_watchdog_checks_total"), std::string::npos);
+  EXPECT_NE(text.find("mmdb_watchdog_alerts_total 1"), std::string::npos);
+  EXPECT_NE(text.find("mmdb_watchdog_stalled_workers 1"), std::string::npos);
+  EXPECT_NE(text.find("mmdb_watchdog_wedged_loops 0"), std::string::npos);
+  beat->Idle();
+}
+
+TEST_F(WatchdogTest, CheckerThreadDetectsAStallOnItsOwn) {
+  // The only thread-driven test: start the checker, stall a worker, wait
+  // for an alert with a generous timeout.
+  Watchdog dog(&registry, Opts(20));
+  Watchdog::Beat* beat = dog.RegisterWorker("w0");
+  dog.Start();
+  beat->Busy(42);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (dog.alerts() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  EXPECT_GE(dog.alerts(), 1u);
+  beat->Idle();
+  dog.Stop();
+}
+
+}  // namespace
+}  // namespace mmdb
