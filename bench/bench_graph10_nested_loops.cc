@@ -40,6 +40,14 @@ void BM_Graph10_HashJoinReference(benchmark::State& state) {
   state.SetLabel("HashJoin (reference)");
 }
 
+void BM_Graph10_HashJoinReferenceTuple(benchmark::State& state) {
+  const JoinPair& pair = PairFor(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashJoin(SpecOf(pair), ExecMode::kTuple).size());
+  }
+  state.SetLabel("HashJoin[tuple] (reference)");
+}
+
 BENCHMARK(BM_Graph10_NestedLoops)
     ->Arg(1000)
     ->Arg(2500)
@@ -48,6 +56,13 @@ BENCHMARK(BM_Graph10_NestedLoops)
     ->Arg(20000)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Graph10_HashJoinReference)
+    ->Arg(1000)
+    ->Arg(2500)
+    ->Arg(5000)
+    ->Arg(10000)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Graph10_HashJoinReferenceTuple)
     ->Arg(1000)
     ->Arg(2500)
     ->Arg(5000)

@@ -19,10 +19,21 @@ namespace mmdb {
 namespace bench {
 
 enum class JoinBenchMethod : long {
+  // The paper's four methods, run in the session-default exec mode
+  // (batched unless MMDB_EXEC=TUPLE).
   kHashJoin = 0,
   kTreeJoin = 1,
   kSortMerge = 2,
   kTreeMerge = 3,
+  // Batched-vs-scalar comparison rows: the two mode-sensitive algorithms
+  // pinned to tuple-at-a-time, plus the explicitly batched and the
+  // L2-partitioned batched hash joins.  Method pairs (4,5) vs (0-pinned,
+  // 2-pinned) give the vectorization speedup on the same workload.
+  kHashJoinTuple = 4,
+  kSortMergeTuple = 5,
+  kHashJoinBatched = 6,
+  kSortMergeBatched = 7,
+  kPartitionedHashBatched = 8,
 };
 
 inline const char* JoinBenchMethodName(JoinBenchMethod m) {
@@ -31,6 +42,12 @@ inline const char* JoinBenchMethodName(JoinBenchMethod m) {
     case JoinBenchMethod::kTreeJoin: return "TreeJoin";
     case JoinBenchMethod::kSortMerge: return "SortMerge";
     case JoinBenchMethod::kTreeMerge: return "TreeMerge";
+    case JoinBenchMethod::kHashJoinTuple: return "HashJoin[tuple]";
+    case JoinBenchMethod::kSortMergeTuple: return "SortMerge[tuple]";
+    case JoinBenchMethod::kHashJoinBatched: return "HashJoin[batched]";
+    case JoinBenchMethod::kSortMergeBatched: return "SortMerge[batched]";
+    case JoinBenchMethod::kPartitionedHashBatched:
+      return "PartitionedHash[batched]";
   }
   return "?";
 }
@@ -47,6 +64,24 @@ inline size_t RunJoinOnce(const JoinPair& pair, JoinBenchMethod method) {
       return SortMergeJoin(spec).size();
     case JoinBenchMethod::kTreeMerge:
       return TreeMergeJoin(spec, OuterTree(pair), InnerTree(pair)).size();
+    case JoinBenchMethod::kHashJoinTuple:
+      return HashJoin(spec, ExecMode::kTuple).size();
+    case JoinBenchMethod::kSortMergeTuple:
+      return SortMergeJoin(spec, kDefaultInsertionSortCutoff,
+                           ExecMode::kTuple).size();
+    case JoinBenchMethod::kHashJoinBatched:
+      return HashJoin(spec, ExecMode::kBatched).size();
+    case JoinBenchMethod::kSortMergeBatched:
+      return SortMergeJoin(spec, kDefaultInsertionSortCutoff,
+                           ExecMode::kBatched).size();
+    case JoinBenchMethod::kPartitionedHashBatched: {
+      const size_t build =
+          joinmem::EstimateBuildBytes(spec.inner->cardinality());
+      const size_t parts =
+          joinmem::ChoosePartitions(build, joinmem::L2TargetBytes());
+      return PartitionedHashJoin(spec, parts < 2 ? 2 : parts,
+                                 ExecMode::kBatched).size();
+    }
   }
   return 0;
 }
@@ -71,10 +106,14 @@ void JoinBenchBody(benchmark::State& state, const MakePair& make_pair) {
   state.SetLabel(JoinBenchMethodName(method));
 }
 
-/// All four methods crossed with the given sweep values.
+/// All four paper methods, plus the tuple-vs-batched comparison rows,
+/// crossed with the given sweep values.  Methods 6/7 (explicitly batched
+/// hash / sort-merge) are skipped in the sweep because methods 0/2 already
+/// run batched under the default exec mode — select them with a
+/// --benchmark_filter when MMDB_EXEC=TUPLE is set globally.
 inline void JoinSweepArgs(benchmark::internal::Benchmark* b,
                           const std::vector<long>& params) {
-  for (long m = 0; m < 4; ++m) {
+  for (long m : {0L, 1L, 2L, 3L, 4L, 5L, 8L}) {
     for (long p : params) b->Args({m, p});
   }
 }

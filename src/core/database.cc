@@ -183,26 +183,35 @@ Status Database::DropTable(const std::string& name) {
   return s;
 }
 
-// The auto-commit fast paths take no locks (loads and single-threaded
-// examples), so the best the cache can do is relation-wide invalidation
-// after the write — correct in the single-threaded settings these paths
-// support; concurrent use goes through transactions, which invalidate
-// under their X locks.
+// The auto-commit fast paths are single-op mini-transactions: the mutation
+// is appended to the stable log buffer before it touches the database
+// (Commit's WAL discipline), the reuse cache is invalidated under the
+// transaction's X locks, and — under sync durability — the caller does not
+// get the result back until the commit record is on the log device.  An
+// earlier revision mutated the relation directly with no logging, which
+// silently dropped every acked fast-path write on crash recovery.
 
 TupleRef Database::Insert(const std::string& table,
                           std::vector<Value> values) {
-  Relation* rel = catalog_.Get(table);
-  if (rel == nullptr) return nullptr;
-  TupleRef t = rel->Insert(values);
-  if (t != nullptr) reuse_cache_->InvalidateRelation(table);
-  return t;
+  std::unique_ptr<Transaction> txn = Begin();
+  if (!txn->Insert(table, std::move(values)).ok()) {
+    txn->Abort();
+    return nullptr;
+  }
+  if (!txn->Commit().ok()) return nullptr;
+  WaitDurable(txn->commit_lsn());
+  return txn->inserted().empty() ? nullptr : txn->inserted().front();
 }
 
 Status Database::Delete(const std::string& table, TupleRef t) {
-  Relation* rel = catalog_.Get(table);
-  if (rel == nullptr) return Status::NotFound("no relation " + table);
-  Status s = rel->Delete(t);
-  if (s.ok()) reuse_cache_->InvalidateRelation(table);
+  std::unique_ptr<Transaction> txn = Begin();
+  Status s = txn->Delete(table, t);
+  if (!s.ok()) {
+    txn->Abort();
+    return s;
+  }
+  s = txn->Commit();
+  if (s.ok()) WaitDurable(txn->commit_lsn());
   return s;
 }
 
@@ -212,8 +221,14 @@ Status Database::Update(const std::string& table, TupleRef t,
   if (rel == nullptr) return Status::NotFound("no relation " + table);
   auto f = rel->schema().FieldIndex(field);
   if (!f.has_value()) return Status::NotFound("no field " + field);
-  Status s = rel->UpdateField(t, *f, std::move(v));
-  if (s.ok()) reuse_cache_->InvalidateRelation(table);
+  std::unique_ptr<Transaction> txn = Begin();
+  Status s = txn->Update(table, t, *f, std::move(v));
+  if (!s.ok()) {
+    txn->Abort();
+    return s;
+  }
+  s = txn->Commit();
+  if (s.ok()) WaitDurable(txn->commit_lsn());
   return s;
 }
 

@@ -63,7 +63,11 @@ class Database {
 
   // ---- DML (auto-commit fast path) -------------------------------------------
 
-  /// Non-transactional insert (no logging/locking) for loads and examples.
+  /// Auto-commit insert: runs as a single-op mini-transaction, so the
+  /// mutation is logged before it is acknowledged (and, under sync
+  /// durability, forced to the log device first).  Returns the inserted
+  /// tuple, or nullptr on failure (unknown table, unique violation, bad FK,
+  /// lock timeout).
   TupleRef Insert(const std::string& table, std::vector<Value> values);
   Status Delete(const std::string& table, TupleRef t);
   Status Update(const std::string& table, TupleRef t,

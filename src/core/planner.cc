@@ -38,6 +38,9 @@ const char* JoinMethodName(JoinMethod method) {
     case JoinMethod::kTreeJoin: return "tree (index) join";
     case JoinMethod::kHashProbe: return "hash join (existing index)";
     case JoinMethod::kHashJoin: return "hash join (build + probe)";
+    case JoinMethod::kPartitionedHash:
+      return "partitioned hash join (L2-resident builds)";
+    case JoinMethod::kHybridHash: return "hybrid hash join";
     case JoinMethod::kSortMerge: return "sort merge join";
     case JoinMethod::kNestedLoops: return "nested loops join";
   }
@@ -117,7 +120,35 @@ JoinPlan Planner::PlanJoin(const JoinSpec& spec, const JoinStats& stats) {
     return plan;
   }
 
-  // Default: build a chained-bucket hash on the inner and probe.
+  // Default family: build a chained-bucket hash on the inner and probe.
+  // The variant is memory-aware (DESIGN.md §4f): a build estimated past
+  // MMDB_JOIN_MEM_BYTES goes hybrid (only 1/P of the table resident, the
+  // rest staged as bare refs and joined per partition); a build past the
+  // L2 target but within budget is partitioned so each piece's chains stay
+  // cache-resident during probes; small builds stay monolithic.
+  const size_t build_bytes =
+      joinmem::EstimateBuildBytes(spec.inner->cardinality());
+  if (build_bytes > joinmem::BudgetBytes()) {
+    plan.method = JoinMethod::kHybridHash;
+    plan.partitions =
+        std::max<size_t>(2, joinmem::ChoosePartitions(
+                                build_bytes, joinmem::L2TargetBytes()));
+    plan.spilled = plan.partitions - 1;
+    plan.rationale = "estimated hash build (" +
+                     std::to_string(build_bytes >> 20) +
+                     " MiB) exceeds MMDB_JOIN_MEM_BYTES; hybrid hash keeps "
+                     "1/" + std::to_string(plan.partitions) + " resident";
+    return plan;
+  }
+  if (build_bytes > joinmem::L2TargetBytes()) {
+    plan.method = JoinMethod::kPartitionedHash;
+    plan.partitions =
+        joinmem::ChoosePartitions(build_bytes, joinmem::L2TargetBytes());
+    plan.rationale = "no usable existing index; build split into " +
+                     std::to_string(plan.partitions) +
+                     " L2-resident partitions";
+    return plan;
+  }
   plan.method = JoinMethod::kHashJoin;
   plan.rationale = "no usable existing index; hash build + probe is the "
                    "best general method (Graphs 4/5)";
@@ -136,6 +167,10 @@ TempList Planner::ExecuteJoin(const JoinSpec& spec, const JoinPlan& plan) {
       return HashProbeJoin(spec, *plan.inner_hash);
     case JoinMethod::kHashJoin:
       return HashJoin(spec);
+    case JoinMethod::kPartitionedHash:
+      return PartitionedHashJoin(spec, plan.partitions);
+    case JoinMethod::kHybridHash:
+      return HybridHashJoin(spec, plan.partitions);
     case JoinMethod::kSortMerge:
       return SortMergeJoin(spec);
     case JoinMethod::kNestedLoops:
@@ -204,7 +239,8 @@ double Planner::EstimateSelectCost(const Relation& rel, const Predicate& pred,
   return n;
 }
 
-double Planner::EstimateJoinCost(const JoinSpec& spec, JoinMethod method) {
+double Planner::EstimateJoinCost(const JoinSpec& spec, JoinMethod method,
+                                 size_t partitions) {
   const double n1 = static_cast<double>(spec.outer->cardinality());
   const double n2 = static_cast<double>(spec.inner->cardinality());
   switch (method) {
@@ -217,7 +253,16 @@ double Planner::EstimateJoinCost(const JoinSpec& spec, JoinMethod method) {
     case JoinMethod::kHashProbe:
       return n1;  // one hash call per probe, fixed-cost buckets
     case JoinMethod::kHashJoin:
-      return n1 + n2;  // build hashes + probe hashes
+    case JoinMethod::kPartitionedHash:
+      // Routing reuses the build/probe hashes, so the partitioned variant
+      // costs the same algorithmic work — it only changes memory locality.
+      return n1 + n2;
+    case JoinMethod::kHybridHash: {
+      // The spilled (1 - 1/P) fraction of both inputs is hashed twice:
+      // once to route it, once more when its partition is built/probed.
+      const double p = partitions < 1 ? 1.0 : static_cast<double>(partitions);
+      return (n1 + n2) * (2.0 - 1.0 / p);
+    }
     case JoinMethod::kSortMerge:
       return n1 * Log2Of(n1) + n2 * Log2Of(n2) + n1 + n2;
     case JoinMethod::kNestedLoops:

@@ -32,8 +32,10 @@ enum class JoinMethod {
   kPrecomputed,
   kTreeMerge,
   kTreeJoin,
-  kHashProbe,   // existing hash index on the inner join column
-  kHashJoin,    // build a chained-bucket hash, then probe
+  kHashProbe,        // existing hash index on the inner join column
+  kHashJoin,         // build a chained-bucket hash, then probe
+  kPartitionedHash,  // build split into L2-sized partitions (DESIGN.md §4f)
+  kHybridHash,       // build exceeds MMDB_JOIN_MEM_BYTES: spill partitions
   kSortMerge,
   kNestedLoops,  // never chosen; present for completeness/benchmarks
 };
@@ -53,7 +55,9 @@ struct JoinPlan {
   const OrderedIndex* inner_index = nullptr;  // Tree Merge / Tree Join
   const HashIndex* inner_hash = nullptr;      // Hash probe
   size_t fk_field = 0;                        // Precomputed
-  std::string rationale;                      // why this method won
+  size_t partitions = 1;   // Partitioned / Hybrid hash partition count
+  size_t spilled = 0;      // Hybrid hash: partitions staged past the budget
+  std::string rationale;   // why this method won
 };
 
 class Planner {
@@ -81,7 +85,11 @@ class Planner {
 
   static double EstimateSelectCost(const Relation& rel, const Predicate& pred,
                                    AccessPath path);
-  static double EstimateJoinCost(const JoinSpec& spec, JoinMethod method);
+  /// `partitions` matters only for kHybridHash, whose spilled partitions pay
+  /// a second hash pass (stage + rebuild) over the (1 - 1/P) fraction of
+  /// both inputs that is not joined streaming.
+  static double EstimateJoinCost(const JoinSpec& spec, JoinMethod method,
+                                 size_t partitions = 1);
 
   /// Select-then-join probe phase (the Query 2 strategy): `outer_rows`
   /// selected tuples probed into `inner` through `inner_index` (nullptr =

@@ -260,8 +260,10 @@ QueryResult QueryBuilder::Run() {
         PlanNodeStats child;
         child.label = "cache(" + table_ + "): hit, rows served from cache";
         child.actual_rows = result.rows.size();
-        PlanNodeStats root =
-            total.Done("query(" + table_ + ")", 0.0, result.rows.size());
+        PlanNodeStats root = total.Done(
+            "query(" + table_ + ") [" +
+                ExecModeName(DefaultExecMode()) + "]",
+            0.0, result.rows.size());
         root.children.push_back(std::move(child));
         result.analyze = std::move(root);
       }
@@ -355,14 +357,20 @@ QueryResult QueryBuilder::Run() {
         span.AddArgs(std::string("\"method\":\"") + JoinMethodName(jp.method) +
                      "\"");
       }
-      plan << "join(" << table_ << ", " << *join_table_
-           << "): " << JoinMethodName(jp.method) << " [" << jp.rationale
-           << "]";
+      std::string method = JoinMethodName(jp.method);
+      if (jp.method == JoinMethod::kHybridHash) {
+        method += " [hybrid hash: " + std::to_string(jp.spilled) +
+                  " spilled partitions]";
+      } else if (jp.method == JoinMethod::kPartitionedHash) {
+        method += " [" + std::to_string(jp.partitions) + " partitions]";
+      }
+      plan << "join(" << table_ << ", " << *join_table_ << "): " << method
+           << " [" << jp.rationale << "]";
       if (analyze_) {
         result.analyze.children.push_back(join_cap.Done(
-            "join(" + table_ + ", " + *join_table_ + "): " +
-                JoinMethodName(jp.method),
-            Planner::EstimateJoinCost(spec, jp.method), rows.size()));
+            "join(" + table_ + ", " + *join_table_ + "): " + method,
+            Planner::EstimateJoinCost(spec, jp.method, jp.partitions),
+            rows.size()));
       }
     }
 
@@ -373,9 +381,25 @@ QueryResult QueryBuilder::Run() {
       const uint64_t rows_in = rows.size();
       TempList filtered(rows.descriptor());
       const Schema& rs = joined->schema();
-      for (size_t r = 0; r < rows.size(); ++r) {
-        if (where_joined_.Matches(rows.At(r, 1), rs)) {
-          filtered.Append2(rows.At(r, 0), rows.At(r, 1));
+      if (DefaultExecMode() == ExecMode::kBatched) {
+        // Chunked residual filter: evaluate the predicate over the joined
+        // column a chunk at a time, then append the surviving pairs.
+        TupleRef refs[kChunkCapacity];
+        SelIdx sel[kChunkCapacity];
+        for (size_t base = 0; base < rows.size(); base += kChunkCapacity) {
+          const size_t n = std::min(kChunkCapacity, rows.size() - base);
+          for (size_t i = 0; i < n; ++i) refs[i] = rows.At(base + i, 1);
+          const size_t m = where_joined_.MatchChunk(refs, n, rs, sel);
+          for (size_t i = 0; i < m; ++i) {
+            const size_t r = base + sel[i];
+            filtered.Append2(rows.At(r, 0), rows.At(r, 1));
+          }
+        }
+      } else {
+        for (size_t r = 0; r < rows.size(); ++r) {
+          if (where_joined_.Matches(rows.At(r, 1), rs)) {
+            filtered.Append2(rows.At(r, 0), rows.At(r, 1));
+          }
         }
       }
       plan << "; filter(" << where_joined_.ToString(rs) << ")";
@@ -460,8 +484,9 @@ QueryResult QueryBuilder::Run() {
     for (const PlanNodeStats& child : result.analyze.children) {
       est_total += child.est_cost;
     }
-    PlanNodeStats root =
-        total.Done("query(" + table_ + ")", est_total, result.rows.size());
+    PlanNodeStats root = total.Done(
+        "query(" + table_ + ") [" + ExecModeName(DefaultExecMode()) + "]",
+        est_total, result.rows.size());
     root.children = std::move(result.analyze.children);
     result.analyze = std::move(root);
   }

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/exec/chunk.h"
 #include "src/storage/temp_list.h"
 
 namespace mmdb {
@@ -50,9 +51,12 @@ struct AggregateResult {
 /// and computes the aggregates per group.  Numeric aggregates (kSum, kAvg)
 /// require int32/int64/double columns; kMin/kMax accept any comparable
 /// column type; kCount accepts anything.
+/// In batched mode input rows are hashed a chunk at a time with group-table
+/// bucket prefetch; output rows/order and counted work match tuple-at-a-time.
 AggregateResult HashGroupBy(const TempList& in,
                             const std::vector<size_t>& group_columns,
-                            const std::vector<AggSpec>& aggregates);
+                            const std::vector<AggSpec>& aggregates,
+                            ExecMode mode = DefaultExecMode());
 
 }  // namespace mmdb
 

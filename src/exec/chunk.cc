@@ -1,0 +1,43 @@
+#include "src/exec/chunk.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace mmdb {
+namespace {
+std::atomic<int> g_exec_mode_override{-1};
+}  // namespace
+
+ExecMode DefaultExecMode() {
+  const int o = g_exec_mode_override.load(std::memory_order_relaxed);
+  if (o >= 0) return static_cast<ExecMode>(o);
+  static const ExecMode mode = [] {
+    const char* env = std::getenv("MMDB_EXEC");
+    if (env != nullptr &&
+        (std::strcmp(env, "TUPLE") == 0 || std::strcmp(env, "SCALAR") == 0)) {
+      return ExecMode::kTuple;
+    }
+    return ExecMode::kBatched;
+  }();
+  return mode;
+}
+
+void SetExecModeForTest(ExecMode mode) {
+  g_exec_mode_override.store(static_cast<int>(mode),
+                             std::memory_order_relaxed);
+}
+
+void ClearExecModeForTest() {
+  g_exec_mode_override.store(-1, std::memory_order_relaxed);
+}
+
+const char* ExecModeName(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kBatched: return "batched";
+    case ExecMode::kTuple: return "tuple-at-a-time";
+  }
+  return "?";
+}
+
+}  // namespace mmdb

@@ -1,0 +1,69 @@
+// Batched (vectorized) execution support.  Operators in src/exec/ process
+// tuple pointers in *chunks* of up to kChunkCapacity refs at a time instead
+// of one at a time: a chunk is a plain TupleRef array plus a *selection
+// vector* of uint16_t positions identifying the rows still alive after
+// predicate refinement.  Chunking amortizes per-tuple call overhead and —
+// the real win in main memory — lets probe loops issue software prefetches
+// a full chunk ahead, overlapping the cache misses that dominate pointer-
+// chasing operators (cf. the cache-conscious sort/join and dynamic hybrid
+// hash join literature in PAPERS.md).
+//
+// Every batched operator is required to produce *bit-identical output in
+// identical order* to its tuple-at-a-time counterpart, and to bump the same
+// OpCounters (comparisons/hash calls) it would have bumped scalar — batching
+// changes memory access patterns, never semantics.  tests/exec_parity_test.cc
+// enforces this differentially.
+
+#ifndef MMDB_EXEC_CHUNK_H_
+#define MMDB_EXEC_CHUNK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mmdb {
+
+/// Rows per chunk.  1K tuple pointers = 8 KiB of refs + 2 KiB of selection
+/// vector: small enough to stay L1-resident, large enough to amortize the
+/// per-chunk bookkeeping (the 1-4K sweet spot from the vectorized-execution
+/// literature).
+inline constexpr size_t kChunkCapacity = 1024;
+
+/// Selection-vector entry: a position within one chunk.  uint16_t suffices
+/// because kChunkCapacity <= 65536.
+using SelIdx = uint16_t;
+
+/// Which executor variant to run.  kBatched is the default; kTuple is the
+/// retained tuple-at-a-time reference path, kept callable forever so the
+/// differential parity test can diff the two and benches can measure the
+/// gap.
+enum class ExecMode {
+  kBatched,
+  kTuple,
+};
+
+/// Process default, from the MMDB_EXEC environment variable (read once):
+/// "TUPLE" or "SCALAR" selects the tuple-at-a-time reference path; anything
+/// else (including unset) selects batched execution.
+ExecMode DefaultExecMode();
+
+/// Test hook: overrides DefaultExecMode() process-wide until cleared, so
+/// the differential parity test can run the same query pipeline under both
+/// modes in one process.  Not for production use.
+void SetExecModeForTest(ExecMode mode);
+void ClearExecModeForTest();
+
+const char* ExecModeName(ExecMode mode);
+
+/// Portable software-prefetch wrapper (read intent, low temporal locality —
+/// probe targets are touched once per probe).
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/1);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace mmdb
+
+#endif  // MMDB_EXEC_CHUNK_H_

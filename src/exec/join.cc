@@ -1,17 +1,182 @@
 #include "src/exec/join.h"
 
 #include <cassert>
+#include <cstdlib>
 #include <set>
+#include <utility>
 
 #include "src/exec/select.h"
 #include "src/storage/tuple.h"
+#include "src/util/counters.h"
 
 namespace mmdb {
+
+namespace joinmem {
+namespace {
+
+size_t EnvBytes(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || v == 0) return fallback;
+  return static_cast<size_t>(v);
+}
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+size_t BudgetBytes() {
+  static const size_t bytes =
+      EnvBytes("MMDB_JOIN_MEM_BYTES", size_t{64} << 20);
+  return bytes;
+}
+
+size_t L2TargetBytes() {
+  static const size_t bytes =
+      EnvBytes("MMDB_JOIN_L2_BYTES", size_t{256} << 10);
+  return bytes;
+}
+
+size_t EstimateBuildBytes(size_t rows) {
+  // One 16-byte chain entry per row plus the pow2-sized slot array.
+  return rows * 16 + NextPow2(rows < 1 ? 1 : rows) * sizeof(void*);
+}
+
+size_t ChoosePartitions(size_t build_bytes, size_t target) {
+  if (target == 0) return 1;
+  const size_t need = (build_bytes + target - 1) / target;
+  return NextPow2(need < 1 ? 1 : need);
+}
+
+}  // namespace joinmem
+
 namespace {
 
 ResultDescriptor JoinSources(const JoinSpec& spec) {
   return ResultDescriptor({spec.outer, spec.inner});
 }
+
+/// Partition of a key hash: the *high* 32 bits, masked.  Bucket choice
+/// inside each chained-bucket hash uses the low bits (BucketOf = h & mask),
+/// so routing by the high bits steals no bucket entropy — low bits stay
+/// fully distributed within every partition.
+size_t RouteOf(uint64_t hash, size_t partition_mask) {
+  return static_cast<size_t>(hash >> 32) & partition_mask;
+}
+
+/// Chunked probe driver for chained-bucket hash joins: gathers outer tuple
+/// refs into kChunkCapacity chunks, materializes the join keys per chunk,
+/// and hands the whole chunk to ChainedBucketHash::FindAllBatch — bucket
+/// slots and chain heads are prefetched a batch ahead of the compare work.
+/// Emission order (outer scan order; chain order within a key) is identical
+/// to per-tuple FindAll probes.
+class ChunkedProber {
+ public:
+  ChunkedProber(const ChainedBucketHash* table, const Schema& outer_schema,
+                size_t outer_field, TempList* out)
+      : table_(table),
+        schema_(outer_schema),
+        field_(outer_field),
+        out_(out),
+        keys_(kChunkCapacity) {}
+
+  void Add(TupleRef ot) {
+    refs_[n_++] = ot;
+    if (n_ == kChunkCapacity) Flush();
+  }
+
+  void Flush() {
+    if (n_ == 0) return;
+    counters::BumpChunks();
+    for (size_t i = 0; i < n_; ++i) {
+      keys_[i] = tuple::GetValue(refs_[i], schema_, field_);
+    }
+    table_->FindAllBatch(keys_.data(), n_, [&](size_t i, TupleRef it) {
+      out_->Append2(refs_[i], it);
+    });
+    n_ = 0;
+  }
+
+ private:
+  const ChainedBucketHash* table_;
+  const Schema& schema_;
+  size_t field_;
+  TempList* out_;
+  std::vector<Value> keys_;
+  TupleRef refs_[kChunkCapacity];
+  size_t n_ = 0;
+};
+
+/// Chunked probe driver for the *partitioned* hash-join family: like
+/// ChunkedProber, but each key is routed to its partition's table by the
+/// high hash bits.  Works in sub-batches: pass 1 hashes the keys (one
+/// counted hash call each, exactly what a scalar probe pays) and prefetches
+/// each key's bucket slot in its partition; pass 2 walks the chains in key
+/// order, so output order matches the scalar routed loop row for row.
+class RoutedProber {
+ public:
+  RoutedProber(const std::vector<std::unique_ptr<ChainedBucketHash>>* tables,
+               size_t partition_mask, const Schema& outer_schema,
+               size_t outer_field, TempList* out)
+      : tables_(tables),
+        mask_(partition_mask),
+        schema_(outer_schema),
+        field_(outer_field),
+        out_(out),
+        keys_(kChunkCapacity) {}
+
+  void Add(TupleRef ot) {
+    refs_[n_++] = ot;
+    if (n_ == kChunkCapacity) Flush();
+  }
+
+  void Flush() {
+    if (n_ == 0) return;
+    counters::BumpChunks();
+    const ChainedBucketHash* t0 = (*tables_)[0].get();
+    constexpr size_t kSub = 256;
+    uint64_t hashes[kSub];
+    size_t routes[kSub];
+    for (size_t base = 0; base < n_; base += kSub) {
+      const size_t m = std::min(kSub, n_ - base);
+      for (size_t i = 0; i < m; ++i) {
+        keys_[i] = tuple::GetValue(refs_[base + i], schema_, field_);
+        hashes[i] = t0->HashOf(keys_[i]);
+        routes[i] = RouteOf(hashes[i], mask_);
+        (*tables_)[routes[i]]->PrefetchBucket(hashes[i]);
+      }
+      for (size_t i = 0; i < m; ++i) {
+        const TupleRef ot = refs_[base + i];
+        (*tables_)[routes[i]]->FindAllHashed(
+            keys_[i], hashes[i], [&](TupleRef it) { out_->Append2(ot, it); });
+      }
+    }
+    n_ = 0;
+  }
+
+ private:
+  const std::vector<std::unique_ptr<ChainedBucketHash>>* tables_;
+  size_t mask_;
+  const Schema& schema_;
+  size_t field_;
+  TempList* out_;
+  std::vector<Value> keys_;
+  TupleRef refs_[kChunkCapacity];
+  size_t n_ = 0;
+};
+
+/// (key, tuple) pair for the key-extraction sort-merge fast path.
+template <typename K>
+struct KeyRef {
+  K key;
+  TupleRef ref;
+};
 
 /// Sequence adapter over a sorted TupleRef array.
 struct ArraySeq {
@@ -21,6 +186,21 @@ struct ArraySeq {
 
   bool Valid() const { return pos < n; }
   TupleRef Get() const { return data[pos]; }
+  void Next() { ++pos; }
+  using Mark = size_t;
+  Mark Snapshot() const { return pos; }
+  void Restore(Mark m) { pos = m; }
+};
+
+/// Sequence adapter over a sorted KeyRef array (batched sort-merge).
+template <typename K>
+struct KeyedSeq {
+  const KeyRef<K>* data;
+  size_t n;
+  size_t pos = 0;
+
+  bool Valid() const { return pos < n; }
+  const KeyRef<K>& Get() const { return data[pos]; }
   void Next() { ++pos; }
   using Mark = size_t;
   Mark Snapshot() const { return pos; }
@@ -58,7 +238,7 @@ void MergeJoinGeneric(SeqA& a, SeqB& b, const CmpAB& cmp_ab,
     }
     auto mark = b.Snapshot();
     for (;;) {
-      const TupleRef av = a.Get();
+      const auto av = a.Get();
       while (b.Valid() && cmp_ab(av, b.Get()) == 0) {
         emit(av, b.Get());
         b.Next();
@@ -116,13 +296,22 @@ TempList NestedLoopsJoin(const JoinSpec& spec) {
   return out;
 }
 
-TempList HashJoin(const JoinSpec& spec) {
+TempList HashJoin(const JoinSpec& spec, ExecMode mode) {
   TempList out(JoinSources(spec));
   // Build phase: hash the inner relation's join column (cost included).
   std::unique_ptr<ChainedBucketHash> table =
       BuildJoinHash(*spec.inner, spec.inner_field);
   // Probe phase.
   const Schema& so = spec.outer->schema();
+  if (mode == ExecMode::kBatched) {
+    ChunkedProber prober(table.get(), so, spec.outer_field, &out);
+    ScanRelation(*spec.outer, [&](TupleRef ot) {
+      prober.Add(ot);
+      return true;
+    });
+    prober.Flush();
+    return out;
+  }
   std::vector<TupleRef> hits;
   ScanRelation(*spec.outer, [&](TupleRef ot) {
     hits.clear();
@@ -130,6 +319,167 @@ TempList HashJoin(const JoinSpec& spec) {
     for (TupleRef it : hits) out.Append2(ot, it);
     return true;
   });
+  return out;
+}
+
+TempList PartitionedHashJoin(const JoinSpec& spec, size_t partitions,
+                             ExecMode mode) {
+  assert(partitions > 0 && (partitions & (partitions - 1)) == 0 &&
+         "partition count must be a power of two");
+  if (partitions <= 1) return HashJoin(spec, mode);
+  TempList out(JoinSources(spec));
+  const size_t mask = partitions - 1;
+
+  // Build phase: route every inner tuple by the high hash bits into one of
+  // `partitions` small tables, reusing the routing hash for the insert —
+  // one counted hash call per tuple, exactly the monolithic build's cost.
+  auto ops =
+      std::make_shared<FieldKeyOps>(&spec.inner->schema(), spec.inner_field);
+  IndexConfig config;
+  config.expected = spec.inner->cardinality() / partitions + 1;
+  std::vector<std::unique_ptr<ChainedBucketHash>> tables;
+  tables.reserve(partitions);
+  for (size_t p = 0; p < partitions; ++p) {
+    tables.push_back(std::make_unique<ChainedBucketHash>(ops, config));
+  }
+  ScanRelation(*spec.inner, [&](TupleRef t) {
+    const uint64_t h = tables[0]->HashTuple(t);
+    tables[RouteOf(h, mask)]->InsertHashed(t, h);
+    return true;
+  });
+
+  // Probe phase: outer tuples route to their partition in scan order, so
+  // output is identical to HashJoin row for row.
+  const Schema& so = spec.outer->schema();
+  if (mode == ExecMode::kBatched) {
+    RoutedProber prober(&tables, mask, so, spec.outer_field, &out);
+    ScanRelation(*spec.outer, [&](TupleRef ot) {
+      prober.Add(ot);
+      return true;
+    });
+    prober.Flush();
+    return out;
+  }
+  ScanRelation(*spec.outer, [&](TupleRef ot) {
+    const Value key = tuple::GetValue(ot, so, spec.outer_field);
+    const uint64_t h = tables[0]->HashOf(key);
+    tables[RouteOf(h, mask)]->FindAllHashed(
+        key, h, [&](TupleRef it) { out.Append2(ot, it); });
+    return true;
+  });
+  return out;
+}
+
+TempList HybridHashJoin(const JoinSpec& spec, size_t partitions,
+                        ExecMode mode) {
+  assert(partitions > 0 && (partitions & (partitions - 1)) == 0 &&
+         "partition count must be a power of two");
+  if (partitions <= 1) return HashJoin(spec, mode);
+  TempList out(JoinSources(spec));
+  const size_t mask = partitions - 1;
+
+  // Build pass: only partition 0's table is built now; tuples routed to
+  // partitions 1..P-1 stage a bare 8-byte ref each, so peak table memory is
+  // ~1/P of a monolithic build.
+  auto ops =
+      std::make_shared<FieldKeyOps>(&spec.inner->schema(), spec.inner_field);
+  IndexConfig config;
+  config.expected = spec.inner->cardinality() / partitions + 1;
+  auto table0 = std::make_unique<ChainedBucketHash>(ops, config);
+  std::vector<std::vector<TupleRef>> spill_inner(partitions);
+  ScanRelation(*spec.inner, [&](TupleRef t) {
+    const uint64_t h = table0->HashTuple(t);
+    const size_t p = RouteOf(h, mask);
+    if (p == 0) {
+      table0->InsertHashed(t, h);
+    } else {
+      spill_inner[p].push_back(t);
+    }
+    return true;
+  });
+
+  // Probe pass: partition-0 outers probe the resident table streaming (in
+  // scan order); the rest stage bare refs for the per-partition passes.
+  const Schema& so = spec.outer->schema();
+  std::vector<std::vector<TupleRef>> spill_outer(partitions);
+  if (mode == ExecMode::kBatched) {
+    // Chunked variant of the scalar loop below: hash + route a chunk at a
+    // time, prefetching partition-0 bucket slots; spilled refs just append.
+    constexpr size_t kSub = 256;
+    Value keys[kSub];
+    uint64_t hashes[kSub];
+    TupleRef refs[kSub];
+    size_t n = 0;
+    auto flush = [&] {
+      if (n == 0) return;
+      counters::BumpChunks();
+      for (size_t i = 0; i < n; ++i) {
+        keys[i] = tuple::GetValue(refs[i], so, spec.outer_field);
+        hashes[i] = table0->HashOf(keys[i]);
+        if (RouteOf(hashes[i], mask) == 0) table0->PrefetchBucket(hashes[i]);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        const size_t p = RouteOf(hashes[i], mask);
+        if (p == 0) {
+          const TupleRef ot = refs[i];
+          table0->FindAllHashed(keys[i], hashes[i],
+                                [&](TupleRef it) { out.Append2(ot, it); });
+        } else {
+          spill_outer[p].push_back(refs[i]);
+        }
+      }
+      n = 0;
+    };
+    ScanRelation(*spec.outer, [&](TupleRef ot) {
+      refs[n++] = ot;
+      if (n == kSub) flush();
+      return true;
+    });
+    flush();
+  } else {
+    ScanRelation(*spec.outer, [&](TupleRef ot) {
+      const Value key = tuple::GetValue(ot, so, spec.outer_field);
+      const uint64_t h = table0->HashOf(key);
+      const size_t p = RouteOf(h, mask);
+      if (p == 0) {
+        table0->FindAllHashed(key, h,
+                              [&](TupleRef it) { out.Append2(ot, it); });
+      } else {
+        spill_outer[p].push_back(ot);
+      }
+      return true;
+    });
+  }
+  table0.reset();  // partition 0 is done; keep peak memory at one table
+
+  // Spilled partitions join one at a time: build a small table over the
+  // staged inner refs, probe the staged outer refs.  Output within a
+  // partition is staged-order (= outer scan order); partitions are emitted
+  // grouped, so the overall row order differs from HashJoin but the row
+  // *set* is identical.
+  for (size_t p = 1; p < partitions; ++p) {
+    if (spill_inner[p].empty() && spill_outer[p].empty()) continue;
+    IndexConfig part_config;
+    part_config.expected = spill_inner[p].size();
+    auto table = std::make_unique<ChainedBucketHash>(ops, part_config);
+    for (TupleRef t : spill_inner[p]) table->Insert(t);
+    if (mode == ExecMode::kBatched) {
+      ChunkedProber prober(table.get(), so, spec.outer_field, &out);
+      for (TupleRef ot : spill_outer[p]) prober.Add(ot);
+      prober.Flush();
+    } else {
+      std::vector<TupleRef> hits;
+      for (TupleRef ot : spill_outer[p]) {
+        hits.clear();
+        table->FindAll(tuple::GetValue(ot, so, spec.outer_field), &hits);
+        for (TupleRef it : hits) out.Append2(ot, it);
+      }
+    }
+    spill_inner[p].clear();
+    spill_inner[p].shrink_to_fit();
+    spill_outer[p].clear();
+    spill_outer[p].shrink_to_fit();
+  }
   return out;
 }
 
@@ -161,13 +511,96 @@ TempList HashProbeJoin(const JoinSpec& spec, const HashIndex& inner_index) {
   return out;
 }
 
-TempList SortMergeJoin(const JoinSpec& spec, int insertion_cutoff) {
+namespace {
+
+/// Key-extraction sort-merge (batched mode, numeric join columns): each
+/// side's (key, ref) pairs are materialized once, sorted contiguously, and
+/// merged without ever dereferencing a tuple pointer per comparison.  The
+/// comparator bumps one counted comparison per call and orders by
+/// (key, pointer) — exactly the array index's CompareTie — so the sorted
+/// sequences, the comparison counts, and the emitted rows are identical to
+/// the scalar path's.
+template <typename K, typename GetKey>
+TempList SortMergeKeyed(const JoinSpec& spec, int insertion_cutoff,
+                        const GetKey& outer_key, const GetKey& inner_key,
+                        TempList out) {
+  auto gather = [](const Relation& rel, const GetKey& get) {
+    std::vector<KeyRef<K>> v;
+    v.reserve(rel.cardinality());
+    ScanRelation(rel, [&](TupleRef t) {
+      v.push_back({get(t), t});
+      return true;
+    });
+    return v;
+  };
+  std::vector<KeyRef<K>> av = gather(*spec.outer, outer_key);
+  std::vector<KeyRef<K>> bv = gather(*spec.inner, inner_key);
+  const auto less = [](const KeyRef<K>& x, const KeyRef<K>& y) {
+    counters::BumpComparisons();
+    if (x.key != y.key) return x.key < y.key;
+    return x.ref < y.ref;
+  };
+  HybridSort(av.data(), av.size(), less, insertion_cutoff);
+  HybridSort(bv.data(), bv.size(), less, insertion_cutoff);
+
+  const auto cmp = [](const KeyRef<K>& x, const KeyRef<K>& y) {
+    counters::BumpComparisons();
+    if (x.key < y.key) return -1;
+    if (y.key < x.key) return 1;
+    return 0;
+  };
+  KeyedSeq<K> a{av.data(), av.size()};
+  KeyedSeq<K> b{bv.data(), bv.size()};
+  MergeJoinGeneric(a, b, cmp, cmp,
+                   [&](const KeyRef<K>& x, const KeyRef<K>& y) {
+                     out.Append2(x.ref, y.ref);
+                   });
+  return out;
+}
+
+}  // namespace
+
+TempList SortMergeJoin(const JoinSpec& spec, int insertion_cutoff,
+                       ExecMode mode) {
   TempList out(JoinSources(spec));
+  const Schema& so = spec.outer->schema();
+  const Schema& si = spec.inner->schema();
+  if (mode == ExecMode::kBatched) {
+    // Numeric fast paths; other type combinations (strings, pointers,
+    // int/double mixes) fall through to the pointer-sorting path below.
+    const Type to = so.field(spec.outer_field).type;
+    const Type ti = si.field(spec.inner_field).type;
+    const bool ints = (to == Type::kInt32 || to == Type::kInt64) &&
+                      (ti == Type::kInt32 || ti == Type::kInt64);
+    if (ints) {
+      // Widened to int64, exactly how CompareFields compares mixed widths.
+      auto key_of = [](const Schema& s, size_t f) {
+        const size_t off = s.offset(f);
+        const bool narrow = s.field(f).type == Type::kInt32;
+        return [off, narrow](TupleRef t) {
+          return narrow ? static_cast<int64_t>(tuple::GetInt32(t, off))
+                        : tuple::GetInt64(t, off);
+        };
+      };
+      return SortMergeKeyed<int64_t>(spec, insertion_cutoff,
+                                     key_of(so, spec.outer_field),
+                                     key_of(si, spec.inner_field),
+                                     std::move(out));
+    }
+    if (to == Type::kDouble && ti == Type::kDouble) {
+      auto key_of = [](const Schema& s, size_t f) {
+        const size_t off = s.offset(f);
+        return [off](TupleRef t) { return tuple::GetDouble(t, off); };
+      };
+      return SortMergeKeyed<double>(spec, insertion_cutoff,
+                                    key_of(so, spec.outer_field),
+                                    key_of(si, spec.inner_field),
+                                    std::move(out));
+    }
+  }
   auto outer = BuildSortedArray(*spec.outer, spec.outer_field, insertion_cutoff);
   auto inner = BuildSortedArray(*spec.inner, spec.inner_field, insertion_cutoff);
 
-  const Schema& so = spec.outer->schema();
-  const Schema& si = spec.inner->schema();
   ArraySeq a{outer->items().data(), outer->items().size()};
   ArraySeq b{inner->items().data(), inner->items().size()};
   MergeJoinGeneric(
@@ -239,7 +672,7 @@ TempList TreeInequalityJoin(const JoinSpec& spec, CompareOp op,
 
 TempList TempListJoin(const TempList& outer_list, size_t outer_field,
                       const Relation& inner, size_t inner_field,
-                      const TupleIndex* inner_index) {
+                      const TupleIndex* inner_index, ExecMode mode) {
   assert(outer_list.width() == 1 && "TempListJoin takes width-1 lists");
   const Relation* outer = outer_list.descriptor().source(0);
   ResultDescriptor desc({outer, &inner});
@@ -251,6 +684,18 @@ TempList TempListJoin(const TempList& outer_list, size_t outer_field,
     inner_index = built.get();
   }
   const Schema& so = outer->schema();
+  if (mode == ExecMode::kBatched &&
+      inner_index->kind() == IndexKind::kChainedBucketHash) {
+    // Batched probing needs the chained-bucket prefetch API; probes against
+    // other index kinds (a caller-supplied T Tree, say) stay scalar.
+    ChunkedProber prober(static_cast<const ChainedBucketHash*>(inner_index),
+                         so, outer_field, &out);
+    for (size_t r = 0; r < outer_list.size(); ++r) {
+      prober.Add(outer_list.At(r, 0));
+    }
+    prober.Flush();
+    return out;
+  }
   std::vector<TupleRef> hits;
   for (size_t r = 0; r < outer_list.size(); ++r) {
     TupleRef ot = outer_list.At(r, 0);

@@ -16,6 +16,7 @@
 #ifndef MMDB_EXEC_JOIN_H_
 #define MMDB_EXEC_JOIN_H_
 
+#include "src/exec/chunk.h"
 #include "src/exec/predicate.h"
 #include "src/index/array_index.h"
 #include "src/index/chained_hash.h"
@@ -25,6 +26,30 @@
 #include "src/util/sort.h"
 
 namespace mmdb {
+
+/// Memory-budget policy for the hash-join family (DESIGN.md §4f).
+namespace joinmem {
+
+/// Build-side memory budget in bytes: MMDB_JOIN_MEM_BYTES env (read once),
+/// default 64 MiB.  A hash build estimated above this goes hybrid-hash.
+size_t BudgetBytes();
+
+/// Per-partition build target: MMDB_JOIN_L2_BYTES env (read once), default
+/// 256 KiB — roughly half a modern L2, leaving room for the probe stream.
+/// A build above this (but within budget) is split so each partition's
+/// chained-bucket hash is L2-resident during its probes.
+size_t L2TargetBytes();
+
+/// Estimated bytes of a chained-bucket-hash build over `rows` tuples:
+/// one 16-byte chain entry plus one 8-byte table slot per row (the table is
+/// sized to the next power of two >= rows).
+size_t EstimateBuildBytes(size_t rows);
+
+/// Number of partitions (power of two, >= 1) so that bytes/partitions fits
+/// `target`.
+size_t ChoosePartitions(size_t build_bytes, size_t target);
+
+}  // namespace joinmem
 
 /// An equijoin between outer.outer_field and inner.inner_field.
 struct JoinSpec {
@@ -38,8 +63,31 @@ struct JoinSpec {
 TempList NestedLoopsJoin(const JoinSpec& spec);
 
 /// Builds a Chained Bucket Hash on the inner join column, then probes it
-/// once per outer tuple.  The build cost is part of the algorithm.
-TempList HashJoin(const JoinSpec& spec);
+/// once per outer tuple.  The build cost is part of the algorithm.  In
+/// batched mode outer tuples are probed a chunk at a time with bucket-slot
+/// and chain-node software prefetch; output rows and order are identical to
+/// the tuple-at-a-time path.
+TempList HashJoin(const JoinSpec& spec, ExecMode mode = DefaultExecMode());
+
+/// Hash join with the build side split into `partitions` (power of two)
+/// chained-bucket hashes, routed by the *high* hash bits (the tables' bucket
+/// choice uses the low bits, so routing steals no bucket entropy).  Each
+/// partition's table is sized to fit the L2 target, so probe chains stay
+/// cache-resident.  Probes route each outer tuple to its partition in scan
+/// order — output is identical to HashJoin, row for row.
+TempList PartitionedHashJoin(const JoinSpec& spec, size_t partitions,
+                             ExecMode mode = DefaultExecMode());
+
+/// Hybrid hash join (Section 3.3 lineage; cf. the dynamic hybrid hash join
+/// of PAPERS.md 2112.02480): partition 0's table is built immediately and
+/// probed streaming, while partitions 1..P-1 stage bare tuple refs (8 B/row
+/// on both sides) and are joined one partition at a time afterwards — peak
+/// table memory is ~1/P of a monolithic build.  Chosen by the planner when
+/// the estimated build exceeds MMDB_JOIN_MEM_BYTES.  Output rows equal
+/// HashJoin's as a set, but spilled partitions are emitted grouped, not in
+/// outer-scan order.
+TempList HybridHashJoin(const JoinSpec& spec, size_t partitions,
+                        ExecMode mode = DefaultExecMode());
 
 /// Probes an *existing* ordered index on the inner join column once per
 /// outer tuple; duplicates are contiguous in the index so each probe is a
@@ -52,9 +100,14 @@ TempList TreeJoin(const JoinSpec& spec, const OrderedIndex& inner_index);
 TempList HashProbeJoin(const JoinSpec& spec, const HashIndex& inner_index);
 
 /// Builds array indices on both join columns, sorts them (hybrid quicksort,
-/// insertion cutoff per Section 3.3.2), and merge-joins the arrays.
+/// insertion cutoff per Section 3.3.2), and merge-joins the arrays.  In
+/// batched mode, numeric join columns take a key-extraction fast path: the
+/// sort and merge run over contiguous (key, ref) pairs instead of
+/// dereferencing a tuple pointer per comparison — same comparisons, same
+/// output order (keys tie-break by pointer exactly like the array index).
 TempList SortMergeJoin(const JoinSpec& spec,
-                       int insertion_cutoff = kDefaultInsertionSortCutoff);
+                       int insertion_cutoff = kDefaultInsertionSortCutoff,
+                       ExecMode mode = DefaultExecMode());
 
 /// Merge join over two *existing* ordered indices (typically T Trees).
 TempList TreeMergeJoin(const JoinSpec& spec, const OrderedIndex& outer_index,
@@ -80,7 +133,8 @@ TempList TreeInequalityJoin(const JoinSpec& spec, CompareOp op,
 /// otherwise builds a chained-bucket hash on the inner join column.
 TempList TempListJoin(const TempList& outer_list, size_t outer_field,
                       const Relation& inner, size_t inner_field,
-                      const TupleIndex* inner_index = nullptr);
+                      const TupleIndex* inner_index = nullptr,
+                      ExecMode mode = DefaultExecMode());
 
 /// Section 2.3: "it is also possible to have an index on a temporary
 /// list".  Builds an index over the *distinct* tuples that column `column`

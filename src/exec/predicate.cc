@@ -3,8 +3,37 @@
 #include <sstream>
 
 #include "src/storage/tuple.h"
+#include "src/util/counters.h"
 
 namespace mmdb {
+namespace {
+
+/// Compacting refinement of a selection vector by `field op v`, with the
+/// field load (`get`), constant, and operator all hoisted out of the loop.
+/// The body is branch-predictable: write-then-advance, no data-dependent
+/// control flow.
+template <typename T, typename Get>
+size_t RefineWith(CompareOp op, T v, const Get& get, SelIdx* sel, size_t m) {
+  size_t out = 0;
+  auto apply = [&](auto keep) {
+    for (size_t i = 0; i < m; ++i) {
+      const SelIdx s = sel[i];
+      sel[out] = s;
+      out += keep(get(s)) ? 1 : 0;
+    }
+  };
+  switch (op) {
+    case CompareOp::kEq: apply([v](T f) { return f == v; }); break;
+    case CompareOp::kNe: apply([v](T f) { return f != v; }); break;
+    case CompareOp::kLt: apply([v](T f) { return f < v; }); break;
+    case CompareOp::kLe: apply([v](T f) { return f <= v; }); break;
+    case CompareOp::kGt: apply([v](T f) { return f > v; }); break;
+    case CompareOp::kGe: apply([v](T f) { return f >= v; }); break;
+  }
+  return out;
+}
+
+}  // namespace
 
 const char* CompareOpName(CompareOp op) {
   switch (op) {
@@ -30,6 +59,61 @@ bool Condition::Matches(TupleRef t, const Schema& schema) const {
     case CompareOp::kGe: return c <= 0;
   }
   return false;
+}
+
+size_t Predicate::MatchChunk(const TupleRef* refs, size_t n,
+                             const Schema& schema, SelIdx* sel,
+                             size_t skip) const {
+  counters::BumpChunks();
+  for (size_t i = 0; i < n; ++i) sel[i] = static_cast<SelIdx>(i);
+  size_t m = n;
+  for (size_t ci = 0; ci < conditions_.size() && m > 0; ++ci) {
+    if (ci == skip) continue;
+    const Condition& cond = conditions_[ci];
+    const Type ft = schema.field(cond.field).type;
+    const size_t off = schema.offset(cond.field);
+    const Type vt = cond.value.type();
+    const bool int_const = vt == Type::kInt32 || vt == Type::kInt64;
+    // The kernels charge one comparison per row they inspect — the same
+    // count the scalar path's CompareValueField would have bumped.
+    if (ft == Type::kInt32 && int_const) {
+      // Either constant width is accepted; compare widened, exactly as
+      // CompareValueField does.
+      const int64_t v =
+          vt == Type::kInt32 ? cond.value.AsInt32() : cond.value.AsInt64();
+      counters::BumpComparisons(m);
+      m = RefineWith<int64_t>(
+          cond.op, v,
+          [refs, off](SelIdx s) {
+            return static_cast<int64_t>(tuple::GetInt32(refs[s], off));
+          },
+          sel, m);
+    } else if (ft == Type::kInt64 && int_const) {
+      const int64_t v =
+          vt == Type::kInt32 ? cond.value.AsInt32() : cond.value.AsInt64();
+      counters::BumpComparisons(m);
+      m = RefineWith<int64_t>(
+          cond.op, v,
+          [refs, off](SelIdx s) { return tuple::GetInt64(refs[s], off); },
+          sel, m);
+    } else if (ft == Type::kDouble && vt == Type::kDouble) {
+      counters::BumpComparisons(m);
+      m = RefineWith<double>(
+          cond.op, cond.value.AsDouble(),
+          [refs, off](SelIdx s) { return tuple::GetDouble(refs[s], off); },
+          sel, m);
+    } else {
+      // Generic fallback (strings, pointers, type-rank mismatches):
+      // Condition::Matches bumps the comparison counter itself.
+      size_t out = 0;
+      for (size_t i = 0; i < m; ++i) {
+        const SelIdx s = sel[i];
+        if (cond.Matches(refs[s], schema)) sel[out++] = s;
+      }
+      m = out;
+    }
+  }
+  return m;
 }
 
 std::optional<size_t> Predicate::EqualityOn(size_t field) const {

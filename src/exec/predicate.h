@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/exec/chunk.h"
 #include "src/storage/schema.h"
 #include "src/storage/value.h"
 
@@ -46,6 +47,21 @@ class Predicate {
     }
     return true;
   }
+
+  /// Batched evaluation over a chunk of tuple pointers.  Writes the
+  /// positions (0..n) of the rows satisfying the conjunction into `sel`
+  /// (caller provides >= n slots) and returns the survivor count; row order
+  /// is preserved.  Condition `skip` is not applied (SIZE_MAX = apply all) —
+  /// the batched analogue of the access paths' residual filtering.
+  ///
+  /// Refinement is conjunct-at-a-time: conjunct i only ever sees the
+  /// survivors of conjuncts 0..i-1, so the comparison count equals the
+  /// scalar short-circuit count exactly (OpCounters parity with Matches).
+  /// Numeric single-type conjuncts run through tight kernels that hoist the
+  /// field offset and operator out of the loop; everything else falls back
+  /// to Condition::Matches per survivor.
+  size_t MatchChunk(const TupleRef* refs, size_t n, const Schema& schema,
+                    SelIdx* sel, size_t skip = static_cast<size_t>(-1)) const;
 
   const std::vector<Condition>& conditions() const { return conditions_; }
   bool empty() const { return conditions_.empty(); }

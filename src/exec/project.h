@@ -9,6 +9,7 @@
 #ifndef MMDB_EXEC_PROJECT_H_
 #define MMDB_EXEC_PROJECT_H_
 
+#include "src/exec/chunk.h"
 #include "src/storage/temp_list.h"
 #include "src/util/sort.h"
 
@@ -25,8 +26,11 @@ uint64_t HashRow(const TempList& list, size_t r);
 TempList ProjectSortScan(const TempList& in,
                          int insertion_cutoff = kDefaultInsertionSortCutoff);
 
-/// Hashing duplicate elimination, table sized |R|/2 as in the paper.
-TempList ProjectHash(const TempList& in);
+/// Hashing duplicate elimination, table sized |R|/2 as in the paper.  In
+/// batched mode rows are hashed a chunk at a time with bucket-head software
+/// prefetch; admitted rows, their order, and the counted hash calls and
+/// comparisons are identical to the tuple-at-a-time path.
+TempList ProjectHash(const TempList& in, ExecMode mode = DefaultExecMode());
 
 }  // namespace mmdb
 

@@ -20,6 +20,37 @@ bool Residual(const Predicate& pred, size_t skip, TupleRef t,
   return true;
 }
 
+/// Gathers candidate refs into kChunkCapacity chunks and filters each chunk
+/// through MatchChunk (conditions except `skip`), appending survivors in
+/// order.  Shared core of every batched access path.
+class ChunkFilter {
+ public:
+  ChunkFilter(const Predicate& pred, size_t skip, const Schema& schema,
+              TempList* out)
+      : pred_(pred), skip_(skip), schema_(schema), out_(out) {}
+
+  void Add(TupleRef t) {
+    refs_[n_++] = t;
+    if (n_ == kChunkCapacity) Flush();
+  }
+
+  void Flush() {
+    if (n_ == 0) return;
+    const size_t m = pred_.MatchChunk(refs_, n_, schema_, sel_, skip_);
+    out_->AppendBatch1(refs_, sel_, m);
+    n_ = 0;
+  }
+
+ private:
+  const Predicate& pred_;
+  size_t skip_;
+  const Schema& schema_;
+  TempList* out_;
+  TupleRef refs_[kChunkCapacity];
+  SelIdx sel_[kChunkCapacity];
+  size_t n_ = 0;
+};
+
 }  // namespace
 
 const char* AccessPathName(AccessPath path) {
@@ -48,9 +79,19 @@ void ScanRelation(const Relation& rel, const ScanFn& fn) {
   }
 }
 
-TempList SelectScan(const Relation& rel, const Predicate& pred) {
+TempList SelectScan(const Relation& rel, const Predicate& pred,
+                    ExecMode mode) {
   TempList out(SingleSource(rel));
   const Schema& schema = rel.schema();
+  if (mode == ExecMode::kBatched) {
+    ChunkFilter filter(pred, /*skip=*/static_cast<size_t>(-1), schema, &out);
+    ScanRelation(rel, [&](TupleRef t) {
+      filter.Add(t);
+      return true;
+    });
+    filter.Flush();
+    return out;
+  }
   ScanRelation(rel, [&](TupleRef t) {
     if (pred.Matches(t, schema)) out.Append1(t);
     return true;
@@ -59,13 +100,19 @@ TempList SelectScan(const Relation& rel, const Predicate& pred) {
 }
 
 TempList SelectHash(const Relation& rel, const Predicate& pred, size_t eq,
-                    const HashIndex& index) {
+                    const HashIndex& index, ExecMode mode) {
   TempList out(SingleSource(rel));
   const Condition& cond = pred.conditions()[eq];
   assert(cond.op == CompareOp::kEq);
   std::vector<TupleRef> hits;
   index.FindAll(cond.value, &hits);
   const Schema& schema = rel.schema();
+  if (mode == ExecMode::kBatched) {
+    ChunkFilter filter(pred, /*skip=*/eq, schema, &out);
+    for (TupleRef t : hits) filter.Add(t);
+    filter.Flush();
+    return out;
+  }
   for (TupleRef t : hits) {
     if (Residual(pred, eq, t, schema)) out.Append1(t);
   }
@@ -73,7 +120,7 @@ TempList SelectHash(const Relation& rel, const Predicate& pred, size_t eq,
 }
 
 TempList SelectTree(const Relation& rel, const Predicate& pred, size_t sarg,
-                    const OrderedIndex& index) {
+                    const OrderedIndex& index, ExecMode mode) {
   TempList out(SingleSource(rel));
   const size_t key_field = pred.conditions()[sarg].field;
   const Schema& schema = rel.schema();
@@ -119,6 +166,15 @@ TempList SelectTree(const Relation& rel, const Predicate& pred, size_t sarg,
         break;  // not sargable; handled residually
     }
   }
+  if (mode == ExecMode::kBatched) {
+    ChunkFilter filter(pred, /*skip=*/static_cast<size_t>(-1), schema, &out);
+    index.ScanRange(lo, hi, [&](TupleRef t) {
+      filter.Add(t);
+      return true;
+    });
+    filter.Flush();
+    return out;
+  }
   index.ScanRange(lo, hi, [&](TupleRef t) {
     if (Residual(pred, /*skip=*/static_cast<size_t>(-1), t, schema)) {
       out.Append1(t);
@@ -129,7 +185,7 @@ TempList SelectTree(const Relation& rel, const Predicate& pred, size_t sarg,
 }
 
 TempList Select(const Relation& rel, const Predicate& pred,
-                AccessPath* path_used) {
+                AccessPath* path_used, ExecMode mode) {
   // Section 4 ordering: hash lookup (exact match only) beats tree lookup
   // beats sequential scan.
   for (const auto& index : rel.indexes()) {
@@ -139,7 +195,7 @@ TempList Select(const Relation& rel, const Predicate& pred,
     if (auto eq = pred.EqualityOn(index->key_fields()[0])) {
       if (path_used != nullptr) *path_used = AccessPath::kHashLookup;
       return SelectHash(rel, pred, *eq,
-                        *static_cast<const HashIndex*>(index.get()));
+                        *static_cast<const HashIndex*>(index.get()), mode);
     }
   }
   for (const auto& index : rel.indexes()) {
@@ -153,11 +209,11 @@ TempList Select(const Relation& rel, const Predicate& pred,
                          : AccessPath::kTreeRange;
       }
       return SelectTree(rel, pred, *sarg,
-                        *static_cast<const OrderedIndex*>(index.get()));
+                        *static_cast<const OrderedIndex*>(index.get()), mode);
     }
   }
   if (path_used != nullptr) *path_used = AccessPath::kSequentialScan;
-  return SelectScan(rel, pred);
+  return SelectScan(rel, pred, mode);
 }
 
 }  // namespace mmdb

@@ -13,6 +13,7 @@
 #ifndef MMDB_EXEC_SELECT_H_
 #define MMDB_EXEC_SELECT_H_
 
+#include "src/exec/chunk.h"
 #include "src/exec/predicate.h"
 #include "src/index/index.h"
 #include "src/storage/relation.h"
@@ -28,24 +29,32 @@ const char* AccessPathName(AccessPath path);
 /// relation traversal).  Works with either index family.
 void ScanRelation(const Relation& rel, const ScanFn& fn);
 
-/// Sequential-scan selection: filters every tuple against `pred`.
-TempList SelectScan(const Relation& rel, const Predicate& pred);
+/// Sequential-scan selection: filters every tuple against `pred`.  In
+/// batched mode tuples are gathered into kChunkCapacity chunks and filtered
+/// through Predicate::MatchChunk with a selection vector; output rows,
+/// their order, and OpCounters are identical to the tuple-at-a-time path.
+TempList SelectScan(const Relation& rel, const Predicate& pred,
+                    ExecMode mode = DefaultExecMode());
 
 /// Hash-lookup selection: the equality condition `eq` (index into
-/// pred.conditions()) probes `index`; remaining conditions filter residually.
+/// pred.conditions()) probes `index`; remaining conditions filter residually
+/// (chunk-wise in batched mode).
 TempList SelectHash(const Relation& rel, const Predicate& pred, size_t eq,
-                    const HashIndex& index);
+                    const HashIndex& index, ExecMode mode = DefaultExecMode());
 
 /// Ordered-index selection: the sargable condition `sarg` bounds a range
-/// scan of `index`; remaining conditions filter residually.
+/// scan of `index`; remaining conditions filter residually (chunk-wise in
+/// batched mode).
 TempList SelectTree(const Relation& rel, const Predicate& pred, size_t sarg,
-                    const OrderedIndex& index);
+                    const OrderedIndex& index,
+                    ExecMode mode = DefaultExecMode());
 
 /// Chooses the best access path for `pred` per the Section 4 preference
 /// order (hash lookup > tree lookup > sequential scan) and runs it.
 /// If `path_used` is non-null it receives the chosen path.
 TempList Select(const Relation& rel, const Predicate& pred,
-                AccessPath* path_used = nullptr);
+                AccessPath* path_used = nullptr,
+                ExecMode mode = DefaultExecMode());
 
 }  // namespace mmdb
 

@@ -6,9 +6,84 @@
 #include "src/storage/tuple.h"
 
 namespace mmdb {
+namespace {
 
-TempList SortTempList(const TempList& in, int insertion_cutoff) {
+/// Key-extraction sort (batched mode, single numeric output column): the
+/// keys are materialized once into a contiguous (key, row) array, so the
+/// sort's comparisons touch no tuple memory.  The comparator bumps one
+/// counted comparison per call and returns exactly what CompareRows would
+/// (same single column, same type), so the swap sequence — and therefore
+/// the output permutation and the data-move count — is identical to the
+/// order-vector path.
+template <typename K, typename GetKey>
+bool SortKeyed(const TempList& in, int insertion_cutoff, const GetKey& get,
+               TempList* out) {
   const size_t n = in.size();
+  struct KeyRow {
+    K key;
+    uint32_t row;
+  };
+  std::vector<KeyRow> keys;
+  keys.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    TupleRef t = in.ResolveColumnTuple(r, 0);
+    if (t == nullptr) return false;  // null resolves: generic path orders them
+    keys.push_back({get(t), static_cast<uint32_t>(r)});
+  }
+  HybridSort(
+      keys.data(), n,
+      [](const KeyRow& a, const KeyRow& b) {
+        counters::BumpComparisons();
+        return a.key < b.key;
+      },
+      insertion_cutoff);
+  out->Reserve(n);
+  const size_t w = in.width();
+  std::vector<TupleRef> row(w);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t s = 0; s < w; ++s) row[s] = in.At(keys[i].row, s);
+    out->Append(row);
+  }
+  return true;
+}
+
+}  // namespace
+
+TempList SortTempList(const TempList& in, int insertion_cutoff,
+                      ExecMode mode) {
+  const size_t n = in.size();
+  const ResultDescriptor& desc = in.descriptor();
+  if (mode == ExecMode::kBatched && desc.columns().size() == 1) {
+    TempList out(in.descriptor());
+    const Schema* cs = desc.ColumnSchema(0);
+    const size_t cf = desc.ColumnField(0);
+    const size_t off = cs->offset(cf);
+    switch (cs->field(cf).type) {
+      case Type::kInt32:
+        if (SortKeyed<int32_t>(
+                in, insertion_cutoff,
+                [off](TupleRef t) { return tuple::GetInt32(t, off); }, &out)) {
+          return out;
+        }
+        break;
+      case Type::kInt64:
+        if (SortKeyed<int64_t>(
+                in, insertion_cutoff,
+                [off](TupleRef t) { return tuple::GetInt64(t, off); }, &out)) {
+          return out;
+        }
+        break;
+      case Type::kDouble:
+        if (SortKeyed<double>(
+                in, insertion_cutoff,
+                [off](TupleRef t) { return tuple::GetDouble(t, off); }, &out)) {
+          return out;
+        }
+        break;
+      default:
+        break;  // strings/pointers: generic path below
+    }
+  }
   std::vector<uint32_t> order(n);
   std::iota(order.begin(), order.end(), 0);
   HybridSort(

@@ -6,15 +6,21 @@
 #ifndef MMDB_EXEC_SORT_H_
 #define MMDB_EXEC_SORT_H_
 
+#include "src/exec/chunk.h"
 #include "src/storage/temp_list.h"
 #include "src/util/sort.h"
 
 namespace mmdb {
 
 /// Returns a copy of `in` with rows ordered by the descriptor's columns
-/// (lexicographic, ascending).
+/// (lexicographic, ascending).  In batched mode a single-numeric-column
+/// descriptor takes a key-extraction fast path: keys are materialized once
+/// and the sort runs over a contiguous (key, row) array instead of chasing
+/// a tuple pointer per comparison — same comparison results, so the same
+/// counted comparisons and the same output permutation.
 TempList SortTempList(const TempList& in,
-                      int insertion_cutoff = kDefaultInsertionSortCutoff);
+                      int insertion_cutoff = kDefaultInsertionSortCutoff,
+                      ExecMode mode = DefaultExecMode());
 
 /// Sorts raw tuple pointers by a single field.  Exposed for benches that
 /// time the Sort Merge build phase in isolation.

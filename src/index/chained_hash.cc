@@ -25,7 +25,11 @@ ChainedBucketHash::ChainedBucketHash(std::shared_ptr<const KeyOps> ops,
 ChainedBucketHash::~ChainedBucketHash() = default;
 
 bool ChainedBucketHash::Insert(TupleRef t) {
-  const size_t b = BucketOf(ops_->Hash(t));
+  return InsertHashed(t, ops_->Hash(t));
+}
+
+bool ChainedBucketHash::InsertHashed(TupleRef t, uint64_t hash) {
+  const size_t b = BucketOf(hash);
   for (Entry* e = table_[b]; e != nullptr; e = e->next) {
     if (e->item == t) return false;
     if (unique() && ops_->Compare(t, e->item) == 0) return false;

@@ -592,24 +592,65 @@ OpResult QueryService::RunSelect(const SelectSpec& spec) {
   // records an all-partitions footprint per involved relation.
   if (cacheable && rc.enabled()) {
     cache::Footprint footprint;
-    bool precise = !spec.join.has_value() && spec.where.size() == 1 &&
-                   !spec.distinct;
-    if (precise) {
+    bool precise = false;
+    if (!spec.join.has_value() && !spec.distinct && spec.where.size() == 1) {
+      // Single conjunct: the result rows ARE the conjunct's matching set,
+      // so their partitions are the footprint (works for ranges too).
       auto f = rel->schema().FieldIndex(spec.where.front().field);
-      precise = f.has_value() && rel->HasGlobalIndexKeyedOn(*f);
-    }
-    if (precise) {
-      std::vector<uint32_t> pids;
-      pids.reserve(qr.rows.size());
-      for (size_t r = 0; r < qr.rows.size(); ++r) {
-        Partition* p = rel->PartitionOf(qr.rows.At(r, 0));
-        if (p == nullptr) {
-          precise = false;
-          break;
+      if (f.has_value() && rel->HasGlobalIndexKeyedOn(*f)) {
+        precise = true;
+        std::vector<uint32_t> pids;
+        pids.reserve(qr.rows.size());
+        for (size_t r = 0; r < qr.rows.size(); ++r) {
+          Partition* p = rel->PartitionOf(qr.rows.At(r, 0));
+          if (p == nullptr) {
+            precise = false;
+            break;
+          }
+          pids.push_back(p->id());
         }
-        pids.push_back(p->id());
+        if (precise) footprint.AddPartitions(spec.table, pids);
       }
-      if (precise) footprint.AddPartitions(spec.table, pids);
+    } else if (!spec.join.has_value() && !spec.distinct) {
+      // Multi-conjunct: precise when any single conjunct alone is a point
+      // predicate on a relation-globally-indexed field (of matching type,
+      // so the index probe sees exactly what the executor's compare
+      // matches).  The footprint must cover the partitions of EVERY tuple
+      // matching that conjunct alone — not just the result rows: a
+      // partition-local update to a tuple that matches f=v but fails
+      // another conjunct can flip it INTO the result, so that partition
+      // must invalidate this entry.  The f=v matching set itself is pinned
+      // between relation-wide invalidations: inserts and deletes on a
+      // relation with a global index, and updates of the indexed field,
+      // all escalate to the structure X lock and invalidate relation-wide.
+      // For the same reason an empty matching set (empty footprint) is
+      // sound — a tuple can only start matching f=v via one of those
+      // escalating writes.
+      for (const WhereClause& w : spec.where) {
+        if (w.op != CompareOp::kEq) continue;
+        auto f = rel->schema().FieldIndex(w.field);
+        if (!f.has_value()) continue;
+        if (rel->schema().field(*f).type != w.value.type()) continue;
+        TupleIndex* gi = rel->GlobalIndexKeyedOn(*f);
+        if (gi == nullptr) continue;
+        std::vector<TupleRef> hits;
+        gi->FindAll(w.value, &hits);
+        bool ok = true;
+        std::vector<uint32_t> pids;
+        pids.reserve(hits.size());
+        for (TupleRef t : hits) {
+          Partition* p = rel->PartitionOf(t);
+          if (p == nullptr) {
+            ok = false;
+            break;
+          }
+          pids.push_back(p->id());
+        }
+        if (!ok) break;
+        footprint.AddPartitions(spec.table, pids);
+        precise = true;
+        break;
+      }
     }
     if (!precise) {
       footprint.AddAll(spec.table);

@@ -213,10 +213,16 @@ bool Relation::HasGlobalIndex() const {
 }
 
 bool Relation::HasGlobalIndexKeyedOn(size_t field) const {
+  return GlobalIndexKeyedOn(field) != nullptr;
+}
+
+TupleIndex* Relation::GlobalIndexKeyedOn(size_t field) const {
   for (const auto& index : indexes_) {
-    if (!index->partition_local() && index->KeyedOnField(field)) return true;
+    if (!index->partition_local() && index->KeyedOnField(field)) {
+      return index.get();
+    }
   }
-  return false;
+  return nullptr;
 }
 
 Status Relation::DeclareForeignKey(size_t field, Relation* target,

@@ -108,6 +108,12 @@ class Relation {
   /// partition's X lock suffices.
   bool HasGlobalIndexKeyedOn(size_t field) const;
 
+  /// The relation-global index keyed on `field`, or nullptr.  Point probes
+  /// through it see every live tuple with that key, regardless of
+  /// partition (the reuse cache uses this to compute partition-precise
+  /// footprints for point conjuncts).
+  TupleIndex* GlobalIndexKeyedOn(size_t field) const;
+
   // ---- Foreign keys ---------------------------------------------------------
 
   /// Declares `field` (must be kPointer) as a foreign key to

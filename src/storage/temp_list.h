@@ -87,6 +87,12 @@ class TempList {
   void Append(std::span<const TupleRef> row);
   /// Appends a single-pointer row (selection results).
   void Append1(TupleRef t);
+  /// Appends `m` single-pointer rows — the survivors of a batched predicate
+  /// chunk, identified by selection-vector positions into `refs`.  Identical
+  /// to calling Append1(refs[sel[i]]) for i in [0, m).
+  void AppendBatch1(const TupleRef* refs, const uint16_t* sel, size_t m) {
+    for (size_t i = 0; i < m; ++i) rows_.push_back(refs[sel[i]]);
+  }
   /// Appends a two-pointer row (binary join results).
   void Append2(TupleRef outer, TupleRef inner);
 

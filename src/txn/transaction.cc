@@ -177,6 +177,7 @@ Status Transaction::Commit() {
     }
     log->Abort(id_);
     state_ = State::kAborted;
+    inserted_.clear();
     mgr_->locks()->ReleaseAll(id_);
   };
 
@@ -218,6 +219,7 @@ Status Transaction::Commit() {
         TupleImage payload = serialize::EncodeTuple(*op.relation, t);
         log->Patch(lsn, op.relation->IdOf(t), &payload);
         applied.push_back({LogOp::kInsert, op.relation, t, {}, {}, 0});
+        inserted_.push_back(t);
         break;
       }
       case LogOp::kDelete: {

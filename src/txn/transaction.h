@@ -136,6 +136,11 @@ class Transaction {
   /// passes this to Database::WaitDurable before acknowledging the write.
   uint64_t commit_lsn() const { return commit_lsn_; }
 
+  /// Tuples created by this transaction's inserts, in op order (empty until
+  /// Commit() succeeds).  The auto-commit fast path returns the ref of its
+  /// single insert from here.
+  const std::vector<TupleRef>& inserted() const { return inserted_; }
+
  private:
   friend class TransactionManager;
   Transaction(TransactionManager* mgr, uint64_t id) : mgr_(mgr), id_(id) {}
@@ -160,6 +165,7 @@ class Transaction {
   std::chrono::milliseconds lock_timeout_{200};
   uint64_t commit_lsn_ = 0;
   std::vector<PendingOp> ops_;
+  std::vector<TupleRef> inserted_;
 };
 
 }  // namespace mmdb

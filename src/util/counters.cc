@@ -16,6 +16,8 @@ OpCounters OpCounters::operator-(const OpCounters& rhs) const {
   out.rotations = rotations - rhs.rotations;
   out.splits = splits - rhs.splits;
   out.merges = merges - rhs.merges;
+  out.chunks = chunks - rhs.chunks;
+  out.prefetches = prefetches - rhs.prefetches;
   return out;
 }
 
@@ -27,6 +29,8 @@ OpCounters& OpCounters::operator+=(const OpCounters& rhs) {
   rotations += rhs.rotations;
   splits += rhs.splits;
   merges += rhs.merges;
+  chunks += rhs.chunks;
+  prefetches += rhs.prefetches;
   return *this;
 }
 
@@ -34,7 +38,8 @@ std::string OpCounters::ToString() const {
   std::ostringstream os;
   os << "cmp=" << comparisons << " moves=" << data_moves
      << " hash=" << hash_calls << " nodes=" << node_visits
-     << " rot=" << rotations << " splits=" << splits << " merges=" << merges;
+     << " rot=" << rotations << " splits=" << splits << " merges=" << merges
+     << " chunks=" << chunks << " pf=" << prefetches;
   return os.str();
 }
 
@@ -93,6 +98,8 @@ void PublishGauges(MetricsRegistry* registry) {
   set("rotations", oc.rotations);
   set("splits", oc.splits);
   set("merges", oc.merges);
+  set("chunks", oc.chunks);
+  set("prefetches", oc.prefetches);
 }
 
 }  // namespace counters

@@ -34,6 +34,8 @@ struct OpCounters {
   uint64_t rotations = 0;       ///< tree rebalancing rotations
   uint64_t splits = 0;          ///< node/bucket splits (hash or tree)
   uint64_t merges = 0;          ///< node/bucket merges or directory shrinks
+  uint64_t chunks = 0;          ///< tuple-pointer chunks processed (batched exec)
+  uint64_t prefetches = 0;      ///< software prefetch instructions issued
 
   OpCounters operator-(const OpCounters& rhs) const;
   OpCounters& operator+=(const OpCounters& rhs);
@@ -82,6 +84,8 @@ inline void BumpNodeVisits(uint64_t n = 1) { detail::tls_counters.node_visits +=
 inline void BumpRotations(uint64_t n = 1) { detail::tls_counters.rotations += n; }
 inline void BumpSplits(uint64_t n = 1) { detail::tls_counters.splits += n; }
 inline void BumpMerges(uint64_t n = 1) { detail::tls_counters.merges += n; }
+inline void BumpChunks(uint64_t n = 1) { detail::tls_counters.chunks += n; }
+inline void BumpPrefetches(uint64_t n = 1) { detail::tls_counters.prefetches += n; }
 #else
 inline void BumpComparisons(uint64_t = 1) {}
 inline void BumpDataMoves(uint64_t = 1) {}
@@ -90,6 +94,8 @@ inline void BumpNodeVisits(uint64_t = 1) {}
 inline void BumpRotations(uint64_t = 1) {}
 inline void BumpSplits(uint64_t = 1) {}
 inline void BumpMerges(uint64_t = 1) {}
+inline void BumpChunks(uint64_t = 1) {}
+inline void BumpPrefetches(uint64_t = 1) {}
 #endif
 
 }  // namespace counters

@@ -174,6 +174,56 @@ TEST(CacheConcurrencyTest, DisjointPartitionWritesLeaveEntriesAlone) {
   service.CloseSession(s);
 }
 
+// Multi-conjunct point queries (id = k AND bal > x) get the same
+// partition-precise footprint: entries survive writes to other partitions,
+// but a partition-local bal update that flips the matched tuple INTO the
+// result — even though the cached result was empty — must invalidate.
+TEST(CacheConcurrencyTest, MultiConjunctPointFootprintIsPreciseAndSound) {
+  auto db = MakeAccountsDb(64);
+  ServiceOptions sopts;
+  sopts.workers = 1;
+  QueryService service(db.get(), sopts);
+  Session* s = service.OpenSession();
+
+  SelectSpec sel;
+  sel.table = "accounts";
+  sel.where = {WhereClause{"id", CompareOp::kEq, Value(3)},
+               WhereClause{"bal", CompareOp::kGt, Value(1500)}};
+  sel.columns = {"accounts.bal"};
+
+  // Warm: id=3 has bal=1000, so the cached result is EMPTY.
+  ASSERT_TRUE(service.Execute(s, sel).ok());
+  OpResult warm = service.Execute(s, sel);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(warm.rows.size(), 0u);
+  ASSERT_NE(warm.plan.find("cache: hit"), std::string::npos) << warm.plan;
+
+  // Disjoint-partition writes leave the entry alone (precision).
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(service.Execute(s, Bump(32 + i % 16)).ok());
+  }
+  OpResult still = service.Execute(s, sel);
+  ASSERT_TRUE(still.ok());
+  EXPECT_NE(still.plan.find("cache: hit"), std::string::npos) << still.plan;
+
+  // Now raise id=3's bal past the threshold: a partition-local update to a
+  // tuple matching the point conjunct but previously failing the bal
+  // conjunct.  The footprint must cover its partition — the stale empty
+  // result may not survive.
+  UpdateSpec up;
+  up.table = "accounts";
+  up.match = WhereClause{"id", CompareOp::kEq, Value(3)};
+  up.set_field = "bal";
+  up.set_value = Value(2000);
+  ASSERT_TRUE(service.Execute(s, up).ok());
+
+  OpResult after = service.Execute(s, sel);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after.rows.size(), 1u) << "stale empty result served from cache";
+  EXPECT_EQ(after.rows[0][0], Value(2000));
+  service.CloseSession(s);
+}
+
 // Sanity for the overlap direction of the same setup: one increment to the
 // cached key invalidates exactly that entry and the next read recomputes.
 TEST(CacheConcurrencyTest, OverlappingWriteInvalidatesBeforeAck) {

@@ -103,7 +103,7 @@ void RunInterleaving(uint64_t seed, int ops) {
       // Select, biased toward a few hot shapes so the cache actually hits.
       SelectSpec sel;
       sel.table = "t";
-      switch (rng.NextBounded(6)) {
+      switch (rng.NextBounded(9)) {
         case 0:  // hot point read on the unique key (precise footprint)
           sel.where = {{"id", CompareOp::kEq,
                         Value(int32_t(rng.NextBounded(8)))}};
@@ -137,6 +137,30 @@ void RunInterleaving(uint64_t seed, int ops) {
           sel.columns = {"t.id", "g.label"};
           break;
         }
+        case 5:  // multi-conjunct point on the unique key: the precise
+                 // footprint must cover every tuple matching id=k alone,
+                 // so the partition-local val updates below can flip a
+                 // tuple into/out of this result and must invalidate.
+          sel.where = {{"id", CompareOp::kEq,
+                        Value(int32_t(rng.NextBounded(8)))},
+                       {"val", CompareOp::kGt,
+                        Value(int32_t(rng.NextBounded(300)))}};
+          sel.columns = {"t.id", "t.val"};
+          break;
+        case 6:  // point conjunct last, not first: the precise-footprint
+                 // scan must find it anywhere in the conjunct list.
+          sel.where = {{"val", CompareOp::kLt,
+                        Value(int32_t(rng.NextBounded(300)))},
+                       {"id", CompareOp::kEq,
+                        Value(int32_t(rng.NextBounded(64)))}};
+          break;
+        case 7:  // multi-conjunct point on grp: its T Tree is
+                 // partition-local, so this must stay relation-wide.
+          sel.where = {{"grp", CompareOp::kEq,
+                        Value(int32_t(rng.NextBounded(8)))},
+                       {"val", CompareOp::kGt,
+                        Value(int32_t(rng.NextBounded(300)))}};
+          break;
         default:  // full scan, sometimes analyzed (analyze must not skew)
           sel.analyze = rng.NextBounded(2) == 0;
           break;

@@ -121,6 +121,71 @@ int TortureChild(const std::string& dir, int32_t base, int threads) {
   return 0;
 }
 
+// Auto-commit (fast-path) DML child: no explicit transactions — every
+// mutation goes through Database::Insert/Update/Delete, which run as
+// single-op mini-transactions and only return once the commit record is
+// durable.  Oracle tags are per-row: i/I = insert tried/acked, u/U = update
+// tried/acked, d/D = delete tried/acked.  An earlier revision of the fast
+// path skipped the WAL entirely, so every kill here lost all acked rows.
+int TortureFastPathChild(const std::string& dir, int32_t base, int threads) {
+  auto db = std::make_unique<Database>();
+  Env* env = Env::Posix();
+  if (env->FileExists(dir + "/schema.mmdb")) {
+    if (!db->Recover(dir, env, nullptr).ok()) _exit(4);
+  } else {
+    MakeTortureTable(db.get());
+  }
+  DurabilityOptions options;
+  options.mode = DurabilityMode::kSync;
+  options.dir = dir;
+  options.flush_interval = std::chrono::milliseconds(1);
+  if (!db->EnableDurability(std::move(options)).ok()) _exit(5);
+
+  int oracle = open((dir + "/oracle.txt").c_str(),
+                    O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (oracle < 0) _exit(6);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const int32_t block = base + t * kThreadStride;
+      for (int32_t k = 0;; ++k) {
+        const int32_t id = block + k;
+        OracleLine(oracle, 'i', id);
+        TupleRef ref = nullptr;
+        // A lock timeout aborts the mini-transaction (Insert returns
+        // nullptr); retrying keeps the oracle contract — 'i' was written,
+        // the ack only follows an actual success.
+        for (int attempt = 0; ref == nullptr && attempt < 100; ++attempt) {
+          ref = db->Insert("t", {Value(id), Value(id)});
+        }
+        if (ref == nullptr) _exit(7);
+        OracleLine(oracle, 'I', id);
+        if (id % 3 == 1) {
+          OracleLine(oracle, 'u', id);
+          Status s = Status::Aborted("");
+          for (int attempt = 0; !s.ok() && attempt < 100; ++attempt) {
+            s = db->Update("t", ref, "v", Value(-id - 1));
+          }
+          if (!s.ok()) _exit(8);
+          OracleLine(oracle, 'U', id);
+        } else if (id % 3 == 2) {
+          OracleLine(oracle, 'd', id);
+          Status s = Status::Aborted("");
+          for (int attempt = 0; !s.ok() && attempt < 100; ++attempt) {
+            s = db->Delete("t", ref);
+          }
+          if (!s.ok()) _exit(9);
+          OracleLine(oracle, 'D', id);
+        }
+        if (t == 0 && k % 64 == 63 && !db->CheckpointNow().ok()) _exit(10);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();  // unreachable: SIGKILL ends the child
+  return 0;
+}
+
 // ---- Parent ----------------------------------------------------------------
 
 struct Oracle {
@@ -212,6 +277,116 @@ void KillAndVerify(const std::string& dir, int32_t base, int threads,
   *acked_out = oracle.acked.size();
 }
 
+struct FastPathOracle {
+  std::set<int32_t> tried_insert, acked_insert;
+  std::set<int32_t> tried_update, acked_update;
+  std::set<int32_t> tried_delete, acked_delete;
+};
+
+FastPathOracle ReadFastPathOracle(const std::string& path) {
+  FastPathOracle o;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    char tag;
+    int32_t id;
+    if (!(ls >> tag >> id)) continue;  // torn final line
+    switch (tag) {
+      case 'i': o.tried_insert.insert(id); break;
+      case 'I': o.acked_insert.insert(id); break;
+      case 'u': o.tried_update.insert(id); break;
+      case 'U': o.acked_update.insert(id); break;
+      case 'd': o.tried_delete.insert(id); break;
+      case 'D': o.acked_delete.insert(id); break;
+      default: break;
+    }
+  }
+  return o;
+}
+
+/// Fast-path variant of KillAndVerify: the child's mutations are
+/// auto-commit Database::Insert/Update/Delete calls.  The contract per id
+/// (row value starts at id; an update rewrites it to -id-1):
+///   * an acked delete means the row is gone;
+///   * an acked insert means the row is present — unless a later delete
+///     was at least tried (it may have committed without its ack);
+///   * an acked update means the value is -id-1 (same later-delete caveat);
+///   * a tried-but-unacked update leaves either value; anything else or a
+///     row whose insert was never tried is corruption.
+void FastPathKillAndVerify(const std::string& dir, int32_t base, int threads,
+                           uint64_t delay_us, const std::string& what,
+                           size_t* acked_out) {
+  *acked_out = 0;
+  pid_t pid = fork();
+  ASSERT_NE(pid, -1) << "fork failed";
+  if (pid == 0) {
+    char base_str[16], threads_str[16];
+    snprintf(base_str, sizeof(base_str), "%d", base);
+    snprintf(threads_str, sizeof(threads_str), "%d", threads);
+    execl(g_self, g_self, "--torture-fastpath-child", dir.c_str(), base_str,
+          threads_str, static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  kill(pid, SIGKILL);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << what << ": child died with status " << status;
+
+  Env* env = Env::Posix();
+  FastPathOracle oracle = ReadFastPathOracle(dir + "/oracle.txt");
+  if (!env->FileExists(dir + "/schema.mmdb")) {
+    EXPECT_TRUE(oracle.acked_insert.empty())
+        << what << ": acks without a directory";
+    return;
+  }
+
+  Database db;
+  Status s = db.Recover(dir, env, nullptr);
+  ASSERT_TRUE(s.ok()) << what << ": recover failed: " << s.ToString();
+
+  std::map<int32_t, int32_t> present;  // id -> v
+  Relation* rel = db.GetTable("t");
+  ASSERT_NE(rel, nullptr) << what;
+  const size_t id_off = rel->schema().offset(0);
+  const size_t v_off = rel->schema().offset(1);
+  for (const auto& p : rel->partitions()) {
+    p->ForEachLive([&](TupleRef t) {
+      present[tuple::GetInt32(t, id_off)] = tuple::GetInt32(t, v_off);
+    });
+  }
+
+  for (int32_t id : oracle.acked_insert) {
+    if (oracle.tried_delete.count(id) != 0) continue;  // may be gone
+    ASSERT_EQ(present.count(id), 1u)
+        << what << ": acked insert " << id << " lost";
+    const int32_t v = present[id];
+    if (oracle.acked_update.count(id) != 0) {
+      EXPECT_EQ(v, -id - 1) << what << ": acked update " << id << " lost";
+    } else if (oracle.tried_update.count(id) != 0) {
+      EXPECT_TRUE(v == id || v == -id - 1)
+          << what << ": id " << id << " has foreign value " << v;
+    } else {
+      EXPECT_EQ(v, id) << what << ": id " << id << " has foreign value " << v;
+    }
+  }
+  for (int32_t id : oracle.acked_delete) {
+    EXPECT_EQ(present.count(id), 0u)
+        << what << ": acked delete " << id << " resurrected";
+  }
+  for (const auto& [id, v] : present) {
+    EXPECT_EQ(oracle.tried_insert.count(id), 1u)
+        << what << ": id " << id << " present but never attempted";
+    EXPECT_TRUE(v == id || (v == -id - 1 && oracle.tried_update.count(id)))
+        << what << ": id " << id << " has foreign value " << v;
+  }
+  *acked_out =
+      oracle.acked_insert.size() + oracle.acked_update.size() +
+      oracle.acked_delete.size();
+}
+
 uint64_t EnvOr(const char* name, uint64_t fallback) {
   const char* v = getenv(name);
   return (v != nullptr && *v != '\0') ? strtoull(v, nullptr, 10) : fallback;
@@ -244,6 +419,34 @@ TEST(CrashTortureTest, KillAndRecoverNeverLosesAckedGroups) {
   std::filesystem::remove_all(root);
 }
 
+// The fast-path scenario: every mutation is an auto-commit call, so this
+// directly proves acked ⊆ recovered for the path that used to bypass the
+// WAL entirely.
+TEST(CrashTortureTest, FastPathDmlNeverLosesAckedWrites) {
+  const uint64_t iters = EnvOr("MMDB_TORTURE_ITERS", 60) / 2 + 1;
+  const uint64_t seed = EnvOr("MMDB_TORTURE_SEED", 42) + 2;
+  std::mt19937_64 rng(seed);
+  std::string root = std::string(::testing::TempDir()) + "mmdb_tortureXXXXXX";
+  ASSERT_NE(mkdtemp(root.data()), nullptr);
+
+  size_t total_acked = 0;
+  for (uint64_t i = 0; i < iters; ++i) {
+    const std::string dir = root + "/it" + std::to_string(i);
+    const uint64_t delay_us = 50 + rng() % 60000;
+    const std::string what =
+        "fastpath seed=" + std::to_string(seed) + " iter=" + std::to_string(i) +
+        " delay_us=" + std::to_string(delay_us);
+    size_t acked = 0;
+    FastPathKillAndVerify(dir, /*base=*/0, /*threads=*/3, delay_us, what,
+                          &acked);
+    if (::testing::Test::HasFatalFailure()) break;
+    total_acked += acked;
+    std::filesystem::remove_all(dir);
+  }
+  EXPECT_GT(total_acked, 0u) << "no iteration ever acknowledged a write";
+  std::filesystem::remove_all(root);
+}
+
 TEST(CrashTortureTest, SurvivesRepeatedKillsOnOneDirectory) {
   const uint64_t seed = EnvOr("MMDB_TORTURE_SEED", 42) + 1;
   std::mt19937_64 rng(seed);
@@ -271,6 +474,9 @@ TEST(CrashTortureTest, SurvivesRepeatedKillsOnOneDirectory) {
 int main(int argc, char** argv) {
   if (argc >= 5 && strcmp(argv[1], "--torture-child") == 0) {
     return mmdb::TortureChild(argv[2], atoi(argv[3]), atoi(argv[4]));
+  }
+  if (argc >= 5 && strcmp(argv[1], "--torture-fastpath-child") == 0) {
+    return mmdb::TortureFastPathChild(argv[2], atoi(argv[3]), atoi(argv[4]));
   }
   g_self = argv[0];
   ::testing::InitGoogleTest(&argc, argv);

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: batched execution must not regress vs the committed
+baseline.
+
+Absolute times are machine-dependent (CI runners vary wildly), so the gate
+compares a machine-independent quantity: the speedup ratio
+
+    tuple_time / batched_time
+
+per (benchmark, sweep point), for the two mode-sensitive join algorithms:
+
+    method 0 = HashJoin   (default exec mode: batched)   vs method 4 = tuple
+    method 2 = SortMerge  (default exec mode: batched)   vs method 5 = tuple
+
+If the current run's speedup drops more than --tolerance (default 10%)
+below the baseline's speedup at the same sweep point, the batched path has
+regressed relative to the scalar path on the same hardware and the check
+fails.  Sweep points present in only one file are ignored (so the filter
+used in CI may be a subset of the baseline sweep).
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.10]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# method-id pairs: (batched-by-default, tuple-pinned)
+MODE_PAIRS = [("0", "4"), ("2", "5")]
+
+
+def load_times(path):
+    """name -> cpu_time.
+
+    Prefers the `_median` aggregate (present when the bench ran with
+    --benchmark_repetitions) over single-iteration entries — medians are
+    what make the 10% gate stable on noisy CI runners.
+    """
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    medians = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type", "iteration") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                name = b["name"]
+                if name.endswith("_median"):
+                    name = name[: -len("_median")]
+                medians[name] = float(b["cpu_time"])
+        else:
+            times[b["name"]] = float(b["cpu_time"])
+    times.update(medians)
+    return times
+
+
+def speedups(times):
+    """(bench_base, param) -> tuple_time / batched_time."""
+    out = {}
+    for name, t_batched in times.items():
+        m = re.match(r"^(.*)/(\d+)/(\d+)$", name)
+        if not m:
+            continue
+        base, method, param = m.groups()
+        for batched_id, tuple_id in MODE_PAIRS:
+            if method != batched_id:
+                continue
+            tuple_name = f"{base}/{tuple_id}/{param}"
+            if tuple_name in times and t_batched > 0:
+                out[(base, batched_id, param)] = times[tuple_name] / t_batched
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed relative drop in batched speedup")
+    args = ap.parse_args()
+
+    base = speedups(load_times(args.baseline))
+    curr = speedups(load_times(args.current))
+    shared = sorted(set(base) & set(curr))
+    if not shared:
+        print("error: no comparable (benchmark, sweep point) pairs between "
+              f"{args.baseline} and {args.current}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for key in shared:
+        bench, method, param = key
+        b, c = base[key], curr[key]
+        drop = (b - c) / b
+        status = "FAIL" if drop > args.tolerance else "ok"
+        print(f"{status:4} {bench} method={method} param={param}  "
+              f"baseline speedup={b:.2f}x  current={c:.2f}x  "
+              f"drop={drop * 100:+.1f}%")
+        if drop > args.tolerance:
+            failures.append(key)
+
+    if failures:
+        print(f"\n{len(failures)}/{len(shared)} points regressed more than "
+              f"{args.tolerance * 100:.0f}% vs baseline", file=sys.stderr)
+        return 1
+    print(f"\nall {len(shared)} points within "
+          f"{args.tolerance * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
