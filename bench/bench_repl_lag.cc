@@ -1,0 +1,202 @@
+// Replication lag benchmarks for the log-shipping replica.
+//
+//   * ReplCatchUp — a primary accumulates N committed rows across sealed
+//     WAL segments, then a cold replica attaches and replays to the
+//     primary's durable LSN.  Reports catch-up wall time, shipped bytes,
+//     and replay throughput (rows/s) — the "how long until a new replica
+//     is useful" number.
+//   * ReplSteadyLag — a caught-up replica follows a primary committing
+//     single-row transactions; for a sample of commits we measure the
+//     time from WaitDurable returning to the replica's applied LSN
+//     covering that commit.  Reports visibility-lag percentiles — the
+//     freshness a read replica actually serves under steady load.
+//
+// Both run over loopback TCP with the real wire protocol and an in-memory
+// Env, so the numbers isolate protocol + replay cost from disk fsync.
+//
+// Run with --json to emit BENCH_repl_lag.json (CI artifact).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "src/core/database.h"
+#include "src/core/durability.h"
+#include "src/net/server.h"
+#include "src/repl/replica.h"
+#include "src/repl/shipper.h"
+#include "src/server/query_service.h"
+#include "src/util/env.h"
+#include "src/util/metrics.h"
+#include "src/util/timer.h"
+
+namespace mmdb {
+namespace {
+
+constexpr char kPrimaryDir[] = "dur";
+constexpr char kMirrorDir[] = "rep";
+
+/// Primary database + durability + shipper + wire server, in-memory Env.
+struct Primary {
+  InMemEnv env;
+  Database db;
+  std::unique_ptr<repl::Shipper> shipper;
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<net::Server> server;
+
+  bool Start() {
+    Relation::Options topt;
+    topt.partition.slot_capacity = 256;
+    db.CreateTable("t", {{"id", Type::kInt32}, {"v", Type::kInt32}}, topt);
+    DurabilityOptions options;
+    options.mode = DurabilityMode::kSync;
+    options.dir = kPrimaryDir;
+    options.env = &env;
+    options.flush_interval = std::chrono::milliseconds(1);
+    options.wal_segment_bytes = 64 << 10;  // roll often: ship sealed chains
+    options.wal_retain_segments = 1 << 20;
+    if (!db.EnableDurability(std::move(options)).ok()) return false;
+    shipper = std::make_unique<repl::Shipper>(&db);
+    service = std::make_unique<QueryService>(&db);
+    net::ServerOptions sopt;
+    sopt.port = 0;
+    server = std::make_unique<net::Server>(service.get(), sopt);
+    repl::Shipper* s = shipper.get();
+    server->set_repl_handler(
+        [s](const std::string& r) { return s->HandleRequest(r); });
+    return server->Start().ok();
+  }
+
+  // Returns the commit LSN, already durable.
+  uint64_t Insert(int32_t id) {
+    std::unique_ptr<Transaction> txn = db.Begin();
+    if (!txn->Insert("t", {Value(id), Value(id)}).ok()) return 0;
+    if (!txn->Commit().ok()) return 0;
+    if (!db.WaitDurable(txn->commit_lsn()).ok()) return 0;
+    return txn->commit_lsn();
+  }
+};
+
+std::unique_ptr<repl::Replica> AttachReplica(const Primary& primary,
+                                             Env* env,
+                                             std::chrono::milliseconds poll) {
+  repl::ReplicaOptions options;
+  options.primary_port = primary.server->port();
+  options.dir = kMirrorDir;
+  options.env = env;
+  options.poll_interval = poll;
+  options.reconnect_backoff = std::chrono::milliseconds(5);
+  auto replica = std::make_unique<repl::Replica>(options);
+  if (!replica->Start().ok()) return nullptr;
+  return replica;
+}
+
+bool WaitApplied(repl::Replica* replica, uint64_t lsn,
+                 std::chrono::seconds timeout = std::chrono::seconds(30)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (replica->applied_lsn() < lsn) {
+    if (!replica->health().ok()) return false;
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+void BM_ReplCatchUp(benchmark::State& state) {
+  const int32_t rows = static_cast<int32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Primary primary;
+    if (!primary.Start()) {
+      state.SkipWithError("primary failed to start");
+      return;
+    }
+    uint64_t last_lsn = 0;
+    for (int32_t i = 0; i < rows; ++i) last_lsn = primary.Insert(i);
+    if (last_lsn == 0) {
+      state.SkipWithError("load failed");
+      return;
+    }
+    InMemEnv mirror_env;
+    state.ResumeTiming();
+
+    auto replica =
+        AttachReplica(primary, &mirror_env, std::chrono::milliseconds(1));
+    if (replica == nullptr || !WaitApplied(replica.get(), last_lsn)) {
+      state.SkipWithError("replica never caught up");
+      return;
+    }
+
+    state.PauseTiming();
+    state.counters["rows"] = static_cast<double>(rows);
+    state.counters["shipped_mb"] = benchmark::Counter(
+        static_cast<double>(
+            primary.db.metrics().GetCounter("mmdb_repl_bytes_shipped_total")->Value()) /
+        (1024.0 * 1024.0));
+    replica->Stop();
+    replica.reset();
+    primary.server->Stop();
+    state.ResumeTiming();
+  }
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(rows) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReplCatchUp)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Arg(20000)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReplSteadyLag(benchmark::State& state) {
+  Primary primary;
+  if (!primary.Start()) {
+    state.SkipWithError("primary failed to start");
+    return;
+  }
+  uint64_t lsn = primary.Insert(0);
+  InMemEnv mirror_env;
+  auto replica =
+      AttachReplica(primary, &mirror_env, std::chrono::milliseconds(1));
+  if (replica == nullptr || !WaitApplied(replica.get(), lsn)) {
+    state.SkipWithError("replica never attached");
+    return;
+  }
+
+  LatencyHistogram lag;
+  int32_t id = 1;
+  for (auto _ : state) {
+    lsn = primary.Insert(id++);
+    if (lsn == 0) {
+      state.SkipWithError("insert failed");
+      return;
+    }
+    Timer t;
+    if (!WaitApplied(replica.get(), lsn)) {
+      state.SkipWithError("replica fell behind and never recovered");
+      return;
+    }
+    lag.Record(static_cast<double>(t.ElapsedMicros()));
+  }
+  const auto snap = lag.Snap();
+  state.counters["lag_p50_us"] =
+      static_cast<double>(snap.PercentileMicros(0.50));
+  state.counters["lag_p95_us"] =
+      static_cast<double>(snap.PercentileMicros(0.95));
+  state.counters["lag_p99_us"] =
+      static_cast<double>(snap.PercentileMicros(0.99));
+  state.counters["applied_txns"] = static_cast<double>(
+      replica->db()->metrics().GetCounter("mmdb_repl_applied_txns_total")->Value());
+  replica->Stop();
+  primary.server->Stop();
+}
+BENCHMARK(BM_ReplSteadyLag)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mmdb
+
+MMDB_BENCH_MAIN(repl_lag);

@@ -17,6 +17,17 @@
 //
 //   $ ./mmdb_shell --serve 7700
 //
+// --replica-of <host:port> --dir <path> starts as a read replica of a
+// serving primary: it bootstraps from the primary's newest checkpoint,
+// mirrors and continuously replays its WAL segments into <path>, and
+// serves SELECTs (add --serve to expose them over TCP).  Writes return
+// READ_ONLY until `PROMOTE;` is typed, which turns the process into a
+// standalone primary over the mirrored directory:
+//
+//   $ ./mmdb_shell --serve 7700 &            # primary
+//   $ ./mmdb_shell --replica-of 127.0.0.1:7700 --dir /data/replica \
+//                  --serve 7701
+//
 // SIGUSR1 dumps the flight recorder + slow-query log without interrupting
 // anything: the handler just sets a flag; the watchdog tick (when serving)
 // or the REPL loop performs the dump.
@@ -28,10 +39,13 @@
 #include <csignal>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "src/core/database.h"
 #include "src/core/shell.h"
+#include "src/repl/replica.h"
+#include "src/repl/shipper.h"
 #include "src/server/flight_recorder.h"
 
 namespace {
@@ -52,27 +66,74 @@ void MaybeDump() {
 int main(int argc, char** argv) {
   std::signal(SIGUSR1, OnSigusr1);
 
-  mmdb::Database db;
-  mmdb::CommandShell shell(&db);
-
-  std::string serve_port;
+  std::string serve_port, replica_of, replica_dir, script;
+  bool have_script = false;
   int arg = 1;
-  if (argc >= 3 && std::string(argv[1]) == "--serve") {
-    serve_port = argv[2];
-    arg = 3;
+  while (arg < argc) {
+    const std::string flag = argv[arg];
+    if (flag == "--serve" && arg + 1 < argc) {
+      serve_port = argv[++arg];
+    } else if (flag == "--replica-of" && arg + 1 < argc) {
+      replica_of = argv[++arg];
+    } else if (flag == "--dir" && arg + 1 < argc) {
+      replica_dir = argv[++arg];
+    } else if (flag == "-c" && arg + 1 < argc) {
+      script = argv[++arg];
+      have_script = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--serve <port>] "
+                   "[--replica-of <host:port> --dir <path>] [-c 'script']\n",
+                   argv[0]);
+      return 2;
+    }
+    ++arg;
   }
-  if (argc - arg == 2 && std::string(argv[arg]) == "-c") {
+
+  // A replica owns its own Database (recovered from the mirror dir); a
+  // primary gets a Shipper so SERVE answers log-shipping requests.
+  std::unique_ptr<mmdb::Database> own_db;
+  std::unique_ptr<mmdb::repl::Replica> replica;
+  std::unique_ptr<mmdb::repl::Shipper> shipper;
+  mmdb::Database* db = nullptr;
+  if (!replica_of.empty()) {
+    const size_t colon = replica_of.rfind(':');
+    if (colon == std::string::npos || replica_dir.empty()) {
+      std::fprintf(stderr,
+                   "--replica-of needs <host:port> and a --dir mirror path\n");
+      return 2;
+    }
+    mmdb::repl::ReplicaOptions options;
+    options.primary_host = replica_of.substr(0, colon);
+    options.primary_port =
+        static_cast<uint16_t>(std::stoul(replica_of.substr(colon + 1)));
+    options.dir = replica_dir;
+    replica = std::make_unique<mmdb::repl::Replica>(options);
+    mmdb::Status s = replica->Start();
+    if (!s.ok()) {
+      std::fprintf(stderr, "replica start failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    db = replica->db();
+    std::fprintf(stderr, "replica of %s, mirroring into %s\n",
+                 replica_of.c_str(), replica_dir.c_str());
+  } else {
+    own_db = std::make_unique<mmdb::Database>();
+    db = own_db.get();
+    shipper = std::make_unique<mmdb::repl::Shipper>(db);
+  }
+
+  mmdb::CommandShell shell(db);
+  if (replica != nullptr) shell.set_replica(replica.get());
+  if (shipper != nullptr) shell.set_repl_source(shipper.get());
+
+  if (have_script) {
     if (!serve_port.empty()) {
       std::printf("%s\n", shell.Execute("SERVE " + serve_port).c_str());
     }
-    std::fputs(shell.ExecuteScript(argv[arg + 1]).c_str(), stdout);
+    std::fputs(shell.ExecuteScript(script).c_str(), stdout);
     MaybeDump();
     return 0;
-  }
-  if (argc != arg) {
-    std::fprintf(stderr, "usage: %s [--serve <port>] [-c 'script']\n",
-                 argv[0]);
-    return 2;
   }
   if (!serve_port.empty()) {
     const std::string result = shell.Execute("SERVE " + serve_port);

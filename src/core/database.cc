@@ -455,7 +455,8 @@ Status Database::CheckpointNow() {
 }
 
 Status Database::Recover(const std::string& dir, Env* env,
-                         RecoveryManager::Progress* progress) {
+                         RecoveryManager::Progress* progress,
+                         uint64_t upto_lsn) {
   if (catalog_.size() != 0) {
     return Status::FailedPrecondition("Recover needs an empty database");
   }
@@ -486,6 +487,9 @@ Status Database::Recover(const std::string& dir, Env* env,
   uint64_t ckpt_lsn = 0;
   disk_image_.Clear();
   for (uint64_t candidate : ckpt_lsns) {
+    // A point-in-time target needs a base at or before it; newer
+    // checkpoints already contain effects past the target.
+    if (candidate > upto_lsn) continue;
     std::string data;
     if (!env->ReadFile(dir + "/" + log_format::CheckpointFileName(candidate),
                        &data)
@@ -505,10 +509,14 @@ Status Database::Recover(const std::string& dir, Env* env,
     disk_image_.Clear();
   }
 
-  // 3. WAL tail: committed records past the checkpoint, stopping at the
-  // first torn/corrupt frame.
+  // 3. WAL tail: committed records past the checkpoint (and, for
+  // point-in-time recovery, at or below the target), stopping cleanly only
+  // at a torn final-segment tail — chain damage is kCorruption.
+  WalReplayOptions replay_options;
+  replay_options.after_lsn = ckpt_lsn;
+  replay_options.upto_lsn = upto_lsn;
   WalReplayResult wal;
-  s = ReplayWalDir(env, dir, ckpt_lsn, &wal);
+  s = ReplayWalDir(env, dir, replay_options, &wal);
   if (!s.ok()) return s;
   const size_t replayed = wal.records.size();
   const uint64_t max_lsn = std::max(wal.max_lsn, ckpt_lsn);

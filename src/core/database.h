@@ -6,6 +6,8 @@
 #ifndef MMDB_CORE_DATABASE_H_
 #define MMDB_CORE_DATABASE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -126,10 +128,17 @@ class Database {
 
   /// Rebuilds this (empty) database from a durability directory: schema
   /// journal, newest valid checkpoint, then the WAL tail — stopping
-  /// cleanly at the first torn or corrupt record.  Call EnableDurability
-  /// afterwards to resume durable operation on the same directory.
+  /// cleanly at a torn record in the final segment, failing with
+  /// kCorruption on any damage earlier in the segment chain.  Call
+  /// EnableDurability afterwards to resume durable operation on the same
+  /// directory.  `upto_lsn` bounds the replay for point-in-time recovery:
+  /// the rebuilt state is exactly what a crash at that LSN would have left
+  /// (transactions still open there are dropped).  It requires a
+  /// checkpoint with lsn <= upto_lsn to still exist — see
+  /// DurabilityOptions::wal_retain_segments for how long that window is.
   Status Recover(const std::string& dir, Env* env = nullptr,
-                 RecoveryManager::Progress* progress = nullptr);
+                 RecoveryManager::Progress* progress = nullptr,
+                 uint64_t upto_lsn = UINT64_MAX);
 
   /// Blocks until the record with this LSN is crash-durable (sync mode);
   /// no-op otherwise.  The query service calls this with a transaction's
@@ -161,6 +170,17 @@ class Database {
   /// counters and latency series; `RenderPrometheus()` is the text
   /// endpoint (also exposed as the shell's METRICS command).
   MetricsRegistry& metrics() { return metrics_; }
+
+  /// Read-replica mode: while set, the query service and shell refuse
+  /// non-SELECT operations with StatusCode::kReadOnly (the replication
+  /// apply loop writes through the physical layer underneath).  PROMOTE
+  /// clears it.
+  void SetReadOnly(bool read_only) {
+    read_only_.store(read_only, std::memory_order_release);
+  }
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
 
   /// The plan-keyed result/intermediate reuse cache (DESIGN.md §4d).
   /// Always constructed; enabled by default unless the MMDB_CACHE=OFF
@@ -216,6 +236,8 @@ class Database {
   // its flusher/checkpointer joined) first; ~Database also stops it
   // explicitly before any other teardown.
   std::unique_ptr<DurabilityManager> durability_;
+
+  std::atomic<bool> read_only_{false};
 
   // DDL journal for crash simulation (schema durability stand-in).
   std::vector<DdlTable> ddl_tables_;

@@ -1,6 +1,7 @@
 #include "src/core/durability.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 #include <vector>
 
@@ -21,6 +22,16 @@ const char* DurabilityModeName(DurabilityMode mode) {
   return "?";
 }
 
+void ApplyDurabilityEnvOverrides(DurabilityOptions* options) {
+  if (const char* v = std::getenv("MMDB_WAL_SEGMENT_BYTES")) {
+    options->wal_segment_bytes = std::strtoull(v, nullptr, 10);
+  }
+  if (const char* v = std::getenv("MMDB_WAL_RETAIN_SEGMENTS")) {
+    options->wal_retain_segments =
+        static_cast<size_t>(std::strtoull(v, nullptr, 10));
+  }
+}
+
 DurabilityManager::DurabilityManager(Database* db, DurabilityOptions options)
     : db_(db),
       options_(std::move(options)),
@@ -35,6 +46,9 @@ DurabilityManager::DurabilityManager(Database* db, DurabilityOptions options)
   checkpoint_failures_ = m.GetCounter("mmdb_checkpoint_failures_total");
   checkpoint_micros_ = m.GetHistogram("mmdb_checkpoint_micros");
   checkpoint_bytes_ = m.GetGauge("mmdb_checkpoint_bytes");
+  segments_sealed_ = m.GetCounter("mmdb_wal_segments_sealed_total");
+  segments_deleted_ = m.GetCounter("mmdb_wal_segments_deleted_total");
+  sealed_segments_ = m.GetGauge("mmdb_wal_sealed_segments");
 }
 
 DurabilityManager::~DurabilityManager() { Stop(); }
@@ -57,6 +71,28 @@ uint64_t DurabilityManager::checkpoint_lsn() const {
 bool DurabilityManager::failed() const {
   std::lock_guard<std::mutex> lock(wal_mu_);
   return failed_;
+}
+
+WalShipState DurabilityManager::ShipState() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  WalShipState state;
+  state.active_start = wal_.segment_start();
+  state.active_synced_bytes = wal_.synced_bytes();
+  state.durable_lsn = durable_lsn_;
+  state.checkpoint_lsn = checkpoint_lsn_;
+  state.sealed = manifest_.segments();
+  state.failed = failed_;
+  return state;
+}
+
+void DurabilityManager::SetWalRetainFloor(uint64_t floor) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  wal_retain_floor_ = floor;
+}
+
+uint64_t DurabilityManager::wal_retain_floor() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return wal_retain_floor_;
 }
 
 Status DurabilityManager::Start() {
@@ -120,6 +156,11 @@ Status DurabilityManager::PumpLocked(bool sync, size_t* pumped) {
     bytes_appended_->Add(wal_.bytes_appended() - bytes_before);
     records_appended_->Add(drained.size());
     db_->log_device().Accumulate(std::move(drained));
+    if (options_.wal_segment_bytes > 0 &&
+        wal_.segment_bytes() >= options_.wal_segment_bytes) {
+      Status s = SealSegmentLocked();
+      if (!s.ok()) return s;  // SealSegmentLocked latched failed_
+    }
   }
   if (pumped != nullptr) *pumped = data_records;
   if (sync && durable_lsn_ < appended_lsn_) {
@@ -165,6 +206,35 @@ Status DurabilityManager::WaitDurable(uint64_t lsn) {
   }
 }
 
+Status DurabilityManager::SealSegmentLocked() {
+  Status s = wal_.Sync();
+  if (!s.ok()) {
+    failed_ = true;
+    durable_cv_.notify_all();
+    return s;
+  }
+  fsyncs_->Add(1);
+  durable_lsn_ = appended_lsn_;
+  durable_cv_.notify_all();
+  if (appended_lsn_ <= wal_.segment_start()) return Status::Ok();  // empty
+  // Seal order is load-bearing: the segment is fully fsync'd *before* its
+  // manifest entry exists, so a manifest-listed segment can never hold a
+  // torn frame — which is exactly what lets replay treat corruption in a
+  // sealed segment as a hard error instead of crash residue.
+  s = manifest_.Append(
+      {wal_.segment_start(), appended_lsn_, wal_.segment_bytes()});
+  if (s.ok()) s = manifest_.Save(env_, options_.dir);
+  if (s.ok()) s = wal_.Rotate(appended_lsn_);
+  if (!s.ok()) {
+    failed_ = true;
+    durable_cv_.notify_all();
+    return s;
+  }
+  segments_sealed_->Add(1);
+  sealed_segments_->Set(static_cast<int64_t>(manifest_.segments().size()));
+  return Status::Ok();
+}
+
 Status DurabilityManager::WriteFileAtomic(const std::string& name,
                                           std::string_view body) {
   const std::string path = options_.dir + "/" + name;
@@ -179,21 +249,75 @@ Status DurabilityManager::WriteFileAtomic(const std::string& name,
   return env_->RenameFile(tmp, path);
 }
 
-void DurabilityManager::DeleteObsoleteFiles(uint64_t keep_lsn) {
+void DurabilityManager::DeleteObsoleteFiles(uint64_t keep_lsn, bool initial) {
   std::vector<std::string> names;
   if (!env_->ListDir(options_.dir, &names).ok()) return;
+  if (initial) {
+    // The initial checkpoint captures the whole database, so every older
+    // checkpoint and segment (from any previous run) is dead and the
+    // point-in-time-recovery window restarts here.
+    for (const std::string& name : names) {
+      uint64_t lsn;
+      const bool stale_ckpt =
+          log_format::ParseCheckpointFileName(name, &lsn) && lsn != keep_lsn;
+      const bool stale_wal =
+          log_format::ParseWalFileName(name, &lsn) && lsn != keep_lsn;
+      const bool leftover_tmp =
+          name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0;
+      if (stale_ckpt || stale_wal || leftover_tmp) {
+        env_->RemoveFile(options_.dir + "/" + name);  // best effort
+      }
+    }
+    return;
+  }
+
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  // A sealed segment is prunable once it is below both the newest
+  // checkpoint and every connected replica's acked LSN — and even then the
+  // newest wal_retain_segments stay behind as the PITR window.  Because the
+  // chain is contiguous, "everything before entry[prunable]" is exactly
+  // "every wal file with start < entry[prunable].start".
+  const uint64_t floor = std::min(keep_lsn, wal_retain_floor_);
+  size_t prunable = 0;
+  while (prunable < manifest_.segments().size() &&
+         manifest_.segments()[prunable].end <= floor &&
+         manifest_.segments().size() - prunable >
+             options_.wal_retain_segments) {
+    ++prunable;
+  }
+  const uint64_t oldest_keep_start =
+      prunable < manifest_.segments().size()
+          ? manifest_.segments()[prunable].start
+          : wal_.segment_start();
+
+  size_t deleted = 0;
   for (const std::string& name : names) {
     uint64_t lsn;
-    const bool stale_ckpt =
-        log_format::ParseCheckpointFileName(name, &lsn) && lsn != keep_lsn;
-    const bool stale_wal =
-        log_format::ParseWalFileName(name, &lsn) && lsn != keep_lsn;
-    const bool leftover_tmp =
-        name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0;
-    if (stale_ckpt || stale_wal || leftover_tmp) {
-      env_->RemoveFile(options_.dir + "/" + name);  // best effort
+    bool drop = false;
+    if (log_format::ParseWalFileName(name, &lsn)) {
+      // Pruned chain members, plus strays from before the retained window
+      // (e.g. a crash between file deletion and the manifest save below).
+      drop = lsn < oldest_keep_start && lsn != wal_.segment_start();
+      if (drop) ++deleted;
+    } else if (log_format::ParseCheckpointFileName(name, &lsn)) {
+      // A checkpoint older than the retained WAL window can no longer be a
+      // PITR base; newer ones stay (they anchor mid-window targets), and
+      // the newest always survives.
+      drop = lsn < oldest_keep_start && lsn != keep_lsn;
+    } else {
+      drop = name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0;
     }
+    if (drop) env_->RemoveFile(options_.dir + "/" + name);  // best effort
   }
+  // Files first, manifest second: a stale manifest entry for a deleted
+  // file only ever covers LSNs at or below the checkpoint, which normal
+  // recovery skips without reading.
+  if (prunable > 0) {
+    manifest_.PruneBelow(manifest_.segments()[prunable - 1].end);
+    manifest_.Save(env_, options_.dir);  // best effort
+  }
+  if (deleted > 0) segments_deleted_->Add(deleted);
+  sealed_segments_->Set(static_cast<int64_t>(manifest_.segments().size()));
 }
 
 Status DurabilityManager::Checkpoint() {
@@ -245,10 +369,26 @@ Status DurabilityManager::CheckpointLocked(bool initial) {
         db_->disk_image().CheckpointRelation(*db_->catalog().Get(name));
       }
       db_->disk_image().SerializeTo(&image_bytes);
-      // 4. Rotate inside the quiesce: the first post-checkpoint commit
-      // must land in wal-<ckpt_lsn>.log, not the segment about to die.
-      result = wal_.Rotate(ckpt_lsn);
+      // 4. Seal the dying segment into the manifest and rotate, all inside
+      // the quiesce: the first post-checkpoint commit must land in
+      // wal-<ckpt_lsn>.log, not the segment about to die.  ckpt_lsn may
+      // exceed the last record actually in the segment (aborted txns burn
+      // LSNs without reaching the WAL); the manifest chains on assigned-LSN
+      // ranges, so the next segment still starts exactly at this end.
+      if (initial) {
+        // Fresh durable epoch: the initial checkpoint captures everything,
+        // so any previous run's chain is dead.
+        manifest_.Clear();
+        result = manifest_.Save(env_, options_.dir);
+      } else if (ckpt_lsn > wal_.segment_start()) {
+        result = manifest_.Append(
+            {wal_.segment_start(), ckpt_lsn, wal_.segment_bytes()});
+        if (result.ok()) result = manifest_.Save(env_, options_.dir);
+        if (result.ok()) segments_sealed_->Add(1);
+      }
+      if (result.ok()) result = wal_.Rotate(ckpt_lsn);
       if (!result.ok()) failed_ = true;
+      sealed_segments_->Set(static_cast<int64_t>(manifest_.segments().size()));
     }
   }
 
@@ -283,7 +423,7 @@ Status DurabilityManager::CheckpointLocked(bool initial) {
   }
   // 6. Older checkpoints and fully-covered WAL segments are dead only now
   // that the new checkpoint is durably in place.
-  DeleteObsoleteFiles(ckpt_lsn);
+  DeleteObsoleteFiles(ckpt_lsn, initial);
 
   checkpoints_->Add(1);
   checkpoint_bytes_->Set(static_cast<int64_t>(image_bytes.size()));

@@ -66,7 +66,8 @@ const char* DurabilityModeName(DurabilityMode mode);
 
 struct DurabilityOptions {
   DurabilityMode mode = DurabilityMode::kSync;
-  /// Directory holding schema.mmdb, checkpoint-*.ckpt and wal-*.log.
+  /// Directory holding schema.mmdb, checkpoint-*.ckpt, wal-*.log and
+  /// wal.manifest.
   std::string dir;
   /// Filesystem to write through; nullptr = Env::Posix().
   Env* env = nullptr;
@@ -76,6 +77,31 @@ struct DurabilityOptions {
   std::chrono::milliseconds checkpoint_interval{0};
   /// Lock-wait budget for the checkpoint quiesce transaction.
   std::chrono::milliseconds checkpoint_lock_timeout{1000};
+  /// Seal the active WAL segment (fsync, manifest entry, fresh file) once
+  /// it reaches this size — log shipping streams sealed segments whole.
+  /// 0 rolls only at checkpoints.  Env knob: MMDB_WAL_SEGMENT_BYTES.
+  uint64_t wal_segment_bytes = 8ull << 20;
+  /// Keep at least this many newest sealed segments across checkpoint GC
+  /// (the point-in-time-recovery window).  Env: MMDB_WAL_RETAIN_SEGMENTS.
+  size_t wal_retain_segments = 2;
+};
+
+/// Applies MMDB_WAL_SEGMENT_BYTES / MMDB_WAL_RETAIN_SEGMENTS from the
+/// process environment (used by the shell and tools; tests set the fields
+/// directly for determinism).
+void ApplyDurabilityEnvOverrides(DurabilityOptions* options);
+
+/// Snapshot of the WAL state a log shipper serves from: the sealed-segment
+/// chain plus the durable prefix of the active segment.  Nothing beyond
+/// `active_synced_bytes` is ever shipped — unsynced bytes could vanish in
+/// a crash, and a replica must never apply state the primary could lose.
+struct WalShipState {
+  uint64_t active_start = 0;
+  uint64_t active_synced_bytes = 0;
+  uint64_t durable_lsn = 0;
+  uint64_t checkpoint_lsn = 0;
+  std::vector<WalSegmentInfo> sealed;
+  bool failed = false;
 };
 
 class DurabilityManager {
@@ -118,11 +144,24 @@ class DurabilityManager {
   /// acknowledged (the torn tail must stay the end of the stream).
   bool failed() const;
 
+  /// Consistent snapshot of what a log shipper may serve right now.
+  WalShipState ShipState() const;
+
+  /// Retention floor from replication: GC never deletes a sealed segment
+  /// with end > floor, so a connected (possibly slow) replica can always
+  /// resume from its acked LSN.  Default UINT64_MAX = no replicas = no
+  /// extra retention beyond wal_retain_segments.
+  void SetWalRetainFloor(uint64_t floor);
+  uint64_t wal_retain_floor() const;
+
  private:
   Status CheckpointLocked(bool initial);
   Status PumpLocked(bool sync, size_t* pumped);
+  /// fsyncs the active segment, records it in the manifest, and opens a
+  /// fresh one named by the last appended LSN.  Caller holds wal_mu_.
+  Status SealSegmentLocked();
   Status WriteFileAtomic(const std::string& name, std::string_view body);
-  void DeleteObsoleteFiles(uint64_t keep_lsn);
+  void DeleteObsoleteFiles(uint64_t keep_lsn, bool initial);
   void FlusherLoop();
   void CheckpointerLoop();
 
@@ -136,9 +175,11 @@ class DurabilityManager {
   mutable std::mutex wal_mu_;
   std::condition_variable durable_cv_;
   WalWriter wal_;
+  WalManifest manifest_;       // sealed-segment chain, mirrored on disk
   uint64_t appended_lsn_ = 0;  // highest LSN appended to the WAL
   uint64_t durable_lsn_ = 0;   // highest LSN covered by an fsync
   uint64_t checkpoint_lsn_ = 0;
+  uint64_t wal_retain_floor_ = UINT64_MAX;  // min replica acked LSN
   bool failed_ = false;
   bool started_ = false;
 
@@ -156,6 +197,9 @@ class DurabilityManager {
   Counter* checkpoint_failures_;
   LatencyHistogram* checkpoint_micros_;
   Gauge* checkpoint_bytes_;
+  Counter* segments_sealed_;
+  Counter* segments_deleted_;
+  Gauge* sealed_segments_;
 };
 
 }  // namespace mmdb

@@ -245,6 +245,16 @@ std::string CommandShell::Execute(const std::string& statement) {
 
   try {
     const std::string head = Upper(t[0].text);
+    // A replica database refuses every state change until PROMOTE; reads
+    // and diagnostics stay available.
+    if (db_->read_only() &&
+        (head == "CREATE" || head == "FOREIGN" || head == "INSERT" ||
+         head == "UPDATE" || head == "DELETE" || head == "CHECKPOINT" ||
+         head == "DURABILITY" || head == "RECOVER" || head == "CRASH")) {
+      return "error: " +
+             Status::ReadOnly("replica is read-only until PROMOTE").ToString();
+    }
+    if (head == "PROMOTE") return RunPromote();
     if (head == "CREATE") return RunCreate(t);
     if (head == "FOREIGN") return RunForeignKey(t);
     if (head == "INSERT") return RunInsert(t);
@@ -295,6 +305,7 @@ std::string CommandShell::Execute(const std::string& statement) {
       } else {
         return "error: durability mode must be SYNC or ASYNC";
       }
+      ApplyDurabilityEnvOverrides(&options);
       Status s = db_->EnableDurability(std::move(options));
       if (!s.ok()) return "error: " + s.ToString();
       return std::string("ok: durability ") +
@@ -698,6 +709,12 @@ std::string CommandShell::RunServe(const std::vector<Token>& t) {
   net::ServerOptions options;
   options.port = static_cast<uint16_t>(port);
   auto server = std::make_unique<net::Server>(service.get(), options);
+  if (repl_source_ != nullptr) {
+    repl::ReplSource* source = repl_source_;
+    server->set_repl_handler([source](const std::string& request) {
+      return source->HandleRequest(request);
+    });
+  }
   Status s = server->Start();
   if (!s.ok()) return "error: " + s.ToString();
   serve_service_ = std::move(service);
@@ -710,21 +727,35 @@ std::string CommandShell::RunSlowLog() { return flight::SlowLogText(); }
 std::string CommandShell::RunFlight() { return flight::FlightText(); }
 
 std::string CommandShell::RunStatus() {
+  // Replication lines ride along whichever form of STATUS applies.
+  std::string repl;
+  if (replica_ != nullptr) repl += replica_->StatusText();
+  if (repl_source_ != nullptr) repl += repl_source_->StatusText();
+
   // The full one-pager needs a QueryService (queue depth, workers, WAL
   // lag...); without an active SERVE, report what the process still knows.
   if (serve_service_ != nullptr) {
-    return serve_service_->StatusText() + "serving_port: " +
-           std::to_string(serve_server_->port());
+    return serve_service_->StatusText() + repl +
+           "serving_port: " + std::to_string(serve_server_->port());
   }
   std::ostringstream os;
   const cache::CacheStats cs = db_->reuse_cache().Stats();
   os << "serving: off\n"
-     << "flight_recorded: " << flight::TotalRecorded() << "\n"
+     << repl << "flight_recorded: " << flight::TotalRecorded() << "\n"
      << "flight_slow: " << flight::TotalSlow() << "\n"
      << "cache_enabled: " << (cs.enabled ? 1 : 0) << "\n"
      << "cache_entries: " << cs.entries << "\n"
      << "cache_bytes: " << cs.bytes;
   return os.str();
+}
+
+std::string CommandShell::RunPromote() {
+  if (replica_ == nullptr) {
+    return "error: PROMOTE only applies to a replica (--replica-of)";
+  }
+  Status s = replica_->Promote();
+  if (!s.ok()) return "error: " + s.ToString();
+  return "ok: promoted to primary";
 }
 
 }  // namespace mmdb

@@ -27,6 +27,7 @@
 //   SERVE 7700;                          -- expose this db over TCP
 //   SERVE 0;                             -- ... on an ephemeral port
 //   SERVE OFF;                           -- stop serving
+//   PROMOTE;                             -- replica only: become primary
 //
 // Strings are single-quoted; numbers with a '.' parse as doubles; WHERE
 // conditions are AND-conjunctions of `field op literal` (a `table.` prefix
@@ -41,6 +42,7 @@
 #include <vector>
 
 #include "src/core/database.h"
+#include "src/repl/repl_iface.h"
 
 namespace mmdb {
 
@@ -80,6 +82,15 @@ class CommandShell {
   /// SERVE with port 0 read the ephemeral port back through this).
   uint16_t serving_port() const;
 
+  /// Wires a log-shipping source (the primary's Shipper) into any SERVE:
+  /// the server answers kReplRequest frames by delegating to it.  Not
+  /// owned; must outlive the shell.
+  void set_repl_source(repl::ReplSource* source) { repl_source_ = source; }
+
+  /// Wires the replica control so PROMOTE works and STATUS reports
+  /// replication state.  Not owned; must outlive the shell.
+  void set_replica(repl::ReplicaControl* replica) { replica_ = replica; }
+
  private:
   std::string RunCreate(const std::vector<Token>& t);
   std::string RunForeignKey(const std::vector<Token>& t);
@@ -97,8 +108,11 @@ class CommandShell {
   std::string RunSlowLog();
   std::string RunFlight();
   std::string RunStatus();
+  std::string RunPromote();
 
   Database* db_;
+  repl::ReplSource* repl_source_ = nullptr;
+  repl::ReplicaControl* replica_ = nullptr;
   /// SERVE state: a query service + network front end over db_.  The
   /// server must stop before the service (declaration order handles the
   /// default teardown; RunServe handles explicit SERVE OFF).

@@ -243,6 +243,34 @@ Status Client::Admin(AdminKind kind, std::string* text) {
   }
 }
 
+Status Client::Repl(const std::string& request, std::string* response) {
+  uint64_t id = 0;
+  Status s = SendFrame(FrameType::kReplRequest, request, &id);
+  if (!s.ok()) return s;
+  std::lock_guard<std::mutex> lock(recv_mu_);
+  for (;;) {
+    Frame frame;
+    s = ReadFrame(&frame);
+    if (!s.ok()) return s;
+    if (frame.type == FrameType::kReplResponse && frame.request_id == id) {
+      *response = std::move(frame.payload);
+      return Status::Ok();
+    }
+    if (frame.type == FrameType::kError && frame.request_id == id) {
+      WireErrorCode code = WireErrorCode::kProtocolError;
+      std::string message;
+      DecodeError(frame.payload, &code, &message);
+      return Status::InvalidArgument("repl request refused: " + message);
+    }
+    if (frame.type == FrameType::kPong) continue;
+    Response r;
+    if (FrameToResponse(frame, &r)) {
+      if (r.request_id != 0) ++received_;
+      parked_.push_back(std::move(r));
+    }
+  }
+}
+
 Status Client::Ping() {
   uint64_t id = 0;
   Status s = SendFrame(FrameType::kPing, {}, &id);

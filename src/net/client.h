@@ -77,6 +77,11 @@ class Client {
   /// query responses arriving meanwhile are parked for later Receive.
   Status Admin(AdminKind kind, std::string* text);
 
+  /// Replication round trip (kReplRequest/kReplResponse): sends an opaque
+  /// repl-codec payload and returns the server's response payload.  The
+  /// replica's poll/fetch loop is built on this.
+  Status Repl(const std::string& request, std::string* response);
+
   /// Blocks for the next response on the wire (or a parked one), in server
   /// completion order — not necessarily send order.
   Status Receive(Response* out);

@@ -593,6 +593,18 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
                  AdminText(static_cast<AdminKind>(frame.payload[0])));
       return;
     }
+    case FrameType::kReplRequest: {
+      if (!repl_handler_) {
+        metrics_->protocol_errors->Add();
+        SendError(conn, frame.request_id, frame.trace_id,
+                  WireErrorCode::kProtocolError,
+                  "replication not enabled on this server");
+        return;
+      }
+      QueueFrame(conn, FrameType::kReplResponse, frame.request_id,
+                 frame.trace_id, repl_handler_(frame.payload));
+      return;
+    }
     case FrameType::kRequest:
       break;
     default: {

@@ -65,6 +65,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -136,6 +137,15 @@ class Server {
 
   const ServerOptions& options() const { return options_; }
 
+  /// Installs the log-shipping endpoint: kReplRequest payloads are passed
+  /// to `handler` and its return value is sent back as kReplResponse.
+  /// Runs inline on the loop thread (file reads of already-sealed
+  /// segments — no locks shared with the query path), so shipping works
+  /// even when the worker queue is wedged.  Set before Start().
+  void set_repl_handler(std::function<std::string(const std::string&)> h) {
+    repl_handler_ = std::move(h);
+  }
+
  private:
   struct Connection;
   struct Metrics;
@@ -173,6 +183,7 @@ class Server {
 
   QueryService* service_;
   ServerOptions options_;
+  std::function<std::string(const std::string&)> repl_handler_;
   std::unique_ptr<Metrics> metrics_;
   /// Event-loop heartbeat with the service's watchdog (null when the
   /// watchdog is disabled).  Pulsed at each loop-top, retired at exit.

@@ -212,6 +212,8 @@ const char* FrameTypeName(FrameType t) {
     case FrameType::kPong: return "pong";
     case FrameType::kAdminRequest: return "admin_request";
     case FrameType::kAdminResponse: return "admin_response";
+    case FrameType::kReplRequest: return "repl_request";
+    case FrameType::kReplResponse: return "repl_response";
   }
   return "?";
 }
@@ -331,7 +333,7 @@ FrameBuffer::Result FrameBuffer::Next(Frame* out, std::string* error) {
   if (avail < kHeaderSize) return Result::kNeedMore;
   const uint8_t type = static_cast<uint8_t>(h[5]);
   if (type < static_cast<uint8_t>(FrameType::kRequest) ||
-      type > static_cast<uint8_t>(FrameType::kAdminResponse)) {
+      type > static_cast<uint8_t>(FrameType::kReplResponse)) {
     if (error != nullptr) *error = "unknown frame type";
     return Result::kCorrupt;
   }

@@ -1,0 +1,170 @@
+#include "src/repl/protocol.h"
+
+#include <cstring>
+
+namespace mmdb {
+namespace repl {
+namespace {
+
+template <typename T>
+void Put(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool Get(const std::string& in, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+// Response envelope: u8 kind echo | u8 status | u32 msg_len | msg | body.
+void PutEnvelope(std::string* out, ReqKind kind, RespStatus status,
+                 const std::string& message) {
+  Put<uint8_t>(out, static_cast<uint8_t>(kind));
+  Put<uint8_t>(out, static_cast<uint8_t>(status));
+  Put<uint32_t>(out, static_cast<uint32_t>(message.size()));
+  out->append(message);
+}
+
+bool GetEnvelope(const std::string& in, size_t* pos, ReqKind expect,
+                 RespStatus* status, std::string* message) {
+  uint8_t kind, st;
+  uint32_t msg_len;
+  if (!Get(in, pos, &kind) || !Get(in, pos, &st) || !Get(in, pos, &msg_len)) {
+    return false;
+  }
+  if (kind != static_cast<uint8_t>(expect)) return false;
+  if (st > static_cast<uint8_t>(RespStatus::kError)) return false;
+  if (*pos + msg_len > in.size()) return false;
+  message->assign(in.data() + *pos, msg_len);
+  *pos += msg_len;
+  *status = static_cast<RespStatus>(st);
+  return true;
+}
+
+}  // namespace
+
+std::string EncodePollRequest(const PollRequest& req) {
+  std::string out;
+  Put<uint8_t>(&out, static_cast<uint8_t>(ReqKind::kPoll));
+  Put<uint64_t>(&out, req.replica_id);
+  Put<uint64_t>(&out, req.applied_lsn);
+  return out;
+}
+
+std::string EncodeFetchRequest(const FetchRequest& req) {
+  std::string out;
+  Put<uint8_t>(&out, static_cast<uint8_t>(ReqKind::kFetch));
+  Put<uint8_t>(&out, static_cast<uint8_t>(req.kind));
+  Put<uint64_t>(&out, req.id);
+  Put<uint64_t>(&out, req.offset);
+  Put<uint32_t>(&out, req.max_bytes);
+  return out;
+}
+
+bool DecodeRequest(const std::string& payload, ReqKind* kind,
+                   PollRequest* poll, FetchRequest* fetch) {
+  size_t pos = 0;
+  uint8_t k;
+  if (!Get(payload, &pos, &k)) return false;
+  if (k == static_cast<uint8_t>(ReqKind::kPoll)) {
+    *kind = ReqKind::kPoll;
+    return Get(payload, &pos, &poll->replica_id) &&
+           Get(payload, &pos, &poll->applied_lsn) && pos == payload.size();
+  }
+  if (k == static_cast<uint8_t>(ReqKind::kFetch)) {
+    *kind = ReqKind::kFetch;
+    uint8_t file_kind;
+    if (!Get(payload, &pos, &file_kind) ||
+        file_kind < static_cast<uint8_t>(FileKind::kSchema) ||
+        file_kind > static_cast<uint8_t>(FileKind::kSegment)) {
+      return false;
+    }
+    fetch->kind = static_cast<FileKind>(file_kind);
+    return Get(payload, &pos, &fetch->id) && Get(payload, &pos, &fetch->offset) &&
+           Get(payload, &pos, &fetch->max_bytes) && pos == payload.size();
+  }
+  return false;
+}
+
+std::string EncodePollResponse(const PollResponse& resp) {
+  std::string out;
+  PutEnvelope(&out, ReqKind::kPoll, RespStatus::kOk, {});
+  Put<uint64_t>(&out, resp.durable_lsn);
+  Put<uint64_t>(&out, resp.checkpoint_lsn);
+  Put<uint64_t>(&out, resp.active_start);
+  Put<uint64_t>(&out, resp.active_synced_bytes);
+  Put<uint32_t>(&out, static_cast<uint32_t>(resp.sealed.size()));
+  for (const WalSegmentInfo& info : resp.sealed) {
+    Put<uint64_t>(&out, info.start);
+    Put<uint64_t>(&out, info.end);
+    Put<uint64_t>(&out, info.bytes);
+  }
+  return out;
+}
+
+std::string EncodeFetchResponse(const FetchResponse& resp) {
+  std::string out;
+  PutEnvelope(&out, ReqKind::kFetch, RespStatus::kOk, {});
+  Put<uint64_t>(&out, resp.total_bytes);
+  Put<uint32_t>(&out, static_cast<uint32_t>(resp.data.size()));
+  out.append(resp.data);
+  return out;
+}
+
+std::string EncodeErrorResponse(ReqKind kind, RespStatus status,
+                                const std::string& message) {
+  std::string out;
+  PutEnvelope(&out, kind, status, message);
+  return out;
+}
+
+bool DecodePollResponse(const std::string& payload, RespStatus* status,
+                        std::string* message, PollResponse* resp) {
+  size_t pos = 0;
+  if (!GetEnvelope(payload, &pos, ReqKind::kPoll, status, message)) {
+    return false;
+  }
+  if (*status != RespStatus::kOk) return true;
+  uint32_t n;
+  if (!Get(payload, &pos, &resp->durable_lsn) ||
+      !Get(payload, &pos, &resp->checkpoint_lsn) ||
+      !Get(payload, &pos, &resp->active_start) ||
+      !Get(payload, &pos, &resp->active_synced_bytes) ||
+      !Get(payload, &pos, &n)) {
+    return false;
+  }
+  // Each entry is 24 bytes; validate the count against what remains so a
+  // corrupt count cannot over-allocate.
+  if (static_cast<size_t>(n) * 24 != payload.size() - pos) return false;
+  resp->sealed.resize(n);
+  for (WalSegmentInfo& info : resp->sealed) {
+    if (!Get(payload, &pos, &info.start) || !Get(payload, &pos, &info.end) ||
+        !Get(payload, &pos, &info.bytes)) {
+      return false;
+    }
+  }
+  return pos == payload.size();
+}
+
+bool DecodeFetchResponse(const std::string& payload, RespStatus* status,
+                         std::string* message, FetchResponse* resp) {
+  size_t pos = 0;
+  if (!GetEnvelope(payload, &pos, ReqKind::kFetch, status, message)) {
+    return false;
+  }
+  if (*status != RespStatus::kOk) return true;
+  uint32_t data_len;
+  if (!Get(payload, &pos, &resp->total_bytes) ||
+      !Get(payload, &pos, &data_len)) {
+    return false;
+  }
+  if (pos + data_len != payload.size()) return false;
+  resp->data.assign(payload.data() + pos, data_len);
+  return true;
+}
+
+}  // namespace repl
+}  // namespace mmdb

@@ -1,0 +1,99 @@
+// The log-shipping codec carried in kReplRequest/kReplResponse frames.
+//
+// Shipping is pull-based and file-granular: the replica polls the
+// primary's segment manifest and fetches byte ranges of the files it is
+// missing.  Pull keeps all cursor state on the replica (the primary only
+// remembers acks, for retention), so a replica can crash, restart, and
+// resume from whatever its local mirror holds — the poll *is* the
+// handshake, carrying the replica's last applied LSN every round.
+//
+//   kPoll   replica -> primary   "here is where I am"
+//           response: durable/checkpoint LSNs, the sealed-segment chain,
+//           and how much of the active segment is fsync'd (never more —
+//           a replica must not apply bytes the primary could still lose).
+//   kFetch  replica -> primary   "give me bytes [offset, offset+max) of
+//           schema / checkpoint-<lsn> / wal-<start>"
+//
+// Integrity: the wire layer CRCs every frame, and each shipped WAL byte
+// range is re-validated record-by-record (log_format CRCs) on the replica
+// before anything is applied — corruption is detected end to end.
+
+#ifndef MMDB_REPL_PROTOCOL_H_
+#define MMDB_REPL_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/txn/wal.h"
+
+namespace mmdb {
+namespace repl {
+
+enum class ReqKind : uint8_t {
+  kPoll = 1,
+  kFetch = 2,
+};
+
+enum class FileKind : uint8_t {
+  kSchema = 1,      ///< the schema journal (id ignored)
+  kCheckpoint = 2,  ///< checkpoint-<id>.ckpt
+  kSegment = 3,     ///< wal-<id>.log
+};
+
+enum class RespStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,  ///< file GC'd or never existed; replica must re-poll
+  kError = 2,     ///< primary-side failure, message attached
+};
+
+struct PollRequest {
+  uint64_t replica_id = 0;
+  /// The replica's replication cursor (last LSN applied); doubles as the
+  /// ack that drives the primary's WAL retention floor.
+  uint64_t applied_lsn = 0;
+};
+
+struct PollResponse {
+  uint64_t durable_lsn = 0;
+  uint64_t checkpoint_lsn = 0;
+  uint64_t active_start = 0;
+  uint64_t active_synced_bytes = 0;
+  std::vector<WalSegmentInfo> sealed;
+};
+
+struct FetchRequest {
+  FileKind kind = FileKind::kSegment;
+  uint64_t id = 0;  ///< checkpoint LSN or segment start LSN
+  uint64_t offset = 0;
+  uint32_t max_bytes = 1u << 20;
+};
+
+struct FetchResponse {
+  /// Size the primary will serve of this file right now (for the active
+  /// segment: its synced prefix, which only grows).
+  uint64_t total_bytes = 0;
+  std::string data;  ///< bytes [offset, offset + data.size())
+};
+
+std::string EncodePollRequest(const PollRequest& req);
+std::string EncodeFetchRequest(const FetchRequest& req);
+/// Decodes either request kind; exactly one output is filled, per *kind.
+bool DecodeRequest(const std::string& payload, ReqKind* kind,
+                   PollRequest* poll, FetchRequest* fetch);
+
+std::string EncodePollResponse(const PollResponse& resp);
+std::string EncodeFetchResponse(const FetchResponse& resp);
+std::string EncodeErrorResponse(ReqKind kind, RespStatus status,
+                                const std::string& message);
+/// Returns false on a malformed payload.  On RespStatus != kOk the body
+/// outputs are untouched and *message holds the primary's explanation.
+bool DecodePollResponse(const std::string& payload, RespStatus* status,
+                        std::string* message, PollResponse* resp);
+bool DecodeFetchResponse(const std::string& payload, RespStatus* status,
+                         std::string* message, FetchResponse* resp);
+
+}  // namespace repl
+}  // namespace mmdb
+
+#endif  // MMDB_REPL_PROTOCOL_H_

@@ -1,0 +1,44 @@
+// Header-only seams between the shell (which lives in mmdb_net) and the
+// replication library (mmdb_repl, which links *against* mmdb_net).  The
+// shell cannot depend on mmdb_repl without a link cycle, so it talks to
+// the shipper and the replica through these two pure interfaces; the
+// process entry point (examples/mmdb_shell.cpp, tests) wires the concrete
+// objects in.
+
+#ifndef MMDB_REPL_REPL_IFACE_H_
+#define MMDB_REPL_REPL_IFACE_H_
+
+#include <string>
+
+#include "src/util/status.h"
+
+namespace mmdb {
+namespace repl {
+
+/// Primary side: answers one opaque kReplRequest payload (the repl codec,
+/// src/repl/protocol.h) with a kReplResponse payload.  Implemented by
+/// Shipper; installed into net::Server::set_repl_handler.
+class ReplSource {
+ public:
+  virtual ~ReplSource() = default;
+  virtual std::string HandleRequest(const std::string& request) = 0;
+  /// Human-readable replica roster for STATUS.
+  virtual std::string StatusText() const = 0;
+};
+
+/// Replica side: what the shell needs to drive a replica — PROMOTE and a
+/// status block.  Implemented by Replica.
+class ReplicaControl {
+ public:
+  virtual ~ReplicaControl() = default;
+  /// Stops replay and turns this replica into a standalone primary: the
+  /// database starts accepting writes and opens a fresh durable epoch in
+  /// the local mirror directory.  Idempotent once succeeded.
+  virtual Status Promote() = 0;
+  virtual std::string StatusText() const = 0;
+};
+
+}  // namespace repl
+}  // namespace mmdb
+
+#endif  // MMDB_REPL_REPL_IFACE_H_

@@ -1,0 +1,633 @@
+#include "src/repl/replica.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "src/core/database.h"
+#include "src/txn/disk_image.h"
+#include "src/txn/log_format.h"
+
+namespace mmdb {
+namespace repl {
+
+namespace {
+/// Consecutive corrupt-frame rounds (each = discard + refetch) before the
+/// replica concludes the primary's copy itself is bad and halts replay.
+constexpr int kMaxCorruptRounds = 5;
+}  // namespace
+
+Replica::Replica(ReplicaOptions options)
+    : options_(std::move(options)),
+      env_(options_.env != nullptr ? options_.env : Env::Posix()),
+      db_(std::make_unique<Database>()),
+      client_(std::make_unique<net::Client>()) {
+  MetricsRegistry& m = db_->metrics();
+  polls_ = m.GetCounter("mmdb_repl_polls_total");
+  fetched_bytes_ = m.GetCounter("mmdb_repl_fetched_bytes_total");
+  applied_records_ = m.GetCounter("mmdb_repl_applied_records_total");
+  applied_txns_ = m.GetCounter("mmdb_repl_applied_txns_total");
+  refetches_ = m.GetCounter("mmdb_repl_refetches_total");
+  apply_errors_ = m.GetCounter("mmdb_repl_apply_errors_total");
+  applied_lsn_gauge_ = m.GetGauge("mmdb_repl_applied_lsn");
+  lag_lsn_gauge_ = m.GetGauge("mmdb_repl_lag_lsn");
+}
+
+Replica::~Replica() { Stop(); }
+
+Status Replica::Start() {
+  Status s = env_->CreateDir(options_.dir);
+  if (!s.ok()) return s;
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.connect_timeout;
+  for (;;) {
+    s = client_->Connect(options_.primary_host, options_.primary_port);
+    if (s.ok()) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::ResourceExhausted("primary unreachable: " + s.message());
+    }
+    std::this_thread::sleep_for(options_.reconnect_backoff);
+  }
+  connected_ = true;
+
+  s = Bootstrap();
+  if (!s.ok()) return s;
+  db_->SetReadOnly(true);
+
+  EnterSegment(cur_start_);
+  running_.store(true);
+  apply_thread_ = std::thread([this] { ApplyLoop(); });
+  return Status::Ok();
+}
+
+void Replica::Stop() {
+  if (running_.exchange(false)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_.notify_all();
+    }
+    if (apply_thread_.joinable()) apply_thread_.join();
+  }
+  if (local_file_ != nullptr) {
+    local_file_->Sync();
+    local_file_->Close();
+    local_file_.reset();
+  }
+}
+
+Status Replica::Bootstrap() {
+  // A valid local mirror resumes without re-shipping history: recover from
+  // it, then restage the stream from the newest local checkpoint (batch
+  // application is idempotent, so re-applying the overlap is harmless —
+  // and restaging is what rebuilds transactions whose commit marker had
+  // not arrived yet).
+  std::vector<std::string> names;
+  uint64_t local_ckpt = 0;
+  bool have_ckpt = false;
+  if (env_->ListDir(options_.dir, &names).ok()) {
+    for (const std::string& name : names) {
+      uint64_t lsn;
+      if (log_format::ParseCheckpointFileName(name, &lsn)) {
+        local_ckpt = std::max(local_ckpt, lsn);
+        have_ckpt = true;
+      }
+    }
+  }
+  if (have_ckpt &&
+      env_->FileExists(options_.dir + "/" + log_format::SchemaFileName())) {
+    Status s = db_->Recover(options_.dir, env_);
+    if (!s.ok()) {
+      // Never silently resync over damage the operator should see.
+      return Status::Corruption("local mirror " + options_.dir +
+                                " failed recovery (" + s.message() +
+                                "); delete it to force a full resync");
+    }
+    s = WalManifest::Load(env_, options_.dir, &local_manifest_);
+    if (!s.ok()) return s;
+    cur_start_ = local_ckpt;
+    applied_lsn_ = local_ckpt;
+    return Status::Ok();
+  }
+  return BootstrapFromPrimary();
+}
+
+Status Replica::BootstrapFromPrimary() {
+  // The checkpoint may be superseded between poll and fetch (the primary
+  // keeps checkpointing); a kNotFound simply means "poll again".
+  Status s;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    PollResponse p;
+    s = Poll(&p);
+    if (!s.ok()) return s;
+    s = FetchFileAtomic(FileKind::kSchema, 0, log_format::SchemaFileName());
+    if (!s.ok()) continue;
+    s = FetchFileAtomic(FileKind::kCheckpoint, p.checkpoint_lsn,
+                        log_format::CheckpointFileName(p.checkpoint_lsn));
+    if (!s.ok()) continue;
+    local_manifest_.Clear();
+    s = local_manifest_.Save(env_, options_.dir);
+    if (!s.ok()) return s;
+    s = db_->Recover(options_.dir, env_);
+    if (!s.ok()) return s;
+    cur_start_ = p.checkpoint_lsn;
+    applied_lsn_ = p.checkpoint_lsn;
+    return Status::Ok();
+  }
+  return Status::ResourceExhausted("bootstrap kept racing primary checkpoints: " +
+                             s.message());
+}
+
+Status Replica::FetchFileAtomic(FileKind kind, uint64_t id,
+                                const std::string& name) {
+  std::string body;
+  for (;;) {
+    FetchRequest req;
+    req.kind = kind;
+    req.id = id;
+    req.offset = body.size();
+    req.max_bytes = options_.fetch_chunk_bytes;
+    FetchResponse resp;
+    std::string refusal;
+    Status s = Fetch(req, &resp, &refusal);
+    if (!s.ok()) return s;
+    if (!refusal.empty()) return Status::NotFound(refusal);
+    body += resp.data;
+    if (body.size() >= resp.total_bytes) break;
+    if (resp.data.empty()) {
+      return Status::ResourceExhausted(name + ": fetch stalled");
+    }
+  }
+  const std::string path = options_.dir + "/" + name;
+  const std::string tmp = path + ".tmp";
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(tmp, /*truncate=*/true, &file);
+  if (!s.ok()) return s;
+  s = file->Append(body);
+  if (s.ok()) s = file->Sync();
+  if (s.ok()) s = file->Close();
+  if (!s.ok()) return s;
+  return env_->RenameFile(tmp, path);
+}
+
+Status Replica::Poll(PollResponse* resp) {
+  PollRequest req;
+  req.replica_id = options_.replica_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    req.applied_lsn = applied_lsn_;
+  }
+  std::string wire;
+  Status s = client_->Repl(EncodePollRequest(req), &wire);
+  if (!s.ok()) return s;
+  polls_->Add();
+  RespStatus status;
+  std::string message;
+  if (!DecodePollResponse(wire, &status, &message, resp)) {
+    return Status::Internal("malformed poll response");
+  }
+  if (status != RespStatus::kOk) {
+    return Status::ResourceExhausted("primary refused poll: " + message);
+  }
+  return Status::Ok();
+}
+
+Status Replica::Fetch(const FetchRequest& req, FetchResponse* resp,
+                      std::string* refusal) {
+  refusal->clear();
+  std::string wire;
+  Status s = client_->Repl(EncodeFetchRequest(req), &wire);
+  if (!s.ok()) return s;
+  RespStatus status;
+  std::string message;
+  if (!DecodeFetchResponse(wire, &status, &message, resp)) {
+    return Status::Internal("malformed fetch response");
+  }
+  if (status == RespStatus::kError) {
+    return Status::ResourceExhausted("primary refused fetch: " + message);
+  }
+  if (status == RespStatus::kNotFound) *refusal = message;
+  fetched_bytes_->Add(resp->data.size());
+  return Status::Ok();
+}
+
+void Replica::ApplyLoop() {
+  while (running_.load()) {
+    const bool progressed = RunOnce();
+    if (!health().ok()) return;  // halted on a typed error
+    if (progressed) continue;    // keep draining while there is data
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, options_.poll_interval,
+                 [this] { return !running_.load(); });
+  }
+}
+
+bool Replica::RunOnce() {
+  if (!connected_) {
+    if (!client_->Connect(options_.primary_host, options_.primary_port).ok()) {
+      std::this_thread::sleep_for(options_.reconnect_backoff);
+      return false;
+    }
+    connected_ = true;
+  }
+
+  PollResponse p;
+  Status s = Poll(&p);
+  if (!s.ok()) {
+    client_->Close();
+    connected_ = false;
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    primary_durable_lsn_ = p.durable_lsn;
+    lag_lsn_gauge_->Set(static_cast<int64_t>(
+        p.durable_lsn > applied_lsn_ ? p.durable_lsn - applied_lsn_ : 0));
+  }
+
+  // Locate the cursor segment in the primary's chain.
+  const WalSegmentInfo* sealed = nullptr;
+  for (const WalSegmentInfo& info : p.sealed) {
+    if (info.start == cur_start_) sealed = &info;
+  }
+  uint64_t target;
+  if (sealed != nullptr) {
+    target = sealed->bytes;
+  } else if (cur_start_ == p.active_start) {
+    target = p.active_synced_bytes;
+  } else {
+    // Our segment is neither sealed nor active: the primary opened a new
+    // epoch (restart / re-initialization) or GC ran past us despite the
+    // ack floor.  Either way continuing would apply a different timeline.
+    SetHealth(Status::Corruption(
+        "replica lost sync: " + log_format::WalFileName(cur_start_) +
+        " is gone from the primary; delete " + options_.dir +
+        " and restart to resync"));
+    return false;
+  }
+
+  // Drain anything already buffered (restart restaging enters here).
+  if (!DrainCursor(sealed != nullptr, sealed != nullptr ? sealed->end : 0)) {
+    return false;
+  }
+
+  bool progressed = false;
+  int corrupt_rounds = 0;
+  while (running_.load() && seg_data_.size() < target) {
+    FetchRequest req;
+    req.kind = FileKind::kSegment;
+    req.id = cur_start_;
+    req.offset = seg_data_.size();
+    req.max_bytes = options_.fetch_chunk_bytes;
+    FetchResponse resp;
+    std::string refusal;
+    s = Fetch(req, &resp, &refusal);
+    if (!s.ok()) {
+      client_->Close();
+      connected_ = false;
+      return progressed;
+    }
+    if (!refusal.empty() || resp.data.empty()) return progressed;  // re-poll
+    seg_data_ += resp.data;
+    if (local_file_ != nullptr) local_file_->Append(resp.data);
+    progressed = true;
+    const size_t before = apply_pos_;
+    if (!DrainCursor(sealed != nullptr, sealed != nullptr ? sealed->end : 0)) {
+      return false;
+    }
+    if (apply_pos_ == before && seg_data_.size() < target) {
+      // No frame completed from a non-empty fetch: either a frame larger
+      // than the chunk (keep fetching) or a corrupt prefix was discarded
+      // (DiscardUnappliedTail shrank seg_data_; count the retry).
+      if (seg_data_.size() == before) {
+        if (++corrupt_rounds >= kMaxCorruptRounds) {
+          SetHealth(Status::Corruption(
+              log_format::WalFileName(cur_start_) +
+              ": frame at offset " + std::to_string(apply_pos_) +
+              " stays corrupt after " + std::to_string(corrupt_rounds) +
+              " refetches from the primary"));
+          return false;
+        }
+      }
+    } else {
+      corrupt_rounds = 0;
+    }
+  }
+  if (local_file_ != nullptr && progressed) local_file_->Sync();
+
+  if (sealed != nullptr && seg_data_.size() >= target) {
+    if (apply_pos_ != seg_data_.size()) {
+      // A sealed segment must decode exactly to its last byte; a torn
+      // frame here means a bad shipped copy — discard and refetch.
+      refetches_->Add();
+      DiscardUnappliedTail();
+      return progressed;
+    }
+    // Segment complete: record it in the local manifest so the mirror is
+    // a self-describing durability dir, then move to the next one.
+    if (local_file_ != nullptr) {
+      local_file_->Sync();
+      local_file_->Close();
+      local_file_.reset();
+    }
+    if (local_manifest_.Find(cur_start_) == nullptr) {  // restart restage
+      Status ms =
+          local_manifest_.Append({cur_start_, sealed->end, sealed->bytes});
+      if (ms.ok()) ms = local_manifest_.Save(env_, options_.dir);
+      if (!ms.ok()) {
+        SetHealth(ms);
+        return false;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      applied_lsn_ = std::max(applied_lsn_, sealed->end);
+      applied_lsn_gauge_->Set(static_cast<int64_t>(applied_lsn_));
+      cv_.notify_all();
+    }
+    EnterSegment(sealed->end);
+    return true;
+  }
+  return progressed;
+}
+
+void Replica::EnterSegment(uint64_t start) {
+  cur_start_ = start;
+  seg_data_.clear();
+  apply_pos_ = 0;
+  local_file_.reset();
+
+  const std::string path =
+      options_.dir + "/" + log_format::WalFileName(start);
+  std::string existing;
+  if (env_->ReadFile(path, &existing).ok() && !existing.empty()) {
+    // Keep only the clean frame prefix of the local mirror; a torn or
+    // flipped tail (crash mid-append, disk damage) is truncated here and
+    // re-requested from the primary — never applied.
+    size_t pos = 0;
+    uint64_t last = start;
+    for (;;) {
+      LogRecord rec;
+      const log_format::DecodeResult r =
+          log_format::DecodeRecord(existing, &pos, &rec);
+      if (r != log_format::DecodeResult::kOk) break;
+      if (rec.lsn <= last) break;
+      last = rec.lsn;
+    }
+    if (pos < existing.size()) {
+      refetches_->Add();
+      existing.resize(pos);
+    }
+    seg_data_ = std::move(existing);
+  }
+  std::unique_ptr<WritableFile> file;
+  if (env_->NewWritableFile(path, /*truncate=*/true, &file).ok()) {
+    if (!seg_data_.empty()) file->Append(seg_data_);
+    file->Sync();
+    local_file_ = std::move(file);
+  }
+}
+
+bool Replica::DrainCursor(bool sealed_complete, uint64_t sealed_end) {
+  for (;;) {
+    LogRecord rec;
+    const log_format::DecodeResult r =
+        log_format::DecodeRecord(seg_data_, &apply_pos_, &rec);
+    if (r == log_format::DecodeResult::kEnd ||
+        r == log_format::DecodeResult::kTruncated) {
+      return true;  // wait for more bytes
+    }
+    uint64_t applied;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      applied = applied_lsn_;
+    }
+    const bool lsn_bad =
+        r == log_format::DecodeResult::kOk &&
+        (rec.lsn <= cur_start_ || rec.lsn <= applied ||
+         (sealed_complete && rec.lsn > sealed_end));
+    if (r == log_format::DecodeResult::kCorrupt || lsn_bad) {
+      // Stop at the bad frame, drop everything unapplied after it, and
+      // re-request the range from the primary.  Nothing past corruption
+      // is ever applied.
+      refetches_->Add();
+      DiscardUnappliedTail();
+      return true;
+    }
+    const uint64_t lsn = rec.lsn;
+    if (rec.is_commit_marker()) {
+      auto it = pending_.find(rec.txn_id);
+      if (it != pending_.end()) {
+        Status s = ApplyBatch(it->second);
+        if (!s.ok()) {
+          apply_errors_->Add();
+          SetHealth(s);
+          return false;
+        }
+        applied_records_->Add(it->second.size());
+        pending_.erase(it);
+      }
+      applied_txns_->Add();
+    } else {
+      pending_[rec.txn_id].push_back(std::move(rec));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    applied_lsn_ = std::max(applied_lsn_, lsn);
+    applied_lsn_gauge_->Set(static_cast<int64_t>(applied_lsn_));
+    cv_.notify_all();
+  }
+}
+
+void Replica::DiscardUnappliedTail() {
+  seg_data_.resize(apply_pos_);
+  local_file_.reset();
+  const std::string path =
+      options_.dir + "/" + log_format::WalFileName(cur_start_);
+  std::unique_ptr<WritableFile> file;
+  if (env_->NewWritableFile(path, /*truncate=*/true, &file).ok()) {
+    if (!seg_data_.empty()) file->Append(seg_data_);
+    file->Sync();
+    local_file_ = std::move(file);
+  }
+}
+
+Status Replica::ApplyBatch(const std::vector<LogRecord>& records) {
+  std::set<std::string> touched;
+  for (const LogRecord& rec : records) touched.insert(rec.relation);
+
+  struct Fixup {
+    Relation* relation;
+    TupleId tuple;
+    serialize::PointerFixup fixup;
+  };
+
+  Status last;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    std::unique_ptr<Transaction> txn = db_->Begin();
+    txn->set_lock_timeout(options_.apply_lock_timeout);
+    bool locked = true;
+    for (const std::string& name : touched) {  // std::set: name order
+      Status s = txn->LockRelationExclusive(name);
+      if (!s.ok()) {
+        last = s;
+        locked = false;
+        break;
+      }
+    }
+    if (!locked) {
+      txn->Abort();
+      continue;  // lock timeout: batches are idempotent, retry whole
+    }
+
+    // Physical application, exactly the recovery path's idiom: replace by
+    // TupleId, decode pointer fields as fixups, resolve after the batch
+    // (a pointer may target a tuple inserted later in the same batch).
+    std::vector<Fixup> fixups;
+    Status s;
+    for (const LogRecord& rec : records) {
+      Relation* rel = db_->GetTable(rec.relation);
+      if (rel == nullptr) {
+        s = Status::Corruption("wal record references unknown relation " +
+                               rec.relation);
+        break;
+      }
+      TupleRef existing = rel->RefOf(rec.tid);
+      if (existing != nullptr) rel->Delete(existing);
+      if (rec.op == LogOp::kDelete) continue;
+      std::vector<Value> values;
+      std::vector<serialize::PointerFixup> tuple_fixups;
+      s = serialize::DecodeTuple(*rel, rec.payload, &values, &tuple_fixups);
+      if (!s.ok()) {
+        s = Status::Corruption("undecodable tuple image in " + rec.relation +
+                               " at lsn " + std::to_string(rec.lsn) + ": " +
+                               s.message());
+        break;
+      }
+      TupleRef t = rel->InsertAt(rec.tid, values);
+      if (t == nullptr) {
+        s = Status::Corruption("replayed insert rejected by " + rec.relation +
+                               " at lsn " + std::to_string(rec.lsn));
+        break;
+      }
+      for (serialize::PointerFixup& f : tuple_fixups) {
+        fixups.push_back({rel, rec.tid, std::move(f)});
+      }
+    }
+    for (const Fixup& f : fixups) {
+      if (!s.ok()) break;
+      Relation* target = db_->GetTable(f.fixup.target_relation);
+      TupleRef target_ref =
+          target == nullptr ? nullptr : target->RefOf(f.fixup.target);
+      TupleRef t = f.relation->RefOf(f.tuple);
+      if (target_ref == nullptr || t == nullptr) {
+        s = Status::Corruption("dangling pointer fixup into " +
+                               f.fixup.target_relation);
+        break;
+      }
+      s = f.relation->UpdateField(t, f.fixup.field, Value(target_ref));
+    }
+    txn->Abort();  // nothing was logged; this only releases the X locks
+    if (!s.ok()) return s;
+    for (const std::string& name : touched) {
+      db_->reuse_cache().InvalidateRelation(name);
+    }
+    return Status::Ok();
+  }
+  return Status::Aborted("apply batch could not lock: " + last.message());
+}
+
+Status Replica::Promote() {
+  std::lock_guard<std::mutex> lock(promote_mu_);
+  if (promoted()) return Status::Ok();
+  Stop();
+  pending_.clear();  // transactions without a marker die, as in a crash
+
+  uint64_t next;
+  {
+    std::lock_guard<std::mutex> state(mu_);
+    next = applied_lsn_ + 1;
+  }
+  db_->log_buffer().ResetNextLsn(next);
+  db_->SetReadOnly(false);
+
+  DurabilityOptions opts;
+  opts.mode = DurabilityMode::kSync;
+  opts.dir = options_.dir;
+  opts.env = options_.env;  // nullptr selects Posix inside the manager
+  ApplyDurabilityEnvOverrides(&opts);
+  Status s = db_->EnableDurability(opts);
+  if (!s.ok()) {
+    SetHealth(s);
+    return Status::Internal("promoted but durability failed to start: " +
+                            s.message());
+  }
+  client_->Close();
+  {
+    std::lock_guard<std::mutex> state(mu_);
+    promoted_ = true;
+  }
+  return Status::Ok();
+}
+
+uint64_t Replica::applied_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return applied_lsn_;
+}
+
+uint64_t Replica::primary_durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return primary_durable_lsn_;
+}
+
+bool Replica::promoted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return promoted_;
+}
+
+Status Replica::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return health_;
+}
+
+void Replica::SetHealth(Status s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (health_.ok()) health_ = std::move(s);  // first error wins
+  cv_.notify_all();
+}
+
+Status Replica::WaitForLsn(uint64_t lsn, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool reached = cv_.wait_for(lock, timeout, [&] {
+    return applied_lsn_ >= lsn || !health_.ok();
+  });
+  if (!health_.ok()) return health_;
+  if (!reached) {
+    return Status::ResourceExhausted(
+        "replica stuck at lsn " + std::to_string(applied_lsn_) +
+        " waiting for " + std::to_string(lsn));
+  }
+  return Status::Ok();
+}
+
+std::string Replica::StatusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out += promoted_ ? "role: primary (promoted)\n" : "role: replica\n";
+  out += "primary: " + options_.primary_host + ":" +
+         std::to_string(options_.primary_port) + "\n";
+  out += "repl_applied_lsn: " + std::to_string(applied_lsn_) + "\n";
+  out += "repl_primary_durable_lsn: " + std::to_string(primary_durable_lsn_) +
+         "\n";
+  out += "repl_lag_lsn: " +
+         std::to_string(primary_durable_lsn_ > applied_lsn_
+                            ? primary_durable_lsn_ - applied_lsn_
+                            : 0) +
+         "\n";
+  out += "repl_health: " + (health_.ok() ? std::string("ok")
+                                         : health_.ToString()) +
+         "\n";
+  return out;
+}
+
+}  // namespace repl
+}  // namespace mmdb

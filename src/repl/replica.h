@@ -1,0 +1,174 @@
+// Replica: a read replica continuously replaying a primary's WAL.
+//
+// Lifecycle:
+//   Start()    bootstrap — reuse a valid local mirror (Database::Recover),
+//              or fetch schema + newest checkpoint from the primary and
+//              recover from those; then mark the database read-only and
+//              launch the apply thread.
+//   apply loop poll the primary's segment manifest; fetch missing byte
+//              ranges of the current segment (sealed segments whole, the
+//              active one up to its fsync'd prefix); validate every frame
+//              locally (CRC + LSN monotonicity) before persisting it to
+//              the local mirror; stage records per transaction and apply
+//              each batch at its commit marker under relation X locks.
+//   Promote()  stop replay, drop still-uncommitted staged records (crash
+//              semantics), accept writes, open a fresh durable epoch in
+//              the mirror directory.
+//
+// Corruption policy mirrors recovery's: a torn frame in the data most
+// recently fetched (or in the unsealed tail of the local mirror at
+// restart) is re-requested from the primary; a bad frame anywhere a seal
+// says none may be is a typed kCorruption error that halts replay — the
+// replica never applies past corruption and never guesses.
+//
+// The local mirror is a real durability directory (schema + checkpoint +
+// segments + wal.manifest), so Database::Recover and mmdb_pitr both work
+// against it unchanged.
+
+#ifndef MMDB_REPL_REPLICA_H_
+#define MMDB_REPL_REPLICA_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/client.h"
+#include "src/repl/protocol.h"
+#include "src/repl/repl_iface.h"
+#include "src/txn/log.h"
+#include "src/txn/wal.h"
+#include "src/util/env.h"
+#include "src/util/metrics.h"
+#include "src/util/status.h"
+
+namespace mmdb {
+
+class Database;
+
+namespace repl {
+
+struct ReplicaOptions {
+  std::string primary_host = "127.0.0.1";
+  uint16_t primary_port = 0;
+  /// Local mirror directory (schema, checkpoints, segments, manifest).
+  std::string dir;
+  Env* env = nullptr;  ///< nullptr = Env::Posix()
+  /// Identity in the primary's ack table (drives its retention floor).
+  uint64_t replica_id = 1;
+  std::chrono::milliseconds poll_interval{20};
+  std::chrono::milliseconds reconnect_backoff{200};
+  /// Give up Start() if the primary stays unreachable this long.
+  std::chrono::milliseconds connect_timeout{10000};
+  uint32_t fetch_chunk_bytes = 1u << 20;
+  /// Lock budget for one apply batch (retried: application is idempotent).
+  std::chrono::milliseconds apply_lock_timeout{2000};
+};
+
+class Replica : public ReplicaControl {
+ public:
+  explicit Replica(ReplicaOptions options);
+  ~Replica() override;  // implies Stop()
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  /// Bootstraps (local mirror or over the wire) and starts the apply
+  /// thread.  On return the database is recovered, read-only, and
+  /// catching up in the background.
+  Status Start();
+
+  /// Stops the apply thread; the database stays read-only and serveable.
+  void Stop();
+
+  /// ReplicaControl: becomes a standalone primary (see file comment).
+  Status Promote() override;
+  std::string StatusText() const override;
+
+  /// The replica database: wrap in a QueryService to serve SELECTs.
+  Database* db() { return db_.get(); }
+
+  uint64_t applied_lsn() const;
+  uint64_t primary_durable_lsn() const;
+  bool promoted() const;
+  /// First typed replay error, if replay has halted (e.g. kCorruption on
+  /// a sealed segment).  Ok while healthy.
+  Status health() const;
+
+  /// Test/benchmark convenience: blocks until applied_lsn() >= lsn.
+  Status WaitForLsn(uint64_t lsn, std::chrono::milliseconds timeout);
+
+ private:
+  Status Bootstrap();
+  Status BootstrapFromPrimary();
+  /// Fetches one whole file via chunked kFetch and writes it locally via
+  /// temp+rename.
+  Status FetchFileAtomic(FileKind kind, uint64_t id, const std::string& name);
+  Status Poll(PollResponse* resp);
+  Status Fetch(const FetchRequest& req, FetchResponse* resp,
+               std::string* refusal);
+  void ApplyLoop();
+  /// One poll + catch-up round.  Returns false if the loop should back
+  /// off (no progress possible right now).
+  bool RunOnce();
+  /// Loads the local mirror of segment `start` into the in-memory cursor,
+  /// keeping only the clean frame prefix (a torn local tail is truncated
+  /// and re-fetched; corruption is counted and reported).
+  void EnterSegment(uint64_t start);
+  /// Decodes newly arrived bytes from apply_pos_ on: stages records and
+  /// applies commit batches.  Returns false when replay must halt.
+  bool DrainCursor(bool sealed_complete, uint64_t sealed_end);
+  /// Applies one committed transaction's records under relation X locks;
+  /// idempotent, retried on lock timeouts.
+  Status ApplyBatch(const std::vector<LogRecord>& records);
+  /// Truncates the in-memory cursor and the local mirror file back to
+  /// apply_pos_ so the suffix is re-requested from the primary.
+  void DiscardUnappliedTail();
+  void SetHealth(Status s);
+
+  ReplicaOptions options_;
+  Env* env_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<net::Client> client_;
+  bool connected_ = false;
+
+  std::thread apply_thread_;
+  std::atomic<bool> running_{false};
+  std::mutex promote_mu_;  ///< serializes Promote against itself
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+
+  // Stream cursor (apply thread only, except where noted).
+  uint64_t cur_start_ = 0;       ///< start LSN of the segment being applied
+  std::string seg_data_;         ///< bytes of the current segment so far
+  size_t apply_pos_ = 0;         ///< next undecoded frame offset
+  std::unique_ptr<WritableFile> local_file_;
+  WalManifest local_manifest_;
+  std::map<uint64_t, std::vector<LogRecord>> pending_;  ///< txn -> records
+
+  // Shared with readers (guarded by mu_).
+  uint64_t applied_lsn_ = 0;
+  uint64_t primary_durable_lsn_ = 0;
+  bool promoted_ = false;
+  Status health_ = Status::Ok();
+
+  Counter* polls_;
+  Counter* fetched_bytes_;
+  Counter* applied_records_;
+  Counter* applied_txns_;
+  Counter* refetches_;
+  Counter* apply_errors_;
+  Gauge* applied_lsn_gauge_;
+  Gauge* lag_lsn_gauge_;
+};
+
+}  // namespace repl
+}  // namespace mmdb
+
+#endif  // MMDB_REPL_REPLICA_H_

@@ -1,0 +1,169 @@
+#include "src/repl/shipper.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/core/database.h"
+#include "src/txn/log_format.h"
+
+namespace mmdb {
+namespace repl {
+
+Shipper::Shipper(Database* db, ShipperOptions options)
+    : db_(db), options_(options) {
+  MetricsRegistry& m = db_->metrics();
+  polls_ = m.GetCounter("mmdb_repl_polls_total");
+  fetches_ = m.GetCounter("mmdb_repl_fetches_total");
+  bytes_shipped_ = m.GetCounter("mmdb_repl_bytes_shipped_total");
+  fetch_misses_ = m.GetCounter("mmdb_repl_fetch_misses_total");
+  connected_ = m.GetGauge("mmdb_repl_connected_replicas");
+  min_acked_ = m.GetGauge("mmdb_repl_min_acked_lsn");
+}
+
+std::string Shipper::HandleRequest(const std::string& request) {
+  ReqKind kind;
+  PollRequest poll;
+  FetchRequest fetch;
+  if (!DecodeRequest(request, &kind, &poll, &fetch)) {
+    return EncodeErrorResponse(ReqKind::kPoll, RespStatus::kError,
+                               "malformed repl request");
+  }
+  return kind == ReqKind::kPoll ? HandlePoll(poll) : HandleFetch(fetch);
+}
+
+void Shipper::RecordAck(uint64_t replica_id, uint64_t applied_lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReplicaState& state = replicas_[replica_id];
+  // Acks only move forward; a replica that resyncs from a checkpoint
+  // re-announces a lower LSN, which is legitimate — accept it so
+  // retention covers what it actually needs.
+  state.applied_lsn = applied_lsn;
+  state.last_seen = std::chrono::steady_clock::now();
+  RefreshRetainFloorLocked();
+}
+
+void Shipper::RefreshRetainFloorLocked() {
+  const auto now = std::chrono::steady_clock::now();
+  uint64_t floor = std::numeric_limits<uint64_t>::max();
+  for (auto it = replicas_.begin(); it != replicas_.end();) {
+    if (now - it->second.last_seen > options_.replica_ttl) {
+      it = replicas_.erase(it);
+      continue;
+    }
+    floor = std::min(floor, it->second.applied_lsn);
+    ++it;
+  }
+  if (db_->durability() != nullptr) {
+    db_->durability()->SetWalRetainFloor(floor);
+  }
+  connected_->Set(static_cast<int64_t>(replicas_.size()));
+  min_acked_->Set(floor == std::numeric_limits<uint64_t>::max()
+                      ? -1
+                      : static_cast<int64_t>(floor));
+}
+
+size_t Shipper::connected_replicas() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return replicas_.size();
+}
+
+std::string Shipper::HandlePoll(const PollRequest& req) {
+  polls_->Add();
+  RecordAck(req.replica_id, req.applied_lsn);
+  DurabilityManager* dur = db_->durability();
+  if (dur == nullptr) {
+    return EncodeErrorResponse(ReqKind::kPoll, RespStatus::kError,
+                               "primary has durability disabled");
+  }
+  const WalShipState state = dur->ShipState();
+  if (state.failed) {
+    return EncodeErrorResponse(ReqKind::kPoll, RespStatus::kError,
+                               "primary wal failed");
+  }
+  PollResponse resp;
+  resp.durable_lsn = state.durable_lsn;
+  resp.checkpoint_lsn = state.checkpoint_lsn;
+  resp.active_start = state.active_start;
+  resp.active_synced_bytes = state.active_synced_bytes;
+  resp.sealed = state.sealed;
+  return EncodePollResponse(resp);
+}
+
+std::string Shipper::HandleFetch(const FetchRequest& req) {
+  fetches_->Add();
+  DurabilityManager* dur = db_->durability();
+  if (dur == nullptr) {
+    return EncodeErrorResponse(ReqKind::kFetch, RespStatus::kError,
+                               "primary has durability disabled");
+  }
+  const DurabilityOptions& opts = dur->options();
+  Env* env = opts.env != nullptr ? opts.env : Env::Posix();
+
+  std::string name;
+  uint64_t servable = std::numeric_limits<uint64_t>::max();
+  switch (req.kind) {
+    case FileKind::kSchema:
+      name = log_format::SchemaFileName();
+      break;
+    case FileKind::kCheckpoint:
+      name = log_format::CheckpointFileName(req.id);
+      break;
+    case FileKind::kSegment: {
+      // Serve only what is provably stable: a sealed segment whole, the
+      // active segment up to its fsync'd prefix.  Anything else was GC'd
+      // (or never existed) — the replica re-polls and resyncs.
+      name = log_format::WalFileName(req.id);
+      const WalShipState state = dur->ShipState();
+      if (req.id == state.active_start) {
+        servable = state.active_synced_bytes;
+      } else {
+        const WalSegmentInfo* sealed = nullptr;
+        for (const WalSegmentInfo& info : state.sealed) {
+          if (info.start == req.id) sealed = &info;
+        }
+        if (sealed == nullptr) {
+          fetch_misses_->Add();
+          return EncodeErrorResponse(ReqKind::kFetch, RespStatus::kNotFound,
+                                     name + " is not sealed or active");
+        }
+        servable = sealed->bytes;
+      }
+      break;
+    }
+  }
+
+  std::string data;
+  Status s = env->ReadFile(opts.dir + "/" + name, &data);
+  if (!s.ok()) {
+    fetch_misses_->Add();
+    return EncodeErrorResponse(ReqKind::kFetch, RespStatus::kNotFound,
+                               name + ": " + s.message());
+  }
+  FetchResponse resp;
+  resp.total_bytes = std::min<uint64_t>(servable, data.size());
+  if (req.offset < resp.total_bytes) {
+    const uint64_t n = std::min<uint64_t>(req.max_bytes,
+                                          resp.total_bytes - req.offset);
+    resp.data = data.substr(req.offset, n);
+  }
+  bytes_shipped_->Add(resp.data.size());
+  return EncodeFetchResponse(resp);
+}
+
+std::string Shipper::StatusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto now = std::chrono::steady_clock::now();
+  std::string out =
+      "repl: " + std::to_string(replicas_.size()) + " replica(s)\n";
+  for (const auto& [id, state] : replicas_) {
+    const auto age = std::chrono::duration_cast<std::chrono::milliseconds>(
+        now - state.last_seen);
+    out += "  replica " + std::to_string(id) +
+           ": acked_lsn=" + std::to_string(state.applied_lsn) +
+           " last_poll_ms=" + std::to_string(age.count()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace repl
+}  // namespace mmdb

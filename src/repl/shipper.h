@@ -1,0 +1,79 @@
+// Shipper: the primary's end of log shipping.  Stateless per request
+// (every cursor lives on the replica) except for the ack table, which
+// remembers each replica's last applied LSN so checkpoint GC never
+// deletes a segment a connected replica still needs
+// (DurabilityManager::SetWalRetainFloor).
+//
+// Runs inline on the net server's loop thread: every request is a couple
+// of map operations plus at most one whole-file read of an already-sealed
+// segment — no locks shared with the query path, so shipping keeps
+// working even when the worker pool is wedged.
+
+#ifndef MMDB_REPL_SHIPPER_H_
+#define MMDB_REPL_SHIPPER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/repl/protocol.h"
+#include "src/repl/repl_iface.h"
+#include "src/util/metrics.h"
+
+namespace mmdb {
+
+class Database;
+
+namespace repl {
+
+struct ShipperOptions {
+  /// A replica that has not polled for this long stops pinning WAL
+  /// retention (it can still reconnect and resync from a checkpoint).
+  std::chrono::milliseconds replica_ttl{60000};
+};
+
+class Shipper : public ReplSource {
+ public:
+  /// The database must have durability enabled before requests arrive.
+  explicit Shipper(Database* db, ShipperOptions options = {});
+
+  std::string HandleRequest(const std::string& request) override;
+  std::string StatusText() const override;
+
+  /// Records a replica ack and refreshes the retention floor.  Called by
+  /// every poll; exposed so tests can pin retention deterministically.
+  void RecordAck(uint64_t replica_id, uint64_t applied_lsn);
+
+  /// Replicas currently within TTL.
+  size_t connected_replicas() const;
+
+ private:
+  std::string HandlePoll(const PollRequest& req);
+  std::string HandleFetch(const FetchRequest& req);
+  /// Drops expired acks and pushes min(acked) into the durability manager.
+  void RefreshRetainFloorLocked();
+
+  Database* db_;
+  ShipperOptions options_;
+
+  mutable std::mutex mu_;
+  struct ReplicaState {
+    uint64_t applied_lsn = 0;
+    std::chrono::steady_clock::time_point last_seen;
+  };
+  std::map<uint64_t, ReplicaState> replicas_;
+
+  Counter* polls_;
+  Counter* fetches_;
+  Counter* bytes_shipped_;
+  Counter* fetch_misses_;
+  Gauge* connected_;
+  Gauge* min_acked_;
+};
+
+}  // namespace repl
+}  // namespace mmdb
+
+#endif  // MMDB_REPL_SHIPPER_H_

@@ -253,6 +253,8 @@ std::string QueryService::StatusText() const {
   out.reserve(1024);
   std::snprintf(buf, sizeof(buf), "uptime_s: %.1f\n", uptime_s);
   out += buf;
+  out += std::string("role: ") + (db_->read_only() ? "replica" : "primary") +
+         "\n";
   out += "workers: " + std::to_string(options_.workers) + "\n";
   out += "queue_depth: " + std::to_string(st.queue_depth) + "\n";
   out += "queue_depth_hwm: " + std::to_string(st.queue_depth_hwm) + "\n";
@@ -439,6 +441,11 @@ OpResult QueryService::RunWithRetry(WorkerContext& ctx, const Operation& op) {
 }
 
 OpResult QueryService::RunOnce(WorkerContext& ctx, const Operation& op) {
+  if (db_->read_only() && KindOf(op) != OpKind::kSelect) {
+    OpResult result;
+    result.status = Status::ReadOnly("replica is read-only until PROMOTE");
+    return result;
+  }
   switch (KindOf(op)) {
     case OpKind::kSelect:
       return RunSelect(std::get<SelectSpec>(op));

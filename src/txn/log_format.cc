@@ -80,7 +80,7 @@ DecodeResult DecodeRecord(std::string_view data, size_t* pos,
   if (!Get(data, &p, &len) || !Get(data, &p, &masked_crc) ||
       p + len > data.size()) {
     *pos = start;
-    return DecodeResult::kCorrupt;  // torn frame at the tail
+    return DecodeResult::kTruncated;  // frame extends past end of data
   }
   const std::string_view payload = data.substr(p, len);
   if (crc32c::Unmask(masked_crc) !=

@@ -37,9 +37,14 @@ inline constexpr uint32_t kCheckpointVersion = 1;
 void EncodeRecord(const LogRecord& record, std::string* out);
 
 enum class DecodeResult {
-  kOk,       ///< one record decoded, *pos advanced
-  kEnd,      ///< clean end of data (nothing left at *pos)
-  kCorrupt,  ///< truncated frame / CRC mismatch / malformed payload
+  kOk,         ///< one record decoded, *pos advanced
+  kEnd,        ///< clean end of data (nothing left at *pos)
+  kCorrupt,    ///< complete frame with CRC mismatch / malformed payload
+  /// The frame extends past the end of `data`: either a torn tail a crash
+  /// left behind, or (for a replica tailing a live segment) simply bytes
+  /// that have not arrived yet.  Replay treats it like kCorrupt (stop);
+  /// the replication apply loop waits for more bytes instead.
+  kTruncated,
 };
 
 /// Decodes the frame at `*pos`; on kOk fills `*record` and advances `*pos`.
@@ -60,6 +65,8 @@ Status DecodeCheckpoint(std::string_view data, uint64_t* lsn,
 std::string CheckpointFileName(uint64_t lsn);
 std::string WalFileName(uint64_t start_lsn);
 inline const char* SchemaFileName() { return "schema.mmdb"; }
+/// Text manifest of sealed WAL segments (see WalManifest in src/txn/wal.h).
+inline const char* ManifestFileName() { return "wal.manifest"; }
 
 /// Parses "checkpoint-<lsn>.ckpt" / "wal-<lsn>.log"; false if `name` is not
 /// of that shape.

@@ -1,6 +1,8 @@
 #include "src/txn/wal.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -8,12 +10,110 @@
 
 namespace mmdb {
 
+// ---- WalManifest ------------------------------------------------------------
+
+namespace {
+constexpr const char* kManifestHeader = "mmdb-wal-manifest 1";
+}  // namespace
+
+Status WalManifest::Load(Env* env, const std::string& dir, WalManifest* out) {
+  *out = WalManifest{};
+  std::string data;
+  Status s = env->ReadFile(dir + "/" + log_format::ManifestFileName(), &data);
+  if (!s.ok()) return Status::Ok();  // no manifest yet: legacy / fresh dir
+  size_t pos = 0;
+  bool saw_header = false;
+  while (pos < data.size()) {
+    size_t eol = data.find('\n', pos);
+    if (eol == std::string::npos) eol = data.size();
+    const std::string line = data.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != kManifestHeader) {
+        return Status::Corruption("wal.manifest: bad header: " + line);
+      }
+      saw_header = true;
+      continue;
+    }
+    WalSegmentInfo info;
+    if (std::sscanf(line.c_str(), "segment %" SCNu64 " %" SCNu64 " %" SCNu64,
+                    &info.start, &info.end, &info.bytes) != 3) {
+      return Status::Corruption("wal.manifest: malformed line: " + line);
+    }
+    s = out->Append(info);
+    if (!s.ok()) return s;
+  }
+  if (!saw_header) {
+    return Status::Corruption("wal.manifest: empty file (missing header)");
+  }
+  return Status::Ok();
+}
+
+Status WalManifest::Save(Env* env, const std::string& dir) const {
+  std::string body(kManifestHeader);
+  body += '\n';
+  char buf[96];
+  for (const WalSegmentInfo& info : segments_) {
+    std::snprintf(buf, sizeof(buf),
+                  "segment %llu %llu %llu\n",
+                  static_cast<unsigned long long>(info.start),
+                  static_cast<unsigned long long>(info.end),
+                  static_cast<unsigned long long>(info.bytes));
+    body += buf;
+  }
+  const std::string path = dir + "/" + log_format::ManifestFileName();
+  const std::string tmp = path + ".tmp";
+  std::unique_ptr<WritableFile> file;
+  Status s = env->NewWritableFile(tmp, /*truncate=*/true, &file);
+  if (!s.ok()) return s;
+  s = file->Append(body);
+  if (s.ok()) s = file->Sync();
+  if (s.ok()) s = file->Close();
+  if (!s.ok()) return s;
+  return env->RenameFile(tmp, path);
+}
+
+Status WalManifest::Append(const WalSegmentInfo& info) {
+  if (info.end < info.start) {
+    return Status::Corruption("wal.manifest: segment end below start");
+  }
+  if (!segments_.empty()) {
+    const WalSegmentInfo& last = segments_.back();
+    if (info.start != last.end) {
+      return Status::Corruption(
+          "wal.manifest: segment chain broken (expected start " +
+          std::to_string(last.end) + ", got " + std::to_string(info.start) +
+          ")");
+    }
+  }
+  segments_.push_back(info);
+  return Status::Ok();
+}
+
+void WalManifest::PruneBelow(uint64_t floor) {
+  size_t keep = 0;
+  while (keep < segments_.size() && segments_[keep].end <= floor) ++keep;
+  segments_.erase(segments_.begin(), segments_.begin() + keep);
+}
+
+const WalSegmentInfo* WalManifest::Find(uint64_t start) const {
+  for (const WalSegmentInfo& info : segments_) {
+    if (info.start == start) return &info;
+  }
+  return nullptr;
+}
+
+// ---- WalWriter --------------------------------------------------------------
+
 std::string WalWriter::segment_path() const {
   return dir_ + "/" + log_format::WalFileName(segment_start_);
 }
 
 Status WalWriter::Open(uint64_t start_lsn, bool truncate) {
   segment_start_ = start_lsn;
+  segment_bytes_ = 0;
+  synced_bytes_ = 0;
   failed_ = false;
   Status s = env_->NewWritableFile(segment_path(), truncate, &file_);
   if (!s.ok()) failed_ = true;
@@ -33,6 +133,7 @@ Status WalWriter::Append(const LogRecord& record) {
     return s;
   }
   bytes_appended_ += frame.size();
+  segment_bytes_ += frame.size();
   ++records_appended_;
   return Status::Ok();
 }
@@ -41,8 +142,12 @@ Status WalWriter::Sync() {
   if (failed_) return Status::Internal("wal writer failed earlier");
   if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
   Status s = file_->Sync();
-  if (!s.ok()) failed_ = true;
-  return s;
+  if (!s.ok()) {
+    failed_ = true;
+    return s;
+  }
+  synced_bytes_ = segment_bytes_;
+  return Status::Ok();
 }
 
 Status WalWriter::Rotate(uint64_t start_lsn) {
@@ -60,8 +165,17 @@ Status WalWriter::Close() {
   return s;
 }
 
+// ---- ReplayWalDir -----------------------------------------------------------
+
 Status ReplayWalDir(Env* env, const std::string& dir, uint64_t after_lsn,
                     WalReplayResult* result) {
+  WalReplayOptions options;
+  options.after_lsn = after_lsn;
+  return ReplayWalDir(env, dir, options, result);
+}
+
+Status ReplayWalDir(Env* env, const std::string& dir,
+                    const WalReplayOptions& options, WalReplayResult* result) {
   *result = WalReplayResult{};
 
   std::vector<std::string> names;
@@ -75,28 +189,116 @@ Status ReplayWalDir(Env* env, const std::string& dir, uint64_t after_lsn,
     }
   }
   std::sort(segments.begin(), segments.end());
+  for (size_t i = 1; i < segments.size(); ++i) {
+    if (segments[i].first == segments[i - 1].first) {
+      return Status::Corruption("duplicate wal segment start lsn " +
+                                std::to_string(segments[i].first));
+    }
+  }
+
+  WalManifest manifest;
+  s = WalManifest::Load(env, dir, &manifest);
+  if (!s.ok()) return s;
+
+  // Every sealed segment the replay range needs must exist on disk; a hole
+  // in the middle of the chain means GC or shipping lost a segment and a
+  // silent partial replay would resurrect a state that never existed.
+  const uint64_t upto = options.upto_lsn;
+  for (const WalSegmentInfo& info : manifest.segments()) {
+    if (info.end <= options.after_lsn) continue;  // covered by checkpoint
+    if (info.start >= upto) continue;             // past the PITR target
+    const bool present =
+        std::any_of(segments.begin(), segments.end(),
+                    [&](const auto& seg) { return seg.first == info.start; });
+    if (!present) {
+      return Status::Corruption("wal segment gap: " +
+                                log_format::WalFileName(info.start) +
+                                " listed in wal.manifest but missing");
+    }
+  }
+  // A segment file the manifest chain does not account for, yet starting
+  // inside the chain's range, is an overlap (e.g. shipped out of order).
+  if (!manifest.empty()) {
+    const uint64_t chain_end = manifest.segments().back().end;
+    for (const auto& [start, path] : segments) {
+      if (start < chain_end && manifest.Find(start) == nullptr) {
+        return Status::Corruption(
+            "wal segment " + log_format::WalFileName(start) +
+            " overlaps the manifest chain (not a chain member)");
+      }
+    }
+  }
+
+  // The retained chain must reach back to the replay base.  A history
+  // pruned past the base (old segments GC'd after newer checkpoints) can
+  // not reproduce the requested state; replaying just the surviving suffix
+  // would silently fabricate a state that never existed — typical trigger:
+  // a point-in-time target older than every retained checkpoint.
+  if (!segments.empty() && options.after_lsn < upto &&
+      segments.front().first > options.after_lsn) {
+    return Status::Corruption(
+        "wal history begins at " +
+        log_format::WalFileName(segments.front().first) +
+        " but replay needs records after lsn " +
+        std::to_string(options.after_lsn) +
+        " (earlier segments were pruned; the target predates retained "
+        "history)");
+  }
 
   // Pass over every segment in start-LSN order, collecting the valid
-  // record prefix and the set of committed transactions.  The stream ends
-  // at the first torn/corrupt frame or LSN regression; later segments are
-  // not read past it (their records could only follow the corruption).
+  // record prefix and the set of committed transactions.
   std::vector<LogRecord> valid;
   std::vector<uint64_t> committed;
   uint64_t last_lsn = 0;
-  for (const auto& [start, path] : segments) {
-    if (result->tail_corrupt) break;
+  bool done = false;
+  for (size_t i = 0; i < segments.size() && !done; ++i) {
+    const auto& [start, path] = segments[i];
+    const WalSegmentInfo* sealed = manifest.Find(start);
+    if (sealed != nullptr && sealed->end <= options.after_lsn) {
+      // Entirely covered by the checkpoint: skip the read, but keep the
+      // LSN cursor honest for the overlap check on the next segment.
+      last_lsn = std::max(last_lsn, sealed->end);
+      continue;
+    }
+    if (start >= upto) break;  // records there are all past the target
+    if (last_lsn > start) {
+      return Status::Corruption("overlapping wal segments: " +
+                                log_format::WalFileName(start) +
+                                " starts below replayed lsn " +
+                                std::to_string(last_lsn));
+    }
     std::string data;
     s = env->ReadFile(path, &data);
     if (!s.ok()) return s;
     ++result->segments_read;
+    if (sealed != nullptr && data.size() != sealed->bytes) {
+      return Status::Corruption(
+          log_format::WalFileName(start) + " is " +
+          std::to_string(data.size()) + " bytes; wal.manifest sealed it at " +
+          std::to_string(sealed->bytes));
+    }
+    // Corruption in a sealed or non-final segment can never be crash
+    // residue (seals fsync before the manifest entry exists); only the
+    // very tail of the stream may legally be torn.
+    const bool tail_may_tear = (sealed == nullptr) && (i + 1 == segments.size());
     size_t pos = 0;
     for (;;) {
       LogRecord record;
       const log_format::DecodeResult r =
           log_format::DecodeRecord(data, &pos, &record);
       if (r == log_format::DecodeResult::kEnd) break;
-      if (r == log_format::DecodeResult::kCorrupt ||
-          record.lsn <= last_lsn) {
+      const bool frame_bad = (r != log_format::DecodeResult::kOk);
+      const bool lsn_bad =
+          !frame_bad && (record.lsn <= last_lsn || record.lsn <= start ||
+                         (sealed != nullptr && record.lsn > sealed->end));
+      if (frame_bad || lsn_bad) {
+        if (!tail_may_tear) {
+          return Status::Corruption(
+              log_format::WalFileName(start) + ": " +
+              (frame_bad ? "corrupt frame" : "lsn out of segment range") +
+              " at offset " + std::to_string(pos) +
+              " in a sealed/non-final segment");
+        }
         result->tail_corrupt = true;
         // Best-effort count of the frames lost after the corruption (the
         // bad frame plus any well-framed successors) so Progress can
@@ -109,6 +311,13 @@ Status ReplayWalDir(Env* env, const std::string& dir, uint64_t after_lsn,
           ++result->records_dropped;
         }
         if (pos < data.size()) ++result->records_dropped;  // torn tail frame
+        done = true;
+        break;
+      }
+      if (record.lsn > upto) {
+        // Point-in-time bound: commit markers past the target must not
+        // count, so transactions open at the target drop out below.
+        done = true;
         break;
       }
       last_lsn = record.lsn;
@@ -131,7 +340,7 @@ Status ReplayWalDir(Env* env, const std::string& dir, uint64_t after_lsn,
       ++result->records_dropped;
       continue;
     }
-    if (record.lsn <= after_lsn) continue;  // covered by the checkpoint
+    if (record.lsn <= options.after_lsn) continue;  // covered by checkpoint
     result->records.push_back(std::move(record));
   }
   return Status::Ok();

@@ -1,8 +1,20 @@
 // Write-ahead log segments on an Env.  WalWriter appends framed records
 // (src/txn/log_format.h) to the current segment and rotates to a fresh one
-// at each checkpoint; ReplayWalDir reads every segment of a durability
-// directory back in LSN order, keeps the valid prefix, and filters it down
-// to the records of committed transactions newer than the checkpoint.
+// when the segment is sealed — at a checkpoint, or mid-epoch once the
+// segment reaches the configured size (DurabilityOptions::wal_segment_bytes).
+// Sealed segments are recorded in a WalManifest (wal.manifest): a contiguous
+// chain of [start, end] LSN ranges that replay and replication both rely on
+// to detect gaps, overlaps, and truncated segments loudly.
+//
+// ReplayWalDir reads every segment of a durability directory back in LSN
+// order, keeps the valid prefix, and filters it down to the records of
+// committed transactions newer than the checkpoint.  Corruption policy:
+// a torn tail in the *final* segment is the legitimate residue of a crash
+// and stops replay cleanly (tail_corrupt); anything wrong earlier in the
+// chain — a missing manifest segment, overlapping or duplicate start LSNs,
+// a bad frame inside a sealed segment, a sealed segment whose size differs
+// from its manifest entry — is a typed StatusCode::kCorruption error,
+// never a silent partial replay.
 //
 // Failure discipline: the first append/sync error latches the writer as
 // failed — a half-written frame must never be followed by a valid one, or
@@ -12,6 +24,7 @@
 #define MMDB_TXN_WAL_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +33,47 @@
 #include "src/util/env.h"
 
 namespace mmdb {
+
+/// One sealed WAL segment: wal-<start>.log holds records with
+/// start < lsn <= end and is exactly `bytes` long.  (LSN holes inside the
+/// range are legitimate: aborted transactions release their LSNs without
+/// ever reaching the WAL.)
+struct WalSegmentInfo {
+  uint64_t start = 0;
+  uint64_t end = 0;
+  uint64_t bytes = 0;
+};
+
+/// The sealed-segment chain of a durability directory, persisted as
+/// wal.manifest (text, temp+rename).  Invariant: entries are ordered and
+/// contiguous — entry[i].end == entry[i+1].start — so a reader can prove
+/// the chain covers an LSN range with no gaps.  The active (still-growing)
+/// segment is never listed; its name is the last entry's end (or the
+/// checkpoint LSN when the chain is empty).
+class WalManifest {
+ public:
+  /// Loads dir/wal.manifest.  A missing file is an empty manifest (legacy
+  /// directories predate it); a malformed file is kCorruption.
+  static Status Load(Env* env, const std::string& dir, WalManifest* out);
+
+  /// Persists via temp+rename (crash-atomic).
+  Status Save(Env* env, const std::string& dir) const;
+
+  /// Appends a sealed segment; fails if it does not chain onto the last
+  /// entry (end >= start, start == last end).
+  Status Append(const WalSegmentInfo& info);
+
+  /// Drops leading entries with end <= floor (their files were GC'd).
+  void PruneBelow(uint64_t floor);
+
+  void Clear() { segments_.clear(); }
+  const std::vector<WalSegmentInfo>& segments() const { return segments_; }
+  const WalSegmentInfo* Find(uint64_t start) const;
+  bool empty() const { return segments_.empty(); }
+
+ private:
+  std::vector<WalSegmentInfo> segments_;
+};
 
 class WalWriter {
  public:
@@ -46,6 +100,12 @@ class WalWriter {
   bool failed() const { return failed_; }
   uint64_t bytes_appended() const { return bytes_appended_; }
   uint64_t records_appended() const { return records_appended_; }
+  /// Bytes written to the *current* segment (resets at Open/Rotate).
+  uint64_t segment_bytes() const { return segment_bytes_; }
+  /// Prefix of the current segment covered by the last Sync — the shipper
+  /// serves a live segment only up to here (unsynced bytes could vanish in
+  /// a crash and fork the replica off a timeline the primary never had).
+  uint64_t synced_bytes() const { return synced_bytes_; }
 
  private:
   Env* env_;
@@ -54,7 +114,19 @@ class WalWriter {
   uint64_t segment_start_ = 0;
   uint64_t bytes_appended_ = 0;
   uint64_t records_appended_ = 0;
+  uint64_t segment_bytes_ = 0;
+  uint64_t synced_bytes_ = 0;
   bool failed_ = false;
+};
+
+struct WalReplayOptions {
+  /// Records with lsn <= after_lsn are skipped (covered by the checkpoint).
+  uint64_t after_lsn = 0;
+  /// Point-in-time bound: scanning stops at the first record with
+  /// lsn > upto_lsn, so commit markers past the target do not count —
+  /// transactions still open at the target LSN are dropped, exactly as a
+  /// crash at that moment would have dropped them.
+  uint64_t upto_lsn = std::numeric_limits<uint64_t>::max();
 };
 
 struct WalReplayResult {
@@ -72,10 +144,14 @@ struct WalReplayResult {
   size_t segments_read = 0;
 };
 
-/// Replays every wal-*.log under `dir`: records with lsn <= after_lsn are
-/// skipped (they are covered by the checkpoint).  Stops cleanly at the
-/// first torn/corrupt record or LSN regression; everything before it that
-/// belongs to a committed transaction is returned.
+/// Replays every wal-*.log under `dir`.  A torn tail in the final segment
+/// stops cleanly (crash residue); a gap / overlap / duplicate in the
+/// segment chain, or corruption inside a sealed or non-final segment,
+/// fails with StatusCode::kCorruption and an empty result.
+Status ReplayWalDir(Env* env, const std::string& dir,
+                    const WalReplayOptions& options, WalReplayResult* result);
+
+/// Back-compat convenience: replay with only the checkpoint filter.
 Status ReplayWalDir(Env* env, const std::string& dir, uint64_t after_lsn,
                     WalReplayResult* result);
 

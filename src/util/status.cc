@@ -13,6 +13,8 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kAborted: return "ABORTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kCorruption: return "CORRUPTION";
+    case StatusCode::kReadOnly: return "READ_ONLY";
   }
   return "UNKNOWN";
 }

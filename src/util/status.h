@@ -20,6 +20,12 @@ enum class StatusCode {
   kResourceExhausted,
   kAborted,
   kInternal,
+  /// Durable state failed validation (CRC mismatch, broken segment chain,
+  /// torn frame where none may legally be).  Recovery and replication
+  /// surface this instead of silently replaying a partial prefix.
+  kCorruption,
+  /// The node is a read replica: writes are rejected, typed, until PROMOTE.
+  kReadOnly,
 };
 
 /// Result of a fallible operation: a code plus an optional message.
@@ -37,6 +43,8 @@ class Status {
   static Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
   static Status Aborted(std::string m) { return {StatusCode::kAborted, std::move(m)}; }
   static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+  static Status Corruption(std::string m) { return {StatusCode::kCorruption, std::move(m)}; }
+  static Status ReadOnly(std::string m) { return {StatusCode::kReadOnly, std::move(m)}; }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -110,7 +110,12 @@ TEST(DurabilityTest, CheckpointRotatesAndTruncatesTheWal) {
   {
     Database db;
     MakeTable(&db);
-    ASSERT_TRUE(db.EnableDurability(SyncOptions(&env)).ok());
+    // No PITR retention window: this test pins the classic contract that
+    // a checkpoint makes the propagated WAL prefix (and the superseded
+    // checkpoint) disappear immediately.
+    DurabilityOptions options = SyncOptions(&env);
+    options.wal_retain_segments = 0;
+    ASSERT_TRUE(db.EnableDurability(std::move(options)).ok());
     for (int32_t i = 0; i < 8; ++i) ASSERT_TRUE(AckedInsert(&db, i, i));
     ASSERT_TRUE(db.CheckpointNow().ok());
 

@@ -1,0 +1,460 @@
+// Log shipping end to end: size-rolled segments + manifest on the primary,
+// continuous replay on a read replica over the real wire protocol, typed
+// read-only rejection, corruption handling on shipped segments, retention
+// racing a slow replica, point-in-time recovery, and promotion.
+
+#include "src/repl/replica.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/database.h"
+#include "src/core/durability.h"
+#include "src/core/shell.h"
+#include "src/net/server.h"
+#include "src/repl/shipper.h"
+#include "src/server/query_service.h"
+#include "src/storage/tuple.h"
+#include "src/txn/log_format.h"
+#include "src/util/env.h"
+
+namespace mmdb {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr char kPrimaryDir[] = "dur";
+constexpr char kMirrorDir[] = "rep";
+
+void MakeTable(Database* db) {
+  ASSERT_NE(db->CreateTable("t", {{"id", Type::kInt32}, {"v", Type::kInt32}}),
+            nullptr);
+}
+
+/// Commits one (id, v) row and waits for durability; returns the commit
+/// LSN (0 on failure).
+uint64_t AckedInsert(Database* db, int32_t id, int32_t v) {
+  std::unique_ptr<Transaction> txn = db->Begin();
+  if (!txn->Insert("t", {Value(id), Value(v)}).ok()) {
+    txn->Abort();
+    return 0;
+  }
+  if (!txn->Commit().ok()) return 0;
+  if (!db->WaitDurable(txn->commit_lsn()).ok()) return 0;
+  return txn->commit_lsn();
+}
+
+std::set<int32_t> LiveIds(Database* db) {
+  std::set<int32_t> ids;
+  Relation* rel = db->GetTable("t");
+  if (rel == nullptr) return ids;
+  const size_t off = rel->schema().offset(0);
+  for (const auto& p : rel->partitions()) {
+    p->ForEachLive([&](TupleRef t) { ids.insert(tuple::GetInt32(t, off)); });
+  }
+  return ids;
+}
+
+/// A serving primary: database + durability + query service + net server
+/// with the log-shipping handler installed.
+class Primary {
+ public:
+  void Start(uint64_t wal_segment_bytes, uint64_t wal_retain_segments) {
+    MakeTable(&db);
+    DurabilityOptions options;
+    options.mode = DurabilityMode::kSync;
+    options.dir = kPrimaryDir;
+    options.env = &env;
+    options.flush_interval = milliseconds(50);
+    options.wal_segment_bytes = wal_segment_bytes;
+    options.wal_retain_segments = wal_retain_segments;
+    ASSERT_TRUE(db.EnableDurability(options).ok());
+
+    shipper = std::make_unique<repl::Shipper>(&db);
+    service = std::make_unique<QueryService>(&db);
+    net::ServerOptions server_options;
+    server_options.port = 0;
+    server = std::make_unique<net::Server>(service.get(), server_options);
+    repl::Shipper* s = shipper.get();
+    server->set_repl_handler(
+        [s](const std::string& request) { return s->HandleRequest(request); });
+    ASSERT_TRUE(server->Start().ok());
+  }
+
+  uint16_t port() const { return server->port(); }
+
+  InMemEnv env;
+  Database db;
+  std::unique_ptr<repl::Shipper> shipper;
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<net::Server> server;
+};
+
+repl::ReplicaOptions MirrorOptions(const Primary& primary, Env* env) {
+  repl::ReplicaOptions options;
+  options.primary_port = primary.port();
+  options.dir = kMirrorDir;
+  options.env = env;
+  options.poll_interval = milliseconds(5);
+  options.reconnect_backoff = milliseconds(20);
+  return options;
+}
+
+TEST(ReplShipperTest, SizeRollingSealsSegmentsIntoAContiguousChain) {
+  Primary primary;
+  primary.Start(/*wal_segment_bytes=*/128, /*wal_retain_segments=*/100);
+  uint64_t last = 0;
+  for (int32_t i = 0; i < 30; ++i) last = AckedInsert(&primary.db, i, i);
+  ASSERT_GT(last, 0u);
+
+  const WalShipState state = primary.db.durability()->ShipState();
+  ASSERT_GE(state.sealed.size(), 2u) << "128-byte segments must roll";
+  // The chain is contiguous, every sealed file exists at its sealed size,
+  // and the active segment starts where the chain ends.
+  for (size_t i = 0; i < state.sealed.size(); ++i) {
+    const WalSegmentInfo& info = state.sealed[i];
+    if (i > 0) EXPECT_EQ(info.start, state.sealed[i - 1].end);
+    std::string data;
+    ASSERT_TRUE(primary.env
+                    .ReadFile(std::string(kPrimaryDir) + "/" +
+                                  log_format::WalFileName(info.start),
+                              &data)
+                    .ok());
+    EXPECT_EQ(data.size(), info.bytes);
+  }
+  EXPECT_EQ(state.active_start, state.sealed.back().end);
+
+  // Rolling never loses records: full recovery sees every row.
+  Database recovered;
+  ASSERT_TRUE(recovered.Recover(kPrimaryDir, &primary.env).ok());
+  EXPECT_EQ(LiveIds(&recovered).size(), 30u);
+
+  // And the manifest chains across a checkpoint seal too.
+  ASSERT_TRUE(primary.db.CheckpointNow().ok());
+  const WalShipState after = primary.db.durability()->ShipState();
+  for (size_t i = 1; i < after.sealed.size(); ++i) {
+    EXPECT_EQ(after.sealed[i].start, after.sealed[i - 1].end);
+  }
+}
+
+TEST(ReplReplicaTest, ShipsContinuouslyAndServesReadsReadOnly) {
+  Primary primary;
+  primary.Start(/*wal_segment_bytes=*/256, /*wal_retain_segments=*/100);
+  for (int32_t i = 0; i < 10; ++i) ASSERT_GT(AckedInsert(&primary.db, i, i), 0u);
+
+  InMemEnv mirror_env;
+  repl::Replica replica(MirrorOptions(primary, &mirror_env));
+  ASSERT_TRUE(replica.Start().ok());
+  uint64_t last = 0;
+  for (int32_t i = 10; i < 20; ++i) {
+    last = AckedInsert(&primary.db, i, i);
+    ASSERT_GT(last, 0u);
+  }
+  ASSERT_TRUE(replica.WaitForLsn(last, milliseconds(10000)).ok());
+  EXPECT_EQ(LiveIds(replica.db()).size(), 20u);
+  EXPECT_TRUE(replica.db()->read_only());
+
+  // SELECT through the normal query service works; every write is refused
+  // with the typed read-only code.
+  QueryService service(replica.db());
+  Session* session = service.OpenSession();
+  SelectSpec select;
+  select.table = "t";
+  OpResult rows = service.Execute(session, select);
+  ASSERT_TRUE(rows.status.ok());
+  EXPECT_EQ(rows.rows.size(), 20u);
+
+  InsertSpec insert;
+  insert.table = "t";
+  insert.values = {Value(int32_t{999}), Value(int32_t{999})};
+  OpResult rejected = service.Execute(session, insert);
+  EXPECT_EQ(rejected.status.code(), StatusCode::kReadOnly);
+  EXPECT_EQ(LiveIds(replica.db()).size(), 20u);
+
+  // The shell refuses DML the same way and reports replication state.
+  CommandShell shell(replica.db());
+  shell.set_replica(&replica);
+  const std::string err = shell.Execute("INSERT INTO t VALUES (999, 999);");
+  EXPECT_NE(err.find("READ_ONLY"), std::string::npos) << err;
+  const std::string status = shell.Execute("STATUS;");
+  EXPECT_NE(status.find("role: replica"), std::string::npos) << status;
+  EXPECT_NE(status.find("repl_applied_lsn:"), std::string::npos) << status;
+
+  // The primary's STATUS roster shows the connected replica and its ack.
+  EXPECT_EQ(primary.shipper->connected_replicas(), 1u);
+}
+
+TEST(ReplReplicaTest, RestartResumesFromMirrorAndRefetchesTornTail) {
+  // A large segment size keeps everything in one active (unsealed)
+  // segment, so the torn tail below is crash residue, not a seal breach.
+  Primary primary;
+  primary.Start(/*wal_segment_bytes=*/1 << 20, /*wal_retain_segments=*/100);
+  InMemEnv mirror_env;
+  uint64_t last = 0;
+  {
+    repl::Replica replica(MirrorOptions(primary, &mirror_env));
+    ASSERT_TRUE(replica.Start().ok());
+    for (int32_t i = 0; i < 12; ++i) {
+      last = AckedInsert(&primary.db, i, i);
+      ASSERT_GT(last, 0u);
+    }
+    ASSERT_TRUE(replica.WaitForLsn(last, milliseconds(10000)).ok());
+  }  // replica stops; mirror dir stays behind
+
+  // Tear the tail of the active mirror segment, as a replica crash
+  // mid-append would: the restart must truncate to the clean prefix and
+  // re-request the rest rather than apply a damaged frame.
+  std::vector<std::string> names;
+  ASSERT_TRUE(mirror_env.ListDir(kMirrorDir, &names).ok());
+  std::string active;
+  uint64_t best = 0, lsn = 0;
+  for (const std::string& name : names) {
+    if (log_format::ParseWalFileName(name, &lsn) && lsn >= best) {
+      best = lsn;
+      active = name;
+    }
+  }
+  ASSERT_FALSE(active.empty());
+  const std::string path = std::string(kMirrorDir) + "/" + active;
+  std::string data;
+  ASSERT_TRUE(mirror_env.ReadFile(path, &data).ok());
+  ASSERT_GT(data.size(), 3u);
+  data.resize(data.size() - 3);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(mirror_env.NewWritableFile(path, true, &f).ok());
+  ASSERT_TRUE(f->Append(data).ok());
+  ASSERT_TRUE(f->Sync().ok());
+  f.reset();
+
+  repl::Replica replica(MirrorOptions(primary, &mirror_env));
+  ASSERT_TRUE(replica.Start().ok());
+  ASSERT_TRUE(replica.WaitForLsn(last, milliseconds(10000)).ok());
+  EXPECT_EQ(LiveIds(replica.db()).size(), 12u);
+  EXPECT_GE(
+      replica.db()->metrics().GetCounter("mmdb_repl_refetches_total")->Value(),
+      1u);
+  EXPECT_TRUE(replica.health().ok());
+}
+
+TEST(ReplReplicaTest, CorruptSealedMirrorSegmentFailsBootstrapLoudly) {
+  Primary primary;
+  primary.Start(/*wal_segment_bytes=*/128, /*wal_retain_segments=*/100);
+  InMemEnv mirror_env;
+  uint64_t last = 0;
+  {
+    repl::Replica replica(MirrorOptions(primary, &mirror_env));
+    ASSERT_TRUE(replica.Start().ok());
+    for (int32_t i = 0; i < 20; ++i) {
+      last = AckedInsert(&primary.db, i, i);
+      ASSERT_GT(last, 0u);
+    }
+    ASSERT_TRUE(replica.WaitForLsn(last, milliseconds(10000)).ok());
+  }
+
+  // Flip one byte inside a *sealed* mirror segment.  Recovery of the
+  // mirror must fail with a typed corruption pointing at resync — never a
+  // silent partial bootstrap.
+  WalManifest manifest;
+  ASSERT_TRUE(WalManifest::Load(&mirror_env, kMirrorDir, &manifest).ok());
+  ASSERT_FALSE(manifest.empty()) << "expected sealed segments in the mirror";
+  const std::string path =
+      std::string(kMirrorDir) + "/" +
+      log_format::WalFileName(manifest.segments().front().start);
+  std::string data;
+  ASSERT_TRUE(mirror_env.ReadFile(path, &data).ok());
+  data[data.size() / 2] = static_cast<char>(data[data.size() / 2] ^ 0x10);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(mirror_env.NewWritableFile(path, true, &f).ok());
+  ASSERT_TRUE(f->Append(data).ok());
+  f.reset();
+
+  repl::Replica replica(MirrorOptions(primary, &mirror_env));
+  Status s = replica.Start();
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+  EXPECT_NE(s.message().find("resync"), std::string::npos) << s.ToString();
+}
+
+TEST(ReplReplicaTest, PersistentlyCorruptShippedSegmentHaltsTyped) {
+  Primary primary;
+  primary.Start(/*wal_segment_bytes=*/128, /*wal_retain_segments=*/100);
+  for (int32_t i = 0; i < 20; ++i) ASSERT_GT(AckedInsert(&primary.db, i, i), 0u);
+  const WalShipState state = primary.db.durability()->ShipState();
+  ASSERT_FALSE(state.sealed.empty());
+
+  // Corrupt the primary's own copy of a sealed segment (silent disk damage
+  // on the primary): every refetch ships the same bad bytes, so the
+  // replica must stop at the torn frame with a typed error after bounded
+  // retries — and never apply anything past it.
+  const WalSegmentInfo& victim = state.sealed.front();
+  const std::string path = std::string(kPrimaryDir) + "/" +
+                           log_format::WalFileName(victim.start);
+  std::string data;
+  ASSERT_TRUE(primary.env.ReadFile(path, &data).ok());
+  data[data.size() - 2] = static_cast<char>(data[data.size() - 2] ^ 0x4);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(primary.env.NewWritableFile(path, true, &f).ok());
+  ASSERT_TRUE(f->Append(data).ok());
+  f.reset();
+
+  InMemEnv mirror_env;
+  repl::Replica replica(MirrorOptions(primary, &mirror_env));
+  ASSERT_TRUE(replica.Start().ok());
+  Status wait = replica.WaitForLsn(victim.end, milliseconds(10000));
+  EXPECT_EQ(wait.code(), StatusCode::kCorruption) << wait.ToString();
+  EXPECT_EQ(replica.health().code(), StatusCode::kCorruption);
+  EXPECT_NE(replica.health().message().find("corrupt"), std::string::npos);
+  // It re-requested the damaged range before giving up...
+  EXPECT_GE(
+      replica.db()->metrics().GetCounter("mmdb_repl_refetches_total")->Value(),
+      1u);
+  // ...and applied nothing at or past the torn frame.
+  EXPECT_LT(replica.applied_lsn(), victim.end);
+}
+
+TEST(ReplShipperTest, RetentionNeverDeletesSegmentsASlowReplicaNeeds) {
+  Primary primary;
+  primary.Start(/*wal_segment_bytes=*/128, /*wal_retain_segments=*/1);
+  uint64_t early = 0, last = 0;
+  for (int32_t i = 0; i < 30; ++i) {
+    last = AckedInsert(&primary.db, i, i);
+    ASSERT_GT(last, 0u);
+    if (i == 2) early = last;
+  }
+  const WalShipState before = primary.db.durability()->ShipState();
+  ASSERT_GE(before.sealed.size(), 3u);
+
+  // A slow replica acked only `early`: a checkpoint's GC must keep every
+  // sealed segment covering LSNs past it, regardless of the retain count.
+  primary.shipper->RecordAck(7, early);
+  ASSERT_TRUE(primary.db.CheckpointNow().ok());
+  const WalShipState pinned = primary.db.durability()->ShipState();
+  ASSERT_FALSE(pinned.sealed.empty());
+  EXPECT_LE(pinned.sealed.front().start, early);
+  for (const WalSegmentInfo& info : pinned.sealed) {
+    EXPECT_TRUE(primary.env.FileExists(std::string(kPrimaryDir) + "/" +
+                                       log_format::WalFileName(info.start)))
+        << "wal-" << info.start << " vanished while a replica needed it";
+  }
+
+  // Once the replica catches up, the next checkpoint GC reclaims history
+  // down to the retain count.
+  primary.shipper->RecordAck(7, last);
+  ASSERT_TRUE(AckedInsert(&primary.db, 100, 100) > 0u);
+  ASSERT_TRUE(primary.db.CheckpointNow().ok());
+  const WalShipState after = primary.db.durability()->ShipState();
+  EXPECT_LE(after.sealed.size(), 2u);  // retain count + the newest seal
+  EXPECT_GT(after.sealed.empty() ? last : after.sealed.front().start, early);
+}
+
+TEST(ReplPitrTest, RecoverUptoReproducesExactHistoricalState) {
+  Primary primary;
+  primary.Start(/*wal_segment_bytes=*/128, /*wal_retain_segments=*/1000);
+  uint64_t as_of = 0, last = 0;
+  for (int32_t i = 0; i < 8; ++i) {
+    as_of = AckedInsert(&primary.db, i, i);
+    ASSERT_GT(as_of, 0u);
+  }
+  // History continues past the target: more rows, a delete, a checkpoint.
+  for (int32_t i = 8; i < 16; ++i) {
+    last = AckedInsert(&primary.db, i, i);
+    ASSERT_GT(last, 0u);
+  }
+  {
+    std::unique_ptr<Transaction> txn = primary.db.Begin();
+    Relation* rel = primary.db.GetTable("t");
+    const size_t off = rel->schema().offset(0);
+    std::vector<TupleRef> victims;
+    for (const auto& p : rel->partitions()) {
+      p->ForEachLive([&](TupleRef t) {
+        if (tuple::GetInt32(t, off) == 3) victims.push_back(t);
+      });
+    }
+    for (TupleRef t : victims) ASSERT_TRUE(txn->Delete("t", t).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+    ASSERT_TRUE(primary.db.WaitDurable(txn->commit_lsn()).ok());
+  }
+  ASSERT_TRUE(primary.db.CheckpointNow().ok());
+
+  // Recovery bounded at `as_of` sees exactly ids 0..7 — id 3 still alive,
+  // nothing from the future.
+  Database at_target;
+  ASSERT_TRUE(
+      at_target.Recover(kPrimaryDir, &primary.env, nullptr, as_of).ok());
+  std::set<int32_t> expect;
+  for (int32_t i = 0; i < 8; ++i) expect.insert(i);
+  EXPECT_EQ(LiveIds(&at_target), expect);
+
+  // Unbounded recovery sees the present: 0..15 plus 100-free, minus id 3.
+  Database now;
+  ASSERT_TRUE(now.Recover(kPrimaryDir, &primary.env).ok());
+  std::set<int32_t> current;
+  for (int32_t i = 0; i < 16; ++i) {
+    if (i != 3) current.insert(i);
+  }
+  EXPECT_EQ(LiveIds(&now), current);
+
+  // A replica's mirror is a real durability dir: the same PITR bound works
+  // against it unchanged.
+  InMemEnv mirror_env;
+  repl::Replica replica(MirrorOptions(primary, &mirror_env));
+  ASSERT_TRUE(replica.Start().ok());
+  const uint64_t final_lsn = AckedInsert(&primary.db, 200, 200);
+  ASSERT_GT(final_lsn, 0u);
+  ASSERT_TRUE(replica.WaitForLsn(final_lsn, milliseconds(10000)).ok());
+  replica.Stop();
+  Database from_mirror;
+  Status s = from_mirror.Recover(kMirrorDir, &mirror_env, nullptr, final_lsn);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  std::set<int32_t> mirrored = current;
+  mirrored.insert(200);
+  EXPECT_EQ(LiveIds(&from_mirror), mirrored);
+}
+
+TEST(ReplPromoteTest, PromotedReplicaAcceptsWritesAndStaysDurable) {
+  Primary primary;
+  primary.Start(/*wal_segment_bytes=*/256, /*wal_retain_segments=*/100);
+  uint64_t last = 0;
+  for (int32_t i = 0; i < 10; ++i) {
+    last = AckedInsert(&primary.db, i, i);
+    ASSERT_GT(last, 0u);
+  }
+
+  InMemEnv mirror_env;
+  repl::Replica replica(MirrorOptions(primary, &mirror_env));
+  ASSERT_TRUE(replica.Start().ok());
+  ASSERT_TRUE(replica.WaitForLsn(last, milliseconds(10000)).ok());
+
+  // PROMOTE through the shell seam, as an operator would.
+  CommandShell shell(replica.db());
+  shell.set_replica(&replica);
+  const std::string out = shell.Execute("PROMOTE;");
+  EXPECT_EQ(out, "ok: promoted to primary") << out;
+  EXPECT_TRUE(replica.promoted());
+  EXPECT_FALSE(replica.db()->read_only());
+  // Idempotent: a second PROMOTE is a no-op success.
+  EXPECT_EQ(shell.Execute("PROMOTE;"), "ok: promoted to primary");
+
+  // Writes are accepted, durable, and LSNs continue past the replayed
+  // history (no collision with shipped records).
+  const uint64_t promoted_lsn = AckedInsert(replica.db(), 500, 500);
+  ASSERT_GT(promoted_lsn, last);
+  EXPECT_EQ(LiveIds(replica.db()).size(), 11u);
+
+  // The mirror dir is now a first-class primary dir: recovery sees the
+  // pre-promotion history and the new writes.
+  replica.db()->DisableDurability();
+  Database recovered;
+  ASSERT_TRUE(recovered.Recover(kMirrorDir, &mirror_env).ok());
+  std::set<int32_t> ids = LiveIds(&recovered);
+  EXPECT_EQ(ids.size(), 11u);
+  EXPECT_EQ(ids.count(500), 1u);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,366 @@
+// Failover torture drill.  The parent re-executes this binary as
+// `--repl-torture-child <dir> <port_file> <base> <threads>`: a primary
+// process running concurrent grouped transactions against a sync-durable
+// database, serving the binary wire protocol with log shipping enabled,
+// and recording every attempted/acknowledged group (with its commit LSN)
+// in an fsync'd oracle file.
+//
+// The parent starts an in-process read replica of that child, SIGKILLs the
+// primary mid-load at a randomized point, promotes the replica, and checks
+// the failover contract:
+//
+//   1. every group acknowledged at or below the replica's final applied
+//      LSN is fully present on the promoted replica (async shipping can
+//      lose only the un-shipped suffix, never something it applied);
+//   2. groups are atomic on the replica — never partially present;
+//   3. every row on the replica belongs to a group the primary attempted
+//      (no invented timeline);
+//   4. the dead primary's directory still recovers every acked group —
+//      the replica's lag window is recoverable, not lost;
+//   5. the promoted replica accepts new durable writes, and its mirror
+//      directory recovers them.
+//
+// Knobs: MMDB_REPL_TORTURE_ITERS (default 6), MMDB_REPL_TORTURE_SEED
+// (default 42).  CI runs a fixed seed matrix.
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/database.h"
+#include "src/core/durability.h"
+#include "src/net/server.h"
+#include "src/repl/replica.h"
+#include "src/repl/shipper.h"
+#include "src/server/query_service.h"
+#include "src/storage/tuple.h"
+#include "src/util/env.h"
+
+namespace {
+const char* g_self = nullptr;  // argv[0]: the binary to re-exec as a child
+}
+
+namespace mmdb {
+namespace {
+
+constexpr int32_t kGroupRows = 3;
+constexpr int32_t kThreadStride = 999999;
+
+void MakeTortureTable(Database* db) {
+  Relation::Options options;
+  options.partition.slot_capacity = 64;
+  db->CreateTable("t", {{"id", Type::kInt32}, {"v", Type::kInt32}}, options);
+}
+
+// ---- Child (the primary that will be killed) -------------------------------
+
+void OracleLine(int fd, char tag, int32_t group_base, uint64_t lsn) {
+  char buf[96];
+  int n = snprintf(buf, sizeof(buf), "%c %d %llu\n", tag, group_base,
+                   static_cast<unsigned long long>(lsn));
+  if (write(fd, buf, static_cast<size_t>(n)) != n || fsync(fd) != 0) {
+    _exit(3);
+  }
+}
+
+int ReplTortureChild(const std::string& dir, const std::string& port_file,
+                     int32_t base, int threads) {
+  auto db = std::make_unique<Database>();
+  MakeTortureTable(db.get());
+  DurabilityOptions options;
+  options.mode = DurabilityMode::kSync;
+  options.dir = dir;
+  options.flush_interval = std::chrono::milliseconds(1);
+  // Small segments so kills race seals and segment shipping; a large
+  // retain count so the drill never depends on the ack-floor timing
+  // (retention-vs-slow-replica has its own deterministic test).
+  options.wal_segment_bytes = 16 << 10;
+  options.wal_retain_segments = 1000;
+  if (!db->EnableDurability(std::move(options)).ok()) _exit(5);
+
+  repl::Shipper shipper(db.get());
+  QueryService service(db.get());
+  net::ServerOptions server_options;
+  server_options.port = 0;
+  net::Server server(&service, server_options);
+  server.set_repl_handler(
+      [&shipper](const std::string& r) { return shipper.HandleRequest(r); });
+  if (!server.Start().ok()) _exit(6);
+
+  // Publish the ephemeral port crash-atomically; the parent waits on it.
+  {
+    const std::string tmp = port_file + ".tmp";
+    FILE* f = fopen(tmp.c_str(), "w");
+    if (f == nullptr) _exit(6);
+    fprintf(f, "%u\n", static_cast<unsigned>(server.port()));
+    fflush(f);
+    fsync(fileno(f));
+    fclose(f);
+    if (rename(tmp.c_str(), port_file.c_str()) != 0) _exit(6);
+  }
+
+  int oracle = open((dir + "/oracle.txt").c_str(),
+                    O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (oracle < 0) _exit(6);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const int32_t block = base + t * kThreadStride;
+      for (int32_t g = 0;; ++g) {
+        const int32_t group_base = block + g * kGroupRows;
+        OracleLine(oracle, 't', group_base, 0);
+        std::unique_ptr<Transaction> txn;
+        for (;;) {
+          txn = db->Begin();
+          bool ok = true;
+          for (int32_t j = 0; j < kGroupRows; ++j) {
+            ok = ok &&
+                 txn->Insert("t", {Value(group_base + j), Value(group_base)})
+                     .ok();
+          }
+          if (ok) {
+            Status cs = txn->Commit();
+            if (cs.ok()) break;
+            // Commit rolls the transaction back fully on a deadlock-victim
+            // abort; anything else is a real durability failure.
+            if (cs.code() != StatusCode::kAborted) _exit(8);
+            continue;
+          }
+          // Lock wait timeout between the writer threads: abort and retry
+          // the whole group — 't' is already logged, so the oracle contract
+          // (all-or-nothing per group) still holds.
+          txn->Abort();
+        }
+        if (!db->WaitDurable(txn->commit_lsn()).ok()) _exit(9);
+        OracleLine(oracle, 'a', group_base, txn->commit_lsn());
+        // Kills race checkpoints + seals too.
+        if (t == 0 && g % 24 == 23 && !db->CheckpointNow().ok()) _exit(10);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();  // unreachable: SIGKILL ends the child
+  return 0;
+}
+
+// ---- Parent ----------------------------------------------------------------
+
+struct Oracle {
+  std::set<int32_t> tried;
+  std::map<int32_t, uint64_t> acked;  // group base -> commit lsn
+};
+
+Oracle ReadOracle(const std::string& path) {
+  Oracle o;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    char tag;
+    int32_t group_base;
+    uint64_t lsn;
+    if (!(ls >> tag >> group_base >> lsn)) continue;  // torn final line
+    if (tag == 't') o.tried.insert(group_base);
+    if (tag == 'a') o.acked[group_base] = lsn;
+  }
+  return o;
+}
+
+std::map<int32_t, int> PresentGroups(Database* db) {
+  std::map<int32_t, int> rows_per_group;
+  Relation* rel = db->GetTable("t");
+  if (rel == nullptr) return rows_per_group;
+  const size_t off = rel->schema().offset(0);
+  for (const auto& p : rel->partitions()) {
+    p->ForEachLive([&](TupleRef t) {
+      int32_t id = tuple::GetInt32(t, off);
+      ++rows_per_group[id - id % kGroupRows];
+    });
+  }
+  return rows_per_group;
+}
+
+uint16_t WaitForPort(const std::string& port_file, pid_t child) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream in(port_file);
+    unsigned port = 0;
+    if (in >> port && port != 0) return static_cast<uint16_t>(port);
+    int status = 0;
+    if (waitpid(child, &status, WNOHANG) == child) return 0;  // died early
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return 0;
+}
+
+void FailoverDrill(const std::string& root, uint64_t delay_us,
+                   const std::string& what, size_t* acked_out) {
+  *acked_out = 0;
+  const std::string primary_dir = root + "/primary";
+  const std::string mirror_dir = root + "/mirror";
+  const std::string port_file = root + "/port.txt";
+  std::filesystem::create_directories(primary_dir);
+
+  pid_t pid = fork();
+  ASSERT_NE(pid, -1) << "fork failed";
+  if (pid == 0) {
+    execl(g_self, g_self, "--repl-torture-child", primary_dir.c_str(),
+          port_file.c_str(), "0", "2", static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  const uint16_t port = WaitForPort(port_file, pid);
+  ASSERT_NE(port, 0) << what << ": primary never published its port";
+
+  repl::ReplicaOptions options;
+  options.primary_port = port;
+  options.dir = mirror_dir;
+  options.poll_interval = std::chrono::milliseconds(2);
+  options.reconnect_backoff = std::chrono::milliseconds(10);
+  repl::Replica replica(options);
+  Status s = replica.Start();
+  ASSERT_TRUE(s.ok()) << what << ": replica start: " << s.ToString();
+
+  // Load runs with the replica attached; then the primary dies hard.
+  std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  kill(pid, SIGKILL);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << what << ": child died with status " << status;
+  // Let the apply thread drain whatever it already fetched before the
+  // connection broke (promotion would cut it off mid-drain otherwise).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  ASSERT_TRUE(replica.health().ok())
+      << what << ": replica unhealthy: " << replica.health().ToString();
+  s = replica.Promote();
+  ASSERT_TRUE(s.ok()) << what << ": promote: " << s.ToString();
+  const uint64_t applied = replica.applied_lsn();
+
+  Oracle oracle = ReadOracle(primary_dir + "/oracle.txt");
+  std::map<int32_t, int> on_replica = PresentGroups(replica.db());
+
+  // (1) Nothing the replica applied is lost; (2) atomic; (3) no invented
+  // rows.
+  for (const auto& [g, lsn] : oracle.acked) {
+    if (lsn > applied) continue;  // in the lag window: see primary check
+    EXPECT_EQ(on_replica.count(g) != 0 ? on_replica[g] : 0, kGroupRows)
+        << what << ": applied group " << g << " (lsn " << lsn
+        << " <= " << applied << ") lost or partial after promotion";
+  }
+  for (const auto& [g, n] : on_replica) {
+    EXPECT_EQ(n, kGroupRows) << what << ": group " << g << " is partial";
+    EXPECT_EQ(oracle.tried.count(g), 1u)
+        << what << ": group " << g << " present but never attempted";
+  }
+
+  // (4) The lag window is recoverable from the dead primary's directory.
+  {
+    Database from_primary;
+    s = from_primary.Recover(primary_dir, Env::Posix());
+    ASSERT_TRUE(s.ok()) << what << ": primary recovery: " << s.ToString();
+    std::map<int32_t, int> on_primary = PresentGroups(&from_primary);
+    for (const auto& [g, lsn] : oracle.acked) {
+      EXPECT_EQ(on_primary.count(g) != 0 ? on_primary[g] : 0, kGroupRows)
+          << what << ": acked group " << g << " lost from the primary dir";
+    }
+    // The replica never holds a group the primary's history does not.
+    for (const auto& [g, n] : on_replica) {
+      EXPECT_EQ(on_primary.count(g), 1u)
+          << what << ": replica invented group " << g;
+    }
+  }
+
+  // (5) The promoted replica is a live primary: new writes are durable in
+  // the mirror.
+  {
+    std::unique_ptr<Transaction> txn = replica.db()->Begin();
+    const int32_t promo_base = 50 * kThreadStride;
+    for (int32_t j = 0; j < kGroupRows; ++j) {
+      ASSERT_TRUE(
+          txn->Insert("t", {Value(promo_base + j), Value(promo_base)}).ok())
+          << what;
+    }
+    ASSERT_TRUE(txn->Commit().ok()) << what;
+    ASSERT_TRUE(replica.db()->WaitDurable(txn->commit_lsn()).ok()) << what;
+
+    ASSERT_TRUE(replica.db()->DisableDurability().ok()) << what;
+    Database from_mirror;
+    s = from_mirror.Recover(mirror_dir, Env::Posix());
+    ASSERT_TRUE(s.ok()) << what << ": mirror recovery: " << s.ToString();
+    std::map<int32_t, int> recovered = PresentGroups(&from_mirror);
+    EXPECT_EQ(recovered.count(promo_base) ? recovered[promo_base] : 0,
+              kGroupRows)
+        << what << ": post-promotion write lost from the mirror";
+    for (const auto& [g, n] : on_replica) {
+      EXPECT_EQ(recovered.count(g), 1u)
+          << what << ": group " << g << " missing from the mirror";
+    }
+  }
+
+  *acked_out = oracle.acked.size();
+}
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* v = getenv(name);
+  return (v != nullptr && *v != '\0') ? strtoull(v, nullptr, 10) : fallback;
+}
+
+TEST(ReplTortureTest, KillPrimaryPromoteReplicaNeverLosesAppliedGroups) {
+  const uint64_t iters = EnvOr("MMDB_REPL_TORTURE_ITERS", 6);
+  const uint64_t seed = EnvOr("MMDB_REPL_TORTURE_SEED", 42);
+  std::mt19937_64 rng(seed);
+  std::string root = std::string(::testing::TempDir()) + "mmdb_replXXXXXX";
+  ASSERT_NE(mkdtemp(root.data()), nullptr);
+
+  size_t total_acked = 0;
+  for (uint64_t i = 0; i < iters; ++i) {
+    const std::string dir = root + "/it" + std::to_string(i);
+    // Kill points range from "replica barely attached" to "deep in
+    // steady-state shipping across seals and checkpoints".
+    const uint64_t delay_us = 10000 + rng() % 400000;
+    const std::string what =
+        "seed=" + std::to_string(seed) + " iter=" + std::to_string(i) +
+        " delay_us=" + std::to_string(delay_us);
+    size_t acked = 0;
+    FailoverDrill(dir, delay_us, what, &acked);
+    if (::testing::Test::HasFatalFailure()) break;
+    total_acked += acked;
+    std::filesystem::remove_all(dir);
+  }
+  EXPECT_GT(total_acked, 0u) << "no iteration ever acknowledged a write";
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace mmdb
+
+int main(int argc, char** argv) {
+  if (argc >= 6 && strcmp(argv[1], "--repl-torture-child") == 0) {
+    return mmdb::ReplTortureChild(argv[2], argv[3], atoi(argv[4]),
+                                  atoi(argv[5]));
+  }
+  g_self = argv[0];
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -61,7 +61,10 @@ TEST(LogFormatTest, RecordRoundTrip) {
             log_format::DecodeResult::kEnd);
 }
 
-TEST(LogFormatTest, EveryTruncationPointIsCorruptNotCrash) {
+TEST(LogFormatTest, EveryTruncationPointIsTruncatedNotCrash) {
+  // A frame cut anywhere is kTruncated — "more bytes may be coming", the
+  // signal replication streaming relies on.  Replay maps it to a torn
+  // tail.  It is never kOk and never advances the cursor.
   std::string buf;
   log_format::EncodeRecord(Data(1, 1, 0), &buf);
   for (size_t cut = 0; cut < buf.size(); ++cut) {
@@ -70,7 +73,7 @@ TEST(LogFormatTest, EveryTruncationPointIsCorruptNotCrash) {
     size_t pos = 0;
     LogRecord out;
     EXPECT_EQ(log_format::DecodeRecord(truncated, &pos, &out),
-              log_format::DecodeResult::kCorrupt)
+              log_format::DecodeResult::kTruncated)
         << "cut at " << cut;
     EXPECT_EQ(pos, 0u);
   }
@@ -281,6 +284,174 @@ TEST(WalWriterTest, FirstErrorLatchesTheWriter) {
   ASSERT_TRUE(ReplayWalDir(&env, "d", 0, &r).ok());
   EXPECT_TRUE(r.tail_corrupt);
   EXPECT_EQ(r.max_lsn, 1u);
+}
+
+// ---- Manifest-aware replay: failures must be loud, never partial ------------
+
+class WalManifestTest : public WalReplayTest {
+ protected:
+  void SaveManifest(const std::vector<WalSegmentInfo>& entries) {
+    WalManifest m;
+    for (const WalSegmentInfo& e : entries) ASSERT_TRUE(m.Append(e).ok());
+    ASSERT_TRUE(m.Save(&env_, "d").ok());
+  }
+
+  uint64_t SegmentBytes(uint64_t start) {
+    std::string data;
+    EXPECT_TRUE(
+        env_.ReadFile("d/" + log_format::WalFileName(start), &data).ok());
+    return data.size();
+  }
+};
+
+TEST_F(WalManifestTest, RoundTripAndChainValidation) {
+  SaveManifest({{0, 2, 100}, {2, 5, 200}});
+  WalManifest m;
+  ASSERT_TRUE(WalManifest::Load(&env_, "d", &m).ok());
+  ASSERT_EQ(m.segments().size(), 2u);
+  EXPECT_EQ(m.segments()[1].end, 5u);
+  EXPECT_EQ(m.Find(2)->bytes, 200u);
+  EXPECT_EQ(m.Find(7), nullptr);
+
+  // Non-chaining appends are refused, both directly and via Load.
+  EXPECT_EQ(m.Append({7, 9, 50}).code(), StatusCode::kCorruption);  // gap
+  EXPECT_EQ(m.Append({4, 9, 50}).code(), StatusCode::kCorruption);  // overlap
+  EXPECT_EQ(m.Append({5, 4, 50}).code(), StatusCode::kCorruption);  // end<start
+
+  // A missing manifest is an empty one (legacy dirs); a malformed one is
+  // typed corruption.
+  WalManifest fresh;
+  ASSERT_TRUE(WalManifest::Load(&env_, "nowhere", &fresh).ok());
+  EXPECT_TRUE(fresh.empty());
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_.NewWritableFile("d/wal.manifest", true, &f).ok());
+  ASSERT_TRUE(f->Append("not a manifest\n").ok());
+  EXPECT_EQ(WalManifest::Load(&env_, "d", &m).code(), StatusCode::kCorruption);
+}
+
+TEST_F(WalManifestTest, PruneBelowDropsOnlyWholeLeadingSegments) {
+  WalManifest m;
+  ASSERT_TRUE(m.Append({0, 2, 10}).ok());
+  ASSERT_TRUE(m.Append({2, 5, 10}).ok());
+  ASSERT_TRUE(m.Append({5, 9, 10}).ok());
+  m.PruneBelow(4);  // mid-segment floor: [2,5] must survive
+  ASSERT_EQ(m.segments().size(), 2u);
+  EXPECT_EQ(m.segments()[0].start, 2u);
+  m.PruneBelow(9);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST_F(WalManifestTest, MissingSealedSegmentIsAGapNotAPartialReplay) {
+  WriteSegment(0, {Data(1, 1, 0), Marker(2, 1)});
+  WriteSegment(2, {Data(3, 2, 1), Marker(4, 2)});
+  SaveManifest({{0, 2, SegmentBytes(0)}, {2, 4, SegmentBytes(2)}});
+  ASSERT_TRUE(env_.RemoveFile("d/" + log_format::WalFileName(0)).ok());
+
+  WalReplayResult r;
+  Status s = ReplayWalDir(&env_, "d", 0, &r);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("gap"), std::string::npos) << s.ToString();
+  EXPECT_TRUE(r.records.empty());
+
+  // ...unless a checkpoint already covers the missing range: then replay
+  // legitimately starts past it.
+  WalReplayResult after;
+  EXPECT_TRUE(ReplayWalDir(&env_, "d", 2, &after).ok());
+  ASSERT_EQ(after.records.size(), 1u);
+  EXPECT_EQ(after.records[0].lsn, 3u);
+}
+
+TEST_F(WalManifestTest, UnlistedSegmentInsideChainIsAnOverlap) {
+  WriteSegment(0, {Data(1, 1, 0), Marker(2, 1)});
+  WriteSegment(2, {Data(3, 2, 1), Marker(4, 2)});
+  SaveManifest({{0, 4, SegmentBytes(0) + SegmentBytes(2)}});  // one entry, 0..4
+  // wal-2.log exists but is not a chain member while the chain claims 0..4.
+  WalReplayResult r;
+  Status s = ReplayWalDir(&env_, "d", 0, &r);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("overlap"), std::string::npos) << s.ToString();
+}
+
+TEST_F(WalManifestTest, SealedSizeMismatchIsTypedCorruption) {
+  WriteSegment(0, {Data(1, 1, 0), Marker(2, 1)});
+  WriteSegment(2, {Data(3, 2, 1), Marker(4, 2)});
+  SaveManifest({{0, 2, SegmentBytes(0) + 7}, {2, 4, SegmentBytes(2)}});
+  WalReplayResult r;
+  Status s = ReplayWalDir(&env_, "d", 0, &r);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("sealed"), std::string::npos) << s.ToString();
+}
+
+TEST_F(WalManifestTest, CorruptFrameInSealedSegmentIsTypedNotTailTear) {
+  // The same single-byte flip that reads as a clean "torn tail" without a
+  // manifest becomes hard corruption once a seal vouches for the segment.
+  WriteSegment(0, {Data(1, 1, 0), Marker(2, 1)});
+  WriteSegment(2, {Data(3, 2, 1), Marker(4, 2)});
+  std::string data;
+  ASSERT_TRUE(env_.ReadFile("d/" + log_format::WalFileName(0), &data).ok());
+  data[data.size() - 1] = static_cast<char>(data[data.size() - 1] ^ 0x1);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(
+      env_.NewWritableFile("d/" + log_format::WalFileName(0), true, &f).ok());
+  ASSERT_TRUE(f->Append(data).ok());
+  SaveManifest({{0, 2, data.size()}, {2, 4, SegmentBytes(2)}});
+
+  WalReplayResult r;
+  Status s = ReplayWalDir(&env_, "d", 0, &r);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("corrupt frame"), std::string::npos)
+      << s.ToString();
+  EXPECT_TRUE(r.records.empty());  // never a silent partial replay
+}
+
+TEST_F(WalManifestTest, UptoLsnReplaysHistoryAsOfThatMoment) {
+  // txn 2 commits at lsn 4; a PITR target of 3 must treat it as still
+  // open (its commit marker is in the future) and drop it, exactly as a
+  // crash between lsn 3 and 4 would have.
+  WriteSegment(0, {Data(1, 1, 0), Marker(2, 1), Data(3, 2, 1), Marker(4, 2)});
+  WalReplayOptions options;
+  options.upto_lsn = 3;
+  WalReplayResult r;
+  ASSERT_TRUE(ReplayWalDir(&env_, "d", options, &r).ok());
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].lsn, 1u);
+  EXPECT_FALSE(r.tail_corrupt);  // a PITR bound is not corruption
+
+  // Target at the commit marker includes the transaction.
+  options.upto_lsn = 4;
+  ASSERT_TRUE(ReplayWalDir(&env_, "d", options, &r).ok());
+  ASSERT_EQ(r.records.size(), 2u);
+
+  // Whole segments past the target are never even opened.
+  WriteSegment(4, {Data(5, 3, 2), Marker(6, 3)});
+  options.upto_lsn = 4;
+  ASSERT_TRUE(ReplayWalDir(&env_, "d", options, &r).ok());
+  EXPECT_EQ(r.segments_read, 1u);
+  ASSERT_EQ(r.records.size(), 2u);
+}
+
+TEST_F(WalManifestTest, TargetBelowRetainedHistoryFailsLoudly) {
+  // History began at lsn 0, but retention GC pruned segment [0,2] (and its
+  // manifest entry) behind newer checkpoints; only [2,4] survives.
+  WriteSegment(2, {Data(3, 2, 1), Marker(4, 2)});
+  SaveManifest({{2, 4, SegmentBytes(2)}});
+
+  // A replay base below the retained chain — the shape of a point-in-time
+  // target older than every surviving checkpoint — must fail loudly, not
+  // replay the surviving suffix as if it were the whole history.
+  WalReplayOptions options;
+  options.after_lsn = 0;
+  options.upto_lsn = 3;
+  WalReplayResult r;
+  Status s = ReplayWalDir(&env_, "d", options, &r);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.ToString().find("predates retained history"), std::string::npos)
+      << s.ToString();
+
+  // A base the chain does cover replays normally.
+  ASSERT_TRUE(ReplayWalDir(&env_, "d", 2, &r).ok());
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].lsn, 3u);
 }
 
 }  // namespace

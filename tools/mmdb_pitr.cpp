@@ -1,0 +1,115 @@
+// mmdb_pitr: point-in-time recovery over a durability directory.
+//
+// Rebuilds a database from <dir> exactly as of a target LSN: picks the
+// newest checkpoint at or below the target and replays WAL records up to
+// and including it, stopping cleanly — records past the target are not
+// applied.  Without --upto this is ordinary full recovery.
+//
+//   $ mmdb_pitr /data/mmdb --upto 41234
+//   checkpoint+wal recovered to lsn<=41234
+//   tuples_loaded: 812  log_records_merged: 96  log_records_dropped: 3
+//   table emp: 512 rows
+//   table dept: 300 rows
+//
+// The recoverable window is bounded by retention: segments below the GC
+// floor (MMDB_WAL_RETAIN_SEGMENTS, replica acks) are gone, so targets
+// older than the oldest retained checkpoint fail with a typed error.
+// Works against a primary's durability dir and a replica's mirror alike.
+//
+// --verify additionally re-runs recovery a second time and checks both
+// runs loaded identical row counts (a cheap determinism smoke test).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/database.h"
+#include "src/storage/catalog.h"
+#include "src/storage/relation.h"
+#include "src/txn/recovery.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <durability-dir> [--upto <lsn>] [--verify]\n"
+               "  Rebuilds the database state as of <lsn> (default: all of "
+               "it)\n  and prints per-table row counts.\n",
+               argv0);
+  return 2;
+}
+
+struct RecoveredState {
+  mmdb::RecoveryManager::Progress progress;
+  std::vector<std::pair<std::string, size_t>> tables;
+};
+
+mmdb::Status RecoverInto(const std::string& dir, uint64_t upto,
+                         RecoveredState* out) {
+  mmdb::Database db;
+  mmdb::Status s = db.Recover(dir, nullptr, &out->progress, upto);
+  if (!s.ok()) return s;
+  for (const std::string& name : db.catalog().List()) {
+    out->tables.emplace_back(name, db.GetTable(name)->cardinality());
+  }
+  return mmdb::Status::Ok();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  const std::string dir = argv[1];
+  uint64_t upto = UINT64_MAX;
+  bool verify = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--upto") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      upto = std::strtoull(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0') return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      verify = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  RecoveredState state;
+  mmdb::Status s = RecoverInto(dir, upto, &state);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (upto == UINT64_MAX) {
+    std::printf("checkpoint+wal fully recovered\n");
+  } else {
+    std::printf("checkpoint+wal recovered to lsn<=%llu\n",
+                static_cast<unsigned long long>(upto));
+  }
+  std::printf("tuples_loaded: %zu  log_records_merged: %zu  "
+              "log_records_dropped: %zu\n",
+              state.progress.tuples_loaded, state.progress.log_records_merged,
+              state.progress.log_records_dropped);
+  for (const auto& [name, rows] : state.tables) {
+    std::printf("table %s: %zu rows\n", name.c_str(), rows);
+  }
+
+  if (verify) {
+    RecoveredState again;
+    s = RecoverInto(dir, upto, &again);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: verify pass failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    if (again.tables != state.tables) {
+      std::fprintf(stderr, "error: verify pass loaded different state\n");
+      return 1;
+    }
+    std::printf("verify: second recovery matches\n");
+  }
+  return 0;
+}
